@@ -1,0 +1,118 @@
+// Command adlc is the ADL compiler/checker: parse and validate a
+// Darwin-style architecture description, list its configurations, and
+// diff two modes into a reconfiguration plan.
+//
+// Usage:
+//
+//	adlc check file.adl              # parse + semantic checks
+//	adlc render file.adl             # canonical re-rendering
+//	adlc config file.adl [mode]      # flattened configuration
+//	adlc diff file.adl from to       # unbind/rebind plan
+//	adlc figure4                     # built-in Figure 4 fixture
+//
+// Pass '-' as the file to read stdin.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/adm-project/adm/internal/adl"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: adlc <check|render|config|diff|figure4> [args]")
+	os.Exit(2)
+}
+
+func load(path string) *adl.Model {
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adlc: %v\n", err)
+		os.Exit(2)
+	}
+	m, err := adl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adlc: %v\n", err)
+		os.Exit(1)
+	}
+	return m
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "figure4":
+		m := adl.MustParse(adl.Figure4)
+		fmt.Print(m.Render())
+		fmt.Printf("// modes: %v\n", m.ModeNames())
+	case "check":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		m := load(os.Args[2])
+		errs := m.Validate()
+		if len(errs) == 0 {
+			fmt.Printf("OK: %d types, %d base instances, %d modes\n",
+				len(m.Types), len(m.Insts), len(m.Modes))
+			return
+		}
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		os.Exit(1)
+	case "render":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		fmt.Print(load(os.Args[2]).Render())
+	case "config":
+		if len(os.Args) < 3 || len(os.Args) > 4 {
+			usage()
+		}
+		mode := ""
+		if len(os.Args) == 4 {
+			mode = os.Args[3]
+		}
+		cfg, err := load(os.Args[2]).ConfigFor(mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adlc: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("configuration %q:\n", mode)
+		for _, n := range cfg.InstNames() {
+			fmt.Printf("  inst %s : %s\n", n, cfg.Insts[n].Type)
+		}
+		for _, b := range cfg.BindList() {
+			fmt.Printf("  %s\n", b)
+		}
+	case "diff":
+		if len(os.Args) != 5 {
+			usage()
+		}
+		plan, err := load(os.Args[2]).Diff(os.Args[3], os.Args[4])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "adlc: %v\n", err)
+			os.Exit(1)
+		}
+		if plan.Empty() {
+			fmt.Println("no changes")
+			return
+		}
+		fmt.Printf("plan %s -> %s:\n", os.Args[3], os.Args[4])
+		for _, s := range plan.Steps() {
+			fmt.Printf("  %s\n", s)
+		}
+	default:
+		usage()
+	}
+}

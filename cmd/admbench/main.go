@@ -1,0 +1,61 @@
+// Command admbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	admbench              # run everything, print paper-vs-measured
+//	admbench -exp table1  # run one experiment
+//	admbench -list        # list experiment ids
+//	admbench -markdown    # emit markdown (EXPERIMENTS.md body)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/adm-project/adm/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "run a single experiment by id")
+		list     = flag.Bool("list", false, "list experiment ids")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of text tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-16s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	runners := experiments.All()
+	if *exp != "" {
+		r, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "admbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	failed := 0
+	for _, r := range runners {
+		rep, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "admbench: %s: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		if *markdown {
+			fmt.Println(rep.Markdown())
+		} else {
+			fmt.Println(rep.String())
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+// Command admsql is an interactive SQL shell over the componentised
+// query machine: every statement flows frontend → parser → executor →
+// (bound) optimiser through concrete component boundaries, and the
+// optimiser can be swapped mid-session.
+//
+// Usage:
+//
+//	admsql                       # interactive shell on stdin
+//	echo 'SELECT 1;' | admsql    # batch mode
+//
+// Meta commands:
+//
+//	\optimiser [cost|conservative]   show or swap the bound optimiser
+//	\components                      list live components and bindings
+//	\trace                           adaptation-trace summary
+//	\q                               quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/adm-project/adm/internal/dbmachine"
+	"github.com/adm-project/adm/internal/query"
+	"github.com/adm-project/adm/internal/storage"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+func main() {
+	log := trace.New()
+	m, err := dbmachine.New(512, log)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admsql: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("admsql — componentised SQL shell (\\q to quit, \\optimiser to swap)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("adm> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "\\q" || line == "\\quit":
+			return
+		case line == "\\components":
+			for _, n := range m.Asm.Components() {
+				fmt.Printf("  component %s\n", n)
+			}
+			for _, b := range m.Asm.Bindings() {
+				fmt.Printf("  bind %s\n", b)
+			}
+			continue
+		case line == "\\trace":
+			fmt.Println(" ", log.Summary())
+			continue
+		case strings.HasPrefix(line, "\\optimiser"):
+			parts := strings.Fields(line)
+			if len(parts) == 1 {
+				fmt.Printf("  bound: %s\n", m.Optimiser())
+				continue
+			}
+			if err := m.SwapOptimiser(parts[1]); err != nil {
+				fmt.Printf("  error: %v\n", err)
+				continue
+			}
+			fmt.Printf("  optimiser -> %s\n", m.Optimiser())
+			continue
+		case strings.HasPrefix(line, "\\"):
+			fmt.Println("  unknown meta command")
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		res, rep, err := m.Exec(line)
+		if err != nil {
+			fmt.Printf("  error: %v\n", err)
+			continue
+		}
+		printResult(res)
+		if rep != nil && rep.Replanned {
+			fmt.Printf("  (replanned mid-query: build %s -> %s at row %d)\n",
+				rep.InitialBuild, rep.FinalBuild, rep.TriggerRow)
+		}
+	}
+}
+
+func printResult(res *query.Result) {
+	if len(res.Cols) == 0 {
+		fmt.Printf("  ok (%d affected)\n", res.Affected)
+		return
+	}
+	widths := make([]int, len(res.Cols))
+	for i, c := range res.Cols {
+		widths[i] = len(c)
+	}
+	render := func(row storage.Tuple) []string {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.String()
+			if len(out[i]) > widths[i] {
+				widths[i] = len(out[i])
+			}
+		}
+		return out
+	}
+	var rendered [][]string
+	for _, r := range res.Rows {
+		rendered = append(rendered, render(r))
+	}
+	line := "  "
+	for i, c := range res.Cols {
+		line += fmt.Sprintf("%-*s  ", widths[i], c)
+	}
+	fmt.Println(line)
+	for _, r := range rendered {
+		line = "  "
+		for i, v := range r {
+			line += fmt.Sprintf("%-*s  ", widths[i], v)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("  (%d rows)\n", len(res.Rows))
+}

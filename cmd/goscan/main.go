@@ -1,0 +1,103 @@
+// Command goscan is the SISR code scanner as a CLI: it reads a
+// component text section in a simple assembly listing (one mnemonic
+// per line) and reports whether the image is loadable under Go!'s
+// protection model — the load-time check that lets the zero-kernel
+// run without privilege modes.
+//
+// Usage:
+//
+//	goscan file.s        # scan a listing
+//	goscan -             # scan stdin
+//
+// Listing format: one instruction per line; mnemonics map to the
+// machine's instruction classes:
+//
+//	add sub mov cmp      -> alu
+//	load store           -> load/store
+//	call ret jmp         -> call/ret/branch
+//	movseg               -> segment-register load (privileged)
+//	cli sti lgdt hlt     -> privileged control
+//	in out               -> I/O (privileged)
+//	int iret             -> trap / trap-return
+//
+// Lines starting with '#' or ';' are comments.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/adm-project/adm/internal/goos"
+	"github.com/adm-project/adm/internal/machine"
+)
+
+var mnemonics = map[string]machine.OpClass{
+	"add": machine.OpALU, "sub": machine.OpALU, "mov": machine.OpALU, "cmp": machine.OpALU,
+	"mul": machine.OpALU, "xor": machine.OpALU, "and": machine.OpALU, "or": machine.OpALU,
+	"load": machine.OpLoad, "store": machine.OpStore,
+	"call": machine.OpCall, "ret": machine.OpRet,
+	"jmp": machine.OpBranch, "je": machine.OpBranch, "jne": machine.OpBranch,
+	"movseg": machine.OpSegLoad,
+	"cli":    machine.OpPrivCtl, "sti": machine.OpPrivCtl,
+	"lgdt": machine.OpPrivCtl, "lidt": machine.OpPrivCtl, "hlt": machine.OpPrivCtl,
+	"in": machine.OpIO, "out": machine.OpIO,
+	"int": machine.OpTrap, "iret": machine.OpIret,
+	"invlpg": machine.OpTLBFlush, "movcr3": machine.OpPTSwitch,
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: goscan <file.s | ->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goscan: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+		name = os.Args[1]
+	}
+
+	var text []machine.Instruction
+	sc := bufio.NewScanner(in)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		mnem := strings.Fields(line)[0]
+		op, ok := mnemonics[strings.ToLower(mnem)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "goscan: %s:%d: unknown mnemonic %q\n", name, lineNo, mnem)
+			os.Exit(2)
+		}
+		text = append(text, machine.Instruction{Op: op, Name: line})
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "goscan: %v\n", err)
+		os.Exit(2)
+	}
+
+	scanner := goos.Scanner{}
+	rep := scanner.Scan(text)
+	fmt.Printf("%s: %d instructions, scan cost %d cycles\n", name, rep.Instructions, scanner.ScanCost(text))
+	if rep.OK() {
+		fmt.Println("LOADABLE: no privileged instructions; component is SISR-safe")
+		return
+	}
+	fmt.Printf("REJECTED: %d privileged instruction(s):\n", len(rep.Offenses))
+	for _, o := range rep.Offenses {
+		fmt.Printf("  %s\n", o)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Kendra audio: mid-stream codec swap-in under a bandwidth drop —
+// "a new less bandwidth hungry codec is swapped in" (§5.2).
+//
+//	go run ./examples/kendra_audio
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adm "github.com/adm-project/adm"
+)
+
+func main() {
+	trace := adm.KendraDropTrace()
+	fmt.Println("bandwidth trace: 300 Kbps, drop to 40 Kbps at 10s, recover to 120 Kbps at 20s")
+
+	fixed, err := adm.KendraStream(adm.DefaultKendraConfig(false), trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := adm.KendraStream(adm.DefaultKendraConfig(true), trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-24s %10s %10s\n", "", "fixed pcm", "adaptive")
+	fmt.Printf("%-24s %9.1f%% %9.2f%%\n", "stall rate", 100*fixed.StallRate(), 100*adaptive.StallRate())
+	fmt.Printf("%-24s %10.2f %10.2f\n", "mean quality", fixed.MeanQuality, adaptive.MeanQuality)
+	fmt.Printf("%-24s %10d %10d\n", "codec switches", fixed.Switches, adaptive.Switches)
+	fmt.Printf("codec mix (adaptive): %v\n", adaptive.CodecFrames)
+
+	fmt.Println("\nswitch events:")
+	for _, ev := range adaptive.Log.OfKind("switch") {
+		fmt.Println("  ", ev)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: build a tiny adaptive component system with the public
+// API — two interchangeable cache components behind a typed binding,
+// a monitor-driven switching rule, and a session manager that rebinds
+// the configuration when the rule fires.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	adm "github.com/adm-project/adm"
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+)
+
+func main() {
+	tlog := adm.NewTraceLog()
+	clock := adm.NewClock()
+	asm := adm.NewAssembly(tlog, clock.Now)
+
+	// Two providers of the same "cache" service: a large in-memory
+	// cache and a tiny low-power one.
+	big := adm.NewComponent("cache-big").Provide("get", "cache",
+		func(req adm.Request) (any, error) { return "big:" + req.Op, nil })
+	small := adm.NewComponent("cache-small").Provide("get", "cache",
+		func(req adm.Request) (any, error) { return "small:" + req.Op, nil })
+	app := adm.NewComponent("app").Require("cache", "cache")
+
+	for _, c := range []*adm.Component{big, small, app} {
+		if err := asm.Add(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := asm.Bind("app", "cache", "cache-big", "get"); err != nil {
+		log.Fatal(err)
+	}
+	if err := asm.StartAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	call := func() {
+		out, err := asm.Call("app", "cache", adm.Request{Op: "lookup"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%5.0fms  app -> %v\n", clock.Now(), out)
+	}
+	call()
+
+	// Monitors + a switching rule: when battery drops below 20%, the
+	// session manager swaps the big cache out for the small one.
+	reg := adm.NewRegistry()
+	rule, err := adm.ParseConstraint("If battery < 20 then smallcache.mode")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs := constraint.NewRuleSet(constraint.PrioritisedRule{ID: 1, Rule: rule})
+
+	sm := adm.NewSessionManager("quickstart", reg, rs, tlog, clock.Now,
+		func(d adm.Decision, _ *constraint.PrioritisedRule) error {
+			fmt.Printf("t=%5.0fms  ADAPT: %s\n", clock.Now(), d.Reason)
+			if err := asm.Unbind("app", "cache"); err != nil {
+				return err
+			}
+			return asm.Bind("app", "cache", "cache-small", "get")
+		})
+	sm.Attach()
+
+	// Battery drains over time; samples feed the loop.
+	for t, b := 0.0, 100.0; t <= 1000; t, b = t+100, b-12 {
+		tt, bb := t, b
+		clock.Schedule(tt, func() {
+			reg.Publish(adm.Sample{
+				Key:    monitor.Key{Metric: monitor.MetricBattery},
+				Value:  bb,
+				TimeMS: tt,
+			})
+		})
+	}
+	clock.Run()
+	call()
+
+	fmt.Println("\nadaptation trace:")
+	for _, ev := range tlog.Events() {
+		fmt.Println("  ", ev)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/adm-project/adm
+
+go 1.22

@@ -1,0 +1,364 @@
+// Package adapt implements the paper's Adaptivity Manager and State
+// Manager (§3): "The Adaptivity Manager then carries out the
+// unbinding and rebinding of components (establishing any glue
+// necessary to achieve the binding). To do this it must ensure the
+// instantiation adheres to transactional style properties. That is,
+// the switch can be backed off if something goes wrong."
+//
+// Apply executes an ADL reconfiguration plan against a running
+// assembly in phases — quiesce, unbind, start, bind, resume, stop —
+// journaling an inverse for every mutation so any failure before the
+// commit point rolls the configuration back to exactly where it was.
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/component"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// Factory constructs runtime components for instances that a plan
+// starts. It is the "retrieved off the network" step of Scenario 2 —
+// new component types arrive from outside the running configuration.
+type Factory func(inst adl.InstDecl) (*component.Component, error)
+
+// ErrNoFactory is returned when a plan starts instances but no
+// factory was supplied.
+var ErrNoFactory = errors.New("adapt: plan starts instances but no factory given")
+
+// SwitchError wraps the failure that aborted a reconfiguration,
+// recording whether rollback restored the previous configuration.
+type SwitchError struct {
+	Phase        string
+	Err          error
+	RolledBack   bool
+	RollbackErrs []error
+}
+
+func (e *SwitchError) Error() string {
+	s := fmt.Sprintf("adapt: switch failed in %s phase: %v", e.Phase, e.Err)
+	if e.RolledBack {
+		s += " (configuration rolled back)"
+	} else {
+		s += fmt.Sprintf(" (ROLLBACK INCOMPLETE: %v)", e.RollbackErrs)
+	}
+	return s
+}
+
+func (e *SwitchError) Unwrap() error { return e.Err }
+
+// Stats counts the manager's lifetime activity.
+type Stats struct {
+	Switches    int
+	Rollbacks   int
+	Unbinds     int
+	Binds       int
+	Starts      int
+	Stops       int
+	Migrations  int
+	LastLatency float64 // ms, detection-to-commit of the last switch
+}
+
+// Manager is the Adaptivity Manager.
+type Manager struct {
+	mu    sync.Mutex
+	asm   *component.Assembly
+	log   *trace.Log
+	clock func() float64
+	state *StateManager
+	stats Stats
+}
+
+// NewManager builds an adaptivity manager over an assembly. clock may
+// be nil (time 0); the state manager is created internally and shared
+// via StateManager().
+func NewManager(asm *component.Assembly, log *trace.Log, clock func() float64) *Manager {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	if log == nil {
+		log = trace.New()
+	}
+	return &Manager{asm: asm, log: log, clock: clock, state: NewStateManager(log, clock)}
+}
+
+// StateManager returns the manager's state-capture component.
+func (m *Manager) StateManager() *StateManager { return m.state }
+
+// Stats returns activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Apply executes a reconfiguration plan transactionally. factory may
+// be nil when the plan starts nothing. On success the assembly is in
+// the plan's target configuration; on failure it is restored and a
+// *SwitchError is returned.
+func (m *Manager) Apply(plan *adl.Plan, factory Factory) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := m.clock()
+	if plan.Empty() {
+		return nil
+	}
+	if len(plan.Start) > 0 && factory == nil {
+		return ErrNoFactory
+	}
+	m.log.Emit(start, trace.KindPlan, "adaptivity-mgr", "applying %s -> %s: %d steps",
+		plan.From, plan.To, len(plan.Steps()))
+
+	var undo []func() error
+	fail := func(phase string, err error) error {
+		m.stats.Rollbacks++
+		var rbErrs []error
+		for i := len(undo) - 1; i >= 0; i-- {
+			if e := undo[i](); e != nil {
+				rbErrs = append(rbErrs, e)
+			}
+		}
+		m.log.Emit(m.clock(), trace.KindRollback, "adaptivity-mgr",
+			"switch %s->%s backed off in %s: %v", plan.From, plan.To, phase, err)
+		return &SwitchError{Phase: phase, Err: err, RolledBack: len(rbErrs) == 0, RollbackErrs: rbErrs}
+	}
+
+	// Phase 1: quiesce survivors whose wiring changes, and the
+	// instances about to stop (their veto aborts the switch while it
+	// is still free to abort). Stateful survivors are checkpointed.
+	toQuiesce := append(append([]string{}, plan.Quiesce...), plan.Stop...)
+	for _, name := range toQuiesce {
+		c, ok := m.asm.Component(name)
+		if !ok {
+			return fail("quiesce", fmt.Errorf("unknown component %q", name))
+		}
+		if c.State() != component.Started {
+			continue // already quiet (never started, or previous partial)
+		}
+		if err := c.Quiesce(); err != nil {
+			return fail("quiesce", err)
+		}
+		cc := c
+		undo = append(undo, func() error { return cc.Resume() })
+		if sf, ok := cc.StatefulPart(); ok {
+			if err := m.state.Capture(name, sf); err != nil {
+				return fail("capture", err)
+			}
+		}
+	}
+
+	// Phase 2: unbind old wires.
+	for _, b := range plan.Unbind {
+		bb := b
+		old, had := m.asm.BoundTo(b.From, b.FromPort)
+		if err := m.asm.Unbind(b.From, b.FromPort); err != nil {
+			return fail("unbind", err)
+		}
+		m.stats.Unbinds++
+		if had {
+			undo = append(undo, func() error {
+				return m.asm.Bind(old.FromComp, old.FromPort, old.ToComp, old.ToPort)
+			})
+		}
+		_ = bb
+	}
+
+	// Phase 3: start new instances.
+	for _, inst := range plan.Start {
+		c, err := factory(inst)
+		if err != nil {
+			return fail("start", fmt.Errorf("factory %s:%s: %w", inst.Name, inst.Type, err))
+		}
+		if c.Name() != inst.Name {
+			return fail("start", fmt.Errorf("factory returned %q for instance %q", c.Name(), inst.Name))
+		}
+		if err := m.asm.Add(c); err != nil {
+			return fail("start", err)
+		}
+		name := inst.Name
+		undo = append(undo, func() error { return m.asm.Remove(name) })
+		if err := c.Start(); err != nil {
+			return fail("start", err)
+		}
+		cc := c
+		undo = append(undo, func() error { return cc.Stop() })
+		m.stats.Starts++
+	}
+
+	// Phase 4: bind new wires (the "glue").
+	for _, b := range plan.Bind {
+		if err := m.asm.Bind(b.From, b.FromPort, b.To, b.ToPort); err != nil {
+			return fail("bind", err)
+		}
+		bb := b
+		undo = append(undo, func() error { return m.asm.Unbind(bb.From, bb.FromPort) })
+		m.stats.Binds++
+	}
+
+	// Phase 5: resume survivors.
+	for _, name := range plan.Resume {
+		c, ok := m.asm.Component(name)
+		if !ok {
+			return fail("resume", fmt.Errorf("unknown component %q", name))
+		}
+		if c.State() != component.Quiesced {
+			continue
+		}
+		if err := c.Resume(); err != nil {
+			return fail("resume", err)
+		}
+	}
+
+	// Commit point: the new configuration is live. Stops of retired
+	// instances can no longer abort the switch; a veto here is logged
+	// and the component is removed regardless.
+	for _, name := range plan.Stop {
+		if c, ok := m.asm.Component(name); ok {
+			if err := c.Stop(); err != nil {
+				m.log.Emit(m.clock(), trace.KindInfo, "adaptivity-mgr",
+					"post-commit stop of %s failed: %v (removed anyway)", name, err)
+			}
+			m.stats.Stops++
+		}
+		if err := m.asm.Remove(name); err != nil {
+			m.log.Emit(m.clock(), trace.KindInfo, "adaptivity-mgr", "remove %s: %v", name, err)
+		}
+	}
+
+	m.stats.Switches++
+	m.stats.LastLatency = m.clock() - start
+	m.log.Emit(m.clock(), trace.KindSwitch, "adaptivity-mgr", "committed %s -> %s", plan.From, plan.To)
+	return nil
+}
+
+// Migrate moves a stateful component's execution state from one
+// assembly to a replacement component (typically on another node's
+// assembly): quiesce → capture → restore into the replacement → start
+// replacement → stop original. This is Table 2's SWITCH — "not only
+// should the Adaptivity Manager save the data state, but also the
+// processing state, as it is this that is about to migrate".
+func (m *Manager) Migrate(name string, from *component.Assembly, replacement *component.Component, to *component.Assembly) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src, ok := from.Component(name)
+	if !ok {
+		return fmt.Errorf("adapt: migrate: %w %q", component.ErrUnknown, name)
+	}
+	sf, ok := src.StatefulPart()
+	if !ok {
+		return fmt.Errorf("adapt: migrate %q: %w", name, component.ErrNotStateful)
+	}
+	rf, ok := replacement.StatefulPart()
+	if !ok {
+		return fmt.Errorf("adapt: migrate %q: replacement: %w", name, component.ErrNotStateful)
+	}
+	if err := src.Quiesce(); err != nil {
+		return fmt.Errorf("adapt: migrate %q: %w", name, err)
+	}
+	snap, err := sf.CaptureState()
+	if err != nil {
+		_ = src.Resume()
+		return fmt.Errorf("adapt: migrate %q: capture: %w", name, err)
+	}
+	if err := rf.RestoreState(snap); err != nil {
+		_ = src.Resume()
+		return fmt.Errorf("adapt: migrate %q: restore: %w", name, err)
+	}
+	if err := to.Add(replacement); err != nil {
+		_ = src.Resume()
+		return fmt.Errorf("adapt: migrate %q: %w", name, err)
+	}
+	if err := replacement.Start(); err != nil {
+		_ = to.Remove(replacement.Name())
+		_ = src.Resume()
+		return fmt.Errorf("adapt: migrate %q: start replacement: %w", name, err)
+	}
+	_ = src.Stop()
+	_ = from.Remove(name)
+	m.stats.Migrations++
+	m.log.Emit(m.clock(), trace.KindMigrate, "adaptivity-mgr",
+		"migrated %s (%d state bytes)", name, len(snap))
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// State Manager.
+
+// StateManager is the paper's State Manager component: "the adaptivity
+// manager brings the query to a consistent state maintained by the
+// State Manager component. The query then continues from this point."
+// It is "only called upon" when there is update-bearing or migrating
+// state — stateless reconfigurations never touch it.
+type StateManager struct {
+	mu    sync.Mutex
+	snaps map[string][]byte
+	log   *trace.Log
+	clock func() float64
+}
+
+// NewStateManager returns an empty state manager.
+func NewStateManager(log *trace.Log, clock func() float64) *StateManager {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	if log == nil {
+		log = trace.New()
+	}
+	return &StateManager{snaps: map[string][]byte{}, log: log, clock: clock}
+}
+
+// Capture snapshots a stateful component under its name.
+func (s *StateManager) Capture(name string, sf component.Stateful) error {
+	b, err := sf.CaptureState()
+	if err != nil {
+		return fmt.Errorf("adapt: capture %q: %w", name, err)
+	}
+	s.mu.Lock()
+	s.snaps[name] = append([]byte(nil), b...)
+	s.mu.Unlock()
+	s.log.Emit(s.clock(), trace.KindSafePoint, "state-mgr", "captured %s (%d bytes)", name, len(b))
+	return nil
+}
+
+// Restore reinstates the last snapshot of name into sf.
+func (s *StateManager) Restore(name string, sf component.Stateful) error {
+	s.mu.Lock()
+	b, ok := s.snaps[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("adapt: no snapshot for %q", name)
+	}
+	if err := sf.RestoreState(b); err != nil {
+		return fmt.Errorf("adapt: restore %q: %w", name, err)
+	}
+	return nil
+}
+
+// Snapshot returns the raw last snapshot of name.
+func (s *StateManager) Snapshot(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.snaps[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// Drop discards the snapshot of name.
+func (s *StateManager) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.snaps, name)
+}
+
+// Count returns the number of held snapshots.
+func (s *StateManager) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.snaps)
+}

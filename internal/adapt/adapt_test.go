@@ -1,0 +1,389 @@
+package adapt
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/component"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+func dockedAssembly(t *testing.T) (*component.Assembly, *adl.Model, Factory, *Manager) {
+	t.Helper()
+	model := adl.MustParse(adl.Figure4)
+	asm := component.NewAssembly(trace.New(), nil)
+	factory := TypeFactory(model, nil)
+	if err := Instantiate(asm, model, "docked", factory); err != nil {
+		t.Fatal(err)
+	}
+	am := NewManager(asm, asm.Log(), nil)
+	return asm, model, factory, am
+}
+
+func bindingSet(asm *component.Assembly) map[string]string {
+	out := map[string]string{}
+	for _, b := range asm.Bindings() {
+		out[b.FromComp+"."+b.FromPort] = b.ToComp + "." + b.ToPort
+	}
+	return out
+}
+
+func TestInstantiateDocked(t *testing.T) {
+	asm, _, _, _ := dockedAssembly(t)
+	if errs := asm.Validate(); len(errs) != 0 {
+		t.Fatalf("docked assembly invalid: %v", errs)
+	}
+	want := []string{"eth", "opt", "qm", "sm", "src"}
+	if got := asm.Components(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("components = %v", got)
+	}
+	for _, n := range want {
+		c, _ := asm.Component(n)
+		if c.State() != component.Started {
+			t.Errorf("%s state = %v", n, c.State())
+		}
+	}
+}
+
+func TestApplyFigure5Switchover(t *testing.T) {
+	asm, model, factory, am := dockedAssembly(t)
+	plan, err := model.Diff("docked", "wireless")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := am.Apply(plan, factory); err != nil {
+		t.Fatal(err)
+	}
+	// Retired instances gone, new ones live.
+	if _, ok := asm.Component("opt"); ok {
+		t.Error("opt survived")
+	}
+	if _, ok := asm.Component("eth"); ok {
+		t.Error("eth survived")
+	}
+	for _, n := range []string{"wopt", "wifi"} {
+		c, ok := asm.Component(n)
+		if !ok || c.State() != component.Started {
+			t.Errorf("%s missing or not started", n)
+		}
+	}
+	// Survivors resumed.
+	for _, n := range []string{"qm", "sm", "src"} {
+		c, _ := asm.Component(n)
+		if c.State() != component.Started {
+			t.Errorf("%s state = %v", n, c.State())
+		}
+	}
+	// Wiring matches the wireless configuration exactly.
+	bs := bindingSet(asm)
+	want := map[string]string{
+		"qm.pages":   "src.pages",
+		"qm.plan":    "wopt.plan",
+		"wopt.stats": "sm.stats",
+		"sm.net":     "wifi.net",
+		"src.net":    "wifi.net",
+	}
+	if !reflect.DeepEqual(bs, want) {
+		t.Fatalf("bindings = %v, want %v", bs, want)
+	}
+	if errs := asm.Validate(); len(errs) != 0 {
+		t.Fatalf("post-switch invalid: %v", errs)
+	}
+	st := am.Stats()
+	if st.Switches != 1 || st.Starts != 2 || st.Stops != 2 || st.Rollbacks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if asm.Log().Count(trace.KindSwitch) != 1 {
+		t.Fatalf("trace: %s", asm.Log().Summary())
+	}
+}
+
+func TestApplyEmptyPlanNoop(t *testing.T) {
+	asm, model, factory, am := dockedAssembly(t)
+	before := bindingSet(asm)
+	plan, _ := model.Diff("docked", "docked")
+	if err := am.Apply(plan, factory); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, bindingSet(asm)) {
+		t.Fatal("noop plan changed bindings")
+	}
+	if am.Stats().Switches != 0 {
+		t.Fatal("empty plan counted as switch")
+	}
+}
+
+func TestApplyNoFactory(t *testing.T) {
+	_, model, _, am := dockedAssembly(t)
+	plan, _ := model.Diff("docked", "wireless")
+	if err := am.Apply(plan, nil); !errors.Is(err, ErrNoFactory) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func snapshotConfig(asm *component.Assembly) (comps []string, binds map[string]string, states map[string]component.State) {
+	comps = asm.Components()
+	binds = bindingSet(asm)
+	states = map[string]component.State{}
+	for _, n := range comps {
+		c, _ := asm.Component(n)
+		states[n] = c.State()
+	}
+	return
+}
+
+func TestRollbackOnFactoryFailure(t *testing.T) {
+	asm, model, factory, am := dockedAssembly(t)
+	wantComps, wantBinds, wantStates := snapshotConfig(asm)
+
+	failing := func(inst adl.InstDecl) (*component.Component, error) {
+		if inst.Name == "wifi" {
+			return nil, fmt.Errorf("wireless driver not retrievable")
+		}
+		return factory(inst)
+	}
+	plan, _ := model.Diff("docked", "wireless")
+	err := am.Apply(plan, failing)
+	var se *SwitchError
+	if !errors.As(err, &se) {
+		t.Fatalf("want SwitchError, got %v", err)
+	}
+	if !se.RolledBack || se.Phase != "start" {
+		t.Fatalf("switch error = %+v", se)
+	}
+	gotComps, gotBinds, gotStates := snapshotConfig(asm)
+	if !reflect.DeepEqual(gotComps, wantComps) {
+		t.Fatalf("components after rollback = %v, want %v", gotComps, wantComps)
+	}
+	if !reflect.DeepEqual(gotBinds, wantBinds) {
+		t.Fatalf("bindings after rollback = %v, want %v", gotBinds, wantBinds)
+	}
+	if !reflect.DeepEqual(gotStates, wantStates) {
+		t.Fatalf("states after rollback = %v, want %v", gotStates, wantStates)
+	}
+	if am.Stats().Rollbacks != 1 || am.Stats().Switches != 0 {
+		t.Fatalf("stats = %+v", am.Stats())
+	}
+	if asm.Log().Count(trace.KindRollback) != 1 {
+		t.Fatal("rollback not traced")
+	}
+	// The configuration must still be fully functional.
+	if errs := asm.Validate(); len(errs) != 0 {
+		t.Fatalf("post-rollback invalid: %v", errs)
+	}
+}
+
+func TestRollbackOnQuiesceVeto(t *testing.T) {
+	asm, model, factory, am := dockedAssembly(t)
+	// Replace qm with one that refuses to quiesce.
+	_ = asm.Remove("qm")
+	veto := errors.New("mid-transaction, not safe")
+	qm := component.New("qm").
+		Require("plan", "optimise").Require("pages", "getpage").
+		Provide("query", "query", func(component.Request) (any, error) { return nil, nil }).
+		WithLifecycle(component.Lifecycle{OnQuiesce: func() error { return veto }})
+	_ = asm.Add(qm)
+	_ = qm.Start()
+	_ = asm.Bind("qm", "plan", "opt", "plan")
+	_ = asm.Bind("qm", "pages", "src", "pages")
+
+	plan, _ := model.Diff("docked", "wireless")
+	err := am.Apply(plan, factory)
+	var se *SwitchError
+	if !errors.As(err, &se) || se.Phase != "quiesce" || !errors.Is(err, veto) {
+		t.Fatalf("got %v", err)
+	}
+	if qm.State() != component.Started {
+		t.Fatal("qm must still be running")
+	}
+	if errs := asm.Validate(); len(errs) != 0 {
+		t.Fatalf("post-veto invalid: %v", errs)
+	}
+}
+
+func TestRollbackResumesQuiescedSurvivors(t *testing.T) {
+	asm, model, factory, am := dockedAssembly(t)
+	failing := func(inst adl.InstDecl) (*component.Component, error) {
+		if inst.Name == "wopt" {
+			return nil, errors.New("nope")
+		}
+		return factory(inst)
+	}
+	plan, _ := model.Diff("docked", "wireless")
+	_ = am.Apply(plan, failing)
+	for _, n := range []string{"qm", "sm", "src", "opt", "eth"} {
+		c, ok := asm.Component(n)
+		if !ok {
+			t.Fatalf("%s missing after rollback", n)
+		}
+		if c.State() != component.Started {
+			t.Errorf("%s = %v, want started", n, c.State())
+		}
+	}
+}
+
+func TestApplyCapturesStatefulSurvivors(t *testing.T) {
+	asm, model, factory, am := dockedAssembly(t)
+	// Make src stateful: its snapshot must be taken across the switch.
+	_ = asm.Remove("src")
+	ms := &memState{val: []byte("stream-pos=42")}
+	src := component.New("src").
+		Provide("pages", "getpage", func(component.Request) (any, error) { return nil, nil }).
+		Require("net", "net").
+		WithStateful(ms)
+	_ = asm.Add(src)
+	_ = src.Start()
+	_ = asm.Bind("src", "net", "eth", "net")
+	_ = asm.Bind("qm", "pages", "src", "pages")
+
+	plan, _ := model.Diff("docked", "wireless")
+	if err := am.Apply(plan, factory); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := am.StateManager().Snapshot("src")
+	if !ok || string(snap) != "stream-pos=42" {
+		t.Fatalf("snapshot = %q %v", snap, ok)
+	}
+}
+
+type memState struct{ val []byte }
+
+func (m *memState) CaptureState() ([]byte, error) { return append([]byte(nil), m.val...), nil }
+func (m *memState) RestoreState(b []byte) error   { m.val = append([]byte(nil), b...); return nil }
+
+type brokenState struct{}
+
+func (brokenState) CaptureState() ([]byte, error) { return nil, errors.New("capture broken") }
+func (brokenState) RestoreState([]byte) error     { return errors.New("restore broken") }
+
+func TestMigrateMovesProcessingState(t *testing.T) {
+	log := trace.New()
+	from := component.NewAssembly(log, nil)
+	to := component.NewAssembly(log, nil)
+	st := &memState{val: []byte("served=1234")}
+	agent := component.New("agent").WithStateful(st).
+		Provide("serve", "http", func(component.Request) (any, error) { return nil, nil })
+	_ = from.Add(agent)
+	_ = agent.Start()
+
+	replacementState := &memState{}
+	repl := component.New("agent").WithStateful(replacementState).
+		Provide("serve", "http", func(component.Request) (any, error) { return nil, nil })
+
+	am := NewManager(from, log, nil)
+	if err := am.Migrate("agent", from, repl, to); err != nil {
+		t.Fatal(err)
+	}
+	if string(replacementState.val) != "served=1234" {
+		t.Fatalf("state = %q", replacementState.val)
+	}
+	if _, ok := from.Component("agent"); ok {
+		t.Fatal("agent still on source")
+	}
+	c, ok := to.Component("agent")
+	if !ok || c.State() != component.Started {
+		t.Fatal("replacement not running on target")
+	}
+	if am.Stats().Migrations != 1 {
+		t.Fatalf("stats = %+v", am.Stats())
+	}
+	if log.Count(trace.KindMigrate) != 1 {
+		t.Fatal("migration not traced")
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	log := trace.New()
+	from := component.NewAssembly(log, nil)
+	to := component.NewAssembly(log, nil)
+	am := NewManager(from, log, nil)
+
+	// Unknown component.
+	if err := am.Migrate("ghost", from, component.New("x"), to); !errors.Is(err, component.ErrUnknown) {
+		t.Fatalf("got %v", err)
+	}
+	// Not stateful.
+	plain := component.New("plain")
+	_ = from.Add(plain)
+	_ = plain.Start()
+	if err := am.Migrate("plain", from, component.New("plain"), to); !errors.Is(err, component.ErrNotStateful) {
+		t.Fatalf("got %v", err)
+	}
+	// Capture failure resumes the source.
+	bad := component.New("bad").WithStateful(brokenState{})
+	_ = from.Add(bad)
+	_ = bad.Start()
+	repl := component.New("bad").WithStateful(&memState{})
+	if err := am.Migrate("bad", from, repl, to); err == nil {
+		t.Fatal("want capture error")
+	}
+	if bad.State() != component.Started {
+		t.Fatal("source not resumed after failed capture")
+	}
+}
+
+func TestStateManagerLifecycle(t *testing.T) {
+	sm := NewStateManager(nil, nil)
+	ms := &memState{val: []byte("abc")}
+	if err := sm.Capture("x", ms); err != nil {
+		t.Fatal(err)
+	}
+	if sm.Count() != 1 {
+		t.Fatalf("count = %d", sm.Count())
+	}
+	ms.val = []byte("changed")
+	if err := sm.Restore("x", ms); err != nil {
+		t.Fatal(err)
+	}
+	if string(ms.val) != "abc" {
+		t.Fatalf("restored = %q", ms.val)
+	}
+	if err := sm.Restore("ghost", ms); err == nil {
+		t.Fatal("want missing-snapshot error")
+	}
+	if err := sm.Capture("bad", brokenState{}); err == nil {
+		t.Fatal("want capture error")
+	}
+	if err := sm.Restore("x", brokenState{}); err == nil {
+		t.Fatal("want restore error")
+	}
+	sm.Drop("x")
+	if _, ok := sm.Snapshot("x"); ok || sm.Count() != 0 {
+		t.Fatal("drop failed")
+	}
+}
+
+func TestTypeFactoryUnknownType(t *testing.T) {
+	model := adl.MustParse(adl.Figure4)
+	f := TypeFactory(model, nil)
+	if _, err := f(adl.InstDecl{Name: "x", Type: "Ghost"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestTypeFactoryCustomImpl(t *testing.T) {
+	model := adl.MustParse(`component A { provide p : s; }`)
+	f := TypeFactory(model, func(typeName, port string) component.Handler {
+		if typeName == "A" && port == "p" {
+			return func(component.Request) (any, error) { return "custom", nil }
+		}
+		return nil
+	})
+	c, err := f(adl.InstDecl{Name: "a", Type: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := component.NewAssembly(nil, nil)
+	_ = asm.Add(c)
+	d := component.New("d").Require("out", "s")
+	_ = asm.Add(d)
+	_ = asm.Bind("d", "out", "a", "p")
+	_ = asm.StartAll()
+	got, err := asm.Call("d", "out", component.Request{})
+	if err != nil || got != "custom" {
+		t.Fatalf("got %v %v", got, err)
+	}
+}

@@ -1,0 +1,70 @@
+package adapt
+
+import (
+	"fmt"
+
+	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/component"
+)
+
+// Instantiate boots an assembly into a model's configuration for the
+// given mode: every instance is built by the factory, added, started,
+// and every binding wired. It is the cold-boot counterpart of Apply
+// (which handles differential reconfiguration).
+func Instantiate(asm *component.Assembly, model *adl.Model, mode string, factory Factory) error {
+	cfg, err := model.ConfigFor(mode)
+	if err != nil {
+		return err
+	}
+	for _, name := range cfg.InstNames() {
+		inst := cfg.Insts[name]
+		c, err := factory(inst)
+		if err != nil {
+			return fmt.Errorf("adapt: instantiate %s:%s: %w", inst.Name, inst.Type, err)
+		}
+		if err := asm.Add(c); err != nil {
+			return err
+		}
+		if err := c.Start(); err != nil {
+			return err
+		}
+	}
+	for _, b := range cfg.BindList() {
+		if err := asm.Bind(b.From, b.FromPort, b.To, b.ToPort); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TypeFactory builds a generic Factory from an ADL model: each
+// instance gets a component whose ports mirror its declared type,
+// with provided ports backed by the handler returned by impl (keyed
+// by type and port name; a nil handler echoes the request payload).
+// Real systems register purposeful implementations; tests and the
+// scenario harness use this to stand components up structurally.
+func TypeFactory(model *adl.Model, impl func(typeName, port string) component.Handler) Factory {
+	return func(inst adl.InstDecl) (*component.Component, error) {
+		t, ok := model.Types[inst.Type]
+		if !ok {
+			return nil, fmt.Errorf("adapt: unknown type %q", inst.Type)
+		}
+		c := component.New(inst.Name)
+		c.Meta["type"] = inst.Type
+		for _, p := range t.Ports {
+			if p.Provided {
+				var h component.Handler
+				if impl != nil {
+					h = impl(inst.Type, p.Name)
+				}
+				if h == nil {
+					h = func(req component.Request) (any, error) { return req.Payload, nil }
+				}
+				c.Provide(p.Name, component.Service(p.Service), h)
+			} else {
+				c.Require(p.Name, component.Service(p.Service))
+			}
+		}
+		return c, nil
+	}
+}

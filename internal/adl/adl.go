@@ -1,0 +1,428 @@
+// Package adl implements a Darwin-style architecture description
+// language (Magee et al., cited as [22] by the paper). "An ADL can
+// give a global view of the system and when augmented with
+// constraints, the validity of change (the reconfiguration of
+// components) can potentially be evaluated at runtime" (§3).
+//
+// The textual grammar corresponds to the graphical form of Figures 4
+// and 5: component types declare provided (filled circle) and
+// required (empty circle) services; instances and bindings describe a
+// configuration; `when <mode>` blocks overlay mode-specific instances
+// and bindings (docked vs wireless), and diffing two modes yields the
+// unbind/rebind plan the Adaptivity Manager executes.
+//
+// Grammar:
+//
+//	model    = { decl }
+//	decl     = "component" NAME "{" { port } "}"
+//	         | "inst" NAME ":" NAME ";"
+//	         | "bind" ref "--" ref ";"
+//	         | "when" NAME "{" { inst | bind } "}"
+//	port     = ("provide"|"require") NAME ":" NAME ";"
+//	ref      = NAME "." NAME
+//
+// Comments run from "//" to end of line.
+package adl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// PortDecl is one service endpoint on a component type.
+type PortDecl struct {
+	Name     string
+	Service  string
+	Provided bool // true = filled circle, false = empty circle
+}
+
+func (p PortDecl) String() string {
+	kw := "require"
+	if p.Provided {
+		kw = "provide"
+	}
+	return fmt.Sprintf("%s %s : %s;", kw, p.Name, p.Service)
+}
+
+// ComponentType declares a reusable component with its ports.
+type ComponentType struct {
+	Name  string
+	Ports []PortDecl
+}
+
+// Port finds a port by name.
+func (t *ComponentType) Port(name string) (PortDecl, bool) {
+	for _, p := range t.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PortDecl{}, false
+}
+
+// InstDecl instantiates a component type under a local name.
+type InstDecl struct {
+	Name string
+	Type string
+}
+
+func (i InstDecl) String() string { return fmt.Sprintf("inst %s : %s;", i.Name, i.Type) }
+
+// BindDecl wires From.FromPort (required) to To.ToPort (provided).
+type BindDecl struct {
+	From, FromPort string
+	To, ToPort     string
+}
+
+func (b BindDecl) String() string {
+	return fmt.Sprintf("bind %s.%s -- %s.%s;", b.From, b.FromPort, b.To, b.ToPort)
+}
+
+// Key identifies the bound require-endpoint (a require port may carry
+// at most one wire in any configuration).
+func (b BindDecl) Key() string { return b.From + "." + b.FromPort }
+
+// Mode is a `when` overlay: extra instances and bindings active only
+// in that mode.
+type Mode struct {
+	Name  string
+	Insts []InstDecl
+	Binds []BindDecl
+}
+
+// Model is a parsed ADL compilation unit.
+type Model struct {
+	Types map[string]*ComponentType
+	// Insts/Binds are the base (always-active) configuration.
+	Insts []InstDecl
+	Binds []BindDecl
+	Modes map[string]*Mode
+	// order preserves declaration order for rendering.
+	typeOrder []string
+	modeOrder []string
+}
+
+// ParseError reports a syntax or semantic error with line information.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("adl: line %d: %s", e.Line, e.Msg)
+}
+
+// ---------------------------------------------------------------------------
+// Lexer.
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tLBrace
+	tRBrace
+	tColon
+	tSemi
+	tDot
+	tWire // --
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, token{tRBrace, "}", line})
+			i++
+		case c == ':':
+			toks = append(toks, token{tColon, ":", line})
+			i++
+		case c == ';':
+			toks = append(toks, token{tSemi, ";", line})
+			i++
+		case c == '.':
+			toks = append(toks, token{tDot, ".", line})
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			toks = append(toks, token{tWire, "--", line})
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '-') {
+				// a "--" wire must not be swallowed by an identifier
+				if src[j] == '-' && j+1 < len(src) && src[j+1] == '-' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tEOF, "", line})
+	return toks, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return token{}, &ParseError{Line: t.line, Msg: fmt.Sprintf("expected %s, got %q", what, t.text)}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) ident(what string) (token, error) { return p.expect(tIdent, what) }
+
+// Parse compiles ADL source into a Model (syntax only; call Validate
+// for semantic checks).
+func Parse(src string) (*Model, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m := &Model{Types: map[string]*ComponentType{}, Modes: map[string]*Mode{}}
+	for p.peek().kind != tEOF {
+		t, err := p.ident("declaration keyword")
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "component":
+			if err := p.componentDecl(m); err != nil {
+				return nil, err
+			}
+		case "inst":
+			d, err := p.instDecl()
+			if err != nil {
+				return nil, err
+			}
+			m.Insts = append(m.Insts, d)
+		case "bind":
+			d, err := p.bindDecl()
+			if err != nil {
+				return nil, err
+			}
+			m.Binds = append(m.Binds, d)
+		case "when":
+			if err := p.whenDecl(m); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, &ParseError{Line: t.line, Msg: fmt.Sprintf("unknown declaration %q", t.text)}
+		}
+	}
+	return m, nil
+}
+
+// MustParse panics on error; for fixtures.
+func MustParse(src string) *Model {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (p *parser) componentDecl(m *Model) error {
+	name, err := p.ident("component name")
+	if err != nil {
+		return err
+	}
+	if _, dup := m.Types[name.text]; dup {
+		return &ParseError{Line: name.line, Msg: fmt.Sprintf("duplicate component type %q", name.text)}
+	}
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return err
+	}
+	ct := &ComponentType{Name: name.text}
+	for p.peek().kind != tRBrace {
+		kw, err := p.ident("provide/require")
+		if err != nil {
+			return err
+		}
+		if kw.text != "provide" && kw.text != "require" {
+			return &ParseError{Line: kw.line, Msg: fmt.Sprintf("expected provide/require, got %q", kw.text)}
+		}
+		pn, err := p.ident("port name")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tColon, "':'"); err != nil {
+			return err
+		}
+		svc, err := p.ident("service name")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tSemi, "';'"); err != nil {
+			return err
+		}
+		if _, dup := ct.Port(pn.text); dup {
+			return &ParseError{Line: pn.line, Msg: fmt.Sprintf("duplicate port %q on %q", pn.text, ct.Name)}
+		}
+		ct.Ports = append(ct.Ports, PortDecl{Name: pn.text, Service: svc.text, Provided: kw.text == "provide"})
+	}
+	p.next() // }
+	m.Types[ct.Name] = ct
+	m.typeOrder = append(m.typeOrder, ct.Name)
+	return nil
+}
+
+func (p *parser) instDecl() (InstDecl, error) {
+	name, err := p.ident("instance name")
+	if err != nil {
+		return InstDecl{}, err
+	}
+	if _, err := p.expect(tColon, "':'"); err != nil {
+		return InstDecl{}, err
+	}
+	typ, err := p.ident("type name")
+	if err != nil {
+		return InstDecl{}, err
+	}
+	if _, err := p.expect(tSemi, "';'"); err != nil {
+		return InstDecl{}, err
+	}
+	return InstDecl{Name: name.text, Type: typ.text}, nil
+}
+
+func (p *parser) ref() (string, string, error) {
+	comp, err := p.ident("instance name")
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(tDot, "'.'"); err != nil {
+		return "", "", err
+	}
+	port, err := p.ident("port name")
+	if err != nil {
+		return "", "", err
+	}
+	return comp.text, port.text, nil
+}
+
+func (p *parser) bindDecl() (BindDecl, error) {
+	fc, fp, err := p.ref()
+	if err != nil {
+		return BindDecl{}, err
+	}
+	if _, err := p.expect(tWire, "'--'"); err != nil {
+		return BindDecl{}, err
+	}
+	tc, tp, err := p.ref()
+	if err != nil {
+		return BindDecl{}, err
+	}
+	if _, err := p.expect(tSemi, "';'"); err != nil {
+		return BindDecl{}, err
+	}
+	return BindDecl{From: fc, FromPort: fp, To: tc, ToPort: tp}, nil
+}
+
+func (p *parser) whenDecl(m *Model) error {
+	name, err := p.ident("mode name")
+	if err != nil {
+		return err
+	}
+	if _, dup := m.Modes[name.text]; dup {
+		return &ParseError{Line: name.line, Msg: fmt.Sprintf("duplicate mode %q", name.text)}
+	}
+	if _, err := p.expect(tLBrace, "'{'"); err != nil {
+		return err
+	}
+	mode := &Mode{Name: name.text}
+	for p.peek().kind != tRBrace {
+		kw, err := p.ident("inst/bind")
+		if err != nil {
+			return err
+		}
+		switch kw.text {
+		case "inst":
+			d, err := p.instDecl()
+			if err != nil {
+				return err
+			}
+			mode.Insts = append(mode.Insts, d)
+		case "bind":
+			d, err := p.bindDecl()
+			if err != nil {
+				return err
+			}
+			mode.Binds = append(mode.Binds, d)
+		default:
+			return &ParseError{Line: kw.line, Msg: fmt.Sprintf("only inst/bind allowed in when-block, got %q", kw.text)}
+		}
+	}
+	p.next() // }
+	m.Modes[name.text] = mode
+	m.modeOrder = append(m.modeOrder, name.text)
+	return nil
+}
+
+// Render emits the model back as canonical ADL text.
+func (m *Model) Render() string {
+	var b strings.Builder
+	for _, tn := range m.typeOrder {
+		t := m.Types[tn]
+		fmt.Fprintf(&b, "component %s {\n", t.Name)
+		for _, p := range t.Ports {
+			fmt.Fprintf(&b, "  %s\n", p)
+		}
+		b.WriteString("}\n")
+	}
+	for _, i := range m.Insts {
+		fmt.Fprintln(&b, i)
+	}
+	for _, bd := range m.Binds {
+		fmt.Fprintln(&b, bd)
+	}
+	for _, mn := range m.modeOrder {
+		mode := m.Modes[mn]
+		fmt.Fprintf(&b, "when %s {\n", mode.Name)
+		for _, i := range mode.Insts {
+			fmt.Fprintf(&b, "  %s\n", i)
+		}
+		for _, bd := range mode.Binds {
+			fmt.Fprintf(&b, "  %s\n", bd)
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,392 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseFigure4(t *testing.T) {
+	m, err := Parse(Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Types) != 7 {
+		t.Fatalf("types = %d, want 7", len(m.Types))
+	}
+	if len(m.Insts) != 3 || len(m.Binds) != 1 {
+		t.Fatalf("base: %d insts %d binds", len(m.Insts), len(m.Binds))
+	}
+	if len(m.Modes) != 2 {
+		t.Fatalf("modes = %d", len(m.Modes))
+	}
+	qm := m.Types["QueryMgr"]
+	p, ok := qm.Port("plan")
+	if !ok || p.Provided || p.Service != "optimise" {
+		t.Fatalf("QueryMgr.plan = %+v %v", p, ok)
+	}
+	q, _ := qm.Port("query")
+	if !q.Provided {
+		t.Fatal("QueryMgr.query must be provided")
+	}
+}
+
+func TestFigure4Validates(t *testing.T) {
+	m := MustParse(Figure4)
+	if errs := m.Validate(); len(errs) != 0 {
+		t.Fatalf("figure 4 invalid: %v", errs)
+	}
+}
+
+func TestValidateCatchesUnknownType(t *testing.T) {
+	m := MustParse(`inst a : Nothing;`)
+	errs := m.Validate()
+	if len(errs) == 0 || !strings.Contains(errs[0].Error(), "unknown type") {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateCatchesUnboundRequire(t *testing.T) {
+	m := MustParse(`
+component A { require x : s; }
+inst a : A;
+`)
+	errs := m.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "a.x") && strings.Contains(e.Error(), "unbound") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateCatchesDirectionErrors(t *testing.T) {
+	m := MustParse(`
+component A { provide p : s; }
+component B { provide q : s; }
+inst a : A;
+inst b : B;
+bind a.p -- b.q;
+`)
+	errs := m.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "left endpoint must be a required port") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateCatchesServiceMismatch(t *testing.T) {
+	m := MustParse(`
+component A { require x : alpha; }
+component B { provide y : beta; }
+inst a : A;
+inst b : B;
+bind a.x -- b.y;
+`)
+	errs := m.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "service mismatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateCatchesDoubleBinding(t *testing.T) {
+	m := MustParse(`
+component A { require x : s; }
+component B { provide y : s; }
+inst a : A;
+inst b : B;
+inst b2 : B;
+bind a.x -- b.y;
+bind a.x -- b2.y;
+`)
+	errs := m.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "bound more than once") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateCatchesUnknownBindInstance(t *testing.T) {
+	m := MustParse(`
+component A { require x : s; }
+inst a : A;
+bind a.x -- ghost.y;
+`)
+	errs := m.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), `unknown instance "ghost"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestValidateDuplicateInstanceAcrossModeAndBase(t *testing.T) {
+	m := MustParse(`
+component A { provide p : s; }
+inst a : A;
+when w { inst a : A; }
+`)
+	errs := m.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "duplicate instance") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errs = %v", errs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`component {`,
+		`component A { provide ; }`,
+		`component A { banana x : s; }`,
+		`inst a A;`,
+		`bind a.x - b.y;`,
+		`when w { component A {} }`,
+		`frobnicate;`,
+		`component A { provide p : s; provide p : s; }`,
+		`component A {} component A {}`,
+		`when w {} when w {}`,
+		"inst a : A; @",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	m := MustParse(Figure4)
+	docked, err := m.ConfigFor("docked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docked.Insts) != 5 { // qm, sm, src + opt, eth
+		t.Fatalf("docked insts = %v", docked.InstNames())
+	}
+	if len(docked.Binds) != 5 { // qm.pages + 4 mode binds
+		t.Fatalf("docked binds = %v", docked.BindList())
+	}
+	if _, err := m.ConfigFor("flying"); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	base, err := m.ConfigFor("")
+	if err != nil || len(base.Insts) != 3 {
+		t.Fatalf("base config: %v %v", base, err)
+	}
+}
+
+func TestDiffFigure5Switchover(t *testing.T) {
+	m := MustParse(Figure4)
+	plan, err := m.Diff("docked", "wireless")
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(list []string, s string) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(plan.Stop, "opt") || !has(plan.Stop, "eth") {
+		t.Errorf("stop = %v, want opt+eth", plan.Stop)
+	}
+	startNames := []string{}
+	for _, i := range plan.Start {
+		startNames = append(startNames, i.Name)
+	}
+	if !has(startNames, "wopt") || !has(startNames, "wifi") {
+		t.Errorf("start = %v, want wopt+wifi", startNames)
+	}
+	// Survivors whose wiring changes get quiesced: qm, sm, src.
+	for _, n := range []string{"qm", "sm", "src"} {
+		if !has(plan.Quiesce, n) {
+			t.Errorf("quiesce = %v, missing %s", plan.Quiesce, n)
+		}
+	}
+	// qm.pages -- src.pages is unchanged and must NOT be unbound.
+	for _, b := range plan.Unbind {
+		if b.Key() == "qm.pages" {
+			t.Error("stable binding qm.pages must survive the switch")
+		}
+	}
+	if len(plan.Unbind) != 4 || len(plan.Bind) != 4 {
+		t.Errorf("unbind=%d bind=%d, want 4/4", len(plan.Unbind), len(plan.Bind))
+	}
+	if plan.Empty() {
+		t.Error("plan must not be empty")
+	}
+	if len(plan.Steps()) == 0 {
+		t.Error("no steps")
+	}
+}
+
+func TestDiffIdentityIsEmpty(t *testing.T) {
+	m := MustParse(Figure4)
+	plan, err := m.Diff("docked", "docked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("self-diff must be empty: %v", plan.Steps())
+	}
+}
+
+func TestDiffUnknownMode(t *testing.T) {
+	m := MustParse(Figure4)
+	if _, err := m.Diff("docked", "flying"); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := m.Diff("flying", "docked"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	m1 := MustParse(Figure4)
+	text := m1.Render()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("rendered text does not reparse: %v\n%s", err, text)
+	}
+	if m2.Render() != text {
+		t.Fatal("render is not a fixed point")
+	}
+	if len(m2.Types) != len(m1.Types) || len(m2.Modes) != len(m1.Modes) {
+		t.Fatal("round trip lost declarations")
+	}
+}
+
+// Property: for any pair of modes, applying Diff(from,to) to the
+// from-config reproduces exactly the to-config (instances and wires).
+func TestDiffAppliesExactlyProperty(t *testing.T) {
+	m := MustParse(Figure4)
+	modes := []string{"", "docked", "wireless"}
+	f := func(a, b uint8) bool {
+		from := modes[int(a)%len(modes)]
+		to := modes[int(b)%len(modes)]
+		plan, err := m.Diff(from, to)
+		if err != nil {
+			return false
+		}
+		cfg, _ := m.ConfigFor(from)
+		want, _ := m.ConfigFor(to)
+		// apply plan
+		insts := map[string]InstDecl{}
+		for k, v := range cfg.Insts {
+			insts[k] = v
+		}
+		binds := map[string]BindDecl{}
+		for k, v := range cfg.Binds {
+			binds[k] = v
+		}
+		for _, bd := range plan.Unbind {
+			delete(binds, bd.Key())
+		}
+		for _, n := range plan.Stop {
+			delete(insts, n)
+		}
+		for _, i := range plan.Start {
+			insts[i.Name] = i
+		}
+		for _, bd := range plan.Bind {
+			binds[bd.Key()] = bd
+		}
+		if len(insts) != len(want.Insts) || len(binds) != len(want.Binds) {
+			return false
+		}
+		for k, v := range want.Insts {
+			if insts[k] != v {
+				return false
+			}
+		}
+		for k, v := range want.Binds {
+			if binds[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexIdentWithHyphenNotWire(t *testing.T) {
+	m, err := Parse(`
+component A { require x-y : s-t; }
+component B { provide p : s-t; }
+inst a : A;
+inst b : B;
+bind a.x-y -- b.p;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := m.Validate(); len(errs) != 0 {
+		t.Fatalf("hyphenated idents: %v", errs)
+	}
+}
+
+func TestFigure7ValidatesAndSwitches(t *testing.T) {
+	m, err := Parse(Figure7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := m.Validate(); len(errs) != 0 {
+		t.Fatalf("figure 7 invalid: %v", errs)
+	}
+	plan, err := m.Diff("normal", "overloaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Empty() {
+		t.Fatal("flash-crowd switch is empty")
+	}
+	stops := map[string]bool{}
+	for _, n := range plan.Stop {
+		stops[n] = true
+	}
+	if !stops["agent1"] || !stops["store1"] {
+		t.Fatalf("stop = %v", plan.Stop)
+	}
+	// The dispatcher survives and is quiesced across the migration.
+	found := false
+	for _, q := range plan.Quiesce {
+		if q == "disp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quiesce = %v", plan.Quiesce)
+	}
+}

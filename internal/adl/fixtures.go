@@ -1,0 +1,117 @@
+package adl
+
+// Figure4 is the ADL rendering of the paper's Figure 4 ("Darwin
+// description of mobile CBMS") together with the Figure 5 switchover:
+// the docked session binds the standard optimiser and the Ethernet
+// driver; the wireless session swaps in the wireless optimiser and
+// the wireless device driver. The query manager, session manager and
+// stream source survive the switch and are only quiesced across it.
+const Figure4 = `
+// Figure 4: component-based management system within the Laptop.
+component QueryMgr {
+  provide query : query;
+  require plan  : optimise;
+  require pages : getpage;
+}
+component SessionMgr {
+  provide stats : monitor;
+  require net   : net;
+}
+component StreamSource {
+  provide pages : getpage;
+  require net   : net;
+}
+component Optimiser {          // docked: assumes stable high bandwidth
+  provide plan  : optimise;
+  require stats : monitor;
+}
+component WirelessOptimiser {  // amends plans for variable bandwidth
+  provide plan  : optimise;
+  require stats : monitor;
+}
+component EthernetDriver {
+  provide net : net;
+}
+component WirelessDriver {
+  provide net : net;
+}
+
+inst qm  : QueryMgr;
+inst sm  : SessionMgr;
+inst src : StreamSource;
+bind qm.pages -- src.pages;
+
+when docked {
+  inst opt : Optimiser;
+  inst eth : EthernetDriver;
+  bind qm.plan   -- opt.plan;
+  bind opt.stats -- sm.stats;
+  bind sm.net    -- eth.net;
+  bind src.net   -- eth.net;
+}
+
+when wireless {
+  inst wopt : WirelessOptimiser;
+  inst wifi : WirelessDriver;
+  bind qm.plan    -- wopt.plan;
+  bind wopt.stats -- sm.stats;
+  bind sm.net     -- wifi.net;
+  bind src.net    -- wifi.net;
+}
+`
+
+// Figure7 is the ADL rendering of the paper's Figure 7 ("Overview of
+// the Patia Webserver architecture"): requests enter through a
+// dispatcher, service agents find atoms in the replicated store and
+// serve them, with the session monitor and adaptivity manager wired
+// in as first-class components. The `overloaded` mode is the flash-
+// crowd configuration after constraint 455 migrates the agent.
+const Figure7 = `
+// Figure 7: the Patia webserver as components.
+component Dispatcher {
+  provide http   : http-in;
+  require serve  : atom-serve;
+}
+component ServiceAgent {
+  provide serve  : atom-serve;
+  require atoms  : atom-store;
+  require state  : state-mgr;
+}
+component AtomStore {
+  provide atoms : atom-store;
+}
+component SessionMonitor {
+  provide stats   : monitor;
+  require metrics : raw-metrics;
+}
+component NodeMonitor {
+  provide metrics : raw-metrics;
+}
+component AdaptivityMgr {
+  provide state : state-mgr;
+  require stats : monitor;
+}
+
+inst disp  : Dispatcher;
+inst sm    : SessionMonitor;
+inst nm    : NodeMonitor;
+inst am    : AdaptivityMgr;
+bind sm.metrics -- nm.metrics;
+bind am.stats   -- sm.stats;
+
+when normal {
+  inst agent1  : ServiceAgent;
+  inst store1  : AtomStore;
+  bind disp.serve   -- agent1.serve;
+  bind agent1.atoms -- store1.atoms;
+  bind agent1.state -- am.state;
+}
+
+when overloaded {
+  inst agent2  : ServiceAgent;  // migrated replica of the agent
+  inst store2  : AtomStore;
+  bind disp.serve   -- agent2.serve;
+  bind agent2.atoms -- store2.atoms;
+  bind agent2.state -- am.state;
+}
+`

@@ -1,0 +1,318 @@
+package adl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config is a flattened configuration: the base instances/bindings
+// plus one mode's overlay. This is what Figure 4 shows for "docked"
+// and Figure 5 contrasts between docked and wireless sessions.
+type Config struct {
+	Mode  string
+	Insts map[string]InstDecl // by instance name
+	Binds map[string]BindDecl // by require-endpoint key
+}
+
+// InstNames returns the configuration's instance names, sorted.
+func (c *Config) InstNames() []string {
+	out := make([]string, 0, len(c.Insts))
+	for n := range c.Insts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BindList returns the configuration's bindings, sorted by key.
+func (c *Config) BindList() []BindDecl {
+	keys := make([]string, 0, len(c.Binds))
+	for k := range c.Binds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]BindDecl, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, c.Binds[k])
+	}
+	return out
+}
+
+// Validate performs the semantic checks the paper expects an ADL to
+// give "so as to reason about" an architecture: instance types exist;
+// binding endpoints exist with the right directions; service types
+// match; no require port is bound twice within one configuration; and
+// every require port of every configuration is bound (completeness).
+func (m *Model) Validate() []error {
+	var errs []error
+	addErr := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("adl: "+format, args...))
+	}
+
+	checkInsts := func(where string, insts []InstDecl, seen map[string]bool) {
+		for _, i := range insts {
+			if seen[i.Name] {
+				addErr("%s: duplicate instance %q", where, i.Name)
+			}
+			seen[i.Name] = true
+			if _, ok := m.Types[i.Type]; !ok {
+				addErr("%s: instance %q has unknown type %q", where, i.Name, i.Type)
+			}
+		}
+	}
+
+	baseSeen := map[string]bool{}
+	checkInsts("base", m.Insts, baseSeen)
+
+	modes := m.modeNames()
+	if len(modes) == 0 {
+		// Pure base model: validate base bindings as the only config.
+		errs = append(errs, m.validateConfig("base", m.Insts, nil, m.Binds, nil)...)
+		return errs
+	}
+	for _, mn := range modes {
+		mode := m.Modes[mn]
+		seen := map[string]bool{}
+		for k := range baseSeen {
+			seen[k] = true
+		}
+		checkInsts("mode "+mn, mode.Insts, seen)
+		errs = append(errs, m.validateConfig("mode "+mn, m.Insts, mode.Insts, m.Binds, mode.Binds)...)
+	}
+	return errs
+}
+
+func (m *Model) validateConfig(where string, baseInsts, modeInsts []InstDecl, baseBinds, modeBinds []BindDecl) []error {
+	var errs []error
+	addErr := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("adl: %s: "+format, append([]any{where}, args...)...))
+	}
+	insts := map[string]InstDecl{}
+	for _, i := range baseInsts {
+		insts[i.Name] = i
+	}
+	for _, i := range modeInsts {
+		insts[i.Name] = i
+	}
+	bound := map[string]bool{}
+	all := append(append([]BindDecl{}, baseBinds...), modeBinds...)
+	for _, b := range all {
+		from, ok := insts[b.From]
+		if !ok {
+			addErr("binding %s: unknown instance %q", b, b.From)
+			continue
+		}
+		to, ok := insts[b.To]
+		if !ok {
+			addErr("binding %s: unknown instance %q", b, b.To)
+			continue
+		}
+		ft, ok := m.Types[from.Type]
+		if !ok {
+			continue // reported by instance check
+		}
+		tt, ok := m.Types[to.Type]
+		if !ok {
+			continue
+		}
+		fp, ok := ft.Port(b.FromPort)
+		if !ok {
+			addErr("binding %s: %q has no port %q", b, from.Type, b.FromPort)
+			continue
+		}
+		tp, ok := tt.Port(b.ToPort)
+		if !ok {
+			addErr("binding %s: %q has no port %q", b, to.Type, b.ToPort)
+			continue
+		}
+		if fp.Provided {
+			addErr("binding %s: left endpoint must be a required port", b)
+		}
+		if !tp.Provided {
+			addErr("binding %s: right endpoint must be a provided port", b)
+		}
+		if fp.Service != tp.Service {
+			addErr("binding %s: service mismatch %q vs %q", b, fp.Service, tp.Service)
+		}
+		if bound[b.Key()] {
+			addErr("require port %s bound more than once", b.Key())
+		}
+		bound[b.Key()] = true
+	}
+	// Completeness: every require port of every instance bound.
+	names := make([]string, 0, len(insts))
+	for n := range insts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		i := insts[n]
+		t, ok := m.Types[i.Type]
+		if !ok {
+			continue
+		}
+		for _, p := range t.Ports {
+			if !p.Provided && !bound[i.Name+"."+p.Name] {
+				addErr("require port %s.%s (%s) is unbound", i.Name, p.Name, p.Service)
+			}
+		}
+	}
+	return errs
+}
+
+func (m *Model) modeNames() []string {
+	out := append([]string(nil), m.modeOrder...)
+	return out
+}
+
+// ModeNames lists declared modes in declaration order.
+func (m *Model) ModeNames() []string { return m.modeNames() }
+
+// ConfigFor flattens the base configuration plus the named mode
+// ("" = base only). Mode bindings override base bindings on the same
+// require endpoint.
+func (m *Model) ConfigFor(mode string) (*Config, error) {
+	c := &Config{Mode: mode, Insts: map[string]InstDecl{}, Binds: map[string]BindDecl{}}
+	for _, i := range m.Insts {
+		c.Insts[i.Name] = i
+	}
+	for _, b := range m.Binds {
+		c.Binds[b.Key()] = b
+	}
+	if mode != "" {
+		mo, ok := m.Modes[mode]
+		if !ok {
+			return nil, fmt.Errorf("adl: unknown mode %q", mode)
+		}
+		for _, i := range mo.Insts {
+			c.Insts[i.Name] = i
+		}
+		for _, b := range mo.Binds {
+			c.Binds[b.Key()] = b
+		}
+	}
+	return c, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration plans (Figure 5: docked → wireless switchover).
+
+// Plan is the ordered reconfiguration recipe the Adaptivity Manager
+// executes transactionally: quiesce the components whose wiring
+// changes, remove old wires and instances, add new ones, resume.
+type Plan struct {
+	From, To string
+	// Quiesce lists instances whose bindings change (either side) and
+	// which survive the switch.
+	Quiesce []string
+	// Unbind lists wires present in From but not in To.
+	Unbind []BindDecl
+	// Stop lists instances present only in From.
+	Stop []string
+	// Start lists instances present only in To.
+	Start []InstDecl
+	// Bind lists wires present in To but not in From.
+	Bind []BindDecl
+	// Resume mirrors Quiesce.
+	Resume []string
+}
+
+// Empty reports whether the plan changes nothing.
+func (p *Plan) Empty() bool {
+	return len(p.Unbind) == 0 && len(p.Stop) == 0 && len(p.Start) == 0 && len(p.Bind) == 0
+}
+
+// Steps renders the plan as ordered human-readable steps.
+func (p *Plan) Steps() []string {
+	var out []string
+	for _, n := range p.Quiesce {
+		out = append(out, "quiesce "+n)
+	}
+	for _, b := range p.Unbind {
+		out = append(out, "unbind "+b.Key())
+	}
+	for _, n := range p.Stop {
+		out = append(out, "stop "+n)
+	}
+	for _, i := range p.Start {
+		out = append(out, "start "+i.Name+":"+i.Type)
+	}
+	for _, b := range p.Bind {
+		out = append(out, "bind "+b.String())
+	}
+	for _, n := range p.Resume {
+		out = append(out, "resume "+n)
+	}
+	return out
+}
+
+// Diff computes the reconfiguration plan that takes the model from
+// one mode's configuration to another's. This is exactly the
+// docked→wireless switchover of Figure 5: "the relevant device driver
+// components will be swapped out and the wireless network driver
+// activated ... the wireless optimisor must activate and amend the
+// query plan accordingly".
+func (m *Model) Diff(fromMode, toMode string) (*Plan, error) {
+	from, err := m.ConfigFor(fromMode)
+	if err != nil {
+		return nil, err
+	}
+	to, err := m.ConfigFor(toMode)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{From: fromMode, To: toMode}
+
+	// Instances.
+	for _, n := range from.InstNames() {
+		if _, ok := to.Insts[n]; !ok {
+			p.Stop = append(p.Stop, n)
+		}
+	}
+	for _, n := range to.InstNames() {
+		if _, ok := from.Insts[n]; !ok {
+			p.Start = append(p.Start, to.Insts[n])
+		}
+	}
+
+	// Bindings: compare by endpoint key and full wire.
+	touched := map[string]bool{}
+	for _, b := range from.BindList() {
+		nb, ok := to.Binds[b.Key()]
+		if !ok || nb != b {
+			p.Unbind = append(p.Unbind, b)
+			touched[b.From] = true
+			touched[b.To] = true
+		}
+	}
+	for _, b := range to.BindList() {
+		ob, ok := from.Binds[b.Key()]
+		if !ok || ob != b {
+			p.Bind = append(p.Bind, b)
+			touched[b.From] = true
+			touched[b.To] = true
+		}
+	}
+
+	// Quiesce: touched instances that exist in both configurations.
+	stopSet := map[string]bool{}
+	for _, n := range p.Stop {
+		stopSet[n] = true
+	}
+	startSet := map[string]bool{}
+	for _, i := range p.Start {
+		startSet[i.Name] = true
+	}
+	var quiesce []string
+	for n := range touched {
+		if !stopSet[n] && !startSet[n] {
+			if _, ok := from.Insts[n]; ok {
+				quiesce = append(quiesce, n)
+			}
+		}
+	}
+	sort.Strings(quiesce)
+	p.Quiesce = quiesce
+	p.Resume = append([]string(nil), quiesce...)
+	return p, nil
+}

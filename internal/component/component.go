@@ -1,0 +1,524 @@
+// Package component implements the paper's fine-grained runtime
+// component model: "components are concrete entities consisting of
+// implementation and interfaces. The boundaries between components are
+// concrete and are present in a running system" (§1.1).
+//
+// A Component exposes provided ports (Darwin's filled circles) and
+// required ports (empty circles); an Assembly holds the running
+// configuration — components plus bindings — and routes every
+// inter-component call through an explicit binding, so configurations
+// can be rebound at run time by the adaptivity manager without the
+// callers noticing anything but a (bounded) quiesce window.
+package component
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// Service is a service type name. A binding is valid only between a
+// required and a provided port of the same Service.
+type Service string
+
+// Port declares one service endpoint on a component.
+type Port struct {
+	Name    string
+	Service Service
+}
+
+func (p Port) String() string { return p.Name + ":" + string(p.Service) }
+
+// Request is one inter-component invocation payload.
+type Request struct {
+	Op      string
+	Args    map[string]any
+	Payload any
+}
+
+// Handler implements a provided port.
+type Handler func(req Request) (any, error)
+
+// State is a component lifecycle state.
+type State int
+
+// Lifecycle states.
+const (
+	// Loaded: constructed, not yet started.
+	Loaded State = iota
+	// Started: accepting calls.
+	Started
+	// Quiesced: at a safe point, rejecting calls (reconfiguration
+	// window). "The switch can be backed off if something goes
+	// wrong" — quiesce is the reversible first phase.
+	Quiesced
+	// Stopped: terminal.
+	Stopped
+)
+
+func (s State) String() string {
+	return [...]string{"loaded", "started", "quiesced", "stopped"}[s]
+}
+
+// Stateful is implemented by components whose execution state must
+// survive migration or replacement; the State Manager calls these.
+type Stateful interface {
+	// CaptureState serialises execution state at a safe point.
+	CaptureState() ([]byte, error)
+	// RestoreState reinstates previously captured state.
+	RestoreState([]byte) error
+}
+
+// Lifecycle carries optional user hooks run on state transitions.
+type Lifecycle struct {
+	OnStart   func() error
+	OnQuiesce func() error
+	OnResume  func() error
+	OnStop    func() error
+}
+
+// Component is one fine-grained unit: implementation (handlers) plus
+// concrete interfaces (ports). Per Figure 3, a component also carries
+// "the architectural description of itself and a copy of the
+// switching rules relevant to it"; those live in Meta.
+type Component struct {
+	name     string
+	mu       sync.Mutex
+	state    State
+	provides map[string]struct {
+		service Service
+		handler Handler
+	}
+	requires map[string]Service
+	hooks    Lifecycle
+	stateful Stateful
+
+	// Meta holds the self-description the paper requires each
+	// component to carry: free-form key/value (ADL fragment name,
+	// switching-rule ids, version info).
+	Meta map[string]string
+
+	calls uint64
+}
+
+// New constructs a component in the Loaded state.
+func New(name string) *Component {
+	return &Component{
+		name: name,
+		provides: make(map[string]struct {
+			service Service
+			handler Handler
+		}),
+		requires: make(map[string]Service),
+		Meta:     make(map[string]string),
+	}
+}
+
+// Name returns the component's unique name.
+func (c *Component) Name() string { return c.name }
+
+// Provide declares a provided port backed by handler.
+func (c *Component) Provide(port string, svc Service, h Handler) *Component {
+	c.provides[port] = struct {
+		service Service
+		handler Handler
+	}{svc, h}
+	return c
+}
+
+// Require declares a required port of the given service type.
+func (c *Component) Require(port string, svc Service) *Component {
+	c.requires[port] = svc
+	return c
+}
+
+// WithLifecycle installs lifecycle hooks.
+func (c *Component) WithLifecycle(h Lifecycle) *Component {
+	c.hooks = h
+	return c
+}
+
+// WithStateful marks the component as carrying migratable state.
+func (c *Component) WithStateful(s Stateful) *Component {
+	c.stateful = s
+	return c
+}
+
+// Stateful returns the component's state-capture interface, if any.
+func (c *Component) StatefulPart() (Stateful, bool) {
+	return c.stateful, c.stateful != nil
+}
+
+// State returns the current lifecycle state.
+func (c *Component) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Calls returns the number of invocations served (grain-overhead
+// accounting for the ablation benches).
+func (c *Component) Calls() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// Provides lists provided ports, sorted by name.
+func (c *Component) Provides() []Port {
+	out := make([]Port, 0, len(c.provides))
+	for n, p := range c.provides {
+		out = append(out, Port{Name: n, Service: p.service})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Requires lists required ports, sorted by name.
+func (c *Component) Requires() []Port {
+	out := make([]Port, 0, len(c.requires))
+	for n, s := range c.requires {
+		out = append(out, Port{Name: n, Service: s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Errors returned by lifecycle and call paths.
+var (
+	ErrNotStarted    = errors.New("component: not started")
+	ErrQuiesced      = errors.New("component: quiesced")
+	ErrStopped       = errors.New("component: stopped")
+	ErrBadTransition = errors.New("component: invalid lifecycle transition")
+	ErrUnknownPort   = errors.New("component: unknown port")
+	ErrUnbound       = errors.New("component: port not bound")
+	ErrTypeMismatch  = errors.New("component: service type mismatch")
+	ErrDuplicate     = errors.New("component: duplicate name")
+	ErrUnknown       = errors.New("component: unknown component")
+	ErrNotStateful   = errors.New("component: component has no migratable state")
+)
+
+// Start transitions Loaded→Started (or Quiesced→Started via Resume).
+func (c *Component) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Loaded {
+		return fmt.Errorf("%w: start from %s", ErrBadTransition, c.state)
+	}
+	if c.hooks.OnStart != nil {
+		if err := c.hooks.OnStart(); err != nil {
+			return err
+		}
+	}
+	c.state = Started
+	return nil
+}
+
+// Quiesce brings a started component to its safe point and blocks
+// further calls.
+func (c *Component) Quiesce() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Started {
+		return fmt.Errorf("%w: quiesce from %s", ErrBadTransition, c.state)
+	}
+	if c.hooks.OnQuiesce != nil {
+		if err := c.hooks.OnQuiesce(); err != nil {
+			return err
+		}
+	}
+	c.state = Quiesced
+	return nil
+}
+
+// Resume reopens a quiesced component.
+func (c *Component) Resume() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != Quiesced {
+		return fmt.Errorf("%w: resume from %s", ErrBadTransition, c.state)
+	}
+	if c.hooks.OnResume != nil {
+		if err := c.hooks.OnResume(); err != nil {
+			return err
+		}
+	}
+	c.state = Started
+	return nil
+}
+
+// Stop terminates the component from any non-stopped state.
+func (c *Component) Stop() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == Stopped {
+		return fmt.Errorf("%w: already stopped", ErrBadTransition)
+	}
+	if c.hooks.OnStop != nil {
+		if err := c.hooks.OnStop(); err != nil {
+			return err
+		}
+	}
+	c.state = Stopped
+	return nil
+}
+
+// serve runs a provided port's handler if the component is accepting
+// calls.
+func (c *Component) serve(port string, req Request) (any, error) {
+	c.mu.Lock()
+	switch c.state {
+	case Loaded:
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%s: %w", c.name, ErrNotStarted)
+	case Quiesced:
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%s: %w", c.name, ErrQuiesced)
+	case Stopped:
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%s: %w", c.name, ErrStopped)
+	}
+	p, ok := c.provides[port]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%s.%s: %w", c.name, port, ErrUnknownPort)
+	}
+	c.calls++
+	c.mu.Unlock()
+	return p.handler(req)
+}
+
+// ---------------------------------------------------------------------------
+// Assembly: the running configuration.
+
+type bindKey struct{ comp, port string }
+
+type bindVal struct{ comp, port string }
+
+// Binding describes one live wire in the configuration.
+type Binding struct {
+	FromComp, FromPort string // requirer
+	ToComp, ToPort     string // provider
+}
+
+func (b Binding) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s", b.FromComp, b.FromPort, b.ToComp, b.ToPort)
+}
+
+// Assembly is a set of components plus the bindings wiring their
+// ports. All mutation is serialised; Call is safe for concurrent use.
+type Assembly struct {
+	mu         sync.RWMutex
+	components map[string]*Component
+	bindings   map[bindKey]bindVal
+	log        *trace.Log
+	clock      func() float64
+	callHops   uint64
+}
+
+// NewAssembly returns an empty assembly. log and clock may be nil.
+func NewAssembly(log *trace.Log, clock func() float64) *Assembly {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	if log == nil {
+		log = trace.New()
+	}
+	return &Assembly{
+		components: make(map[string]*Component),
+		bindings:   make(map[bindKey]bindVal),
+		log:        log,
+		clock:      clock,
+	}
+}
+
+// Log exposes the assembly's trace log.
+func (a *Assembly) Log() *trace.Log { return a.log }
+
+// Add registers a component.
+func (a *Assembly) Add(c *Component) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.components[c.name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, c.name)
+	}
+	a.components[c.name] = c
+	return nil
+}
+
+// Remove unregisters a stopped component and drops its bindings.
+func (a *Assembly) Remove(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.components[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	delete(a.components, name)
+	for k, v := range a.bindings {
+		if k.comp == name || v.comp == name {
+			delete(a.bindings, k)
+		}
+	}
+	return nil
+}
+
+// Component looks up a component by name.
+func (a *Assembly) Component(name string) (*Component, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	c, ok := a.components[name]
+	return c, ok
+}
+
+// Components returns all component names, sorted.
+func (a *Assembly) Components() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.components))
+	for n := range a.components {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind wires fromComp.fromPort (required) to toComp.toPort (provided),
+// checking service-type compatibility — Darwin's typed binding rule.
+func (a *Assembly) Bind(fromComp, fromPort, toComp, toPort string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	from, ok := a.components[fromComp]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, fromComp)
+	}
+	to, ok := a.components[toComp]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, toComp)
+	}
+	reqSvc, ok := from.requires[fromPort]
+	if !ok {
+		return fmt.Errorf("%s.%s: %w (required)", fromComp, fromPort, ErrUnknownPort)
+	}
+	prov, ok := to.provides[toPort]
+	if !ok {
+		return fmt.Errorf("%s.%s: %w (provided)", toComp, toPort, ErrUnknownPort)
+	}
+	if reqSvc != prov.service {
+		return fmt.Errorf("%w: %s.%s wants %q, %s.%s provides %q",
+			ErrTypeMismatch, fromComp, fromPort, reqSvc, toComp, toPort, prov.service)
+	}
+	a.bindings[bindKey{fromComp, fromPort}] = bindVal{toComp, toPort}
+	a.log.Emit(a.clock(), trace.KindBind, "assembly", "%s.%s -> %s.%s", fromComp, fromPort, toComp, toPort)
+	return nil
+}
+
+// Unbind removes the wire on fromComp.fromPort.
+func (a *Assembly) Unbind(fromComp, fromPort string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	k := bindKey{fromComp, fromPort}
+	if _, ok := a.bindings[k]; !ok {
+		return fmt.Errorf("%s.%s: %w", fromComp, fromPort, ErrUnbound)
+	}
+	delete(a.bindings, k)
+	a.log.Emit(a.clock(), trace.KindUnbind, "assembly", "%s.%s", fromComp, fromPort)
+	return nil
+}
+
+// BoundTo reports the provider currently wired to fromComp.fromPort.
+func (a *Assembly) BoundTo(fromComp, fromPort string) (Binding, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	v, ok := a.bindings[bindKey{fromComp, fromPort}]
+	if !ok {
+		return Binding{}, false
+	}
+	return Binding{FromComp: fromComp, FromPort: fromPort, ToComp: v.comp, ToPort: v.port}, true
+}
+
+// Bindings returns all live bindings, sorted for determinism.
+func (a *Assembly) Bindings() []Binding {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]Binding, 0, len(a.bindings))
+	for k, v := range a.bindings {
+		out = append(out, Binding{FromComp: k.comp, FromPort: k.port, ToComp: v.comp, ToPort: v.port})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Call invokes the provider bound to caller.port with req. Every call
+// crosses exactly one concrete boundary; CallHops counts them so the
+// grain ablation can price componentisation overhead.
+func (a *Assembly) Call(caller, port string, req Request) (any, error) {
+	a.mu.RLock()
+	v, ok := a.bindings[bindKey{caller, port}]
+	if !ok {
+		a.mu.RUnlock()
+		return nil, fmt.Errorf("%s.%s: %w", caller, port, ErrUnbound)
+	}
+	target := a.components[v.comp]
+	a.mu.RUnlock()
+	if target == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, v.comp)
+	}
+	a.mu.Lock()
+	a.callHops++
+	a.mu.Unlock()
+	return target.serve(v.port, req)
+}
+
+// CallHops returns the total inter-component boundary crossings.
+func (a *Assembly) CallHops() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.callHops
+}
+
+// StartAll starts every loaded component (deterministic order).
+func (a *Assembly) StartAll() error {
+	for _, name := range a.Components() {
+		c, _ := a.Component(name)
+		if c.State() == Loaded {
+			if err := c.Start(); err != nil {
+				return fmt.Errorf("starting %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks the configuration is complete: every required port
+// of every non-stopped component is bound to a live provider of the
+// right type. This is the runtime analogue of ADL validation.
+func (a *Assembly) Validate() []error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var errs []error
+	for name, c := range a.components {
+		if c.State() == Stopped {
+			continue
+		}
+		for port, svc := range c.requires {
+			v, ok := a.bindings[bindKey{name, port}]
+			if !ok {
+				errs = append(errs, fmt.Errorf("%s.%s (%s): %w", name, port, svc, ErrUnbound))
+				continue
+			}
+			to, ok := a.components[v.comp]
+			if !ok {
+				errs = append(errs, fmt.Errorf("%s.%s: bound to missing %q", name, port, v.comp))
+				continue
+			}
+			if p, ok := to.provides[v.port]; !ok || p.service != svc {
+				errs = append(errs, fmt.Errorf("%s.%s: %w", name, port, ErrTypeMismatch))
+			}
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}

@@ -1,0 +1,391 @@
+package component
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/adm-project/adm/internal/trace"
+)
+
+const svcEcho Service = "echo"
+
+func echoComp(name string) *Component {
+	return New(name).Provide("in", svcEcho, func(req Request) (any, error) {
+		return req.Payload, nil
+	})
+}
+
+func callerComp(name string) *Component {
+	return New(name).Require("out", svcEcho)
+}
+
+func wired(t *testing.T) (*Assembly, *Component, *Component) {
+	t.Helper()
+	a := NewAssembly(trace.New(), nil)
+	cl, sv := callerComp("client"), echoComp("server")
+	for _, c := range []*Component{cl, sv} {
+		if err := a.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Bind("client", "out", "server", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	return a, cl, sv
+}
+
+func TestCallThroughBinding(t *testing.T) {
+	a, _, sv := wired(t)
+	got, err := a.Call("client", "out", Request{Op: "echo", Payload: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %v", got)
+	}
+	if sv.Calls() != 1 || a.CallHops() != 1 {
+		t.Fatalf("calls=%d hops=%d", sv.Calls(), a.CallHops())
+	}
+}
+
+func TestCallUnbound(t *testing.T) {
+	a := NewAssembly(nil, nil)
+	_ = a.Add(callerComp("client"))
+	_, err := a.Call("client", "out", Request{})
+	if !errors.Is(err, ErrUnbound) {
+		t.Fatalf("want ErrUnbound, got %v", err)
+	}
+}
+
+func TestBindTypeMismatch(t *testing.T) {
+	a := NewAssembly(nil, nil)
+	_ = a.Add(New("c").Require("out", "alpha"))
+	_ = a.Add(New("s").Provide("in", "beta", func(Request) (any, error) { return nil, nil }))
+	if err := a.Bind("c", "out", "s", "in"); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("want ErrTypeMismatch, got %v", err)
+	}
+}
+
+func TestBindUnknownPortsAndComponents(t *testing.T) {
+	a := NewAssembly(nil, nil)
+	_ = a.Add(callerComp("c"))
+	_ = a.Add(echoComp("s"))
+	cases := []struct {
+		fc, fp, tc, tp string
+		want           error
+	}{
+		{"zz", "out", "s", "in", ErrUnknown},
+		{"c", "out", "zz", "in", ErrUnknown},
+		{"c", "nope", "s", "in", ErrUnknownPort},
+		{"c", "out", "s", "nope", ErrUnknownPort},
+	}
+	for _, cse := range cases {
+		if err := a.Bind(cse.fc, cse.fp, cse.tc, cse.tp); !errors.Is(err, cse.want) {
+			t.Errorf("Bind(%s.%s->%s.%s) = %v, want %v", cse.fc, cse.fp, cse.tc, cse.tp, err, cse.want)
+		}
+	}
+}
+
+func TestLifecycleTransitions(t *testing.T) {
+	c := echoComp("x")
+	if c.State() != Loaded {
+		t.Fatal("initial state")
+	}
+	if err := c.Quiesce(); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("quiesce from loaded: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); !errors.Is(err, ErrBadTransition) {
+		t.Fatal("double start must fail")
+	}
+	if err := c.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Resume(); !errors.Is(err, ErrBadTransition) {
+		t.Fatal("resume from started must fail")
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); !errors.Is(err, ErrBadTransition) {
+		t.Fatal("double stop must fail")
+	}
+}
+
+func TestCallRejectedOutsideStarted(t *testing.T) {
+	a, _, sv := wired(t)
+	if err := sv.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("client", "out", Request{}); !errors.Is(err, ErrQuiesced) {
+		t.Fatalf("quiesced call: %v", err)
+	}
+	_ = sv.Resume()
+	if _, err := a.Call("client", "out", Request{}); err != nil {
+		t.Fatalf("resumed call: %v", err)
+	}
+	_ = sv.Stop()
+	if _, err := a.Call("client", "out", Request{}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped call: %v", err)
+	}
+}
+
+func TestCallNotStarted(t *testing.T) {
+	a := NewAssembly(nil, nil)
+	_ = a.Add(callerComp("client"))
+	_ = a.Add(echoComp("server"))
+	_ = a.Bind("client", "out", "server", "in")
+	if _, err := a.Call("client", "out", Request{}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("want ErrNotStarted, got %v", err)
+	}
+}
+
+func TestLifecycleHooksRunAndCanVeto(t *testing.T) {
+	var order []string
+	c := New("h").WithLifecycle(Lifecycle{
+		OnStart:   func() error { order = append(order, "start"); return nil },
+		OnQuiesce: func() error { order = append(order, "quiesce"); return nil },
+		OnResume:  func() error { order = append(order, "resume"); return nil },
+		OnStop:    func() error { order = append(order, "stop"); return nil },
+	})
+	_ = c.Start()
+	_ = c.Quiesce()
+	_ = c.Resume()
+	_ = c.Stop()
+	want := []string{"start", "quiesce", "resume", "stop"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v", order)
+	}
+	veto := errors.New("not safe yet")
+	c2 := New("v").WithLifecycle(Lifecycle{OnQuiesce: func() error { return veto }})
+	_ = c2.Start()
+	if err := c2.Quiesce(); !errors.Is(err, veto) {
+		t.Fatalf("veto: %v", err)
+	}
+	if c2.State() != Started {
+		t.Fatal("vetoed quiesce must not change state")
+	}
+}
+
+func TestRebindRedirectsTraffic(t *testing.T) {
+	a, _, _ := wired(t)
+	alt := New("server2").Provide("in", svcEcho, func(req Request) (any, error) {
+		return "alt", nil
+	})
+	_ = a.Add(alt)
+	_ = alt.Start()
+	if err := a.Unbind("client", "out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Bind("client", "out", "server2", "in"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Call("client", "out", Request{Payload: "x"})
+	if err != nil || got != "alt" {
+		t.Fatalf("got %v %v", got, err)
+	}
+}
+
+func TestUnbindUnknown(t *testing.T) {
+	a, _, _ := wired(t)
+	if err := a.Unbind("client", "nope"); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRemoveDropsBindings(t *testing.T) {
+	a, _, _ := wired(t)
+	if err := a.Remove("server"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.BoundTo("client", "out"); ok {
+		t.Fatal("binding survived provider removal")
+	}
+	if err := a.Remove("server"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDuplicateAdd(t *testing.T) {
+	a := NewAssembly(nil, nil)
+	_ = a.Add(echoComp("x"))
+	if err := a.Add(echoComp("x")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValidateFindsDangling(t *testing.T) {
+	a := NewAssembly(nil, nil)
+	_ = a.Add(callerComp("c"))
+	errs := a.Validate()
+	if len(errs) != 1 || !errors.Is(errs[0], ErrUnbound) {
+		t.Fatalf("errs = %v", errs)
+	}
+	_ = a.Add(echoComp("s"))
+	_ = a.Bind("c", "out", "s", "in")
+	if errs := a.Validate(); len(errs) != 0 {
+		t.Fatalf("wired config invalid: %v", errs)
+	}
+}
+
+func TestValidateIgnoresStopped(t *testing.T) {
+	a := NewAssembly(nil, nil)
+	c := callerComp("c")
+	_ = a.Add(c)
+	_ = c.Start()
+	_ = c.Stop()
+	if errs := a.Validate(); len(errs) != 0 {
+		t.Fatalf("stopped component should not need bindings: %v", errs)
+	}
+}
+
+func TestPortsSorted(t *testing.T) {
+	c := New("multi").
+		Provide("zeta", "s1", func(Request) (any, error) { return nil, nil }).
+		Provide("alpha", "s2", func(Request) (any, error) { return nil, nil }).
+		Require("beta", "s3").Require("aaa", "s4")
+	p := c.Provides()
+	if p[0].Name != "alpha" || p[1].Name != "zeta" {
+		t.Fatalf("provides = %v", p)
+	}
+	r := c.Requires()
+	if r[0].Name != "aaa" || r[1].Name != "beta" {
+		t.Fatalf("requires = %v", r)
+	}
+	if p[0].String() != "alpha:s2" {
+		t.Fatalf("port string = %q", p[0].String())
+	}
+}
+
+func TestBindEmitsTraceEvents(t *testing.T) {
+	log := trace.New()
+	a := NewAssembly(log, func() float64 { return 7 })
+	_ = a.Add(callerComp("c"))
+	_ = a.Add(echoComp("s"))
+	_ = a.Bind("c", "out", "s", "in")
+	_ = a.Unbind("c", "out")
+	if log.Count(trace.KindBind) != 1 || log.Count(trace.KindUnbind) != 1 {
+		t.Fatalf("trace = %s", log.Summary())
+	}
+	ev := log.OfKind(trace.KindBind)[0]
+	if ev.TimeMS != 7 {
+		t.Fatalf("event time = %v", ev.TimeMS)
+	}
+}
+
+type memState struct {
+	mu  sync.Mutex
+	val []byte
+}
+
+func (m *memState) CaptureState() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.val...), nil
+}
+
+func (m *memState) RestoreState(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.val = append([]byte(nil), b...)
+	return nil
+}
+
+func TestStatefulCaptureRestore(t *testing.T) {
+	ms := &memState{val: []byte("position=17")}
+	c := New("op").WithStateful(ms)
+	sf, ok := c.StatefulPart()
+	if !ok {
+		t.Fatal("stateful not exposed")
+	}
+	snap, err := sf.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.val = []byte("position=99")
+	if err := sf.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if string(ms.val) != "position=17" {
+		t.Fatalf("restored = %q", ms.val)
+	}
+	if _, ok := New("plain").StatefulPart(); ok {
+		t.Fatal("plain component claims state")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	a, _, sv := wired(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := a.Call("client", "out", Request{Payload: j}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if sv.Calls() != 1600 || a.CallHops() != 1600 {
+		t.Fatalf("calls=%d hops=%d", sv.Calls(), a.CallHops())
+	}
+}
+
+// Property: for any chain length n, a call relayed through n
+// forwarding components crosses exactly n+1 boundaries and preserves
+// the payload — componentisation changes cost, never semantics.
+func TestChainRelayProperty(t *testing.T) {
+	f := func(nRaw uint8, payload int64) bool {
+		n := int(nRaw%8) + 1
+		a := NewAssembly(nil, nil)
+		// terminal echo
+		_ = a.Add(echoComp("t"))
+		// forwarders f0..f(n-1), each requiring the next hop
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("f%d", i)
+			c := New(name).Require("next", svcEcho)
+			c.Provide("in", svcEcho, func(req Request) (any, error) {
+				return a.Call(name, "next", req)
+			})
+			_ = a.Add(c)
+		}
+		for i := 0; i < n-1; i++ {
+			if err := a.Bind(fmt.Sprintf("f%d", i), "next", fmt.Sprintf("f%d", i+1), "in"); err != nil {
+				return false
+			}
+		}
+		if err := a.Bind(fmt.Sprintf("f%d", n-1), "next", "t", "in"); err != nil {
+			return false
+		}
+		// driver
+		d := New("driver").Require("out", svcEcho)
+		_ = a.Add(d)
+		_ = a.Bind("driver", "out", "f0", "in")
+		if err := a.StartAll(); err != nil {
+			return false
+		}
+		got, err := a.Call("driver", "out", Request{Payload: payload})
+		if err != nil || got != payload {
+			return false
+		}
+		return a.CallHops() == uint64(n+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Target is a resource path such as `node1.Page1.html` or
+// `node3.videohalf.ram(time parms)` or a bare device name `PDA`. The
+// first segment names the hosting node; the rest locate the resource;
+// Args carries the free-form parameter list the paper writes as
+// "(time parms)".
+type Target struct {
+	Segments []string
+	Args     []string
+}
+
+// Node returns the hosting node (first path segment).
+func (t Target) Node() string {
+	if len(t.Segments) == 0 {
+		return ""
+	}
+	return t.Segments[0]
+}
+
+// Resource returns the path below the node, or "" for a bare node.
+func (t Target) Resource() string {
+	if len(t.Segments) <= 1 {
+		return ""
+	}
+	return strings.Join(t.Segments[1:], ".")
+}
+
+func (t Target) String() string {
+	s := strings.Join(t.Segments, ".")
+	if len(t.Args) > 0 {
+		s += "(" + strings.Join(t.Args, " ") + ")"
+	}
+	return s
+}
+
+// Equal reports structural equality.
+func (t Target) Equal(o Target) bool { return t.String() == o.String() }
+
+// Call is a builtin invocation: BEST, NEAREST or SWITCH over a
+// candidate list. The builtins are "parameterised with representations
+// of the two computing nodes to be compared" (§4).
+type Call struct {
+	Fn   string // canonical upper-case: BEST | NEAREST | SWITCH
+	Args []Target
+}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Action is what a rule does when it applies: either a builtin call or
+// a direct target ("else node3.videosmall.ram").
+type Action struct {
+	Call   *Call
+	Direct *Target
+}
+
+func (a Action) String() string {
+	if a.Call != nil {
+		return a.Call.String()
+	}
+	if a.Direct != nil {
+		return a.Direct.String()
+	}
+	return "<none>"
+}
+
+// CmpOp is a comparison operator in a condition.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpLT CmpOp = iota
+	OpGT
+	OpLE
+	OpGE
+	OpEQ
+	OpNE
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"<", ">", "<=", ">=", "=", "!="}[o]
+}
+
+// Apply evaluates `a op b`.
+func (o CmpOp) Apply(a, b float64) bool {
+	switch o {
+	case OpLT:
+		return a < b
+	case OpGT:
+		return a > b
+	case OpLE:
+		return a <= b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+// Bound is one comparison against a literal, with an optional unit
+// ("90 %", "100 Kbps"). Units are recorded for display and checked
+// for consistency but do not rescale values: monitors publish in the
+// rule's units.
+type Bound struct {
+	Op    CmpOp
+	Value float64
+	Unit  string
+}
+
+func (b Bound) String() string {
+	s := fmt.Sprintf("%s %g", b.Op, b.Value)
+	if b.Unit != "" {
+		s += " " + b.Unit
+	}
+	return s
+}
+
+// Cond is a condition tree node.
+type Cond interface {
+	fmt.Stringer
+	// Eval returns whether the condition holds in ctx, or an error if
+	// a referenced metric is unavailable.
+	Eval(ctx *Context) (bool, error)
+}
+
+// MetricCond compares one metric against one or more bounds; multiple
+// bounds express the paper's banded form `bandwidth > 30 < 100 Kbps`
+// (all must hold). Source optionally pins the metric to a node:
+// `processor-util(node1) > 90%`.
+type MetricCond struct {
+	Metric string
+	Source string
+	Bounds []Bound
+}
+
+func (c *MetricCond) String() string {
+	name := c.Metric
+	if c.Source != "" {
+		name += "(" + c.Source + ")"
+	}
+	parts := make([]string, len(c.Bounds))
+	for i, b := range c.Bounds {
+		parts[i] = b.String()
+	}
+	return name + " " + strings.Join(parts, " ")
+}
+
+// Eval implements Cond.
+func (c *MetricCond) Eval(ctx *Context) (bool, error) {
+	src := c.Source
+	if src == "" {
+		src = ctx.Self
+	}
+	v, ok := ctx.Env.Metric(c.Metric, src)
+	if !ok {
+		return false, &MetricError{Metric: c.Metric, Source: src}
+	}
+	for _, b := range c.Bounds {
+		if !b.Op.Apply(v, b.Value) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// BoolCond combines two conditions with and/or.
+type BoolCond struct {
+	OpAnd bool
+	L, R  Cond
+}
+
+func (c *BoolCond) String() string {
+	op := "or"
+	if c.OpAnd {
+		op = "and"
+	}
+	return "(" + c.L.String() + " " + op + " " + c.R.String() + ")"
+}
+
+// Eval implements Cond with short-circuit semantics.
+func (c *BoolCond) Eval(ctx *Context) (bool, error) {
+	l, err := c.L.Eval(ctx)
+	if err != nil {
+		return false, err
+	}
+	if c.OpAnd && !l {
+		return false, nil
+	}
+	if !c.OpAnd && l {
+		return true, nil
+	}
+	return c.R.Eval(ctx)
+}
+
+// Rule is a parsed constraint: either an unconditional Select or a
+// guarded If/then/else.
+type Rule struct {
+	// Select is non-nil for `Select BEST(...)` rules.
+	Select *Call
+	// Cond/Then/Else are set for `If ... then ... else ...` rules.
+	Cond Cond
+	Then *Action
+	Else *Action
+	// Src preserves the original text.
+	Src string
+}
+
+func (r *Rule) String() string {
+	if r.Select != nil {
+		return "Select " + r.Select.String()
+	}
+	s := "If " + r.Cond.String() + " then " + r.Then.String()
+	if r.Else != nil {
+		s += " else " + r.Else.String()
+	}
+	return s
+}
+
+// MetricError reports an unavailable metric during evaluation.
+type MetricError struct {
+	Metric string
+	Source string
+}
+
+func (e *MetricError) Error() string {
+	if e.Source == "" {
+		return fmt.Sprintf("constraint: metric %q unavailable", e.Metric)
+	}
+	return fmt.Sprintf("constraint: metric %q unavailable at %q", e.Metric, e.Source)
+}

@@ -1,0 +1,509 @@
+package constraint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The verbatim rule texts from the paper.
+const (
+	// Table 2, constraint 450.
+	srcBest = "Select BEST (node1.Page1.html, node2.Page1.html)"
+	// Table 2, constraint 455 (including the paper's doubled paren).
+	srcSwitch = "If processor-util > 90% then SWITCH ((node1.Page1.html, node2.Page1.html)"
+	// Table 2, constraint 595 (normalised whitespace).
+	srcBanded = "If bandwidth > 30 < 100 Kbps then BEST(node1.videohalf.ram(time parms), node2.videohalf.ram(time parms), node3.videohalf.ram(time parms)) else node3.videosmall.ram(time parms)."
+	// §4 scenario 1 forms.
+	srcScenBest    = "Select BEST (PDA, Laptop)"
+	srcScenNearest = "Select NEAREST (PDA, Laptop)"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("If processor-util > 90% then SWITCH(a.b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokKind{TokIf, TokIdent, TokGT, TokNumber, TokPercent, TokThen,
+		TokIdent, TokLParen, TokIdent, TokDot, TokIdent, TokComma, TokIdent, TokRParen, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("tok[%d] = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexHyphenIdent(t *testing.T) {
+	toks, _ := Lex("processor-util")
+	if toks[0].Kind != TokIdent || toks[0].Text != "processor-util" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, _ := Lex("IF x > 1 THEN y ELSE z")
+	if toks[0].Kind != TokIf || toks[4].Kind != TokThen || toks[6].Kind != TokElse {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"a # b", "x ! y"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("%q: want lex error", src)
+		}
+	}
+}
+
+func TestLexNumberThenTerminatorDot(t *testing.T) {
+	toks, err := Lex("x > 30.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokNumber || toks[2].Text != "30" || toks[3].Kind != TokDot {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestLexDecimalNumber(t *testing.T) {
+	toks, _ := Lex("x > 0.5")
+	if toks[2].Text != "0.5" {
+		t.Fatalf("toks = %v", toks)
+	}
+}
+
+func TestParseTable2_450(t *testing.T) {
+	r := MustParse(srcBest)
+	if r.Select == nil || r.Select.Fn != "BEST" || len(r.Select.Args) != 2 {
+		t.Fatalf("rule = %v", r)
+	}
+	if r.Select.Args[0].Node() != "node1" || r.Select.Args[0].Resource() != "Page1.html" {
+		t.Fatalf("arg0 = %v", r.Select.Args[0])
+	}
+}
+
+func TestParseTable2_455_DoubledParen(t *testing.T) {
+	r := MustParse(srcSwitch)
+	if r.Cond == nil || r.Then == nil || r.Then.Call == nil || r.Then.Call.Fn != "SWITCH" {
+		t.Fatalf("rule = %v", r)
+	}
+	mc := r.Cond.(*MetricCond)
+	if mc.Metric != "processor-util" || len(mc.Bounds) != 1 || mc.Bounds[0].Op != OpGT ||
+		mc.Bounds[0].Value != 90 || mc.Bounds[0].Unit != "%" {
+		t.Fatalf("cond = %v", mc)
+	}
+}
+
+func TestParseTable2_595_BandAndElse(t *testing.T) {
+	r := MustParse(srcBanded)
+	mc := r.Cond.(*MetricCond)
+	if mc.Metric != "bandwidth" || len(mc.Bounds) != 2 {
+		t.Fatalf("cond = %v", mc)
+	}
+	if mc.Bounds[0].Op != OpGT || mc.Bounds[0].Value != 30 || mc.Bounds[0].Unit != "Kbps" {
+		t.Errorf("bound0 = %v (unit should propagate)", mc.Bounds[0])
+	}
+	if mc.Bounds[1].Op != OpLT || mc.Bounds[1].Value != 100 || mc.Bounds[1].Unit != "Kbps" {
+		t.Errorf("bound1 = %v", mc.Bounds[1])
+	}
+	if r.Then.Call == nil || len(r.Then.Call.Args) != 3 {
+		t.Fatalf("then = %v", r.Then)
+	}
+	if got := r.Then.Call.Args[0].Args; len(got) != 2 || got[0] != "time" || got[1] != "parms" {
+		t.Errorf("target args = %v", got)
+	}
+	if r.Else == nil || r.Else.Direct == nil || r.Else.Direct.Node() != "node3" {
+		t.Fatalf("else = %v", r.Else)
+	}
+	if r.Else.Direct.Resource() != "videosmall.ram" {
+		t.Errorf("else resource = %q", r.Else.Direct.Resource())
+	}
+}
+
+func TestParseScenario1Forms(t *testing.T) {
+	for _, src := range []string{srcScenBest, srcScenNearest} {
+		r := MustParse(src)
+		if r.Select == nil || len(r.Select.Args) != 2 {
+			t.Fatalf("%q: rule = %v", src, r)
+		}
+		if r.Select.Args[0].Node() != "PDA" || r.Select.Args[1].Node() != "Laptop" {
+			t.Fatalf("%q: args = %v", src, r.Select.Args)
+		}
+	}
+}
+
+func TestParseSourcedMetric(t *testing.T) {
+	r := MustParse("If processor-util(node1) > 90 then SWITCH(node1.a, node2.a)")
+	mc := r.Cond.(*MetricCond)
+	if mc.Source != "node1" {
+		t.Fatalf("source = %q", mc.Source)
+	}
+}
+
+func TestParseBoolConds(t *testing.T) {
+	r := MustParse("If bandwidth < 50 and battery < 20 or processor-util > 95 then BEST(a, b)")
+	bc, ok := r.Cond.(*BoolCond)
+	if !ok || bc.OpAnd {
+		t.Fatalf("top must be OR, got %v", r.Cond)
+	}
+	inner, ok := bc.L.(*BoolCond)
+	if !ok || !inner.OpAnd {
+		t.Fatalf("left must be AND, got %v", bc.L)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                // empty
+		"BEST(a,b)",                       // no Select/If head
+		"Select FROBNICATE(a)",            // unknown builtin
+		"If then BEST(a)",                 // missing condition
+		"If x > then BEST(a)",             // missing number
+		"If x then BEST(a)",               // no comparison
+		"Select BEST()",                   // empty args... lexes ident missing
+		"If x > 1 then BEST(a) junk junk", // trailing input
+		"Select BEST(a",                   // unclosed
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("%q: error %v is not SyntaxError", src, err)
+			}
+		}
+	}
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	// String() must itself re-parse to the same normal form.
+	for _, src := range []string{srcBest, srcSwitch, srcBanded, srcScenBest, srcScenNearest} {
+		r1 := MustParse(src)
+		r2, err := Parse(r1.String())
+		if err != nil {
+			t.Fatalf("%q: reparse of %q: %v", src, r1.String(), err)
+		}
+		if r1.String() != r2.String() {
+			t.Errorf("not a fixed point:\n  %q\n  %q", r1.String(), r2.String())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation.
+
+func envScenario1() EnvMap {
+	// Laptop docked and idle, PDA small and loaded; PDA is nearer.
+	return EnvMap{
+		"capacity@Laptop": 100, "load@Laptop": 10,
+		"capacity@PDA": 20, "load@PDA": 15,
+		"distance@Laptop": 12, "distance@PDA": 1,
+	}
+}
+
+func TestEvalBESTPicksCapacityMinusLoad(t *testing.T) {
+	d, err := MustParse(srcScenBest).Eval(&Context{Env: envScenario1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DecisionSelect || d.Target.Node() != "Laptop" {
+		t.Fatalf("decision = %v", d)
+	}
+	if d.Score != 90 {
+		t.Errorf("score = %v, want 90", d.Score)
+	}
+}
+
+func TestEvalNEARESTPicksMinDistance(t *testing.T) {
+	d, err := MustParse(srcScenNearest).Eval(&Context{Env: envScenario1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target.Node() != "PDA" || d.Score != 1 {
+		t.Fatalf("decision = %v", d)
+	}
+}
+
+func TestEvalBESTTieBreaksToFirst(t *testing.T) {
+	env := EnvMap{"capacity@a": 10, "load@a": 0, "capacity@b": 10, "load@b": 0}
+	d, err := MustParse("Select BEST(a, b)").Eval(&Context{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target.Node() != "a" {
+		t.Fatalf("tie should go to first candidate, got %v", d.Target)
+	}
+}
+
+func TestEvalSwitchFiresAboveThreshold(t *testing.T) {
+	env := EnvMap{
+		"processor-util": 95,
+		"capacity@node1": 50, "load@node1": 48,
+		"capacity@node2": 50, "load@node2": 5,
+	}
+	cur := Target{Segments: []string{"node1", "Page1", "html"}}
+	d, err := MustParse(srcSwitch).Eval(&Context{Env: env, Current: &cur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DecisionSwitch || d.Target.Node() != "node2" {
+		t.Fatalf("decision = %v", d)
+	}
+}
+
+func TestEvalSwitchQuietBelowThreshold(t *testing.T) {
+	env := EnvMap{"processor-util": 90} // boundary: strictly-greater must NOT fire
+	d, err := MustParse(srcSwitch).Eval(&Context{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DecisionNone {
+		t.Fatalf("decision at exactly 90%% = %v, want none", d)
+	}
+}
+
+func TestEvalSwitchExcludesCurrentEvenIfBest(t *testing.T) {
+	env := EnvMap{
+		"processor-util": 99,
+		"capacity@node1": 100, "load@node1": 0, // current node scores best...
+		"capacity@node2": 10, "load@node2": 5,
+	}
+	cur := Target{Segments: []string{"node1", "Page1", "html"}}
+	d, _ := MustParse(srcSwitch).Eval(&Context{Env: env, Current: &cur})
+	if d.Target.Node() != "node2" {
+		t.Fatalf("SWITCH must leave the overloaded node, got %v", d.Target)
+	}
+}
+
+func TestEvalSwitchAllExcludedFallsBack(t *testing.T) {
+	env := EnvMap{"processor-util": 99, "capacity@node1": 10, "load@node1": 1}
+	cur := Target{Segments: []string{"node1", "x"}}
+	d, err := MustParse("If processor-util > 90 then SWITCH(node1.x)").Eval(&Context{Env: env, Current: &cur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DecisionSwitch || d.Target.Node() != "node1" {
+		t.Fatalf("single-replica fallback failed: %v", d)
+	}
+}
+
+func TestEvalBandedRule595(t *testing.T) {
+	base := EnvMap{
+		"capacity@node1": 10, "load@node1": 9,
+		"capacity@node2": 10, "load@node2": 1,
+		"capacity@node3": 10, "load@node3": 5,
+	}
+	cases := []struct {
+		bw       float64
+		wantNode string
+		wantRes  string
+	}{
+		{50, "node2", "videohalf.ram"},   // in band → BEST of three
+		{30, "node3", "videosmall.ram"},  // at lower edge: > is strict → else
+		{100, "node3", "videosmall.ram"}, // at upper edge: < is strict → else
+		{10, "node3", "videosmall.ram"},  // below band → else
+		{500, "node3", "videosmall.ram"}, // above band → else
+		{99.9, "node2", "videohalf.ram"}, // just inside
+	}
+	r := MustParse(srcBanded)
+	for _, c := range cases {
+		env := EnvMap{}
+		for k, v := range base {
+			env[k] = v
+		}
+		env["bandwidth"] = c.bw
+		d, err := r.Eval(&Context{Env: env})
+		if err != nil {
+			t.Fatalf("bw=%v: %v", c.bw, err)
+		}
+		if d.Target.Node() != c.wantNode || d.Target.Resource() != c.wantRes {
+			t.Errorf("bw=%v: got %s.%s, want %s.%s", c.bw,
+				d.Target.Node(), d.Target.Resource(), c.wantNode, c.wantRes)
+		}
+	}
+}
+
+func TestEvalUnsourcedMetricUsesSelf(t *testing.T) {
+	env := EnvMap{"processor-util@me": 95, "capacity@a": 1, "load@a": 0}
+	r := MustParse("If processor-util > 90 then BEST(a)")
+	d, err := r.Eval(&Context{Env: env, Self: "me"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DecisionSelect {
+		t.Fatalf("decision = %v", d)
+	}
+}
+
+func TestEvalMissingMetricError(t *testing.T) {
+	r := MustParse("If bandwidth < 10 then BEST(a)")
+	_, err := r.Eval(&Context{Env: EnvMap{}})
+	var me *MetricError
+	if !errors.As(err, &me) || me.Metric != "bandwidth" {
+		t.Fatalf("want MetricError, got %v", err)
+	}
+}
+
+func TestEvalBoolShortCircuit(t *testing.T) {
+	// OR short-circuits: right side references a missing metric but
+	// must not be evaluated when the left is true.
+	env := EnvMap{"bandwidth": 5, "capacity@a": 1, "load@a": 0}
+	r := MustParse("If bandwidth < 10 or missing-metric > 1 then BEST(a)")
+	d, err := r.Eval(&Context{Env: env})
+	if err != nil {
+		t.Fatalf("short-circuit failed: %v", err)
+	}
+	if d.Kind != DecisionSelect {
+		t.Fatalf("decision = %v", d)
+	}
+	// AND short-circuits on false left.
+	r2 := MustParse("If bandwidth > 10 and missing-metric > 1 then BEST(a)")
+	d2, err := r2.Eval(&Context{Env: env})
+	if err != nil || d2.Kind != DecisionNone {
+		t.Fatalf("AND short-circuit: %v %v", d2, err)
+	}
+}
+
+func TestRuleSetPriorityOrder(t *testing.T) {
+	env := EnvMap{
+		"processor-util": 95, "bandwidth": 50,
+		"capacity@a": 10, "load@a": 0,
+		"capacity@b": 5, "load@b": 0,
+	}
+	high := PrioritisedRule{ID: 455, Priority: 0,
+		Rule: MustParse("If processor-util > 90 then SWITCH(a.x, b.x)")}
+	low := PrioritisedRule{ID: 450, Priority: 1,
+		Rule: MustParse("Select BEST(a.x, b.x)")}
+	rs := NewRuleSet(low, high)
+	d, pr, err := rs.FirstDecision(&Context{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.ID != 455 || d.Kind != DecisionSwitch {
+		t.Fatalf("decision = %v from rule %d", d, pr.ID)
+	}
+	all := rs.AllDecisions(&Context{Env: env})
+	if len(all) != 2 {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestRuleSetSkipsUnavailableMetrics(t *testing.T) {
+	env := EnvMap{"capacity@a": 1, "load@a": 0}
+	rs := NewRuleSet(
+		PrioritisedRule{ID: 1, Priority: 0, Rule: MustParse("If no-such > 1 then BEST(a)")},
+		PrioritisedRule{ID: 2, Priority: 1, Rule: MustParse("Select BEST(a)")},
+	)
+	d, pr, err := rs.FirstDecision(&Context{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.ID != 2 || d.Kind != DecisionSelect {
+		t.Fatalf("decision = %v from %v", d, pr)
+	}
+}
+
+func TestRuleSetNothingFires(t *testing.T) {
+	rs := NewRuleSet(PrioritisedRule{ID: 1, Rule: MustParse("If x > 1 then BEST(a)")})
+	d, pr, err := rs.FirstDecision(&Context{Env: EnvMap{}})
+	if d.Kind != DecisionNone || pr != nil || err == nil {
+		t.Fatalf("d=%v pr=%v err=%v", d, pr, err)
+	}
+	// With the metric present but guard false: no error, no decision.
+	d2, pr2, err2 := rs.FirstDecision(&Context{Env: EnvMap{"x": 0}})
+	if d2.Kind != DecisionNone || pr2 != nil || err2 != nil {
+		t.Fatalf("d=%v pr=%v err=%v", d2, pr2, err2)
+	}
+}
+
+// Property: for any capacities/loads, BEST always returns the argmax
+// of capacity−load among candidates.
+func TestBESTArgmaxProperty(t *testing.T) {
+	f := func(caps, loads [4]uint16) bool {
+		env := EnvMap{}
+		names := []string{"n0", "n1", "n2", "n3"}
+		bestIdx, bestScore := 0, float64(caps[0])-float64(loads[0])
+		for i, n := range names {
+			env["capacity@"+n] = float64(caps[i])
+			env["load@"+n] = float64(loads[i])
+			if s := float64(caps[i]) - float64(loads[i]); s > bestScore {
+				bestIdx, bestScore = i, s
+			}
+		}
+		d, err := MustParse("Select BEST(n0, n1, n2, n3)").Eval(&Context{Env: env})
+		if err != nil {
+			return false
+		}
+		return d.Target.Node() == names[bestIdx]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the banded rule fires its then-branch iff 30 < bw < 100.
+func TestBandedGuardProperty(t *testing.T) {
+	r := MustParse(srcBanded)
+	f := func(bwRaw uint16) bool {
+		bw := float64(bwRaw) / 2
+		env := EnvMap{
+			"bandwidth":      bw,
+			"capacity@node1": 1, "load@node1": 0,
+			"capacity@node2": 1, "load@node2": 0,
+			"capacity@node3": 1, "load@node3": 0,
+		}
+		d, err := r.Eval(&Context{Env: env})
+		if err != nil {
+			return false
+		}
+		inBand := bw > 30 && bw < 100
+		if inBand {
+			return strings.Contains(d.Target.Resource(), "videohalf")
+		}
+		return strings.Contains(d.Target.Resource(), "videosmall")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetAccessors(t *testing.T) {
+	tg := Target{Segments: []string{"node1", "Page1", "html"}, Args: []string{"t", "p"}}
+	if tg.Node() != "node1" || tg.Resource() != "Page1.html" {
+		t.Fatalf("accessors: %q %q", tg.Node(), tg.Resource())
+	}
+	if tg.String() != "node1.Page1.html(t p)" {
+		t.Fatalf("string = %q", tg.String())
+	}
+	if (Target{}).Node() != "" || (Target{}).Resource() != "" {
+		t.Fatal("empty target accessors")
+	}
+	if !tg.Equal(tg) || tg.Equal(Target{}) {
+		t.Fatal("Equal broken")
+	}
+}
+
+func TestCmpOpApplyAll(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b float64
+		want bool
+	}{
+		{OpLT, 1, 2, true}, {OpLT, 2, 2, false},
+		{OpGT, 3, 2, true}, {OpGT, 2, 2, false},
+		{OpLE, 2, 2, true}, {OpLE, 3, 2, false},
+		{OpGE, 2, 2, true}, {OpGE, 1, 2, false},
+		{OpEQ, 2, 2, true}, {OpEQ, 1, 2, false},
+		{OpNE, 1, 2, true}, {OpNE, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v", c.a, c.op, c.b, got)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package constraint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Env supplies metric values to the evaluator. The monitor registry
+// satisfies it; tests use fixed maps.
+type Env interface {
+	// Metric returns the current value of metric at source (empty
+	// source = system-wide), and whether it is known.
+	Metric(metric, source string) (float64, bool)
+}
+
+// EnvMap is a literal Env for tests and fixtures: key "metric" or
+// "metric@source".
+type EnvMap map[string]float64
+
+// Metric implements Env.
+func (m EnvMap) Metric(metric, source string) (float64, bool) {
+	if source != "" {
+		if v, ok := m[metric+"@"+source]; ok {
+			return v, true
+		}
+	}
+	v, ok := m[metric]
+	return v, ok
+}
+
+// Context is the evaluation context: the gauge environment plus the
+// identity of the node the rule is being evaluated on (unsourced
+// metrics resolve against Self first).
+type Context struct {
+	Env  Env
+	Self string
+	// Current, when set, is the currently selected target; SWITCH
+	// excludes its node so a migration always moves somewhere else.
+	Current *Target
+}
+
+// DecisionKind classifies what a rule asks the session manager to do.
+type DecisionKind int
+
+// Decision kinds.
+const (
+	// DecisionNone: the rule's guard did not fire and no else exists.
+	DecisionNone DecisionKind = iota
+	// DecisionSelect: deliver/bind the chosen target (BEST, NEAREST,
+	// or a direct else-target).
+	DecisionSelect
+	// DecisionSwitch: migrate the running agent — "not only should the
+	// Adaptivity Manager save the data state, but also the processing
+	// state, as it is this that is about to migrate" (§5.2).
+	DecisionSwitch
+)
+
+func (k DecisionKind) String() string {
+	return [...]string{"none", "select", "switch"}[k]
+}
+
+// Decision is the outcome of evaluating one rule.
+type Decision struct {
+	Kind   DecisionKind
+	Target Target
+	// Fn is the builtin that produced the choice ("" for direct).
+	Fn string
+	// Score is the winning candidate's score (builtin-dependent).
+	Score float64
+	// Reason is a human-readable audit line.
+	Reason string
+}
+
+func (d Decision) String() string {
+	if d.Kind == DecisionNone {
+		return "none"
+	}
+	return fmt.Sprintf("%s %s (%s)", d.Kind, d.Target, d.Reason)
+}
+
+// Eval evaluates a rule in ctx.
+//
+// Builtin semantics (from §4 and Table 2):
+//
+//   - BEST(a, b, ...): "the best device in terms of capacity and
+//     current load" — score = capacity(node) − load(node); highest
+//     wins; ties break to the earlier candidate.
+//   - NEAREST(a, b, ...): lowest distance(node) wins.
+//   - SWITCH(a, b, ...): like BEST but excludes the current node and
+//     yields DecisionSwitch (processing state migrates too).
+func (r *Rule) Eval(ctx *Context) (Decision, error) {
+	if r.Select != nil {
+		return evalCall(ctx, r.Select)
+	}
+	fired, err := r.Cond.Eval(ctx)
+	if err != nil {
+		return Decision{}, err
+	}
+	var act *Action
+	if fired {
+		act = r.Then
+	} else {
+		act = r.Else
+	}
+	if act == nil {
+		return Decision{Kind: DecisionNone, Reason: "guard not satisfied"}, nil
+	}
+	if act.Call != nil {
+		d, err := evalCall(ctx, act.Call)
+		if err != nil {
+			return Decision{}, err
+		}
+		if fired {
+			d.Reason = "guard " + r.Cond.String() + " fired; " + d.Reason
+		} else {
+			d.Reason = "else branch; " + d.Reason
+		}
+		return d, nil
+	}
+	reason := "else branch: direct target"
+	if fired {
+		reason = "guard fired: direct target"
+	}
+	return Decision{Kind: DecisionSelect, Target: *act.Direct, Reason: reason}, nil
+}
+
+func evalCall(ctx *Context, c *Call) (Decision, error) {
+	switch c.Fn {
+	case "BEST":
+		t, score, err := argBest(ctx, c.Args, "")
+		if err != nil {
+			return Decision{}, err
+		}
+		return Decision{Kind: DecisionSelect, Target: t, Fn: "BEST", Score: score,
+			Reason: fmt.Sprintf("BEST: %s scores %.2f (capacity-load)", t.Node(), score)}, nil
+	case "NEAREST":
+		t, dist, err := argNearest(ctx, c.Args)
+		if err != nil {
+			return Decision{}, err
+		}
+		return Decision{Kind: DecisionSelect, Target: t, Fn: "NEAREST", Score: dist,
+			Reason: fmt.Sprintf("NEAREST: %s at %.2f", t.Node(), dist)}, nil
+	case "SWITCH":
+		exclude := ""
+		if ctx.Current != nil {
+			exclude = ctx.Current.Node()
+		}
+		t, score, err := argBest(ctx, c.Args, exclude)
+		if err != nil {
+			return Decision{}, err
+		}
+		return Decision{Kind: DecisionSwitch, Target: t, Fn: "SWITCH", Score: score,
+			Reason: fmt.Sprintf("SWITCH: migrate to %s (score %.2f, excluding %q)", t.Node(), score, exclude)}, nil
+	default:
+		return Decision{}, fmt.Errorf("constraint: unknown builtin %q", c.Fn)
+	}
+}
+
+// argBest picks the candidate with the highest capacity−load score,
+// optionally excluding one node. If every candidate is excluded the
+// exclusion is dropped (a forced migration to the only replica beats
+// no migration).
+func argBest(ctx *Context, args []Target, exclude string) (Target, float64, error) {
+	best := -1
+	bestScore := math.Inf(-1)
+	considered := 0
+	for i, t := range args {
+		if exclude != "" && t.Node() == exclude {
+			continue
+		}
+		considered++
+		score, err := nodeScore(ctx, t.Node())
+		if err != nil {
+			return Target{}, 0, err
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if considered == 0 && exclude != "" {
+		return argBest(ctx, args, "")
+	}
+	if best < 0 {
+		return Target{}, 0, fmt.Errorf("constraint: no candidates")
+	}
+	return args[best], bestScore, nil
+}
+
+func nodeScore(ctx *Context, node string) (float64, error) {
+	capac, ok := ctx.Env.Metric("capacity", node)
+	if !ok {
+		return 0, &MetricError{Metric: "capacity", Source: node}
+	}
+	load, ok := ctx.Env.Metric("load", node)
+	if !ok {
+		return 0, &MetricError{Metric: "load", Source: node}
+	}
+	return capac - load, nil
+}
+
+func argNearest(ctx *Context, args []Target) (Target, float64, error) {
+	best := -1
+	bestDist := math.Inf(1)
+	for i, t := range args {
+		d, ok := ctx.Env.Metric("distance", t.Node())
+		if !ok {
+			return Target{}, 0, &MetricError{Metric: "distance", Source: t.Node()}
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if best < 0 {
+		return Target{}, 0, fmt.Errorf("constraint: no candidates")
+	}
+	return args[best], bestDist, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rule sets with priorities ("the constraint rules themselves can be
+// prioritised", §4).
+
+// PrioritisedRule pairs a rule with its priority and identity; lower
+// Priority value = evaluated earlier (priority 0 is highest).
+type PrioritisedRule struct {
+	ID       int
+	Priority int
+	Rule     *Rule
+}
+
+// RuleSet is an ordered collection of prioritised rules.
+type RuleSet struct {
+	rules []PrioritisedRule
+}
+
+// NewRuleSet builds a set; rules are kept sorted by (Priority, ID).
+func NewRuleSet(rules ...PrioritisedRule) *RuleSet {
+	rs := &RuleSet{rules: append([]PrioritisedRule(nil), rules...)}
+	rs.sort()
+	return rs
+}
+
+// Add inserts a rule.
+func (rs *RuleSet) Add(r PrioritisedRule) {
+	rs.rules = append(rs.rules, r)
+	rs.sort()
+}
+
+func (rs *RuleSet) sort() {
+	sort.SliceStable(rs.rules, func(i, j int) bool {
+		if rs.rules[i].Priority != rs.rules[j].Priority {
+			return rs.rules[i].Priority < rs.rules[j].Priority
+		}
+		return rs.rules[i].ID < rs.rules[j].ID
+	})
+}
+
+// Rules returns the ordered rules.
+func (rs *RuleSet) Rules() []PrioritisedRule { return rs.rules }
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// FirstDecision evaluates rules in priority order and returns the
+// first non-none decision, together with the rule that produced it.
+// Rules whose metrics are unavailable are skipped (a monitor that has
+// not reported yet must not wedge the session manager); the error of
+// the last skip is returned if nothing decides.
+func (rs *RuleSet) FirstDecision(ctx *Context) (Decision, *PrioritisedRule, error) {
+	var lastErr error
+	for i := range rs.rules {
+		d, err := rs.rules[i].Rule.Eval(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if d.Kind != DecisionNone {
+			return d, &rs.rules[i], nil
+		}
+	}
+	return Decision{Kind: DecisionNone}, nil, lastErr
+}
+
+// AllDecisions evaluates every rule and returns the non-none outcomes
+// in priority order (used by reporting).
+func (rs *RuleSet) AllDecisions(ctx *Context) []Decision {
+	var out []Decision
+	for i := range rs.rules {
+		d, err := rs.rules[i].Rule.Eval(ctx)
+		if err == nil && d.Kind != DecisionNone {
+			out = append(out, d)
+		}
+	}
+	return out
+}

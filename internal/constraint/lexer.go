@@ -1,0 +1,181 @@
+// Package constraint implements the adaptability-constraint language
+// used throughout the paper: the `Select BEST(...)`/`Select
+// NEAREST(...)` forms of the Section 4 data components and the
+// `If processor-util > 90% then SWITCH(...)` / banded
+// `If bandwidth > 30 < 100 Kbps then ... else ...` rules of Table 2.
+//
+// "These constraints work at the sub-operation level" (fn. 3): a rule
+// is evaluated against the gauge environment and yields a Decision —
+// select a version, switch (migrate) an agent, or do nothing — which
+// the session manager turns into a reconfiguration plan.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokIf
+	TokThen
+	TokElse
+	TokSelect
+	TokAnd
+	TokOr
+	TokLParen
+	TokRParen
+	TokComma
+	TokDot
+	TokLT
+	TokGT
+	TokLE
+	TokGE
+	TokEQ
+	TokNE
+	TokPercent
+)
+
+var kindNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "ident", TokNumber: "number", TokIf: "If",
+	TokThen: "then", TokElse: "else", TokSelect: "Select", TokAnd: "and",
+	TokOr: "or", TokLParen: "(", TokRParen: ")", TokComma: ",", TokDot: ".",
+	TokLT: "<", TokGT: ">", TokLE: "<=", TokGE: ">=", TokEQ: "=", TokNE: "!=",
+	TokPercent: "%",
+}
+
+func (k TokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Pos  int
+	Msg  string
+	Near string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.Near != "" {
+		return fmt.Sprintf("constraint: syntax error at %d near %q: %s", e.Pos, e.Near, e.Msg)
+	}
+	return fmt.Sprintf("constraint: syntax error at %d: %s", e.Pos, e.Msg)
+}
+
+var keywords = map[string]TokKind{
+	"if": TokIf, "then": TokThen, "else": TokElse, "select": TokSelect,
+	"and": TokAnd, "or": TokOr,
+}
+
+// Lex tokenises a constraint source string. Identifiers may contain
+// hyphens (processor-util) and keywords are case-insensitive, matching
+// the paper's free mixture of `Select`, `If ... then`.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i})
+			i++
+		case c == '.':
+			// A trailing period terminates a rule (Table 2 row 595
+			// ends "...(time parms)."). Dots inside target paths are
+			// handled by the parser via TokDot.
+			toks = append(toks, Token{TokDot, ".", i})
+			i++
+		case c == '%':
+			toks = append(toks, Token{TokPercent, "%", i})
+			i++
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokLE, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokLT, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokGE, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokGT, ">", i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, Token{TokEQ, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, Token{TokNE, "!=", i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Msg: "unexpected '!'"}
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				// A digit-then-dot-then-nondigit is a rule terminator,
+				// not a decimal point.
+				if src[j] == '.' && (j+1 >= n || src[j+1] < '0' || src[j+1] > '9') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, Token{TokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if k, ok := keywords[strings.ToLower(word)]; ok {
+				toks = append(toks, Token{k, word, i})
+			} else {
+				toks = append(toks, Token{TokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,356 @@
+package constraint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse compiles one constraint rule from source. The grammar covers
+// every form the paper writes:
+//
+//	rule      = "Select" call
+//	          | "If" cond "then" action [ "else" action ] [ "." ]
+//	cond      = orCond
+//	orCond    = andCond { "or" andCond }
+//	andCond   = metric { "and" metric }
+//	metric    = IDENT [ "(" IDENT ")" ] bound { bound }
+//	bound     = cmp NUMBER [ unit ]
+//	cmp       = "<" | ">" | "<=" | ">=" | "=" | "!="
+//	unit      = "%" | IDENT            (Kbps, ms, ...)
+//	action    = call | target
+//	call      = IDENT "(" target { "," target } ")"
+//	target    = IDENT { "." IDENT } [ "(" words ")" ]
+//
+// Builtin names (BEST, NEAREST, SWITCH) are recognised
+// case-insensitively and canonicalised to upper case; an action whose
+// head identifier is followed by "(" and is a known builtin parses as
+// a call, otherwise as a target.
+func Parse(src string) (*Rule, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	r, err := p.rule()
+	if err != nil {
+		return nil, err
+	}
+	r.Src = src
+	return r, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(src string) *Rule {
+	r, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Builtins recognised by the evaluator.
+var builtins = map[string]bool{"BEST": true, "NEAREST": true, "SWITCH": true}
+
+// IsBuiltin reports whether name is a recognised builtin function.
+func IsBuiltin(name string) bool { return builtins[strings.ToUpper(name)] }
+
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() Token       { return p.toks[p.pos] }
+func (p *parser) next() Token       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k TokKind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		t := p.peek()
+		return Token{}, &SyntaxError{Pos: t.Pos, Near: t.Text,
+			Msg: "expected " + k.String() + ", got " + t.Kind.String()}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) rule() (*Rule, error) {
+	switch p.peek().Kind {
+	case TokSelect:
+		p.next()
+		call, err := p.call()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.finish(); err != nil {
+			return nil, err
+		}
+		return &Rule{Select: call}, nil
+	case TokIf:
+		p.next()
+		cond, err := p.orCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokThen); err != nil {
+			return nil, err
+		}
+		then, err := p.action()
+		if err != nil {
+			return nil, err
+		}
+		r := &Rule{Cond: cond, Then: then}
+		if p.at(TokElse) {
+			p.next()
+			els, err := p.action()
+			if err != nil {
+				return nil, err
+			}
+			r.Else = els
+		}
+		if err := p.finish(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	default:
+		t := p.peek()
+		return nil, &SyntaxError{Pos: t.Pos, Near: t.Text, Msg: "rule must start with Select or If"}
+	}
+}
+
+// finish consumes an optional trailing period and requires EOF.
+func (p *parser) finish() error {
+	if p.at(TokDot) {
+		p.next()
+	}
+	if !p.at(TokEOF) {
+		t := p.peek()
+		return &SyntaxError{Pos: t.Pos, Near: t.Text, Msg: "trailing input after rule"}
+	}
+	return nil
+}
+
+func (p *parser) orCond() (Cond, error) {
+	l, err := p.andCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOr) {
+		p.next()
+		r, err := p.andCond()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolCond{OpAnd: false, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andCond() (Cond, error) {
+	l, err := p.metricCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAnd) {
+		p.next()
+		r, err := p.metricCond()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolCond{OpAnd: true, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) metricCond() (Cond, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	mc := &MetricCond{Metric: name.Text}
+	if p.at(TokLParen) {
+		p.next()
+		src, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		mc.Source = src.Text
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		op, ok := cmpFor(p.peek().Kind)
+		if !ok {
+			break
+		}
+		p.next()
+		num, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(num.Text, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: num.Pos, Near: num.Text, Msg: "bad number"}
+		}
+		b := Bound{Op: op, Value: v}
+		// Optional unit: % or a bare ident that is not a keyword-ish
+		// continuation. `Kbps then` — "then" is its own token kind, so
+		// any TokIdent here is a unit... unless another bound follows,
+		// which starts with a comparison token anyway.
+		if p.at(TokPercent) {
+			p.next()
+			b.Unit = "%"
+		} else if p.at(TokIdent) {
+			// Lookahead: a unit ident must be followed by then/else/
+			// and/or/cmp/EOF — otherwise it belongs to something else.
+			save := p.pos
+			u := p.next()
+			if p.at(TokThen) || p.at(TokElse) || p.at(TokAnd) || p.at(TokOr) || p.at(TokEOF) || isCmpKind(p.peek().Kind) {
+				b.Unit = u.Text
+			} else {
+				p.pos = save
+			}
+		}
+		mc.Bounds = append(mc.Bounds, b)
+	}
+	if len(mc.Bounds) == 0 {
+		t := p.peek()
+		return nil, &SyntaxError{Pos: t.Pos, Near: t.Text, Msg: "condition needs at least one comparison"}
+	}
+	// Unit consistency within a band: the paper writes the unit once
+	// (`> 30 < 100 Kbps`); propagate the last unit to unitless bounds.
+	unit := ""
+	for _, b := range mc.Bounds {
+		if b.Unit != "" {
+			unit = b.Unit
+		}
+	}
+	for i := range mc.Bounds {
+		if mc.Bounds[i].Unit == "" {
+			mc.Bounds[i].Unit = unit
+		}
+	}
+	return mc, nil
+}
+
+func cmpFor(k TokKind) (CmpOp, bool) {
+	switch k {
+	case TokLT:
+		return OpLT, true
+	case TokGT:
+		return OpGT, true
+	case TokLE:
+		return OpLE, true
+	case TokGE:
+		return OpGE, true
+	case TokEQ:
+		return OpEQ, true
+	case TokNE:
+		return OpNE, true
+	}
+	return 0, false
+}
+
+func isCmpKind(k TokKind) bool { _, ok := cmpFor(k); return ok }
+
+func (p *parser) action() (*Action, error) {
+	head, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if IsBuiltin(head.Text) && p.at(TokLParen) {
+		call, err := p.callArgs(strings.ToUpper(head.Text))
+		if err != nil {
+			return nil, err
+		}
+		return &Action{Call: call}, nil
+	}
+	t, err := p.targetFrom(head)
+	if err != nil {
+		return nil, err
+	}
+	return &Action{Direct: t}, nil
+}
+
+func (p *parser) call() (*Call, error) {
+	head, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if !IsBuiltin(head.Text) {
+		return nil, &SyntaxError{Pos: head.Pos, Near: head.Text,
+			Msg: "unknown builtin (want BEST, NEAREST or SWITCH)"}
+	}
+	return p.callArgs(strings.ToUpper(head.Text))
+}
+
+func (p *parser) callArgs(fn string) (*Call, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	// The paper's Table 2 row 455 has a doubled open paren:
+	// `SWITCH ((node1.Page1.html, node2.Page1.html)`. Accept and
+	// normalise it.
+	extraParen := false
+	if p.at(TokLParen) {
+		p.next()
+		extraParen = true
+	}
+	c := &Call{Fn: fn}
+	for {
+		t, err := p.target()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, *t)
+		if p.at(TokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if extraParen && p.at(TokRParen) {
+		p.next()
+	}
+	if len(c.Args) < 1 {
+		return nil, &SyntaxError{Pos: p.peek().Pos, Msg: fn + " needs at least one candidate"}
+	}
+	return c, nil
+}
+
+func (p *parser) target() (*Target, error) {
+	head, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	return p.targetFrom(head)
+}
+
+// targetFrom parses the remainder of a target whose first segment is
+// already consumed.
+func (p *parser) targetFrom(head Token) (*Target, error) {
+	t := &Target{Segments: []string{head.Text}}
+	for p.at(TokDot) {
+		// A dot at end-of-rule is the terminator, not a path segment.
+		if p.toks[p.pos+1].Kind != TokIdent && p.toks[p.pos+1].Kind != TokNumber {
+			break
+		}
+		p.next()
+		seg := p.next()
+		t.Segments = append(t.Segments, seg.Text)
+	}
+	if p.at(TokLParen) {
+		p.next()
+		for !p.at(TokRParen) && !p.at(TokEOF) {
+			w := p.next()
+			t.Args = append(t.Args, w.Text)
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,258 @@
+// Package core assembles the paper's §3 "Adaptive Data Management
+// architecture" into one composable object: a component assembly, an
+// ADL model with modes, a monitor/gauge registry, a prioritised
+// switching-rule set, a session manager watching the gauges, and an
+// adaptivity manager executing reconfiguration plans transactionally
+// — the complete Figure 1 loop behind a small API.
+//
+// A System is built declaratively:
+//
+//	sys, err := core.New(core.Config{
+//	    ADL:         adl.Figure4,
+//	    InitialMode: "docked",
+//	    Rules: []core.RuleSpec{{
+//	        ID:     1,
+//	        Source: "If bandwidth < 1000 then wireless.mode",
+//	        Action: core.ActionSwitchMode,
+//	    }},
+//	})
+//	err = sys.Start()
+//	sys.Publish(sample)   // adaptation happens inside the loop
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/adm-project/adm/internal/adapt"
+	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/component"
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/session"
+	"github.com/adm-project/adm/internal/simnet"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// ActionKind says how a fired rule's decision is executed.
+type ActionKind int
+
+// Rule action kinds.
+const (
+	// ActionSwitchMode treats the decision target's node as an ADL
+	// mode name and switches the assembly to it.
+	ActionSwitchMode ActionKind = iota
+	// ActionRebind re-wires one require port to the provider named by
+	// the decision target (node = component, resource = port).
+	ActionRebind
+	// ActionCustom invokes the rule's Handler.
+	ActionCustom
+)
+
+// RuleSpec declares one switching rule.
+type RuleSpec struct {
+	ID       int
+	Priority int
+	// Source is the constraint text (Table 2 syntax).
+	Source string
+	Action ActionKind
+	// RebindFrom/RebindPort identify the require endpoint ActionRebind
+	// re-wires.
+	RebindFrom string
+	RebindPort string
+	// Handler runs for ActionCustom.
+	Handler func(d constraint.Decision) error
+}
+
+// Config declares a system.
+type Config struct {
+	// Name labels trace output.
+	Name string
+	// ADL is the architecture description source.
+	ADL string
+	// InitialMode selects the boot configuration ("" = base).
+	InitialMode string
+	// Rules are the switching rules.
+	Rules []RuleSpec
+	// Impl supplies provided-port handlers to the component factory
+	// (nil handlers echo).
+	Impl func(typeName, port string) component.Handler
+	// CooldownMS suppresses adaptation thrash.
+	CooldownMS float64
+	// Clock supplies simulation time (a fresh clock if nil).
+	Clock *simnet.Clock
+}
+
+// System is a running adaptive data management instance.
+type System struct {
+	mu      sync.Mutex
+	name    string
+	clock   *simnet.Clock
+	log     *trace.Log
+	reg     *monitor.Registry
+	model   *adl.Model
+	asm     *component.Assembly
+	factory adapt.Factory
+	am      *adapt.Manager
+	mc      *session.ModeController
+	sm      *session.Manager
+	started bool
+}
+
+// Errors.
+var (
+	ErrNoRules    = errors.New("core: config has no rules")
+	ErrNotStarted = errors.New("core: system not started")
+	ErrStarted    = errors.New("core: system already started")
+)
+
+// New validates the configuration and builds a stopped system.
+func New(cfg Config) (*System, error) {
+	if cfg.Name == "" {
+		cfg.Name = "adm"
+	}
+	model, err := adl.Parse(cfg.ADL)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if errs := model.Validate(); len(errs) != 0 {
+		return nil, fmt.Errorf("core: invalid architecture: %v", errs[0])
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simnet.NewClock()
+	}
+	log := trace.New()
+	s := &System{
+		name:  cfg.Name,
+		clock: clock,
+		log:   log,
+		reg:   monitor.NewRegistry(),
+		model: model,
+		asm:   component.NewAssembly(log, clock.Now),
+	}
+	s.factory = adapt.TypeFactory(model, cfg.Impl)
+	s.am = adapt.NewManager(s.asm, log, clock.Now)
+	s.mc = session.NewModeController(model, s.am, s.factory, cfg.InitialMode, log, clock.Now)
+
+	var prules []constraint.PrioritisedRule
+	handlers := map[int]RuleSpec{}
+	for _, rs := range cfg.Rules {
+		r, err := constraint.Parse(rs.Source)
+		if err != nil {
+			return nil, fmt.Errorf("core: rule %d: %w", rs.ID, err)
+		}
+		prules = append(prules, constraint.PrioritisedRule{ID: rs.ID, Priority: rs.Priority, Rule: r})
+		handlers[rs.ID] = rs
+	}
+	ruleset := constraint.NewRuleSet(prules...)
+	s.sm = session.New(cfg.Name+"-session", s.reg, ruleset, log, clock.Now,
+		func(d constraint.Decision, pr *constraint.PrioritisedRule) error {
+			spec, ok := handlers[pr.ID]
+			if !ok {
+				return fmt.Errorf("core: no spec for rule %d", pr.ID)
+			}
+			return s.execute(spec, d)
+		})
+	s.sm.CooldownMS = cfg.CooldownMS
+	if err := adapt.Instantiate(s.asm, model, cfg.InitialMode, s.factory); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *System) execute(spec RuleSpec, d constraint.Decision) error {
+	switch spec.Action {
+	case ActionSwitchMode:
+		return s.mc.SwitchTo(d.Target.Node())
+	case ActionRebind:
+		prov := d.Target.Node()
+		port := d.Target.Resource()
+		if port == "" {
+			port = spec.RebindPort
+		}
+		if b, ok := s.asm.BoundTo(spec.RebindFrom, spec.RebindPort); ok {
+			if b.ToComp == prov && b.ToPort == port {
+				return nil // already wired as decided
+			}
+			if err := s.asm.Unbind(spec.RebindFrom, spec.RebindPort); err != nil {
+				return err
+			}
+		}
+		return s.asm.Bind(spec.RebindFrom, spec.RebindPort, prov, port)
+	case ActionCustom:
+		if spec.Handler == nil {
+			return fmt.Errorf("core: rule %d: nil custom handler", spec.ID)
+		}
+		return spec.Handler(d)
+	}
+	return fmt.Errorf("core: rule %d: unknown action %d", spec.ID, spec.Action)
+}
+
+// Start boots the components and attaches the session manager to the
+// monitor feed.
+func (s *System) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return ErrStarted
+	}
+	if err := s.asm.StartAll(); err != nil {
+		return err
+	}
+	s.sm.Attach()
+	s.started = true
+	s.log.Emit(s.clock.Now(), trace.KindInfo, s.name, "system started in mode %q", s.mc.Mode())
+	return nil
+}
+
+// Publish feeds a monitor sample into the loop; adaptation (if any)
+// happens synchronously before Publish returns.
+func (s *System) Publish(sample monitor.Sample) {
+	s.reg.Publish(sample)
+}
+
+// PublishMetric is sugar over Publish.
+func (s *System) PublishMetric(metric, source string, value float64) {
+	s.Publish(monitor.Sample{
+		Key:    monitor.Key{Metric: metric, Source: source},
+		Value:  value,
+		TimeMS: s.clock.Now(),
+	})
+}
+
+// Call invokes through the live configuration.
+func (s *System) Call(caller, port string, req component.Request) (any, error) {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return nil, ErrNotStarted
+	}
+	return s.asm.Call(caller, port, req)
+}
+
+// Mode returns the current ADL mode.
+func (s *System) Mode() string { return s.mc.Mode() }
+
+// Assembly exposes the live configuration.
+func (s *System) Assembly() *component.Assembly { return s.asm }
+
+// Registry exposes the gauge environment.
+func (s *System) Registry() *monitor.Registry { return s.reg }
+
+// Log exposes the adaptation trace.
+func (s *System) Log() *trace.Log { return s.log }
+
+// Clock exposes the simulation clock.
+func (s *System) Clock() *simnet.Clock { return s.clock }
+
+// Adaptivity exposes the adaptivity manager (stats, migration).
+func (s *System) Adaptivity() *adapt.Manager { return s.am }
+
+// SessionStats returns the session manager's counters.
+func (s *System) SessionStats() session.Stats { return s.sm.Stats() }
+
+// Validate checks the running configuration's completeness.
+func (s *System) Validate() []error { return s.asm.Validate() }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/component"
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+func figure4System(t *testing.T, rules []RuleSpec) *System {
+	t.Helper()
+	sys, err := New(Config{
+		Name:        "test",
+		ADL:         adl.Figure4,
+		InitialMode: "docked",
+		Rules:       rules,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{ADL: "component A {"}); err == nil {
+		t.Fatal("bad ADL accepted")
+	}
+	if _, err := New(Config{ADL: `
+component A { require x : s; }
+inst a : A;
+`}); err == nil || !strings.Contains(err.Error(), "invalid architecture") {
+		t.Fatalf("invalid model accepted: %v", err)
+	}
+	if _, err := New(Config{ADL: adl.Figure4, InitialMode: "docked", Rules: []RuleSpec{
+		{ID: 1, Source: "NOT A RULE"},
+	}}); err == nil {
+		t.Fatal("bad rule accepted")
+	}
+	if _, err := New(Config{ADL: adl.Figure4, InitialMode: "flying"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestLifecycleGuards(t *testing.T) {
+	sys := figure4System(t, nil)
+	if _, err := sys.Call("qm", "pages", component.Request{}); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("call before start: %v", err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); !errors.Is(err, ErrStarted) {
+		t.Fatalf("double start: %v", err)
+	}
+	if _, err := sys.Call("qm", "pages", component.Request{Payload: 1}); err != nil {
+		t.Fatalf("call after start: %v", err)
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatalf("invalid: %v", errs)
+	}
+}
+
+func TestModeSwitchViaPublish(t *testing.T) {
+	sys := figure4System(t, []RuleSpec{{
+		ID: 1, Source: "If bandwidth < 1000 then wireless.mode", Action: ActionSwitchMode,
+	}})
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sys.PublishMetric(monitor.MetricBandwidth, "", 10_000)
+	if sys.Mode() != "docked" {
+		t.Fatal("premature switch")
+	}
+	sys.PublishMetric(monitor.MetricBandwidth, "", 500)
+	if sys.Mode() != "wireless" {
+		t.Fatalf("mode = %q", sys.Mode())
+	}
+	if _, ok := sys.Assembly().Component("wopt"); !ok {
+		t.Fatal("wireless optimiser not live")
+	}
+	if sys.Log().Count(trace.KindSwitch) != 1 {
+		t.Fatalf("trace: %s", sys.Log().Summary())
+	}
+	st := sys.SessionStats()
+	if st.Actions != 1 || st.Violations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if sys.Adaptivity().Stats().Switches != 1 {
+		t.Fatalf("am stats = %+v", sys.Adaptivity().Stats())
+	}
+}
+
+const rebindADL = `
+component App   { require store : kv; }
+component FastKV { provide get : kv; }
+component SmallKV { provide get : kv; }
+inst app   : App;
+inst fast  : FastKV;
+inst small : SmallKV;
+bind app.store -- fast.get;
+`
+
+func TestRebindAction(t *testing.T) {
+	sys, err := New(Config{
+		ADL: rebindADL,
+		Rules: []RuleSpec{{
+			ID:         1,
+			Source:     "If battery < 20 then small.get",
+			Action:     ActionRebind,
+			RebindFrom: "app",
+			RebindPort: "store",
+		}},
+		Impl: func(typeName, port string) component.Handler {
+			name := typeName
+			return func(component.Request) (any, error) { return name, nil }
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.Call("app", "store", component.Request{})
+	if err != nil || out != "FastKV" {
+		t.Fatalf("initial provider: %v %v", out, err)
+	}
+	sys.PublishMetric(monitor.MetricBattery, "", 15)
+	out, err = sys.Call("app", "store", component.Request{})
+	if err != nil || out != "SmallKV" {
+		t.Fatalf("post-adapt provider: %v %v", out, err)
+	}
+	// Re-publishing the same state must not thrash (decision equals
+	// current target).
+	before := sys.SessionStats().Actions
+	sys.PublishMetric(monitor.MetricBattery, "", 14)
+	if got := sys.SessionStats().Actions; got != before {
+		t.Fatalf("rebind thrashed: %d -> %d", before, got)
+	}
+}
+
+func TestCustomAction(t *testing.T) {
+	fired := 0
+	sys, err := New(Config{
+		ADL: rebindADL,
+		Rules: []RuleSpec{{
+			ID:     9,
+			Source: "If request-rate > 100 then overload.alarm",
+			Action: ActionCustom,
+			Handler: func(d constraint.Decision) error {
+				fired++
+				return nil
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Start()
+	sys.PublishMetric(monitor.MetricRequestRate, "", 500)
+	if fired != 1 {
+		t.Fatalf("custom handler fired %d times", fired)
+	}
+}
+
+func TestCustomActionNilHandler(t *testing.T) {
+	sys, err := New(Config{
+		ADL:   rebindADL,
+		Rules: []RuleSpec{{ID: 9, Source: "If request-rate > 100 then x.y", Action: ActionCustom}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Start()
+	sys.PublishMetric(monitor.MetricRequestRate, "", 500)
+	if sys.SessionStats().Failures != 1 {
+		t.Fatalf("stats = %+v", sys.SessionStats())
+	}
+}
+
+func TestCooldownInSystem(t *testing.T) {
+	sys, err := New(Config{
+		ADL:         adl.Figure4,
+		InitialMode: "docked",
+		CooldownMS:  1000,
+		Rules: []RuleSpec{
+			{ID: 1, Source: "If bandwidth < 1000 then wireless.mode", Action: ActionSwitchMode},
+			{ID: 2, Source: "If bandwidth >= 1000 then docked.mode", Action: ActionSwitchMode, Priority: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys.Start()
+	sys.PublishMetric(monitor.MetricBandwidth, "", 500)
+	if sys.Mode() != "wireless" {
+		t.Fatalf("mode = %s", sys.Mode())
+	}
+	// Immediate flip back is suppressed by the cooldown.
+	sys.PublishMetric(monitor.MetricBandwidth, "", 10_000)
+	if sys.Mode() != "wireless" {
+		t.Fatal("cooldown violated")
+	}
+	if sys.SessionStats().Skips == 0 {
+		t.Fatalf("stats = %+v", sys.SessionStats())
+	}
+	// After the cooldown the flip-back applies.
+	sys.Clock().Schedule(2000, func() {})
+	sys.Clock().Run()
+	sys.PublishMetric(monitor.MetricBandwidth, "", 10_000)
+	if sys.Mode() != "docked" {
+		t.Fatalf("mode = %s", sys.Mode())
+	}
+}
+
+func TestFailedSwitchKeepsConfigurationValid(t *testing.T) {
+	// A rule that names an unknown mode: the switch errors, the
+	// session records a failure, and the configuration stays intact.
+	sys := figure4System(t, []RuleSpec{{
+		ID: 1, Source: "If bandwidth < 1000 then flying.mode", Action: ActionSwitchMode,
+	}})
+	_ = sys.Start()
+	sys.PublishMetric(monitor.MetricBandwidth, "", 10)
+	if sys.Mode() != "docked" {
+		t.Fatalf("mode = %s", sys.Mode())
+	}
+	if sys.SessionStats().Failures != 1 {
+		t.Fatalf("stats = %+v", sys.SessionStats())
+	}
+	if errs := sys.Validate(); len(errs) != 0 {
+		t.Fatalf("invalid after failed switch: %v", errs)
+	}
+}

@@ -1,0 +1,329 @@
+// Package datacomp implements the paper's data component structure
+// (Figure 2): payload data plus "the standard metadata found in
+// traditional databases e.g. attribute statistics, triggers", the
+// adaptability rules bound to the component, and "the list of
+// versions ... not necessarily exact replicas; they could be
+// compressed versions of the data (perhaps with associated
+// decompression code) or be out-of-date. They also could be lower
+// quality versions or summaries of the data."
+package datacomp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/adm-project/adm/internal/constraint"
+)
+
+// PayloadKind tags the heterogeneous representations the paper
+// anticipates: "OO structured data concerned with a person or a
+// relational table used for transaction processing or an XML stream".
+type PayloadKind string
+
+// Payload kinds.
+const (
+	KindRelational PayloadKind = "relational"
+	KindXMLStream  PayloadKind = "xml-stream"
+	KindObject     PayloadKind = "object"
+	KindWebAtom    PayloadKind = "web-atom"
+)
+
+// AttrStats is per-attribute metadata: the statistics the optimiser
+// consults (and which Scenario 3 deliberately gets wrong).
+type AttrStats struct {
+	Name     string
+	Distinct int
+	Min, Max float64
+	NullFrac float64
+}
+
+// Trigger is a named metadata trigger (fired on update).
+type Trigger struct {
+	Name   string
+	Event  string // insert|update|delete
+	Action string // free-form description; execution is app-specific
+}
+
+// Metadata is the traditional-database metadata block of Figure 2.
+type Metadata struct {
+	Rows     int
+	Bytes    int
+	Attrs    []AttrStats
+	Triggers []Trigger
+}
+
+// Attr finds attribute stats by name.
+func (m *Metadata) Attr(name string) (AttrStats, bool) {
+	for _, a := range m.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttrStats{}, false
+}
+
+// VersionKind classifies an alternative representation.
+type VersionKind string
+
+// Version kinds from Figure 2's narration.
+const (
+	VersionReplica    VersionKind = "replica"    // exact copy elsewhere
+	VersionCompressed VersionKind = "compressed" // smaller, needs decode
+	VersionSummary    VersionKind = "summary"    // lower quality
+	VersionStale      VersionKind = "stale"      // out-of-date copy
+)
+
+// Decoder is the "associated decompression code" a compressed version
+// carries: it rehydrates the delivered bytes.
+type Decoder func(data []byte) ([]byte, error)
+
+// Version is one entry in the component's version list.
+type Version struct {
+	// Node hosts this version.
+	Node string
+	// Kind classifies it.
+	Kind VersionKind
+	// Bytes is the wire size of this version.
+	Bytes int
+	// Quality in (0,1]: 1 = exact. Summaries trade quality for size.
+	Quality float64
+	// StalenessMS is how far behind the authoritative copy it is.
+	StalenessMS float64
+	// DecodeCostMS is CPU time to rehydrate (compressed versions).
+	DecodeCostMS float64
+	// Decoder rehydrates delivered bytes (nil = identity).
+	Decoder Decoder
+	// Data is the version's payload bytes.
+	Data []byte
+}
+
+// Label renders a short identity for traces.
+func (v Version) Label() string {
+	return fmt.Sprintf("%s@%s(%dB q=%.2f)", v.Kind, v.Node, v.Bytes, v.Quality)
+}
+
+// Component is a data component: the unit the adaptive architecture
+// moves, re-binds and serves in alternative versions.
+type Component struct {
+	mu       sync.RWMutex
+	ID       string
+	Name     string
+	Kind     PayloadKind
+	Primary  []byte
+	Meta     Metadata
+	Rules    *constraint.RuleSet
+	versions []Version
+}
+
+// New creates a data component with the given primary payload.
+func New(id, name string, kind PayloadKind, primary []byte) *Component {
+	return &Component{
+		ID:      id,
+		Name:    name,
+		Kind:    kind,
+		Primary: primary,
+		Rules:   constraint.NewRuleSet(),
+	}
+}
+
+// AddVersion appends a version to the list.
+func (c *Component) AddVersion(v Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.versions = append(c.versions, v)
+}
+
+// Versions returns a snapshot of the version list.
+func (c *Component) Versions() []Version {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Version(nil), c.versions...)
+}
+
+// VersionsAt returns the versions hosted on a node.
+func (c *Component) VersionsAt(node string) []Version {
+	var out []Version
+	for _, v := range c.Versions() {
+		if v.Node == node {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Requirements bound what a consumer will accept from a version.
+type Requirements struct {
+	// MinQuality rejects summaries below this fidelity.
+	MinQuality float64
+	// MaxStalenessMS rejects copies too far out of date ("the ability
+	// to cope with slightly out-of-date data" has limits).
+	MaxStalenessMS float64
+	// DeadlineMS bounds delivery time (transfer + decode); 0 = none.
+	DeadlineMS float64
+}
+
+// LinkModel prices a transfer of n bytes from a node.
+type LinkModel func(node string, bytes int) (ms float64, ok bool)
+
+// ErrNoVersion is returned when no version satisfies the requirements.
+var ErrNoVersion = errors.New("datacomp: no version satisfies requirements")
+
+// Choice is the outcome of version selection.
+type Choice struct {
+	Version    Version
+	TransferMS float64
+	TotalMS    float64 // transfer + decode
+}
+
+// Select picks the best version under req given link costs: among the
+// versions that satisfy quality/staleness/deadline, the highest
+// quality wins, with delivery time as tie-breaker. This is Scenario
+// 2's decision — "decides to send a compressed version of the data
+// thus using more resources on both the sensor and the Laptop while
+// saving communication time" — falling out of the deadline term.
+func (c *Component) Select(req Requirements, link LinkModel) (Choice, error) {
+	var best *Choice
+	for _, v := range c.Versions() {
+		if v.Quality < req.MinQuality {
+			continue
+		}
+		if req.MaxStalenessMS > 0 && v.StalenessMS > req.MaxStalenessMS {
+			continue
+		}
+		tms, ok := link(v.Node, v.Bytes)
+		if !ok {
+			continue
+		}
+		total := tms + v.DecodeCostMS
+		if req.DeadlineMS > 0 && total > req.DeadlineMS {
+			continue
+		}
+		ch := Choice{Version: v, TransferMS: tms, TotalMS: total}
+		if best == nil || better(ch, *best) {
+			b := ch
+			best = &b
+		}
+	}
+	if best == nil {
+		return Choice{}, fmt.Errorf("%w: %s", ErrNoVersion, c.Name)
+	}
+	return *best, nil
+}
+
+func better(a, b Choice) bool {
+	if a.Version.Quality != b.Version.Quality {
+		return a.Version.Quality > b.Version.Quality
+	}
+	if a.TotalMS != b.TotalMS {
+		return a.TotalMS < b.TotalMS
+	}
+	return a.Version.StalenessMS < b.Version.StalenessMS
+}
+
+// Fetch returns the decoded payload of a chosen version.
+func (ch Choice) Fetch() ([]byte, error) {
+	if ch.Version.Decoder == nil {
+		return ch.Version.Data, nil
+	}
+	return ch.Version.Decoder(ch.Version.Data)
+}
+
+// ---------------------------------------------------------------------------
+// Catalog: the distributed directory of data components.
+
+// Catalog indexes data components by id and by hosting node.
+type Catalog struct {
+	mu    sync.RWMutex
+	comps map[string]*Component
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{comps: map[string]*Component{}} }
+
+// Put registers a component (replacing any same-id entry).
+func (cat *Catalog) Put(c *Component) {
+	cat.mu.Lock()
+	defer cat.mu.Unlock()
+	cat.comps[c.ID] = c
+}
+
+// Get looks a component up by id.
+func (cat *Catalog) Get(id string) (*Component, bool) {
+	cat.mu.RLock()
+	defer cat.mu.RUnlock()
+	c, ok := cat.comps[id]
+	return c, ok
+}
+
+// IDs lists registered component ids, sorted.
+func (cat *Catalog) IDs() []string {
+	cat.mu.RLock()
+	defer cat.mu.RUnlock()
+	out := make([]string, 0, len(cat.comps))
+	for id := range cat.comps {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostedOn lists component ids with at least one version on node.
+func (cat *Catalog) HostedOn(node string) []string {
+	var out []string
+	for _, id := range cat.IDs() {
+		c, _ := cat.Get(id)
+		if len(c.VersionsAt(node)) > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MigrateVersions reassigns every version of component id hosted on
+// `from` to `to` — the data side of an agent SWITCH.
+func (cat *Catalog) MigrateVersions(id, from, to string) (int, error) {
+	c, ok := cat.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("datacomp: unknown component %q", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.versions {
+		if c.versions[i].Node == from {
+			c.versions[i].Node = to
+			n++
+		}
+	}
+	return n, nil
+}
+
+// QualityBound returns the best quality reachable under req and link —
+// used by experiments to report how adaptation degrades results
+// gracefully rather than failing. Returns 0 when nothing qualifies.
+func (c *Component) QualityBound(req Requirements, link LinkModel) float64 {
+	ch, err := c.Select(req, link)
+	if err != nil {
+		return 0
+	}
+	return ch.Version.Quality
+}
+
+// StaticLink builds a LinkModel from a fixed table of per-node
+// bandwidth (Kbps) and latency (ms); useful in tests.
+func StaticLink(kbps, latency map[string]float64) LinkModel {
+	return func(node string, bytes int) (float64, bool) {
+		bw, ok := kbps[node]
+		if !ok || bw <= 0 {
+			return 0, false
+		}
+		lat := latency[node]
+		return lat + float64(bytes)*8/bw, true
+	}
+}
+
+// Inf is a convenience for tests asserting unreachable versions.
+var Inf = math.Inf(1)

@@ -1,0 +1,201 @@
+package datacomp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func personComponent() *Component {
+	c := New("dc1", "personal-data", KindObject, []byte("full-data"))
+	c.Meta = Metadata{
+		Rows:  1000,
+		Bytes: 100_000,
+		Attrs: []AttrStats{
+			{Name: "age", Distinct: 80, Min: 0, Max: 110},
+			{Name: "name", Distinct: 950},
+		},
+		Triggers: []Trigger{{Name: "audit", Event: "update", Action: "log"}},
+	}
+	c.AddVersion(Version{Node: "Laptop", Kind: VersionReplica, Bytes: 100_000, Quality: 1})
+	c.AddVersion(Version{Node: "Laptop", Kind: VersionCompressed, Bytes: 20_000, Quality: 1,
+		DecodeCostMS: 30, Data: []byte("compressed"), Decoder: func(b []byte) ([]byte, error) {
+			return []byte("full-data"), nil
+		}})
+	c.AddVersion(Version{Node: "PDA", Kind: VersionSummary, Bytes: 5_000, Quality: 0.25})
+	c.AddVersion(Version{Node: "server", Kind: VersionStale, Bytes: 100_000, Quality: 1, StalenessMS: 60_000})
+	return c
+}
+
+func fastLinks() LinkModel {
+	return StaticLink(
+		map[string]float64{"Laptop": 10_000, "PDA": 500, "server": 2_000},
+		map[string]float64{"Laptop": 1, "PDA": 20, "server": 5},
+	)
+}
+
+func TestMetadataAttr(t *testing.T) {
+	c := personComponent()
+	a, ok := c.Meta.Attr("age")
+	if !ok || a.Distinct != 80 {
+		t.Fatalf("attr = %+v %v", a, ok)
+	}
+	if _, ok := c.Meta.Attr("ghost"); ok {
+		t.Fatal("ghost attribute found")
+	}
+}
+
+func TestSelectPrefersQualityThenSpeed(t *testing.T) {
+	c := personComponent()
+	ch, err := c.Select(Requirements{MinQuality: 0.5}, fastLinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica and compressed both quality 1; compressed is smaller:
+	// replica = 1 + 800000/10000 = 81ms; compressed = 1+160000/10000+30 = 47ms.
+	if ch.Version.Kind != VersionCompressed {
+		t.Fatalf("chose %s", ch.Version.Label())
+	}
+}
+
+func TestSelectDeadlineForcesCompressed(t *testing.T) {
+	c := personComponent()
+	// Slow link to Laptop: full replica takes 1+800000/500 = 1601ms,
+	// compressed takes 1+160000/500+30 = 351ms.
+	slow := StaticLink(map[string]float64{"Laptop": 500}, map[string]float64{"Laptop": 1})
+	ch, err := c.Select(Requirements{MinQuality: 1, DeadlineMS: 400}, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Version.Kind != VersionCompressed {
+		t.Fatalf("deadline should force the compressed version, got %s", ch.Version.Label())
+	}
+	data, err := ch.Fetch()
+	if err != nil || string(data) != "full-data" {
+		t.Fatalf("fetch = %q %v", data, err)
+	}
+}
+
+func TestSelectQualityFloorExcludesSummary(t *testing.T) {
+	c := personComponent()
+	onlyPDA := StaticLink(map[string]float64{"PDA": 500}, nil)
+	if _, err := c.Select(Requirements{MinQuality: 0.5}, onlyPDA); !errors.Is(err, ErrNoVersion) {
+		t.Fatalf("want ErrNoVersion, got %v", err)
+	}
+	ch, err := c.Select(Requirements{MinQuality: 0.2}, onlyPDA)
+	if err != nil || ch.Version.Kind != VersionSummary {
+		t.Fatalf("ch=%v err=%v", ch, err)
+	}
+}
+
+func TestSelectStalenessBound(t *testing.T) {
+	c := personComponent()
+	onlyServer := StaticLink(map[string]float64{"server": 2000}, nil)
+	if _, err := c.Select(Requirements{MaxStalenessMS: 1000}, onlyServer); !errors.Is(err, ErrNoVersion) {
+		t.Fatal("stale copy must be rejected under tight staleness bound")
+	}
+	ch, err := c.Select(Requirements{MaxStalenessMS: 120_000}, onlyServer)
+	if err != nil || ch.Version.Kind != VersionStale {
+		t.Fatalf("ch=%v err=%v", ch, err)
+	}
+}
+
+func TestSelectUnreachableNodesSkipped(t *testing.T) {
+	c := personComponent()
+	if _, err := c.Select(Requirements{}, StaticLink(nil, nil)); !errors.Is(err, ErrNoVersion) {
+		t.Fatal("no links must mean no version")
+	}
+}
+
+func TestFetchIdentityDecoder(t *testing.T) {
+	v := Version{Data: []byte("abc")}
+	ch := Choice{Version: v}
+	b, err := ch.Fetch()
+	if err != nil || string(b) != "abc" {
+		t.Fatalf("fetch = %q %v", b, err)
+	}
+}
+
+func TestQualityBound(t *testing.T) {
+	c := personComponent()
+	if q := c.QualityBound(Requirements{}, fastLinks()); q != 1 {
+		t.Fatalf("q = %v", q)
+	}
+	if q := c.QualityBound(Requirements{MinQuality: 2}, fastLinks()); q != 0 {
+		t.Fatalf("impossible requirement: q = %v", q)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := NewCatalog()
+	c := personComponent()
+	cat.Put(c)
+	got, ok := cat.Get("dc1")
+	if !ok || got != c {
+		t.Fatal("get failed")
+	}
+	if _, ok := cat.Get("zz"); ok {
+		t.Fatal("phantom component")
+	}
+	if ids := cat.IDs(); len(ids) != 1 || ids[0] != "dc1" {
+		t.Fatalf("ids = %v", ids)
+	}
+	hosted := cat.HostedOn("Laptop")
+	if len(hosted) != 1 {
+		t.Fatalf("hosted = %v", hosted)
+	}
+	if hosted := cat.HostedOn("mars"); len(hosted) != 0 {
+		t.Fatalf("hosted = %v", hosted)
+	}
+}
+
+func TestMigrateVersions(t *testing.T) {
+	cat := NewCatalog()
+	c := personComponent()
+	cat.Put(c)
+	n, err := cat.MigrateVersions("dc1", "Laptop", "server")
+	if err != nil || n != 2 {
+		t.Fatalf("migrated %d, err %v", n, err)
+	}
+	if len(c.VersionsAt("Laptop")) != 0 {
+		t.Fatal("versions left behind")
+	}
+	if len(c.VersionsAt("server")) != 3 { // 2 migrated + 1 stale already there
+		t.Fatalf("server versions = %d", len(c.VersionsAt("server")))
+	}
+	if _, err := cat.MigrateVersions("nope", "a", "b"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+// Property: Select never returns a version violating the requirements,
+// and among admissible versions it returns a maximal-quality one.
+func TestSelectRespectsRequirementsProperty(t *testing.T) {
+	f := func(quals [5]uint8, sizes [5]uint16, minQRaw uint8) bool {
+		c := New("x", "x", KindRelational, nil)
+		for i := 0; i < 5; i++ {
+			c.AddVersion(Version{
+				Node:    "n",
+				Kind:    VersionReplica,
+				Bytes:   int(sizes[i]) + 1,
+				Quality: float64(quals[i]%100+1) / 100,
+			})
+		}
+		minQ := float64(minQRaw%100) / 100
+		link := StaticLink(map[string]float64{"n": 1000}, nil)
+		ch, err := c.Select(Requirements{MinQuality: minQ}, link)
+		var bestAdmissible float64
+		for _, v := range c.Versions() {
+			if v.Quality >= minQ && v.Quality > bestAdmissible {
+				bestAdmissible = v.Quality
+			}
+		}
+		if bestAdmissible == 0 {
+			return errors.Is(err, ErrNoVersion)
+		}
+		return err == nil && ch.Version.Quality == bestAdmissible && ch.Version.Quality >= minQ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,345 @@
+// Package device models the computing units of the paper's ubiquitous
+// scenarios — "anything from a set of sensors, PDAs, mobile phones and
+// webpads etc. to servers" (§1) — with the capacity, load, battery and
+// docking state the BEST/NEAREST constraints and Scenario 2's
+// undocking event consume. Devices publish their vitals into the
+// monitor registry on every tick, exactly as the paper's monitors
+// feed the session manager.
+package device
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/simnet"
+)
+
+// Class labels a device's role.
+type Class string
+
+// Device classes from Figure 3.
+const (
+	ClassSensor Class = "sensor"
+	ClassPDA    Class = "pda"
+	ClassLaptop Class = "laptop"
+	ClassServer Class = "server"
+)
+
+// Spec is the static capability sheet for a device class.
+type Spec struct {
+	Class Class
+	// CapacityUnits is the abstract compute capacity BEST compares.
+	CapacityUnits float64
+	// MemKB is main memory (bounds buffer pools and join hash tables).
+	MemKB int
+	// DrainPerSec is battery percentage drained per simulated second
+	// when undocked.
+	DrainPerSec float64
+}
+
+// DefaultSpecs returns the calibration used by the scenarios: a
+// laptop has "much more capacity compared with the PDA" (§4).
+func DefaultSpecs() map[Class]Spec {
+	return map[Class]Spec{
+		ClassSensor: {Class: ClassSensor, CapacityUnits: 2, MemKB: 64, DrainPerSec: 0.002},
+		ClassPDA:    {Class: ClassPDA, CapacityUnits: 20, MemKB: 16 * 1024, DrainPerSec: 0.02},
+		ClassLaptop: {Class: ClassLaptop, CapacityUnits: 100, MemKB: 512 * 1024, DrainPerSec: 0.05},
+		ClassServer: {Class: ClassServer, CapacityUnits: 400, MemKB: 4 * 1024 * 1024, DrainPerSec: 0},
+	}
+}
+
+// Device is one running unit.
+type Device struct {
+	mu       sync.Mutex
+	name     string
+	spec     Spec
+	docked   bool
+	battery  float64 // percent
+	load     float64 // abstract units, <= capacity in sane states
+	util     float64 // percent 0..100, derived from load/capacity
+	distance float64 // metres from the querying user (NEAREST)
+	pos      *position
+	alive    bool
+}
+
+type position struct{ x, y float64 }
+
+// New creates a device, initially docked with a full battery.
+func New(name string, spec Spec) *Device {
+	return &Device{name: name, spec: spec, docked: true, battery: 100, alive: true}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Class returns the device class.
+func (d *Device) Class() Class { return d.spec.Class }
+
+// Spec returns the static capability sheet.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Docked reports docking state.
+func (d *Device) Docked() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.docked
+}
+
+// Dock attaches the device to power + Ethernet.
+func (d *Device) Dock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.docked = true
+}
+
+// Undock detaches power; battery drain begins (Scenario 2: "it has
+// been unplugged and is now working off the battery and wireless
+// network").
+func (d *Device) Undock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.docked = false
+}
+
+// Battery returns remaining battery percentage.
+func (d *Device) Battery() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.battery
+}
+
+// Alive reports whether the device is still running (battery > 0).
+// "The system must be able to cope with units failing — perhaps mid
+// way through answering a query" (§1).
+func (d *Device) Alive() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alive
+}
+
+// Kill force-fails the device (failure-injection in tests).
+func (d *Device) Kill() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.alive = false
+}
+
+// SetLoad sets the current load in capacity units; utilisation is
+// derived. Loads above capacity saturate utilisation at 100.
+func (d *Device) SetLoad(load float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if load < 0 {
+		load = 0
+	}
+	d.load = load
+	if d.spec.CapacityUnits > 0 {
+		d.util = 100 * load / d.spec.CapacityUnits
+		if d.util > 100 {
+			d.util = 100
+		}
+	}
+}
+
+// AddLoad adjusts load by delta.
+func (d *Device) AddLoad(delta float64) {
+	d.mu.Lock()
+	load := d.load + delta
+	d.mu.Unlock()
+	d.SetLoad(load)
+}
+
+// Load returns current load units.
+func (d *Device) Load() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.load
+}
+
+// Util returns processor utilisation percent.
+func (d *Device) Util() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.util
+}
+
+// SetDistance sets the device's distance from the query origin
+// directly (used when no positions are modelled).
+func (d *Device) SetDistance(m float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.distance = m
+}
+
+// SetPosition places the device on the plane; once positioned, its
+// published distance is computed from geometry (NEAREST over moving
+// devices).
+func (d *Device) SetPosition(x, y float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pos = &position{x: x, y: y}
+}
+
+// Position returns the device's coordinates (ok=false if unplaced).
+func (d *Device) Position() (x, y float64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pos == nil {
+		return 0, 0, false
+	}
+	return d.pos.x, d.pos.y, true
+}
+
+// DistanceTo returns the Euclidean distance to another positioned
+// device (ok=false when either is unplaced).
+func (d *Device) DistanceTo(o *Device) (float64, bool) {
+	x1, y1, ok1 := d.Position()
+	x2, y2, ok2 := o.Position()
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	dx, dy := x1-x2, y1-y2
+	return math.Sqrt(dx*dx + dy*dy), true
+}
+
+// Tick advances the device dt milliseconds: battery drain when
+// undocked; a drained battery kills the device.
+func (d *Device) Tick(dtMS float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.alive {
+		return
+	}
+	if !d.docked {
+		d.battery -= d.spec.DrainPerSec * dtMS / 1000
+		if d.battery <= 0 {
+			d.battery = 0
+			d.alive = false
+		}
+	}
+}
+
+// PublishVitals emits capacity, load, processor-util, battery and
+// distance samples for this device at time t.
+func (d *Device) PublishVitals(reg *monitor.Registry, t float64) {
+	d.mu.Lock()
+	name := d.name
+	samples := []monitor.Sample{
+		{Key: monitor.Key{Metric: monitor.MetricCapacity, Source: name}, Value: d.spec.CapacityUnits, TimeMS: t},
+		{Key: monitor.Key{Metric: monitor.MetricLoad, Source: name}, Value: d.load, TimeMS: t},
+		{Key: monitor.Key{Metric: monitor.MetricProcessorUtil, Source: name}, Value: d.util, TimeMS: t},
+		{Key: monitor.Key{Metric: monitor.MetricBattery, Source: name}, Value: d.battery, TimeMS: t},
+		{Key: monitor.Key{Metric: monitor.MetricDistance, Source: name}, Value: d.distance, TimeMS: t},
+	}
+	d.mu.Unlock()
+	for _, s := range samples {
+		reg.Publish(s)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Testbed: the Figure 3 topology.
+
+// Testbed is the sensor–Laptop–PDA subset of a ubiquitous system used
+// by the Section 4 scenarios, wired over a simulated network with a
+// shared clock and monitor registry.
+type Testbed struct {
+	Clock   *simnet.Clock
+	Net     *simnet.Network
+	Reg     *monitor.Registry
+	Devices map[string]*Device
+	// Querier, when set to a positioned device's name, makes
+	// PublishAll compute every device's distance metric relative to
+	// it — NEAREST then tracks movement.
+	Querier string
+}
+
+// Standard testbed node names.
+const (
+	NodeSensor = "sensor"
+	NodeLaptop = "Laptop"
+	NodePDA    = "PDA"
+)
+
+// NewTestbed builds the Figure 3 system: sensor—Laptop and
+// Laptop—PDA links plus a direct sensor—PDA wireless link; the Laptop
+// starts docked (Ethernet to the sensor's base station), the PDA is
+// always wireless.
+func NewTestbed(seed int64) *Testbed {
+	clock := simnet.NewClock()
+	reg := monitor.NewRegistry()
+	net := simnet.New(clock, reg, seed)
+	specs := DefaultSpecs()
+
+	tb := &Testbed{Clock: clock, Net: net, Reg: reg, Devices: map[string]*Device{}}
+	add := func(name string, class Class) {
+		net.AddNode(name)
+		tb.Devices[name] = New(name, specs[class])
+	}
+	add(NodeSensor, ClassSensor)
+	add(NodeLaptop, ClassLaptop)
+	add(NodePDA, ClassPDA)
+
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("testbed wiring: %v", err))
+		}
+	}
+	must(net.SetLink(NodeSensor, NodeLaptop, simnet.Ethernet))
+	must(net.SetLink(NodeLaptop, NodePDA, simnet.Wireless))
+	must(net.SetLink(NodeSensor, NodePDA, simnet.Wireless))
+
+	// Scenario defaults: laptop idle and roomy, PDA small and nearer.
+	tb.Devices[NodeLaptop].SetLoad(10)
+	tb.Devices[NodeLaptop].SetDistance(12)
+	tb.Devices[NodePDA].SetLoad(15)
+	tb.Devices[NodePDA].SetDistance(1)
+	tb.Devices[NodeSensor].SetLoad(1)
+	tb.Devices[NodeSensor].SetDistance(30)
+	tb.PublishAll()
+	return tb
+}
+
+// PublishAll pushes every device's vitals at the current time.
+func (tb *Testbed) PublishAll() {
+	names := make([]string, 0, len(tb.Devices))
+	for n := range tb.Devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var q *Device
+	if tb.Querier != "" {
+		q = tb.Devices[tb.Querier]
+	}
+	for _, n := range names {
+		d := tb.Devices[n]
+		if q != nil {
+			if dist, ok := d.DistanceTo(q); ok {
+				d.SetDistance(dist)
+			}
+		}
+		d.PublishVitals(tb.Reg, tb.Clock.Now())
+	}
+}
+
+// TickAll advances every device and republishes vitals.
+func (tb *Testbed) TickAll(dtMS float64) {
+	for _, d := range tb.Devices {
+		d.Tick(dtMS)
+	}
+	tb.PublishAll()
+}
+
+// UndockLaptop performs Scenario 2's environmental event: the Laptop
+// loses power and Ethernet; its links degrade to wireless.
+func (tb *Testbed) UndockLaptop() error {
+	tb.Devices[NodeLaptop].Undock()
+	if err := tb.Net.SetLink(NodeSensor, NodeLaptop, simnet.Wireless); err != nil {
+		return err
+	}
+	tb.PublishAll()
+	return nil
+}

@@ -1,0 +1,209 @@
+package device
+
+import (
+	"testing"
+
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/simnet"
+)
+
+func TestDeviceLoadAndUtil(t *testing.T) {
+	d := New("l", DefaultSpecs()[ClassLaptop]) // capacity 100
+	d.SetLoad(25)
+	if d.Util() != 25 || d.Load() != 25 {
+		t.Fatalf("util=%v load=%v", d.Util(), d.Load())
+	}
+	d.AddLoad(80)
+	if d.Util() != 100 { // saturates
+		t.Fatalf("util = %v", d.Util())
+	}
+	d.AddLoad(-1000)
+	if d.Load() != 0 {
+		t.Fatalf("load clamped = %v", d.Load())
+	}
+}
+
+func TestBatteryDrainOnlyWhenUndocked(t *testing.T) {
+	d := New("l", Spec{Class: ClassLaptop, CapacityUnits: 100, DrainPerSec: 1})
+	d.Tick(10_000)
+	if d.Battery() != 100 {
+		t.Fatalf("docked battery drained: %v", d.Battery())
+	}
+	d.Undock()
+	d.Tick(10_000) // 10s at 1%/s
+	if d.Battery() != 90 {
+		t.Fatalf("battery = %v, want 90", d.Battery())
+	}
+	d.Dock()
+	d.Tick(10_000)
+	if d.Battery() != 90 {
+		t.Fatal("re-docked device drained")
+	}
+}
+
+func TestBatteryExhaustionKills(t *testing.T) {
+	d := New("p", Spec{Class: ClassPDA, CapacityUnits: 10, DrainPerSec: 50})
+	d.Undock()
+	d.Tick(3000)
+	if d.Alive() {
+		t.Fatal("device should have died")
+	}
+	if d.Battery() != 0 {
+		t.Fatalf("battery = %v", d.Battery())
+	}
+	// Ticking a dead device is a no-op.
+	d.Tick(1000)
+	if d.Alive() {
+		t.Fatal("dead device revived")
+	}
+}
+
+func TestKill(t *testing.T) {
+	d := New("x", DefaultSpecs()[ClassServer])
+	d.Kill()
+	if d.Alive() {
+		t.Fatal("kill failed")
+	}
+}
+
+func TestPublishVitals(t *testing.T) {
+	reg := monitor.NewRegistry()
+	d := New("Laptop", DefaultSpecs()[ClassLaptop])
+	d.SetLoad(10)
+	d.SetDistance(12)
+	d.PublishVitals(reg, 5)
+	checks := map[string]float64{
+		monitor.MetricCapacity:      100,
+		monitor.MetricLoad:          10,
+		monitor.MetricProcessorUtil: 10,
+		monitor.MetricBattery:       100,
+		monitor.MetricDistance:      12,
+	}
+	for m, want := range checks {
+		got, ok := reg.Metric(m, "Laptop")
+		if !ok || got != want {
+			t.Errorf("%s = %v %v, want %v", m, got, ok, want)
+		}
+	}
+}
+
+func TestTestbedTopology(t *testing.T) {
+	tb := NewTestbed(1)
+	if len(tb.Devices) != 3 {
+		t.Fatalf("devices = %d", len(tb.Devices))
+	}
+	for _, pair := range [][2]string{
+		{NodeSensor, NodeLaptop}, {NodeLaptop, NodePDA}, {NodeSensor, NodePDA},
+	} {
+		if _, ok := tb.Net.Link(pair[0], pair[1]); !ok {
+			t.Errorf("missing link %v", pair)
+		}
+	}
+	p, _ := tb.Net.Link(NodeSensor, NodeLaptop)
+	if p.Name != "ethernet" {
+		t.Fatalf("initial sensor-laptop link = %q, want docked ethernet", p.Name)
+	}
+}
+
+// The testbed must make Scenario 1 come out as the paper says: "At the
+// moment the Laptop is better as it is not being used and has much
+// more capacity compared with the PDA", while the PDA is NEAREST.
+func TestTestbedScenario1Defaults(t *testing.T) {
+	tb := NewTestbed(1)
+	ctx := &constraint.Context{Env: tb.Reg}
+	best, err := constraint.MustParse("Select BEST (PDA, Laptop)").Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Target.Node() != NodeLaptop {
+		t.Fatalf("BEST = %v, want Laptop", best.Target)
+	}
+	near, err := constraint.MustParse("Select NEAREST (PDA, Laptop)").Eval(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.Target.Node() != NodePDA {
+		t.Fatalf("NEAREST = %v, want PDA", near.Target)
+	}
+}
+
+func TestUndockLaptopDegradesLink(t *testing.T) {
+	tb := NewTestbed(1)
+	if err := tb.UndockLaptop(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := tb.Net.Link(NodeSensor, NodeLaptop)
+	if p.Name != "wireless" {
+		t.Fatalf("post-undock link = %q", p.Name)
+	}
+	if tb.Devices[NodeLaptop].Docked() {
+		t.Fatal("laptop still docked")
+	}
+	bw, ok := tb.Reg.Metric(monitor.MetricBandwidth, simnet.LinkName(NodeSensor, NodeLaptop))
+	if !ok || bw != 500 {
+		t.Fatalf("bandwidth after undock = %v %v", bw, ok)
+	}
+}
+
+func TestTickAllRepublishes(t *testing.T) {
+	tb := NewTestbed(1)
+	tb.Devices[NodeLaptop].Undock()
+	before, _ := tb.Reg.Metric(monitor.MetricBattery, NodeLaptop)
+	tb.Clock.Schedule(60_000, func() {})
+	tb.Clock.Run()
+	tb.TickAll(60_000)
+	after, ok := tb.Reg.Metric(monitor.MetricBattery, NodeLaptop)
+	if !ok || after >= before {
+		t.Fatalf("battery %v -> %v, want drain visible in registry", before, after)
+	}
+}
+
+func TestPositionsAndDistanceTo(t *testing.T) {
+	a := New("a", DefaultSpecs()[ClassPDA])
+	b := New("b", DefaultSpecs()[ClassLaptop])
+	if _, _, ok := a.Position(); ok {
+		t.Fatal("unplaced device has a position")
+	}
+	if _, ok := a.DistanceTo(b); ok {
+		t.Fatal("distance between unplaced devices")
+	}
+	a.SetPosition(0, 0)
+	b.SetPosition(3, 4)
+	d, ok := a.DistanceTo(b)
+	if !ok || d != 5 {
+		t.Fatalf("distance = %v %v", d, ok)
+	}
+}
+
+// NEAREST over moving devices: the user (querier) walks away from the
+// PDA towards the Laptop, and the data component's NEAREST decision
+// follows — "the component can migrate, as can the data component"
+// (§3) driven purely by the monitor feed.
+func TestNearestTracksMovement(t *testing.T) {
+	tb := NewTestbed(1)
+	user := New("user", DefaultSpecs()[ClassPDA])
+	tb.Devices["user"] = user
+	tb.Querier = "user"
+	tb.Devices[NodePDA].SetPosition(0, 0)
+	tb.Devices[NodeLaptop].SetPosition(100, 0)
+	tb.Devices[NodeSensor].SetPosition(50, 80)
+	user.SetPosition(5, 0) // starts next to the PDA
+	tb.PublishAll()
+
+	near := constraint.MustParse("Select NEAREST (PDA, Laptop)")
+	ctx := &constraint.Context{Env: tb.Reg}
+	d, err := near.Eval(ctx)
+	if err != nil || d.Target.Node() != NodePDA {
+		t.Fatalf("near the PDA: %v %v", d, err)
+	}
+	// The user walks across the room.
+	for x := 5.0; x <= 95; x += 10 {
+		user.SetPosition(x, 0)
+		tb.PublishAll()
+	}
+	d, err = near.Eval(ctx)
+	if err != nil || d.Target.Node() != NodeLaptop {
+		t.Fatalf("near the Laptop: %v %v", d, err)
+	}
+}

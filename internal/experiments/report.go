@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation surface: Table 1 (RPC cycles), the §5.1 memory
+// claim, Table 2 (Patia constraints under a flash crowd and the
+// bandwidth-banded video rule), the Figure 1 adaptation loop, the
+// Figure 4/5 ADL switchover, the three Section 4 scenarios, and the
+// §2 adaptive-operator comparisons — each as a function returning a
+// structured Report with paper-vs-measured rows. cmd/admbench prints
+// them; bench_test.go wraps them in testing.B; EXPERIMENTS.md records
+// their output.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one reported line: what the paper says vs what we measured.
+type Row struct {
+	Name     string
+	Paper    string
+	Measured string
+	Note     string
+}
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string // "table1", "figure5", "scenario2", ...
+	Title string
+	Rows  []Row
+}
+
+// Add appends a row.
+func (r *Report) Add(name, paper, measured, note string) {
+	r.Rows = append(r.Rows, Row{Name: name, Paper: paper, Measured: measured, Note: note})
+}
+
+// String renders an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", r.ID, r.Title)
+	wName, wPaper, wMeas := len("metric"), len("paper"), len("measured")
+	for _, row := range r.Rows {
+		wName = maxi(wName, len(row.Name))
+		wPaper = maxi(wPaper, len(row.Paper))
+		wMeas = maxi(wMeas, len(row.Measured))
+	}
+	fmt.Fprintf(&b, "%-*s  %-*s  %-*s  %s\n", wName, "metric", wPaper, "paper", wMeas, "measured", "note")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %-*s  %s\n", wName, row.Name, wPaper, row.Paper, wMeas, row.Measured, row.Note)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a markdown table section.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	b.WriteString("| metric | paper | measured | note |\n|---|---|---|---|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", row.Name, row.Paper, row.Measured, row.Note)
+	}
+	return b.String()
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Runner is one named experiment.
+type Runner struct {
+	ID   string
+	Run  func() (*Report, error)
+	Desc string
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{ID: "table1", Desc: "RPC cycles: BSD vs Mach vs L4 vs Go!", Run: Table1},
+		{ID: "mem", Desc: "§5.1 protection-metadata memory per interface", Run: Memory},
+		{ID: "table1-sensitivity", Desc: "Table 1 shape under ±50% cost perturbation", Run: Table1Sensitivity},
+		{ID: "figure1", Desc: "adaptation-loop detection→switch latency", Run: Figure1Loop},
+		{ID: "figure5", Desc: "ADL docked→wireless switchover", Run: Figure5Switchover},
+		{ID: "figure6", Desc: "ORB-mediated invocation (thread migration)", Run: Figure6ORB},
+		{ID: "scenario1", Desc: "inter-query adaptation: BEST/NEAREST", Run: Scenario1},
+		{ID: "scenario2", Desc: "system adaptation: undock mid-stream", Run: Scenario2},
+		{ID: "scenario3", Desc: "intra-query adaptation: join replanning", Run: Scenario3},
+		{ID: "table2", Desc: "Patia flash crowd + banded video rule", Run: Table2},
+		{ID: "joins", Desc: "adaptive joins vs blocking baseline", Run: AdaptiveJoins},
+		{ID: "ripple", Desc: "ripple join online-aggregation trajectory", Run: Ripple},
+		{ID: "kendra", Desc: "Kendra codec switching under bandwidth drop", Run: Kendra},
+		{ID: "dbmachine", Desc: "§6: getpage via ORB vs monolithic syscall", Run: DBMachine},
+		{ID: "failover", Desc: "§1: query jumps to another device mid-flight", Run: Failover},
+		{ID: "learning", Desc: "§6 extension: self-tuning switch threshold", Run: Learning},
+		{ID: "ablation-trap", Desc: "SISR scan-at-load vs trap-at-run", Run: AblationTrapVsScan},
+		{ID: "ablation-grain", Desc: "fine vs thick component grain", Run: AblationGrain},
+		{ID: "ablation-gauges", Desc: "gauge aggregation vs raw feeds", Run: AblationGauges},
+		{ID: "ablation-tx", Desc: "transactional vs non-transactional rebind", Run: AblationTxRebind},
+		{ID: "ablation-eddy", Desc: "eddy routing vs static plan", Run: AblationEddy},
+	}
+}
+
+// ByID finds a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

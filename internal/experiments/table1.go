@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/adm-project/adm/internal/goos"
+	"github.com/adm-project/adm/internal/machine"
+)
+
+// Table1 regenerates the paper's Table 1: null-RPC cost in cycles on
+// each kernel-path model.
+func Table1() (*Report, error) {
+	rows, err := goos.Table1()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "table1", Title: "Relative RPC performance (cycles)"}
+	for _, r := range rows {
+		dev := 100 * (float64(r.Cycles) - float64(r.PaperCycles)) / float64(r.PaperCycles)
+		rep.Add(r.System, fmt.Sprintf("%d", r.PaperCycles), fmt.Sprintf("%d", r.Cycles),
+			fmt.Sprintf("%+.1f%% vs paper", dev))
+	}
+	return rep, nil
+}
+
+// Memory regenerates the §5.1 memory claim: 32 bytes per interface,
+// ~two orders of magnitude below page-granule protection.
+func Memory() (*Report, error) {
+	sys := goos.NewSystem(512)
+	text := machine.NewSeq().ALU("logic", 16).Build()
+	if _, err := sys.LoadType("svc", text); err != nil {
+		return nil, err
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		inst, err := sys.NewInstance(fmt.Sprintf("svc-%03d", i), "svc", 256)
+		if err != nil {
+			return nil, err
+		}
+		sys.ORB().Register(inst, 2, nil)
+	}
+	f := sys.Footprint()
+	rep := &Report{ID: "mem", Title: "Protection metadata for 100 components (1 interface each)"}
+	rep.Add("bytes/interface (ORB)", "32", fmt.Sprintf("%d", f.ORBTableBytes/f.Interfaces), "InterfaceEntry layout")
+	rep.Add("Go! total", "-", fmt.Sprintf("%d B", f.GoBytes()), "ORB table + 8B GDT descriptors")
+	rep.Add("page-based total", "-", fmt.Sprintf("%d B", f.PageBasedBytes), "4 KiB granule per protection domain")
+	rep.Add("ratio", "~100x", fmt.Sprintf("%.0fx", f.Ratio()), "paper: 'around two orders of magnitude'")
+	return rep, nil
+}
+
+// Figure6ORB measures one ORB-mediated invocation in detail.
+func Figure6ORB() (*Report, error) {
+	g, err := goos.NewGoPath()
+	if err != nil {
+		return nil, err
+	}
+	res, err := g.RPC(nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "figure6", Title: "Components invoke services via the ORB"}
+	rep.Add("null RPC cycles", "73", fmt.Sprintf("%d", res.Cycles), "3 segment loads each way")
+	rep.Add("instructions", "-", fmt.Sprintf("%d", res.Instructions), "")
+	for _, ph := range g.Breakdown() {
+		rep.Add("phase: "+ph.Name, "-", "-", ph.Notes)
+	}
+	return rep, nil
+}
+
+// AblationTrapVsScan compares SISR's scan-once protection against
+// trap-interposition on every invocation.
+func AblationTrapVsScan() (*Report, error) {
+	g, err := goos.NewGoPath()
+	if err != nil {
+		return nil, err
+	}
+	sisr, err := g.RPC(nil)
+	if err != nil {
+		return nil, err
+	}
+	sys := g.System()
+	caller, _ := sys.Instance("caller")
+	callee, _ := sys.Instance("callee")
+	id := sys.ORB().Register(callee, 4, nil)
+	trapped, err := sys.ORB().InvokeTrapped(caller, id)
+	if err != nil {
+		return nil, err
+	}
+	scanOnce := sys.ScanCycles()
+	rep := &Report{ID: "ablation-trap", Title: "SISR scan-at-load vs trap-at-run per RPC"}
+	rep.Add("SISR RPC", "-", fmt.Sprintf("%d cycles", sisr.Cycles), "no ring crossings")
+	rep.Add("trapped RPC", "-", fmt.Sprintf("%d cycles", trapped.Cycles),
+		fmt.Sprintf("%.1fx SISR", float64(trapped.Cycles)/float64(sisr.Cycles)))
+	rep.Add("scan cost (one-time)", "-", fmt.Sprintf("%d cycles", scanOnce),
+		fmt.Sprintf("amortised after %d calls", breakEven(scanOnce, trapped.Cycles-sisr.Cycles)))
+	return rep, nil
+}
+
+func breakEven(once uint64, perCall uint64) uint64 {
+	if perCall == 0 {
+		return 0
+	}
+	return (once + perCall - 1) / perCall
+}

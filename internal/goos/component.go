@@ -1,0 +1,211 @@
+package goos
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adm-project/adm/internal/machine"
+)
+
+// BytesPerInterface is the ORB's bookkeeping cost per registered
+// interface. The paper: "the space required per component is just 32
+// bytes for each interface" — the InterfaceEntry layout below accounts
+// for exactly that.
+const BytesPerInterface = 32
+
+// PageProtectionGranule is the smallest protection unit of a
+// page-based kernel (one 4 KiB page per protection domain), used by
+// the §5.1 memory comparison.
+const PageProtectionGranule = 4096
+
+// InterfaceID names a service entry point registered with the ORB.
+type InterfaceID uint32
+
+// InterfaceEntry is one ORB dispatch-table row. Field widths are
+// chosen so the entry is exactly 32 bytes, matching the paper's
+// figure; Size() asserts the layout.
+type InterfaceEntry struct {
+	ID        InterfaceID      // 4 bytes: interface identifier
+	TypeSel   machine.Selector // 2 bytes: callee type (code) segment
+	StackSel  machine.Selector // 2 bytes: callee stack segment
+	Entry     uint32           // 4 bytes: entry-point offset in the code segment
+	ArgWords  uint16           // 2 bytes: argument contract
+	Flags     uint16           // 2 bytes: permission bits
+	Nonce     uint64           // 8 bytes: unforgeable capability nonce
+	TypeCheck uint32           // 4 bytes: expected type tag of the instance
+	Reserved  uint32           // 4 bytes: padding to the 32-byte row
+}
+
+// Size returns the on-ORB size of an interface entry in bytes.
+func (InterfaceEntry) Size() int { return BytesPerInterface }
+
+// ComponentType is a Go! component type: one code segment shared by
+// all instances, plus the interfaces its text exports. "The unit of
+// protection in SISR is the component, which is protected through its
+// own data segment and is of a given type (which has its own
+// segment)."
+type ComponentType struct {
+	Name    string
+	Text    []machine.Instruction
+	CodeSel machine.Selector
+	typeTag uint32
+	ifaces  []InterfaceID
+}
+
+// Instance is a running component: its own data segment (the unit of
+// protection) plus its type's code segment.
+type Instance struct {
+	Name    string
+	Type    *ComponentType
+	DataSel machine.Selector
+	// DataBytes is the declared size of the instance data segment.
+	DataBytes uint32
+}
+
+// System is a Go! machine image: the GDT-backed component space and
+// the ORB. It owns the simulated machine.
+type System struct {
+	M       *machine.Machine
+	scanner Scanner
+	orb     *ORB
+
+	types     map[string]*ComponentType
+	instances map[string]*Instance
+	nextTag   uint32
+	scanCost  uint64
+}
+
+// Errors returned by the component loader.
+var (
+	ErrDuplicateType     = errors.New("goos: component type already loaded")
+	ErrUnknownType       = errors.New("goos: unknown component type")
+	ErrDuplicateInstance = errors.New("goos: instance name in use")
+	ErrUnknownInstance   = errors.New("goos: unknown instance")
+)
+
+// NewSystem boots a Go! image on a fresh machine. There is no kernel:
+// the machine starts (and stays) with SISR-scanned components and the
+// ORB as the only privileged resident. gdtSlots bounds the component
+// population.
+func NewSystem(gdtSlots int) *System {
+	s := &System{
+		M:         machine.New(machine.DefaultCostModel(), gdtSlots),
+		types:     make(map[string]*ComponentType),
+		instances: make(map[string]*Instance),
+		nextTag:   1,
+	}
+	s.orb = newORB(s)
+	return s
+}
+
+// ORB returns the system's object request broker.
+func (s *System) ORB() *ORB { return s.orb }
+
+// ScanCycles reports the cumulative load-time scan cost charged so
+// far (the SISR side of the trap-vs-scan ablation).
+func (s *System) ScanCycles() uint64 { return s.scanCost }
+
+// LoadType scans and installs a component type. A text section
+// containing any privileged instruction is rejected — this is the
+// entire SISR protection argument: reject at load, never trap at run.
+func (s *System) LoadType(name string, text []machine.Instruction) (*ComponentType, error) {
+	if _, ok := s.types[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateType, name)
+	}
+	rep := s.scanner.Scan(text)
+	s.scanCost += uint64(s.scanner.ScanCost(text))
+	if !rep.OK() {
+		return nil, &ScanError{Component: name, Report: rep}
+	}
+	sel, err := s.M.DefineSegment(machine.SegmentDescriptor{
+		Base: 0, Limit: uint32(len(text)), Kind: machine.SegCode, Present: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("goos: loading type %q: %w", name, err)
+	}
+	t := &ComponentType{Name: name, Text: text, CodeSel: sel, typeTag: s.nextTag}
+	s.nextTag++
+	s.types[name] = t
+	return t, nil
+}
+
+// NewInstance creates a protected instance of a loaded type with its
+// own data segment of dataBytes.
+func (s *System) NewInstance(name, typeName string, dataBytes uint32) (*Instance, error) {
+	t, ok := s.types[typeName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	if _, ok := s.instances[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateInstance, name)
+	}
+	sel, err := s.M.DefineSegment(machine.SegmentDescriptor{
+		Base: 0, Limit: dataBytes, Kind: machine.SegData, Present: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("goos: instance %q: %w", name, err)
+	}
+	inst := &Instance{Name: name, Type: t, DataSel: sel, DataBytes: dataBytes}
+	s.instances[name] = inst
+	return inst, nil
+}
+
+// Unload revokes an instance's data segment; in-flight segment loads
+// against it fault with not-present, which is how the ORB fences a
+// component during reconfiguration.
+func (s *System) Unload(name string) error {
+	inst, ok := s.instances[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownInstance, name)
+	}
+	s.M.RevokeSegment(inst.DataSel)
+	delete(s.instances, name)
+	return nil
+}
+
+// Instance returns a loaded instance by name.
+func (s *System) Instance(name string) (*Instance, bool) {
+	i, ok := s.instances[name]
+	return i, ok
+}
+
+// Type returns a loaded type by name.
+func (s *System) Type(name string) (*ComponentType, bool) {
+	t, ok := s.types[name]
+	return t, ok
+}
+
+// MemoryFootprint reports the protection-metadata bytes of the image
+// under the two models compared in §5.1: Go!'s per-interface ORB rows
+// (+8-byte GDT descriptors) versus one page-granule per protection
+// domain in a page-based kernel.
+type MemoryFootprint struct {
+	Interfaces     int
+	Instances      int
+	ORBTableBytes  int // 32 bytes per interface
+	GDTBytes       int // 8 bytes per live descriptor
+	PageBasedBytes int // 4096 per protection domain (instance)
+}
+
+// GoBytes is the total Go! protection-metadata footprint.
+func (f MemoryFootprint) GoBytes() int { return f.ORBTableBytes + f.GDTBytes }
+
+// Ratio is page-based bytes over Go! bytes — the paper claims "around
+// two orders of magnitude improvement".
+func (f MemoryFootprint) Ratio() float64 {
+	if f.GoBytes() == 0 {
+		return 0
+	}
+	return float64(f.PageBasedBytes) / float64(f.GoBytes())
+}
+
+// Footprint computes the current image's memory comparison.
+func (s *System) Footprint() MemoryFootprint {
+	return MemoryFootprint{
+		Interfaces:     len(s.orb.table),
+		Instances:      len(s.instances),
+		ORBTableBytes:  len(s.orb.table) * BytesPerInterface,
+		GDTBytes:       s.M.GDTBytes(),
+		PageBasedBytes: len(s.instances) * PageProtectionGranule,
+	}
+}

@@ -1,0 +1,391 @@
+package goos
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/adm-project/adm/internal/machine"
+)
+
+func userText(n int) []machine.Instruction {
+	return machine.NewSeq().ALU("logic", n).Build()
+}
+
+func TestScannerAcceptsCleanText(t *testing.T) {
+	rep := Scanner{}.Scan(userText(10))
+	if !rep.OK() || rep.Instructions != 10 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestScannerRejectsEveryPrivilegedClass(t *testing.T) {
+	privOps := []machine.OpClass{
+		machine.OpSegLoad, machine.OpPrivCtl, machine.OpIO,
+		machine.OpTLBFlush, machine.OpPTSwitch, machine.OpIret,
+	}
+	for _, op := range privOps {
+		text := append(userText(3), machine.Instruction{Op: op, Name: "evil"})
+		rep := Scanner{}.Scan(text)
+		if rep.OK() {
+			t.Errorf("%s: scanner accepted privileged text", op)
+			continue
+		}
+		if rep.Offenses[0].Index != 3 {
+			t.Errorf("%s: offense index = %d, want 3", op, rep.Offenses[0].Index)
+		}
+	}
+}
+
+func TestScannerExemptionForORB(t *testing.T) {
+	text := []machine.Instruction{{Op: machine.OpSegLoad, Name: "mov ds"}}
+	if rep := (Scanner{AllowPrivileged: true}).Scan(text); !rep.OK() {
+		t.Fatal("exempt scanner should accept privileged text")
+	}
+}
+
+// Property: the scanner accepts a text iff it contains no privileged
+// instruction — over arbitrary op mixes.
+func TestScannerSoundAndCompleteProperty(t *testing.T) {
+	allOps := []machine.OpClass{
+		machine.OpALU, machine.OpLoad, machine.OpStore, machine.OpBranch,
+		machine.OpCall, machine.OpRet, machine.OpSegLoad, machine.OpTrap,
+		machine.OpIret, machine.OpPrivCtl, machine.OpIO, machine.OpTLBFlush,
+		machine.OpPTSwitch, machine.OpCacheProbe,
+	}
+	f := func(picks []uint8) bool {
+		text := make([]machine.Instruction, len(picks))
+		hasPriv := false
+		for i, p := range picks {
+			op := allOps[int(p)%len(allOps)]
+			text[i] = machine.Instruction{Op: op}
+			if op.Privileged() {
+				hasPriv = true
+			}
+		}
+		rep := Scanner{}.Scan(text)
+		return rep.OK() == !hasPriv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadTypeRejectsPrivilegedComponent(t *testing.T) {
+	sys := NewSystem(16)
+	text := append(userText(2), machine.Instruction{Op: machine.OpPrivCtl, Name: "cli"})
+	_, err := sys.LoadType("rogue", text)
+	var se *ScanError
+	if !errors.As(err, &se) {
+		t.Fatalf("want ScanError, got %v", err)
+	}
+	if se.Component != "rogue" {
+		t.Errorf("component = %q", se.Component)
+	}
+}
+
+func TestLoadTypeDuplicate(t *testing.T) {
+	sys := NewSystem(16)
+	if _, err := sys.LoadType("a", userText(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.LoadType("a", userText(1)); !errors.Is(err, ErrDuplicateType) {
+		t.Fatalf("want ErrDuplicateType, got %v", err)
+	}
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	sys := NewSystem(16)
+	if _, err := sys.LoadType("t", userText(4)); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.NewInstance("i1", "t", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := sys.Instance("i1"); !ok || got != inst {
+		t.Fatal("instance lookup failed")
+	}
+	if _, err := sys.NewInstance("i1", "t", 1024); !errors.Is(err, ErrDuplicateInstance) {
+		t.Fatalf("want ErrDuplicateInstance, got %v", err)
+	}
+	if _, err := sys.NewInstance("i2", "zzz", 1024); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("want ErrUnknownType, got %v", err)
+	}
+	if err := sys.Unload("i1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sys.Instance("i1"); ok {
+		t.Fatal("instance survived unload")
+	}
+	if err := sys.Unload("i1"); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("want ErrUnknownInstance, got %v", err)
+	}
+}
+
+func TestInterfaceEntryIs32Bytes(t *testing.T) {
+	var e InterfaceEntry
+	if e.Size() != 32 {
+		t.Fatalf("interface entry = %d bytes, want 32 (paper §5.1)", e.Size())
+	}
+	// The declared field widths must actually sum to 32.
+	sum := 4 + 2 + 2 + 4 + 2 + 2 + 8 + 4 + 4
+	if sum != 32 {
+		t.Fatalf("field widths sum to %d", sum)
+	}
+}
+
+func TestORBInvokeCostIs73Cycles(t *testing.T) {
+	g, err := NewGoPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.RPC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 73 {
+		t.Fatalf("Go! null RPC = %d cycles, want 73 (Table 1)", res.Cycles)
+	}
+}
+
+func TestORBInvokeIsDeterministic(t *testing.T) {
+	g, _ := NewGoPath()
+	first, _ := g.RPC(nil)
+	for i := 0; i < 100; i++ {
+		r, err := g.RPC(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles != first.Cycles {
+			t.Fatalf("iteration %d: %d cycles, want %d", i, r.Cycles, first.Cycles)
+		}
+	}
+}
+
+func TestORBInvokeUnknownInterface(t *testing.T) {
+	g, _ := NewGoPath()
+	if _, err := g.sys.ORB().Invoke(g.caller, 999); !errors.Is(err, ErrUnknownInterface) {
+		t.Fatalf("want ErrUnknownInterface, got %v", err)
+	}
+}
+
+func TestORBInvokeRevokedCallee(t *testing.T) {
+	g, _ := NewGoPath()
+	if err := g.sys.Unload("callee"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RPC(nil); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("want ErrRevoked, got %v", err)
+	}
+}
+
+func TestORBHandlerRuns(t *testing.T) {
+	sys := NewSystem(32)
+	_, _ = sys.LoadType("t", userText(2))
+	caller, _ := sys.NewInstance("c", "t", 64)
+	callee, _ := sys.NewInstance("s", "t", 64)
+	ran := false
+	id := sys.ORB().Register(callee, 0, func() error { ran = true; return nil })
+	if _, err := sys.ORB().Invoke(caller, id); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("handler did not run")
+	}
+}
+
+func TestORBHandlerErrorPropagates(t *testing.T) {
+	sys := NewSystem(32)
+	_, _ = sys.LoadType("t", userText(2))
+	caller, _ := sys.NewInstance("c", "t", 64)
+	callee, _ := sys.NewInstance("s", "t", 64)
+	boom := errors.New("boom")
+	id := sys.ORB().Register(callee, 0, func() error { return boom })
+	if _, err := sys.ORB().Invoke(caller, id); !errors.Is(err, boom) {
+		t.Fatalf("want handler error, got %v", err)
+	}
+}
+
+func TestORBUnregister(t *testing.T) {
+	sys := NewSystem(32)
+	_, _ = sys.LoadType("t", userText(2))
+	caller, _ := sys.NewInstance("c", "t", 64)
+	callee, _ := sys.NewInstance("s", "t", 64)
+	id := sys.ORB().Register(callee, 0, nil)
+	if sys.ORB().TableBytes() != 32 {
+		t.Fatalf("table bytes = %d", sys.ORB().TableBytes())
+	}
+	sys.ORB().Unregister(id)
+	if sys.ORB().TableBytes() != 0 {
+		t.Fatal("unregister did not shrink table")
+	}
+	if _, err := sys.ORB().Invoke(caller, id); !errors.Is(err, ErrUnknownInterface) {
+		t.Fatalf("want ErrUnknownInterface after unregister, got %v", err)
+	}
+}
+
+func TestTrappedAblationCostsMoreThanSISR(t *testing.T) {
+	g, _ := NewGoPath()
+	sisr, err := g.RPC(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trapped, err := g.sys.ORB().InvokeTrapped(g.caller, g.iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trapped.Cycles <= 4*sisr.Cycles {
+		t.Fatalf("trap interposition = %d cycles vs SISR %d: expected >4× gap",
+			trapped.Cycles, sisr.Cycles)
+	}
+}
+
+func TestScanCostChargedOncePerLoad(t *testing.T) {
+	sys := NewSystem(16)
+	before := sys.ScanCycles()
+	_, _ = sys.LoadType("t", userText(100))
+	after := sys.ScanCycles()
+	if after-before != 300 { // 3 cycles/instruction
+		t.Fatalf("scan cost = %d, want 300", after-before)
+	}
+}
+
+func TestTable1ShapeAndBands(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	bsd, mach, l4, gos := byName["BSD (Unix)"], byName["Mach2.5"], byName["L4"], byName["Go!"]
+	// Strict ordering across the table.
+	if !(bsd.Cycles > mach.Cycles && mach.Cycles > l4.Cycles && l4.Cycles > gos.Cycles) {
+		t.Fatalf("ordering violated: %+v", rows)
+	}
+	// Each row within ±15%% of the paper's figure.
+	for _, r := range rows {
+		lo := float64(r.PaperCycles) * 0.85
+		hi := float64(r.PaperCycles) * 1.15
+		if float64(r.Cycles) < lo || float64(r.Cycles) > hi {
+			t.Errorf("%s: %d cycles outside [%0.f, %0.f] (paper %d)",
+				r.System, r.Cycles, lo, hi, r.PaperCycles)
+		}
+	}
+	// Headline claims: Go! ~3 orders of magnitude under BSD; exact 73.
+	if ratio := float64(bsd.Cycles) / float64(gos.Cycles); ratio < 500 {
+		t.Errorf("BSD/Go! ratio = %.0f, want >500", ratio)
+	}
+	if gos.Cycles != 73 {
+		t.Errorf("Go! = %d, want exactly 73", gos.Cycles)
+	}
+}
+
+func TestMemoryFootprintTwoOrdersOfMagnitude(t *testing.T) {
+	sys := NewSystem(256)
+	_, _ = sys.LoadType("t", userText(4))
+	for i := 0; i < 50; i++ {
+		inst, err := sys.NewInstance(string(rune('a'+i%26))+string(rune('0'+i/26)), "t", 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.ORB().Register(inst, 0, nil)
+	}
+	f := sys.Footprint()
+	if f.ORBTableBytes != 50*32 {
+		t.Errorf("ORB bytes = %d", f.ORBTableBytes)
+	}
+	if f.PageBasedBytes != 50*4096 {
+		t.Errorf("page bytes = %d", f.PageBasedBytes)
+	}
+	if f.Ratio() < 50 {
+		t.Errorf("ratio = %.1f, want ~two orders of magnitude (>50)", f.Ratio())
+	}
+}
+
+func TestKernelBreakdownsNonEmpty(t *testing.T) {
+	g, _ := NewGoPath()
+	for _, p := range []KernelPath{DefaultBSD(), DefaultMach(), DefaultL4(), g} {
+		if len(p.Breakdown()) == 0 {
+			t.Errorf("%s: empty breakdown", p.Name())
+		}
+		if p.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+}
+
+// Property: RPC cost on every kernel path is invariant across repeated
+// calls on a warm machine (the model is deterministic once the TLB is
+// warm — BSD/Mach flush it themselves every time).
+func TestKernelPathsDeterministicProperty(t *testing.T) {
+	paths := []KernelPath{DefaultBSD(), DefaultMach(), DefaultL4()}
+	for _, p := range paths {
+		m := machine.New(machine.DefaultCostModel(), 16)
+		first, err := p.RPC(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			r, err := p.RPC(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Cycles != first.Cycles {
+				t.Errorf("%s: run %d = %d cycles, first = %d", p.Name(), i, r.Cycles, first.Cycles)
+			}
+		}
+	}
+}
+
+// The complete SISR isolation argument, executable: a component can
+// only reach memory through its own data segment (bounds-checked),
+// and the only way to address another component's segment is a
+// segment-register load — which the scanner rejects at load time.
+func TestSISRComponentIsolation(t *testing.T) {
+	sys := NewSystem(16)
+	_, err := sys.LoadType("app", userText(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := sys.NewInstance("victim", "app", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := sys.NewInstance("attacker", "app", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1. The attacker's accesses through its own segment are confined
+	//    to its 128-byte limit.
+	ok := machine.Instruction{Op: machine.OpLoad, Name: "own-data", Seg: attacker.DataSel, CheckSeg: true, Off: 127}
+	if err := sys.M.Exec(ok); err != nil {
+		t.Fatalf("own in-bounds access: %v", err)
+	}
+	oob := machine.Instruction{Op: machine.OpStore, Name: "own-oob", Seg: attacker.DataSel, CheckSeg: true, Off: 128}
+	var f *machine.Fault
+	if err := sys.M.Exec(oob); !errors.As(err, &f) || f.Kind != machine.FaultSegBounds {
+		t.Fatalf("out-of-bounds store: %v", err)
+	}
+	// 2. Addressing the victim's segment requires loading DS with the
+	//    victim's selector — a privileged instruction the SISR scanner
+	//    refuses to load.
+	evil := append(userText(1),
+		machine.Instruction{Op: machine.OpSegLoad, Name: "mov ds, victim", Seg: victim.DataSel})
+	if _, err := sys.LoadType("evil", evil); err == nil {
+		t.Fatal("scanner accepted a segment-stealing component")
+	}
+	// 3. Even a raw checked access against the victim's selector is
+	//    caught by the bounds/ownership discipline once the victim is
+	//    unloaded (revocation fences dangling references).
+	_ = sys.Unload("victim")
+	steal := machine.Instruction{Op: machine.OpLoad, Name: "dangling", Seg: victim.DataSel, CheckSeg: true, Off: 0}
+	if err := sys.M.Exec(steal); !errors.As(err, &f) || f.Kind != machine.FaultSegNotPresent {
+		t.Fatalf("dangling access: %v", err)
+	}
+}

@@ -1,0 +1,319 @@
+package goos
+
+import (
+	"fmt"
+
+	"github.com/adm-project/adm/internal/machine"
+)
+
+// KernelPath models a cross-domain RPC on one of Table 1's baseline
+// operating systems as an explicit control-transfer path on the
+// simulated machine. Each model is parameterised by the semantic work
+// its design forces (traps, copies, scheduler passes, address-space
+// switches, cache pollution); the cycle totals emerge from running
+// the path, not from a hard-coded constant.
+type KernelPath interface {
+	// Name is the Table 1 row label.
+	Name() string
+	// RPC runs one null RPC (request + reply) and returns its cost.
+	RPC(m *machine.Machine) (InvokeResult, error)
+	// Breakdown describes the path's phases for reporting.
+	Breakdown() []PathPhase
+}
+
+// PathPhase is one reported phase of a kernel path.
+type PathPhase struct {
+	Name  string
+	Notes string
+}
+
+// ---------------------------------------------------------------------------
+
+// BSDKernel models a 4.x-BSD-style monolithic Unix doing RPC between
+// two processes over a local socket: four system calls (client write,
+// client read, server read, server write), each a full trap with
+// syscall-layer work and data copies; scheduler passes; full
+// address-space switches with TLB/Cache refill, and the cache
+// pollution of pushing a multi-KB kernel path through a cold cache.
+// This is the "55,000 cycles" row.
+type BSDKernel struct {
+	// MsgWords is the payload copied in/out per syscall.
+	MsgWords int
+	// SyscallLayerOps is dispatch + fd lookup + sockbuf management
+	// per syscall.
+	SyscallLayerOps int
+	// SchedulerOps is one scheduler pass (queue scan + pick).
+	SchedulerOps int
+	// ContextSwitches is the number of full address-space switches.
+	ContextSwitches int
+	// PollutionProbes is the count of cache-missing references the
+	// kernel path + wakeup + protocol layers touch end to end.
+	PollutionProbes int
+}
+
+// DefaultBSD returns the calibration used for Table 1: 64-word
+// messages, four syscalls, four context switches and the measured
+// dominance of cache effects on mid-90s hardware.
+func DefaultBSD() *BSDKernel {
+	return &BSDKernel{
+		MsgWords:        64,
+		SyscallLayerOps: 120,
+		SchedulerOps:    150,
+		ContextSwitches: 4,
+		PollutionProbes: 2200,
+	}
+}
+
+// Name implements KernelPath.
+func (k *BSDKernel) Name() string { return "BSD (Unix)" }
+
+// Breakdown implements KernelPath.
+func (k *BSDKernel) Breakdown() []PathPhase {
+	return []PathPhase{
+		{"4×trap", "write/read on each side, ring crossings"},
+		{"syscall layer", "dispatch, fd and socket-buffer management"},
+		{"data copies", fmt.Sprintf("copyin/copyout %d words per syscall", k.MsgWords)},
+		{"scheduler", "sleep/wakeup and run-queue passes"},
+		{"context switch", "CR3 reload, full TLB flush + refill"},
+		{"cache pollution", fmt.Sprintf("%d cold references across the path", k.PollutionProbes)},
+	}
+}
+
+// RPC implements KernelPath.
+func (k *BSDKernel) RPC(m *machine.Machine) (InvokeResult, error) {
+	start, startIn := m.Cycles(), m.Instructions()
+	m.SetMode(machine.User)
+	// Four syscalls: each trap + syscall work + copy + iret.
+	for i := 0; i < 4; i++ {
+		seq := machine.NewSeq().
+			Trap(fmt.Sprintf("syscall-%d", i), 0x80).
+			ALU("syscall-layer", k.SyscallLayerOps).
+			Load("copy", 0, k.MsgWords).
+			Store("copy", 0, k.MsgWords).
+			ALU("sched-pass", k.SchedulerOps).
+			Iret(fmt.Sprintf("sysret-%d", i))
+		if err := m.Run(seq.Build()); err != nil {
+			return InvokeResult{}, err
+		}
+	}
+	// Address-space switches between client and server.
+	m.SetMode(machine.Kernel)
+	for i := 0; i < k.ContextSwitches; i++ {
+		seq := machine.NewSeq().
+			Store("save-proc-state", 0, 40).
+			PTSwitch("cr3-reload", uint32(i%2)+1).
+			Load("restore-proc-state", 0, 40)
+		if err := m.Run(seq.Build()); err != nil {
+			return InvokeResult{}, err
+		}
+	}
+	// Cache pollution across the whole path.
+	if err := m.Run(machine.NewSeq().Probe("cold-path", 0, k.PollutionProbes).Build()); err != nil {
+		return InvokeResult{}, err
+	}
+	return InvokeResult{Cycles: m.Cycles() - start, Instructions: m.Instructions() - startIn}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// MachKernel models Mach 2.5 RPC: two combined send/receive mach_msg
+// traps, port-rights translation, typed message copy, and two
+// address-space switches. The microkernel shortens the in-kernel path
+// but keeps the full VM switch — the "3,000 cycles" row.
+type MachKernel struct {
+	MsgWords     int
+	PortOps      int // port name lookup + rights checks per msg
+	HeaderOps    int // typed-descriptor parsing per msg
+	ASCSwitches  int
+	SwitchStates int // words saved/restored per switch
+}
+
+// DefaultMach returns Table 1 calibration.
+func DefaultMach() *MachKernel {
+	return &MachKernel{MsgWords: 64, PortOps: 110, HeaderOps: 70, ASCSwitches: 2, SwitchStates: 30}
+}
+
+// Name implements KernelPath.
+func (k *MachKernel) Name() string { return "Mach2.5" }
+
+// Breakdown implements KernelPath.
+func (k *MachKernel) Breakdown() []PathPhase {
+	return []PathPhase{
+		{"2×mach_msg trap", "combined send/receive"},
+		{"port machinery", "name → right translation, queue locks"},
+		{"typed copy", "header parse + body copyin/copyout"},
+		{"VM switch", "pmap activate: CR3 + TLB refill"},
+	}
+}
+
+// RPC implements KernelPath.
+func (k *MachKernel) RPC(m *machine.Machine) (InvokeResult, error) {
+	start, startIn := m.Cycles(), m.Instructions()
+	m.SetMode(machine.User)
+	for i := 0; i < 2; i++ {
+		seq := machine.NewSeq().
+			Trap(fmt.Sprintf("mach_msg-%d", i), 0x40).
+			ALU("port-machinery", k.PortOps).
+			ALU("typed-header", k.HeaderOps).
+			Load("body-copy", 0, k.MsgWords).
+			Store("body-copy", 0, k.MsgWords).
+			Iret(fmt.Sprintf("msgret-%d", i))
+		if err := m.Run(seq.Build()); err != nil {
+			return InvokeResult{}, err
+		}
+	}
+	m.SetMode(machine.Kernel)
+	for i := 0; i < k.ASCSwitches; i++ {
+		seq := machine.NewSeq().
+			Store("thread-save", 0, k.SwitchStates).
+			PTSwitch("pmap-activate", uint32(i%2)+3).
+			Load("thread-restore", 0, k.SwitchStates)
+		if err := m.Run(seq.Build()); err != nil {
+			return InvokeResult{}, err
+		}
+	}
+	return InvokeResult{Cycles: m.Cycles() - start, Instructions: m.Instructions() - startIn}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// L4Kernel models L4's aggressively minimised IPC: two traps, message
+// transfer in registers, direct thread switch, and the small-address-
+// space trick (segment-based relocation) that avoids the TLB flush a
+// CR3 reload would cost — the "665 cycles" row.
+type L4Kernel struct {
+	ValidateOps  int // dest thread-id validation per IPC
+	MsgRegOps    int // register-message transfer per IPC
+	ThreadSwitch int // direct-switch bookkeeping per IPC
+	SmallSpaceOp int // segment-relocation ops per IPC (no TLB flush)
+}
+
+// DefaultL4 returns Table 1 calibration.
+func DefaultL4() *L4Kernel {
+	return &L4Kernel{ValidateOps: 40, MsgRegOps: 24, ThreadSwitch: 60, SmallSpaceOp: 21}
+}
+
+// Name implements KernelPath.
+func (k *L4Kernel) Name() string { return "L4" }
+
+// Breakdown implements KernelPath.
+func (k *L4Kernel) Breakdown() []PathPhase {
+	return []PathPhase{
+		{"2×trap", "call + reply-and-wait"},
+		{"validate", "thread-id and rights checks"},
+		{"register transfer", "message stays in registers"},
+		{"direct switch", "no scheduler pass; small-space segment reload avoids TLB flush"},
+	}
+}
+
+// RPC implements KernelPath.
+func (k *L4Kernel) RPC(m *machine.Machine) (InvokeResult, error) {
+	start, startIn := m.Cycles(), m.Instructions()
+	m.SetMode(machine.User)
+	for i := 0; i < 2; i++ {
+		seq := machine.NewSeq().
+			Trap(fmt.Sprintf("ipc-%d", i), 0x30).
+			ALU("validate", k.ValidateOps).
+			ALU("msg-regs", k.MsgRegOps).
+			ALU("direct-switch", k.ThreadSwitch).
+			ALU("small-space", k.SmallSpaceOp).
+			Iret(fmt.Sprintf("ipcret-%d", i))
+		if err := m.Run(seq.Build()); err != nil {
+			return InvokeResult{}, err
+		}
+	}
+	m.SetMode(machine.Kernel)
+	return InvokeResult{Cycles: m.Cycles() - start, Instructions: m.Instructions() - startIn}, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// GoPath adapts the Go! ORB to the KernelPath interface so Table 1
+// can be produced uniformly. It builds a minimal two-component image
+// (caller + callee with one null interface) on its own machine.
+type GoPath struct {
+	sys    *System
+	caller *Instance
+	iface  InterfaceID
+}
+
+// NewGoPath constructs the standard two-component Go! image.
+func NewGoPath() (*GoPath, error) {
+	sys := NewSystem(64)
+	userText := machine.NewSeq().ALU("component-logic", 8).Build()
+	if _, err := sys.LoadType("caller.t", userText); err != nil {
+		return nil, err
+	}
+	if _, err := sys.LoadType("callee.t", userText); err != nil {
+		return nil, err
+	}
+	caller, err := sys.NewInstance("caller", "caller.t", 4096)
+	if err != nil {
+		return nil, err
+	}
+	callee, err := sys.NewInstance("callee", "callee.t", 4096)
+	if err != nil {
+		return nil, err
+	}
+	id := sys.ORB().Register(callee, 4, nil)
+	return &GoPath{sys: sys, caller: caller, iface: id}, nil
+}
+
+// Name implements KernelPath.
+func (g *GoPath) Name() string { return "Go!" }
+
+// Breakdown implements KernelPath.
+func (g *GoPath) Breakdown() []PathPhase {
+	return []PathPhase{
+		{"marshal + gate call", "no trap: SISR needs no ring crossing"},
+		{"ORB validate", "32-byte interface entry: id, nonce, type, limits"},
+		{"thread migration", "stack retarget + 3 segment-register loads (3 cycles)"},
+		{"return migration", "mirror path back to the caller"},
+	}
+}
+
+// RPC implements KernelPath. The machine argument is ignored: the ORB
+// path must run against the image's own GDT.
+func (g *GoPath) RPC(_ *machine.Machine) (InvokeResult, error) {
+	return g.sys.ORB().Invoke(g.caller, g.iface)
+}
+
+// System exposes the underlying image (footprint reporting).
+func (g *GoPath) System() *System { return g.sys }
+
+// ---------------------------------------------------------------------------
+
+// Table1Row is one measured row of the reproduced Table 1.
+type Table1Row struct {
+	System      string
+	PaperCycles uint64
+	Cycles      uint64
+}
+
+// Table1 runs every kernel path once on a fresh machine each and
+// returns the reproduced table in the paper's row order.
+func Table1() ([]Table1Row, error) {
+	goPath, err := NewGoPath()
+	if err != nil {
+		return nil, err
+	}
+	rows := []struct {
+		path  KernelPath
+		paper uint64
+	}{
+		{DefaultBSD(), 55000},
+		{DefaultMach(), 3000},
+		{DefaultL4(), 665},
+		{goPath, 73},
+	}
+	var out []Table1Row
+	for _, r := range rows {
+		m := machine.New(machine.DefaultCostModel(), 16)
+		res, err := r.path.RPC(m)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", r.path.Name(), err)
+		}
+		out = append(out, Table1Row{System: r.path.Name(), PaperCycles: r.paper, Cycles: res.Cycles})
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package goos
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adm-project/adm/internal/machine"
+)
+
+// ORB is the privileged component at the heart of the zero-kernel:
+// "to invoke services on other components a privileged component
+// known as the ORB is used to load segment registers to 'switch a
+// context' ... migrating the thread from caller to callee on the call
+// and back again on return" (Figure 6). It is the only component
+// whose text may contain segment-register loads.
+type ORB struct {
+	sys   *System
+	table map[InterfaceID]*boundInterface
+	next  InterfaceID
+	nonce uint64
+}
+
+type boundInterface struct {
+	entry    InterfaceEntry
+	instance *Instance
+	// handler is the simulated service body; for a null RPC it is nil
+	// and the ORB charges the standard 2-ALU prologue/epilogue.
+	handler func() error
+}
+
+var (
+	// ErrUnknownInterface is returned for an unregistered interface id.
+	ErrUnknownInterface = errors.New("goos: unknown interface")
+	// ErrRevoked is returned when the callee's segment was revoked
+	// between registration and call (mid-reconfiguration fence).
+	ErrRevoked = errors.New("goos: callee revoked")
+)
+
+func newORB(sys *System) *ORB {
+	return &ORB{sys: sys, table: make(map[InterfaceID]*boundInterface), next: 1, nonce: 0x9e3779b97f4a7c15}
+}
+
+// Register publishes a service on an instance and returns its
+// interface id. Each registration costs exactly BytesPerInterface
+// bytes of ORB state.
+func (o *ORB) Register(inst *Instance, argWords int, handler func() error) InterfaceID {
+	id := o.next
+	o.next++
+	o.nonce = o.nonce*6364136223846793005 + 1442695040888963407
+	o.table[id] = &boundInterface{
+		entry: InterfaceEntry{
+			ID:        id,
+			TypeSel:   inst.Type.CodeSel,
+			StackSel:  inst.DataSel,
+			ArgWords:  uint16(argWords),
+			Nonce:     o.nonce,
+			TypeCheck: inst.Type.typeTag,
+		},
+		instance: inst,
+		handler:  handler,
+	}
+	return id
+}
+
+// Unregister removes an interface (component unbinding).
+func (o *ORB) Unregister(id InterfaceID) { delete(o.table, id) }
+
+// TableBytes is the live ORB dispatch-table size.
+func (o *ORB) TableBytes() int { return len(o.table) * BytesPerInterface }
+
+// InvokeResult reports one RPC's cost.
+type InvokeResult struct {
+	// Cycles is the machine cycles charged for the full call+return.
+	Cycles uint64
+	// Instructions retired on the path.
+	Instructions uint64
+}
+
+// Invoke performs one protected intra-machine RPC through the ORB:
+// caller marshals, the ORB validates against the 32-byte interface
+// entry, migrates the thread by swapping stacks and reloading the
+// code/data/stack segment registers (the 3-cycle context switch), the
+// callee runs, and the ORB restores the caller the same way. The
+// returned cycle count is what Table 1 reports for Go!.
+func (o *ORB) Invoke(caller *Instance, id InterfaceID) (InvokeResult, error) {
+	bi, ok := o.table[id]
+	if !ok {
+		return InvokeResult{}, fmt.Errorf("%w: %d", ErrUnknownInterface, id)
+	}
+	callee := bi.instance
+	if d, ok := o.sys.M.Descriptor(callee.DataSel); !ok || !d.Present {
+		return InvokeResult{}, fmt.Errorf("%w: %s", ErrRevoked, callee.Name)
+	}
+
+	m := o.sys.M
+	start, startIn := m.Cycles(), m.Instructions()
+
+	// ---- caller stub: marshal 4 argument words, call the ORB gate.
+	seq := machine.NewSeq().
+		Store("marshal-arg", 0, 4).
+		Call("call-orb-gate")
+
+	// ---- ORB gate, forward direction.
+	seq.
+		Store("save-caller-regs", 0, 5).            // spill caller register file
+		Store("save-caller-flags", 0, 1).           // spill flags
+		ALU("hash-iface-id", 2).                    // hash + mask into table
+		Load("table-row", 0, 2).                    // row pointer, row
+		Load("entry-fetch", 0, 1).                  // entry word
+		ALU("present-check", 1).                    // entry present?
+		Branch("present-branch", 1).                //
+		Load("id-word", 0, 1).                      // id match
+		ALU("id-cmp", 1).                           //
+		Branch("id-branch", 1).                     //
+		Load("nonce", 0, 2).                        // capability nonce check
+		ALU("nonce-cmp", 2).                        //
+		Branch("nonce-branch", 1).                  //
+		Load("type-tag", 0, 1).                     // instance type check
+		ALU("type-cmp", 1).                         //
+		Branch("type-branch", 1).                   //
+		ALU("limit-check", 1).                      // segment limit sanity
+		Branch("limit-branch", 1).                  //
+		ALU("argc-check", 1).                       // argument contract
+		Branch("argc-branch", 1).                   //
+		Load("copy-args", 0, 4).                    // copy 4 words caller→callee
+		Store("copy-args", 0, 4).                   //
+		Load("stack-swap", 0, 2).                   // thread migration: locate
+		ALU("stack-swap", 2).                       //   callee stack, retarget
+		Store("stack-swap", 0, 2).                  //   the migrating thread
+		SegLoad("cs<-callee", callee.Type.CodeSel). // the 3-cycle
+		SegLoad("ds<-callee", callee.DataSel).      //   SISR context
+		SegLoad("ss<-callee", callee.DataSel).      //   switch
+		Branch("dispatch", 1)
+
+	// ---- callee: null service body (prologue, work, epilogue).
+	seq.ALU("callee-body", 2).Ret("callee-ret")
+
+	// ---- ORB gate, return direction: migrate the thread back.
+	seq.
+		SegLoad("cs<-caller", caller.Type.CodeSel).
+		SegLoad("ds<-caller", caller.DataSel).
+		SegLoad("ss<-caller", caller.DataSel).
+		Load("restore-caller-regs", 0, 5).
+		ALU("stack-swap-back", 2).
+		Store("stack-swap-back", 0, 2).
+		ALU("status", 1).
+		Branch("return-path", 1).
+		Ret("ret-to-caller")
+
+	// ---- caller resume: read result word.
+	seq.Load("result", 0, 1)
+
+	if err := m.Run(seq.Build()); err != nil {
+		return InvokeResult{}, fmt.Errorf("goos: RPC path faulted: %w", err)
+	}
+	if bi.handler != nil {
+		if err := bi.handler(); err != nil {
+			return InvokeResult{Cycles: m.Cycles() - start, Instructions: m.Instructions() - startIn}, err
+		}
+	}
+	return InvokeResult{Cycles: m.Cycles() - start, Instructions: m.Instructions() - startIn}, nil
+}
+
+// InvokeTrapped is the ablation path: SISR scanning disabled, so user
+// components run deprivileged and every segment switch must trap into
+// a supervisor. Same logical work as Invoke plus two ring crossings —
+// this is the cost SISR's scan-once design deletes.
+func (o *ORB) InvokeTrapped(caller *Instance, id InterfaceID) (InvokeResult, error) {
+	bi, ok := o.table[id]
+	if !ok {
+		return InvokeResult{}, fmt.Errorf("%w: %d", ErrUnknownInterface, id)
+	}
+	callee := bi.instance
+	m := o.sys.M
+	start, startIn := m.Cycles(), m.Instructions()
+
+	// Ring crossing in, the same gate work at ring 0, ring crossing
+	// out to the callee; and the mirror image on return.
+	for i := 0; i < 2; i++ {
+		dir := "fwd"
+		if i == 1 {
+			dir = "back"
+		}
+		seq := machine.NewSeq().
+			Trap("trap-gate-"+dir, 0x30).
+			Store("save", 0, 6).
+			ALU("validate", 10).
+			Load("table", 0, 6).
+			Branch("checks", 5).
+			SegLoad("cs", callee.Type.CodeSel).
+			SegLoad("ds", callee.DataSel).
+			SegLoad("ss", callee.DataSel).
+			Iret("iret-" + dir)
+		if err := m.Run(seq.Build()); err != nil {
+			return InvokeResult{}, err
+		}
+	}
+	m.SetMode(machine.Kernel) // leave the machine as Invoke found it
+	return InvokeResult{Cycles: m.Cycles() - start, Instructions: m.Instructions() - startIn}, nil
+}

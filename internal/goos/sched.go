@@ -1,0 +1,278 @@
+package goos
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/adm-project/adm/internal/machine"
+)
+
+// §5.1: "ideally any service that has nothing to do with component
+// management (e.g. interrupt and device management) would be handled
+// outside that core". This file provides those services as ordinary
+// Go! components: a round-robin thread scheduler and an interrupt
+// controller that dispatches IRQs to driver components through the
+// ORB — no kernel, no ring crossing.
+
+// ThreadID identifies a scheduled thread.
+type ThreadID int
+
+// Thread is a schedulable activity bound to a component instance: in
+// Go!, running a thread *is* loading its component's segments.
+type Thread struct {
+	ID       ThreadID
+	Name     string
+	Instance *Instance
+	// Body is the work one quantum executes.
+	Body []machine.Instruction
+	// Remaining quanta before the thread exits (0 = forever).
+	Remaining int
+	runnable  bool
+}
+
+// Scheduler is the round-robin scheduler component.
+type Scheduler struct {
+	sys     *System
+	threads []*Thread
+	next    ThreadID
+	cursor  int
+	// switches counts dispatches (each is a 3-segload context switch).
+	switches uint64
+}
+
+// Scheduler errors.
+var (
+	ErrNoRunnable    = errors.New("goos: no runnable thread")
+	ErrUnknownThread = errors.New("goos: unknown thread")
+)
+
+// NewScheduler builds a scheduler over a Go! system.
+func NewScheduler(sys *System) *Scheduler {
+	return &Scheduler{sys: sys, next: 1}
+}
+
+// Spawn registers a thread running body each quantum on inst's
+// segments; quanta = 0 runs forever.
+func (s *Scheduler) Spawn(name string, inst *Instance, body []machine.Instruction, quanta int) *Thread {
+	t := &Thread{ID: s.next, Name: name, Instance: inst, Body: body, Remaining: quanta, runnable: true}
+	s.next++
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// Block marks a thread unrunnable (waiting on I/O).
+func (s *Scheduler) Block(id ThreadID) error { return s.setRunnable(id, false) }
+
+// Unblock marks a thread runnable again.
+func (s *Scheduler) Unblock(id ThreadID) error { return s.setRunnable(id, true) }
+
+func (s *Scheduler) setRunnable(id ThreadID, v bool) error {
+	for _, t := range s.threads {
+		if t.ID == id {
+			t.runnable = v
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrUnknownThread, id)
+}
+
+// Runnable counts runnable threads.
+func (s *Scheduler) Runnable() int {
+	n := 0
+	for _, t := range s.threads {
+		if t.runnable {
+			n++
+		}
+	}
+	return n
+}
+
+// Switches reports context switches performed.
+func (s *Scheduler) Switches() uint64 { return s.switches }
+
+// Tick dispatches one quantum to the next runnable thread: the
+// context switch is the SISR segment reload (3 cycles) plus a few
+// bookkeeping instructions — there is no kernel to enter. Returns the
+// thread that ran.
+func (s *Scheduler) Tick() (*Thread, error) {
+	n := len(s.threads)
+	if n == 0 {
+		return nil, ErrNoRunnable
+	}
+	for probe := 0; probe < n; probe++ {
+		t := s.threads[(s.cursor+probe)%n]
+		if !t.runnable {
+			continue
+		}
+		s.cursor = (s.cursor + probe + 1) % n
+		seq := machine.NewSeq().
+			Load("pick-thread", 0, 2). // run-queue entry
+			ALU("advance-cursor", 2).  //
+			SegLoad("cs", t.Instance.Type.CodeSel).
+			SegLoad("ds", t.Instance.DataSel).
+			SegLoad("ss", t.Instance.DataSel)
+		if err := s.sys.M.Run(seq.Build()); err != nil {
+			return nil, fmt.Errorf("goos: dispatch %s: %w", t.Name, err)
+		}
+		if err := s.sys.M.Run(t.Body); err != nil {
+			return nil, fmt.Errorf("goos: thread %s: %w", t.Name, err)
+		}
+		s.switches++
+		if t.Remaining > 0 {
+			t.Remaining--
+			if t.Remaining == 0 {
+				t.runnable = false
+			}
+		}
+		return t, nil
+	}
+	return nil, ErrNoRunnable
+}
+
+// RunQuanta executes n quanta; returns per-thread dispatch counts.
+func (s *Scheduler) RunQuanta(n int) (map[ThreadID]int, error) {
+	counts := map[ThreadID]int{}
+	for i := 0; i < n; i++ {
+		t, err := s.Tick()
+		if err != nil {
+			if errors.Is(err, ErrNoRunnable) {
+				return counts, nil
+			}
+			return counts, err
+		}
+		counts[t.ID]++
+	}
+	return counts, nil
+}
+
+// ---------------------------------------------------------------------------
+// Interrupt controller component.
+
+// IRQ identifies an interrupt line.
+type IRQ int
+
+// InterruptController dispatches device interrupts to driver
+// components via the ORB — interrupt management outside the core,
+// exactly as §5.1 asks.
+type InterruptController struct {
+	sys      *System
+	handlers map[IRQ]InterfaceID
+	// raised/handled count activity.
+	raised  uint64
+	handled uint64
+}
+
+// ErrNoHandler is returned for an unregistered IRQ.
+var ErrNoHandler = errors.New("goos: no handler for irq")
+
+// NewInterruptController builds the controller.
+func NewInterruptController(sys *System) *InterruptController {
+	return &InterruptController{sys: sys, handlers: map[IRQ]InterfaceID{}}
+}
+
+// RegisterHandler routes an IRQ to a driver's ORB interface. Swapping
+// the registration is how Scenario 2 replaces the Ethernet driver
+// with the wireless one.
+func (ic *InterruptController) RegisterHandler(irq IRQ, iface InterfaceID) {
+	ic.handlers[irq] = iface
+}
+
+// UnregisterHandler removes a route.
+func (ic *InterruptController) UnregisterHandler(irq IRQ) {
+	delete(ic.handlers, irq)
+}
+
+// Raise delivers an interrupt: an ORB invocation of the driver
+// component (the controller itself is the calling instance). Returns
+// the dispatch cost.
+func (ic *InterruptController) Raise(irq IRQ, caller *Instance) (InvokeResult, error) {
+	ic.raised++
+	iface, ok := ic.handlers[irq]
+	if !ok {
+		return InvokeResult{}, fmt.Errorf("%w: %d", ErrNoHandler, irq)
+	}
+	res, err := ic.sys.ORB().Invoke(caller, iface)
+	if err != nil {
+		return res, fmt.Errorf("goos: irq %d: %w", irq, err)
+	}
+	ic.handled++
+	return res, nil
+}
+
+// Stats reports (raised, handled).
+func (ic *InterruptController) Stats() (raised, handled uint64) {
+	return ic.raised, ic.handled
+}
+
+// ---------------------------------------------------------------------------
+// The "Database Machine" path: getpage down to the metal.
+
+// GetPageCost compares the per-getpage control-transfer overhead of a
+// DB function running on Go! (one ORB RPC into the buffer-manager
+// component) against the same operation crossing a monolithic
+// kernel's syscall boundary (one read(2)-style trap) — the §6 claim
+// that componentisation "tailor[s] the architecture down to the
+// metal", making the system "effectively a Database Machine".
+type GetPageCost struct {
+	GoCycles      uint64
+	SyscallCycles uint64
+	PagesScanned  int
+}
+
+// Ratio is syscall/Go! overhead.
+func (g GetPageCost) Ratio() float64 {
+	if g.GoCycles == 0 {
+		return 0
+	}
+	return float64(g.SyscallCycles) / float64(g.GoCycles)
+}
+
+// MeasureGetPage prices an n-page sequential scan both ways. The page
+// processing body (predicate evaluation etc.) is identical; only the
+// control transfer differs.
+func MeasureGetPage(n int) (GetPageCost, error) {
+	// Go! side: buffer manager as a component; getpage = ORB RPC.
+	sys := NewSystem(64)
+	text := machine.NewSeq().ALU("logic", 8).Build()
+	if _, err := sys.LoadType("dbfn.t", text); err != nil {
+		return GetPageCost{}, err
+	}
+	if _, err := sys.LoadType("bufmgr.t", text); err != nil {
+		return GetPageCost{}, err
+	}
+	dbfn, err := sys.NewInstance("dbfn", "dbfn.t", 4096)
+	if err != nil {
+		return GetPageCost{}, err
+	}
+	bufmgr, err := sys.NewInstance("bufmgr", "bufmgr.t", 65535)
+	if err != nil {
+		return GetPageCost{}, err
+	}
+	getpage := sys.ORB().Register(bufmgr, 1, nil)
+
+	sys.M.ResetCounters()
+	for i := 0; i < n; i++ {
+		if _, err := sys.ORB().Invoke(dbfn, getpage); err != nil {
+			return GetPageCost{}, err
+		}
+	}
+	goCycles := sys.M.Cycles()
+
+	// Monolithic side: each getpage is a trap into the kernel's
+	// buffer cache (short path: no context switch, warm cache).
+	m := machine.New(machine.DefaultCostModel(), 8)
+	m.SetMode(machine.User)
+	for i := 0; i < n; i++ {
+		seq := machine.NewSeq().
+			Trap("sys_read", 0x80).
+			ALU("fd-lookup", 40).
+			ALU("bufcache-lookup", 60).
+			Load("copyout", 0, 32).
+			Store("copyout", 0, 32).
+			Iret("sysret")
+		if err := m.Run(seq.Build()); err != nil {
+			return GetPageCost{}, err
+		}
+	}
+	return GetPageCost{GoCycles: goCycles, SyscallCycles: m.Cycles(), PagesScanned: n}, nil
+}

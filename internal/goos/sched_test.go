@@ -1,0 +1,204 @@
+package goos
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adm-project/adm/internal/machine"
+)
+
+func schedSystem(t *testing.T, nInstances int) (*System, []*Instance) {
+	t.Helper()
+	sys := NewSystem(64)
+	text := machine.NewSeq().ALU("logic", 4).Build()
+	if _, err := sys.LoadType("worker.t", text); err != nil {
+		t.Fatal(err)
+	}
+	var insts []*Instance
+	for i := 0; i < nInstances; i++ {
+		inst, err := sys.NewInstance(string(rune('a'+i)), "worker.t", 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	return sys, insts
+}
+
+func body(n int) []machine.Instruction {
+	return machine.NewSeq().ALU("work", n).Build()
+}
+
+func TestSchedulerRoundRobinFairness(t *testing.T) {
+	sys, insts := schedSystem(t, 3)
+	s := NewScheduler(sys)
+	for i, inst := range insts {
+		s.Spawn(inst.Name, inst, body(2+i), 0)
+	}
+	counts, err := s.RunQuanta(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range counts {
+		if c != 100 {
+			t.Fatalf("thread %d ran %d quanta, want 100: %v", id, c, counts)
+		}
+	}
+	if s.Switches() != 300 {
+		t.Fatalf("switches = %d", s.Switches())
+	}
+}
+
+func TestSchedulerBlockUnblock(t *testing.T) {
+	sys, insts := schedSystem(t, 2)
+	s := NewScheduler(sys)
+	t1 := s.Spawn("a", insts[0], body(1), 0)
+	t2 := s.Spawn("b", insts[1], body(1), 0)
+	if err := s.Block(t1.ID); err != nil {
+		t.Fatal(err)
+	}
+	counts, _ := s.RunQuanta(10)
+	if counts[t1.ID] != 0 || counts[t2.ID] != 10 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if s.Runnable() != 1 {
+		t.Fatalf("runnable = %d", s.Runnable())
+	}
+	_ = s.Unblock(t1.ID)
+	counts, _ = s.RunQuanta(10)
+	if counts[t1.ID] != 5 || counts[t2.ID] != 5 {
+		t.Fatalf("counts after unblock = %v", counts)
+	}
+	if err := s.Block(999); !errors.Is(err, ErrUnknownThread) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSchedulerQuantaBudget(t *testing.T) {
+	sys, insts := schedSystem(t, 1)
+	s := NewScheduler(sys)
+	s.Spawn("a", insts[0], body(1), 3)
+	counts, err := s.RunQuanta(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[1] != 3 {
+		t.Fatalf("finite thread ran %d quanta", counts[1])
+	}
+	if s.Runnable() != 0 {
+		t.Fatal("exhausted thread still runnable")
+	}
+	if _, err := s.Tick(); !errors.Is(err, ErrNoRunnable) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSchedulerEmpty(t *testing.T) {
+	sys, _ := schedSystem(t, 0)
+	s := NewScheduler(sys)
+	if _, err := s.Tick(); !errors.Is(err, ErrNoRunnable) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSchedulerDispatchCost(t *testing.T) {
+	// A dispatch is run-queue bookkeeping (4 cycles) + the 3-cycle
+	// segment-reload context switch + the thread body.
+	sys, insts := schedSystem(t, 1)
+	s := NewScheduler(sys)
+	s.Spawn("a", insts[0], body(10), 0)
+	sys.M.ResetCounters()
+	if _, err := s.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 loads + 2 ALU + 3 segloads + 10 body ALU = 17 cycles.
+	if got := sys.M.Cycles(); got != 17 {
+		t.Fatalf("dispatch cost = %d cycles, want 17", got)
+	}
+}
+
+func TestInterruptDispatchViaORB(t *testing.T) {
+	sys, insts := schedSystem(t, 2)
+	driver := insts[0]
+	device := insts[1]
+	fired := 0
+	iface := sys.ORB().Register(driver, 0, func() error { fired++; return nil })
+	ic := NewInterruptController(sys)
+	ic.RegisterHandler(9, iface)
+
+	res, err := ic.Raise(9, device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatal("driver handler did not run")
+	}
+	if res.Cycles != 73 {
+		t.Fatalf("irq dispatch = %d cycles, want the standard 73-cycle ORB path", res.Cycles)
+	}
+	raised, handled := ic.Stats()
+	if raised != 1 || handled != 1 {
+		t.Fatalf("stats = %d %d", raised, handled)
+	}
+}
+
+func TestInterruptNoHandler(t *testing.T) {
+	sys, insts := schedSystem(t, 1)
+	ic := NewInterruptController(sys)
+	if _, err := ic.Raise(3, insts[0]); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestInterruptDriverSwap(t *testing.T) {
+	// Scenario 2's driver replacement at the interrupt layer: IRQ 9
+	// re-routes from the Ethernet driver to the wireless driver.
+	sys, insts := schedSystem(t, 3)
+	eth, wifi, dev := insts[0], insts[1], insts[2]
+	served := ""
+	ethIface := sys.ORB().Register(eth, 0, func() error { served = "eth"; return nil })
+	wifiIface := sys.ORB().Register(wifi, 0, func() error { served = "wifi"; return nil })
+	ic := NewInterruptController(sys)
+	ic.RegisterHandler(9, ethIface)
+	if _, err := ic.Raise(9, dev); err != nil || served != "eth" {
+		t.Fatalf("%v %q", err, served)
+	}
+	ic.RegisterHandler(9, wifiIface) // swap
+	if _, err := ic.Raise(9, dev); err != nil || served != "wifi" {
+		t.Fatalf("%v %q", err, served)
+	}
+	ic.UnregisterHandler(9)
+	if _, err := ic.Raise(9, dev); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestInterruptRevokedDriverSurfacesError(t *testing.T) {
+	sys, insts := schedSystem(t, 2)
+	driver, dev := insts[0], insts[1]
+	iface := sys.ORB().Register(driver, 0, nil)
+	ic := NewInterruptController(sys)
+	ic.RegisterHandler(9, iface)
+	_ = sys.Unload(driver.Name)
+	if _, err := ic.Raise(9, dev); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMeasureGetPage(t *testing.T) {
+	g, err := MeasureGetPage(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PagesScanned != 100 {
+		t.Fatalf("pages = %d", g.PagesScanned)
+	}
+	// Per-getpage: Go! = 73 cycles; syscall path = trap(107) + 100
+	// ALU + 64 copy + iret(81) = 352. Ratio ~4.8.
+	if g.GoCycles != 7300 {
+		t.Fatalf("go cycles = %d, want 7300", g.GoCycles)
+	}
+	if g.Ratio() < 3 || g.Ratio() > 10 {
+		t.Fatalf("ratio = %.1f", g.Ratio())
+	}
+}

@@ -1,0 +1,167 @@
+// Package kendra implements the Kendra adaptive audio server [23]
+// referenced in §5.2 and §6: "while the server is delivering some
+// streaming media (e.g. audio) the codec of the stream is chosen to
+// best suit the bandwidth, and if the bandwidth should change during
+// mid delivery, then a new less bandwidth hungry codec is swapped
+// in." Codec swaps happen only at safe points (frame boundaries) via
+// the adaptivity machinery's quiesce/switch discipline.
+package kendra
+
+import (
+	"fmt"
+
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// Codec is one rung of the codec ladder.
+type Codec struct {
+	Name    string
+	Kbps    float64 // required bandwidth
+	Quality float64 // perceptual quality in (0,1]
+}
+
+// DefaultLadder returns the standard codec ladder, best first.
+func DefaultLadder() []Codec {
+	return []Codec{
+		{Name: "pcm", Kbps: 256, Quality: 1.0},
+		{Name: "adpcm", Kbps: 64, Quality: 0.7},
+		{Name: "gsm", Kbps: 13, Quality: 0.4},
+	}
+}
+
+// BandwidthPoint is one step of a bandwidth trace.
+type BandwidthPoint struct {
+	FromMS float64
+	Kbps   float64
+}
+
+// TraceAt returns the bandwidth at time t.
+func TraceAt(tr []BandwidthPoint, t float64) float64 {
+	bw := 0.0
+	for _, p := range tr {
+		if p.FromMS <= t {
+			bw = p.Kbps
+		}
+	}
+	return bw
+}
+
+// Config parameterises a streaming session.
+type Config struct {
+	// Adaptive enables codec switching; off = fixed initial codec.
+	Adaptive bool
+	// Ladder is the codec ladder (best first).
+	Ladder []Codec
+	// FrameMS is the frame duration; codec swaps align to frames
+	// (the safe points).
+	FrameMS float64
+	// DurationMS is the stream length.
+	DurationMS float64
+	// Headroom is the fraction of bandwidth a codec may use (switch
+	// up only when comfortably below; hysteresis against flapping).
+	Headroom float64
+	// UpHysteresisFrames is how many consecutive good frames are
+	// required before switching back up.
+	UpHysteresisFrames int
+}
+
+// DefaultConfig returns a 30-second adaptive session of 20ms frames.
+func DefaultConfig(adaptive bool) Config {
+	return Config{
+		Adaptive:           adaptive,
+		Ladder:             DefaultLadder(),
+		FrameMS:            20,
+		DurationMS:         30_000,
+		Headroom:           0.9,
+		UpHysteresisFrames: 25,
+	}
+}
+
+// Result summarises a session.
+type Result struct {
+	Frames        int
+	StalledFrames int
+	// MeanQuality is the average delivered quality over non-stalled
+	// frames (0 counted for stalls).
+	MeanQuality float64
+	// Switches counts codec changes.
+	Switches int
+	// CodecFrames counts frames delivered per codec.
+	CodecFrames map[string]int
+	Log         *trace.Log
+}
+
+// StallRate is stalled/total frames.
+func (r *Result) StallRate() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.StalledFrames) / float64(r.Frames)
+}
+
+// Stream runs one audio session against a bandwidth trace.
+func Stream(cfg Config, bw []BandwidthPoint) (*Result, error) {
+	if len(cfg.Ladder) == 0 {
+		return nil, fmt.Errorf("kendra: empty codec ladder")
+	}
+	log := trace.New()
+	res := &Result{CodecFrames: map[string]int{}, Log: log}
+	cur := 0 // ladder index; start at the best codec
+	goodStreak := 0
+	qualitySum := 0.0
+
+	for t := 0.0; t < cfg.DurationMS; t += cfg.FrameMS {
+		res.Frames++
+		avail := TraceAt(bw, t)
+
+		if cfg.Adaptive {
+			// Down-switch immediately when the current codec no
+			// longer fits; up-switch only after a sustained streak.
+			fits := func(i int) bool { return cfg.Ladder[i].Kbps <= avail*cfg.Headroom }
+			switched := false
+			for cur < len(cfg.Ladder)-1 && !fits(cur) {
+				cur++
+				switched = true
+				goodStreak = 0
+			}
+			if !switched && cur > 0 && fits(cur-1) {
+				goodStreak++
+				if goodStreak >= cfg.UpHysteresisFrames {
+					cur--
+					switched = true
+					goodStreak = 0
+				}
+			} else if !switched {
+				goodStreak = 0
+			}
+			if switched {
+				res.Switches++
+				log.Emit(t, trace.KindSwitch, "kendra",
+					"codec -> %s (%.0f Kbps available)", cfg.Ladder[cur].Name, avail)
+			}
+		}
+
+		c := cfg.Ladder[cur]
+		if c.Kbps > avail {
+			// Buffer underrun: the frame stalls.
+			res.StalledFrames++
+			log.Emit(t, trace.KindViolation, "kendra",
+				"stall: %s needs %.0f Kbps, have %.0f", c.Name, c.Kbps, avail)
+			continue
+		}
+		res.CodecFrames[c.Name]++
+		qualitySum += c.Quality
+	}
+	res.MeanQuality = qualitySum / float64(res.Frames)
+	return res, nil
+}
+
+// DropTrace is the standard experiment trace: full bandwidth, a deep
+// mid-stream drop, partial recovery.
+func DropTrace() []BandwidthPoint {
+	return []BandwidthPoint{
+		{FromMS: 0, Kbps: 300},
+		{FromMS: 10_000, Kbps: 40},
+		{FromMS: 20_000, Kbps: 120},
+	}
+}

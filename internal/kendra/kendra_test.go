@@ -1,0 +1,138 @@
+package kendra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceAt(t *testing.T) {
+	tr := DropTrace()
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 300}, {9999, 300}, {10_000, 40}, {15_000, 40}, {20_000, 120}, {29_000, 120},
+	}
+	for _, c := range cases {
+		if got := TraceAt(tr, c.t); got != c.want {
+			t.Errorf("TraceAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestFixedCodecStallsThroughDrop(t *testing.T) {
+	res, err := Stream(DefaultConfig(false), DropTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches != 0 {
+		t.Fatalf("fixed session switched %d times", res.Switches)
+	}
+	// PCM needs 256 Kbps: stalls for the whole drop (10s) and the
+	// partial recovery (10s at 120): 1000 of 1500 frames.
+	if res.StalledFrames != 1000 {
+		t.Fatalf("stalled = %d, want 1000", res.StalledFrames)
+	}
+}
+
+func TestAdaptiveCodecSwitchKeepsStreamAlive(t *testing.T) {
+	res, err := Stream(DefaultConfig(true), DropTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches < 2 { // down at the drop, up at recovery
+		t.Fatalf("switches = %d", res.Switches)
+	}
+	// At most one stalled frame per bandwidth step (detection is at
+	// frame granularity).
+	if res.StalledFrames > 2 {
+		t.Fatalf("stalled = %d", res.StalledFrames)
+	}
+	if res.CodecFrames["gsm"] == 0 || res.CodecFrames["pcm"] == 0 {
+		t.Fatalf("codec mix = %v", res.CodecFrames)
+	}
+	// The up-switch at recovery must respect hysteresis: adpcm (64
+	// Kbps) only becomes usable at 120 Kbps recovery.
+	if res.CodecFrames["adpcm"] == 0 {
+		t.Fatalf("never recovered up the ladder: %v", res.CodecFrames)
+	}
+	if res.Log.Count("switch") != res.Switches {
+		t.Fatalf("trace switches = %d vs %d", res.Log.Count("switch"), res.Switches)
+	}
+}
+
+func TestAdaptiveQualityBeatsFixedLowCodec(t *testing.T) {
+	// A fixed GSM session never stalls but delivers 0.4 quality; the
+	// adaptive session should beat it on quality with ~no stalls.
+	lowFirst := DefaultConfig(false)
+	lowFirst.Ladder = []Codec{{Name: "gsm", Kbps: 13, Quality: 0.4}}
+	fixedLow, err := Stream(lowFirst, DropTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, _ := Stream(DefaultConfig(true), DropTrace())
+	if fixedLow.StalledFrames != 0 {
+		t.Fatalf("gsm stalled %d frames", fixedLow.StalledFrames)
+	}
+	if adaptive.MeanQuality <= fixedLow.MeanQuality {
+		t.Fatalf("adaptive quality %.3f <= fixed-low %.3f",
+			adaptive.MeanQuality, fixedLow.MeanQuality)
+	}
+}
+
+func TestEmptyLadderErrors(t *testing.T) {
+	cfg := DefaultConfig(true)
+	cfg.Ladder = nil
+	if _, err := Stream(cfg, DropTrace()); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestStallRate(t *testing.T) {
+	r := &Result{Frames: 100, StalledFrames: 25}
+	if r.StallRate() != 0.25 {
+		t.Fatalf("rate = %v", r.StallRate())
+	}
+	if (&Result{}).StallRate() != 0 {
+		t.Fatal("empty rate")
+	}
+}
+
+// Property: under any bandwidth trace, the adaptive session never
+// stalls more than the fixed-best-codec session, and every frame is
+// accounted for (delivered per codec + stalled = total).
+func TestAdaptiveNeverWorseProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		var tr []BandwidthPoint
+		t0 := 0.0
+		for _, s := range steps {
+			tr = append(tr, BandwidthPoint{FromMS: t0, Kbps: float64(s % 400)})
+			t0 += 1000
+		}
+		if len(tr) == 0 {
+			tr = []BandwidthPoint{{FromMS: 0, Kbps: 100}}
+		}
+		cfg := DefaultConfig(true)
+		cfg.DurationMS = t0 + 2000
+		adaptive, err := Stream(cfg, tr)
+		if err != nil {
+			return false
+		}
+		fixedCfg := DefaultConfig(false)
+		fixedCfg.DurationMS = cfg.DurationMS
+		fixed, err := Stream(fixedCfg, tr)
+		if err != nil {
+			return false
+		}
+		delivered := 0
+		for _, n := range adaptive.CodecFrames {
+			delivered += n
+		}
+		if delivered+adaptive.StalledFrames != adaptive.Frames {
+			return false
+		}
+		return adaptive.StalledFrames <= fixed.StalledFrames
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

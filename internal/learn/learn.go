@@ -1,0 +1,149 @@
+// Package learn implements the paper's §6 open issue — "more work on
+// systems that learn from previous adaptations are required" — as a
+// closed-loop threshold tuner: it watches the adaptation stream of a
+// threshold-guarded switching rule and rewrites the rule's bound from
+// outcome feedback. Oscillation (switches bouncing back and forth
+// inside a short window) pushes the threshold up, trading sensitivity
+// for stability; sustained calm decays it back toward the configured
+// base so genuine overloads are still caught early.
+//
+// This is deliberately the "lean and tractable" end of self-learning
+// the paper asks for (§6: "Self-learning systems must be lean and
+// tractable"): one scalar, two update rules, no model.
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/adm-project/adm/internal/constraint"
+)
+
+// Config tunes the tuner.
+type Config struct {
+	// Base is the designed threshold (the rule's initial bound).
+	Base float64
+	// Max bounds how far the threshold may rise.
+	Max float64
+	// Step is the increment applied on detected oscillation.
+	Step float64
+	// OscillationWindowMS: two switches within this window count as
+	// thrash.
+	OscillationWindowMS float64
+	// CalmWindowMS of no switches decays the threshold by Step/2
+	// toward Base.
+	CalmWindowMS float64
+}
+
+// DefaultConfig returns a conservative calibration for a percentage
+// threshold.
+func DefaultConfig(base float64) Config {
+	return Config{
+		Base:                base,
+		Max:                 base + 9,
+		Step:                2,
+		OscillationWindowMS: 1000,
+		CalmWindowMS:        5000,
+	}
+}
+
+// Tuner rewrites one MetricCond rule's first bound.
+type Tuner struct {
+	mu   sync.Mutex
+	cfg  Config
+	cond *constraint.MetricCond
+
+	lastSwitch   float64
+	hasSwitch    bool
+	lastActivity float64
+	// counters
+	raises int
+	decays int
+}
+
+// Errors.
+var ErrNotTunable = errors.New("learn: rule guard is not a single-metric threshold")
+
+// NewTuner attaches to a rule of the form `If metric > X then ...`.
+// The rule is mutated in place as the tuner learns.
+func NewTuner(rule *constraint.Rule, cfg Config) (*Tuner, error) {
+	if rule.Cond == nil {
+		return nil, ErrNotTunable
+	}
+	mc, ok := rule.Cond.(*constraint.MetricCond)
+	if !ok || len(mc.Bounds) != 1 {
+		return nil, ErrNotTunable
+	}
+	if cfg.Max < cfg.Base {
+		cfg.Max = cfg.Base
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 1
+	}
+	mc.Bounds[0].Value = cfg.Base
+	return &Tuner{cfg: cfg, cond: mc}, nil
+}
+
+// Threshold returns the current learned threshold.
+func (t *Tuner) Threshold() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cond.Bounds[0].Value
+}
+
+// Stats returns (raises, decays) applied so far.
+func (t *Tuner) Stats() (raises, decays int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.raises, t.decays
+}
+
+// ObserveSwitch records that the rule's adaptation fired at time
+// nowMS. Two switches inside the oscillation window raise the
+// threshold.
+func (t *Tuner) ObserveSwitch(nowMS float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.hasSwitch && nowMS-t.lastSwitch <= t.cfg.OscillationWindowMS {
+		nv := t.cond.Bounds[0].Value + t.cfg.Step
+		if nv > t.cfg.Max {
+			nv = t.cfg.Max
+		}
+		if nv != t.cond.Bounds[0].Value {
+			t.cond.Bounds[0].Value = nv
+			t.raises++
+		}
+	}
+	t.lastSwitch = nowMS
+	t.hasSwitch = true
+	t.lastActivity = nowMS
+}
+
+// ObserveQuiet records a calm tick at nowMS; sustained calm decays a
+// raised threshold back toward the designed base.
+func (t *Tuner) ObserveQuiet(nowMS float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cond.Bounds[0].Value <= t.cfg.Base {
+		t.lastActivity = nowMS
+		return
+	}
+	if nowMS-t.lastActivity >= t.cfg.CalmWindowMS {
+		nv := t.cond.Bounds[0].Value - t.cfg.Step/2
+		if nv < t.cfg.Base {
+			nv = t.cfg.Base
+		}
+		t.cond.Bounds[0].Value = nv
+		t.decays++
+		t.lastActivity = nowMS
+	}
+}
+
+// String renders the tuner state.
+func (t *Tuner) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("learn: %s threshold=%.1f (base %.1f, max %.1f, raises %d, decays %d)",
+		t.cond.Metric, t.cond.Bounds[0].Value, t.cfg.Base, t.cfg.Max, t.raises, t.decays)
+}

@@ -1,0 +1,166 @@
+package learn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/session"
+)
+
+func tunableRule(t *testing.T) (*constraint.Rule, *Tuner) {
+	t.Helper()
+	r := constraint.MustParse("If processor-util > 90 then SWITCH(node1.a, node2.a)")
+	tn, err := NewTuner(r, DefaultConfig(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, tn
+}
+
+func TestNewTunerRejectsNonThresholdRules(t *testing.T) {
+	cases := []string{
+		"Select BEST(a, b)",
+		"If bandwidth > 30 < 100 Kbps then BEST(a.v) else b.v", // two bounds
+		"If x > 1 and y > 2 then BEST(a)",                      // boolean guard
+	}
+	for _, src := range cases {
+		if _, err := NewTuner(constraint.MustParse(src), DefaultConfig(90)); !errors.Is(err, ErrNotTunable) {
+			t.Errorf("%q: got %v", src, err)
+		}
+	}
+}
+
+func TestOscillationRaisesThreshold(t *testing.T) {
+	_, tn := tunableRule(t)
+	if tn.Threshold() != 90 {
+		t.Fatalf("initial = %v", tn.Threshold())
+	}
+	tn.ObserveSwitch(100)
+	if tn.Threshold() != 90 {
+		t.Fatal("single switch must not raise")
+	}
+	tn.ObserveSwitch(400) // within 1000ms window → thrash
+	if tn.Threshold() != 92 {
+		t.Fatalf("threshold = %v, want 92", tn.Threshold())
+	}
+	tn.ObserveSwitch(700)
+	tn.ObserveSwitch(900)
+	if tn.Threshold() != 96 {
+		t.Fatalf("threshold = %v, want 96", tn.Threshold())
+	}
+	// Cap at Max.
+	for i := 0; i < 20; i++ {
+		tn.ObserveSwitch(1000 + float64(i)*10)
+	}
+	if tn.Threshold() != 99 {
+		t.Fatalf("threshold = %v, want capped at 99", tn.Threshold())
+	}
+}
+
+func TestWellSpacedSwitchesDoNotRaise(t *testing.T) {
+	_, tn := tunableRule(t)
+	tn.ObserveSwitch(0)
+	tn.ObserveSwitch(5000)
+	tn.ObserveSwitch(10000)
+	if tn.Threshold() != 90 {
+		t.Fatalf("threshold = %v", tn.Threshold())
+	}
+}
+
+func TestCalmDecaysTowardBase(t *testing.T) {
+	_, tn := tunableRule(t)
+	tn.ObserveSwitch(0)
+	tn.ObserveSwitch(100) // raise to 92
+	tn.ObserveQuiet(1000)
+	if tn.Threshold() != 92 {
+		t.Fatal("decayed too early")
+	}
+	tn.ObserveQuiet(5200) // ≥ calm window since last activity
+	if tn.Threshold() != 91 {
+		t.Fatalf("threshold = %v, want 91", tn.Threshold())
+	}
+	tn.ObserveQuiet(10_500)
+	if tn.Threshold() != 90 {
+		t.Fatalf("threshold = %v, want back at base", tn.Threshold())
+	}
+	// Never below base.
+	tn.ObserveQuiet(20_000)
+	if tn.Threshold() != 90 {
+		t.Fatalf("threshold = %v", tn.Threshold())
+	}
+	raises, decays := tn.Stats()
+	if raises != 1 || decays != 2 {
+		t.Fatalf("stats = %d %d", raises, decays)
+	}
+	if !strings.Contains(tn.String(), "threshold=90.0") {
+		t.Fatalf("string = %s", tn.String())
+	}
+}
+
+// The end-to-end claim: on a flapping signal the learned threshold
+// cuts switch count well below the static rule, while a genuine
+// sustained overload still fires.
+func TestLearnedRuleReducesThrash(t *testing.T) {
+	run := func(learning bool) (switches int, caughtOverload bool) {
+		rule := constraint.MustParse("If processor-util > 90 then SWITCH(node1.a, node2.a)")
+		var tn *Tuner
+		if learning {
+			var err error
+			tn, err = NewTuner(rule, Config{
+				Base: 90, Max: 97, Step: 3, OscillationWindowMS: 600, CalmWindowMS: 3000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		reg := monitor.NewRegistry()
+		reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricCapacity, Source: "node1"}, Value: 100})
+		reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricLoad, Source: "node1"}, Value: 50})
+		reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricCapacity, Source: "node2"}, Value: 100})
+		reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricLoad, Source: "node2"}, Value: 10})
+		now := 0.0
+		sm := session.New("learn", reg, constraint.NewRuleSet(constraint.PrioritisedRule{ID: 1, Rule: rule}),
+			nil, func() float64 { return now },
+			func(d constraint.Decision, _ *constraint.PrioritisedRule) error {
+				switches++
+				if tn != nil {
+					tn.ObserveSwitch(now)
+				}
+				return nil
+			})
+		// Phase 1 (0..30s): flapping 89↔93 every 200ms — noise.
+		for ; now < 30_000; now += 200 {
+			v := 89.0
+			if int(now/200)%2 == 0 {
+				v = 93
+			}
+			reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricProcessorUtil, Source: "node1"}, Value: v, TimeMS: now})
+			sm.SetSelf("node1")
+			sm.SetCurrent(nil)
+			fired, _ := sm.CheckNow()
+			if tn != nil && !fired {
+				tn.ObserveQuiet(now)
+			}
+		}
+		// Phase 2 (30s..31s): genuine sustained overload at 99%.
+		before := switches
+		for ; now < 31_000; now += 200 {
+			reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricProcessorUtil, Source: "node1"}, Value: 99, TimeMS: now})
+			sm.SetCurrent(nil)
+			_, _ = sm.CheckNow()
+		}
+		caughtOverload = switches > before
+		return switches, caughtOverload
+	}
+	staticSwitches, staticCaught := run(false)
+	learnedSwitches, learnedCaught := run(true)
+	if !staticCaught || !learnedCaught {
+		t.Fatalf("overload missed: static=%v learned=%v", staticCaught, learnedCaught)
+	}
+	if learnedSwitches*2 >= staticSwitches {
+		t.Fatalf("learned %d switches vs static %d: want <half", learnedSwitches, staticSwitches)
+	}
+}

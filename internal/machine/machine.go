@@ -1,0 +1,607 @@
+// Package machine implements a cycle-costed model of an IA32-class
+// processor, sufficient to reproduce the control-transfer cost
+// arithmetic behind Table 1 of McCann (CIDR 2003): segment registers,
+// privilege modes, privileged instructions, traps, and a paging unit
+// with a TLB whose flushes dominate cross-address-space costs.
+//
+// The model is deliberately a *path-length* machine, not a functional
+// emulator: executing an instruction charges its cycle cost, enforces
+// the protection rules that matter to the paper (privileged opcodes
+// fault in user mode; segment-register loads are privileged), and
+// updates the small amount of architectural state the Go! ORB and the
+// baseline kernel paths rely on (current segments, privilege level,
+// TLB contents). Cycle costs are calibrated to a mid-1990s Pentium,
+// the processor generation the paper's Table 1 measurements were
+// taken on.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode is the processor privilege level. The paper's SISR design
+// removes the need for two modes; the baseline kernels use both.
+type Mode int
+
+const (
+	// Kernel is ring 0: all instructions permitted.
+	Kernel Mode = iota
+	// User is ring 3: privileged instructions fault.
+	User
+)
+
+func (m Mode) String() string {
+	if m == Kernel {
+		return "kernel"
+	}
+	return "user"
+}
+
+// OpClass classifies instructions by cost and privilege. The classes
+// cover exactly what the reproduced paths need; adding a class is a
+// one-line change to the cost table.
+type OpClass int
+
+const (
+	// OpALU is a register-register arithmetic/logic operation.
+	OpALU OpClass = iota
+	// OpLoad reads memory through the paging unit.
+	OpLoad
+	// OpStore writes memory through the paging unit.
+	OpStore
+	// OpBranch is a conditional or unconditional near jump.
+	OpBranch
+	// OpCall is a near call (push return address + jump).
+	OpCall
+	// OpRet is a near return.
+	OpRet
+	// OpSegLoad loads a segment register (privileged in this model,
+	// exactly as SISR requires: "SISR considers a segment-register
+	// load a privileged operation").
+	OpSegLoad
+	// OpTrap is a software interrupt (INT n): mode switch to kernel.
+	OpTrap
+	// OpIret returns from a trap: mode switch back to user.
+	OpIret
+	// OpPrivCtl covers CLI/STI/LGDT/LIDT/HLT-class control ops.
+	OpPrivCtl
+	// OpIO is an IN/OUT port access.
+	OpIO
+	// OpTLBFlush invalidates the whole TLB (MOV CR3 side effect).
+	OpTLBFlush
+	// OpPTSwitch switches the active page table (MOV CR3).
+	OpPTSwitch
+	// OpCacheProbe models a cache-missing memory reference on a
+	// cold working set (used by the heavyweight kernel paths).
+	OpCacheProbe
+)
+
+var opNames = map[OpClass]string{
+	OpALU:        "alu",
+	OpLoad:       "load",
+	OpStore:      "store",
+	OpBranch:     "branch",
+	OpCall:       "call",
+	OpRet:        "ret",
+	OpSegLoad:    "segload",
+	OpTrap:       "trap",
+	OpIret:       "iret",
+	OpPrivCtl:    "privctl",
+	OpIO:         "io",
+	OpTLBFlush:   "tlbflush",
+	OpPTSwitch:   "ptswitch",
+	OpCacheProbe: "cacheprobe",
+}
+
+func (c OpClass) String() string {
+	if s, ok := opNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(c))
+}
+
+// Privileged reports whether the class faults at user privilege.
+// Segment-register loads are included: this is the single rule SISR's
+// code scanner leans on to make a scanned component safe to run
+// without a kernel mode.
+func (c OpClass) Privileged() bool {
+	switch c {
+	case OpSegLoad, OpPrivCtl, OpIO, OpTLBFlush, OpPTSwitch, OpIret:
+		return true
+	}
+	return false
+}
+
+// CostModel maps instruction classes to cycle costs. The defaults are
+// Pentium-calibrated; tests pin the values so Table 1 stays stable.
+type CostModel struct {
+	Cycles map[OpClass]int
+	// TrapEntry is charged on OpTrap in addition to the opcode cost:
+	// microcoded ring crossing, stack switch, vector fetch.
+	TrapEntry int
+	// TrapExit is charged on OpIret.
+	TrapExit int
+	// TLBMiss is the page-walk cost per missing translation.
+	TLBMiss int
+	// TLBFlushRefill approximates the deferred cost of refilling a
+	// flushed TLB across the working set that follows the flush.
+	TLBFlushRefill int
+}
+
+// DefaultCostModel returns Pentium-era calibration. A segment-register
+// load is 1 cycle of issue; three of them implement the Go! context
+// switch, matching the paper's "only 3 cycles on a Pentium".
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Cycles: map[OpClass]int{
+			OpALU:        1,
+			OpLoad:       1,
+			OpStore:      1,
+			OpBranch:     1,
+			OpCall:       2,
+			OpRet:        2,
+			OpSegLoad:    1,
+			OpTrap:       2,
+			OpIret:       2,
+			OpPrivCtl:    4,
+			OpIO:         30,
+			OpTLBFlush:   10,
+			OpPTSwitch:   12,
+			OpCacheProbe: 22,
+		},
+		TrapEntry:      105, // Pentium INT+ring-switch microcode
+		TrapExit:       79,  // IRET back to ring 3
+		TLBMiss:        24,  // two-level page walk, mostly cached
+		TLBFlushRefill: 900, // ~40 hot pages refaulted after a full flush
+	}
+}
+
+// Instruction is one executable step. Name is for traces; Seg/Page
+// feed the protection and paging units where relevant.
+type Instruction struct {
+	Op   OpClass
+	Name string
+	// Seg is the selector for OpSegLoad, or — on OpLoad/OpStore with
+	// CheckSeg set — the segment the access goes through.
+	Seg Selector
+	// Page is the virtual page number touched by OpLoad/OpStore/
+	// OpCacheProbe. Zero means "hot page, always mapped".
+	Page uint32
+	// CheckSeg enables segment-limit checking on OpLoad/OpStore: the
+	// access faults unless Off < the segment's limit. This is the
+	// run-time half of SISR protection — each component confined to
+	// its own data segment.
+	CheckSeg bool
+	// Off is the intra-segment offset of a checked access.
+	Off uint32
+}
+
+// Selector names a GDT entry (index only; the model does not need RPL
+// bits).
+type Selector uint16
+
+// SegKind distinguishes descriptor types. Go! gives each component
+// type a code segment and each instance a data segment.
+type SegKind int
+
+const (
+	// SegCode is an executable segment.
+	SegCode SegKind = iota
+	// SegData is a read/write data segment.
+	SegData
+	// SegStack is an expand-down data segment used as a stack.
+	SegStack
+)
+
+func (k SegKind) String() string {
+	switch k {
+	case SegCode:
+		return "code"
+	case SegData:
+		return "data"
+	default:
+		return "stack"
+	}
+}
+
+// SegmentDescriptor is one GDT entry: base/limit protection is what
+// SISR substitutes for page protection.
+type SegmentDescriptor struct {
+	Base  uint32
+	Limit uint32
+	Kind  SegKind
+	// Present gates loading; the ORB unmaps a component by clearing it.
+	Present bool
+}
+
+// Fault is a protection violation raised by the machine.
+type Fault struct {
+	// Kind describes the violation.
+	Kind FaultKind
+	// Instr is the faulting instruction.
+	Instr Instruction
+	// Mode is the privilege level at the fault.
+	Mode Mode
+}
+
+// FaultKind enumerates protection violations.
+type FaultKind int
+
+const (
+	// FaultPrivilege is a privileged opcode at user level.
+	FaultPrivilege FaultKind = iota
+	// FaultSegNotPresent is a load of a non-present selector.
+	FaultSegNotPresent
+	// FaultSegBounds is an out-of-limit segment reference.
+	FaultSegBounds
+	// FaultBadSelector is a selector outside the GDT.
+	FaultBadSelector
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPrivilege:
+		return "privilege violation"
+	case FaultSegNotPresent:
+		return "segment not present"
+	case FaultSegBounds:
+		return "segment bounds"
+	default:
+		return "bad selector"
+	}
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault: %s on %s %q in %s mode", f.Kind, f.Instr.Op, f.Instr.Name, f.Mode)
+}
+
+// ErrGDTFull is returned when no descriptor slots remain.
+var ErrGDTFull = errors.New("machine: GDT full")
+
+// SegRegs is the live segment-register file. Loading all three is the
+// Go! context switch.
+type SegRegs struct {
+	CS Selector
+	DS Selector
+	SS Selector
+}
+
+// Machine is the simulated processor.
+type Machine struct {
+	cost CostModel
+	mode Mode
+	segs SegRegs
+	gdt  []SegmentDescriptor
+
+	tlb        tlb
+	pagingOn   bool
+	activePT   uint32
+	cycles     uint64
+	instrs     uint64
+	faults     uint64
+	trapVector func(m *Machine, vector int)
+
+	// trace, when non-nil, receives every retired instruction. Used
+	// by tests; nil in benchmarks to keep the hot path clean.
+	trace func(Instruction, int)
+}
+
+// New returns a machine with the given cost model, an empty GDT of
+// capacity gdtSlots, paging enabled, starting in kernel mode.
+func New(cost CostModel, gdtSlots int) *Machine {
+	m := &Machine{
+		cost:     cost,
+		mode:     Kernel,
+		gdt:      make([]SegmentDescriptor, gdtSlots),
+		pagingOn: true,
+	}
+	m.tlb.init(64)
+	return m
+}
+
+// SetTrace installs a retirement hook (instruction, cycles charged).
+func (m *Machine) SetTrace(fn func(Instruction, int)) { m.trace = fn }
+
+// SetTrapVector installs the kernel's trap dispatcher. The baseline
+// kernels use it; Go! never does (it has no traps on the RPC path).
+func (m *Machine) SetTrapVector(fn func(m *Machine, vector int)) { m.trapVector = fn }
+
+// Cycles returns total cycles retired since construction or the last
+// ResetCounters.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// Instructions returns total instructions retired.
+func (m *Machine) Instructions() uint64 { return m.instrs }
+
+// Faults returns the number of protection faults raised.
+func (m *Machine) Faults() uint64 { return m.faults }
+
+// ResetCounters zeroes cycle/instruction/fault counters without
+// touching architectural state. Benches call it between iterations.
+func (m *Machine) ResetCounters() { m.cycles, m.instrs, m.faults = 0, 0, 0 }
+
+// Mode returns the current privilege level.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// SetMode forces the privilege level (used by kernel models when
+// constructing their address spaces; not reachable from user code).
+func (m *Machine) SetMode(mode Mode) { m.mode = mode }
+
+// Segs returns the current segment-register file.
+func (m *Machine) Segs() SegRegs { return m.segs }
+
+// DefineSegment installs a descriptor and returns its selector.
+func (m *Machine) DefineSegment(d SegmentDescriptor) (Selector, error) {
+	for i := range m.gdt {
+		if !m.gdt[i].Present && m.gdt[i].Limit == 0 && m.gdt[i].Base == 0 {
+			m.gdt[i] = d
+			return Selector(i), nil
+		}
+	}
+	return 0, ErrGDTFull
+}
+
+// Descriptor returns the descriptor for a selector.
+func (m *Machine) Descriptor(s Selector) (SegmentDescriptor, bool) {
+	if int(s) >= len(m.gdt) {
+		return SegmentDescriptor{}, false
+	}
+	return m.gdt[int(s)], true
+}
+
+// RevokeSegment marks a selector not-present (component unload).
+func (m *Machine) RevokeSegment(s Selector) {
+	if int(s) < len(m.gdt) {
+		m.gdt[int(s)].Present = false
+	}
+}
+
+// GDTBytes reports the descriptor-table bytes in use: 8 bytes per
+// IA32 descriptor. This feeds the §5.1 memory comparison.
+func (m *Machine) GDTBytes() int {
+	n := 0
+	for i := range m.gdt {
+		if m.gdt[i].Present {
+			n += 8
+		}
+	}
+	return n
+}
+
+// Exec retires one instruction, charging its cycle cost and enforcing
+// protection. It returns the Fault (also raised through the trap
+// vector in baseline kernels) if the instruction violates protection.
+func (m *Machine) Exec(in Instruction) error {
+	cycles := m.cost.Cycles[in.Op]
+
+	if m.mode == User && in.Op.Privileged() {
+		m.faults++
+		// The faulting instruction still burns its issue slot.
+		m.charge(in, cycles)
+		return &Fault{Kind: FaultPrivilege, Instr: in, Mode: m.mode}
+	}
+
+	switch in.Op {
+	case OpSegLoad:
+		d, ok := m.Descriptor(in.Seg)
+		if !ok {
+			m.faults++
+			m.charge(in, cycles)
+			return &Fault{Kind: FaultBadSelector, Instr: in, Mode: m.mode}
+		}
+		if !d.Present {
+			m.faults++
+			m.charge(in, cycles)
+			return &Fault{Kind: FaultSegNotPresent, Instr: in, Mode: m.mode}
+		}
+		switch d.Kind {
+		case SegCode:
+			m.segs.CS = in.Seg
+		case SegData:
+			m.segs.DS = in.Seg
+		case SegStack:
+			m.segs.SS = in.Seg
+		}
+	case OpTrap:
+		cycles += m.cost.TrapEntry
+		m.mode = Kernel
+		m.charge(in, cycles)
+		if m.trapVector != nil {
+			m.trapVector(m, int(in.Page))
+		}
+		return nil
+	case OpIret:
+		cycles += m.cost.TrapExit
+		m.mode = User
+	case OpLoad, OpStore, OpCacheProbe:
+		if in.CheckSeg {
+			d, ok := m.Descriptor(in.Seg)
+			if !ok {
+				m.faults++
+				m.charge(in, cycles)
+				return &Fault{Kind: FaultBadSelector, Instr: in, Mode: m.mode}
+			}
+			if !d.Present {
+				m.faults++
+				m.charge(in, cycles)
+				return &Fault{Kind: FaultSegNotPresent, Instr: in, Mode: m.mode}
+			}
+			if in.Off >= d.Limit {
+				m.faults++
+				m.charge(in, cycles)
+				return &Fault{Kind: FaultSegBounds, Instr: in, Mode: m.mode}
+			}
+		}
+		if m.pagingOn && in.Page != 0 {
+			if !m.tlb.lookup(m.activePT, in.Page) {
+				cycles += m.cost.TLBMiss
+				m.tlb.insert(m.activePT, in.Page)
+			}
+		}
+	case OpTLBFlush:
+		m.tlb.flush()
+		cycles += m.cost.TLBFlushRefill
+	case OpPTSwitch:
+		m.activePT = in.Page
+		m.tlb.flush()
+		cycles += m.cost.TLBFlushRefill
+	}
+
+	m.charge(in, cycles)
+	return nil
+}
+
+// Run executes a sequence, stopping at the first fault.
+func (m *Machine) Run(seq []Instruction) error {
+	for _, in := range seq {
+		if err := m.Exec(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) charge(in Instruction, cycles int) {
+	m.cycles += uint64(cycles)
+	m.instrs++
+	if m.trace != nil {
+		m.trace(in, cycles)
+	}
+}
+
+// tlb is a tiny direct-lookup TLB tagged by page table root. A full
+// flush models the CR3 reload on traditional context switches — the
+// cost SISR's segment-only switch avoids entirely.
+type tlb struct {
+	entries map[uint64]struct{}
+	order   []uint64
+	cap     int
+}
+
+func (t *tlb) init(capacity int) {
+	t.entries = make(map[uint64]struct{}, capacity)
+	t.cap = capacity
+}
+
+func key(pt uint32, page uint32) uint64 { return uint64(pt)<<32 | uint64(page) }
+
+func (t *tlb) lookup(pt, page uint32) bool {
+	_, ok := t.entries[key(pt, page)]
+	return ok
+}
+
+func (t *tlb) insert(pt, page uint32) {
+	k := key(pt, page)
+	if _, ok := t.entries[k]; ok {
+		return
+	}
+	if len(t.order) >= t.cap {
+		oldest := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, oldest)
+	}
+	t.entries[k] = struct{}{}
+	t.order = append(t.order, k)
+}
+
+func (t *tlb) flush() {
+	t.entries = make(map[uint64]struct{}, t.cap)
+	t.order = t.order[:0]
+}
+
+// Seq is a convenience builder for instruction sequences.
+type Seq struct {
+	ins []Instruction
+}
+
+// NewSeq returns an empty sequence builder.
+func NewSeq() *Seq { return &Seq{} }
+
+// ALU appends n register ops.
+func (s *Seq) ALU(name string, n int) *Seq {
+	for i := 0; i < n; i++ {
+		s.ins = append(s.ins, Instruction{Op: OpALU, Name: name})
+	}
+	return s
+}
+
+// Load appends n loads against page.
+func (s *Seq) Load(name string, page uint32, n int) *Seq {
+	for i := 0; i < n; i++ {
+		s.ins = append(s.ins, Instruction{Op: OpLoad, Name: name, Page: page})
+	}
+	return s
+}
+
+// Store appends n stores against page.
+func (s *Seq) Store(name string, page uint32, n int) *Seq {
+	for i := 0; i < n; i++ {
+		s.ins = append(s.ins, Instruction{Op: OpStore, Name: name, Page: page})
+	}
+	return s
+}
+
+// Probe appends n cache-missing references (cold working set).
+func (s *Seq) Probe(name string, page uint32, n int) *Seq {
+	for i := 0; i < n; i++ {
+		s.ins = append(s.ins, Instruction{Op: OpCacheProbe, Name: name, Page: page})
+	}
+	return s
+}
+
+// Call appends a near call.
+func (s *Seq) Call(name string) *Seq {
+	s.ins = append(s.ins, Instruction{Op: OpCall, Name: name})
+	return s
+}
+
+// Ret appends a near return.
+func (s *Seq) Ret(name string) *Seq {
+	s.ins = append(s.ins, Instruction{Op: OpRet, Name: name})
+	return s
+}
+
+// Branch appends n branches.
+func (s *Seq) Branch(name string, n int) *Seq {
+	for i := 0; i < n; i++ {
+		s.ins = append(s.ins, Instruction{Op: OpBranch, Name: name})
+	}
+	return s
+}
+
+// SegLoad appends a segment-register load of sel.
+func (s *Seq) SegLoad(name string, sel Selector) *Seq {
+	s.ins = append(s.ins, Instruction{Op: OpSegLoad, Name: name, Seg: sel})
+	return s
+}
+
+// Trap appends a software interrupt with vector v.
+func (s *Seq) Trap(name string, v int) *Seq {
+	s.ins = append(s.ins, Instruction{Op: OpTrap, Name: name, Page: uint32(v)})
+	return s
+}
+
+// Iret appends a trap return.
+func (s *Seq) Iret(name string) *Seq {
+	s.ins = append(s.ins, Instruction{Op: OpIret, Name: name})
+	return s
+}
+
+// PrivCtl appends a privileged control op (CLI/STI class).
+func (s *Seq) PrivCtl(name string) *Seq {
+	s.ins = append(s.ins, Instruction{Op: OpPrivCtl, Name: name})
+	return s
+}
+
+// PTSwitch appends a page-table switch to root pt.
+func (s *Seq) PTSwitch(name string, pt uint32) *Seq {
+	s.ins = append(s.ins, Instruction{Op: OpPTSwitch, Name: name, Page: pt})
+	return s
+}
+
+// Build returns the accumulated instructions.
+func (s *Seq) Build() []Instruction { return s.ins }
+
+// Len returns the number of accumulated instructions.
+func (s *Seq) Len() int { return len(s.ins) }

@@ -1,0 +1,360 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newTestMachine() *Machine { return New(DefaultCostModel(), 32) }
+
+func TestPrivilegedFaultsInUserMode(t *testing.T) {
+	priv := []OpClass{OpSegLoad, OpPrivCtl, OpIO, OpTLBFlush, OpPTSwitch, OpIret}
+	for _, op := range priv {
+		m := newTestMachine()
+		m.SetMode(User)
+		err := m.Exec(Instruction{Op: op, Name: "probe"})
+		var f *Fault
+		if !errors.As(err, &f) {
+			t.Fatalf("%s: want fault in user mode, got %v", op, err)
+		}
+		if f.Kind != FaultPrivilege {
+			t.Errorf("%s: fault kind = %v, want privilege", op, f.Kind)
+		}
+		if m.Faults() != 1 {
+			t.Errorf("%s: fault counter = %d, want 1", op, m.Faults())
+		}
+	}
+}
+
+func TestPrivilegedOKInKernelMode(t *testing.T) {
+	m := newTestMachine()
+	sel, err := m.DefineSegment(SegmentDescriptor{Base: 0, Limit: 4096, Kind: SegData, Present: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Exec(Instruction{Op: OpSegLoad, Name: "mov ds", Seg: sel}); err != nil {
+		t.Fatalf("kernel segload: %v", err)
+	}
+	if m.Segs().DS != sel {
+		t.Errorf("DS = %d, want %d", m.Segs().DS, sel)
+	}
+}
+
+func TestUnprivilegedOpsRunInUserMode(t *testing.T) {
+	m := newTestMachine()
+	m.SetMode(User)
+	seq := NewSeq().ALU("add", 3).Load("mov", 7, 2).Store("mov", 7, 1).Call("f").Ret("f").Build()
+	if err := m.Run(seq); err != nil {
+		t.Fatalf("user-mode sequence: %v", err)
+	}
+	if m.Instructions() != uint64(len(seq)) {
+		t.Errorf("retired %d, want %d", m.Instructions(), len(seq))
+	}
+}
+
+func TestSegLoadRouting(t *testing.T) {
+	m := newTestMachine()
+	code, _ := m.DefineSegment(SegmentDescriptor{Limit: 100, Kind: SegCode, Present: true})
+	data, _ := m.DefineSegment(SegmentDescriptor{Limit: 100, Kind: SegData, Present: true})
+	stack, _ := m.DefineSegment(SegmentDescriptor{Limit: 100, Kind: SegStack, Present: true})
+	for _, sel := range []Selector{code, data, stack} {
+		if err := m.Exec(Instruction{Op: OpSegLoad, Seg: sel}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Segs()
+	if s.CS != code || s.DS != data || s.SS != stack {
+		t.Errorf("segs = %+v, want cs=%d ds=%d ss=%d", s, code, data, stack)
+	}
+}
+
+func TestSegLoadNotPresentFaults(t *testing.T) {
+	m := newTestMachine()
+	sel, _ := m.DefineSegment(SegmentDescriptor{Limit: 100, Kind: SegData, Present: true})
+	m.RevokeSegment(sel)
+	err := m.Exec(Instruction{Op: OpSegLoad, Seg: sel})
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultSegNotPresent {
+		t.Fatalf("want not-present fault, got %v", err)
+	}
+}
+
+func TestSegLoadBadSelectorFaults(t *testing.T) {
+	m := newTestMachine()
+	err := m.Exec(Instruction{Op: OpSegLoad, Seg: 999})
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultBadSelector {
+		t.Fatalf("want bad-selector fault, got %v", err)
+	}
+}
+
+func TestTrapSwitchesToKernelAndDispatches(t *testing.T) {
+	m := newTestMachine()
+	m.SetMode(User)
+	var gotVector int
+	m.SetTrapVector(func(m *Machine, v int) {
+		gotVector = v
+		if m.Mode() != Kernel {
+			t.Error("trap handler not in kernel mode")
+		}
+	})
+	if err := m.Exec(Instruction{Op: OpTrap, Name: "int 0x80", Page: 0x80}); err != nil {
+		t.Fatal(err)
+	}
+	if gotVector != 0x80 {
+		t.Errorf("vector = %#x, want 0x80", gotVector)
+	}
+	if m.Mode() != Kernel {
+		t.Error("mode after trap should be kernel")
+	}
+	if err := m.Exec(Instruction{Op: OpIret, Name: "iret"}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mode() != User {
+		t.Error("mode after iret should be user")
+	}
+}
+
+func TestTrapCostIncludesEntryMicrocode(t *testing.T) {
+	cost := DefaultCostModel()
+	m := New(cost, 8)
+	m.SetMode(User)
+	_ = m.Exec(Instruction{Op: OpTrap, Page: 1})
+	want := uint64(cost.Cycles[OpTrap] + cost.TrapEntry)
+	if m.Cycles() != want {
+		t.Errorf("trap cycles = %d, want %d", m.Cycles(), want)
+	}
+}
+
+func TestTLBMissThenHit(t *testing.T) {
+	cost := DefaultCostModel()
+	m := New(cost, 8)
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 42})
+	missCost := m.Cycles()
+	m.ResetCounters()
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 42})
+	hitCost := m.Cycles()
+	if missCost != uint64(cost.Cycles[OpLoad]+cost.TLBMiss) {
+		t.Errorf("miss cost = %d", missCost)
+	}
+	if hitCost != uint64(cost.Cycles[OpLoad]) {
+		t.Errorf("hit cost = %d, want bare load", hitCost)
+	}
+}
+
+func TestPTSwitchFlushesTLB(t *testing.T) {
+	cost := DefaultCostModel()
+	m := New(cost, 8)
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 42})
+	_ = m.Exec(Instruction{Op: OpPTSwitch, Page: 7})
+	// Back to the original page table: translations were flushed.
+	_ = m.Exec(Instruction{Op: OpPTSwitch, Page: 0})
+	m.ResetCounters()
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 42})
+	if m.Cycles() != uint64(cost.Cycles[OpLoad]+cost.TLBMiss) {
+		t.Errorf("post-flush load = %d cycles, want miss cost", m.Cycles())
+	}
+}
+
+func TestTLBIsTaggedByPageTable(t *testing.T) {
+	// Same page number under two roots must be distinct translations.
+	m := newTestMachine()
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 9})
+	m.activePT = 1 // direct set: avoid the flush that PTSwitch does
+	m.ResetCounters()
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 9})
+	if m.Cycles() == uint64(m.cost.Cycles[OpLoad]) {
+		t.Error("translation leaked across page tables")
+	}
+}
+
+func TestTLBEviction(t *testing.T) {
+	m := New(DefaultCostModel(), 8)
+	// Fill past capacity (64) and verify the earliest entry is evicted.
+	for p := uint32(1); p <= 65; p++ {
+		_ = m.Exec(Instruction{Op: OpLoad, Page: p})
+	}
+	m.ResetCounters()
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 1})
+	if m.Cycles() == uint64(m.cost.Cycles[OpLoad]) {
+		t.Error("page 1 should have been evicted")
+	}
+	m.ResetCounters()
+	_ = m.Exec(Instruction{Op: OpLoad, Page: 65})
+	if m.Cycles() != uint64(m.cost.Cycles[OpLoad]) {
+		t.Error("page 65 should still be resident")
+	}
+}
+
+func TestGDTBytesCountsPresentOnly(t *testing.T) {
+	m := newTestMachine()
+	a, _ := m.DefineSegment(SegmentDescriptor{Limit: 1, Kind: SegCode, Present: true})
+	_, _ = m.DefineSegment(SegmentDescriptor{Limit: 1, Kind: SegData, Present: true})
+	if got := m.GDTBytes(); got != 16 {
+		t.Errorf("GDTBytes = %d, want 16", got)
+	}
+	m.RevokeSegment(a)
+	if got := m.GDTBytes(); got != 8 {
+		t.Errorf("GDTBytes after revoke = %d, want 8", got)
+	}
+}
+
+func TestGDTFull(t *testing.T) {
+	m := New(DefaultCostModel(), 2)
+	_, _ = m.DefineSegment(SegmentDescriptor{Limit: 1, Kind: SegCode, Present: true})
+	_, _ = m.DefineSegment(SegmentDescriptor{Limit: 1, Kind: SegData, Present: true})
+	if _, err := m.DefineSegment(SegmentDescriptor{Limit: 1, Kind: SegData, Present: true}); !errors.Is(err, ErrGDTFull) {
+		t.Fatalf("want ErrGDTFull, got %v", err)
+	}
+}
+
+func TestRunStopsAtFirstFault(t *testing.T) {
+	m := newTestMachine()
+	m.SetMode(User)
+	seq := NewSeq().ALU("a", 2).PrivCtl("cli").ALU("b", 5).Build()
+	if err := m.Run(seq); err == nil {
+		t.Fatal("want fault")
+	}
+	if m.Instructions() != 3 { // 2 ALU + the faulting CLI
+		t.Errorf("retired %d instructions, want 3", m.Instructions())
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	m := newTestMachine()
+	var names []string
+	m.SetTrace(func(in Instruction, _ int) { names = append(names, in.Name) })
+	_ = m.Run(NewSeq().ALU("x", 1).Call("y").Build())
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("trace = %v", names)
+	}
+}
+
+func TestResetCountersKeepsState(t *testing.T) {
+	m := newTestMachine()
+	sel, _ := m.DefineSegment(SegmentDescriptor{Limit: 1, Kind: SegData, Present: true})
+	_ = m.Exec(Instruction{Op: OpSegLoad, Seg: sel})
+	m.ResetCounters()
+	if m.Cycles() != 0 || m.Instructions() != 0 {
+		t.Error("counters not reset")
+	}
+	if m.Segs().DS != sel {
+		t.Error("architectural state lost on reset")
+	}
+}
+
+// Property: cycle accounting is additive — running a sequence charges
+// exactly the sum of the per-instruction charges, independent of
+// interleaving with counter resets.
+func TestCyclesAdditiveProperty(t *testing.T) {
+	f := func(aluA, aluB uint8) bool {
+		m1 := newTestMachine()
+		_ = m1.Run(NewSeq().ALU("a", int(aluA)).ALU("b", int(aluB)).Build())
+		m2 := newTestMachine()
+		_ = m2.Run(NewSeq().ALU("a", int(aluA)).Build())
+		first := m2.Cycles()
+		m2.ResetCounters()
+		_ = m2.Run(NewSeq().ALU("b", int(aluB)).Build())
+		return m1.Cycles() == first+m2.Cycles()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: in user mode, a sequence containing any privileged opcode
+// always faults before completing, whatever surrounds it.
+func TestUserModePrivilegeProperty(t *testing.T) {
+	priv := []OpClass{OpSegLoad, OpPrivCtl, OpIO, OpTLBFlush, OpPTSwitch, OpIret}
+	f := func(pre, post uint8, pick uint8) bool {
+		op := priv[int(pick)%len(priv)]
+		m := newTestMachine()
+		m.SetMode(User)
+		seq := NewSeq().ALU("pre", int(pre)%16).Build()
+		seq = append(seq, Instruction{Op: op})
+		seq = append(seq, NewSeq().ALU("post", int(post)%16).Build()...)
+		err := m.Run(seq)
+		var fault *Fault
+		return errors.As(err, &fault) && fault.Kind == FaultPrivilege
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqBuilderCounts(t *testing.T) {
+	s := NewSeq().ALU("a", 3).Load("l", 1, 2).Store("s", 1, 1).Probe("p", 2, 4).
+		Call("c").Ret("r").Branch("b", 2).Trap("t", 1).Iret("i").PrivCtl("cli").
+		PTSwitch("cr3", 1)
+	want := 3 + 2 + 1 + 4 + 1 + 1 + 2 + 1 + 1 + 1 + 1
+	if s.Len() != want {
+		t.Errorf("Len = %d, want %d", s.Len(), want)
+	}
+}
+
+func TestOpClassStringAndPrivileged(t *testing.T) {
+	if OpALU.String() != "alu" || OpSegLoad.String() != "segload" {
+		t.Error("op names wrong")
+	}
+	if OpALU.Privileged() || OpLoad.Privileged() {
+		t.Error("unprivileged ops misclassified")
+	}
+	if OpClass(99).String() == "" {
+		t.Error("unknown op should still stringify")
+	}
+	if Kernel.String() != "kernel" || User.String() != "user" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestSegBoundsChecking(t *testing.T) {
+	m := newTestMachine()
+	sel, _ := m.DefineSegment(SegmentDescriptor{Limit: 100, Kind: SegData, Present: true})
+	// In-bounds access succeeds.
+	if err := m.Exec(Instruction{Op: OpLoad, Seg: sel, CheckSeg: true, Off: 99}); err != nil {
+		t.Fatalf("in-bounds: %v", err)
+	}
+	// Out-of-bounds faults.
+	err := m.Exec(Instruction{Op: OpStore, Seg: sel, CheckSeg: true, Off: 100})
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultSegBounds {
+		t.Fatalf("want bounds fault, got %v", err)
+	}
+	// Revoked segment faults not-present.
+	m.RevokeSegment(sel)
+	err = m.Exec(Instruction{Op: OpLoad, Seg: sel, CheckSeg: true, Off: 0})
+	if !errors.As(err, &f) || f.Kind != FaultSegNotPresent {
+		t.Fatalf("want not-present fault, got %v", err)
+	}
+	// Unknown selector faults.
+	err = m.Exec(Instruction{Op: OpLoad, Seg: 999, CheckSeg: true, Off: 0})
+	if !errors.As(err, &f) || f.Kind != FaultBadSelector {
+		t.Fatalf("want bad-selector fault, got %v", err)
+	}
+	// Unchecked accesses are unaffected (hot path).
+	if err := m.Exec(Instruction{Op: OpLoad, Off: 1 << 30}); err != nil {
+		t.Fatalf("unchecked access: %v", err)
+	}
+}
+
+// Property: a checked access succeeds iff Off < Limit, for any limit
+// and offset.
+func TestSegBoundsProperty(t *testing.T) {
+	f := func(limit, off uint16) bool {
+		if limit == 0 {
+			return true // zero-limit segments reject everything; covered above
+		}
+		m := newTestMachine()
+		sel, _ := m.DefineSegment(SegmentDescriptor{Limit: uint32(limit), Kind: SegData, Present: true})
+		err := m.Exec(Instruction{Op: OpLoad, Seg: sel, CheckSeg: true, Off: uint32(off)})
+		if uint32(off) < uint32(limit) {
+			return err == nil
+		}
+		var fault *Fault
+		return errors.As(err, &fault) && fault.Kind == FaultSegBounds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

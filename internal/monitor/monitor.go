@@ -1,0 +1,375 @@
+// Package monitor implements the monitors and gauges of the paper's
+// adaptation framework (Figure 1): raw monitors sample environmental
+// facts (processor utilisation, bandwidth, battery, request rate);
+// gauges "aggregate raw monitor data for more lightweight processing"
+// before it reaches the session manager. A registry of gauges is the
+// environment against which constraints are evaluated.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Well-known metric names used across the scenarios. Constraints refer
+// to these by name (Table 2 uses processor-util and bandwidth).
+const (
+	MetricProcessorUtil = "processor-util" // percent, 0..100
+	MetricBandwidth     = "bandwidth"      // Kbps
+	MetricBattery       = "battery"        // percent remaining
+	MetricRequestRate   = "request-rate"   // requests/sec
+	MetricCapacity      = "capacity"       // abstract capacity units
+	MetricLoad          = "load"           // abstract load units
+	MetricDistance      = "distance"       // metres (NEAREST)
+	MetricLatency       = "latency"        // ms
+	MetricFreeMemory    = "free-memory"    // KiB
+)
+
+// Key identifies a monitored quantity: a metric at a source (device,
+// link or component name). An empty source means "system-wide".
+type Key struct {
+	Metric string
+	Source string
+}
+
+func (k Key) String() string {
+	if k.Source == "" {
+		return k.Metric
+	}
+	return k.Metric + "(" + k.Source + ")"
+}
+
+// Sample is one raw monitor reading at simulation time TimeMS.
+type Sample struct {
+	Key    Key
+	Value  float64
+	TimeMS float64
+}
+
+// Gauge aggregates raw samples into the value the session manager
+// actually consults. Implementations must be cheap: the paper's point
+// is that gauges make the adaptation loop lightweight.
+type Gauge interface {
+	// Observe folds in one sample.
+	Observe(Sample)
+	// Value returns the current aggregate.
+	Value() float64
+	// Ready reports whether enough samples have arrived to trust Value.
+	Ready() bool
+	// Reset clears accumulated state.
+	Reset()
+}
+
+// ---------------------------------------------------------------------------
+// Gauge implementations.
+
+// Last passes the latest sample through (a raw monitor feed).
+type Last struct {
+	v     float64
+	seen  bool
+	count int
+}
+
+// Observe implements Gauge.
+func (g *Last) Observe(s Sample) { g.v, g.seen = s.Value, true; g.count++ }
+
+// Value implements Gauge.
+func (g *Last) Value() float64 { return g.v }
+
+// Ready implements Gauge.
+func (g *Last) Ready() bool { return g.seen }
+
+// Reset implements Gauge.
+func (g *Last) Reset() { *g = Last{} }
+
+// EWMA is an exponentially weighted moving average with smoothing
+// factor Alpha in (0,1]; higher alpha tracks faster.
+type EWMA struct {
+	Alpha float64
+	v     float64
+	seen  bool
+}
+
+// Observe implements Gauge.
+func (g *EWMA) Observe(s Sample) {
+	if !g.seen {
+		g.v, g.seen = s.Value, true
+		return
+	}
+	a := g.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.3
+	}
+	g.v = a*s.Value + (1-a)*g.v
+}
+
+// Value implements Gauge.
+func (g *EWMA) Value() float64 { return g.v }
+
+// Ready implements Gauge.
+func (g *EWMA) Ready() bool { return g.seen }
+
+// Reset implements Gauge.
+func (g *EWMA) Reset() { g.v, g.seen = 0, false }
+
+// WindowAgg selects the aggregate a Window gauge computes.
+type WindowAgg int
+
+// Window aggregate kinds.
+const (
+	AggMean WindowAgg = iota
+	AggMax
+	AggMin
+	AggP95
+)
+
+// Window keeps the last N samples and aggregates them.
+type Window struct {
+	N   int
+	Agg WindowAgg
+	buf []float64
+}
+
+// Observe implements Gauge.
+func (g *Window) Observe(s Sample) {
+	n := g.N
+	if n <= 0 {
+		n = 8
+	}
+	g.buf = append(g.buf, s.Value)
+	if len(g.buf) > n {
+		g.buf = g.buf[len(g.buf)-n:]
+	}
+}
+
+// Value implements Gauge.
+func (g *Window) Value() float64 {
+	if len(g.buf) == 0 {
+		return 0
+	}
+	switch g.Agg {
+	case AggMax:
+		m := g.buf[0]
+		for _, v := range g.buf[1:] {
+			m = math.Max(m, v)
+		}
+		return m
+	case AggMin:
+		m := g.buf[0]
+		for _, v := range g.buf[1:] {
+			m = math.Min(m, v)
+		}
+		return m
+	case AggP95:
+		s := append([]float64(nil), g.buf...)
+		sort.Float64s(s)
+		idx := int(math.Ceil(0.95*float64(len(s)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return s[idx]
+	default:
+		sum := 0.0
+		for _, v := range g.buf {
+			sum += v
+		}
+		return sum / float64(len(g.buf))
+	}
+}
+
+// Ready implements Gauge.
+func (g *Window) Ready() bool { return len(g.buf) > 0 }
+
+// Reset implements Gauge.
+func (g *Window) Reset() { g.buf = g.buf[:0] }
+
+// Trend estimates the least-squares slope (units/ms) over the last N
+// samples — "a monitor detects, through some form of trend analysis,
+// that the number of requests are beginning to peak" (§5.2). Value
+// returns the slope; Projected(dt) extrapolates.
+type Trend struct {
+	N  int
+	ts []float64
+	vs []float64
+}
+
+// Observe implements Gauge.
+func (g *Trend) Observe(s Sample) {
+	n := g.N
+	if n <= 0 {
+		n = 8
+	}
+	g.ts = append(g.ts, s.TimeMS)
+	g.vs = append(g.vs, s.Value)
+	if len(g.ts) > n {
+		g.ts = g.ts[len(g.ts)-n:]
+		g.vs = g.vs[len(g.vs)-n:]
+	}
+}
+
+// Value implements Gauge: the current slope in units per ms.
+func (g *Trend) Value() float64 {
+	n := len(g.ts)
+	if n < 2 {
+		return 0
+	}
+	var sumT, sumV, sumTT, sumTV float64
+	for i := 0; i < n; i++ {
+		sumT += g.ts[i]
+		sumV += g.vs[i]
+		sumTT += g.ts[i] * g.ts[i]
+		sumTV += g.ts[i] * g.vs[i]
+	}
+	den := float64(n)*sumTT - sumT*sumT
+	if den == 0 {
+		return 0
+	}
+	return (float64(n)*sumTV - sumT*sumV) / den
+}
+
+// Ready implements Gauge.
+func (g *Trend) Ready() bool { return len(g.ts) >= 2 }
+
+// Reset implements Gauge.
+func (g *Trend) Reset() { g.ts, g.vs = g.ts[:0], g.vs[:0] }
+
+// Projected extrapolates the latest value dt ms forward along the
+// fitted slope.
+func (g *Trend) Projected(dt float64) float64 {
+	if len(g.vs) == 0 {
+		return 0
+	}
+	return g.vs[len(g.vs)-1] + g.Value()*dt
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the gauge environment the session manager reads.
+
+// Registry routes raw samples to per-key gauges and serves as the
+// constraint-evaluation environment. It is safe for concurrent use:
+// simulated devices publish from their own goroutines in some
+// experiments.
+type Registry struct {
+	mu     sync.RWMutex
+	gauges map[Key]Gauge
+	// factory builds a gauge for keys seen before Bind was called.
+	factory  func(Key) Gauge
+	onSample []func(Sample)
+	samples  uint64
+}
+
+// NewRegistry returns a registry whose unbound keys default to Last
+// gauges (raw pass-through).
+func NewRegistry() *Registry {
+	return &Registry{
+		gauges:  make(map[Key]Gauge),
+		factory: func(Key) Gauge { return &Last{} },
+	}
+}
+
+// SetDefaultGauge replaces the factory used for unbound keys.
+func (r *Registry) SetDefaultGauge(f func(Key) Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factory = f
+}
+
+// Bind installs a specific gauge for a key, replacing any existing
+// one (and its history).
+func (r *Registry) Bind(k Key, g Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[k] = g
+}
+
+// OnSample registers a hook invoked for every published sample (after
+// gauge update). The session manager uses this to run its constraint
+// check per feed without polling.
+func (r *Registry) OnSample(fn func(Sample)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onSample = append(r.onSample, fn)
+}
+
+// Publish feeds one raw sample in.
+func (r *Registry) Publish(s Sample) {
+	r.mu.Lock()
+	g, ok := r.gauges[s.Key]
+	if !ok {
+		g = r.factory(s.Key)
+		r.gauges[s.Key] = g
+	}
+	g.Observe(s)
+	hooks := r.onSample
+	r.samples++
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h(s)
+	}
+}
+
+// Samples returns the count of published raw samples.
+func (r *Registry) Samples() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.samples
+}
+
+// Metric implements the constraint environment: the current gauge
+// value for metric at source. Falls back to the system-wide key when
+// the sourced key is absent.
+func (r *Registry) Metric(metric, source string) (float64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if g, ok := r.gauges[Key{Metric: metric, Source: source}]; ok && g.Ready() {
+		return g.Value(), true
+	}
+	if source != "" {
+		if g, ok := r.gauges[Key{Metric: metric}]; ok && g.Ready() {
+			return g.Value(), true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the gauge bound to k, if any.
+func (r *Registry) Gauge(k Key) (Gauge, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g, ok := r.gauges[k]
+	return g, ok
+}
+
+// Keys returns all keys with at least one observation, sorted.
+func (r *Registry) Keys() []Key {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Key, 0, len(r.gauges))
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Metric != out[j].Metric {
+			return out[i].Metric < out[j].Metric
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Snapshot renders the registry state for traces.
+func (r *Registry) Snapshot() string {
+	var b []byte
+	for _, k := range r.Keys() {
+		g, _ := r.Gauge(k)
+		if g != nil && g.Ready() {
+			b = fmt.Appendf(b, "%s=%.2f ", k, g.Value())
+		}
+	}
+	if len(b) > 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}

@@ -1,0 +1,272 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func s(metric, source string, v, t float64) Sample {
+	return Sample{Key: Key{Metric: metric, Source: source}, Value: v, TimeMS: t}
+}
+
+func TestLastGauge(t *testing.T) {
+	g := &Last{}
+	if g.Ready() {
+		t.Fatal("empty gauge ready")
+	}
+	g.Observe(s("m", "", 5, 0))
+	g.Observe(s("m", "", 9, 1))
+	if !g.Ready() || g.Value() != 9 {
+		t.Fatalf("value = %v", g.Value())
+	}
+	g.Reset()
+	if g.Ready() {
+		t.Fatal("ready after reset")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	g := &EWMA{Alpha: 0.5}
+	for i := 0; i < 50; i++ {
+		g.Observe(s("m", "", 42, float64(i)))
+	}
+	if math.Abs(g.Value()-42) > 1e-9 {
+		t.Fatalf("EWMA of constant = %v", g.Value())
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	g := &EWMA{Alpha: 0.5}
+	g.Observe(s("m", "", 0, 0))
+	g.Observe(s("m", "", 100, 1))
+	if g.Value() != 50 {
+		t.Fatalf("EWMA = %v, want 50", g.Value())
+	}
+}
+
+func TestEWMABadAlphaDefaults(t *testing.T) {
+	g := &EWMA{Alpha: 0}
+	g.Observe(s("m", "", 0, 0))
+	g.Observe(s("m", "", 10, 1))
+	if g.Value() != 3 { // 0.3 default
+		t.Fatalf("EWMA = %v, want 3", g.Value())
+	}
+}
+
+func TestWindowAggregates(t *testing.T) {
+	vals := []float64{1, 9, 5, 3, 7}
+	cases := []struct {
+		agg  WindowAgg
+		want float64
+	}{
+		{AggMean, 5}, {AggMax, 9}, {AggMin, 1}, {AggP95, 9},
+	}
+	for _, c := range cases {
+		g := &Window{N: 5, Agg: c.agg}
+		for i, v := range vals {
+			g.Observe(s("m", "", v, float64(i)))
+		}
+		if g.Value() != c.want {
+			t.Errorf("agg %d = %v, want %v", c.agg, g.Value(), c.want)
+		}
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	g := &Window{N: 2, Agg: AggMean}
+	for i, v := range []float64{100, 2, 4} {
+		g.Observe(s("m", "", v, float64(i)))
+	}
+	if g.Value() != 3 {
+		t.Fatalf("window mean = %v, want 3 (100 evicted)", g.Value())
+	}
+}
+
+func TestTrendSlope(t *testing.T) {
+	g := &Trend{N: 10}
+	// value = 2*t + 1
+	for i := 0; i < 8; i++ {
+		g.Observe(s("req", "", 2*float64(i)+1, float64(i)))
+	}
+	if math.Abs(g.Value()-2) > 1e-9 {
+		t.Fatalf("slope = %v, want 2", g.Value())
+	}
+	if math.Abs(g.Projected(5)-(15+10)) > 1e-9 {
+		t.Fatalf("projected = %v, want 25", g.Projected(5))
+	}
+}
+
+func TestTrendFlatAndUnready(t *testing.T) {
+	g := &Trend{N: 4}
+	if g.Ready() || g.Value() != 0 {
+		t.Fatal("empty trend should be unready/zero")
+	}
+	g.Observe(s("m", "", 7, 0))
+	if g.Ready() {
+		t.Fatal("one sample should not be ready")
+	}
+	g.Observe(s("m", "", 7, 1))
+	g.Observe(s("m", "", 7, 2))
+	if g.Value() != 0 {
+		t.Fatalf("flat slope = %v", g.Value())
+	}
+}
+
+func TestTrendSameTimestampIsZero(t *testing.T) {
+	g := &Trend{N: 4}
+	g.Observe(s("m", "", 1, 5))
+	g.Observe(s("m", "", 9, 5))
+	if g.Value() != 0 {
+		t.Fatalf("degenerate slope = %v, want 0", g.Value())
+	}
+}
+
+func TestRegistryRoutesAndReads(t *testing.T) {
+	r := NewRegistry()
+	r.Publish(s(MetricProcessorUtil, "node1", 80, 0))
+	r.Publish(s(MetricProcessorUtil, "node1", 90, 1))
+	v, ok := r.Metric(MetricProcessorUtil, "node1")
+	if !ok || v != 90 {
+		t.Fatalf("metric = %v %v", v, ok)
+	}
+	if _, ok := r.Metric(MetricProcessorUtil, "node2"); ok {
+		t.Fatal("unknown source should miss")
+	}
+}
+
+func TestRegistryFallsBackToSystemWide(t *testing.T) {
+	r := NewRegistry()
+	r.Publish(s(MetricBandwidth, "", 120, 0))
+	v, ok := r.Metric(MetricBandwidth, "laptop")
+	if !ok || v != 120 {
+		t.Fatalf("fallback = %v %v", v, ok)
+	}
+}
+
+func TestRegistryBoundGauge(t *testing.T) {
+	r := NewRegistry()
+	k := Key{Metric: MetricRequestRate, Source: "web"}
+	r.Bind(k, &Window{N: 3, Agg: AggMax})
+	for i, v := range []float64{5, 50, 10} {
+		r.Publish(Sample{Key: k, Value: v, TimeMS: float64(i)})
+	}
+	got, _ := r.Metric(MetricRequestRate, "web")
+	if got != 50 {
+		t.Fatalf("max gauge = %v", got)
+	}
+}
+
+func TestRegistryDefaultGaugeFactory(t *testing.T) {
+	r := NewRegistry()
+	r.SetDefaultGauge(func(Key) Gauge { return &EWMA{Alpha: 1} })
+	r.Publish(s("x", "", 5, 0))
+	v, _ := r.Metric("x", "")
+	if v != 5 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestRegistryOnSampleHook(t *testing.T) {
+	r := NewRegistry()
+	var got []float64
+	r.OnSample(func(smp Sample) { got = append(got, smp.Value) })
+	r.Publish(s("m", "", 1, 0))
+	r.Publish(s("m", "", 2, 1))
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("hook calls = %v", got)
+	}
+	if r.Samples() != 2 {
+		t.Fatalf("samples = %d", r.Samples())
+	}
+}
+
+func TestRegistryKeysSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Publish(s("b", "2", 1, 0))
+	r.Publish(s("b", "1", 1, 0))
+	r.Publish(s("a", "9", 1, 0))
+	keys := r.Keys()
+	if len(keys) != 3 || keys[0].Metric != "a" || keys[1].Source != "1" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Publish(s("cpu", "n1", 42, 0))
+	if got := r.Snapshot(); got != "cpu(n1)=42.00" {
+		t.Fatalf("snapshot = %q", got)
+	}
+}
+
+func TestRegistryConcurrentPublish(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Publish(s("m", "src", float64(i), float64(i)))
+				r.Metric("m", "src")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Samples() != 1600 {
+		t.Fatalf("samples = %d, want 1600", r.Samples())
+	}
+}
+
+// Property: EWMA output is always within the [min,max] envelope of its
+// inputs (convex combination).
+func TestEWMAEnvelopeProperty(t *testing.T) {
+	f := func(raw []float64, alphaSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := 0.05 + 0.9*float64(alphaSeed)/255
+		g := &EWMA{Alpha: alpha}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			g.Observe(s("m", "", v, float64(i)))
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return g.Value() >= lo-1e-9 && g.Value() <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Window min ≤ mean ≤ max for any inputs.
+func TestWindowOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		mk := func(agg WindowAgg) float64 {
+			g := &Window{N: len(clean), Agg: agg}
+			for i, v := range clean {
+				g.Observe(s("m", "", v, float64(i)))
+			}
+			return g.Value()
+		}
+		mn, mean, mx := mk(AggMin), mk(AggMean), mk(AggMax)
+		return mn <= mean+1e-6 && mean <= mx+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package operators
+
+import (
+	"sort"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// Eddy implements the tuple-routing operator of Avnur & Hellerstein
+// [1]: a stream of tuples is routed through a set of commutative
+// filter operators whose costs and selectivities the eddy does not
+// trust a priori. A lottery-style statistics window continuously
+// re-estimates each filter's pass rate and cost, and each tuple is
+// routed through the currently best order — so when selectivities
+// drift mid-stream, the eddy re-routes while a static plan keeps
+// paying for its stale ordering.
+
+// EddyFilter is one routable filter with an intrinsic evaluation cost
+// (abstract work units) and a predicate.
+type EddyFilter struct {
+	Name string
+	Cost float64
+	Pred Predicate
+
+	// windowed statistics
+	evals  int
+	passes int
+}
+
+func (f *EddyFilter) observedSelectivity() float64 {
+	if f.evals == 0 {
+		return 0.5 // uninformed prior
+	}
+	return float64(f.passes) / float64(f.evals)
+}
+
+// rank orders filters: lower is better. The classic greedy ordering
+// runs cheap, highly-selective (low pass-rate) filters first:
+// rank = cost / (1 - selectivity).
+func (f *EddyFilter) rank() float64 {
+	drop := 1 - f.observedSelectivity()
+	if drop < 1e-6 {
+		drop = 1e-6
+	}
+	return f.Cost / drop
+}
+
+// EddyResult reports a routing run.
+type EddyResult struct {
+	// Passed counts tuples surviving all filters.
+	Passed int
+	// Work is total filter-evaluation cost incurred.
+	Work float64
+	// Evaluations counts individual predicate applications.
+	Evaluations uint64
+	// Reorders counts routing-order changes.
+	Reorders int
+}
+
+// exploreEvery is the sampling rate of exploration tuples: every
+// exploreEvery-th tuple is evaluated by ALL filters so selectivity
+// estimates are unbiased. Short-circuited routing measures only the
+// survivors of upstream filters, which is correlated and makes naive
+// re-ranking oscillate — the role lottery tickets play in the
+// original eddy.
+const exploreEvery = 7
+
+// RunEddy routes tuples through filters, re-ranking every windowSize
+// tuples from windowed statistics gathered on exploration tuples.
+// windowSize <= 0 disables adaptation entirely (the static baseline:
+// initial order forever, no exploration).
+func RunEddy(tuples []storage.Tuple, filters []*EddyFilter, windowSize int) EddyResult {
+	res := EddyResult{}
+	order := make([]*EddyFilter, len(filters))
+	copy(order, filters)
+	lastOrder := names(order)
+
+	for i, t := range tuples {
+		if windowSize > 0 && i > 0 && i%windowSize == 0 {
+			sort.SliceStable(order, func(a, b int) bool { return order[a].rank() < order[b].rank() })
+			if cur := names(order); cur != lastOrder {
+				res.Reorders++
+				lastOrder = cur
+			}
+			for _, f := range order {
+				f.evals, f.passes = 0, 0 // fresh window
+			}
+		}
+		if windowSize > 0 && i%exploreEvery == 0 {
+			// Exploration: evaluate every filter (unbiased stats).
+			alive := true
+			for _, f := range order {
+				res.Work += f.Cost
+				res.Evaluations++
+				f.evals++
+				if f.Pred(t) {
+					f.passes++
+				} else {
+					alive = false
+				}
+			}
+			if alive {
+				res.Passed++
+			}
+			continue
+		}
+		// Exploitation: short-circuit in the current order.
+		alive := true
+		for _, f := range order {
+			res.Work += f.Cost
+			res.Evaluations++
+			if !f.Pred(t) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			res.Passed++
+		}
+	}
+	return res
+}
+
+func names(fs []*EddyFilter) string {
+	s := ""
+	for _, f := range fs {
+		s += f.Name + ","
+	}
+	return s
+}

@@ -1,0 +1,393 @@
+package operators
+
+import (
+	"fmt"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// joinKey renders a value as a hash-map key. Numeric kinds normalise
+// to float text so 2 (int) joins with 2.0 (float), matching Compare.
+func joinKey(v storage.Value) string {
+	if f, ok := v.AsFloat(); ok {
+		return fmt.Sprintf("n:%g", f)
+	}
+	if v.Kind == storage.KindNull {
+		return "∅" // never joins; filtered by callers
+	}
+	return "s:" + v.Str
+}
+
+func concat(l, r storage.Tuple) storage.Tuple {
+	out := make(storage.Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// NestedLoopJoin is the naive O(|L|·|R|) equality join on LCol=RCol.
+// The right input is materialised at Open.
+type NestedLoopJoin struct {
+	L, R       Iterator
+	LCol, RCol int
+	right      []storage.Tuple
+	cur        storage.Tuple
+	rpos       int
+	open       bool
+	// Comparisons counts predicate evaluations (cost accounting for
+	// the Scenario 3 replanning decision).
+	Comparisons uint64
+}
+
+// NewNestedLoopJoin joins l.lcol = r.rcol.
+func NewNestedLoopJoin(l, r Iterator, lcol, rcol int) *NestedLoopJoin {
+	return &NestedLoopJoin{L: l, R: r, LCol: lcol, RCol: rcol}
+}
+
+// Open implements Iterator.
+func (j *NestedLoopJoin) Open() error {
+	right, err := Drain(j.R)
+	if err != nil {
+		return err
+	}
+	j.right = right
+	j.cur = nil
+	j.rpos = 0
+	j.open = true
+	return j.L.Open()
+}
+
+// Next implements Iterator.
+func (j *NestedLoopJoin) Next() (storage.Tuple, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if j.cur == nil {
+			t, ok, err := j.L.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			j.rpos = 0
+		}
+		for j.rpos < len(j.right) {
+			r := j.right[j.rpos]
+			j.rpos++
+			j.Comparisons++
+			lv, rv := j.cur[j.LCol], r[j.RCol]
+			if lv.IsNull() || rv.IsNull() {
+				continue
+			}
+			if storage.Equal(lv, rv) {
+				return concat(j.cur, r), true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Iterator.
+func (j *NestedLoopJoin) Close() error {
+	j.open = false
+	j.right = nil
+	return j.L.Close()
+}
+
+// HashJoin is the classic blocking hash join: build the left input
+// fully, then stream the right. First output cannot appear before the
+// entire build side has arrived — the blocking behaviour the adaptive
+// joins exist to fix.
+type HashJoin struct {
+	Build, Probe       Iterator
+	BuildCol, ProbeCol int
+	table              map[string][]storage.Tuple
+	pending            []storage.Tuple
+	open               bool
+	// BuildRows counts the materialised build side.
+	BuildRows int
+}
+
+// NewHashJoin joins build.bcol = probe.pcol.
+func NewHashJoin(build, probe Iterator, bcol, pcol int) *HashJoin {
+	return &HashJoin{Build: build, Probe: probe, BuildCol: bcol, ProbeCol: pcol}
+}
+
+// Open implements Iterator.
+func (j *HashJoin) Open() error {
+	rows, err := Drain(j.Build)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]storage.Tuple, len(rows))
+	for _, t := range rows {
+		v := t[j.BuildCol]
+		if v.IsNull() {
+			continue
+		}
+		k := joinKey(v)
+		j.table[k] = append(j.table[k], t)
+	}
+	j.BuildRows = len(rows)
+	j.pending = nil
+	j.open = true
+	return j.Probe.Open()
+}
+
+// Next implements Iterator.
+func (j *HashJoin) Next() (storage.Tuple, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if len(j.pending) > 0 {
+			t := j.pending[0]
+			j.pending = j.pending[1:]
+			return t, true, nil
+		}
+		p, ok, err := j.Probe.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v := p[j.ProbeCol]
+		if v.IsNull() {
+			continue
+		}
+		for _, b := range j.table[joinKey(v)] {
+			j.pending = append(j.pending, concat(b, p))
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error {
+	j.open = false
+	j.table = nil
+	return j.Probe.Close()
+}
+
+// IndexNLJoin probes a B-tree index for each outer tuple — the
+// operator Scenario 3's re-optimiser injects when it "adds an index
+// to one of the tables".
+type IndexNLJoin struct {
+	Outer    Iterator
+	OuterCol int
+	Index    *storage.BTree
+	File     *storage.HeapFile
+	pending  []storage.Tuple
+	open     bool
+	// Probes counts index lookups.
+	Probes uint64
+}
+
+// NewIndexNLJoin joins outer.col against the indexed inner file.
+func NewIndexNLJoin(outer Iterator, outerCol int, index *storage.BTree, file *storage.HeapFile) *IndexNLJoin {
+	return &IndexNLJoin{Outer: outer, OuterCol: outerCol, Index: index, File: file}
+}
+
+// Open implements Iterator.
+func (j *IndexNLJoin) Open() error {
+	j.pending = nil
+	j.open = true
+	return j.Outer.Open()
+}
+
+// Next implements Iterator.
+func (j *IndexNLJoin) Next() (storage.Tuple, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if len(j.pending) > 0 {
+			t := j.pending[0]
+			j.pending = j.pending[1:]
+			return t, true, nil
+		}
+		o, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v := o[j.OuterCol]
+		if v.IsNull() {
+			continue
+		}
+		j.Probes++
+		for _, rid := range j.Index.Search(v) {
+			inner, err := j.File.Get(rid)
+			if err != nil {
+				continue // deleted under us
+			}
+			j.pending = append(j.pending, concat(o, inner))
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *IndexNLJoin) Close() error { j.open = false; return j.Outer.Close() }
+
+// ---------------------------------------------------------------------------
+// Aggregation.
+
+// AggKind is an aggregate function.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (k AggKind) String() string {
+	return [...]string{"count", "sum", "avg", "min", "max"}[k]
+}
+
+// AggSpec is one aggregate over a column.
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// HashAggregate groups by GroupCol (or globally when GroupCol < 0)
+// and computes the aggregates. Output tuples are [group, agg1, agg2,
+// ...] (no group column when global), in first-seen group order.
+type HashAggregate struct {
+	In       Iterator
+	GroupCol int
+	Aggs     []AggSpec
+	out      []storage.Tuple
+	pos      int
+	open     bool
+}
+
+// NewHashAggregate builds a grouping aggregate.
+func NewHashAggregate(in Iterator, groupCol int, aggs []AggSpec) *HashAggregate {
+	return &HashAggregate{In: in, GroupCol: groupCol, Aggs: aggs}
+}
+
+type aggState struct {
+	group storage.Value
+	count int64
+	sum   []float64
+	min   []storage.Value
+	max   []storage.Value
+	n     []int64
+}
+
+// Open implements Iterator.
+func (a *HashAggregate) Open() error {
+	rows, err := Drain(a.In)
+	if err != nil {
+		return err
+	}
+	groups := map[string]*aggState{}
+	var order []string
+	for _, t := range rows {
+		gk := "*"
+		var gv storage.Value
+		if a.GroupCol >= 0 {
+			gv = t[a.GroupCol]
+			gk = joinKey(gv)
+		}
+		st, ok := groups[gk]
+		if !ok {
+			st = &aggState{
+				group: gv,
+				sum:   make([]float64, len(a.Aggs)),
+				min:   make([]storage.Value, len(a.Aggs)),
+				max:   make([]storage.Value, len(a.Aggs)),
+				n:     make([]int64, len(a.Aggs)),
+			}
+			groups[gk] = st
+			order = append(order, gk)
+		}
+		st.count++
+		for i, sp := range a.Aggs {
+			if sp.Kind == AggCount {
+				continue
+			}
+			v := t[sp.Col]
+			if v.IsNull() {
+				continue
+			}
+			f, _ := v.AsFloat()
+			if st.n[i] == 0 {
+				st.min[i], st.max[i] = v, v
+			} else {
+				if storage.Compare(v, st.min[i]) < 0 {
+					st.min[i] = v
+				}
+				if storage.Compare(v, st.max[i]) > 0 {
+					st.max[i] = v
+				}
+			}
+			st.sum[i] += f
+			st.n[i]++
+		}
+	}
+	a.out = a.out[:0]
+	if a.GroupCol < 0 && len(order) == 0 {
+		order = append(order, "*")
+		groups["*"] = &aggState{
+			sum: make([]float64, len(a.Aggs)),
+			min: make([]storage.Value, len(a.Aggs)),
+			max: make([]storage.Value, len(a.Aggs)),
+			n:   make([]int64, len(a.Aggs)),
+		}
+	}
+	for _, gk := range order {
+		st := groups[gk]
+		var t storage.Tuple
+		if a.GroupCol >= 0 {
+			t = append(t, st.group)
+		}
+		for i, sp := range a.Aggs {
+			switch sp.Kind {
+			case AggCount:
+				t = append(t, storage.IntValue(st.count))
+			case AggSum:
+				t = append(t, storage.FloatValue(st.sum[i]))
+			case AggAvg:
+				if st.n[i] == 0 {
+					t = append(t, storage.NullValue())
+				} else {
+					t = append(t, storage.FloatValue(st.sum[i]/float64(st.n[i])))
+				}
+			case AggMin:
+				if st.n[i] == 0 {
+					t = append(t, storage.NullValue())
+				} else {
+					t = append(t, st.min[i])
+				}
+			case AggMax:
+				if st.n[i] == 0 {
+					t = append(t, storage.NullValue())
+				} else {
+					t = append(t, st.max[i])
+				}
+			}
+		}
+		a.out = append(a.out, t)
+	}
+	a.pos = 0
+	a.open = true
+	return nil
+}
+
+// Next implements Iterator.
+func (a *HashAggregate) Next() (storage.Tuple, bool, error) {
+	if !a.open {
+		return nil, false, ErrNotOpen
+	}
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	t := a.out[a.pos]
+	a.pos++
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (a *HashAggregate) Close() error { a.open, a.out = false, nil; return nil }

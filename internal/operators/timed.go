@@ -1,0 +1,141 @@
+package operators
+
+import (
+	"math"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// The timed source model for the adaptive-join laboratory: tuples
+// arrive at simulated times (initial delay + per-tuple spacing +
+// periodic bursts/stalls), the regime of "querying data from highly
+// heterogeneous distributed databases over wide-area networks" (§2)
+// where the optimiser cannot rely on steady delivery.
+
+// TimedTuple is a tuple with its arrival timestamp and a per-source
+// sequence number (used by XJoin's duplicate elimination).
+type TimedTuple struct {
+	Seq     int
+	Tuple   storage.Tuple
+	Arrival float64
+}
+
+// TimedSource delivers a fixed tuple sequence on a schedule.
+type TimedSource struct {
+	Name   string
+	tuples []TimedTuple
+	pos    int
+}
+
+// ArrivalPattern describes a source's delivery schedule.
+type ArrivalPattern struct {
+	// InitialDelayMS before the first tuple.
+	InitialDelayMS float64
+	// PerTupleMS between consecutive tuples.
+	PerTupleMS float64
+	// StallEvery introduces an extra StallMS gap before every
+	// StallEvery-th tuple (0 = never): the bursty/stalling remote
+	// source XJoin was designed for.
+	StallEvery int
+	StallMS    float64
+}
+
+// NewTimedSource schedules tuples under the pattern.
+func NewTimedSource(name string, tuples []storage.Tuple, p ArrivalPattern) *TimedSource {
+	ts := &TimedSource{Name: name}
+	t := p.InitialDelayMS
+	for i, tu := range tuples {
+		if p.StallEvery > 0 && i > 0 && i%p.StallEvery == 0 {
+			t += p.StallMS
+		}
+		ts.tuples = append(ts.tuples, TimedTuple{Seq: i, Tuple: tu, Arrival: t})
+		t += p.PerTupleMS
+	}
+	return ts
+}
+
+// PollAt returns the next tuple if it has arrived by now.
+func (s *TimedSource) PollAt(now float64) (TimedTuple, bool) {
+	if s.pos >= len(s.tuples) {
+		return TimedTuple{}, false
+	}
+	if s.tuples[s.pos].Arrival <= now {
+		t := s.tuples[s.pos]
+		s.pos++
+		return t, true
+	}
+	return TimedTuple{}, false
+}
+
+// NextArrival returns the arrival time of the next pending tuple.
+func (s *TimedSource) NextArrival() (float64, bool) {
+	if s.pos >= len(s.tuples) {
+		return 0, false
+	}
+	return s.tuples[s.pos].Arrival, true
+}
+
+// Done reports exhaustion.
+func (s *TimedSource) Done() bool { return s.pos >= len(s.tuples) }
+
+// Remaining returns undelivered tuples.
+func (s *TimedSource) Remaining() int { return len(s.tuples) - s.pos }
+
+// Reset rewinds the source for another run.
+func (s *TimedSource) Reset() { s.pos = 0 }
+
+// LastArrival returns the arrival time of the final tuple (0 for an
+// empty source).
+func (s *TimedSource) LastArrival() float64 {
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	return s.tuples[len(s.tuples)-1].Arrival
+}
+
+// TimedOutput is one join result with its production timestamp.
+type TimedOutput struct {
+	Tuple storage.Tuple
+	At    float64
+	// LSeq/RSeq identify the contributing input tuples (dedup checks).
+	LSeq, RSeq int
+}
+
+// RunResult summarises a timed join execution.
+type RunResult struct {
+	Outputs []TimedOutput
+	// FirstOutputMS is the time of the first result (+Inf if none).
+	FirstOutputMS float64
+	// CompletionMS is when the join finished all work.
+	CompletionMS float64
+	// Comparisons counts probe work.
+	Comparisons uint64
+	// IdleMS is time spent with no input available and no work done —
+	// blocking operators accumulate it, adaptive ones convert it to
+	// useful work.
+	IdleMS float64
+	// MaxMemTuples is the peak in-memory tuple count.
+	MaxMemTuples int
+}
+
+func newRunResult() RunResult {
+	return RunResult{FirstOutputMS: math.Inf(1)}
+}
+
+func (r *RunResult) emit(out TimedOutput) {
+	if len(r.Outputs) == 0 {
+		r.FirstOutputMS = out.At
+	}
+	r.Outputs = append(r.Outputs, out)
+}
+
+// OutputsBy returns how many results had been produced by time t.
+func (r *RunResult) OutputsBy(t float64) int {
+	n := 0
+	for _, o := range r.Outputs {
+		if o.At <= t {
+			n++
+		}
+	}
+	return n
+}

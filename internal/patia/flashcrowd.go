@@ -1,0 +1,174 @@
+package patia
+
+import (
+	"fmt"
+
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/session"
+	"github.com/adm-project/adm/internal/simnet"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// CrowdPhase is one segment of a flash-crowd schedule.
+type CrowdPhase struct {
+	DurationMS float64
+	RPS        float64
+}
+
+// CrowdConfig parameterises a flash-crowd run.
+type CrowdConfig struct {
+	// Adaptive enables the Table 2 SWITCH rule; off = static baseline.
+	Adaptive bool
+	// IntervalMS is the measurement/adaptation tick.
+	IntervalMS float64
+	// Phases is the request-rate schedule.
+	Phases []CrowdPhase
+	// BackgroundLoad is pre-existing load on node1 (the typing-pool
+	// machine node2 is idle).
+	BackgroundLoad float64
+	// CooldownMS suppresses repeated switches.
+	CooldownMS float64
+}
+
+// DefaultCrowdConfig is the Table 2 experiment: steady traffic, a
+// 6-second flash crowd, then decay.
+func DefaultCrowdConfig(adaptive bool) CrowdConfig {
+	return CrowdConfig{
+		Adaptive:   adaptive,
+		IntervalMS: 100,
+		Phases: []CrowdPhase{
+			{DurationMS: 2000, RPS: 50},
+			{DurationMS: 6000, RPS: 320},
+			{DurationMS: 2000, RPS: 60},
+		},
+		BackgroundLoad: 150,
+		CooldownMS:     500,
+	}
+}
+
+// IntervalStat is one tick's measurements.
+type IntervalStat struct {
+	TimeMS    float64
+	RPS       float64
+	Node      string
+	Util      float64
+	LatencyMS float64
+}
+
+// CrowdResult summarises a run.
+type CrowdResult struct {
+	Intervals []IntervalStat
+	Switches  int
+	// MeanLatencyMS is the request-weighted mean.
+	MeanLatencyMS float64
+	// PeakLatencyMS is the worst interval.
+	PeakLatencyMS float64
+	// SaturatedTicks counts intervals at ≥99% utilisation.
+	SaturatedTicks int
+	Log            *trace.Log
+}
+
+// RunFlashCrowd executes the Table 2 flash-crowd experiment: Page1
+// replicated on node1/node2, the agent starting on node1 (which also
+// carries background load), constraint 455 migrating it when
+// processor-util exceeds 90%.
+func RunFlashCrowd(cfg CrowdConfig) (*CrowdResult, error) {
+	clock := simnet.NewClock()
+	log := trace.New()
+	reg := monitor.NewRegistry()
+	sys := NewSystem([]string{"node1", "node2"}, reg, log, clock.Now)
+
+	page := &Atom{ID: 123, Name: "Page1.html", Type: "html", Bytes: 40_000, Constraints: Table2Rules()}
+	sys.Nodes["node1"].Store.Put(page)
+	sys.Nodes["node2"].Store.Put(page)
+	if _, err := sys.DeployAgent("agent-123", "node1"); err != nil {
+		return nil, err
+	}
+	if err := sys.WireFrontend("node1", "agent-123"); err != nil {
+		return nil, err
+	}
+
+	// The session manager watches the serving node's utilisation and
+	// executes SWITCH decisions via agent migration.
+	var sm *session.Manager
+	handler := func(d constraint.Decision, _ *constraint.PrioritisedRule) error {
+		if d.Kind != constraint.DecisionSwitch {
+			return nil
+		}
+		if err := sys.MigrateAgent("agent-123", d.Target.Node()); err != nil {
+			return err
+		}
+		sm.SetSelf(d.Target.Node())
+		return nil
+	}
+	// The placement session watches only the SWITCH rule (455); rule
+	// 450 (BEST) is a per-request replica-selection constraint and
+	// must not drive agent placement.
+	placementRules := constraint.NewRuleSet(constraint.PrioritisedRule{
+		ID: 455, Priority: 0, Rule: constraint.MustParse(
+			"If processor-util > 90% then SWITCH ((node1.Page1.html, node2.Page1.html)")})
+	sm = session.New("patia-session", reg, placementRules, log, clock.Now, handler)
+	sm.CooldownMS = cfg.CooldownMS
+	sm.SetSelf("node1")
+	cur := constraint.Target{Segments: []string{"node1", "Page1", "html"}}
+	sm.SetCurrent(&cur)
+
+	res := &CrowdResult{Log: log}
+	totalReqs, totalLatency := 0.0, 0.0
+
+	elapsed := 0.0
+	for _, phase := range cfg.Phases {
+		for t := 0.0; t < phase.DurationMS; t += cfg.IntervalMS {
+			clock.Schedule(0, func() {})
+			clock.RunUntil(elapsed)
+
+			node, _ := sys.AgentNode("agent-123")
+			// Apply this tick's load: serving node takes the crowd on
+			// top of any background; node1 always keeps its background.
+			for name, n := range sys.Nodes {
+				load := 0.0
+				if name == "node1" {
+					load += cfg.BackgroundLoad
+				}
+				if name == node {
+					load += phase.RPS
+				}
+				n.Device.SetLoad(load)
+			}
+			sys.PublishVitals(elapsed)
+
+			if cfg.Adaptive {
+				if _, err := sm.CheckNow(); err != nil {
+					return nil, fmt.Errorf("patia: adaptation: %w", err)
+				}
+				node, _ = sys.AgentNode("agent-123")
+			}
+
+			// Serve one sample request to measure latency at this tick.
+			resp := sys.Serve("agent-123", Request{Client: "c1", AtomID: 123, AtMS: elapsed})
+			if resp.Err != nil {
+				return nil, resp.Err
+			}
+			util := sys.Nodes[node].Device.Util()
+			res.Intervals = append(res.Intervals, IntervalStat{
+				TimeMS: elapsed, RPS: phase.RPS, Node: node,
+				Util: util, LatencyMS: resp.LatencyMS,
+			})
+			if util >= 99 {
+				res.SaturatedTicks++
+			}
+			totalReqs += phase.RPS
+			totalLatency += phase.RPS * resp.LatencyMS
+			if resp.LatencyMS > res.PeakLatencyMS {
+				res.PeakLatencyMS = resp.LatencyMS
+			}
+			elapsed += cfg.IntervalMS
+		}
+	}
+	if totalReqs > 0 {
+		res.MeanLatencyMS = totalLatency / totalReqs
+	}
+	res.Switches = sys.Switches()
+	return res, nil
+}

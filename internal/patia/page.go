@@ -1,0 +1,163 @@
+package patia
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// Figure 7's composition story: "the components that compose a
+// webpage can be distributed over many machines. This can provide the
+// advantage of intra-request parallelism as well as fault-tolerance
+// where replication is used."
+
+// PageSpec names a composite web page and the atoms composing it.
+type PageSpec struct {
+	Name    string
+	AtomIDs []int
+}
+
+// AtomFetch is the outcome of fetching one atom of a page.
+type AtomFetch struct {
+	AtomID     int
+	Node       string
+	Version    string
+	Bytes      int
+	LatencyMS  float64
+	FailedOver bool
+}
+
+// PageResponse is a composite-page fetch result.
+type PageResponse struct {
+	Page  string
+	Atoms []AtomFetch
+	// ParallelMS is the page latency with intra-request parallelism
+	// (atoms fetched concurrently: max of the per-atom latencies).
+	ParallelMS float64
+	// SequentialMS is the single-node baseline (sum of latencies).
+	SequentialMS float64
+	// FailedOver counts atoms served from a fallback replica.
+	FailedOver int
+}
+
+// ErrNoReplica is returned when no live node holds an atom.
+var ErrNoReplica = errors.New("patia: no live replica")
+
+// NodesHolding lists live nodes with a replica of the atom, sorted.
+func (s *System) NodesHolding(atomID int) []string {
+	var out []string
+	for _, name := range s.holders(atomID) {
+		if s.Nodes[name].Device.Alive() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// holders lists every node with a replica, dead or alive — the
+// constraint evaluator works from (possibly stale) vitals, so the
+// liveness check belongs at bind time, in pickReplica.
+func (s *System) holders(atomID int) []string {
+	var out []string
+	for name, n := range s.Nodes {
+		if n.Store.Has(atomID) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FetchPage fetches every atom of a composite page, choosing a
+// serving replica per atom by the BEST rule over live node vitals and
+// failing over when the preferred node is dead. The response reports
+// both the parallel (max) and sequential (sum) page latencies.
+func (s *System) FetchPage(spec PageSpec, client string) (*PageResponse, error) {
+	resp := &PageResponse{Page: spec.Name}
+	for _, id := range spec.AtomIDs {
+		nodes := s.holders(id)
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("%w: atom %d of page %s", ErrNoReplica, id, spec.Name)
+		}
+		chosen, failedOver, err := s.pickReplica(id, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("page %s: %w", spec.Name, err)
+		}
+		node := s.Nodes[chosen]
+		atom, _ := node.Store.Get(id)
+		util := node.Device.Util()
+		latency := s.ServiceCostMS / maxF(0.05, 1-util/100)
+		version, bytes := s.chooseVersion(atom, chosen)
+		af := AtomFetch{
+			AtomID: id, Node: chosen, Version: version, Bytes: bytes,
+			LatencyMS: latency, FailedOver: failedOver,
+		}
+		if failedOver {
+			resp.FailedOver++
+			s.Log.Emit(s.clock(), trace.KindInfo, "patia",
+				"atom %d failed over to %s", id, chosen)
+		}
+		resp.Atoms = append(resp.Atoms, af)
+		resp.SequentialMS += latency
+		if latency > resp.ParallelMS {
+			resp.ParallelMS = latency
+		}
+	}
+	return resp, nil
+}
+
+// pickReplica runs BEST over every replica holder (vitals may be
+// stale); a dead preferred node falls back to the best live
+// alternative, which is the fault-tolerance half of Figure 7's
+// replication story.
+func (s *System) pickReplica(atomID int, holders []string) (string, bool, error) {
+	var args []constraint.Target
+	for _, n := range holders {
+		args = append(args, constraint.Target{Segments: []string{n, fmt.Sprintf("atom%d", atomID)}})
+	}
+	rule := &constraint.Rule{Select: &constraint.Call{Fn: "BEST", Args: args}}
+	chosen := holders[0]
+	if d, err := rule.Eval(&constraint.Context{Env: s.Reg}); err == nil {
+		chosen = d.Target.Node()
+	}
+	if n, ok := s.Nodes[chosen]; ok && n.Device.Alive() {
+		return chosen, false, nil
+	}
+	// Fail over: best live alternative by current vitals, falling
+	// back to name order when vitals are unavailable.
+	bestScore := -1e18
+	alt := ""
+	for _, name := range holders {
+		if name == chosen || !s.Nodes[name].Device.Alive() {
+			continue
+		}
+		capac, ok1 := s.Reg.Metric("capacity", name)
+		load, ok2 := s.Reg.Metric("load", name)
+		score := 0.0
+		if ok1 && ok2 {
+			score = capac - load
+		}
+		if alt == "" || score > bestScore {
+			alt, bestScore = name, score
+		}
+	}
+	if alt == "" {
+		return "", false, fmt.Errorf("%w: atom %d", ErrNoReplica, atomID)
+	}
+	return alt, true, nil
+}
+
+// KillNode fails a node (failure injection). Agents on it stop
+// serving; replicas on it disappear from NodesHolding.
+func (s *System) KillNode(name string) error {
+	n, ok := s.Nodes[name]
+	if !ok {
+		return fmt.Errorf("patia: unknown node %q", name)
+	}
+	n.Device.Kill()
+	s.Log.Emit(s.clock(), trace.KindViolation, "patia", "node %s failed", name)
+	return nil
+}

@@ -1,0 +1,142 @@
+package patia
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// pageSystem: three nodes; atoms 1-3 spread with replication:
+//
+//	atom 1 (text):    node1, node2
+//	atom 2 (graphic): node2, node3
+//	atom 3 (video):   node3, node1
+func pageSystem(t *testing.T) (*System, PageSpec) {
+	t.Helper()
+	sys := NewSystem([]string{"node1", "node2", "node3"}, monitor.NewRegistry(), trace.New(), nil)
+	atoms := []struct {
+		a     *Atom
+		nodes []string
+	}{
+		{&Atom{ID: 1, Name: "frame.txt", Type: "text", Bytes: 2_000}, []string{"node1", "node2"}},
+		{&Atom{ID: 2, Name: "logo.png", Type: "graphic", Bytes: 30_000}, []string{"node2", "node3"}},
+		{&Atom{ID: 3, Name: "clip.ram", Type: "video", Bytes: 900_000}, []string{"node3", "node1"}},
+	}
+	for _, e := range atoms {
+		for _, n := range e.nodes {
+			sys.Nodes[n].Store.Put(e.a)
+		}
+	}
+	sys.PublishVitals(0)
+	return sys, PageSpec{Name: "index.html", AtomIDs: []int{1, 2, 3}}
+}
+
+func TestNodesHolding(t *testing.T) {
+	sys, _ := pageSystem(t)
+	got := sys.NodesHolding(1)
+	if len(got) != 2 || got[0] != "node1" || got[1] != "node2" {
+		t.Fatalf("holders = %v", got)
+	}
+	if len(sys.NodesHolding(99)) != 0 {
+		t.Fatal("phantom atom")
+	}
+	_ = sys.KillNode("node1")
+	if got := sys.NodesHolding(1); len(got) != 1 || got[0] != "node2" {
+		t.Fatalf("holders after kill = %v", got)
+	}
+}
+
+func TestFetchPageParallelBeatsSequential(t *testing.T) {
+	sys, page := pageSystem(t)
+	resp, err := sys.FetchPage(page, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Atoms) != 3 {
+		t.Fatalf("atoms = %d", len(resp.Atoms))
+	}
+	if resp.ParallelMS >= resp.SequentialMS {
+		t.Fatalf("parallel %.2f >= sequential %.2f", resp.ParallelMS, resp.SequentialMS)
+	}
+	if resp.FailedOver != 0 {
+		t.Fatalf("unexpected failover: %d", resp.FailedOver)
+	}
+}
+
+func TestFetchPageSpreadsByLoad(t *testing.T) {
+	sys, page := pageSystem(t)
+	// node2 is slammed: atoms with a replica elsewhere must avoid it.
+	sys.Nodes["node2"].Device.SetLoad(390)
+	sys.PublishVitals(1)
+	resp, err := sys.FetchPage(page, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, af := range resp.Atoms {
+		if af.Node == "node2" {
+			t.Fatalf("atom %d served from the overloaded node", af.AtomID)
+		}
+	}
+}
+
+func TestFetchPageFailsOverOnNodeDeath(t *testing.T) {
+	sys, page := pageSystem(t)
+	if err := sys.KillNode("node3"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.FetchPage(page, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, af := range resp.Atoms {
+		if af.Node == "node3" {
+			t.Fatalf("atom %d served from a dead node", af.AtomID)
+		}
+	}
+	// atoms 2 and 3 each had node3 among replicas; both still served.
+	if len(resp.Atoms) != 3 {
+		t.Fatalf("atoms = %d", len(resp.Atoms))
+	}
+}
+
+func TestFetchPageAllReplicasDead(t *testing.T) {
+	sys, page := pageSystem(t)
+	_ = sys.KillNode("node2")
+	_ = sys.KillNode("node3")
+	// atom 2 lived only on node2+node3.
+	_, err := sys.FetchPage(page, "alice")
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestKillNodeUnknown(t *testing.T) {
+	sys, _ := pageSystem(t)
+	if err := sys.KillNode("mars"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestFetchPageStaleVitalsFallsBack(t *testing.T) {
+	// A node dies after vitals were published: BEST may still prefer
+	// it; pickReplica must detect the dead choice and fail over.
+	sys, _ := pageSystem(t)
+	// Make node3 clearly the best for atom 3 (its other replica node1
+	// is loaded), publish vitals, then kill node3 WITHOUT
+	// republishing.
+	sys.Nodes["node1"].Device.SetLoad(390)
+	sys.PublishVitals(1)
+	sys.Nodes["node3"].Device.Kill()
+	resp, err := sys.FetchPage(PageSpec{Name: "v", AtomIDs: []int{3}}, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Atoms[0].Node != "node1" {
+		t.Fatalf("served from %s", resp.Atoms[0].Node)
+	}
+	if resp.FailedOver != 1 || !resp.Atoms[0].FailedOver {
+		t.Fatalf("failover not recorded: %+v", resp)
+	}
+}

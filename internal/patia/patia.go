@@ -1,0 +1,439 @@
+// Package patia implements the Patia adaptive webserver of §5.2
+// (Figure 7, Table 2): web content decomposed into Atoms
+// (`<a_id, name, type, <constraint>>`) replicated across nodes,
+// served by migratable service-agent components, with Table 2's
+// constraints driving replica selection (450: BEST), flash-crowd
+// agent migration (455: SWITCH at processor-util > 90%) and
+// bandwidth-banded version choice (595).
+package patia
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/adm-project/adm/internal/adapt"
+	"github.com/adm-project/adm/internal/component"
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/device"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// Atom is the smallest web object that cannot be subdivided: "a video
+// stream, graphic, a navigation button, a text frame etc."
+type Atom struct {
+	ID   int
+	Name string
+	Type string // html | graphic | video | text
+	// Constraints are the atom's adaptability rules (Table 2 rows).
+	Constraints *constraint.RuleSet
+	// Bytes is the wire size of the primary version.
+	Bytes int
+	// Versions maps a version label (videohalf, videosmall, ...) to
+	// its wire size; BEST/banded rules pick among them.
+	Versions map[string]int
+}
+
+// Store is one node's atom inventory.
+type Store struct {
+	mu    sync.RWMutex
+	node  string
+	atoms map[int]*Atom
+}
+
+// NewStore builds an empty store for a node.
+func NewStore(node string) *Store {
+	return &Store{node: node, atoms: map[int]*Atom{}}
+}
+
+// Put registers an atom replica on this node.
+func (s *Store) Put(a *Atom) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.atoms[a.ID] = a
+}
+
+// Get looks up an atom.
+func (s *Store) Get(id int) (*Atom, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.atoms[id]
+	return a, ok
+}
+
+// Has reports replica presence.
+func (s *Store) Has(id int) bool {
+	_, ok := s.Get(id)
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Service agent.
+
+// AgentState is the migratable processing state of a service agent —
+// what the State Manager saves when "the whole service-agent is
+// mobile".
+type AgentState struct {
+	mu       sync.Mutex
+	Served   int
+	Sessions map[string]int // client -> requests in session
+}
+
+// CaptureState implements component.Stateful.
+func (st *AgentState) CaptureState() ([]byte, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var b []byte
+	b = fmt.Appendf(b, "served=%d\n", st.Served)
+	keys := make([]string, 0, len(st.Sessions))
+	for k := range st.Sessions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = fmt.Appendf(b, "session %s %d\n", k, st.Sessions[k])
+	}
+	return b, nil
+}
+
+// RestoreState implements component.Stateful.
+func (st *AgentState) RestoreState(b []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.Sessions = map[string]int{}
+	st.Served = 0
+	for _, line := range strings.Split(string(b), "\n") {
+		switch {
+		case strings.HasPrefix(line, "served="):
+			var served int
+			if _, err := fmt.Sscanf(line, "served=%d", &served); err != nil {
+				return fmt.Errorf("patia: corrupt agent state: %w", err)
+			}
+			st.Served = served
+		case strings.HasPrefix(line, "session "):
+			var client string
+			var cnt int
+			if _, err := fmt.Sscanf(line, "session %s %d", &client, &cnt); err != nil {
+				return fmt.Errorf("patia: corrupt agent state: %w", err)
+			}
+			st.Sessions[client] = cnt
+		}
+	}
+	return nil
+}
+
+// Agent is the service-agent component: it receives a request, "finds
+// the appropriate Atom and serves it to the client".
+type Agent struct {
+	Name  string
+	Node  string
+	State *AgentState
+	Comp  *component.Component
+	store *Store
+}
+
+// NewAgent builds a service agent over a node's store.
+func NewAgent(name, node string, store *Store) *Agent {
+	st := &AgentState{Sessions: map[string]int{}}
+	a := &Agent{Name: name, Node: node, State: st, store: store}
+	a.Comp = component.New(name).WithStateful(st).
+		Provide("serve", "http", func(req component.Request) (any, error) {
+			id, _ := req.Args["atom"].(int)
+			client, _ := req.Args["client"].(string)
+			atom, ok := store.Get(id)
+			if !ok {
+				return nil, fmt.Errorf("patia: %s: atom %d not replicated on %s", name, id, node)
+			}
+			st.mu.Lock()
+			st.Served++
+			st.Sessions[client]++
+			st.mu.Unlock()
+			return atom, nil
+		})
+	return a
+}
+
+// ---------------------------------------------------------------------------
+// The Patia system.
+
+// Request is one client fetch.
+type Request struct {
+	Client string
+	AtomID int
+	AtMS   float64
+}
+
+// Response records the outcome.
+type Response struct {
+	Request   Request
+	Node      string // serving node
+	Version   string // chosen version label ("" = primary)
+	Bytes     int
+	LatencyMS float64
+	Err       error
+}
+
+// Node is one Patia server node: a device + its atom store + a
+// component assembly agents live in.
+type Node struct {
+	Device *device.Device
+	Store  *Store
+	Asm    *component.Assembly
+}
+
+// System is the whole Patia deployment.
+type System struct {
+	mu      sync.Mutex
+	Nodes   map[string]*Node
+	Reg     *monitor.Registry
+	Log     *trace.Log
+	AM      *adapt.Manager
+	clock   func() float64
+	agents  map[string]*Agent // agent name -> live agent
+	agentAt map[string]string // agent name -> node
+	// ServiceCostMS is the base service time per request.
+	ServiceCostMS float64
+	// LoadPerRPS converts request rate to device load units.
+	LoadPerRPS float64
+	switches   int
+}
+
+// ErrNoAgent is returned when a request targets a missing agent.
+var ErrNoAgent = errors.New("patia: no such agent")
+
+// NewSystem builds a Patia deployment over named nodes (all server
+// class).
+func NewSystem(nodeNames []string, reg *monitor.Registry, log *trace.Log, clock func() float64) *System {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	if log == nil {
+		log = trace.New()
+	}
+	if reg == nil {
+		reg = monitor.NewRegistry()
+	}
+	specs := device.DefaultSpecs()
+	sys := &System{
+		Nodes:         map[string]*Node{},
+		Reg:           reg,
+		Log:           log,
+		clock:         clock,
+		agents:        map[string]*Agent{},
+		agentAt:       map[string]string{},
+		ServiceCostMS: 2,
+		LoadPerRPS:    1,
+	}
+	for _, n := range nodeNames {
+		d := device.New(n, specs[device.ClassServer])
+		sys.Nodes[n] = &Node{
+			Device: d,
+			Store:  NewStore(n),
+			Asm:    component.NewAssembly(log, clock),
+		}
+	}
+	// One adaptivity manager handles migrations across assemblies.
+	first := sys.Nodes[nodeNames[0]]
+	sys.AM = adapt.NewManager(first.Asm, log, clock)
+	return sys
+}
+
+// Switches reports agent migrations performed.
+func (s *System) Switches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.switches
+}
+
+// DeployAgent starts a service agent on a node.
+func (s *System) DeployAgent(name, node string) (*Agent, error) {
+	n, ok := s.Nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("patia: unknown node %q", node)
+	}
+	a := NewAgent(name, node, n.Store)
+	if err := n.Asm.Add(a.Comp); err != nil {
+		return nil, err
+	}
+	if err := a.Comp.Start(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.agents[name] = a
+	s.agentAt[name] = node
+	s.mu.Unlock()
+	return a, nil
+}
+
+// AgentNode reports where an agent currently runs.
+func (s *System) AgentNode(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.agentAt[name]
+	return n, ok
+}
+
+// Serve handles one request through the named agent, charging load
+// and computing latency from the serving node's utilisation (an
+// M/M/1-flavoured blow-up as the node saturates).
+func (s *System) Serve(agent string, req Request) Response {
+	s.mu.Lock()
+	a, ok := s.agents[agent]
+	s.mu.Unlock()
+	if !ok {
+		return Response{Request: req, Err: fmt.Errorf("%w: %s", ErrNoAgent, agent)}
+	}
+	node := s.Nodes[a.Node]
+	out, err := node.Asm.Call("patia-frontend", "serve", component.Request{
+		Op:   "GET",
+		Args: map[string]any{"atom": req.AtomID, "client": req.Client},
+	})
+	if err != nil {
+		return Response{Request: req, Node: a.Node, Err: err}
+	}
+	atom := out.(*Atom)
+
+	util := node.Device.Util()
+	latency := s.ServiceCostMS / maxF(0.05, 1-util/100)
+
+	// Version choice via the atom's own constraints (rules 450/595).
+	version, bytes := s.chooseVersion(atom, a.Node)
+	return Response{
+		Request: req, Node: a.Node, Version: version,
+		Bytes: bytes, LatencyMS: latency,
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// chooseVersion evaluates the atom's constraint rules for a selection
+// decision; a decision naming a known version label picks it.
+func (s *System) chooseVersion(atom *Atom, node string) (string, int) {
+	bytes := atom.Bytes
+	if atom.Constraints == nil || atom.Constraints.Len() == 0 {
+		return "", bytes
+	}
+	ctx := &constraint.Context{Env: s.Reg, Self: node}
+	d, _, err := atom.Constraints.FirstDecision(ctx)
+	if err != nil || d.Kind == constraint.DecisionNone {
+		return "", bytes
+	}
+	// A target like node3.videosmall.ram names version "videosmall".
+	segs := d.Target.Segments
+	for _, seg := range segs {
+		if sz, ok := atom.Versions[seg]; ok {
+			return seg, sz
+		}
+	}
+	return "", bytes
+}
+
+// SelectVersion exposes constraint-driven version choice (rule 595
+// experiments and external callers).
+func (s *System) SelectVersion(atom *Atom, node string) (string, int) {
+	return s.chooseVersion(atom, node)
+}
+
+// frontend registers the request entry point on a node's assembly so
+// Serve can call through a concrete binding (Figure 7's "request
+// comes into the system; is received by a service-agent component").
+func (s *System) wireFrontend(node string, agent string) error {
+	n := s.Nodes[node]
+	if _, ok := n.Asm.Component("patia-frontend"); !ok {
+		fe := component.New("patia-frontend").Require("serve", "http")
+		if err := n.Asm.Add(fe); err != nil {
+			return err
+		}
+		if err := fe.Start(); err != nil {
+			return err
+		}
+	}
+	if b, ok := n.Asm.BoundTo("patia-frontend", "serve"); ok && b.ToComp == agent {
+		return nil
+	}
+	if _, ok := n.Asm.BoundTo("patia-frontend", "serve"); ok {
+		if err := n.Asm.Unbind("patia-frontend", "serve"); err != nil {
+			return err
+		}
+	}
+	return n.Asm.Bind("patia-frontend", "serve", agent, "serve")
+}
+
+// WireFrontend exposes frontend wiring for deployments.
+func (s *System) WireFrontend(node, agent string) error { return s.wireFrontend(node, agent) }
+
+// MigrateAgent SWITCHes an agent to another node, moving both data
+// availability (target must hold the replicas) and processing state.
+func (s *System) MigrateAgent(name, toNode string) error {
+	s.mu.Lock()
+	a, ok := s.agents[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoAgent, name)
+	}
+	dst, ok := s.Nodes[toNode]
+	if !ok {
+		return fmt.Errorf("patia: unknown node %q", toNode)
+	}
+	if a.Node == toNode {
+		return nil // already there
+	}
+	src := s.Nodes[a.Node]
+	replacement := NewAgent(name, toNode, dst.Store)
+	if err := s.AM.Migrate(name, src.Asm, replacement.Comp, dst.Asm); err != nil {
+		return err
+	}
+	// Migrate carried the serialized AgentState into replacement.State
+	// via the component Stateful interface.
+	s.mu.Lock()
+	s.agents[name] = replacement
+	s.agentAt[name] = toNode
+	s.switches++
+	s.mu.Unlock()
+	if err := s.wireFrontend(toNode, name); err != nil {
+		return err
+	}
+	s.Log.Emit(s.clock(), trace.KindMigrate, "patia",
+		"agent %s migrated to %s (served=%d carried)", name, toNode, replacement.State.Served)
+	return nil
+}
+
+// PublishVitals pushes every node's vitals into the registry.
+func (s *System) PublishVitals(t float64) {
+	names := make([]string, 0, len(s.Nodes))
+	for n := range s.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Nodes[n].Device.PublishVitals(s.Reg, t)
+	}
+}
+
+// Table2Rules returns the paper's Table 2 constraint set for an atom
+// replicated on node1 and node2 (rows 450 and 455) — the video rule
+// 595 is attached by Table2VideoRules.
+func Table2Rules() *constraint.RuleSet {
+	return constraint.NewRuleSet(
+		constraint.PrioritisedRule{ID: 455, Priority: 0, Rule: constraint.MustParse(
+			"If processor-util > 90% then SWITCH ((node1.Page1.html, node2.Page1.html)")},
+		constraint.PrioritisedRule{ID: 450, Priority: 1, Rule: constraint.MustParse(
+			"Select BEST (node1.Page1.html, node2.Page1.html)")},
+	)
+}
+
+// Table2VideoRules returns row 595 for atom 153.
+func Table2VideoRules() *constraint.RuleSet {
+	return constraint.NewRuleSet(
+		constraint.PrioritisedRule{ID: 595, Priority: 0, Rule: constraint.MustParse(
+			"If bandwidth > 30 < 100 Kbps then BEST(node1.videohalf.ram(time parms), node2.videohalf.ram(time parms), node3.videohalf.ram(time parms)) else node3.videosmall.ram(time parms).")},
+	)
+}

@@ -1,0 +1,195 @@
+package patia
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+func newTwoNodeSystem(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem([]string{"node1", "node2"}, monitor.NewRegistry(), trace.New(), nil)
+	page := &Atom{ID: 123, Name: "Page1.html", Type: "html", Bytes: 40_000}
+	sys.Nodes["node1"].Store.Put(page)
+	sys.Nodes["node2"].Store.Put(page)
+	if _, err := sys.DeployAgent("agent-123", "node1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WireFrontend("node1", "agent-123"); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestServeThroughFrontend(t *testing.T) {
+	sys := newTwoNodeSystem(t)
+	resp := sys.Serve("agent-123", Request{Client: "alice", AtomID: 123})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp.Node != "node1" || resp.Bytes != 40_000 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.LatencyMS <= 0 {
+		t.Fatal("no latency computed")
+	}
+}
+
+func TestServeMissingAtomAndAgent(t *testing.T) {
+	sys := newTwoNodeSystem(t)
+	if resp := sys.Serve("agent-123", Request{AtomID: 999}); resp.Err == nil {
+		t.Fatal("missing atom must error")
+	}
+	if resp := sys.Serve("ghost", Request{AtomID: 123}); resp.Err == nil {
+		t.Fatal("missing agent must error")
+	}
+}
+
+func TestLatencyRisesWithUtil(t *testing.T) {
+	sys := newTwoNodeSystem(t)
+	lo := sys.Serve("agent-123", Request{Client: "a", AtomID: 123}).LatencyMS
+	sys.Nodes["node1"].Device.SetLoad(390) // near capacity 400
+	hi := sys.Serve("agent-123", Request{Client: "a", AtomID: 123}).LatencyMS
+	if hi <= 5*lo {
+		t.Fatalf("latency lo=%v hi=%v: want saturation blow-up", lo, hi)
+	}
+}
+
+func TestAgentStateRoundTrip(t *testing.T) {
+	st := &AgentState{Served: 42, Sessions: map[string]int{"alice": 7, "bob": 3}}
+	b, err := st.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := &AgentState{Sessions: map[string]int{}}
+	if err := st2.RestoreState(b); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Served != 42 || st2.Sessions["alice"] != 7 || st2.Sessions["bob"] != 3 {
+		t.Fatalf("restored = %+v", st2)
+	}
+}
+
+func TestMigrateAgentCarriesState(t *testing.T) {
+	sys := newTwoNodeSystem(t)
+	for i := 0; i < 5; i++ {
+		if resp := sys.Serve("agent-123", Request{Client: "alice", AtomID: 123}); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	if err := sys.MigrateAgent("agent-123", "node2"); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := sys.AgentNode("agent-123")
+	if node != "node2" {
+		t.Fatalf("agent at %s", node)
+	}
+	// Processing state travelled: session continuity preserved.
+	sysAgent := sys.agents["agent-123"]
+	if sysAgent.State.Served != 5 || sysAgent.State.Sessions["alice"] != 5 {
+		t.Fatalf("state after migration = %+v", sysAgent.State)
+	}
+	// Requests keep flowing on the new node.
+	resp := sys.Serve("agent-123", Request{Client: "alice", AtomID: 123})
+	if resp.Err != nil || resp.Node != "node2" {
+		t.Fatalf("post-migration serve: %+v", resp)
+	}
+	if sysAgent.State.Served != 6 {
+		t.Fatalf("served = %d", sysAgent.State.Served)
+	}
+	if sys.Switches() != 1 {
+		t.Fatalf("switches = %d", sys.Switches())
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	sys := newTwoNodeSystem(t)
+	if err := sys.MigrateAgent("ghost", "node2"); err == nil {
+		t.Fatal("missing agent")
+	}
+	if err := sys.MigrateAgent("agent-123", "mars"); err == nil {
+		t.Fatal("missing node")
+	}
+}
+
+func TestChooseVersionBandedRule(t *testing.T) {
+	reg := monitor.NewRegistry()
+	sys := NewSystem([]string{"node1", "node2", "node3"}, reg, trace.New(), nil)
+	video := &Atom{
+		ID: 153, Name: "video.ram", Type: "video", Bytes: 4_000_000,
+		Constraints: Table2VideoRules(),
+		Versions:    map[string]int{"videohalf": 2_000_000, "videosmall": 500_000},
+	}
+	for _, n := range []string{"node1", "node2", "node3"} {
+		sys.Nodes[n].Store.Put(video)
+	}
+	sys.PublishVitals(0)
+
+	// In band (30..100 Kbps): BEST picks a videohalf target.
+	reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricBandwidth}, Value: 50})
+	v, bytes := sys.chooseVersion(video, "node1")
+	if v != "videohalf" || bytes != 2_000_000 {
+		t.Fatalf("in-band version = %s %d", v, bytes)
+	}
+	// Below band: else branch picks videosmall.
+	reg.Publish(monitor.Sample{Key: monitor.Key{Metric: monitor.MetricBandwidth}, Value: 10})
+	v, bytes = sys.chooseVersion(video, "node1")
+	if v != "videosmall" || bytes != 500_000 {
+		t.Fatalf("below-band version = %s %d", v, bytes)
+	}
+}
+
+func TestFlashCrowdAdaptiveBeatsStatic(t *testing.T) {
+	static, err := RunFlashCrowd(DefaultCrowdConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := RunFlashCrowd(DefaultCrowdConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Switches != 0 {
+		t.Fatalf("static switched %d times", static.Switches)
+	}
+	if adaptive.Switches < 1 {
+		t.Fatal("adaptive never switched")
+	}
+	// The crowd (320 RPS + 150 background > 400 capacity) saturates
+	// node1 in the static run; the adaptive run escapes to node2.
+	if static.SaturatedTicks == 0 {
+		t.Fatal("static run never saturated — experiment miscalibrated")
+	}
+	if adaptive.SaturatedTicks >= static.SaturatedTicks {
+		t.Fatalf("adaptive saturated %d ticks vs static %d",
+			adaptive.SaturatedTicks, static.SaturatedTicks)
+	}
+	if adaptive.MeanLatencyMS >= static.MeanLatencyMS {
+		t.Fatalf("adaptive latency %.2f >= static %.2f",
+			adaptive.MeanLatencyMS, static.MeanLatencyMS)
+	}
+	// The switch took the agent to node2.
+	last := adaptive.Intervals[len(adaptive.Intervals)-1]
+	if last.Node != "node2" {
+		t.Fatalf("final node = %s", last.Node)
+	}
+	if adaptive.Log.Count("violation") == 0 || adaptive.Log.Count("migrate") == 0 {
+		t.Fatalf("trace = %s", adaptive.Log.Summary())
+	}
+}
+
+func TestTable2RulesParseAndPrioritise(t *testing.T) {
+	rs := Table2Rules()
+	if rs.Len() != 2 {
+		t.Fatalf("rules = %d", rs.Len())
+	}
+	// 455 (SWITCH) outranks 450 (BEST).
+	rules := rs.Rules()
+	if rules[0].ID != 455 || rules[1].ID != 450 {
+		t.Fatalf("order = %v %v", rules[0].ID, rules[1].ID)
+	}
+	if !strings.Contains(rules[0].Rule.String(), "SWITCH") {
+		t.Fatalf("rule = %s", rules[0].Rule)
+	}
+}

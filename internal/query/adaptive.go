@@ -1,0 +1,323 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/adm-project/adm/internal/operators"
+	"github.com/adm-project/adm/internal/storage"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// This file implements Scenario 3 (intra-query adaptation): "the
+// statistics provided by the metadata are not quite accurate enough
+// for the pre-optimisor to build the optimal plan. It becomes obvious
+// that the original cost calculations need revised ... The query plan
+// is revised to perhaps change the join's inner-loop to the
+// outer-loop or add an index to one of the tables. The components
+// that carry out this are called upon and linked into the query
+// pipeline at run-time."
+//
+// The executor runs the hash build with safe points every CheckEvery
+// rows. When the observed build cardinality exceeds Theta × the
+// optimiser's estimate, the build aborts at the safe point and the
+// plan is revised: the join sides swap (the consumed build prefix is
+// replayed as probe input, so no work is lost and no result is
+// duplicated), or — when the revised build side has an index on the
+// join column — an index nested-loop join is linked in instead.
+
+// AdaptiveConfig tunes the mid-query re-optimiser.
+type AdaptiveConfig struct {
+	// Theta is the misestimate ratio that triggers replanning.
+	Theta float64
+	// CheckEvery is the safe-point cadence in build rows.
+	CheckEvery int
+	// PreferIndex lets the revised plan use an index nested-loop join
+	// when the new inner table has an index on the join column.
+	PreferIndex bool
+}
+
+// DefaultAdaptiveConfig returns Theta=3, CheckEvery=64.
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{Theta: 3, CheckEvery: 64}
+}
+
+// AdaptiveReport describes what the re-optimiser did.
+type AdaptiveReport struct {
+	Replanned bool
+	// TriggerRow is the build row count at which the violation fired.
+	TriggerRow int
+	// EstimatedBuildRows is what the optimiser believed.
+	EstimatedBuildRows float64
+	// InitialBuild / FinalBuild name the build-side bindings.
+	InitialBuild string
+	FinalBuild   string
+	// UsedIndex reports an index-NL join was linked in.
+	UsedIndex bool
+	// PeakHashRows is the largest hash table materialised across the
+	// whole execution (memory proxy).
+	PeakHashRows int
+}
+
+// ExecSelectAdaptive executes a single-join SELECT with mid-query
+// re-optimisation. Multi-join and join-free statements fall back to
+// the static path (report.Replanned=false).
+func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result, *AdaptiveReport, error) {
+	if cfg.Theta <= 1 {
+		cfg.Theta = 3
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 64
+	}
+	plan, err := e.planSelect(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &AdaptiveReport{}
+	if len(plan.joins) != 1 {
+		res, err := e.execSelect(st)
+		return res, rep, err
+	}
+
+	leftScan, rightScan := plan.scans[0], plan.scans[1]
+	joined := append(append(schema{}, leftScan.sch...), rightScan.sch...)
+	lIdx, err := joined.resolve(plan.joins[0].LCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	rIdx, err := joined.resolve(plan.joins[0].RCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lIdx >= len(leftScan.sch) {
+		lIdx, rIdx = rIdx, lIdx
+	}
+	rLocal := rIdx - len(leftScan.sch)
+
+	// Choose initial build side exactly as the static optimiser did.
+	build, probe := leftScan, rightScan
+	buildCol, probeCol := lIdx, rLocal
+	buildIsLeft := plan.buildLeft[0]
+	if !buildIsLeft {
+		build, probe = rightScan, leftScan
+		buildCol, probeCol = rLocal, lIdx
+	}
+	rep.InitialBuild = build.ref.Binding()
+	rep.FinalBuild = build.ref.Binding()
+	rep.EstimatedBuildRows = build.estRows
+
+	// Run the build with safe points.
+	buildIt, err := build.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := buildIt.Open(); err != nil {
+		return nil, nil, err
+	}
+	var consumed []storage.Tuple
+	limit := cfg.Theta * build.estRows
+	violated := false
+	for {
+		t, ok, err := buildIt.Next()
+		if err != nil {
+			buildIt.Close()
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		consumed = append(consumed, t)
+		if len(consumed)%cfg.CheckEvery == 0 {
+			e.log.Emit(e.clock(), trace.KindSafePoint, "query",
+				"build safe point at %d rows (est %.0f)", len(consumed), build.estRows)
+			if float64(len(consumed)) > limit {
+				violated = true
+				break
+			}
+		}
+	}
+
+	if !violated {
+		// Statistics held: finish the static plan, reusing the
+		// materialised build side.
+		buildIt.Close()
+		join := operators.NewHashJoin(operators.NewMemScan(consumed), mustBuild(probe), buildCol, probeCol)
+		rep.PeakHashRows = len(consumed)
+		it := normalise(join, buildIsLeft, len(leftScan.sch), len(rightScan.sch))
+		res, err := e.finishSelect(plan, it)
+		return res, rep, err
+	}
+
+	// Violation: revise the plan at the safe point.
+	rep.Replanned = true
+	rep.TriggerRow = len(consumed)
+	e.log.Emit(e.clock(), trace.KindViolation, "query",
+		"cardinality misestimate: %s build hit %d rows vs est %.0f (θ=%.1f)",
+		build.ref.Binding(), len(consumed), build.estRows, cfg.Theta)
+
+	// The consumed prefix + the rest of the old build iterator become
+	// the probe stream of the revised join; the old probe side becomes
+	// the build. This is the inner↔outer swap — no tuple is read twice
+	// from storage and no result can duplicate because nothing was
+	// emitted during the build phase.
+	restOld := &openedRest{it: buildIt}
+	oldBuildStream := concatIter(operators.NewMemScan(consumed), restOld)
+
+	newBuild := probe
+	rep.FinalBuild = newBuild.ref.Binding()
+
+	if cfg.PreferIndex {
+		if idx, ok := newBuild.table.Index(joinColName(newBuild, plan)); ok && len(newBuild.preds) == 0 {
+			// Index NL: outer = old build stream, inner = indexed table.
+			rep.UsedIndex = true
+			e.log.Emit(e.clock(), trace.KindReoptimize, "query",
+				"linked IndexNLJoin(%s) into the pipeline", newBuild.ref.Binding())
+			j := operators.NewIndexNLJoin(oldBuildStream, buildCol, idx, newBuild.table.Heap)
+			// Output: (oldBuild, newBuild) = (build, probe) original order.
+			it := normalise(j, buildIsLeft, len(leftScan.sch), len(rightScan.sch))
+			rep.PeakHashRows = len(consumed)
+			res, err := e.finishSelect(plan, it)
+			return res, rep, err
+		}
+	}
+
+	e.log.Emit(e.clock(), trace.KindReoptimize, "query",
+		"swapped join build side %s -> %s at row %d",
+		rep.InitialBuild, rep.FinalBuild, rep.TriggerRow)
+	join := operators.NewHashJoin(mustBuild(newBuild), oldBuildStream, probeCol, buildCol)
+	// Output order is (newBuild, oldBuild) = (probe, build): flip of
+	// the original build orientation.
+	it := normalise(join, !buildIsLeft, len(leftScan.sch), len(rightScan.sch))
+	res, err := e.finishSelect(plan, it)
+	if res != nil {
+		// Peak memory: the aborted prefix plus the revised build table
+		// (actual, observed at Open).
+		rep.PeakHashRows = maxInt(len(consumed), join.BuildRows)
+	}
+	return res, rep, err
+}
+
+func joinColName(sp *scanPlan, plan *selectPlan) string {
+	j := plan.joins[0]
+	// Return the join column belonging to sp's binding.
+	if eqFold(j.LCol.Table, sp.ref.Binding()) {
+		return j.LCol.Col
+	}
+	if eqFold(j.RCol.Table, sp.ref.Binding()) {
+		return j.RCol.Col
+	}
+	// Unqualified: resolve within sp's schema.
+	if _, err := sp.sch.resolve(j.LCol); err == nil {
+		return j.LCol.Col
+	}
+	return j.RCol.Col
+}
+
+func eqFold(a, b string) bool {
+	return a != "" && b != "" && len(a) == len(b) && (a == b || equalsIgnoreCase(a, b))
+}
+
+func equalsIgnoreCase(a, b string) bool {
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 32
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// mustBuild compiles a scan; planSelect already validated it.
+func mustBuild(sp *scanPlan) operators.Iterator {
+	it, err := sp.build()
+	if err != nil {
+		panic(fmt.Sprintf("query: scan build: %v", err))
+	}
+	return it
+}
+
+// normalise restores declaration order (left, right) around a hash
+// join whose build side was `buildLeft`.
+func normalise(j operators.Iterator, buildLeft bool, leftW, rightW int) operators.Iterator {
+	if buildLeft {
+		return j
+	}
+	perm := make([]int, 0, leftW+rightW)
+	for k := 0; k < leftW; k++ {
+		perm = append(perm, rightW+k)
+	}
+	for k := 0; k < rightW; k++ {
+		perm = append(perm, k)
+	}
+	return operators.NewProject(j, perm)
+}
+
+// openedRest adapts an already-open iterator to the Iterator
+// interface (Open is a no-op; the underlying cursor continues).
+type openedRest struct {
+	it operators.Iterator
+}
+
+func (o *openedRest) Open() error { return nil }
+func (o *openedRest) Next() (storage.Tuple, bool, error) {
+	return o.it.Next()
+}
+func (o *openedRest) Close() error { return o.it.Close() }
+
+// concatIter yields all of a, then all of b.
+func concatIter(a, b operators.Iterator) operators.Iterator {
+	return &concatIterator{a: a, b: b}
+}
+
+type concatIterator struct {
+	a, b operators.Iterator
+	onB  bool
+	open bool
+}
+
+func (c *concatIterator) Open() error {
+	c.onB = false
+	c.open = true
+	if err := c.a.Open(); err != nil {
+		return err
+	}
+	return c.b.Open()
+}
+
+func (c *concatIterator) Next() (storage.Tuple, bool, error) {
+	if !c.open {
+		return nil, false, operators.ErrNotOpen
+	}
+	if !c.onB {
+		t, ok, err := c.a.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		c.onB = true
+	}
+	return c.b.Next()
+}
+
+func (c *concatIterator) Close() error {
+	c.open = false
+	if err := c.a.Close(); err != nil {
+		_ = c.b.Close()
+		return err
+	}
+	return c.b.Close()
+}

@@ -1,0 +1,365 @@
+// Package query implements the relational query engine that runs on
+// the storage substrate: a SQL subset (SELECT-PROJECT-JOIN with
+// aggregation and DML), a cost-based optimiser driven by catalog
+// statistics, a Volcano executor over the operators package, and the
+// Scenario 3 machinery — mid-query re-optimisation at safe points
+// when the statistics the pre-optimiser trusted turn out wrong
+// ("the statistics provided by the metadata are not quite accurate
+// enough for the pre-optimisor to build the optimal plan").
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/adm-project/adm/internal/operators"
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// ColumnType is a declared column type.
+type ColumnType int
+
+// Column types.
+const (
+	TInt ColumnType = iota
+	TFloat
+	TString
+	TBool
+)
+
+func (t ColumnType) String() string {
+	return [...]string{"INT", "FLOAT", "STRING", "BOOL"}[t]
+}
+
+// Column is one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// TableStats is what the optimiser believes about a table. It is
+// updated only by Analyze — never automatically — so it can drift
+// from reality, which is exactly the wedge Scenario 3 drives in.
+type TableStats struct {
+	Rows     int
+	Distinct map[string]int // per column
+}
+
+// Table is a stored relation: schema, heap file, secondary indexes.
+type Table struct {
+	Name    string
+	Cols    []Column
+	Heap    *storage.HeapFile
+	Indexes map[string]*storage.BTree // by column name
+	Stats   TableStats
+}
+
+// ColIndex resolves a column name to its position.
+func (t *Table) ColIndex(name string) (int, bool) {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Catalog owns tables over one storage instance.
+type Catalog struct {
+	mu     sync.RWMutex
+	store  *storage.Store
+	bm     *storage.BufferManager
+	tables map[string]*Table
+}
+
+// Catalog errors.
+var (
+	ErrNoTable     = errors.New("query: no such table")
+	ErrNoColumn    = errors.New("query: no such column")
+	ErrTableExists = errors.New("query: table exists")
+	ErrArity       = errors.New("query: wrong number of values")
+	ErrType        = errors.New("query: type mismatch")
+)
+
+// NewCatalog builds a catalog over fresh storage with the given
+// buffer-pool size in frames.
+func NewCatalog(bufferFrames int) *Catalog {
+	store := storage.NewStore()
+	return &Catalog{
+		store:  store,
+		bm:     storage.NewBufferManager(store, bufferFrames, storage.NewLRU()),
+		tables: map[string]*Table{},
+	}
+}
+
+// Buffer exposes the buffer manager (grain ablation, policy swaps).
+func (c *Catalog) Buffer() *storage.BufferManager { return c.bm }
+
+// CreateTable registers a new table.
+func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	t := &Table{
+		Name:    name,
+		Cols:    cols,
+		Heap:    storage.NewHeapFile(name, c.store, c.bm),
+		Indexes: map[string]*storage.BTree{},
+		Stats:   TableStats{Distinct: map[string]int{}},
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table resolves a table by name (case-insensitive).
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Tables lists table names, sorted.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateIndex builds a B-tree on table.col, backfilling existing rows.
+// This is also the operation Scenario 3's re-optimiser performs when
+// it decides to "add an index to one of the tables" mid-query.
+func (c *Catalog) CreateIndex(table, col string) (*storage.BTree, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ci, ok := t.ColIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, table, col)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(col)
+	if idx, ok := t.Indexes[key]; ok {
+		return idx, nil // idempotent
+	}
+	idx := storage.NewBTree(table + "_" + col)
+	err = t.Heap.Scan(func(rid storage.RID, tu storage.Tuple) bool {
+		idx.Insert(tu[ci], rid)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Indexes[key] = idx
+	return idx, nil
+}
+
+// Index returns the index on table.col if one exists.
+func (t *Table) Index(col string) (*storage.BTree, bool) {
+	idx, ok := t.Indexes[strings.ToLower(col)]
+	return idx, ok
+}
+
+// checkType verifies a value is assignable to a column.
+func checkType(v storage.Value, ct ColumnType) bool {
+	if v.IsNull() {
+		return true
+	}
+	switch ct {
+	case TInt:
+		return v.Kind == storage.KindInt
+	case TFloat:
+		return v.Kind == storage.KindFloat || v.Kind == storage.KindInt
+	case TString:
+		return v.Kind == storage.KindString
+	case TBool:
+		return v.Kind == storage.KindBool
+	}
+	return false
+}
+
+// Insert adds a row, maintaining indexes. Statistics are NOT updated
+// (run Analyze) — deliberate, per the package comment.
+func (c *Catalog) Insert(table string, row storage.Tuple) (storage.RID, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	if len(row) != len(t.Cols) {
+		return storage.RID{}, fmt.Errorf("%w: got %d, want %d", ErrArity, len(row), len(t.Cols))
+	}
+	for i, v := range row {
+		if !checkType(v, t.Cols[i].Type) {
+			return storage.RID{}, fmt.Errorf("%w: column %s wants %s, got %v",
+				ErrType, t.Cols[i].Name, t.Cols[i].Type, v)
+		}
+		// Normalise ints assigned to FLOAT columns.
+		if t.Cols[i].Type == TFloat && v.Kind == storage.KindInt {
+			row[i] = storage.FloatValue(float64(v.Int))
+		}
+	}
+	rid, err := t.Heap.Insert(row)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for col, idx := range t.Indexes {
+		ci, _ := t.ColIndex(col)
+		idx.Insert(row[ci], rid)
+	}
+	return rid, nil
+}
+
+// Delete removes rows matching pred; returns the count.
+func (c *Catalog) Delete(table string, pred func(storage.Tuple) bool) (int, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	type victim struct {
+		rid storage.RID
+		row storage.Tuple
+	}
+	var victims []victim
+	err = t.Heap.Scan(func(rid storage.RID, tu storage.Tuple) bool {
+		if pred == nil || pred(tu) {
+			victims = append(victims, victim{rid, tu.Clone()})
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range victims {
+		if err := t.Heap.Delete(v.rid); err != nil {
+			return 0, err
+		}
+		for col, idx := range t.Indexes {
+			ci, _ := t.ColIndex(col)
+			idx.Delete(v.row[ci], v.rid)
+		}
+	}
+	return len(victims), nil
+}
+
+// Update applies set to rows matching pred; returns the count.
+func (c *Catalog) Update(table string, pred func(storage.Tuple) bool,
+	set map[string]storage.Value) (int, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	setIdx := map[int]storage.Value{}
+	for col, v := range set {
+		ci, ok := t.ColIndex(col)
+		if !ok {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, table, col)
+		}
+		if !checkType(v, t.Cols[ci].Type) {
+			return 0, fmt.Errorf("%w: column %s", ErrType, col)
+		}
+		if t.Cols[ci].Type == TFloat && v.Kind == storage.KindInt {
+			v = storage.FloatValue(float64(v.Int))
+		}
+		setIdx[ci] = v
+	}
+	type hit struct {
+		rid storage.RID
+		old storage.Tuple
+	}
+	var hits []hit
+	err = t.Heap.Scan(func(rid storage.RID, tu storage.Tuple) bool {
+		if pred == nil || pred(tu) {
+			hits = append(hits, hit{rid, tu.Clone()})
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, h := range hits {
+		nu := h.old.Clone()
+		for ci, v := range setIdx {
+			nu[ci] = v
+		}
+		nrid, err := t.Heap.Update(h.rid, nu)
+		if err != nil {
+			return 0, err
+		}
+		for col, idx := range t.Indexes {
+			ci, _ := t.ColIndex(col)
+			if !storage.Equal(h.old[ci], nu[ci]) || nrid != h.rid {
+				idx.Delete(h.old[ci], h.rid)
+				idx.Insert(nu[ci], nrid)
+			}
+		}
+	}
+	return len(hits), nil
+}
+
+// Analyze refreshes a table's statistics from its actual contents.
+func (c *Catalog) Analyze(table string) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	distinct := make([]map[string]struct{}, len(t.Cols))
+	for i := range distinct {
+		distinct[i] = map[string]struct{}{}
+	}
+	rows := 0
+	err = t.Heap.Scan(func(_ storage.RID, tu storage.Tuple) bool {
+		rows++
+		for i, v := range tu {
+			distinct[i][v.String()] = struct{}{}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.Stats.Rows = rows
+	t.Stats.Distinct = map[string]int{}
+	for i, d := range distinct {
+		t.Stats.Distinct[strings.ToLower(t.Cols[i].Name)] = len(d)
+	}
+	return nil
+}
+
+// SetStats force-sets statistics (experiments inject stale values).
+func (c *Catalog) SetStats(table string, stats TableStats) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.Stats = stats
+	return nil
+}
+
+// Scan returns an iterator over a table's rows.
+func (c *Catalog) Scan(table string) (operators.Iterator, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return operators.NewHeapScan(t.Heap), nil
+}

@@ -1,0 +1,295 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/adm-project/adm/internal/operators"
+	"github.com/adm-project/adm/internal/storage"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// Engine executes SQL against a catalog.
+type Engine struct {
+	cat   *Catalog
+	log   *trace.Log
+	clock func() float64
+}
+
+// NewEngine builds an engine; log/clock may be nil.
+func NewEngine(cat *Catalog, log *trace.Log, clock func() float64) *Engine {
+	if log == nil {
+		log = trace.New()
+	}
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	return &Engine{cat: cat, log: log, clock: clock}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *Catalog { return e.cat }
+
+// Result is a query result.
+type Result struct {
+	Cols []string
+	Rows []storage.Tuple
+	// Affected counts DML rows.
+	Affected int
+	// Plan is the EXPLAIN rendering of SELECTs.
+	Plan string
+}
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(st)
+}
+
+// MustExec panics on error (fixtures/benches).
+func (e *Engine) MustExec(sql string) *Result {
+	r, err := e.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("%s: %v", sql, err))
+	}
+	return r
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		return e.execSelect(s)
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			tuple := make(storage.Tuple, len(row))
+			copy(tuple, row)
+			if _, err := e.cat.Insert(s.Table, tuple); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Affected: len(s.Rows)}, nil
+	case *UpdateStmt:
+		pred, err := e.wherePred(s.Table, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		n, err := e.cat.Update(s.Table, pred, s.Set)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	case *DeleteStmt:
+		pred, err := e.wherePred(s.Table, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		n, err := e.cat.Delete(s.Table, pred)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	case *CreateTableStmt:
+		if _, err := e.cat.CreateTable(s.Name, s.Cols); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		if _, err := e.cat.CreateIndex(s.Table, s.Col); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *AnalyzeStmt:
+		if err := e.cat.Analyze(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *ExplainStmt:
+		plan, err := e.planSelect(s.Select)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Cols: []string{"plan"},
+			Rows: []storage.Tuple{{storage.StringValue(plan.Explain())}},
+			Plan: plan.Explain(),
+		}, nil
+	}
+	return nil, fmt.Errorf("query: unsupported statement %T", st)
+}
+
+// wherePred compiles a single-table WHERE clause.
+func (e *Engine) wherePred(table string, preds []Pred) (func(storage.Tuple) bool, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return compilePreds(tableSchema(table, t), preds)
+}
+
+// execSelect plans, compiles and runs a SELECT.
+func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
+	plan, err := e.planSelect(st)
+	if err != nil {
+		return nil, err
+	}
+	it, err := plan.buildJoinTree()
+	if err != nil {
+		return nil, err
+	}
+	return e.finishSelect(plan, it)
+}
+
+// finishSelect applies aggregation/ordering/projection to the joined
+// stream and drains it. Split out so the adaptive executor can supply
+// its own join pipeline.
+func (e *Engine) finishSelect(plan *selectPlan, it operators.Iterator) (*Result, error) {
+	st := plan.stmt
+	sch := plan.sch
+
+	hasAgg := false
+	for _, item := range st.Items {
+		if item.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+
+	var outCols []string
+	if hasAgg || st.GroupBy != nil {
+		it2, cols, osch, err := e.buildAggregate(st, sch, it)
+		if err != nil {
+			return nil, err
+		}
+		it, outCols, sch = it2, cols, osch
+		if st.OrderBy != nil {
+			idx, err := sch.resolve(*st.OrderBy)
+			if err != nil {
+				return nil, err
+			}
+			it = operators.NewSort(it, idx, st.Desc)
+		}
+	} else {
+		if st.OrderBy != nil {
+			idx, err := sch.resolve(*st.OrderBy)
+			if err != nil {
+				return nil, err
+			}
+			it = operators.NewSort(it, idx, st.Desc)
+		}
+		// Projection.
+		var cols []int
+		for _, item := range st.Items {
+			if item.Star {
+				for i := range sch {
+					cols = append(cols, i)
+					outCols = append(outCols, sch[i].Name)
+				}
+				continue
+			}
+			idx, err := sch.resolve(item.Col)
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, idx)
+			outCols = append(outCols, sch[idx].Name)
+		}
+		it = operators.NewProject(it, cols)
+	}
+
+	if st.Limit >= 0 {
+		it = operators.NewLimit(it, st.Limit)
+	}
+	rows, err := operators.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: outCols, Rows: rows, Plan: plan.Explain()}, nil
+}
+
+// buildAggregate compiles the aggregate clause. Output schema is the
+// select-item order; internally HashAggregate produces [group?,
+// aggs...] which is re-projected.
+func (e *Engine) buildAggregate(st *SelectStmt, sch schema, in operators.Iterator) (operators.Iterator, []string, schema, error) {
+	groupCol := -1
+	if st.GroupBy != nil {
+		idx, err := sch.resolve(*st.GroupBy)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		groupCol = idx
+	}
+	var specs []operators.AggSpec
+	type itemSlot struct {
+		isGroup bool
+		aggIdx  int
+		name    string
+	}
+	var slots []itemSlot
+	for _, item := range st.Items {
+		if item.Star {
+			return nil, nil, nil, fmt.Errorf("query: SELECT * cannot mix with aggregates")
+		}
+		if item.Agg == AggNone {
+			if st.GroupBy == nil || !strings.EqualFold(item.Col.Col, st.GroupBy.Col) {
+				return nil, nil, nil, fmt.Errorf("query: non-aggregated column %s outside GROUP BY", item.Col)
+			}
+			slots = append(slots, itemSlot{isGroup: true, name: item.Col.Col})
+			continue
+		}
+		var kind operators.AggKind
+		switch item.Agg {
+		case AggCount:
+			kind = operators.AggCount
+		case AggSum:
+			kind = operators.AggSum
+		case AggAvg:
+			kind = operators.AggAvg
+		case AggMin:
+			kind = operators.AggMin
+		case AggMax:
+			kind = operators.AggMax
+		}
+		col := 0
+		if !item.AggStar {
+			idx, err := sch.resolve(item.Col)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			col = idx
+		}
+		name := strings.ToLower(string(item.Agg))
+		if item.AggStar {
+			name += "(*)"
+		} else {
+			name += "(" + item.Col.Col + ")"
+		}
+		slots = append(slots, itemSlot{aggIdx: len(specs), name: name})
+		specs = append(specs, operators.AggSpec{Kind: kind, Col: col})
+	}
+	agg := operators.NewHashAggregate(in, groupCol, specs)
+	// Internal schema: [group?] + aggs; re-project to item order.
+	base := 0
+	if groupCol >= 0 {
+		base = 1
+	}
+	var perm []int
+	var outCols []string
+	outSch := schema{}
+	for _, s := range slots {
+		if s.isGroup {
+			perm = append(perm, 0)
+		} else {
+			perm = append(perm, base+s.aggIdx)
+		}
+		outCols = append(outCols, s.name)
+		outSch = append(outSch, boundCol{Name: s.name})
+	}
+	e.log.Emit(e.clock(), trace.KindInfo, "query", "aggregate over %d specs", len(specs))
+	return operators.NewProject(agg, perm), outCols, outSch, nil
+}

@@ -1,0 +1,313 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/adm-project/adm/internal/operators"
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// boundCol is one column of a plan node's output schema, qualified by
+// the table binding (alias or table name) it came from.
+type boundCol struct {
+	Binding string
+	Name    string
+	Type    ColumnType
+}
+
+// schema is an ordered column list with resolution helpers.
+type schema []boundCol
+
+// resolve finds the position of a column reference. Unqualified names
+// must be unambiguous.
+func (s schema) resolve(c ColRef) (int, error) {
+	found := -1
+	for i, bc := range s {
+		if !strings.EqualFold(bc.Name, c.Col) {
+			continue
+		}
+		if c.Table != "" && !strings.EqualFold(bc.Binding, c.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("%w: ambiguous column %s", ErrNoColumn, c)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("%w: %s", ErrNoColumn, c)
+	}
+	return found, nil
+}
+
+func (s schema) names() []string {
+	out := make([]string, len(s))
+	for i, bc := range s {
+		out[i] = bc.Name
+	}
+	return out
+}
+
+// tableSchema builds the schema of one bound table.
+func tableSchema(binding string, t *Table) schema {
+	out := make(schema, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = boundCol{Binding: binding, Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// scanPlan is a base-table access path: heap or index scan plus
+// residual filters.
+type scanPlan struct {
+	ref      TableRef
+	table    *Table
+	sch      schema
+	preds    []Pred // pushed-down single-table predicates
+	indexCol string // non-empty when an index path was chosen
+	indexLo  storage.Value
+	indexHi  storage.Value
+	estRows  float64
+}
+
+// explain renders the access path.
+func (s *scanPlan) explain() string {
+	if s.indexCol != "" {
+		return fmt.Sprintf("IndexScan(%s.%s est=%.0f)", s.ref.Binding(), s.indexCol, s.estRows)
+	}
+	return fmt.Sprintf("SeqScan(%s est=%.0f)", s.ref.Binding(), s.estRows)
+}
+
+// build compiles the scan into an iterator.
+func (s *scanPlan) build() (operators.Iterator, error) {
+	var it operators.Iterator
+	if s.indexCol != "" {
+		idx, _ := s.table.Index(s.indexCol)
+		it = operators.NewIndexScan(s.table.Heap, idx, s.indexLo, s.indexHi)
+	} else {
+		it = operators.NewHeapScan(s.table.Heap)
+	}
+	if len(s.preds) > 0 {
+		pred, err := compilePreds(s.sch, s.preds)
+		if err != nil {
+			return nil, err
+		}
+		it = operators.NewFilter(it, pred)
+	}
+	return it, nil
+}
+
+// compilePreds compiles a conjunction into a tuple predicate.
+func compilePreds(sch schema, preds []Pred) (operators.Predicate, error) {
+	type cp struct {
+		idx int
+		op  CmpOp
+		lit storage.Value
+	}
+	var cps []cp
+	for _, p := range preds {
+		i, err := sch.resolve(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		cps = append(cps, cp{idx: i, op: p.Op, lit: p.Lit})
+	}
+	return func(t storage.Tuple) bool {
+		for _, c := range cps {
+			if t[c.idx].IsNull() {
+				return false
+			}
+			if !c.op.Eval(storage.Compare(t[c.idx], c.lit)) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// estimate computes the optimiser's cardinality guess for a scan from
+// the (possibly stale) statistics.
+func estimate(t *Table, preds []Pred) float64 {
+	rows := float64(t.Stats.Rows)
+	if rows <= 0 {
+		rows = 1 // unknown table: optimistic, per Scenario 3's setup
+	}
+	sel := 1.0
+	for _, p := range preds {
+		switch p.Op {
+		case OpEQ:
+			d := t.Stats.Distinct[strings.ToLower(p.Col.Col)]
+			if d <= 0 {
+				d = 10
+			}
+			sel *= 1 / float64(d)
+		case OpNE:
+			// barely selective
+		default:
+			sel *= 1.0 / 3
+		}
+	}
+	est := rows * sel
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// selectPlan is the compiled plan of a SelectStmt.
+type selectPlan struct {
+	scans []*scanPlan  // in join order: scans[0] ⋈ scans[1] ⋈ ...
+	joins []JoinClause // joins[i] connects scans[i+1]
+	// buildLeft[i] records whether the LEFT (accumulated) side is the
+	// hash-build side of join i.
+	buildLeft []bool
+	sch       schema // schema after all joins (declaration order)
+	stmt      *SelectStmt
+	explainTx string
+}
+
+// Explain returns the plan rendering (tests assert on it).
+func (p *selectPlan) Explain() string { return p.explainTx }
+
+// planSelect compiles and optimises a SELECT statement:
+// single-table predicates are pushed to their scans; each scan picks
+// an index path when its predicates cover an indexed column; each
+// join picks its hash-build side by estimated cardinality.
+func (e *Engine) planSelect(st *SelectStmt) (*selectPlan, error) {
+	refs := []TableRef{st.From}
+	for _, j := range st.Joins {
+		refs = append(refs, j.Table)
+	}
+	p := &selectPlan{stmt: st}
+	var full schema
+	for _, ref := range refs {
+		t, err := e.cat.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		sp := &scanPlan{ref: ref, table: t, sch: tableSchema(ref.Binding(), t)}
+		p.scans = append(p.scans, sp)
+		full = append(full, sp.sch...)
+	}
+	p.joins = st.Joins
+	p.sch = full
+
+	// Predicate pushdown: each WHERE conjunct references one column,
+	// hence one table.
+	for _, pred := range st.Where {
+		placed := false
+		for _, sp := range p.scans {
+			if _, err := sp.sch.resolve(pred.Col); err == nil {
+				sp.preds = append(sp.preds, pred)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("%w: %s", ErrNoColumn, pred.Col)
+		}
+	}
+
+	// Access-path selection + estimation.
+	for _, sp := range p.scans {
+		sp.estRows = estimate(sp.table, sp.preds)
+		for _, pred := range sp.preds {
+			if _, ok := sp.table.Index(pred.Col.Col); !ok {
+				continue
+			}
+			switch pred.Op {
+			case OpEQ:
+				sp.indexCol, sp.indexLo, sp.indexHi = strings.ToLower(pred.Col.Col), pred.Lit, pred.Lit
+			case OpGT, OpGE:
+				sp.indexCol, sp.indexLo, sp.indexHi = strings.ToLower(pred.Col.Col), pred.Lit, storage.StringValue(string(rune(0x10FFFF)))
+			case OpLT, OpLE:
+				sp.indexCol, sp.indexLo, sp.indexHi = strings.ToLower(pred.Col.Col), storage.NullValue(), pred.Lit
+			}
+			if sp.indexCol != "" {
+				break
+			}
+		}
+	}
+
+	// Join build-side choice: the estimated-smaller input builds.
+	leftEst := p.scans[0].estRows
+	for i := range p.joins {
+		rightEst := p.scans[i+1].estRows
+		p.buildLeft = append(p.buildLeft, leftEst <= rightEst)
+		// Crude join cardinality estimate for the next level.
+		leftEst = leftEst * rightEst / 10
+		if leftEst < 1 {
+			leftEst = 1
+		}
+	}
+
+	// Explain text.
+	var parts []string
+	for i, sp := range p.scans {
+		parts = append(parts, sp.explain())
+		if i > 0 {
+			side := "right"
+			if p.buildLeft[i-1] {
+				side = "left"
+			}
+			parts = append(parts, fmt.Sprintf("HashJoin(build=%s)", side))
+		}
+	}
+	p.explainTx = strings.Join(parts, " -> ")
+	return p, nil
+}
+
+// buildJoinTree compiles the joins into an iterator producing tuples
+// in declaration-order schema (left-to-right concatenation) no matter
+// which side builds.
+func (p *selectPlan) buildJoinTree() (operators.Iterator, error) {
+	left, err := p.scans[0].build()
+	if err != nil {
+		return nil, err
+	}
+	leftSch := p.scans[0].sch
+	for i, j := range p.joins {
+		right, err := p.scans[i+1].build()
+		if err != nil {
+			return nil, err
+		}
+		rightSch := p.scans[i+1].sch
+		joined := append(append(schema{}, leftSch...), rightSch...)
+		lIdx, err := joined.resolve(j.LCol)
+		if err != nil {
+			return nil, err
+		}
+		rIdx, err := joined.resolve(j.RCol)
+		if err != nil {
+			return nil, err
+		}
+		// Normalise: the join columns may appear either side of the ON.
+		lcol, rcol := lIdx, rIdx
+		if lcol >= len(leftSch) {
+			lcol, rcol = rcol, lcol
+		}
+		if lcol >= len(leftSch) || rcol < len(leftSch) {
+			return nil, fmt.Errorf("query: join %s = %s does not span both inputs", j.LCol, j.RCol)
+		}
+		rcolLocal := rcol - len(leftSch)
+		if p.buildLeft[i] {
+			// build = left, probe = right → output (left, right): as-is.
+			left = operators.NewHashJoin(left, right, lcol, rcolLocal)
+		} else {
+			// build = right, probe = left → output (right, left):
+			// re-project to declaration order.
+			j := operators.NewHashJoin(right, left, rcolLocal, lcol)
+			perm := make([]int, 0, len(joined))
+			for k := range leftSch {
+				perm = append(perm, len(rightSch)+k)
+			}
+			for k := range rightSch {
+				perm = append(perm, k)
+			}
+			left = operators.NewProject(j, perm)
+		}
+		leftSch = joined
+	}
+	return left, nil
+}

@@ -1,0 +1,260 @@
+// Package session implements the paper's Session Manager (Figure 1):
+// "A session manager is fed information from monitors or gauges ...
+// The current configuration operation is being monitored by the
+// session monitor who constantly checks constraints and, if broken,
+// consults the switching rules to decide how best to overcome the
+// problem. When adaptivity is triggered the component architecture
+// model allows an alternative execution plan to be designed. The
+// session manager decides how to instantiate the alternative
+// component architecture and passes his alternative over to the
+// Adaptivity Manager."
+//
+// The Session Manager is itself componentised (§4, Scenario 3): an
+// optimiser Planner can be plugged in for data-processing sessions,
+// giving the manager mid-query re-planning capability.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/adm-project/adm/internal/adapt"
+	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// DecisionHandler turns a fired constraint decision into an actual
+// reconfiguration (usually by consulting a ModeController or the
+// Adaptivity Manager). Returning an error counts as a failed
+// adaptation; the session manager records it and keeps running.
+type DecisionHandler func(d constraint.Decision, rule *constraint.PrioritisedRule) error
+
+// Planner is the componentised-optimiser plug-in: "The Session
+// Manager is itself componentised in that it can have optimisor
+// functionality added for data processing."
+type Planner interface {
+	// Replan produces a revised plan description given the violation
+	// that triggered it; the session manager treats it opaquely.
+	Replan(reason string) (string, error)
+}
+
+// Stats counts session-manager activity.
+type Stats struct {
+	Checks     int
+	Violations int
+	Actions    int
+	Failures   int
+	Skips      int // checks suppressed by cooldown
+}
+
+// Manager is a Session Manager instance.
+type Manager struct {
+	mu      sync.Mutex
+	name    string
+	reg     *monitor.Registry
+	rules   *constraint.RuleSet
+	self    string
+	current *constraint.Target
+	handler DecisionHandler
+	planner Planner
+	log     *trace.Log
+	clock   func() float64
+	stats   Stats
+	// CooldownMS suppresses re-checks within the window after a fired
+	// adaptation, so one violation does not thrash the configuration.
+	CooldownMS float64
+	lastAction float64
+	attached   bool
+}
+
+// New builds a session manager. reg supplies the gauge environment;
+// rules are the switching rules; handler executes decisions.
+func New(name string, reg *monitor.Registry, rules *constraint.RuleSet,
+	log *trace.Log, clock func() float64, handler DecisionHandler) *Manager {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	if log == nil {
+		log = trace.New()
+	}
+	return &Manager{
+		name: name, reg: reg, rules: rules, log: log, clock: clock,
+		handler: handler, CooldownMS: 0, lastAction: -1e18,
+	}
+}
+
+// SetSelf names the node unsourced metrics resolve against.
+func (m *Manager) SetSelf(node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.self = node
+}
+
+// SetCurrent records the currently selected target (SWITCH excludes
+// its node).
+func (m *Manager) SetCurrent(t *constraint.Target) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.current = t
+}
+
+// Current returns the currently selected target.
+func (m *Manager) Current() *constraint.Target {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// SetPlanner installs the optimiser plug-in.
+func (m *Manager) SetPlanner(p Planner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.planner = p
+}
+
+// Planner returns the installed optimiser plug-in, if any.
+func (m *Manager) Planner() (Planner, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.planner, m.planner != nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Attach subscribes the manager to its registry so every published
+// sample triggers a constraint check — the Figure 1 feedback loop.
+func (m *Manager) Attach() {
+	m.mu.Lock()
+	if m.attached {
+		m.mu.Unlock()
+		return
+	}
+	m.attached = true
+	m.mu.Unlock()
+	m.reg.OnSample(func(monitor.Sample) { _, _ = m.CheckNow() })
+}
+
+// CheckNow evaluates the switching rules against the current gauges.
+// It returns whether an adaptation fired. Metric-unavailable errors
+// are treated as "nothing to do" (monitors may not have reported yet).
+func (m *Manager) CheckNow() (bool, error) {
+	m.mu.Lock()
+	now := m.clock()
+	if now-m.lastAction < m.CooldownMS {
+		m.stats.Skips++
+		m.mu.Unlock()
+		return false, nil
+	}
+	m.stats.Checks++
+	ctx := &constraint.Context{Env: m.reg, Self: m.self, Current: m.current}
+	rules := m.rules
+	handler := m.handler
+	name := m.name
+	m.mu.Unlock()
+
+	d, rule, err := rules.FirstDecision(ctx)
+	if err != nil {
+		var me *constraint.MetricError
+		if errors.As(err, &me) {
+			return false, nil
+		}
+		return false, err
+	}
+	if d.Kind == constraint.DecisionNone {
+		return false, nil
+	}
+	// A decision that re-selects the current target is a no-op, not a
+	// violation.
+	m.mu.Lock()
+	if m.current != nil && d.Kind == constraint.DecisionSelect && d.Target.Equal(*m.current) {
+		m.mu.Unlock()
+		return false, nil
+	}
+	m.stats.Violations++
+	m.mu.Unlock()
+
+	m.log.Emit(now, trace.KindViolation, name, "rule %d: %s", rule.ID, d)
+	if handler == nil {
+		return true, nil
+	}
+	if err := handler(d, rule); err != nil {
+		m.mu.Lock()
+		m.stats.Failures++
+		m.mu.Unlock()
+		m.log.Emit(m.clock(), trace.KindInfo, name, "adaptation failed: %v", err)
+		return true, fmt.Errorf("session %s: handling %s: %w", name, d, err)
+	}
+	m.mu.Lock()
+	m.stats.Actions++
+	m.lastAction = m.clock()
+	if d.Kind == constraint.DecisionSelect || d.Kind == constraint.DecisionSwitch {
+		t := d.Target
+		m.current = &t
+	}
+	m.mu.Unlock()
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// ModeController: architectural modes driven by the ADL model.
+
+// ModeController owns an ADL model with `when` modes and applies
+// mode switches to a live assembly through the Adaptivity Manager —
+// the Figure 5 docked→wireless machinery.
+type ModeController struct {
+	mu      sync.Mutex
+	model   *adl.Model
+	am      *adapt.Manager
+	factory adapt.Factory
+	mode    string
+	log     *trace.Log
+	clock   func() float64
+}
+
+// NewModeController builds a controller currently in `mode`.
+func NewModeController(model *adl.Model, am *adapt.Manager, factory adapt.Factory,
+	mode string, log *trace.Log, clock func() float64) *ModeController {
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	if log == nil {
+		log = trace.New()
+	}
+	return &ModeController{model: model, am: am, factory: factory, mode: mode, log: log, clock: clock}
+}
+
+// Mode returns the current mode.
+func (mc *ModeController) Mode() string {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.mode
+}
+
+// SwitchTo diffs the current mode against the target and applies the
+// plan transactionally. On failure the mode is unchanged (the
+// Adaptivity Manager rolled the assembly back).
+func (mc *ModeController) SwitchTo(mode string) error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mode == mc.mode {
+		return nil
+	}
+	plan, err := mc.model.Diff(mc.mode, mode)
+	if err != nil {
+		return fmt.Errorf("session: mode switch %s->%s: %w", mc.mode, mode, err)
+	}
+	if err := mc.am.Apply(plan, mc.factory); err != nil {
+		return fmt.Errorf("session: mode switch %s->%s: %w", mc.mode, mode, err)
+	}
+	mc.log.Emit(mc.clock(), trace.KindInfo, "mode-controller", "now in mode %q", mode)
+	mc.mode = mode
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package simnet is a discrete-event network simulator: named nodes
+// joined by links with bandwidth, latency and loss, supporting
+// run-time link replacement (docked Ethernet → wireless) and feeding
+// bandwidth monitors. It substitutes for the paper's physical ubicomp
+// testbed; the adaptation scenarios only consume link properties and
+// connectivity events, which this model exposes through the same
+// monitor interfaces a real deployment would.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/adm-project/adm/internal/monitor"
+)
+
+// Clock is the discrete-event simulation clock shared by the whole
+// stack: devices, streams, servers and managers schedule callbacks on
+// it and the experiment driver pumps it.
+type Clock struct {
+	mu    sync.Mutex
+	now   float64
+	queue eventQueue
+	seq   int
+}
+
+type event struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NewClock returns a clock at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns current simulation time in milliseconds.
+func (c *Clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Schedule runs fn at now+delayMS (clamped to now for negative delays).
+func (c *Clock) Schedule(delayMS float64, fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if delayMS < 0 {
+		delayMS = 0
+	}
+	heap.Push(&c.queue, &event{at: c.now + delayMS, seq: c.seq, fn: fn})
+	c.seq++
+}
+
+// Step executes the next event; returns false when the queue is empty.
+func (c *Clock) Step() bool {
+	c.mu.Lock()
+	if c.queue.Len() == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	e := heap.Pop(&c.queue).(*event)
+	c.now = e.at
+	c.mu.Unlock()
+	e.fn()
+	return true
+}
+
+// RunUntil pumps events until the queue is empty or time exceeds
+// tMS; returns the number of events executed.
+func (c *Clock) RunUntil(tMS float64) int {
+	n := 0
+	for {
+		c.mu.Lock()
+		if c.queue.Len() == 0 || c.queue[0].at > tMS {
+			if c.now < tMS {
+				c.now = tMS
+			}
+			c.mu.Unlock()
+			return n
+		}
+		e := heap.Pop(&c.queue).(*event)
+		c.now = e.at
+		c.mu.Unlock()
+		e.fn()
+		n++
+	}
+}
+
+// Run pumps until the queue is empty; returns events executed.
+func (c *Clock) Run() int {
+	n := 0
+	for c.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queue.Len()
+}
+
+// ---------------------------------------------------------------------------
+// Links and the network.
+
+// LinkProfile describes one link's service characteristics.
+type LinkProfile struct {
+	Name      string
+	Kbps      float64 // bandwidth
+	LatencyMS float64 // one-way propagation delay
+	LossProb  float64 // per-message loss probability
+}
+
+// Standard profiles for the paper's scenarios.
+var (
+	// Ethernet is the docked profile: fast, reliable.
+	Ethernet = LinkProfile{Name: "ethernet", Kbps: 10000, LatencyMS: 1, LossProb: 0}
+	// Wireless is the undocked profile: slow, lossy, higher latency.
+	Wireless = LinkProfile{Name: "wireless", Kbps: 500, LatencyMS: 20, LossProb: 0.01}
+	// WirelessPoor models the degraded band of Table 2 row 595.
+	WirelessPoor = LinkProfile{Name: "wireless-poor", Kbps: 64, LatencyMS: 60, LossProb: 0.05}
+	// Down is a severed link.
+	Down = LinkProfile{Name: "down", Kbps: 0, LatencyMS: 0, LossProb: 1}
+)
+
+// TransferMS returns the time to move `bytes` across the profile
+// (latency + serialisation), or +Inf when the link is down.
+func (p LinkProfile) TransferMS(bytes int) float64 {
+	if p.Kbps <= 0 {
+		return inf
+	}
+	bits := float64(bytes) * 8
+	return p.LatencyMS + bits/p.Kbps // bits / (Kbits/s) = ms
+}
+
+const inf = 1e18
+
+// Message is a delivered payload.
+type Message struct {
+	From, To  string
+	Payload   any
+	Bytes     int
+	SentAt    float64
+	ArrivedAt float64
+}
+
+// Errors returned by the network.
+var (
+	ErrNoLink   = errors.New("simnet: no link")
+	ErrLinkDown = errors.New("simnet: link down")
+	ErrNoNode   = errors.New("simnet: unknown node")
+)
+
+type linkKey struct{ a, b string }
+
+func keyFor(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Network is the simulated network fabric.
+type Network struct {
+	mu    sync.Mutex
+	clock *Clock
+	nodes map[string]bool
+	links map[linkKey]LinkProfile
+	reg   *monitor.Registry
+	rng   *rand.Rand
+	sent  int
+	lost  int
+	bytes int64
+	inbox map[string]func(Message)
+}
+
+// New creates a network on the given clock, publishing bandwidth
+// samples into reg (may be nil). Seed fixes the loss RNG so runs are
+// reproducible.
+func New(clock *Clock, reg *monitor.Registry, seed int64) *Network {
+	return &Network{
+		clock: clock,
+		nodes: make(map[string]bool),
+		links: make(map[linkKey]LinkProfile),
+		reg:   reg,
+		rng:   rand.New(rand.NewSource(seed)),
+		inbox: make(map[string]func(Message)),
+	}
+}
+
+// Clock returns the network's clock.
+func (n *Network) Clock() *Clock { return n.clock }
+
+// AddNode registers a node.
+func (n *Network) AddNode(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[name] = true
+}
+
+// Nodes lists registered nodes, sorted.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for k := range n.nodes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetLink installs or replaces the (bidirectional) link a—b. This is
+// the undocking event of Scenario 2: replacing Ethernet with Wireless
+// at run time. The new profile is published to the monitor registry.
+func (n *Network) SetLink(a, b string, p LinkProfile) error {
+	n.mu.Lock()
+	if !n.nodes[a] || !n.nodes[b] {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s—%s", ErrNoNode, a, b)
+	}
+	n.links[keyFor(a, b)] = p
+	reg := n.reg
+	now := n.clock.Now()
+	n.mu.Unlock()
+	if reg != nil {
+		reg.Publish(monitor.Sample{
+			Key:    monitor.Key{Metric: monitor.MetricBandwidth, Source: linkName(a, b)},
+			Value:  p.Kbps,
+			TimeMS: now,
+		})
+		reg.Publish(monitor.Sample{
+			Key:    monitor.Key{Metric: monitor.MetricLatency, Source: linkName(a, b)},
+			Value:  p.LatencyMS,
+			TimeMS: now,
+		})
+	}
+	return nil
+}
+
+func linkName(a, b string) string {
+	k := keyFor(a, b)
+	return k.a + "-" + k.b
+}
+
+// LinkName returns the canonical monitor source for the a—b link.
+func LinkName(a, b string) string { return linkName(a, b) }
+
+// Link returns the profile of the a—b link.
+func (n *Network) Link(a, b string) (LinkProfile, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.links[keyFor(a, b)]
+	return p, ok
+}
+
+// OnReceive installs the delivery callback for a node.
+func (n *Network) OnReceive(node string, fn func(Message)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inbox[node] = fn
+}
+
+// Send schedules delivery of a payload; returns the expected arrival
+// time, or an error when no usable link exists. Lost messages consume
+// time but never arrive (the sender learns nothing — timeouts are the
+// receiver-side protocol's business).
+func (n *Network) Send(from, to string, bytes int, payload any) (float64, error) {
+	n.mu.Lock()
+	p, ok := n.links[keyFor(from, to)]
+	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s—%s", ErrNoLink, from, to)
+	}
+	if p.Kbps <= 0 {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s—%s", ErrLinkDown, from, to)
+	}
+	n.sent++
+	n.bytes += int64(bytes)
+	lost := p.LossProb > 0 && n.rng.Float64() < p.LossProb
+	if lost {
+		n.lost++
+	}
+	fn := n.inbox[to]
+	now := n.clock.Now()
+	n.mu.Unlock()
+
+	dt := p.TransferMS(bytes)
+	arrival := now + dt
+	if !lost && fn != nil {
+		msg := Message{From: from, To: to, Payload: payload, Bytes: bytes, SentAt: now, ArrivedAt: arrival}
+		n.clock.Schedule(dt, func() { fn(msg) })
+	}
+	return arrival, nil
+}
+
+// Partition severs the a—b link (SetLink with the Down profile): a
+// network partition event. Heal restores it.
+func (n *Network) Partition(a, b string) error { return n.SetLink(a, b, Down) }
+
+// Heal restores a partitioned link with the given profile.
+func (n *Network) Heal(a, b string, p LinkProfile) error { return n.SetLink(a, b, p) }
+
+// Stats reports traffic counters: messages sent, messages lost, and
+// total payload bytes offered.
+func (n *Network) Stats() (sent, lost int, bytes int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.lost, n.bytes
+}

@@ -1,0 +1,291 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/adm-project/adm/internal/monitor"
+)
+
+func TestClockOrdering(t *testing.T) {
+	c := NewClock()
+	var got []int
+	c.Schedule(30, func() { got = append(got, 3) })
+	c.Schedule(10, func() { got = append(got, 1) })
+	c.Schedule(20, func() { got = append(got, 2) })
+	if n := c.Run(); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("order = %v", got)
+	}
+	if c.Now() != 30 {
+		t.Fatalf("now = %v", c.Now())
+	}
+}
+
+func TestClockFIFOAtSameTime(t *testing.T) {
+	c := NewClock()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(5, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestClockRunUntil(t *testing.T) {
+	c := NewClock()
+	ran := 0
+	c.Schedule(10, func() { ran++ })
+	c.Schedule(50, func() { ran++ })
+	n := c.RunUntil(30)
+	if n != 1 || ran != 1 {
+		t.Fatalf("n=%d ran=%d", n, ran)
+	}
+	if c.Now() != 30 {
+		t.Fatalf("now = %v, want 30 (advances to horizon)", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+	c.RunUntil(100)
+	if ran != 2 {
+		t.Fatal("second event never ran")
+	}
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	c := NewClock()
+	var times []float64
+	c.Schedule(10, func() {
+		times = append(times, c.Now())
+		c.Schedule(5, func() { times = append(times, c.Now()) })
+	})
+	c.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestClockNegativeDelayClamped(t *testing.T) {
+	c := NewClock()
+	c.Schedule(10, func() {})
+	c.Run()
+	fired := false
+	c.Schedule(-5, func() { fired = true })
+	c.Run()
+	if !fired || c.Now() != 10 {
+		t.Fatalf("fired=%v now=%v", fired, c.Now())
+	}
+}
+
+func TestTransferMS(t *testing.T) {
+	// 1000 bytes over Ethernet: 1ms latency + 8000 bits / 10000 Kbps = 1.8ms.
+	if got := Ethernet.TransferMS(1000); math.Abs(got-1.8) > 1e-9 {
+		t.Fatalf("ethernet transfer = %v", got)
+	}
+	// Same payload over Wireless: 20 + 8000/500 = 36ms.
+	if got := Wireless.TransferMS(1000); math.Abs(got-36) > 1e-9 {
+		t.Fatalf("wireless transfer = %v", got)
+	}
+	if got := Down.TransferMS(1); got < 1e17 {
+		t.Fatalf("down link transfer = %v, want +inf-ish", got)
+	}
+}
+
+func newNet(seed int64) (*Network, *Clock) {
+	c := NewClock()
+	n := New(c, nil, seed)
+	n.AddNode("a")
+	n.AddNode("b")
+	_ = n.SetLink("a", "b", Ethernet)
+	return n, c
+}
+
+func TestSendDelivers(t *testing.T) {
+	n, c := newNet(1)
+	var got []Message
+	n.OnReceive("b", func(m Message) { got = append(got, m) })
+	at, err := n.Send("a", "b", 1000, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at-1.8) > 1e-9 {
+		t.Fatalf("arrival = %v", at)
+	}
+	c.Run()
+	if len(got) != 1 || got[0].Payload != "hello" || got[0].ArrivedAt != at {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	n, _ := newNet(1)
+	n.AddNode("c")
+	if _, err := n.Send("a", "c", 1, nil); !errors.Is(err, ErrNoLink) {
+		t.Fatalf("want ErrNoLink, got %v", err)
+	}
+	_ = n.SetLink("a", "b", Down)
+	if _, err := n.Send("a", "b", 1, nil); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("want ErrLinkDown, got %v", err)
+	}
+	if err := n.SetLink("a", "zzz", Ethernet); !errors.Is(err, ErrNoNode) {
+		t.Fatalf("want ErrNoNode, got %v", err)
+	}
+}
+
+func TestLinkIsBidirectional(t *testing.T) {
+	n, c := newNet(1)
+	delivered := false
+	n.OnReceive("a", func(Message) { delivered = true })
+	if _, err := n.Send("b", "a", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !delivered {
+		t.Fatal("reverse direction failed")
+	}
+}
+
+func TestLinkReplacementMidRun(t *testing.T) {
+	n, c := newNet(1)
+	var arrivals []float64
+	n.OnReceive("b", func(m Message) { arrivals = append(arrivals, m.ArrivedAt) })
+	_, _ = n.Send("a", "b", 1000, 1)
+	c.Run()
+	// Undock: replace with wireless; same payload now takes 36ms.
+	_ = n.SetLink("a", "b", LinkProfile{Name: "w", Kbps: 500, LatencyMS: 20})
+	start := c.Now()
+	_, _ = n.Send("a", "b", 1000, 2)
+	c.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	if math.Abs((arrivals[1]-start)-36) > 1e-9 {
+		t.Fatalf("post-switch transfer = %v", arrivals[1]-start)
+	}
+}
+
+func TestLossIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) int {
+		c := NewClock()
+		n := New(c, nil, seed)
+		n.AddNode("a")
+		n.AddNode("b")
+		_ = n.SetLink("a", "b", LinkProfile{Kbps: 100, LatencyMS: 1, LossProb: 0.5})
+		for i := 0; i < 100; i++ {
+			_, _ = n.Send("a", "b", 10, i)
+		}
+		_, lost, _ := n.Stats()
+		return lost
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed must lose the same messages")
+	}
+	if run(7) == 0 {
+		t.Fatal("50% loss lost nothing in 100 sends")
+	}
+}
+
+func TestLostMessagesNotDelivered(t *testing.T) {
+	c := NewClock()
+	n := New(c, nil, 3)
+	n.AddNode("a")
+	n.AddNode("b")
+	_ = n.SetLink("a", "b", LinkProfile{Kbps: 100, LatencyMS: 1, LossProb: 1})
+	got := 0
+	n.OnReceive("b", func(Message) { got++ })
+	for i := 0; i < 10; i++ {
+		_, _ = n.Send("a", "b", 10, nil)
+	}
+	c.Run()
+	sent, lost, _ := n.Stats()
+	if got != 0 || sent != 10 || lost != 10 {
+		t.Fatalf("got=%d sent=%d lost=%d", got, sent, lost)
+	}
+}
+
+func TestSetLinkPublishesBandwidth(t *testing.T) {
+	c := NewClock()
+	reg := monitor.NewRegistry()
+	n := New(c, reg, 1)
+	n.AddNode("Laptop")
+	n.AddNode("sensor")
+	_ = n.SetLink("sensor", "Laptop", Wireless)
+	bw, ok := reg.Metric(monitor.MetricBandwidth, LinkName("sensor", "Laptop"))
+	if !ok || bw != 500 {
+		t.Fatalf("bandwidth sample = %v %v", bw, ok)
+	}
+	// Link name is order-independent.
+	if LinkName("Laptop", "sensor") != LinkName("sensor", "Laptop") {
+		t.Fatal("link name not canonical")
+	}
+}
+
+// Property: transfer time is monotone in payload size and never below
+// latency.
+func TestTransferMonotoneProperty(t *testing.T) {
+	f := func(b1, b2 uint16, kbpsRaw, latRaw uint8) bool {
+		p := LinkProfile{Kbps: 1 + float64(kbpsRaw), LatencyMS: float64(latRaw)}
+		t1, t2 := p.TransferMS(int(b1)), p.TransferMS(int(b2))
+		if b1 <= b2 && t1 > t2 {
+			return false
+		}
+		return t1 >= p.LatencyMS && t2 >= p.LatencyMS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never runs events out of time order.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := NewClock()
+		var seen []float64
+		for _, d := range delays {
+			c.Schedule(float64(d), func() { seen = append(seen, c.Now()) })
+		}
+		c.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n, c := newNet(1)
+	if err := n.Partition("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send("a", "b", 10, nil); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send across partition: %v", err)
+	}
+	delivered := false
+	n.OnReceive("b", func(Message) { delivered = true })
+	if err := n.Heal("a", "b", Ethernet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send("a", "b", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	if !delivered {
+		t.Fatal("healed link did not deliver")
+	}
+}

@@ -1,0 +1,313 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageID identifies a page within a store.
+type PageID uint32
+
+// Store is the backing page repository (the simulated "disk"). Reads
+// and writes are counted so experiments can price I/O; in this
+// main-memory substrate the cost is purely statistical.
+type Store struct {
+	mu     sync.Mutex
+	pages  map[PageID]*Page
+	next   PageID
+	reads  uint64
+	writes uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{pages: map[PageID]*Page{}} }
+
+// Allocate creates a fresh page and returns its id.
+func (s *Store) Allocate() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.next
+	s.next++
+	s.pages[id] = NewPage()
+	return id
+}
+
+// ErrNoPage is returned for an unknown page id.
+var ErrNoPage = errors.New("storage: no such page")
+
+func (s *Store) read(id PageID) (*Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoPage, id)
+	}
+	s.reads++
+	return p, nil
+}
+
+// Stats returns cumulative (reads, writes).
+func (s *Store) Stats() (reads, writes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}
+
+// PageCount returns the number of allocated pages.
+func (s *Store) PageCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// ---------------------------------------------------------------------------
+// Replacement policies — the paper's fine-grain claim in miniature:
+// the policy is a swappable component behind a small interface.
+
+// Policy chooses eviction victims. Implementations are not
+// concurrency-safe; the buffer manager serialises access.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Touched notes a hit/admission of id.
+	Touched(id PageID)
+	// Admitted notes id entering the pool.
+	Admitted(id PageID)
+	// Evicted notes id leaving the pool.
+	Evicted(id PageID)
+	// Victim picks an evictable page from candidates (non-pinned);
+	// candidates is non-empty.
+	Victim(candidates []PageID) PageID
+}
+
+// LRUPolicy evicts the least recently used page.
+type LRUPolicy struct {
+	stamp map[PageID]uint64
+	tick  uint64
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRUPolicy { return &LRUPolicy{stamp: map[PageID]uint64{}} }
+
+// Name implements Policy.
+func (p *LRUPolicy) Name() string { return "lru" }
+
+// Touched implements Policy.
+func (p *LRUPolicy) Touched(id PageID) { p.tick++; p.stamp[id] = p.tick }
+
+// Admitted implements Policy.
+func (p *LRUPolicy) Admitted(id PageID) { p.Touched(id) }
+
+// Evicted implements Policy.
+func (p *LRUPolicy) Evicted(id PageID) { delete(p.stamp, id) }
+
+// Victim implements Policy.
+func (p *LRUPolicy) Victim(candidates []PageID) PageID {
+	best := candidates[0]
+	bestStamp := p.stamp[best]
+	for _, c := range candidates[1:] {
+		if s := p.stamp[c]; s < bestStamp {
+			best, bestStamp = c, s
+		}
+	}
+	return best
+}
+
+// ClockPolicy is the classic second-chance clock.
+type ClockPolicy struct {
+	ref  map[PageID]bool
+	ring []PageID
+	hand int
+}
+
+// NewClock returns a clock policy.
+func NewClock() *ClockPolicy { return &ClockPolicy{ref: map[PageID]bool{}} }
+
+// Name implements Policy.
+func (p *ClockPolicy) Name() string { return "clock" }
+
+// Touched implements Policy.
+func (p *ClockPolicy) Touched(id PageID) { p.ref[id] = true }
+
+// Admitted implements Policy.
+func (p *ClockPolicy) Admitted(id PageID) {
+	p.ref[id] = true
+	p.ring = append(p.ring, id)
+}
+
+// Evicted implements Policy.
+func (p *ClockPolicy) Evicted(id PageID) {
+	delete(p.ref, id)
+	for i, r := range p.ring {
+		if r == id {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			break
+		}
+	}
+	if len(p.ring) > 0 {
+		p.hand %= len(p.ring)
+	} else {
+		p.hand = 0
+	}
+}
+
+// Victim implements Policy.
+func (p *ClockPolicy) Victim(candidates []PageID) PageID {
+	cand := map[PageID]bool{}
+	for _, c := range candidates {
+		cand[c] = true
+	}
+	for sweep := 0; sweep < 2*len(p.ring)+1; sweep++ {
+		if len(p.ring) == 0 {
+			break
+		}
+		id := p.ring[p.hand]
+		p.hand = (p.hand + 1) % len(p.ring)
+		if !cand[id] {
+			continue
+		}
+		if p.ref[id] {
+			p.ref[id] = false
+			continue
+		}
+		return id
+	}
+	return candidates[0]
+}
+
+// ---------------------------------------------------------------------------
+// Buffer manager.
+
+// ErrAllPinned is returned when the pool has no evictable frame.
+var ErrAllPinned = errors.New("storage: all frames pinned")
+
+// BufferStats reports pool effectiveness.
+type BufferStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (s BufferStats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// BufferManager caches pages over a store with a bounded frame pool
+// and a pluggable replacement policy. GetPage is the paper's exemplar
+// fine-grained operation.
+type BufferManager struct {
+	mu     sync.Mutex
+	store  *Store
+	frames map[PageID]*frame
+	cap    int
+	policy Policy
+	stats  BufferStats
+}
+
+type frame struct {
+	page *Page
+	pins int
+}
+
+// NewBufferManager builds a pool of `capacity` frames over store.
+func NewBufferManager(store *Store, capacity int, policy Policy) *BufferManager {
+	if capacity < 1 {
+		capacity = 64
+	}
+	if policy == nil {
+		policy = NewLRU()
+	}
+	return &BufferManager{store: store, frames: map[PageID]*frame{}, cap: capacity, policy: policy}
+}
+
+// Policy returns the current replacement policy name.
+func (b *BufferManager) Policy() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.policy.Name()
+}
+
+// SwapPolicy replaces the replacement policy at run time — the
+// buffer-manager component being rebound without flushing the pool.
+func (b *BufferManager) SwapPolicy(p Policy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id := range b.frames {
+		p.Admitted(id)
+	}
+	b.policy = p
+}
+
+// GetPage pins and returns a page, faulting it in if needed.
+func (b *BufferManager) GetPage(id PageID) (*Page, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[id]; ok {
+		f.pins++
+		b.stats.Hits++
+		b.policy.Touched(id)
+		return f.page, nil
+	}
+	b.stats.Misses++
+	if len(b.frames) >= b.cap {
+		if err := b.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	p, err := b.store.read(id)
+	if err != nil {
+		return nil, err
+	}
+	b.frames[id] = &frame{page: p, pins: 1}
+	b.policy.Admitted(id)
+	return p, nil
+}
+
+func (b *BufferManager) evictLocked() error {
+	var cands []PageID
+	for id, f := range b.frames {
+		if f.pins == 0 {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return ErrAllPinned
+	}
+	victim := b.policy.Victim(cands)
+	delete(b.frames, victim)
+	b.policy.Evicted(victim)
+	b.stats.Evictions++
+	return nil
+}
+
+// Unpin releases a pin taken by GetPage.
+func (b *BufferManager) Unpin(id PageID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[id]; ok && f.pins > 0 {
+		f.pins--
+	}
+}
+
+// Resident returns the number of cached pages.
+func (b *BufferManager) Resident() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}
+
+// Stats returns pool statistics.
+func (b *BufferManager) Stats() BufferStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RID is a record identifier: page + slot. RIDs are stable across
+// deletes and compaction.
+type RID struct {
+	Page PageID
+	Slot int
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// ErrNotFound is returned for missing records.
+var ErrNotFound = errors.New("storage: record not found")
+
+// HeapFile is an unordered record file over the buffer manager.
+type HeapFile struct {
+	mu    sync.Mutex
+	name  string
+	bm    *BufferManager
+	store *Store
+	pages []PageID
+	live  int
+}
+
+// NewHeapFile creates an empty heap file.
+func NewHeapFile(name string, store *Store, bm *BufferManager) *HeapFile {
+	return &HeapFile{name: name, bm: bm, store: store}
+}
+
+// Name returns the file name.
+func (h *HeapFile) Name() string { return h.name }
+
+// Count returns the number of live records.
+func (h *HeapFile) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.live
+}
+
+// Pages returns the number of pages in the file.
+func (h *HeapFile) Pages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pages)
+}
+
+// Insert appends a tuple and returns its RID.
+func (h *HeapFile) Insert(t Tuple) (RID, error) {
+	rec := EncodeTuple(t)
+	if len(rec) > PageSize-pageHeaderSize-2*slotSize {
+		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Try the last page first (append locality).
+	if n := len(h.pages); n > 0 {
+		id := h.pages[n-1]
+		p, err := h.bm.GetPage(id)
+		if err != nil {
+			return RID{}, err
+		}
+		slot, err := p.Insert(rec)
+		h.bm.Unpin(id)
+		if err == nil {
+			h.live++
+			return RID{Page: id, Slot: slot}, nil
+		}
+		if !errors.Is(err, ErrPageFull) {
+			return RID{}, err
+		}
+	}
+	id := h.store.Allocate()
+	h.pages = append(h.pages, id)
+	p, err := h.bm.GetPage(id)
+	if err != nil {
+		return RID{}, err
+	}
+	defer h.bm.Unpin(id)
+	slot, err := p.Insert(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	h.live++
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// Get fetches the tuple at rid.
+func (h *HeapFile) Get(rid RID) (Tuple, error) {
+	p, err := h.bm.GetPage(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bm.Unpin(rid.Page)
+	rec, err := p.Get(rid.Slot)
+	if err != nil {
+		if errors.Is(err, ErrSlotDeleted) || errors.Is(err, ErrBadSlot) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, rid)
+		}
+		return nil, err
+	}
+	return DecodeTuple(rec)
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	p, err := h.bm.GetPage(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.bm.Unpin(rid.Page)
+	if err := p.Delete(rid.Slot); err != nil {
+		if errors.Is(err, ErrSlotDeleted) || errors.Is(err, ErrBadSlot) {
+			return fmt.Errorf("%w: %s", ErrNotFound, rid)
+		}
+		return err
+	}
+	h.mu.Lock()
+	h.live--
+	h.mu.Unlock()
+	return nil
+}
+
+// Update rewrites the record at rid in place when it fits; otherwise
+// the record moves within its page (RID slot may change) or, if the
+// page cannot hold it, is deleted and re-inserted elsewhere. The
+// record's current RID is returned.
+func (h *HeapFile) Update(rid RID, t Tuple) (RID, error) {
+	rec := EncodeTuple(t)
+	p, err := h.bm.GetPage(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	slot, err := p.Update(rid.Slot, rec)
+	h.bm.Unpin(rid.Page)
+	if err == nil {
+		return RID{Page: rid.Page, Slot: slot}, nil
+	}
+	if errors.Is(err, ErrSlotDeleted) || errors.Is(err, ErrBadSlot) {
+		return RID{}, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	if !errors.Is(err, ErrPageFull) {
+		return RID{}, err
+	}
+	// Record no longer fits its page: move it.
+	if err := h.Delete(rid); err != nil {
+		return RID{}, err
+	}
+	return h.Insert(t)
+}
+
+// Scan calls fn for every live record in file order; returning false
+// stops the scan early.
+func (h *HeapFile) Scan(fn func(rid RID, t Tuple) bool) error {
+	h.mu.Lock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.Unlock()
+	for _, id := range pages {
+		p, err := h.bm.GetPage(id)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < p.Slots(); s++ {
+			if !p.Live(s) {
+				continue
+			}
+			rec, err := p.Get(s)
+			if err != nil {
+				h.bm.Unpin(id)
+				return err
+			}
+			t, err := DecodeTuple(rec)
+			if err != nil {
+				h.bm.Unpin(id)
+				return err
+			}
+			if !fn(RID{Page: id, Slot: s}, t) {
+				h.bm.Unpin(id)
+				return nil
+			}
+		}
+		h.bm.Unpin(id)
+	}
+	return nil
+}
+
+// All collects every live tuple (test/bench convenience).
+func (h *HeapFile) All() ([]Tuple, error) {
+	var out []Tuple
+	err := h.Scan(func(_ RID, t Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out, err
+}
+
+// Vacuum compacts every page in the file.
+func (h *HeapFile) Vacuum() error {
+	h.mu.Lock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.Unlock()
+	for _, id := range pages {
+		p, err := h.bm.GetPage(id)
+		if err != nil {
+			return err
+		}
+		p.Compact()
+		h.bm.Unpin(id)
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed page size (IA32 page granule; also what the
+// §5.1 memory comparison uses as the page-protection unit).
+const PageSize = 4096
+
+// pageHeaderSize: u16 slot count + u16 free-space offset.
+const pageHeaderSize = 4
+
+// slotSize: u16 offset + u16 length per slot.
+const slotSize = 4
+
+// Errors returned by page operations.
+var (
+	ErrPageFull    = errors.New("storage: page full")
+	ErrBadSlot     = errors.New("storage: bad slot")
+	ErrSlotDeleted = errors.New("storage: slot deleted")
+)
+
+// Page is a slotted data page: records grow down from the end, the
+// slot directory grows up after the header. Deleted slots keep their
+// directory entry (length 0) so RIDs stay stable.
+type Page struct {
+	buf [PageSize]byte
+}
+
+// NewPage returns an initialised empty page.
+func NewPage() *Page {
+	p := &Page{}
+	p.setSlotCount(0)
+	p.setFreeEnd(PageSize)
+	return p
+}
+
+func (p *Page) slotCount() int     { return int(binary.BigEndian.Uint16(p.buf[0:2])) }
+func (p *Page) setSlotCount(n int) { binary.BigEndian.PutUint16(p.buf[0:2], uint16(n)) }
+func (p *Page) freeEnd() int       { return int(binary.BigEndian.Uint16(p.buf[2:4])) }
+func (p *Page) setFreeEnd(off int) { binary.BigEndian.PutUint16(p.buf[2:4], uint16(off)) }
+
+func (p *Page) slotAt(i int) (off, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.BigEndian.Uint16(p.buf[base : base+2])),
+		int(binary.BigEndian.Uint16(p.buf[base+2 : base+4]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.BigEndian.PutUint16(p.buf[base:base+2], uint16(off))
+	binary.BigEndian.PutUint16(p.buf[base+2:base+4], uint16(length))
+}
+
+func (p *Page) freeEndActual() int { return p.freeEnd() }
+
+// FreeSpace returns the bytes available for one more record + slot.
+func (p *Page) FreeSpace() int {
+	used := pageHeaderSize + p.slotCount()*slotSize
+	free := p.freeEndActual() - used - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Slots returns the number of directory entries (live + deleted).
+func (p *Page) Slots() int { return p.slotCount() }
+
+// Insert stores a record and returns its slot number.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > p.FreeSpace() {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrPageFull, len(rec), p.FreeSpace())
+	}
+	n := p.slotCount()
+	newEnd := p.freeEndActual() - len(rec)
+	copy(p.buf[newEnd:], rec)
+	p.setSlot(n, newEnd, len(rec))
+	p.setSlotCount(n + 1)
+	p.setFreeEnd(newEnd)
+	return n, nil
+}
+
+// Get returns the record in a slot. The returned slice aliases the
+// page; callers that keep it must copy.
+func (p *Page) Get(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.slotCount() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, p.slotCount())
+	}
+	off, length := p.slotAt(slot)
+	if length == 0 {
+		return nil, fmt.Errorf("%w: %d", ErrSlotDeleted, slot)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Delete tombstones a slot (directory entry kept, space reclaimable
+// by Compact).
+func (p *Page) Delete(slot int) error {
+	if slot < 0 || slot >= p.slotCount() {
+		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	if _, length := p.slotAt(slot); length == 0 {
+		return fmt.Errorf("%w: %d", ErrSlotDeleted, slot)
+	}
+	off, _ := p.slotAt(slot)
+	p.setSlot(slot, off, 0)
+	return nil
+}
+
+// Update rewrites a slot in place when the new record fits the old
+// space, otherwise deletes and reinserts (same-page only; returns the
+// possibly-new slot).
+func (p *Page) Update(slot int, rec []byte) (int, error) {
+	if slot < 0 || slot >= p.slotCount() {
+		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	off, length := p.slotAt(slot)
+	if length == 0 {
+		return 0, fmt.Errorf("%w: %d", ErrSlotDeleted, slot)
+	}
+	if len(rec) <= length {
+		copy(p.buf[off:], rec)
+		p.setSlot(slot, off, len(rec))
+		return slot, nil
+	}
+	if err := p.Delete(slot); err != nil {
+		return 0, err
+	}
+	return p.Insert(rec)
+}
+
+// Live reports whether the slot holds a record.
+func (p *Page) Live(slot int) bool {
+	if slot < 0 || slot >= p.slotCount() {
+		return false
+	}
+	_, length := p.slotAt(slot)
+	return length > 0
+}
+
+// Compact rewrites the page dropping tombstoned space; slot numbers
+// of live records are preserved (tombstones stay as zero-length
+// entries so RIDs never dangle).
+func (p *Page) Compact() {
+	type rec struct {
+		slot int
+		data []byte
+	}
+	var live []rec
+	for i := 0; i < p.slotCount(); i++ {
+		if p.Live(i) {
+			b, _ := p.Get(i)
+			live = append(live, rec{i, append([]byte(nil), b...)})
+		}
+	}
+	n := p.slotCount()
+	end := PageSize
+	for i := 0; i < n; i++ {
+		off, _ := p.slotAt(i)
+		p.setSlot(i, off, 0)
+	}
+	for _, r := range live {
+		end -= len(r.data)
+		copy(p.buf[end:], r.data)
+		p.setSlot(r.slot, end, len(r.data))
+	}
+	p.setFreeEnd(end)
+	p.setSlotCount(n)
+}
+
+// LiveBytes returns the total bytes of live records.
+func (p *Page) LiveBytes() int {
+	n := 0
+	for i := 0; i < p.slotCount(); i++ {
+		if p.Live(i) {
+			_, l := p.slotAt(i)
+			n += l
+		}
+	}
+	return n
+}

@@ -1,0 +1,636 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --------------------------------------------------------------------------
+// Record codec.
+
+func TestTupleRoundTrip(t *testing.T) {
+	tu := Tuple{
+		IntValue(-42), FloatValue(3.14), StringValue("hello, 世界"),
+		BoolValue(true), NullValue(), IntValue(1 << 40), StringValue(""),
+	}
+	back, err := DecodeTuple(EncodeTuple(tu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tu) {
+		t.Fatalf("len = %d", len(back))
+	}
+	for i := range tu {
+		if !Equal(back[i], tu[i]) || back[i].Kind != tu[i].Kind {
+			t.Errorf("field %d: %v vs %v", i, back[i], tu[i])
+		}
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{0, 2, byte(KindInt)},          // truncated varint
+		{0, 1, byte(KindFloat), 1, 2},  // short float
+		{0, 1, byte(KindString), 0, 0}, // short length
+		{0, 1, byte(KindString), 0, 0, 0, 9, 'a'}, // short body
+		{0, 1, 99}, // unknown kind
+		append(EncodeTuple(Tuple{IntValue(1)}), 0xFF), // trailing bytes
+	}
+	for i, b := range cases {
+		if _, err := DecodeTuple(b); !errors.Is(err, ErrCorruptRecord) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), FloatValue(1.5), 1},
+		{FloatValue(2), IntValue(2), 0},
+		{StringValue("a"), StringValue("b"), -1},
+		{NullValue(), IntValue(0), -1},
+		{NullValue(), NullValue(), 0},
+		{BoolValue(true), BoolValue(false), 1},
+		{StringValue("x"), IntValue(5), 1}, // kind-tag order: string > int
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if IntValue(1).String() != "1" || NullValue().String() != "NULL" ||
+		BoolValue(true).String() != "true" || FloatValue(2.5).String() != "2.5" ||
+		StringValue("s").String() != "s" {
+		t.Error("String renderings wrong")
+	}
+	if !NullValue().IsNull() || IntValue(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+}
+
+// Property: encode/decode is the identity on arbitrary tuples.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(ints []int64, strs []string, floats []float64) bool {
+		var tu Tuple
+		for _, v := range ints {
+			tu = append(tu, IntValue(v))
+		}
+		for _, s := range strs {
+			tu = append(tu, StringValue(s))
+		}
+		for _, fl := range floats {
+			tu = append(tu, FloatValue(fl))
+		}
+		back, err := DecodeTuple(EncodeTuple(tu))
+		if err != nil || len(back) != len(tu) {
+			return false
+		}
+		for i := range tu {
+			if back[i].Kind != tu[i].Kind {
+				return false
+			}
+			if tu[i].Kind == KindFloat {
+				// NaN != NaN under Compare; compare bits via String.
+				if fmt.Sprint(back[i].Float) != fmt.Sprint(tu[i].Float) {
+					return false
+				}
+			} else if !Equal(back[i], tu[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Pages.
+
+func TestPageInsertGetDelete(t *testing.T) {
+	p := NewPage()
+	s1, err := p.Insert([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := p.Insert([]byte("beta"))
+	if s1 == s2 {
+		t.Fatal("slot reuse")
+	}
+	b, err := p.Get(s1)
+	if err != nil || string(b) != "alpha" {
+		t.Fatalf("get = %q %v", b, err)
+	}
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s1); !errors.Is(err, ErrSlotDeleted) {
+		t.Fatalf("deleted get: %v", err)
+	}
+	if err := p.Delete(s1); !errors.Is(err, ErrSlotDeleted) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := p.Get(99); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("bad slot: %v", err)
+	}
+	// s2 unaffected.
+	if b, _ := p.Get(s2); string(b) != "beta" {
+		t.Fatal("neighbour damaged")
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := NewPage()
+	rec := make([]byte, 100)
+	inserted := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		inserted++
+	}
+	// 4096 bytes, ~104 bytes/record incl. slot: expect ~39.
+	if inserted < 35 || inserted > 41 {
+		t.Fatalf("inserted %d records of 100B", inserted)
+	}
+}
+
+func TestPageCompactPreservesSlots(t *testing.T) {
+	p := NewPage()
+	var slots []int
+	for i := 0; i < 10; i++ {
+		s, _ := p.Insert([]byte(fmt.Sprintf("rec-%d", i)))
+		slots = append(slots, s)
+	}
+	for i := 0; i < 10; i += 2 {
+		_ = p.Delete(slots[i])
+	}
+	liveBefore := p.LiveBytes()
+	freeBefore := p.FreeSpace()
+	p.Compact()
+	if p.LiveBytes() != liveBefore {
+		t.Fatal("compact lost bytes")
+	}
+	if p.FreeSpace() <= freeBefore {
+		t.Fatalf("compact did not reclaim: %d <= %d", p.FreeSpace(), freeBefore)
+	}
+	for i := 1; i < 10; i += 2 {
+		b, err := p.Get(slots[i])
+		if err != nil || string(b) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("slot %d after compact: %q %v", slots[i], b, err)
+		}
+	}
+	for i := 0; i < 10; i += 2 {
+		if p.Live(slots[i]) {
+			t.Fatal("tombstone resurrected")
+		}
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	p := NewPage()
+	s, _ := p.Insert([]byte("aaaa"))
+	ns, err := p.Update(s, []byte("bb"))
+	if err != nil || ns != s {
+		t.Fatalf("shrink update: %d %v", ns, err)
+	}
+	if b, _ := p.Get(s); string(b) != "bb" {
+		t.Fatalf("got %q", b)
+	}
+	ns, err = p.Update(s, []byte("cccccccccc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := p.Get(ns); string(b) != "cccccccccc" {
+		t.Fatalf("got %q", b)
+	}
+}
+
+// --------------------------------------------------------------------------
+// Buffer manager.
+
+func TestBufferHitMissEvict(t *testing.T) {
+	store := NewStore()
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, store.Allocate())
+	}
+	bm := NewBufferManager(store, 2, NewLRU())
+	for _, id := range ids[:2] {
+		if _, err := bm.GetPage(id); err != nil {
+			t.Fatal(err)
+		}
+		bm.Unpin(id)
+	}
+	if _, err := bm.GetPage(ids[0]); err != nil { // hit
+		t.Fatal(err)
+	}
+	bm.Unpin(ids[0])
+	if _, err := bm.GetPage(ids[2]); err != nil { // evicts ids[1] (LRU)
+		t.Fatal(err)
+	}
+	bm.Unpin(ids[2])
+	st := bm.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if bm.Resident() != 2 {
+		t.Fatalf("resident = %d", bm.Resident())
+	}
+	if st.HitRate() <= 0 || st.HitRate() >= 1 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestBufferAllPinned(t *testing.T) {
+	store := NewStore()
+	a, b, c := store.Allocate(), store.Allocate(), store.Allocate()
+	bm := NewBufferManager(store, 2, NewLRU())
+	_, _ = bm.GetPage(a) // pinned
+	_, _ = bm.GetPage(b) // pinned
+	if _, err := bm.GetPage(c); !errors.Is(err, ErrAllPinned) {
+		t.Fatalf("got %v", err)
+	}
+	bm.Unpin(a)
+	if _, err := bm.GetPage(c); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestBufferUnknownPage(t *testing.T) {
+	bm := NewBufferManager(NewStore(), 2, nil)
+	if _, err := bm.GetPage(99); !errors.Is(err, ErrNoPage) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestClockPolicySecondChance(t *testing.T) {
+	store := NewStore()
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, store.Allocate())
+	}
+	bm := NewBufferManager(store, 2, NewClock())
+	if bm.Policy() != "clock" {
+		t.Fatal("policy name")
+	}
+	_, _ = bm.GetPage(ids[0])
+	bm.Unpin(ids[0])
+	_, _ = bm.GetPage(ids[1])
+	bm.Unpin(ids[1])
+	// Touch ids[0] so it has its reference bit set.
+	_, _ = bm.GetPage(ids[0])
+	bm.Unpin(ids[0])
+	// Fault ids[2]: clock should spare recently-referenced ids[0]... the
+	// precise victim depends on hand position; assert pool correctness.
+	_, _ = bm.GetPage(ids[2])
+	bm.Unpin(ids[2])
+	if bm.Resident() != 2 {
+		t.Fatalf("resident = %d", bm.Resident())
+	}
+}
+
+func TestSwapPolicyMidFlight(t *testing.T) {
+	store := NewStore()
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, store.Allocate())
+	}
+	bm := NewBufferManager(store, 4, NewLRU())
+	for _, id := range ids[:4] {
+		_, _ = bm.GetPage(id)
+		bm.Unpin(id)
+	}
+	bm.SwapPolicy(NewClock())
+	if bm.Policy() != "clock" {
+		t.Fatal("swap failed")
+	}
+	// Pool keeps working (evictions under the new policy).
+	for _, id := range ids[4:] {
+		if _, err := bm.GetPage(id); err != nil {
+			t.Fatal(err)
+		}
+		bm.Unpin(id)
+	}
+	if bm.Resident() != 4 {
+		t.Fatalf("resident = %d", bm.Resident())
+	}
+}
+
+// --------------------------------------------------------------------------
+// Heap file.
+
+func newHeap(t *testing.T, frames int) *HeapFile {
+	t.Helper()
+	store := NewStore()
+	bm := NewBufferManager(store, frames, NewLRU())
+	return NewHeapFile("t", store, bm)
+}
+
+func TestHeapInsertGetDeleteUpdate(t *testing.T) {
+	h := newHeap(t, 16)
+	rid, err := h.Insert(Tuple{IntValue(1), StringValue("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := h.Get(rid)
+	if err != nil || tu[0].Int != 1 || tu[1].Str != "x" {
+		t.Fatalf("get = %v %v", tu, err)
+	}
+	nrid, err := h.Update(rid, Tuple{IntValue(2), StringValue("y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, _ = h.Get(nrid)
+	if tu[0].Int != 2 {
+		t.Fatalf("after update: %v", tu)
+	}
+	if err := h.Delete(nrid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(nrid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get deleted: %v", err)
+	}
+	if err := h.Delete(nrid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHeapSpansPages(t *testing.T) {
+	h := newHeap(t, 64)
+	long := StringValue(string(make([]byte, 500)))
+	for i := 0; i < 50; i++ {
+		if _, err := h.Insert(Tuple{IntValue(int64(i)), long}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Pages() < 2 {
+		t.Fatalf("pages = %d, want multi-page file", h.Pages())
+	}
+	all, err := h.All()
+	if err != nil || len(all) != 50 {
+		t.Fatalf("all = %d %v", len(all), err)
+	}
+	seen := map[int64]bool{}
+	for _, tu := range all {
+		seen[tu[0].Int] = true
+	}
+	if len(seen) != 50 {
+		t.Fatal("duplicates or losses in scan")
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	h := newHeap(t, 16)
+	for i := 0; i < 10; i++ {
+		_, _ = h.Insert(Tuple{IntValue(int64(i))})
+	}
+	n := 0
+	_ = h.Scan(func(RID, Tuple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("scanned %d", n)
+	}
+}
+
+func TestHeapOversizeRecord(t *testing.T) {
+	h := newHeap(t, 4)
+	if _, err := h.Insert(Tuple{StringValue(string(make([]byte, PageSize)))}); err == nil {
+		t.Fatal("oversize insert must fail")
+	}
+}
+
+func TestHeapVacuum(t *testing.T) {
+	h := newHeap(t, 16)
+	var rids []RID
+	for i := 0; i < 20; i++ {
+		rid, _ := h.Insert(Tuple{IntValue(int64(i)), StringValue("payload")})
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 20; i += 2 {
+		_ = h.Delete(rids[i])
+	}
+	if err := h.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 20; i += 2 {
+		tu, err := h.Get(rids[i])
+		if err != nil || tu[0].Int != int64(i) {
+			t.Fatalf("rid %v after vacuum: %v %v", rids[i], tu, err)
+		}
+	}
+}
+
+// Property: a heap file holds exactly the multiset of inserted-minus-
+// deleted tuples, under any interleaving.
+func TestHeapContentsProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		store := NewStore()
+		h := NewHeapFile("p", store, NewBufferManager(store, 32, NewLRU()))
+		want := map[int64]int{}
+		var live []RID
+		var liveKeys []int64
+		for i, op := range ops {
+			if op%3 != 0 || len(live) == 0 { // insert
+				k := int64(i)
+				rid, err := h.Insert(Tuple{IntValue(k)})
+				if err != nil {
+					return false
+				}
+				live = append(live, rid)
+				liveKeys = append(liveKeys, k)
+				want[k]++
+			} else { // delete
+				j := int(op/3) % len(live)
+				if err := h.Delete(live[j]); err != nil {
+					return false
+				}
+				want[liveKeys[j]]--
+				live = append(live[:j], live[j+1:]...)
+				liveKeys = append(liveKeys[:j], liveKeys[j+1:]...)
+			}
+		}
+		got := map[int64]int{}
+		all, err := h.All()
+		if err != nil {
+			return false
+		}
+		for _, tu := range all {
+			got[tu[0].Int]++
+		}
+		for k, c := range want {
+			if c != 0 && got[k] != c {
+				return false
+			}
+			if c == 0 && got[k] != 0 {
+				return false
+			}
+		}
+		return h.Count() == len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --------------------------------------------------------------------------
+// B-tree.
+
+func TestBTreeInsertSearch(t *testing.T) {
+	bt := NewBTree("idx")
+	for i := 0; i < 1000; i++ {
+		bt.Insert(IntValue(int64(i%100)), RID{Page: PageID(i), Slot: i})
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	rids := bt.Search(IntValue(42))
+	if len(rids) != 10 {
+		t.Fatalf("postings = %d", len(rids))
+	}
+	if bt.Search(IntValue(1000)) != nil {
+		t.Fatal("phantom key")
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if bt.Depth() < 2 {
+		t.Fatalf("depth = %d, want split tree", bt.Depth())
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTree("idx")
+	for i := 0; i < 500; i++ {
+		bt.Insert(IntValue(int64(i)), RID{Page: PageID(i)})
+	}
+	var keys []int64
+	bt.Range(IntValue(100), IntValue(110), func(k Value, _ RID) bool {
+		keys = append(keys, k.Int)
+		return true
+	})
+	if len(keys) != 11 || keys[0] != 100 || keys[10] != 110 {
+		t.Fatalf("range = %v", keys)
+	}
+	// Early stop.
+	n := 0
+	bt.Range(IntValue(0), IntValue(499), func(Value, RID) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop: %d", n)
+	}
+	// Empty range.
+	bt.Range(IntValue(1000), IntValue(2000), func(Value, RID) bool {
+		t.Fatal("phantom range hit")
+		return false
+	})
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree("idx")
+	r1, r2 := RID{Page: 1}, RID{Page: 2}
+	bt.Insert(IntValue(5), r1)
+	bt.Insert(IntValue(5), r2)
+	if !bt.Delete(IntValue(5), r1) {
+		t.Fatal("delete failed")
+	}
+	if bt.Delete(IntValue(5), r1) {
+		t.Fatal("double delete succeeded")
+	}
+	if got := bt.Search(IntValue(5)); len(got) != 1 || got[0] != r2 {
+		t.Fatalf("remaining = %v", got)
+	}
+	if !bt.Delete(IntValue(5), r2) {
+		t.Fatal("second delete failed")
+	}
+	if bt.Search(IntValue(5)) != nil {
+		t.Fatal("key survived")
+	}
+	if bt.Delete(IntValue(99), r1) {
+		t.Fatal("deleting absent key succeeded")
+	}
+	if err := bt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	bt := NewBTree("names")
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, w := range words {
+		bt.Insert(StringValue(w), RID{Page: PageID(i)})
+	}
+	var got []string
+	bt.Range(StringValue("a"), StringValue("z"), func(k Value, _ RID) bool {
+		got = append(got, k.Str)
+		return true
+	})
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+// Property: after any random insert sequence, the tree validates and
+// every inserted key is findable with the right posting count.
+func TestBTreeInvariantProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		bt := NewBTree("p")
+		want := map[int64]int{}
+		for i := 0; i < n; i++ {
+			k := int64(rng.Intn(200))
+			bt.Insert(IntValue(k), RID{Page: PageID(i)})
+			want[k]++
+		}
+		if bt.Validate() != nil || bt.Len() != n {
+			return false
+		}
+		for k, c := range want {
+			if len(bt.Search(IntValue(k))) != c {
+				return false
+			}
+		}
+		// Range over everything yields exactly n postings in order.
+		var prev *Value
+		count := 0
+		ok := true
+		bt.Range(IntValue(-1), IntValue(1000), func(k Value, _ RID) bool {
+			count++
+			if prev != nil && Compare(*prev, k) > 0 {
+				ok = false
+				return false
+			}
+			kk := k
+			prev = &kk
+			return true
+		})
+		return ok && count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package trace provides the structured event log shared by the
+// adaptive data management stack. Every adaptation decision —
+// constraint violation, plan switch, component rebind, rollback — is
+// recorded here so experiments can report detection-to-reconfiguration
+// latencies and tests can assert on exact adaptation sequences.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies trace events.
+type Kind string
+
+// Event kinds emitted by the stack.
+const (
+	KindMonitor    Kind = "monitor"    // raw monitor sample
+	KindGauge      Kind = "gauge"      // aggregated gauge update
+	KindViolation  Kind = "violation"  // constraint broken
+	KindPlan       Kind = "plan"       // alternative architecture designed
+	KindUnbind     Kind = "unbind"     // component unbound
+	KindBind       Kind = "bind"       // component bound
+	KindSwitch     Kind = "switch"     // configuration switch committed
+	KindRollback   Kind = "rollback"   // switch backed off
+	KindSafePoint  Kind = "safepoint"  // stream/query safe point reached
+	KindMigrate    Kind = "migrate"    // component/agent migration
+	KindReoptimize Kind = "reoptimize" // query plan revised mid-flight
+	KindInfo       Kind = "info"       // free-form
+)
+
+// Event is one recorded occurrence. Time is simulation time in
+// milliseconds (the simulators are discrete-event; wall time would be
+// noise).
+type Event struct {
+	Seq    int
+	TimeMS float64
+	Kind   Kind
+	Actor  string // which component/manager emitted it
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%06d %9.3fms] %-11s %-18s %s", e.Seq, e.TimeMS, e.Kind, e.Actor, e.Detail)
+}
+
+// Log is a concurrency-safe append-only event log.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Emit appends an event at simulation time t.
+func (l *Log) Emit(t float64, kind Kind, actor, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{
+		Seq:    l.seq,
+		TimeMS: t,
+		Kind:   kind,
+		Actor:  actor,
+		Detail: fmt.Sprintf(format, args...),
+	})
+	l.seq++
+}
+
+// Events returns a snapshot of all events in emission order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// OfKind returns the events of one kind, in order.
+func (l *Log) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of kind k.
+func (l *Log) Count(k Kind) int { return len(l.OfKind(k)) }
+
+// Len returns the total number of events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset discards all events.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+	l.seq = 0
+}
+
+// FirstAfter returns the first event of kind k at or after time t.
+func (l *Log) FirstAfter(t float64, k Kind) (Event, bool) {
+	for _, e := range l.Events() {
+		if e.Kind == k && e.TimeMS >= t {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Latency returns the simulation-time gap between the first `from`
+// event and the first subsequent `to` event — e.g. violation→switch
+// is the paper's detection-to-reconfiguration latency.
+func (l *Log) Latency(from, to Kind) (float64, bool) {
+	events := l.Events()
+	for _, a := range events {
+		if a.Kind != from {
+			continue
+		}
+		for _, b := range events {
+			if b.Kind == to && b.Seq > a.Seq {
+				return b.TimeMS - a.TimeMS, true
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// Summary renders per-kind counts, sorted by kind name.
+func (l *Log) Summary() string {
+	counts := map[Kind]int{}
+	for _, e := range l.Events() {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%s=%d ", k, counts[Kind(k)])
+	}
+	return strings.TrimSpace(b.String())
+}

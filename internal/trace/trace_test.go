@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEmitAndQuery(t *testing.T) {
+	l := New()
+	l.Emit(1, KindViolation, "sm", "util %d", 95)
+	l.Emit(2, KindPlan, "sm", "alt plan")
+	l.Emit(5, KindSwitch, "am", "committed")
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.Count(KindViolation) != 1 || l.Count(KindRollback) != 0 {
+		t.Fatal("counts wrong")
+	}
+	ev := l.OfKind(KindViolation)[0]
+	if ev.Detail != "util 95" || ev.TimeMS != 1 || ev.Seq != 0 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !strings.Contains(ev.String(), "violation") {
+		t.Fatalf("string = %q", ev.String())
+	}
+}
+
+func TestLatency(t *testing.T) {
+	l := New()
+	l.Emit(10, KindViolation, "sm", "x")
+	l.Emit(17, KindSwitch, "am", "y")
+	lat, ok := l.Latency(KindViolation, KindSwitch)
+	if !ok || lat != 7 {
+		t.Fatalf("latency = %v %v", lat, ok)
+	}
+	if _, ok := l.Latency(KindViolation, KindRollback); ok {
+		t.Fatal("phantom latency")
+	}
+	if _, ok := l.Latency(KindMigrate, KindSwitch); ok {
+		t.Fatal("latency without source event")
+	}
+}
+
+func TestLatencyRequiresOrdering(t *testing.T) {
+	l := New()
+	l.Emit(5, KindSwitch, "am", "early switch")
+	l.Emit(10, KindViolation, "sm", "late violation")
+	if _, ok := l.Latency(KindViolation, KindSwitch); ok {
+		t.Fatal("switch before violation must not count")
+	}
+}
+
+func TestFirstAfter(t *testing.T) {
+	l := New()
+	l.Emit(1, KindInfo, "a", "one")
+	l.Emit(9, KindInfo, "a", "two")
+	ev, ok := l.FirstAfter(5, KindInfo)
+	if !ok || ev.Detail != "two" {
+		t.Fatalf("ev = %+v", ev)
+	}
+	if _, ok := l.FirstAfter(10, KindInfo); ok {
+		t.Fatal("phantom event")
+	}
+}
+
+func TestResetAndSummary(t *testing.T) {
+	l := New()
+	l.Emit(0, KindBind, "x", "a")
+	l.Emit(0, KindBind, "x", "b")
+	l.Emit(0, KindUnbind, "x", "c")
+	if got := l.Summary(); got != "bind=2 unbind=1" {
+		t.Fatalf("summary = %q", got)
+	}
+	l.Reset()
+	if l.Len() != 0 || l.Summary() != "" {
+		t.Fatal("reset failed")
+	}
+	l.Emit(0, KindBind, "x", "d")
+	if l.Events()[0].Seq != 0 {
+		t.Fatal("seq not reset")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Emit(float64(j), KindInfo, "w", "e")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	seen := map[int]bool{}
+	for _, e := range l.Events() {
+		if seen[e.Seq] {
+			t.Fatal("duplicate seq")
+		}
+		seen[e.Seq] = true
+	}
+}

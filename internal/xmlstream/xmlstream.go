@@ -1,0 +1,320 @@
+// Package xmlstream implements the sensor's XML data stream from
+// Scenario 2: readings encoded as XML, streamed in chunks with
+// periodic safe points ("the original query plan included safe points
+// which allow the system to stop streaming at a safe time and
+// continue the other version's stream"), and alternative versions —
+// full, flate-compressed ("perhaps with associated decompression
+// code") and summarised — that the adaptivity machinery switches
+// between when bandwidth changes.
+package xmlstream
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Reading is one sensor observation.
+type Reading struct {
+	XMLName xml.Name `xml:"reading"`
+	Seq     int      `xml:"seq,attr"`
+	TimeMS  float64  `xml:"t,attr"`
+	Sensor  string   `xml:"sensor"`
+	Kind    string   `xml:"kind"`
+	Value   float64  `xml:"value"`
+}
+
+// Generate produces n deterministic readings from the named sensor:
+// a diurnal-ish temperature curve with harmonics, so summaries have
+// real information to lose.
+func Generate(sensor string, n int) []Reading {
+	out := make([]Reading, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * 100 // one reading per 100ms
+		v := 20 +
+			5*math.Sin(2*math.Pi*float64(i)/500) +
+			1.5*math.Sin(2*math.Pi*float64(i)/47) +
+			0.25*math.Sin(2*math.Pi*float64(i)/7)
+		out[i] = Reading{Seq: i, TimeMS: t, Sensor: sensor, Kind: "temperature", Value: math.Round(v*1000) / 1000}
+	}
+	return out
+}
+
+// EncodeXML marshals readings as an XML document.
+func EncodeXML(rs []Reading) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString("<readings>")
+	enc := xml.NewEncoder(&buf)
+	for i := range rs {
+		if err := enc.Encode(&rs[i]); err != nil {
+			return nil, fmt.Errorf("xmlstream: encode seq %d: %w", rs[i].Seq, err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	buf.WriteString("</readings>")
+	return buf.Bytes(), nil
+}
+
+// DecodeXML unmarshals a document produced by EncodeXML.
+func DecodeXML(doc []byte) ([]Reading, error) {
+	dec := xml.NewDecoder(bytes.NewReader(doc))
+	var out []Reading
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlstream: decode: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok || se.Name.Local != "reading" {
+			continue
+		}
+		var r Reading
+		if err := dec.DecodeElement(&r, &se); err != nil {
+			return nil, fmt.Errorf("xmlstream: decode element: %w", err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Compress deflates a document at the given level (flate levels 1-9).
+func Compress(doc []byte, level int) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(doc); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress is the "associated decompression code" shipped with a
+// compressed version.
+func Decompress(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// Summarise keeps every strideth reading (stride >= 1), producing the
+// lower-quality summary version. Quality is reported as 1/stride.
+func Summarise(rs []Reading, stride int) ([]Reading, float64) {
+	if stride < 1 {
+		stride = 1
+	}
+	var out []Reading
+	for i := 0; i < len(rs); i += stride {
+		out = append(out, rs[i])
+	}
+	return out, 1 / float64(stride)
+}
+
+// ---------------------------------------------------------------------------
+// Chunked streaming with safe points.
+
+// Chunk is one streamed unit. SafePoint marks a consistent switchover
+// boundary: a receiver that has chunk k's safe point can resume from
+// FirstSeq of chunk k+1 on a different version of the stream.
+type Chunk struct {
+	Index     int
+	FirstSeq  int
+	LastSeq   int
+	SafePoint bool
+	Bytes     []byte
+	// Encoding names the version ("full", "compressed", "summary").
+	Encoding string
+}
+
+// ErrBadResume is returned when a stream is resumed at a non-safe
+// sequence.
+var ErrBadResume = errors.New("xmlstream: resume point is not a safe point")
+
+// Streamer cuts a reading sequence into chunks of chunkSize readings,
+// marking every safePointEvery-th chunk boundary as a safe point, and
+// can re-encode the remainder of the stream in a different version
+// mid-flight.
+type Streamer struct {
+	readings       []Reading
+	chunkSize      int
+	safePointEvery int
+	level          int
+}
+
+// NewStreamer builds a streamer over readings. chunkSize is readings
+// per chunk; every safePointEvery chunks the boundary is safe.
+func NewStreamer(readings []Reading, chunkSize, safePointEvery int) *Streamer {
+	if chunkSize < 1 {
+		chunkSize = 16
+	}
+	if safePointEvery < 1 {
+		safePointEvery = 1
+	}
+	return &Streamer{readings: readings, chunkSize: chunkSize, safePointEvery: safePointEvery, level: 6}
+}
+
+// Total returns the number of readings in the stream.
+func (s *Streamer) Total() int { return len(s.readings) }
+
+// ChunkCount returns the number of chunks for the full stream.
+func (s *Streamer) ChunkCount() int {
+	return (len(s.readings) + s.chunkSize - 1) / s.chunkSize
+}
+
+// IsSafeBoundary reports whether resuming at reading seq is safe: seq
+// must start a chunk whose preceding boundary is a safe point (or 0).
+func (s *Streamer) IsSafeBoundary(seq int) bool {
+	if seq == 0 || seq >= len(s.readings) {
+		// Nothing before / nothing after the boundary: trivially safe.
+		return true
+	}
+	if seq%s.chunkSize != 0 {
+		return false
+	}
+	chunkIdx := seq / s.chunkSize
+	return chunkIdx%s.safePointEvery == 0
+}
+
+// Encode produces the chunk sequence for readings[from:], encoded as
+// the named version: "full" (XML), "compressed" (XML+flate) or
+// "summary:<stride>" (summarised XML). from must be a safe boundary.
+func (s *Streamer) Encode(from int, version string) ([]Chunk, error) {
+	if !s.IsSafeBoundary(from) {
+		return nil, fmt.Errorf("%w: seq %d", ErrBadResume, from)
+	}
+	var stride int
+	base := version
+	if n, err := fmt.Sscanf(version, "summary:%d", &stride); n == 1 && err == nil {
+		base = "summary"
+	}
+	var chunks []Chunk
+	for start := from; start < len(s.readings); start += s.chunkSize {
+		end := start + s.chunkSize
+		if end > len(s.readings) {
+			end = len(s.readings)
+		}
+		part := s.readings[start:end]
+		if base == "summary" {
+			part, _ = Summarise(part, stride)
+		}
+		doc, err := EncodeXML(part)
+		if err != nil {
+			return nil, err
+		}
+		if base == "compressed" {
+			doc, err = Compress(doc, s.level)
+			if err != nil {
+				return nil, err
+			}
+		}
+		idx := start / s.chunkSize
+		chunks = append(chunks, Chunk{
+			Index:     idx,
+			FirstSeq:  start,
+			LastSeq:   end - 1,
+			SafePoint: (idx+1)%s.safePointEvery == 0 || end == len(s.readings),
+			Bytes:     doc,
+			Encoding:  base,
+		})
+	}
+	return chunks, nil
+}
+
+// DecodeChunk rehydrates one chunk into readings.
+func DecodeChunk(c Chunk) ([]Reading, error) {
+	doc := c.Bytes
+	if c.Encoding == "compressed" {
+		var err error
+		doc, err = Decompress(doc)
+		if err != nil {
+			return nil, fmt.Errorf("xmlstream: chunk %d: %w", c.Index, err)
+		}
+	}
+	return DecodeXML(doc)
+}
+
+// NextSafeResume returns the first safe resume sequence at or after
+// seq (for a receiver that has consumed up to seq-1).
+func (s *Streamer) NextSafeResume(seq int) int {
+	for q := seq; q <= len(s.readings); q++ {
+		if s.IsSafeBoundary(q) {
+			return q
+		}
+	}
+	return len(s.readings)
+}
+
+// Fidelity quantifies how much information a summary retains: 1 −
+// NRMSE of the summary linearly interpolated back onto the full
+// sequence's timeline (1 = exact; towards 0 as structure is lost).
+// This puts a number on Figure 2's "lower quality versions or
+// summaries of the data".
+func Fidelity(full, summary []Reading) float64 {
+	if len(full) == 0 || len(summary) == 0 {
+		return 0
+	}
+	interp := func(t float64) float64 {
+		// summary is time-ordered; find the bracketing pair.
+		if t <= summary[0].TimeMS {
+			return summary[0].Value
+		}
+		for i := 1; i < len(summary); i++ {
+			if summary[i].TimeMS >= t {
+				a, b := summary[i-1], summary[i]
+				if b.TimeMS == a.TimeMS {
+					return a.Value
+				}
+				frac := (t - a.TimeMS) / (b.TimeMS - a.TimeMS)
+				return a.Value + frac*(b.Value-a.Value)
+			}
+		}
+		return summary[len(summary)-1].Value
+	}
+	var sqErr float64
+	lo, hi := full[0].Value, full[0].Value
+	for _, r := range full {
+		d := r.Value - interp(r.TimeMS)
+		sqErr += d * d
+		if r.Value < lo {
+			lo = r.Value
+		}
+		if r.Value > hi {
+			hi = r.Value
+		}
+	}
+	rmse := math.Sqrt(sqErr / float64(len(full)))
+	span := hi - lo
+	if span == 0 {
+		if rmse == 0 {
+			return 1
+		}
+		return 0
+	}
+	f := 1 - rmse/span
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// SizeOf returns the total wire bytes of a chunk sequence.
+func SizeOf(chunks []Chunk) int {
+	n := 0
+	for _, c := range chunks {
+		n += len(c.Bytes)
+	}
+	return n
+}

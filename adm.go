@@ -45,6 +45,7 @@ import (
 	"github.com/adm-project/adm/internal/goos"
 	"github.com/adm-project/adm/internal/kendra"
 	"github.com/adm-project/adm/internal/learn"
+	"github.com/adm-project/adm/internal/lint"
 	"github.com/adm-project/adm/internal/monitor"
 	"github.com/adm-project/adm/internal/patia"
 	"github.com/adm-project/adm/internal/query"
@@ -168,6 +169,54 @@ func TypeFactory(model *ADLModel, impl func(typeName, port string) component.Han
 func Instantiate(asm *Assembly, model *ADLModel, mode string, f Factory) error {
 	return adapt.Instantiate(asm, model, mode, f)
 }
+
+// Static verification (internal/lint): the load-time analyzer
+// families behind cmd/admlint, re-exported so embedders can validate
+// architectures, rule sets and component images before Instantiate
+// or LoadType — the paper's "evaluated before it runs" contract.
+type (
+	// Diagnostic is one positioned static-analysis finding.
+	Diagnostic = lint.Diagnostic
+	// DiagnosticSeverity grades a Diagnostic.
+	DiagnosticSeverity = lint.Severity
+	// MetricVocabulary declares the monitor metrics (units, ranges)
+	// constraint rules are type-checked against.
+	MetricVocabulary = lint.Vocabulary
+	// MetricInfo is one MetricVocabulary entry.
+	MetricInfo = lint.MetricInfo
+)
+
+// Diagnostic severities.
+const (
+	SeverityError   = lint.SeverityError
+	SeverityWarning = lint.SeverityWarning
+	SeverityInfo    = lint.SeverityInfo
+)
+
+// LintADL runs the configuration-graph checks over a parsed model:
+// dangling bind endpoints, never-bound instances, duplicate modes,
+// per-mode interface compatibility. file names the source in the
+// diagnostics ("" is fine for in-memory models).
+func LintADL(file string, m *ADLModel) []Diagnostic { return lint.AnalyzeADL(file, m) }
+
+// LintRuleSet runs the constraint-rule static analysis (vocabulary
+// type-check, interval folding, shadowing) over a rule set. A nil
+// vocabulary means DefaultMetricVocabulary.
+func LintRuleSet(name string, rs *RuleSet, vocab MetricVocabulary) []Diagnostic {
+	return lint.AnalyzeRuleSet(name, rs.Rules(), vocab)
+}
+
+// LintListing parses an assembly listing and runs the SISR
+// control-flow analysis: privileged opcodes, branch/call targets in
+// segment, indirect branches, unreachable code.
+func LintListing(file, src string) []Diagnostic {
+	l, diags := goos.ParseListing(file, src)
+	return append(diags, goos.AnalyzeListing(l)...)
+}
+
+// DefaultMetricVocabulary returns the well-known monitor metrics with
+// their units and ranges.
+func DefaultMetricVocabulary() MetricVocabulary { return lint.DefaultVocabulary() }
 
 // Go! operating system model.
 type (

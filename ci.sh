@@ -1,0 +1,49 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging.
+#
+#   formatting   gofmt -l (fails on any unformatted file)
+#   analysis     go vet ./...
+#   build        go build ./...
+#   tests        go test -race ./...
+#   lint         admlint over every checked-in ADL model, rule file and
+#                assembly listing; the negative fixtures must keep
+#                producing diagnostics (exit != 0), the clean ones none.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== admlint (clean inputs)"
+go run ./cmd/admlint \
+    cmd/adlc/testdata \
+    cmd/admlint/testdata/clean.rules \
+    cmd/admlint/testdata/clean.s \
+    examples
+
+echo "== admlint (negative fixtures must fail)"
+for f in cmd/admlint/testdata/dangling_bind.adl \
+         cmd/admlint/testdata/unsat.rules \
+         cmd/admlint/testdata/out_of_segment.s; do
+    if go run ./cmd/admlint "$f" >/dev/null 2>&1; then
+        echo "admlint passed $f but must reject it" >&2
+        exit 1
+    fi
+done
+
+echo "ok"

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	adlc check file.adl              # parse + semantic checks
+//	adlc lint [-json] file.adl       # static-analysis diagnostics
 //	adlc render file.adl             # canonical re-rendering
 //	adlc config file.adl [mode]      # flattened configuration
 //	adlc diff file.adl from to       # unbind/rebind plan
 //	adlc figure4                     # built-in Figure 4 fixture
+//
+// `lint` runs the admlint configuration-graph pass (dangling binds,
+// never-bound instances, duplicate modes, interface compatibility)
+// and emits positioned diagnostics in the shared lint format; it
+// exits 1 when any error-severity finding is produced.
 //
 // Pass '-' as the file to read stdin.
 package main
@@ -19,10 +25,11 @@ import (
 	"os"
 
 	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/lint"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: adlc <check|render|config|diff|figure4> [args]")
+	fmt.Fprintln(os.Stderr, "usage: adlc <check|lint|render|config|diff|figure4> [args]")
 	os.Exit(2)
 }
 
@@ -70,6 +77,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, e)
 		}
 		os.Exit(1)
+	case "lint":
+		args := os.Args[2:]
+		jsonOut := false
+		if len(args) > 0 && args[0] == "-json" {
+			jsonOut = true
+			args = args[1:]
+		}
+		if len(args) != 1 {
+			usage()
+		}
+		path := args[0]
+		m := load(path)
+		if path == "-" {
+			path = "stdin"
+		}
+		diags := lint.AnalyzeADL(path, m)
+		if jsonOut {
+			lint.WriteJSON(os.Stdout, diags)
+		} else {
+			lint.WriteText(os.Stdout, diags)
+		}
+		if lint.HasErrors(diags) {
+			os.Exit(1)
+		}
 	case "render":
 		if len(os.Args) != 3 {
 			usage()

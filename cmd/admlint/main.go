@@ -1,0 +1,178 @@
+// Command admlint is the unified static-verification front end: it
+// runs every load-time analyzer in the stack over ADL architecture
+// descriptions, constraint rule sets and SISR assembly listings, and
+// reports findings in one shared diagnostic format.
+//
+// Usage:
+//
+//	admlint [-json] <path ...>
+//
+// Each path is a file or a directory; directories are walked for
+// lintable files. The artifact kind is chosen by extension:
+//
+//	.adl          ADL model       — configuration-graph checks
+//	.rules .cst   constraint set  — vocabulary/interval/shadow checks
+//	.s .asm       assembly listing — SISR control-flow analysis
+//
+// With -json the diagnostics are emitted as a JSON array (always an
+// array, possibly empty). Exit status: 0 when no error-severity
+// diagnostics were produced (warnings allowed), 1 when at least one
+// error was found, 2 on usage or I/O problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/adm-project/adm/internal/adl"
+	"github.com/adm-project/adm/internal/goos"
+	"github.com/adm-project/adm/internal/lint"
+)
+
+// AnalyzerADLParse tags syntax errors from the ADL parser.
+const analyzerADLParse = "adl-parse"
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: admlint [-json] <file-or-dir ...>")
+		fmt.Fprintln(os.Stderr, "  lints .adl models, .rules/.cst constraint sets and .s/.asm listings")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	files, err := collect(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "admlint: no lintable files (.adl, .rules, .cst, .s, .asm) under the given paths")
+	}
+
+	var diags []lint.Diagnostic
+	for _, f := range files {
+		d, err := lintFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "admlint: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, d...)
+	}
+	lint.Sort(diags)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "admlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		lint.WriteText(os.Stdout, diags)
+		if n := lint.ErrorCount(diags); n > 0 {
+			fmt.Printf("admlint: %d error(s), %d other finding(s) in %d file(s)\n",
+				n, len(diags)-n, len(files))
+		}
+	}
+	if lint.HasErrors(diags) {
+		os.Exit(1)
+	}
+}
+
+// collect expands the argument list into lintable files. Explicitly
+// named files are linted regardless of extension recognition;
+// directories contribute only files with known extensions.
+func collect(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		if arg == "-" {
+			out = append(out, arg)
+			continue
+		}
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			if kindOf(arg) == kindUnknown {
+				return nil, fmt.Errorf("%s: unknown artifact kind (want .adl, .rules, .cst, .s or .asm)", arg)
+			}
+			out = append(out, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && kindOf(path) != kindUnknown {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+type artifactKind int
+
+const (
+	kindUnknown artifactKind = iota
+	kindADL
+	kindRules
+	kindAsm
+)
+
+func kindOf(path string) artifactKind {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".adl":
+		return kindADL
+	case ".rules", ".cst":
+		return kindRules
+	case ".s", ".asm":
+		return kindAsm
+	}
+	return kindUnknown
+}
+
+// lintFile runs the analyzer family matching the file's kind.
+func lintFile(path string) ([]lint.Diagnostic, error) {
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+		path = "stdin"
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch kindOf(path) {
+	case kindRules:
+		rules, vocab, diags := lint.ParseRulesFile(path, string(src))
+		return append(diags, lint.AnalyzeRules(path, rules, vocab)...), nil
+	case kindAsm:
+		listing, diags := goos.ParseListing(path, string(src))
+		return append(diags, goos.AnalyzeListing(listing)...), nil
+	default: // kindADL, and stdin defaults to ADL
+		m, err := adl.Parse(string(src))
+		if err != nil {
+			if pe, ok := err.(*adl.ParseError); ok {
+				return []lint.Diagnostic{lint.Errorf(path, pe.Line, 0, analyzerADLParse, "syntax", "%s", pe.Msg)}, nil
+			}
+			return []lint.Diagnostic{lint.Errorf(path, 0, 0, analyzerADLParse, "syntax", "%v", err)}, nil
+		}
+		return lint.AnalyzeADL(path, m), nil
+	}
+}

@@ -1,0 +1,10 @@
+# Positive fixture: an SISR-safe component text with a loop.
+start:
+  load buf
+  cmp r1
+  je done
+  add r1
+  jmp start
+done:
+  store buf
+  ret

@@ -1,0 +1,8 @@
+# Negative fixture: a branch target outside the component's code
+# segment. SISR must reject the image at load time: the jump would
+# escape the component's protection domain.
+start:
+  load buf
+  add r1
+  jmp 12        ; only 4 instructions in this segment
+  ret

@@ -1,103 +1,109 @@
-// Command goscan is the SISR code scanner as a CLI: it reads a
-// component text section in a simple assembly listing (one mnemonic
-// per line) and reports whether the image is loadable under Go!'s
-// protection model — the load-time check that lets the zero-kernel
-// run without privilege modes.
+// Command goscan is the SISR code scanner as a CLI: it reads
+// component text sections in a simple assembly listing (one mnemonic
+// per line, with optional `label:` definitions and branch operands)
+// and reports whether each image is loadable under Go!'s protection
+// model — the load-time check that lets the zero-kernel run without
+// privilege modes.
 //
 // Usage:
 //
-//	goscan file.s        # scan a listing
-//	goscan -             # scan stdin
+//	goscan [-json] <file.s ...>    # scan one or more listings
+//	goscan [-json] -               # scan stdin
 //
-// Listing format: one instruction per line; mnemonics map to the
-// machine's instruction classes:
+// The mnemonic vocabulary is machine.Mnemonics (shared with admlint's
+// deeper control-flow pass): alu ops (add, sub, mov, …), load/store,
+// call/ret/jmp/jcc, movseg (segment-register load — privileged), cli/
+// sti/lgdt/lidt/hlt, in/out, int/iret, invlpg/movcr3. Lines starting
+// with '#' or ';' are comments; trailing comments are allowed.
 //
-//	add sub mov cmp      -> alu
-//	load store           -> load/store
-//	call ret jmp         -> call/ret/branch
-//	movseg               -> segment-register load (privileged)
-//	cli sti lgdt hlt     -> privileged control
-//	in out               -> I/O (privileged)
-//	int iret             -> trap / trap-return
-//
-// Lines starting with '#' or ';' are comments.
+// With -json, privileged-instruction findings are emitted to stdout
+// as a JSON array in the shared lint.Diagnostic format. Exit status:
+// 0 when every listing is loadable, 1 when any listing is rejected,
+// 2 on usage, I/O or parse problems (unknown mnemonics).
 package main
 
 import (
-	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"github.com/adm-project/adm/internal/goos"
-	"github.com/adm-project/adm/internal/machine"
+	"github.com/adm-project/adm/internal/lint"
 )
 
-var mnemonics = map[string]machine.OpClass{
-	"add": machine.OpALU, "sub": machine.OpALU, "mov": machine.OpALU, "cmp": machine.OpALU,
-	"mul": machine.OpALU, "xor": machine.OpALU, "and": machine.OpALU, "or": machine.OpALU,
-	"load": machine.OpLoad, "store": machine.OpStore,
-	"call": machine.OpCall, "ret": machine.OpRet,
-	"jmp": machine.OpBranch, "je": machine.OpBranch, "jne": machine.OpBranch,
-	"movseg": machine.OpSegLoad,
-	"cli":    machine.OpPrivCtl, "sti": machine.OpPrivCtl,
-	"lgdt": machine.OpPrivCtl, "lidt": machine.OpPrivCtl, "hlt": machine.OpPrivCtl,
-	"in": machine.OpIO, "out": machine.OpIO,
-	"int": machine.OpTrap, "iret": machine.OpIret,
-	"invlpg": machine.OpTLBFlush, "movcr3": machine.OpPTSwitch,
-}
-
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: goscan <file.s | ->")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: goscan [-json] <file.s ... | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	var in io.Reader = os.Stdin
-	name := "stdin"
-	if os.Args[1] != "-" {
-		f, err := os.Open(os.Args[1])
+
+	var diags []lint.Diagnostic
+	rejected := false
+	parseFailed := false
+	for _, arg := range flag.Args() {
+		var src []byte
+		var err error
+		name := arg
+		if arg == "-" {
+			src, err = io.ReadAll(os.Stdin)
+			name = "stdin"
+		} else {
+			src, err = os.ReadFile(arg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "goscan: %v\n", err)
 			os.Exit(2)
 		}
-		defer f.Close()
-		in = f
-		name = os.Args[1]
-	}
 
-	var text []machine.Instruction
-	sc := bufio.NewScanner(in)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+		listing, parseDiags := goos.ParseListing(name, string(src))
+		if len(parseDiags) > 0 {
+			parseFailed = true
+			diags = append(diags, parseDiags...)
+			if !*jsonOut {
+				lint.WriteText(os.Stderr, parseDiags)
+			}
 			continue
 		}
-		mnem := strings.Fields(line)[0]
-		op, ok := mnemonics[strings.ToLower(mnem)]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "goscan: %s:%d: unknown mnemonic %q\n", name, lineNo, mnem)
-			os.Exit(2)
+
+		text := listing.Text()
+		scanner := goos.Scanner{}
+		rep := scanner.Scan(text)
+		offenses := goos.PrivilegeDiagnostics(listing)
+		diags = append(diags, offenses...)
+
+		if !*jsonOut {
+			fmt.Printf("%s: %d instructions, scan cost %d cycles\n",
+				name, rep.Instructions, scanner.ScanCost(text))
+			if rep.OK() {
+				fmt.Println("LOADABLE: no privileged instructions; component is SISR-safe")
+			} else {
+				fmt.Printf("REJECTED: %d privileged instruction(s):\n", len(rep.Offenses))
+				lint.WriteText(os.Stdout, offenses)
+			}
 		}
-		text = append(text, machine.Instruction{Op: op, Name: line})
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "goscan: %v\n", err)
-		os.Exit(2)
+		if !rep.OK() {
+			rejected = true
+		}
 	}
 
-	scanner := goos.Scanner{}
-	rep := scanner.Scan(text)
-	fmt.Printf("%s: %d instructions, scan cost %d cycles\n", name, rep.Instructions, scanner.ScanCost(text))
-	if rep.OK() {
-		fmt.Println("LOADABLE: no privileged instructions; component is SISR-safe")
-		return
+	if *jsonOut {
+		lint.Sort(diags)
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "goscan: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	fmt.Printf("REJECTED: %d privileged instruction(s):\n", len(rep.Offenses))
-	for _, o := range rep.Offenses {
-		fmt.Printf("  %s\n", o)
+	switch {
+	case parseFailed:
+		os.Exit(2)
+	case rejected:
+		os.Exit(1)
 	}
-	os.Exit(1)
 }

@@ -35,6 +35,9 @@ type PortDecl struct {
 	Name     string
 	Service  string
 	Provided bool // true = filled circle, false = empty circle
+	// Line is the 1-based source line of the declaration (0 for
+	// programmatically built models).
+	Line int
 }
 
 func (p PortDecl) String() string {
@@ -49,6 +52,8 @@ func (p PortDecl) String() string {
 type ComponentType struct {
 	Name  string
 	Ports []PortDecl
+	// Line is the 1-based source line of the declaration.
+	Line int
 }
 
 // Port finds a port by name.
@@ -65,6 +70,8 @@ func (t *ComponentType) Port(name string) (PortDecl, bool) {
 type InstDecl struct {
 	Name string
 	Type string
+	// Line is the 1-based source line of the declaration.
+	Line int
 }
 
 func (i InstDecl) String() string { return fmt.Sprintf("inst %s : %s;", i.Name, i.Type) }
@@ -73,6 +80,9 @@ func (i InstDecl) String() string { return fmt.Sprintf("inst %s : %s;", i.Name, 
 type BindDecl struct {
 	From, FromPort string
 	To, ToPort     string
+	// Line is the 1-based source line of the declaration. It is
+	// ignored by SameWire, which is what configuration diffing uses.
+	Line int
 }
 
 func (b BindDecl) String() string {
@@ -83,12 +93,20 @@ func (b BindDecl) String() string {
 // at most one wire in any configuration).
 func (b BindDecl) Key() string { return b.From + "." + b.FromPort }
 
+// SameWire reports whether two bindings connect the same endpoints,
+// ignoring source position.
+func (b BindDecl) SameWire(o BindDecl) bool {
+	return b.From == o.From && b.FromPort == o.FromPort && b.To == o.To && b.ToPort == o.ToPort
+}
+
 // Mode is a `when` overlay: extra instances and bindings active only
 // in that mode.
 type Mode struct {
 	Name  string
 	Insts []InstDecl
 	Binds []BindDecl
+	// Line is the 1-based source line of the `when` header.
+	Line int
 }
 
 // Model is a parsed ADL compilation unit.
@@ -271,7 +289,7 @@ func (p *parser) componentDecl(m *Model) error {
 	if _, err := p.expect(tLBrace, "'{'"); err != nil {
 		return err
 	}
-	ct := &ComponentType{Name: name.text}
+	ct := &ComponentType{Name: name.text, Line: name.line}
 	for p.peek().kind != tRBrace {
 		kw, err := p.ident("provide/require")
 		if err != nil {
@@ -297,7 +315,7 @@ func (p *parser) componentDecl(m *Model) error {
 		if _, dup := ct.Port(pn.text); dup {
 			return &ParseError{Line: pn.line, Msg: fmt.Sprintf("duplicate port %q on %q", pn.text, ct.Name)}
 		}
-		ct.Ports = append(ct.Ports, PortDecl{Name: pn.text, Service: svc.text, Provided: kw.text == "provide"})
+		ct.Ports = append(ct.Ports, PortDecl{Name: pn.text, Service: svc.text, Provided: kw.text == "provide", Line: pn.line})
 	}
 	p.next() // }
 	m.Types[ct.Name] = ct
@@ -320,7 +338,7 @@ func (p *parser) instDecl() (InstDecl, error) {
 	if _, err := p.expect(tSemi, "';'"); err != nil {
 		return InstDecl{}, err
 	}
-	return InstDecl{Name: name.text, Type: typ.text}, nil
+	return InstDecl{Name: name.text, Type: typ.text, Line: name.line}, nil
 }
 
 func (p *parser) ref() (string, string, error) {
@@ -339,6 +357,7 @@ func (p *parser) ref() (string, string, error) {
 }
 
 func (p *parser) bindDecl() (BindDecl, error) {
+	line := p.peek().line
 	fc, fp, err := p.ref()
 	if err != nil {
 		return BindDecl{}, err
@@ -353,7 +372,7 @@ func (p *parser) bindDecl() (BindDecl, error) {
 	if _, err := p.expect(tSemi, "';'"); err != nil {
 		return BindDecl{}, err
 	}
-	return BindDecl{From: fc, FromPort: fp, To: tc, ToPort: tp}, nil
+	return BindDecl{From: fc, FromPort: fp, To: tc, ToPort: tp, Line: line}, nil
 }
 
 func (p *parser) whenDecl(m *Model) error {
@@ -367,7 +386,7 @@ func (p *parser) whenDecl(m *Model) error {
 	if _, err := p.expect(tLBrace, "'{'"); err != nil {
 		return err
 	}
-	mode := &Mode{Name: name.text}
+	mode := &Mode{Name: name.text, Line: name.line}
 	for p.peek().kind != tRBrace {
 		kw, err := p.ident("inst/bind")
 		if err != nil {

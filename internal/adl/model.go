@@ -279,7 +279,7 @@ func (m *Model) Diff(fromMode, toMode string) (*Plan, error) {
 	touched := map[string]bool{}
 	for _, b := range from.BindList() {
 		nb, ok := to.Binds[b.Key()]
-		if !ok || nb != b {
+		if !ok || !nb.SameWire(b) {
 			p.Unbind = append(p.Unbind, b)
 			touched[b.From] = true
 			touched[b.To] = true
@@ -287,7 +287,7 @@ func (m *Model) Diff(fromMode, toMode string) (*Plan, error) {
 	}
 	for _, b := range to.BindList() {
 		ob, ok := from.Binds[b.Key()]
-		if !ok || ob != b {
+		if !ok || !ob.SameWire(b) {
 			p.Bind = append(p.Bind, b)
 			touched[b.From] = true
 			touched[b.To] = true

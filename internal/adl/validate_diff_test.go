@@ -1,0 +1,125 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases surfaced by the admlint graph checks: Validate and Diff
+// must agree with the lint pass on what a configuration means.
+
+func TestValidateDuplicateInstanceAcrossModes(t *testing.T) {
+	// The same instance name in two *different* modes is legal: each
+	// mode is a separate configuration, so the names never coexist.
+	m := MustParse(`
+component A { provide y : s; }
+component B { require x : s; }
+inst b : B;
+when m1 { inst a : A; bind b.x -- a.y; }
+when m2 { inst a : A; bind b.x -- a.y; }
+`)
+	if errs := m.Validate(); len(errs) != 0 {
+		t.Fatalf("per-mode reuse of a name must validate: %v", errs)
+	}
+
+	// The same name in a mode *and* the base is a duplicate: the mode
+	// overlays the base, so both would coexist.
+	m2 := MustParse(`
+component A { provide y : s; }
+component B { require x : s; }
+inst a : A;
+inst b : B;
+bind b.x -- a.y;
+when m { inst a : A; }
+`)
+	errs := m2.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "mode m") && strings.Contains(e.Error(), `duplicate instance "a"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mode-vs-base duplicate not reported: %v", errs)
+	}
+}
+
+func TestValidateBindToUndeclaredPort(t *testing.T) {
+	m := MustParse(`
+component A { require x : s; }
+component B { provide y : s; }
+inst a : A;
+inst b : B;
+bind a.x -- b.y;
+bind a.ghost -- b.y;
+`)
+	errs := m.Validate()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), `"A" has no port "ghost"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("undeclared port not reported: %v", errs)
+	}
+}
+
+func TestDiffIdenticalModesEmptyPlan(t *testing.T) {
+	// Two modes that make the same change relative to base differ by
+	// nothing from each other: the switchover plan must be empty, so
+	// the Adaptivity Manager quiesces nothing.
+	m := MustParse(`
+component A { provide y : s; }
+component B { require x : s; }
+inst b : B;
+when m1 { inst a : A; bind b.x -- a.y; }
+when m2 { inst a : A; bind b.x -- a.y; }
+`)
+	p, err := m.Diff("m1", "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatalf("identical modes must diff to an empty plan, got steps %v", p.Steps())
+	}
+	if len(p.Quiesce) != 0 || len(p.Resume) != 0 {
+		t.Fatalf("empty plan must quiesce nothing, got %+v", p)
+	}
+}
+
+func TestDiffIgnoresSourceLines(t *testing.T) {
+	// BindDecls now carry their source line; Diff must compare wires
+	// semantically (SameWire), not structurally. A mode that restates
+	// a base wire replaces it in ConfigFor with a decl at a different
+	// source line — struct equality would have unbound and rebound it.
+	m := MustParse(`
+component A { provide y : s; }
+component B { require x : s; }
+inst a : A;
+inst b : B;
+bind b.x -- a.y;
+when restated {
+  bind b.x -- a.y;
+}
+`)
+	p, err := m.Diff("", "restated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatalf("re-stating a wire at a new line must be a no-op, got %v", p.Steps())
+	}
+}
+
+func TestSameWireIgnoresLine(t *testing.T) {
+	a := BindDecl{From: "b", FromPort: "x", To: "a", ToPort: "y", Line: 3}
+	b := BindDecl{From: "b", FromPort: "x", To: "a", ToPort: "y", Line: 9}
+	if !a.SameWire(b) {
+		t.Fatal("SameWire must ignore source position")
+	}
+	c := BindDecl{From: "b", FromPort: "x", To: "a", ToPort: "z", Line: 3}
+	if a.SameWire(c) {
+		t.Fatal("different endpoints must not be the same wire")
+	}
+}

@@ -48,6 +48,8 @@ func (t Target) Equal(o Target) bool { return t.String() == o.String() }
 type Call struct {
 	Fn   string // canonical upper-case: BEST | NEAREST | SWITCH
 	Args []Target
+	// Pos is the byte offset of the builtin name in the rule source.
+	Pos int
 }
 
 func (c Call) String() string {
@@ -118,6 +120,9 @@ type Bound struct {
 	Op    CmpOp
 	Value float64
 	Unit  string
+	// Pos is the byte offset of the comparison operator in the rule
+	// source (0 for programmatically built rules).
+	Pos int
 }
 
 func (b Bound) String() string {
@@ -144,6 +149,8 @@ type MetricCond struct {
 	Metric string
 	Source string
 	Bounds []Bound
+	// Pos is the byte offset of the metric name in the rule source.
+	Pos int
 }
 
 func (c *MetricCond) String() string {

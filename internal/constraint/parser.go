@@ -166,7 +166,7 @@ func (p *parser) metricCond() (Cond, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc := &MetricCond{Metric: name.Text}
+	mc := &MetricCond{Metric: name.Text, Pos: name.Pos}
 	if p.at(TokLParen) {
 		p.next()
 		src, err := p.expect(TokIdent)
@@ -183,7 +183,7 @@ func (p *parser) metricCond() (Cond, error) {
 		if !ok {
 			break
 		}
-		p.next()
+		opTok := p.next()
 		num, err := p.expect(TokNumber)
 		if err != nil {
 			return nil, err
@@ -192,7 +192,7 @@ func (p *parser) metricCond() (Cond, error) {
 		if err != nil {
 			return nil, &SyntaxError{Pos: num.Pos, Near: num.Text, Msg: "bad number"}
 		}
-		b := Bound{Op: op, Value: v}
+		b := Bound{Op: op, Value: v, Pos: opTok.Pos}
 		// Optional unit: % or a bare ident that is not a keyword-ish
 		// continuation. `Kbps then` — "then" is its own token kind, so
 		// any TokIdent here is a unit... unless another bound follows,
@@ -259,7 +259,7 @@ func (p *parser) action() (*Action, error) {
 		return nil, err
 	}
 	if IsBuiltin(head.Text) && p.at(TokLParen) {
-		call, err := p.callArgs(strings.ToUpper(head.Text))
+		call, err := p.callArgs(strings.ToUpper(head.Text), head.Pos)
 		if err != nil {
 			return nil, err
 		}
@@ -281,10 +281,10 @@ func (p *parser) call() (*Call, error) {
 		return nil, &SyntaxError{Pos: head.Pos, Near: head.Text,
 			Msg: "unknown builtin (want BEST, NEAREST or SWITCH)"}
 	}
-	return p.callArgs(strings.ToUpper(head.Text))
+	return p.callArgs(strings.ToUpper(head.Text), head.Pos)
 }
 
-func (p *parser) callArgs(fn string) (*Call, error) {
+func (p *parser) callArgs(fn string, pos int) (*Call, error) {
 	if _, err := p.expect(TokLParen); err != nil {
 		return nil, err
 	}
@@ -296,7 +296,7 @@ func (p *parser) callArgs(fn string) (*Call, error) {
 		p.next()
 		extraParen = true
 	}
-	c := &Call{Fn: fn}
+	c := &Call{Fn: fn, Pos: pos}
 	for {
 		t, err := p.target()
 		if err != nil {

@@ -1,0 +1,180 @@
+package goos
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/adm-project/adm/internal/lint"
+	"github.com/adm-project/adm/internal/machine"
+)
+
+// AnalyzerSISR tags diagnostics from the SISR control-flow analysis.
+const AnalyzerSISR = "sisr-cfa"
+
+// AnalyzeListing is the SISR load-time verification as a control-flow
+// analysis rather than an opcode grep. It builds a CFG over the
+// component text and proves, statically, the properties the paper's
+// scanner needs to make a component safe without a kernel mode:
+//
+//   - no privileged instruction anywhere in the text (the classic
+//     SISR scan, reported with source positions);
+//   - every direct branch/call target resolves inside the code
+//     segment — a jump out of segment would escape the component's
+//     protection domain, so it is rejected at load time exactly like
+//     a privileged opcode;
+//   - no indirect branches/calls (`jmp *reg`): their target cannot be
+//     proven at load time, so SISR must reject them;
+//   - unreachable instructions are flagged (warning): dead text
+//     enlarges the scanned image for no benefit and often indicates a
+//     mis-assembled target;
+//   - control falling off the end of the segment is flagged
+//     (warning): execution would continue into whatever the loader
+//     placed next.
+//
+// Errors make the image unloadable; warnings do not.
+func AnalyzeListing(l *Listing) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	n := len(l.Insts)
+	if n == 0 {
+		return diags
+	}
+
+	// succ[i] holds the CFG successor indices of instruction i; an
+	// index == n is the virtual "off the end" node.
+	succ := make([][]int, n)
+	fallsOff := -1 // index of a reachable instruction that falls off the end
+
+	for i, in := range l.Insts {
+		d := &l.Insts[i]
+		switch {
+		case in.Instr.Op.Privileged():
+			diags = append(diags, lint.Errorf(l.File, d.Line, d.Col, AnalyzerSISR,
+				"privileged", "privileged instruction %s %q rejected by SISR scan",
+				in.Instr.Op, strings.TrimSpace(in.Instr.Name)))
+		}
+
+		switch in.Instr.Op {
+		case machine.OpRet, machine.OpIret:
+			// No successors: control leaves the component.
+		case machine.OpBranch, machine.OpCall:
+			target, kind := resolveTarget(l, d)
+			switch kind {
+			case targetNone:
+				diags = append(diags, lint.Warnf(l.File, d.Line, d.Col, AnalyzerSISR,
+					"no-target", "%s without an explicit target; in-segment property cannot be verified", in.Mnemonic))
+			case targetIndirect:
+				diags = append(diags, lint.Errorf(l.File, d.Line, d.OperandCol, AnalyzerSISR,
+					"indirect-branch", "indirect %s through %q cannot be statically verified by the SISR scan", in.Mnemonic, in.Operand))
+			case targetUndefined:
+				diags = append(diags, lint.Errorf(l.File, d.Line, d.OperandCol, AnalyzerSISR,
+					"undefined-label", "%s target %q is not a defined label", in.Mnemonic, in.Operand))
+			case targetResolved:
+				if target < 0 || target >= n {
+					diags = append(diags, lint.Errorf(l.File, d.Line, d.OperandCol, AnalyzerSISR,
+						"out-of-segment", "%s target %q (+%d) is outside the code segment [0,%d)",
+						in.Mnemonic, in.Operand, target, n))
+				} else {
+					succ[i] = append(succ[i], target)
+				}
+			}
+			// Conditional branches and calls fall through; an
+			// unconditional jmp does not.
+			if in.Instr.Op == machine.OpCall || !machine.UnconditionalJump(in.Mnemonic) {
+				succ[i] = append(succ[i], i+1)
+			}
+		default:
+			succ[i] = append(succ[i], i+1)
+		}
+	}
+
+	// Reachability from the component entry (offset 0).
+	reach := make([]bool, n)
+	work := []int{0}
+	reach[0] = true
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range succ[i] {
+			if s == n {
+				if fallsOff < 0 || i > fallsOff {
+					fallsOff = i
+				}
+				continue
+			}
+			if s >= 0 && s < n && !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	if fallsOff >= 0 {
+		d := l.Insts[fallsOff]
+		diags = append(diags, lint.Warnf(l.File, d.Line, d.Col, AnalyzerSISR,
+			"fall-off-end", "control can fall off the end of the code segment after %q", d.Mnemonic))
+	}
+
+	// Report unreachable instructions as runs, one diagnostic each.
+	for i := 0; i < n; {
+		if reach[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < n && !reach[j] {
+			j++
+		}
+		d := l.Insts[i]
+		diags = append(diags, lint.Warnf(l.File, d.Line, d.Col, AnalyzerSISR,
+			"unreachable", "%d instruction(s) unreachable from the component entry", j-i))
+		i = j
+	}
+	return diags
+}
+
+// PrivilegeDiagnostics reports only the privileged-opcode findings of
+// the classic SISR scan, positioned at their listing lines. goscan
+// uses it to keep its historical loadable/rejected semantics while
+// emitting the shared diagnostic format.
+func PrivilegeDiagnostics(l *Listing) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, in := range l.Insts {
+		if in.Instr.Op.Privileged() {
+			diags = append(diags, lint.Errorf(l.File, in.Line, in.Col, AnalyzerSISR,
+				"privileged", "privileged instruction %s %q rejected by SISR scan",
+				in.Instr.Op, strings.TrimSpace(in.Instr.Name)))
+		}
+	}
+	return diags
+}
+
+type targetKind int
+
+const (
+	targetNone targetKind = iota
+	targetIndirect
+	targetUndefined
+	targetResolved
+)
+
+// resolveTarget classifies a branch/call operand: empty, indirect
+// (`*reg`, `[reg]`, `%reg`), an absolute instruction index, or a
+// label. For labels, a definition at the very end of the text (a
+// trailing `end:`) resolves to len(Insts) and is reported as
+// out-of-segment by the caller.
+func resolveTarget(l *Listing, in *AsmInst) (int, targetKind) {
+	op := in.Operand
+	if op == "" {
+		return 0, targetNone
+	}
+	if strings.HasPrefix(op, "*") || strings.HasPrefix(op, "[") || strings.HasPrefix(op, "%") {
+		return 0, targetIndirect
+	}
+	if idx, err := strconv.Atoi(op); err == nil {
+		return idx, targetResolved
+	}
+	if idx, ok := l.Labels[op]; ok {
+		return idx, targetResolved
+	}
+	return 0, targetUndefined
+}

@@ -1,0 +1,193 @@
+package goos
+
+import (
+	"testing"
+
+	"github.com/adm-project/adm/internal/lint"
+	"github.com/adm-project/adm/internal/machine"
+)
+
+func mustParseListing(t *testing.T, src string) *Listing {
+	t.Helper()
+	l, diags := ParseListing("test.s", src)
+	if len(diags) != 0 {
+		t.Fatalf("parse diagnostics: %v", diags)
+	}
+	return l
+}
+
+func diagCodes(diags []lint.Diagnostic) map[string]int {
+	out := map[string]int{}
+	for _, d := range diags {
+		out[d.Code]++
+	}
+	return out
+}
+
+func TestParseListingLabelsAndComments(t *testing.T) {
+	l := mustParseListing(t, `
+# component entry
+start:	load r1, n   ; init
+	add r1, 1
+	jmp start
+done:
+`)
+	if len(l.Insts) != 3 {
+		t.Fatalf("insts = %d, want 3", len(l.Insts))
+	}
+	if idx, ok := l.Labels["start"]; !ok || idx != 0 {
+		t.Fatalf("start label = %d,%v", idx, ok)
+	}
+	// A trailing label points one past the last instruction.
+	if idx := l.Labels["done"]; idx != 3 {
+		t.Fatalf("done label = %d, want 3", idx)
+	}
+	if l.Insts[0].Line != 3 || l.Insts[0].Mnemonic != "load" || l.Insts[0].Operand != "r1" {
+		t.Fatalf("inst 0 = %+v", l.Insts[0])
+	}
+	if l.Insts[2].Instr.Op != machine.OpBranch {
+		t.Fatalf("jmp classified as %v", l.Insts[2].Instr.Op)
+	}
+}
+
+func TestParseListingUnknownMnemonic(t *testing.T) {
+	_, diags := ParseListing("t.s", "frobnicate r1\n")
+	if len(diags) != 1 || diags[0].Code != "unknown-mnemonic" || diags[0].Line != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestParseListingDuplicateLabel(t *testing.T) {
+	_, diags := ParseListing("t.s", "a: nop\na: nop\n")
+	if len(diags) != 1 || diags[0].Code != "duplicate-label" || diags[0].Line != 2 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestAnalyzeCleanLoop(t *testing.T) {
+	l := mustParseListing(t, `
+start:	load r1, n
+	sub r1, 1
+	jnz start
+	ret
+`)
+	if diags := AnalyzeListing(l); len(diags) != 0 {
+		t.Fatalf("clean loop flagged: %v", diags)
+	}
+}
+
+func TestAnalyzePrivilegedPositioned(t *testing.T) {
+	l := mustParseListing(t, "load r1, n\ncli\nret\n")
+	diags := AnalyzeListing(l)
+	if diagCodes(diags)["privileged"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Code == "privileged" && d.Line != 2 {
+			t.Fatalf("privileged at line %d, want 2", d.Line)
+		}
+	}
+}
+
+func TestAnalyzeOutOfSegment(t *testing.T) {
+	l := mustParseListing(t, "load r1, n\njmp 12\nret\n")
+	diags := AnalyzeListing(l)
+	c := diagCodes(diags)
+	if c["out-of-segment"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+	// The ret after the unconditional jmp is unreachable.
+	if c["unreachable"] != 1 {
+		t.Fatalf("want unreachable warning, got %v", diags)
+	}
+	if !lint.HasErrors(diags) {
+		t.Fatal("out-of-segment must be an error")
+	}
+}
+
+func TestAnalyzeUndefinedLabel(t *testing.T) {
+	l := mustParseListing(t, "jmp nowhere\n")
+	diags := AnalyzeListing(l)
+	if diagCodes(diags)["undefined-label"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestAnalyzeIndirectBranch(t *testing.T) {
+	l := mustParseListing(t, "load r1, table\njmp *r1\n")
+	diags := AnalyzeListing(l)
+	if diagCodes(diags)["indirect-branch"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestAnalyzeFallOffEnd(t *testing.T) {
+	l := mustParseListing(t, "load r1, n\nadd r1, 1\n")
+	diags := AnalyzeListing(l)
+	if diagCodes(diags)["fall-off-end"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+	if lint.HasErrors(diags) {
+		t.Fatalf("fall-off-end is a warning, got %v", diags)
+	}
+}
+
+func TestAnalyzeConditionalFallthroughReachesBoth(t *testing.T) {
+	// jz has both a target and a fallthrough, so nothing here is
+	// unreachable.
+	l := mustParseListing(t, `
+	load r1, n
+	jz done
+	add r1, 1
+done:	ret
+`)
+	if diags := AnalyzeListing(l); len(diags) != 0 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestAnalyzeTrailingLabelTargetIsOutOfSegment(t *testing.T) {
+	// A branch to a label defined after the last instruction resolves
+	// to len(Insts): out of segment.
+	l := mustParseListing(t, "jmp end\nend:\n")
+	diags := AnalyzeListing(l)
+	if diagCodes(diags)["out-of-segment"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestAnalyzeUnreachableRunReportedOnce(t *testing.T) {
+	l := mustParseListing(t, `
+	ret
+	load r1, n
+	add r1, 1
+	ret
+`)
+	diags := AnalyzeListing(l)
+	c := diagCodes(diags)
+	if c["unreachable"] != 1 {
+		t.Fatalf("want a single unreachable run, got %v", diags)
+	}
+}
+
+func TestPrivilegeDiagnosticsOnly(t *testing.T) {
+	// PrivilegeDiagnostics keeps goscan's classic semantics: it
+	// reports the privileged opcode but not the CFG findings.
+	l := mustParseListing(t, "cli\njmp nowhere\n")
+	diags := PrivilegeDiagnostics(l)
+	c := diagCodes(diags)
+	if c["privileged"] != 1 || c["undefined-label"] != 0 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestListingTextRoundTrip(t *testing.T) {
+	l := mustParseListing(t, "load r1, n\nret\n")
+	text := l.Text()
+	if len(text) != 2 || text[0].Op != machine.OpLoad || text[1].Op != machine.OpRet {
+		t.Fatalf("text = %+v", text)
+	}
+	if _, ok := l.InstAt(5); ok {
+		t.Fatal("InstAt out of range must report !ok")
+	}
+}

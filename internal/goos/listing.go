@@ -1,0 +1,130 @@
+package goos
+
+import (
+	"strings"
+
+	"github.com/adm-project/adm/internal/lint"
+	"github.com/adm-project/adm/internal/machine"
+)
+
+// AnalyzerAsmParse tags diagnostics from the listing parser.
+const AnalyzerAsmParse = "asm-parse"
+
+// AsmInst is one parsed listing instruction with its source position,
+// kept alongside the machine.Instruction so analyses can report
+// findings at the original line rather than a text-section offset.
+type AsmInst struct {
+	// Index is the instruction's offset in the component text.
+	Index int
+	// Line/Col position the mnemonic in the source listing (1-based).
+	Line, Col int
+	// OperandCol positions the first operand, 0 if none.
+	OperandCol int
+	// Mnemonic is the lower-cased opcode mnemonic.
+	Mnemonic string
+	// Operand is the first operand ("" if none).
+	Operand string
+	// Instr is the classified machine instruction.
+	Instr machine.Instruction
+}
+
+// Listing is a parsed assembly listing: the component text section in
+// the format accepted by goscan and admlint. One instruction per
+// line; `name:` defines a label (optionally followed by an
+// instruction on the same line); comments run from '#' or ';' to end
+// of line. Branch/call operands may be a label, an absolute
+// instruction index, or an indirect form (`*reg`), which the SISR
+// control-flow pass rejects.
+type Listing struct {
+	File  string
+	Insts []AsmInst
+	// Labels maps a label to the index of the instruction it precedes
+	// (== len(Insts) for a trailing label).
+	Labels map[string]int
+	// LabelLines records where each label was defined.
+	LabelLines map[string]int
+}
+
+// Text returns the listing's instructions as a component text section
+// for the SISR scanner and loader.
+func (l *Listing) Text() []machine.Instruction {
+	out := make([]machine.Instruction, len(l.Insts))
+	for i, in := range l.Insts {
+		out[i] = in.Instr
+	}
+	return out
+}
+
+// InstAt returns the parsed instruction at text offset idx.
+func (l *Listing) InstAt(idx int) (AsmInst, bool) {
+	if idx < 0 || idx >= len(l.Insts) {
+		return AsmInst{}, false
+	}
+	return l.Insts[idx], true
+}
+
+// ParseListing parses assembly-listing source. Parse problems (unknown
+// mnemonics, duplicate labels) are returned as positioned diagnostics
+// rather than a single error, so a listing with one bad line still
+// yields every finding in one pass.
+func ParseListing(file, src string) (*Listing, []lint.Diagnostic) {
+	l := &Listing{File: file, Labels: map[string]int{}, LabelLines: map[string]int{}}
+	var diags []lint.Diagnostic
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		rest := line
+		// Labels: one or more `name:` prefixes.
+		for {
+			trimmed := strings.TrimSpace(rest)
+			colon := strings.Index(trimmed, ":")
+			if colon <= 0 || strings.ContainsAny(trimmed[:colon], " \t") {
+				break
+			}
+			name := trimmed[:colon]
+			if _, dup := l.Labels[name]; dup {
+				diags = append(diags, lint.Errorf(file, lineNo+1, col(raw, name), AnalyzerAsmParse,
+					"duplicate-label", "label %q already defined at line %d", name, l.LabelLines[name]))
+			} else {
+				l.Labels[name] = len(l.Insts)
+				l.LabelLines[name] = lineNo + 1
+			}
+			rest = trimmed[colon+1:]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		mnem := strings.ToLower(fields[0])
+		op, ok := machine.ParseMnemonic(mnem)
+		if !ok {
+			diags = append(diags, lint.Errorf(file, lineNo+1, col(raw, fields[0]), AnalyzerAsmParse,
+				"unknown-mnemonic", "unknown mnemonic %q", fields[0]))
+			continue
+		}
+		in := AsmInst{
+			Index:    len(l.Insts),
+			Line:     lineNo + 1,
+			Col:      col(raw, fields[0]),
+			Mnemonic: mnem,
+			Instr:    machine.Instruction{Op: op, Name: strings.TrimSpace(line)},
+		}
+		if len(fields) > 1 {
+			in.Operand = strings.TrimSuffix(fields[1], ",")
+			in.OperandCol = col(raw, fields[1])
+		}
+		l.Insts = append(l.Insts, in)
+	}
+	return l, diags
+}
+
+// col returns the 1-based column of the first occurrence of sub in
+// raw, or 1 if not found.
+func col(raw, sub string) int {
+	if i := strings.Index(raw, sub); i >= 0 {
+		return i + 1
+	}
+	return 1
+}

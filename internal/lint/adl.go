@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/adm-project/adm/internal/adl"
+)
+
+// AnalyzerADL tags diagnostics from the ADL configuration-graph pass.
+const AnalyzerADL = "adl-graph"
+
+// AnalyzeADL runs the configuration-graph checks over a parsed ADL
+// model: the semantic rules of adl.Model.Validate plus the whole-graph
+// properties the Adaptivity Manager assumes hold before it executes a
+// reconfiguration plan —
+//
+//   - dangling bind endpoints (unknown instance, unknown port) and
+//     direction/service mismatches, per configuration (error);
+//   - require ports left unbound in a configuration (error);
+//   - a require port bound more than once in one configuration
+//     (error);
+//   - instances that participate in no binding in any configuration
+//     in which they are active (warning: an isolated node can never
+//     serve or consume anything);
+//   - component types never instantiated (warning);
+//   - modes unreachable via Diff: a mode whose flattened
+//     configuration is identical to another mode's (or to the base),
+//     so switching to it is an empty reconfiguration plan (warning).
+//
+// Every diagnostic carries the declaration's source line, so `admlint
+// file.adl` findings are clickable.
+func AnalyzeADL(file string, m *adl.Model) []Diagnostic {
+	a := &adlAnalysis{file: file, m: m, everBound: map[string]bool{}}
+
+	a.checkInstances()
+
+	modes := m.ModeNames()
+	if len(modes) == 0 {
+		a.checkConfig("base configuration", m.Insts, nil, m.Binds, nil)
+	} else {
+		for _, mn := range modes {
+			mo := m.Modes[mn]
+			a.checkConfig(fmt.Sprintf("mode %q", mn), m.Insts, mo.Insts, m.Binds, mo.Binds)
+		}
+	}
+
+	a.checkNeverBound(modes)
+	a.checkUnusedTypes()
+	a.checkDuplicateModes(modes)
+
+	Sort(a.diags)
+	return a.diags
+}
+
+type adlAnalysis struct {
+	file  string
+	m     *adl.Model
+	diags []Diagnostic
+	// everBound records instances seen on either side of a binding in
+	// any configuration.
+	everBound map[string]bool
+}
+
+func (a *adlAnalysis) errorf(line, col int, code, format string, args ...any) {
+	a.diags = append(a.diags, Errorf(a.file, line, col, AnalyzerADL, code, format, args...))
+}
+
+func (a *adlAnalysis) warnf(line, col int, code, format string, args ...any) {
+	a.diags = append(a.diags, Warnf(a.file, line, col, AnalyzerADL, code, format, args...))
+}
+
+// checkInstances reports unknown types and duplicate instance names
+// (within the base, and between a mode and the base or itself — two
+// different modes may legitimately reuse a name, as they are never
+// co-active).
+func (a *adlAnalysis) checkInstances() {
+	check := func(where string, insts []adl.InstDecl, seen map[string]int) {
+		for _, i := range insts {
+			if prev, dup := seen[i.Name]; dup {
+				a.errorf(i.Line, 0, "duplicate-instance",
+					"%s: instance %q already declared at line %d", where, i.Name, prev)
+			} else {
+				seen[i.Name] = i.Line
+			}
+			if _, ok := a.m.Types[i.Type]; !ok {
+				a.errorf(i.Line, 0, "unknown-type",
+					"%s: instance %q has unknown component type %q", where, i.Name, i.Type)
+			}
+		}
+	}
+	base := map[string]int{}
+	check("base configuration", a.m.Insts, base)
+	for _, mn := range a.m.ModeNames() {
+		seen := map[string]int{}
+		for k, v := range base {
+			seen[k] = v
+		}
+		check(fmt.Sprintf("mode %q", mn), a.m.Modes[mn].Insts, seen)
+	}
+}
+
+// checkConfig validates one flattened configuration's binding graph.
+func (a *adlAnalysis) checkConfig(where string, baseInsts, modeInsts []adl.InstDecl, baseBinds, modeBinds []adl.BindDecl) {
+	insts := map[string]adl.InstDecl{}
+	for _, i := range baseInsts {
+		insts[i.Name] = i
+	}
+	for _, i := range modeInsts {
+		insts[i.Name] = i
+	}
+	bound := map[string]int{} // require endpoint -> bind line
+	all := append(append([]adl.BindDecl{}, baseBinds...), modeBinds...)
+	for _, b := range all {
+		from, fromOK := insts[b.From]
+		if !fromOK {
+			a.errorf(b.Line, 0, "dangling-bind",
+				"%s: binding %s: unknown instance %q", where, b, b.From)
+		}
+		to, toOK := insts[b.To]
+		if !toOK {
+			a.errorf(b.Line, 0, "dangling-bind",
+				"%s: binding %s: unknown instance %q", where, b, b.To)
+		}
+		if !fromOK || !toOK {
+			continue
+		}
+		a.everBound[b.From] = true
+		a.everBound[b.To] = true
+		ft, ok := a.m.Types[from.Type]
+		if !ok {
+			continue // reported by checkInstances
+		}
+		tt, ok := a.m.Types[to.Type]
+		if !ok {
+			continue
+		}
+		fp, ok := ft.Port(b.FromPort)
+		if !ok {
+			a.errorf(b.Line, 0, "dangling-bind",
+				"%s: binding %s: component %q has no port %q", where, b, from.Type, b.FromPort)
+			continue
+		}
+		tp, ok := tt.Port(b.ToPort)
+		if !ok {
+			a.errorf(b.Line, 0, "dangling-bind",
+				"%s: binding %s: component %q has no port %q", where, b, to.Type, b.ToPort)
+			continue
+		}
+		if fp.Provided {
+			a.errorf(b.Line, 0, "bind-direction",
+				"%s: binding %s: left endpoint %s.%s must be a required port", where, b, b.From, b.FromPort)
+		}
+		if !tp.Provided {
+			a.errorf(b.Line, 0, "bind-direction",
+				"%s: binding %s: right endpoint %s.%s must be a provided port", where, b, b.To, b.ToPort)
+		}
+		if !fp.Provided && tp.Provided && fp.Service != tp.Service {
+			a.errorf(b.Line, 0, "service-mismatch",
+				"%s: binding %s: interface mismatch: %s.%s requires %q but %s.%s provides %q",
+				where, b, b.From, b.FromPort, fp.Service, b.To, b.ToPort, tp.Service)
+		}
+		if prev, dup := bound[b.Key()]; dup {
+			a.errorf(b.Line, 0, "rebound-port",
+				"%s: require port %s already bound at line %d", where, b.Key(), prev)
+		} else {
+			bound[b.Key()] = b.Line
+		}
+	}
+	// Completeness: every require port of every active instance bound.
+	names := make([]string, 0, len(insts))
+	for n := range insts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		i := insts[n]
+		t, ok := a.m.Types[i.Type]
+		if !ok {
+			continue
+		}
+		for _, p := range t.Ports {
+			if !p.Provided {
+				if _, ok := bound[i.Name+"."+p.Name]; !ok {
+					a.errorf(i.Line, 0, "unbound-require",
+						"%s: require port %s.%s (%s) is unbound", where, i.Name, p.Name, p.Service)
+				}
+			}
+		}
+	}
+}
+
+// checkNeverBound warns about instances that no configuration ever
+// wires to anything.
+func (a *adlAnalysis) checkNeverBound(modes []string) {
+	report := func(where string, insts []adl.InstDecl) {
+		for _, i := range insts {
+			t, ok := a.m.Types[i.Type]
+			if !ok || len(t.Ports) == 0 || a.everBound[i.Name] {
+				continue
+			}
+			a.warnf(i.Line, 0, "never-bound",
+				"%s: instance %q (%s) participates in no binding in any configuration", where, i.Name, i.Type)
+		}
+	}
+	report("base configuration", a.m.Insts)
+	for _, mn := range modes {
+		report(fmt.Sprintf("mode %q", mn), a.m.Modes[mn].Insts)
+	}
+}
+
+// checkUnusedTypes warns about component types never instantiated.
+func (a *adlAnalysis) checkUnusedTypes() {
+	used := map[string]bool{}
+	for _, i := range a.m.Insts {
+		used[i.Type] = true
+	}
+	for _, mn := range a.m.ModeNames() {
+		for _, i := range a.m.Modes[mn].Insts {
+			used[i.Type] = true
+		}
+	}
+	names := make([]string, 0, len(a.m.Types))
+	for n := range a.m.Types {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !used[n] {
+			a.warnf(a.m.Types[n].Line, 0, "unused-type",
+				"component type %q is never instantiated", n)
+		}
+	}
+}
+
+// checkDuplicateModes flags modes unreachable via Diff: switching to
+// them from the base or from an earlier mode is an empty plan, so the
+// Adaptivity Manager can never observe the mode as a distinct
+// configuration.
+func (a *adlAnalysis) checkDuplicateModes(modes []string) {
+	for i, mn := range modes {
+		mo := a.m.Modes[mn]
+		if plan, err := a.m.Diff("", mn); err == nil && plan.Empty() {
+			a.warnf(mo.Line, 0, "duplicate-mode",
+				"mode %q is identical to the base configuration (empty reconfiguration plan)", mn)
+			continue
+		}
+		for _, prev := range modes[:i] {
+			if plan, err := a.m.Diff(prev, mn); err == nil && plan.Empty() {
+				a.warnf(mo.Line, 0, "duplicate-mode",
+					"mode %q is identical to mode %q (empty reconfiguration plan)", mn, prev)
+				break
+			}
+		}
+	}
+}

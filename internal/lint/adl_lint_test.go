@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adm-project/adm/internal/adl"
+)
+
+func analyzeSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	m, err := adl.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return AnalyzeADL("test.adl", m)
+}
+
+func codes(diags []Diagnostic) map[string]int {
+	out := map[string]int{}
+	for _, d := range diags {
+		out[d.Code]++
+	}
+	return out
+}
+
+func TestAnalyzeADLFigure4Clean(t *testing.T) {
+	diags := analyzeSrc(t, adl.Figure4)
+	if len(diags) != 0 {
+		t.Fatalf("figure 4 should be clean, got %v", diags)
+	}
+}
+
+func TestAnalyzeADLDanglingBind(t *testing.T) {
+	diags := analyzeSrc(t, `
+component A { require x : s; }
+component B { provide y : s; }
+inst a : A;
+inst b : B;
+bind a.x -- c.y;
+bind a.z -- b.y;
+`)
+	c := codes(diags)
+	if c["dangling-bind"] != 2 {
+		t.Fatalf("want 2 dangling-bind, got %v", diags)
+	}
+	// Both diagnostics must carry the bind lines (6 and 7).
+	for _, d := range diags {
+		if d.Code == "dangling-bind" && d.Line != 6 && d.Line != 7 {
+			t.Fatalf("dangling-bind at line %d, want 6 or 7: %v", d.Line, d)
+		}
+	}
+}
+
+func TestAnalyzeADLServiceMismatchPerMode(t *testing.T) {
+	diags := analyzeSrc(t, `
+component A { require x : left; }
+component B { provide y : right; }
+inst a : A;
+when m {
+  inst b : B;
+  bind a.x -- b.y;
+}
+`)
+	c := codes(diags)
+	if c["service-mismatch"] != 1 {
+		t.Fatalf("want service-mismatch, got %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Code == "service-mismatch" && strings.Contains(d.Message, `mode "m"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mismatch should name the mode: %v", diags)
+	}
+}
+
+func TestAnalyzeADLNeverBound(t *testing.T) {
+	diags := analyzeSrc(t, `
+component Loner { provide y : s; }
+inst l : Loner;
+`)
+	c := codes(diags)
+	if c["never-bound"] != 1 {
+		t.Fatalf("want never-bound, got %v", diags)
+	}
+}
+
+func TestAnalyzeADLDuplicateMode(t *testing.T) {
+	diags := analyzeSrc(t, `
+component A { provide y : s; }
+component B { require x : s; }
+inst a : A;
+inst b : B;
+bind b.x -- a.y;
+when m1 { }
+when m2 { }
+`)
+	c := codes(diags)
+	// Both modes equal base; m2 also equals m1, but one finding per
+	// mode is enough.
+	if c["duplicate-mode"] != 2 {
+		t.Fatalf("want 2 duplicate-mode, got %v", diags)
+	}
+}
+
+func TestAnalyzeADLUnusedType(t *testing.T) {
+	diags := analyzeSrc(t, `
+component Used { provide y : s; }
+component Unused { provide y : s; }
+component Client { require x : s; }
+inst u : Used;
+inst c : Client;
+bind c.x -- u.y;
+`)
+	c := codes(diags)
+	if c["unused-type"] != 1 {
+		t.Fatalf("want unused-type, got %v", diags)
+	}
+}
+
+func TestAnalyzeADLReboundPort(t *testing.T) {
+	diags := analyzeSrc(t, `
+component A { require x : s; }
+component B { provide y : s; }
+inst a : A;
+inst b : B;
+inst b2 : B;
+bind a.x -- b.y;
+bind a.x -- b2.y;
+`)
+	if codes(diags)["rebound-port"] != 1 {
+		t.Fatalf("want rebound-port, got %v", diags)
+	}
+}
+
+func TestAnalyzeADLUnknownTypePositioned(t *testing.T) {
+	diags := analyzeSrc(t, `inst a : Ghost;`)
+	if len(diags) == 0 || diags[0].Code != "unknown-type" || diags[0].Line != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}

@@ -1,0 +1,167 @@
+// Package lint is the cross-layer static-verification subsystem: one
+// shared Diagnostic currency for every load-time check in the stack —
+// the SISR control-flow scan over component images (internal/goos),
+// the ADL configuration-graph checks (this package, over internal/adl
+// models), and the constraint-rule analysis (this package, over
+// internal/constraint rules).
+//
+// The paper's safety argument is entirely load-time: Go!'s scanner
+// proves a component image unprivileged *before* it runs (§5.1), and
+// the ADL-plus-constraints layer is supposed to make reconfiguration
+// "evaluated" rather than discovered at runtime (§3–§4). Every
+// analyzer here therefore runs before Instantiate/LoadType and
+// reports findings positionally, so tooling (cmd/admlint, cmd/adlc,
+// cmd/goscan) and embedders (adm.LintADL etc.) see the same machine-
+// readable stream.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Severity grades a diagnostic. Errors make an artifact unloadable
+// (admlint exits non-zero); warnings flag suspicious-but-runnable
+// constructs; infos are advisory.
+type Severity int
+
+// Severity levels, most severe first.
+const (
+	SeverityError Severity = iota
+	SeverityWarning
+	SeverityInfo
+)
+
+var severityNames = [...]string{"error", "warning", "info"}
+
+func (s Severity) String() string {
+	if s >= 0 && int(s) < len(severityNames) {
+		return severityNames[s]
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON emits the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range severityNames {
+		if n == name {
+			*s = Severity(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("lint: unknown severity %q", name)
+}
+
+// Diagnostic is one analyzer finding, positioned in its source
+// artifact. Line and Col are 1-based; zero means "position unknown"
+// (e.g. a whole-model finding). Analyzer names the pass family
+// ("sisr-cfa", "adl-graph", "rules"); Code is a stable machine-
+// readable finding kind within it.
+type Diagnostic struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col,omitempty"`
+	Severity Severity `json:"severity"`
+	Analyzer string   `json:"analyzer"`
+	Code     string   `json:"code"`
+	Message  string   `json:"message"`
+}
+
+// String renders the conventional file:line:col: severity: message
+// form used by compilers, with the analyzer/code tag appended.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	b.WriteString(d.File)
+	if d.Line > 0 {
+		fmt.Fprintf(&b, ":%d", d.Line)
+		if d.Col > 0 {
+			fmt.Fprintf(&b, ":%d", d.Col)
+		}
+	}
+	fmt.Fprintf(&b, ": %s: %s [%s/%s]", d.Severity, d.Message, d.Analyzer, d.Code)
+	return b.String()
+}
+
+// Errorf builds a positioned error diagnostic.
+func Errorf(file string, line, col int, analyzer, code, format string, args ...any) Diagnostic {
+	return Diagnostic{File: file, Line: line, Col: col, Severity: SeverityError,
+		Analyzer: analyzer, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Warnf builds a positioned warning diagnostic.
+func Warnf(file string, line, col int, analyzer, code, format string, args ...any) Diagnostic {
+	return Diagnostic{File: file, Line: line, Col: col, Severity: SeverityWarning,
+		Analyzer: analyzer, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Infof builds a positioned info diagnostic.
+func Infof(file string, line, col int, analyzer, code, format string, args ...any) Diagnostic {
+	return Diagnostic{File: file, Line: line, Col: col, Severity: SeverityInfo,
+		Analyzer: analyzer, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Sort orders diagnostics by (file, line, col, severity, code) so
+// output is deterministic regardless of analyzer scheduling.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		return a.Code < b.Code
+	})
+}
+
+// ErrorCount returns the number of error-severity diagnostics.
+func ErrorCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func HasErrors(diags []Diagnostic) bool { return ErrorCount(diags) > 0 }
+
+// WriteText writes one diagnostic per line in String form.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the diagnostics as an indented JSON array (always
+// an array, never null, so consumers can parse unconditionally).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

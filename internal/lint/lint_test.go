@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Errorf("a.adl", 12, 3, "adl-graph", "dangling-bind", "unknown instance %q", "q")
+	got := d.String()
+	want := `a.adl:12:3: error: unknown instance "q" [adl-graph/dangling-bind]`
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	// Position-less diagnostics omit line/col.
+	d2 := Warnf("m.rules", 0, 0, "rules", "dead-rule", "unreachable")
+	if got := d2.String(); got != "m.rules: warning: unreachable [rules/dead-rule]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SeverityError, SeverityWarning, SeverityInfo} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Fatalf("round trip %v -> %s -> %v", s, b, back)
+		}
+	}
+	var bad Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &bad); err == nil {
+		t.Fatal("want error for unknown severity name")
+	}
+}
+
+func TestWriteJSONAlwaysArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty diagnostics = %q, want []", got)
+	}
+}
+
+func TestSortOrdersByPosition(t *testing.T) {
+	diags := []Diagnostic{
+		Warnf("b.adl", 1, 0, "x", "c1", "m"),
+		Errorf("a.adl", 9, 2, "x", "c2", "m"),
+		Errorf("a.adl", 9, 1, "x", "c3", "m"),
+		Warnf("a.adl", 2, 0, "x", "c4", "m"),
+	}
+	Sort(diags)
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Code)
+	}
+	want := "c4,c3,c2,c1"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("order = %v, want %s", got, want)
+	}
+}
+
+func TestErrorCount(t *testing.T) {
+	diags := []Diagnostic{
+		Errorf("f", 1, 0, "x", "a", "m"),
+		Warnf("f", 2, 0, "x", "b", "m"),
+		Infof("f", 3, 0, "x", "c", "m"),
+	}
+	if n := ErrorCount(diags); n != 1 {
+		t.Fatalf("ErrorCount = %d", n)
+	}
+	if !HasErrors(diags) {
+		t.Fatal("HasErrors = false")
+	}
+	if HasErrors(diags[1:]) {
+		t.Fatal("warnings must not count as errors")
+	}
+}

@@ -1,0 +1,574 @@
+package lint
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+)
+
+// AnalyzerRules tags diagnostics from the constraint-rule pass.
+const AnalyzerRules = "rules"
+
+// MetricInfo declares one metric of the monitor vocabulary: its
+// publishing unit and its value range. Rules are type-checked against
+// this — the paper's monitors publish in fixed units ("processor-util
+// > 90 %", "bandwidth ... Kbps"), so a rule comparing against a
+// different unit, or against a value no monitor can ever report, is a
+// configuration bug detectable before the session manager runs.
+type MetricInfo struct {
+	Unit string
+	// Min/Max bound the values the monitor can publish; ±Inf means
+	// unbounded on that side.
+	Min, Max float64
+}
+
+// Vocabulary maps metric names to their declared info.
+type Vocabulary map[string]MetricInfo
+
+// DefaultVocabulary returns the well-known metric vocabulary of
+// internal/monitor, with the units and ranges the repo's monitors
+// publish in.
+func DefaultVocabulary() Vocabulary {
+	inf := math.Inf(1)
+	return Vocabulary{
+		monitor.MetricProcessorUtil: {Unit: "%", Min: 0, Max: 100},
+		monitor.MetricBattery:       {Unit: "%", Min: 0, Max: 100},
+		monitor.MetricBandwidth:     {Unit: "Kbps", Min: 0, Max: inf},
+		monitor.MetricRequestRate:   {Unit: "", Min: 0, Max: inf},
+		monitor.MetricCapacity:      {Unit: "", Min: 0, Max: inf},
+		monitor.MetricLoad:          {Unit: "", Min: 0, Max: inf},
+		monitor.MetricDistance:      {Unit: "", Min: 0, Max: inf},
+		monitor.MetricLatency:       {Unit: "ms", Min: 0, Max: inf},
+		monitor.MetricFreeMemory:    {Unit: "KiB", Min: 0, Max: inf},
+	}
+}
+
+// Clone returns a copy of the vocabulary.
+func (v Vocabulary) Clone() Vocabulary {
+	out := make(Vocabulary, len(v))
+	for k, i := range v {
+		out[k] = i
+	}
+	return out
+}
+
+// Names returns the vocabulary's metric names, sorted.
+func (v Vocabulary) Names() []string {
+	out := make([]string, 0, len(v))
+	for k := range v {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleLine is one rule positioned in a rule-set source file. Priority
+// follows constraint.PrioritisedRule (lower = evaluated earlier); ID
+// breaks priority ties by declaration order.
+type RuleLine struct {
+	Line int
+	// ColOff is the byte offset of the rule text within its source
+	// line (non-zero when a priority prefix precedes it).
+	ColOff   int
+	ID       int
+	Priority int
+	Rule     *constraint.Rule
+}
+
+// AnalyzeRules runs the constraint-rule static analysis over an
+// ordered rule set:
+//
+//   - vocabulary type-check: every metric a condition reads must be
+//     declared, and bound units must match the metric's publishing
+//     unit (error);
+//   - constant folding / interval analysis: a comparison band that is
+//     unsatisfiable (`x > 50 < 30`), a guard contradicting itself
+//     across an `and` (`x > 90 and x < 10`), or a guard outside the
+//     metric's declared range (`processor-util > 150 %`) can never
+//     fire (error); a guard implied by the metric's range alone
+//     (`processor-util >= 0`) always fires, making any else-branch
+//     dead (warning);
+//   - shadowing: a rule is dead if an earlier (higher-priority) rule
+//     always produces a decision (Select, or a guard with an else),
+//     or if its guard implies an earlier else-less rule's guard, so
+//     the earlier rule always claims the decision first (warning).
+//
+// vocab nil means DefaultVocabulary.
+func AnalyzeRules(file string, rules []RuleLine, vocab Vocabulary) []Diagnostic {
+	if vocab == nil {
+		vocab = DefaultVocabulary()
+	}
+	a := &ruleAnalysis{file: file, vocab: vocab}
+
+	ordered := append([]RuleLine(nil), rules...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Priority != ordered[j].Priority {
+			return ordered[i].Priority < ordered[j].Priority
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+
+	summaries := make([]condSummary, len(ordered))
+	for i, rl := range ordered {
+		summaries[i] = a.analyzeRule(rl)
+	}
+	a.analyzeShadowing(ordered, summaries)
+
+	Sort(a.diags)
+	return a.diags
+}
+
+type ruleAnalysis struct {
+	file  string
+	vocab Vocabulary
+	diags []Diagnostic
+}
+
+func (a *ruleAnalysis) errorf(rl RuleLine, pos int, code, format string, args ...any) {
+	a.diags = append(a.diags, Errorf(a.file, rl.Line, colFor(rl, pos), AnalyzerRules, code, format, args...))
+}
+
+func (a *ruleAnalysis) warnf(rl RuleLine, pos int, code, format string, args ...any) {
+	a.diags = append(a.diags, Warnf(a.file, rl.Line, colFor(rl, pos), AnalyzerRules, code, format, args...))
+}
+
+// colFor converts a rule-source byte offset to a 1-based column in
+// the rule's file line.
+func colFor(rl RuleLine, pos int) int {
+	if pos < 0 {
+		return 0
+	}
+	return rl.ColOff + pos + 1
+}
+
+// triState is the constant-folding lattice.
+type triState int
+
+const (
+	triUnknown triState = iota
+	triTrue
+	triFalse
+)
+
+// condSummary is the folded shape of one rule's guard.
+type condSummary struct {
+	// verdict is the guard folded against the vocabulary ranges.
+	verdict triState
+	// andOnly is true when the guard is a pure conjunction of metric
+	// conditions (no `or`), which is when interval implication between
+	// rules is decidable.
+	andOnly bool
+	// metrics maps "metric@source" to the guard's intersected interval
+	// for it (bounds only, not range-clipped). Valid when andOnly.
+	metrics map[string]interval
+	// hasNE notes a != bound anywhere, which blocks implication
+	// reasoning.
+	hasNE bool
+	// alwaysDecides is true when evaluating the rule always yields a
+	// decision: Select rules and guarded rules with an else branch.
+	alwaysDecides bool
+}
+
+// analyzeRule checks one rule and returns its guard summary.
+func (a *ruleAnalysis) analyzeRule(rl RuleLine) condSummary {
+	r := rl.Rule
+	sum := condSummary{verdict: triUnknown, andOnly: true, metrics: map[string]interval{}}
+	if r == nil {
+		return sum
+	}
+	if r.Select != nil {
+		a.checkCall(rl, r.Select)
+		sum.alwaysDecides = true
+		sum.verdict = triTrue
+		return sum
+	}
+	if r.Then != nil && r.Then.Call != nil {
+		a.checkCall(rl, r.Then.Call)
+	}
+	if r.Else != nil && r.Else.Call != nil {
+		a.checkCall(rl, r.Else.Call)
+	}
+	sum.alwaysDecides = r.Else != nil
+	before := len(a.diags)
+	sum.verdict = a.foldCond(rl, r.Cond, &sum)
+	condAlreadyReported := len(a.diags) > before
+
+	switch sum.verdict {
+	case triFalse:
+		if condAlreadyReported {
+			break // the offending comparison was already reported
+		}
+		if r.Else == nil {
+			a.errorf(rl, condPos(r.Cond), "unsatisfiable",
+				"guard %s can never hold, so the rule never fires", r.Cond)
+		} else {
+			a.errorf(rl, condPos(r.Cond), "unsatisfiable",
+				"guard %s can never hold; the then-branch is dead and only the else-branch runs", r.Cond)
+		}
+	case triTrue:
+		if r.Else != nil {
+			a.warnf(rl, condPos(r.Cond), "always-true",
+				"guard %s always holds, so the else-branch is dead", r.Cond)
+		} else {
+			a.warnf(rl, condPos(r.Cond), "always-true",
+				"guard %s always holds; the rule is unconditional", r.Cond)
+		}
+	}
+	if sum.verdict != triUnknown {
+		// A constant guard decides (or not) independent of metrics.
+		sum.alwaysDecides = sum.alwaysDecides || sum.verdict == triTrue
+	}
+
+	// Cross-condition contradiction inside a conjunction: each metric
+	// condition satisfiable alone, but their intersection empty.
+	if sum.andOnly && sum.verdict == triUnknown {
+		for key, iv := range sum.metrics {
+			if iv.empty() {
+				a.errorf(rl, condPos(r.Cond), "contradictory-guard",
+					"conjunction constrains %s to an empty interval; the guard can never hold", key)
+				sum.verdict = triFalse
+			}
+		}
+	}
+	return sum
+}
+
+// foldCond folds a condition tree, accumulating per-metric intervals
+// into sum and emitting per-condition diagnostics.
+func (a *ruleAnalysis) foldCond(rl RuleLine, c constraint.Cond, sum *condSummary) triState {
+	switch c := c.(type) {
+	case *constraint.MetricCond:
+		return a.foldMetricCond(rl, c, sum)
+	case *constraint.BoolCond:
+		l := a.foldCond(rl, c.L, sum)
+		r := a.foldCond(rl, c.R, sum)
+		if c.OpAnd {
+			switch {
+			case l == triFalse || r == triFalse:
+				return triFalse
+			case l == triTrue && r == triTrue:
+				return triTrue
+			}
+			return triUnknown
+		}
+		sum.andOnly = false
+		switch {
+		case l == triTrue || r == triTrue:
+			return triTrue
+		case l == triFalse && r == triFalse:
+			return triFalse
+		}
+		return triUnknown
+	default:
+		sum.andOnly = false
+		return triUnknown
+	}
+}
+
+// foldMetricCond type-checks one metric comparison and folds it
+// against the vocabulary range.
+func (a *ruleAnalysis) foldMetricCond(rl RuleLine, c *constraint.MetricCond, sum *condSummary) triState {
+	info, known := a.vocab[c.Metric]
+	if !known {
+		a.errorf(rl, c.Pos, "unknown-metric",
+			"metric %q is not in the monitor vocabulary (known: %s)",
+			c.Metric, strings.Join(a.vocab.Names(), ", "))
+	}
+
+	iv := fullInterval()
+	neBounds := []constraint.Bound{}
+	for _, b := range c.Bounds {
+		if known && info.Unit != "" && b.Unit != "" && b.Unit != info.Unit {
+			a.errorf(rl, b.Pos, "unit-mismatch",
+				"metric %q is published in %s, but the bound compares against %s",
+				c.Metric, info.Unit, b.Unit)
+		}
+		if b.Op == constraint.OpNE {
+			neBounds = append(neBounds, b)
+			sum.hasNE = true
+			continue
+		}
+		iv = iv.intersect(boundInterval(b))
+	}
+
+	// The band itself unsatisfiable, regardless of the metric's range:
+	// `bandwidth > 50 < 30`.
+	if iv.empty() {
+		a.errorf(rl, c.Pos, "unsatisfiable",
+			"comparison band on %q is empty: %s", c.Metric, c)
+		return triFalse
+	}
+
+	// Merge into the conjunction's per-metric interval map.
+	key := c.Metric
+	if c.Source != "" {
+		key += "@" + c.Source
+	}
+	if prev, ok := sum.metrics[key]; ok {
+		sum.metrics[key] = prev.intersect(iv)
+	} else {
+		sum.metrics[key] = iv
+	}
+
+	if !known {
+		return triUnknown
+	}
+	rng := interval{lo: info.Min, hi: info.Max}
+
+	// NE against a value outside the declared range is vacuously true;
+	// a range pinned to exactly the NE value is always false.
+	neVerdict := triTrue
+	for _, b := range neBounds {
+		switch {
+		case b.Value < rng.lo || b.Value > rng.hi:
+			// vacuously true; keep folding
+		case rng.lo == rng.hi && rng.lo == b.Value:
+			a.errorf(rl, b.Pos, "unsatisfiable",
+				"metric %q is always %g, so %s never holds", c.Metric, b.Value, c)
+			return triFalse
+		default:
+			neVerdict = triUnknown
+		}
+	}
+
+	clipped := iv.intersect(rng)
+	if clipped.empty() {
+		a.errorf(rl, c.Pos, "out-of-range",
+			"%s can never hold: %q ranges over [%g, %g]", c, c.Metric, info.Min, info.Max)
+		return triFalse
+	}
+	if iv.contains(rng) && neVerdict == triTrue {
+		return triTrue
+	}
+	return triUnknown
+}
+
+// checkCall validates a builtin invocation's candidate list.
+func (a *ruleAnalysis) checkCall(rl RuleLine, c *constraint.Call) {
+	seen := map[string]int{}
+	for i, t := range c.Args {
+		if prev, dup := seen[t.String()]; dup {
+			a.warnf(rl, c.Pos, "duplicate-candidate",
+				"%s lists candidate %s twice (positions %d and %d)", c.Fn, t, prev+1, i+1)
+		} else {
+			seen[t.String()] = i
+		}
+	}
+	if c.Fn == "SWITCH" && len(seen) == 1 {
+		a.warnf(rl, c.Pos, "degenerate-switch",
+			"SWITCH with a single candidate cannot migrate anywhere else")
+	}
+}
+
+// analyzeShadowing reports rules that can never produce the first
+// decision under RuleSet.FirstDecision's priority-ordered semantics.
+func (a *ruleAnalysis) analyzeShadowing(ordered []RuleLine, sums []condSummary) {
+	for j := 1; j < len(ordered); j++ {
+		for i := 0; i < j; i++ {
+			ri, rj := ordered[i], ordered[j]
+			si, sj := sums[i], sums[j]
+			if si.alwaysDecides {
+				a.warnf(rj, 0, "dead-rule",
+					"rule is unreachable: the rule at line %d (priority %d) always produces a decision first",
+					ri.Line, ri.Priority)
+				break
+			}
+			if implies(sj, si) {
+				a.warnf(rj, 0, "shadowed-rule",
+					"rule is shadowed: whenever its guard holds, the guard of the rule at line %d (priority %d) also holds and decides first",
+					ri.Line, ri.Priority)
+				break
+			}
+		}
+	}
+}
+
+// implies reports whether sj's guard implies si's guard: both must be
+// pure conjunctions without != bounds, and every metric si constrains
+// must be constrained at least as tightly by sj.
+func implies(sj, si condSummary) bool {
+	if !si.andOnly || !sj.andOnly || si.hasNE || sj.hasNE {
+		return false
+	}
+	if len(si.metrics) == 0 {
+		return false
+	}
+	for key, ivI := range si.metrics {
+		ivJ, ok := sj.metrics[key]
+		if !ok || !ivI.contains(ivJ) {
+			return false
+		}
+	}
+	return true
+}
+
+// condPos returns the source position of the leftmost metric
+// condition in a guard, for rule-level diagnostics.
+func condPos(c constraint.Cond) int {
+	switch c := c.(type) {
+	case *constraint.MetricCond:
+		return c.Pos
+	case *constraint.BoolCond:
+		return condPos(c.L)
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Intervals.
+
+// interval is a possibly-open numeric interval used for constant
+// folding of comparison bands.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+}
+
+func fullInterval() interval { return interval{lo: math.Inf(-1), hi: math.Inf(1)} }
+
+// boundInterval converts a (non-NE) comparison bound to an interval.
+func boundInterval(b constraint.Bound) interval {
+	iv := fullInterval()
+	switch b.Op {
+	case constraint.OpLT:
+		iv.hi, iv.hiOpen = b.Value, true
+	case constraint.OpLE:
+		iv.hi = b.Value
+	case constraint.OpGT:
+		iv.lo, iv.loOpen = b.Value, true
+	case constraint.OpGE:
+		iv.lo = b.Value
+	case constraint.OpEQ:
+		iv.lo, iv.hi = b.Value, b.Value
+	}
+	return iv
+}
+
+func (iv interval) intersect(o interval) interval {
+	out := iv
+	if o.lo > out.lo || (o.lo == out.lo && o.loOpen) {
+		out.lo, out.loOpen = o.lo, o.loOpen
+	}
+	if o.hi < out.hi || (o.hi == out.hi && o.hiOpen) {
+		out.hi, out.hiOpen = o.hi, o.hiOpen
+	}
+	return out
+}
+
+func (iv interval) empty() bool {
+	if iv.lo > iv.hi {
+		return true
+	}
+	return iv.lo == iv.hi && (iv.loOpen || iv.hiOpen)
+}
+
+// contains reports iv ⊇ o for non-empty o.
+func (iv interval) contains(o interval) bool {
+	loOK := iv.lo < o.lo || (iv.lo == o.lo && (!iv.loOpen || o.loOpen))
+	hiOK := iv.hi > o.hi || (iv.hi == o.hi && (!iv.hiOpen || o.hiOpen))
+	return loOK && hiOK
+}
+
+// ---------------------------------------------------------------------------
+// Rule-set source files.
+
+// ParseRulesFile parses a rule-set source file: one rule per line,
+// `#` or `//` comments, optional `declare` vocabulary lines and an
+// optional numeric priority prefix —
+//
+//	declare processor-util % 0 100
+//	10: If processor-util > 90 % then SWITCH(node1.q, node2.q)
+//	If bandwidth > 30 < 100 Kbps then node3.videohalf.ram
+//
+// Undeclared metrics fall back to the DefaultVocabulary entries.
+// Syntax problems are returned as positioned diagnostics; well-formed
+// rules are returned even when other lines are broken.
+func ParseRulesFile(file, src string) ([]RuleLine, Vocabulary, []Diagnostic) {
+	vocab := DefaultVocabulary()
+	var rules []RuleLine
+	var diags []Diagnostic
+	id := 0
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if trimmed == "declare" || strings.HasPrefix(trimmed, "declare ") {
+			if d, ok := parseDeclare(file, lineNo+1, trimmed, vocab); !ok {
+				diags = append(diags, d)
+			}
+			continue
+		}
+		ruleText := trimmed
+		colOff := strings.Index(raw, trimmed)
+		priority := id
+		if head, rest, found := strings.Cut(trimmed, ":"); found {
+			if p, err := strconv.Atoi(strings.TrimSpace(head)); err == nil {
+				priority = p
+				ruleText = strings.TrimSpace(rest)
+				colOff = strings.Index(raw, ruleText)
+			}
+		}
+		r, err := constraint.Parse(ruleText)
+		if err != nil {
+			col := colOff + 1
+			if se, ok := err.(*constraint.SyntaxError); ok {
+				col = colOff + se.Pos + 1
+			}
+			diags = append(diags, Errorf(file, lineNo+1, col, AnalyzerRules, "syntax", "%v", err))
+			continue
+		}
+		rules = append(rules, RuleLine{Line: lineNo + 1, ColOff: colOff, ID: id, Priority: priority, Rule: r})
+		id++
+	}
+	return rules, vocab, diags
+}
+
+// parseDeclare handles `declare <metric> [<unit>|-] [<min> <max>]`.
+func parseDeclare(file string, line int, text string, vocab Vocabulary) (Diagnostic, bool) {
+	fields := strings.Fields(text)[1:]
+	if len(fields) == 0 || len(fields) == 3 || len(fields) > 4 {
+		return Errorf(file, line, 1, AnalyzerRules, "bad-declare",
+			"declare wants: declare <metric> [<unit>|-] [<min> <max>]"), false
+	}
+	info := MetricInfo{Min: math.Inf(-1), Max: math.Inf(1)}
+	if len(fields) >= 2 && fields[1] != "-" {
+		info.Unit = fields[1]
+	}
+	if len(fields) == 4 {
+		lo, err1 := strconv.ParseFloat(fields[2], 64)
+		hi, err2 := strconv.ParseFloat(fields[3], 64)
+		if err1 != nil || err2 != nil || lo > hi {
+			return Errorf(file, line, 1, AnalyzerRules, "bad-declare",
+				"declare %s: min/max must be numbers with min <= max", fields[0]), false
+		}
+		info.Min, info.Max = lo, hi
+	}
+	vocab[fields[0]] = info
+	return Diagnostic{}, true
+}
+
+// AnalyzeRuleSet adapts a programmatically built rule set (no source
+// file) for analysis: diagnostics carry the given virtual file name
+// and rule indices instead of line numbers.
+func AnalyzeRuleSet(name string, rules []constraint.PrioritisedRule, vocab Vocabulary) []Diagnostic {
+	lines := make([]RuleLine, len(rules))
+	for i, r := range rules {
+		lines[i] = RuleLine{Line: i + 1, ID: r.ID, Priority: r.Priority, Rule: r.Rule}
+	}
+	if name == "" {
+		name = "<ruleset>"
+	}
+	return AnalyzeRules(name, lines, vocab)
+}

@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adm-project/adm/internal/constraint"
+)
+
+func oneRule(t *testing.T, src string) []RuleLine {
+	t.Helper()
+	r, err := constraint.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return []RuleLine{{Line: 1, ID: 0, Priority: 0, Rule: r}}
+}
+
+func TestRulesUnknownMetric(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If warp-factor > 9 then node1.q"), nil)
+	if codes(diags)["unknown-metric"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestRulesUnitMismatch(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If bandwidth > 30 ms then node1.q"), nil)
+	if codes(diags)["unit-mismatch"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestRulesEmptyBand(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If bandwidth > 100 < 30 Kbps then node1.q"), nil)
+	if codes(diags)["unsatisfiable"] == 0 {
+		t.Fatalf("got %v", diags)
+	}
+	if !HasErrors(diags) {
+		t.Fatal("empty band must be an error")
+	}
+}
+
+func TestRulesOutOfDeclaredRange(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If processor-util > 150 % then SWITCH(node1.q, node2.q)"), nil)
+	if codes(diags)["out-of-range"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestRulesAlwaysTrueGuard(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If processor-util >= 0 % then node1.q else node2.q"), nil)
+	c := codes(diags)
+	if c["always-true"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+	if HasErrors(diags) {
+		t.Fatalf("always-true is a warning, got %v", diags)
+	}
+}
+
+func TestRulesContradictoryConjunction(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If bandwidth > 90 and bandwidth < 10 then node1.q"), nil)
+	if codes(diags)["contradictory-guard"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestRulesSatisfiableBandClean(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If bandwidth > 30 < 100 Kbps then node3.videohalf.ram"), nil)
+	if len(diags) != 0 {
+		t.Fatalf("clean band flagged: %v", diags)
+	}
+}
+
+func parseRules(t *testing.T, lines ...string) []RuleLine {
+	t.Helper()
+	var out []RuleLine
+	for i, src := range lines {
+		r, err := constraint.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out = append(out, RuleLine{Line: i + 1, ID: i, Priority: i, Rule: r})
+	}
+	return out
+}
+
+func TestRulesDeadAfterSelect(t *testing.T) {
+	diags := AnalyzeRules("r", parseRules(t,
+		"Select BEST(node1.q, node2.q)",
+		"If bandwidth > 50 then node1.q",
+	), nil)
+	c := codes(diags)
+	if c["dead-rule"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestRulesDeadAfterElseRule(t *testing.T) {
+	diags := AnalyzeRules("r", parseRules(t,
+		"If bandwidth > 50 then node1.q else node2.q",
+		"If processor-util > 90 % then SWITCH(node1.q, node2.q)",
+	), nil)
+	if codes(diags)["dead-rule"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestRulesShadowedGuard(t *testing.T) {
+	// Rule 2's guard (bandwidth > 80) implies rule 1's (bandwidth >
+	// 50): whenever 2 would fire, 1 fires first.
+	diags := AnalyzeRules("r", parseRules(t,
+		"If bandwidth > 50 then node1.q",
+		"If bandwidth > 80 then node2.q",
+	), nil)
+	c := codes(diags)
+	if c["shadowed-rule"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+	if HasErrors(diags) {
+		t.Fatalf("shadowing is a warning, got %v", diags)
+	}
+}
+
+func TestRulesNoShadowAcrossDifferentMetrics(t *testing.T) {
+	diags := AnalyzeRules("r", parseRules(t,
+		"If bandwidth > 50 then node1.q",
+		"If processor-util > 90 % then node2.q",
+	), nil)
+	if len(diags) != 0 {
+		t.Fatalf("independent rules flagged: %v", diags)
+	}
+}
+
+func TestRulesPriorityOrderGovernsShadowing(t *testing.T) {
+	// The wider guard has a *worse* priority, so it is not shadowed:
+	// the tighter rule is evaluated first but the wider guard still
+	// fires on its own for values in (50, 80].
+	r1, _ := constraint.Parse("If bandwidth > 80 then node1.q")
+	r2, _ := constraint.Parse("If bandwidth > 50 then node2.q")
+	diags := AnalyzeRules("r", []RuleLine{
+		{Line: 1, ID: 0, Priority: 0, Rule: r1},
+		{Line: 2, ID: 1, Priority: 5, Rule: r2},
+	}, nil)
+	if len(diags) != 0 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestRulesDuplicateCandidateAndDegenerateSwitch(t *testing.T) {
+	diags := AnalyzeRules("r", oneRule(t, "If processor-util > 90 % then SWITCH(node1.q, node1.q)"), nil)
+	c := codes(diags)
+	if c["duplicate-candidate"] != 1 || c["degenerate-switch"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestParseRulesFile(t *testing.T) {
+	src := `# comment
+declare temperature C -50 150
+
+10: If temperature > 40 C then node1.q
+If bandwidth > 30 < 100 Kbps then node2.q   // trailing comment
+If bogus( then node3.q
+`
+	rules, vocab, diags := ParseRulesFile("f.rules", src)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2 (got %v)", len(rules), rules)
+	}
+	if rules[0].Priority != 10 || rules[0].Line != 4 {
+		t.Fatalf("rule 0 = %+v", rules[0])
+	}
+	if _, ok := vocab["temperature"]; !ok {
+		t.Fatal("declare not recorded")
+	}
+	if info := vocab["temperature"]; info.Unit != "C" || info.Min != -50 || info.Max != 150 {
+		t.Fatalf("temperature info = %+v", info)
+	}
+	if len(diags) != 1 || diags[0].Code != "syntax" || diags[0].Line != 6 {
+		t.Fatalf("diags = %v", diags)
+	}
+	// The declared metric must satisfy the analyzer.
+	if d := AnalyzeRules("f.rules", rules, vocab); len(d) != 0 {
+		t.Fatalf("declared vocabulary rejected: %v", d)
+	}
+}
+
+func TestParseRulesFileBadDeclare(t *testing.T) {
+	_, _, diags := ParseRulesFile("f.rules", "declare\n")
+	if len(diags) != 1 || diags[0].Code != "bad-declare" {
+		t.Fatalf("got %v", diags)
+	}
+	_, _, diags = ParseRulesFile("f.rules", "declare x u 9 1\n")
+	if len(diags) != 1 || diags[0].Code != "bad-declare" {
+		t.Fatalf("got %v", diags)
+	}
+}
+
+func TestAnalyzeRuleSetAdapter(t *testing.T) {
+	rs := constraint.NewRuleSet(
+		constraint.PrioritisedRule{ID: 1, Priority: 0, Rule: constraint.MustParse("Select BEST(node1.q, node2.q)")},
+		constraint.PrioritisedRule{ID: 2, Priority: 1, Rule: constraint.MustParse("If bandwidth > 50 then node1.q")},
+	)
+	diags := AnalyzeRuleSet("", rs.Rules(), nil)
+	if codes(diags)["dead-rule"] != 1 {
+		t.Fatalf("got %v", diags)
+	}
+	if !strings.Contains(diags[0].File, "ruleset") {
+		t.Fatalf("virtual file name missing: %v", diags[0])
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	a := boundInterval(constraint.Bound{Op: constraint.OpGT, Value: 30})
+	b := boundInterval(constraint.Bound{Op: constraint.OpLT, Value: 100})
+	iv := a.intersect(b)
+	if iv.empty() {
+		t.Fatal("30..100 band must be non-empty")
+	}
+	c := boundInterval(constraint.Bound{Op: constraint.OpLT, Value: 30})
+	if !a.intersect(c).empty() {
+		t.Fatal(">30 and <30 must be empty")
+	}
+	eq := boundInterval(constraint.Bound{Op: constraint.OpEQ, Value: 30})
+	if eq.empty() {
+		t.Fatal("point interval is non-empty")
+	}
+	if !a.intersect(eq).empty() {
+		t.Fatal(">30 excludes the point 30")
+	}
+	if !fullInterval().contains(iv) || iv.contains(fullInterval()) {
+		t.Fatal("containment misordered")
+	}
+}

@@ -1,0 +1,55 @@
+package machine
+
+import "sort"
+
+// mnemonics is the canonical assembly-listing vocabulary shared by
+// the goscan CLI, the admlint SISR control-flow pass and the goos
+// listing parser. It was historically private to cmd/goscan; keeping
+// it here means every consumer classifies an image identically.
+var mnemonics = map[string]OpClass{
+	// Register ALU.
+	"add": OpALU, "sub": OpALU, "mov": OpALU, "cmp": OpALU,
+	"mul": OpALU, "xor": OpALU, "and": OpALU, "or": OpALU,
+	"nop": OpALU,
+	// Memory.
+	"load": OpLoad, "store": OpStore,
+	// Near control transfer.
+	"call": OpCall, "ret": OpRet,
+	"jmp": OpBranch, "je": OpBranch, "jne": OpBranch,
+	"jz": OpBranch, "jnz": OpBranch, "ja": OpBranch, "jb": OpBranch,
+	"jg": OpBranch, "jl": OpBranch, "jge": OpBranch, "jle": OpBranch,
+	// Segment-register load: the one privileged op SISR leans on.
+	"movseg": OpSegLoad,
+	// Privileged control.
+	"cli": OpPrivCtl, "sti": OpPrivCtl,
+	"lgdt": OpPrivCtl, "lidt": OpPrivCtl, "hlt": OpPrivCtl,
+	// Port I/O.
+	"in": OpIO, "out": OpIO,
+	// Traps.
+	"int": OpTrap, "iret": OpIret,
+	// Paging.
+	"invlpg": OpTLBFlush, "movcr3": OpPTSwitch,
+}
+
+// ParseMnemonic maps a listing mnemonic (case-insensitive via ASCII
+// lowering by the caller's tokenizer; this table is all lower-case)
+// to its instruction class.
+func ParseMnemonic(mnem string) (OpClass, bool) {
+	op, ok := mnemonics[mnem]
+	return op, ok
+}
+
+// Mnemonics returns the known listing mnemonics, sorted.
+func Mnemonics() []string {
+	out := make([]string, 0, len(mnemonics))
+	for m := range mnemonics {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnconditionalJump reports whether mnem is an unconditional near
+// jump (control never falls through). Conditional jumps (je, jnz, …)
+// keep their fall-through edge in the control-flow graph.
+func UnconditionalJump(mnem string) bool { return mnem == "jmp" }

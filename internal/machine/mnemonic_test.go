@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestParseMnemonicClasses(t *testing.T) {
+	cases := map[string]OpClass{
+		"add":    OpALU,
+		"nop":    OpALU,
+		"load":   OpLoad,
+		"store":  OpStore,
+		"jmp":    OpBranch,
+		"jle":    OpBranch,
+		"call":   OpCall,
+		"ret":    OpRet,
+		"iret":   OpIret,
+		"cli":    OpPrivCtl,
+		"movseg": OpSegLoad,
+		"in":     OpIO,
+		"movcr3": OpPTSwitch,
+	}
+	for mnem, want := range cases {
+		got, ok := ParseMnemonic(mnem)
+		if !ok || got != want {
+			t.Errorf("ParseMnemonic(%q) = %v,%v, want %v", mnem, got, ok, want)
+		}
+	}
+	if _, ok := ParseMnemonic("frobnicate"); ok {
+		t.Error("unknown mnemonic accepted")
+	}
+	// The table is all lower-case; callers lower before lookup.
+	if _, ok := ParseMnemonic("JMP"); ok {
+		t.Error("upper-case lookup should miss; callers must lower-case")
+	}
+}
+
+func TestMnemonicsSortedAndComplete(t *testing.T) {
+	all := Mnemonics()
+	if !sort.StringsAreSorted(all) {
+		t.Fatalf("Mnemonics() not sorted: %v", all)
+	}
+	if len(all) != len(mnemonics) {
+		t.Fatalf("Mnemonics() has %d entries, table has %d", len(all), len(mnemonics))
+	}
+	for _, m := range all {
+		if _, ok := ParseMnemonic(m); !ok {
+			t.Errorf("listed mnemonic %q does not parse", m)
+		}
+	}
+}
+
+func TestUnconditionalJump(t *testing.T) {
+	if !UnconditionalJump("jmp") {
+		t.Error("jmp must be unconditional")
+	}
+	for _, m := range []string{"je", "jnz", "call", "ret"} {
+		if UnconditionalJump(m) {
+			t.Errorf("%q must not be unconditional jump", m)
+		}
+	}
+}

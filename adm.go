@@ -242,6 +242,10 @@ type (
 	QueryResult = query.Result
 	// AdaptiveConfig tunes mid-query re-optimisation.
 	AdaptiveConfig = query.AdaptiveConfig
+	// ExecOptions tunes the morsel-driven parallel executor.
+	ExecOptions = query.ExecOptions
+	// ExecReport describes how a parallel execution ran.
+	ExecReport = query.ExecReport
 	// Tuple is a row of typed values.
 	Tuple = storage.Tuple
 	// Value is one typed field.

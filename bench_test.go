@@ -592,3 +592,47 @@ func BenchmarkFigure7_PageComposition(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel join: rows/sec across worker counts. On a
+// multicore box the 4-worker run should clear 2x the 1-worker rate;
+// ci.sh gates the same workload via cmd/admbench against
+// bench_baseline.json so single-core CI still catches regressions.
+
+func benchParallelJoin(b *testing.B, rowsPerSide, workers int) {
+	b.Helper()
+	e := query.NewEngine(query.NewCatalog(4096), nil, nil)
+	e.MustExec("CREATE TABLE l (k INT, v INT)")
+	e.MustExec("CREATE TABLE r (k INT, v INT)")
+	cat := e.Catalog()
+	for i := 0; i < rowsPerSide; i++ {
+		row := func(v int64) storage.Tuple {
+			return storage.Tuple{storage.IntValue(int64(i)), storage.IntValue(v)}
+		}
+		if _, err := cat.Insert("l", row(int64(i*3))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cat.Insert("r", row(int64(i*7))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.MustExec("ANALYZE l")
+	e.MustExec("ANALYZE r")
+	const sql = "SELECT l.v, r.v FROM l JOIN r ON l.k = r.k"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := e.ExecuteSQL(sql, query.ExecOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != rowsPerSide {
+			b.Fatalf("join produced %d rows, want %d", len(res.Rows), rowsPerSide)
+		}
+	}
+	b.ReportMetric(float64(2*rowsPerSide)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+func BenchmarkParallelJoin_100k_w1(b *testing.B) { benchParallelJoin(b, 100_000, 1) }
+func BenchmarkParallelJoin_100k_w2(b *testing.B) { benchParallelJoin(b, 100_000, 2) }
+func BenchmarkParallelJoin_100k_w4(b *testing.B) { benchParallelJoin(b, 100_000, 4) }
+func BenchmarkParallelJoin_100k_w8(b *testing.B) { benchParallelJoin(b, 100_000, 8) }

@@ -5,9 +5,19 @@
 #   analysis     go vet ./...
 #   build        go build ./...
 #   tests        go test -race ./...
+#   race matrix  go test -count=1 -race on the parallel-executor
+#                packages at GOMAXPROCS=2 and 4 (scheduling diversity
+#                beyond the default run)
 #   lint         admlint over every checked-in ADL model, rule file and
 #                assembly listing; the negative fixtures must keep
 #                producing diagnostics (exit != 0), the clean ones none.
+#   bench smoke  cmd/admbench -json on a small fixed workload, written
+#                to BENCH_parallel.json and gated against
+#                bench_baseline.json: the build fails if the 4-worker
+#                parallel-join throughput drops below 0.9x the
+#                checked-in baseline. To refresh the baseline (after an
+#                intentional perf change, or on new CI hardware), see
+#                the update procedure in bench_baseline.json's _readme.
 set -eu
 
 cd "$(dirname "$0")"
@@ -29,6 +39,13 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== race matrix (parallel packages)"
+for gmp in 2 4; do
+    echo "   GOMAXPROCS=$gmp"
+    GOMAXPROCS=$gmp go test -count=1 -race \
+        ./internal/operators/... ./internal/query/... ./internal/storage/...
+done
+
 echo "== admlint (clean inputs)"
 go run ./cmd/admlint \
     cmd/adlc/testdata \
@@ -45,5 +62,10 @@ for f in cmd/admlint/testdata/dangling_bind.adl \
         exit 1
     fi
 done
+
+echo "== bench smoke (parallel join regression gate)"
+go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 \
+    -baseline bench_baseline.json > BENCH_parallel.json
+echo "   wrote BENCH_parallel.json"
 
 echo "ok"

@@ -1,17 +1,24 @@
-// Command admbench regenerates the paper's tables and figures.
+// Command admbench regenerates the paper's tables and figures, and
+// benchmarks the parallel executor.
 //
 // Usage:
 //
-//	admbench              # run everything, print paper-vs-measured
-//	admbench -exp table1  # run one experiment
-//	admbench -list        # list experiment ids
-//	admbench -markdown    # emit markdown (EXPERIMENTS.md body)
+//	admbench                      # run everything, print paper-vs-measured
+//	admbench -exp table1          # run one experiment
+//	admbench -list                # list experiment ids
+//	admbench -markdown            # emit markdown (EXPERIMENTS.md body)
+//	admbench -bench               # parallel-join benchmark, human-readable
+//	admbench -json                # same, one JSON record per line
+//	admbench -json -baseline f    # also gate against a baseline file
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/adm-project/adm/internal/experiments"
 )
@@ -21,6 +28,12 @@ func main() {
 		exp      = flag.String("exp", "", "run a single experiment by id")
 		list     = flag.Bool("list", false, "list experiment ids")
 		markdown = flag.Bool("markdown", false, "emit markdown instead of text tables")
+		bench    = flag.Bool("bench", false, "run the parallel-join benchmark")
+		jsonOut  = flag.Bool("json", false, "emit benchmark results as JSON lines (implies -bench)")
+		rows     = flag.Int("rows", 20000, "benchmark rows per join side")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+		repeats  = flag.Int("repeats", 3, "benchmark repetitions (best run reported)")
+		baseline = flag.String("baseline", "", "baseline JSON file to gate 4-worker throughput against")
 	)
 	flag.Parse()
 
@@ -29,6 +42,10 @@ func main() {
 			fmt.Printf("%-16s %s\n", r.ID, r.Desc)
 		}
 		return
+	}
+
+	if *bench || *jsonOut {
+		os.Exit(runBench(*rows, *workers, *repeats, *jsonOut, *baseline))
 	}
 
 	runners := experiments.All()
@@ -58,4 +75,94 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func runBench(rows int, workerList string, repeats int, jsonOut bool, baselinePath string) int {
+	var workers []int
+	for _, f := range strings.Split(workerList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "admbench: bad -workers value %q\n", f)
+			return 2
+		}
+		workers = append(workers, w)
+	}
+	results, err := experiments.RunParallelJoinBench(rows, workers, repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range results {
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintf(os.Stderr, "admbench: %v\n", err)
+				return 1
+			}
+		}
+	} else {
+		fmt.Printf("ParallelJoin  rows=%d per side, best of %d\n", rows, repeats)
+		for _, r := range results {
+			fmt.Printf("  workers=%-2d  %12.0f rows/sec  %12d ns\n", r.Workers, r.RowsPerSec, r.Cycles)
+		}
+	}
+	if baselinePath != "" {
+		return gateAgainstBaseline(results, baselinePath, rows)
+	}
+	return 0
+}
+
+// baselineFile is the checked-in bench_baseline.json shape.
+type baselineFile struct {
+	Readme  []string                          `json:"_readme"`
+	Rows    int                               `json:"rows"`
+	Benches []experiments.ParallelBenchResult `json:"benches"`
+}
+
+// gateAgainstBaseline fails (exit 1) when the measured 4-worker join
+// throughput falls below 0.9× the baseline's — the CI regression
+// gate. Rows mismatch is a configuration error (exit 2): the numbers
+// would not be comparable.
+func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string, rows int) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: baseline: %v\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: baseline %s: %v\n", path, err)
+		return 2
+	}
+	if base.Rows != rows {
+		fmt.Fprintf(os.Stderr, "admbench: baseline rows=%d but measured rows=%d; rerun with -rows %d or refresh the baseline\n",
+			base.Rows, rows, base.Rows)
+		return 2
+	}
+	find := func(rs []experiments.ParallelBenchResult) (experiments.ParallelBenchResult, bool) {
+		for _, r := range rs {
+			if r.Bench == "ParallelJoin" && r.Workers == 4 {
+				return r, true
+			}
+		}
+		return experiments.ParallelBenchResult{}, false
+	}
+	want, ok := find(base.Benches)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "admbench: baseline %s has no 4-worker ParallelJoin record\n", path)
+		return 2
+	}
+	got, ok := find(results)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "admbench: measured results have no 4-worker ParallelJoin record (include 4 in -workers)\n")
+		return 2
+	}
+	ratio := got.RowsPerSec / want.RowsPerSec
+	fmt.Fprintf(os.Stderr, "admbench: gate: 4-worker join %.0f rows/sec vs baseline %.0f (ratio %.2f, floor 0.90)\n",
+		got.RowsPerSec, want.RowsPerSec, ratio)
+	if ratio < 0.9 {
+		fmt.Fprintf(os.Stderr, "admbench: REGRESSION: parallel join throughput below 0.9x baseline\n")
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/adm-project/adm/internal/query"
+	"github.com/adm-project/adm/internal/storage"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+func intRow(vs ...int64) storage.Tuple {
+	t := make(storage.Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = storage.IntValue(v)
+	}
+	return t
+}
+
+// ParallelBenchResult is one machine-readable benchmark record, the
+// unit of BENCH_parallel.json and bench_baseline.json. Cycles is the
+// best-run wall time in nanoseconds (no cycle counter in pure Go;
+// nanoseconds are the stable proxy at fixed clock rate).
+type ParallelBenchResult struct {
+	Bench      string  `json:"bench"`
+	Workers    int     `json:"workers"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Cycles     uint64  `json:"cycles"`
+}
+
+// parallelJoinEngine seeds l(k,v) ⋈ r(k,v) with `rows` tuples per
+// side, unique keys, and fresh statistics.
+func parallelJoinEngine(rows int) (*query.Engine, error) {
+	e := query.NewEngine(query.NewCatalog(4096), trace.New(), nil)
+	for _, ddl := range []string{
+		"CREATE TABLE l (k INT, v INT)",
+		"CREATE TABLE r (k INT, v INT)",
+	} {
+		if _, err := e.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	cat := e.Catalog()
+	for i := 0; i < rows; i++ {
+		if _, err := cat.Insert("l", intRow(int64(i), int64(i*3))); err != nil {
+			return nil, err
+		}
+		if _, err := cat.Insert("r", intRow(int64(i), int64(i*7))); err != nil {
+			return nil, err
+		}
+	}
+	if err := cat.Analyze("l"); err != nil {
+		return nil, err
+	}
+	if err := cat.Analyze("r"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// RunParallelJoinBench times the parallel equi-join l ⋈ r at each
+// worker count, best of `repeats` runs. Throughput is input rows
+// (both sides) per second — the morsel pipeline's feed rate.
+func RunParallelJoinBench(rows int, workers []int, repeats int) ([]ParallelBenchResult, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	e, err := parallelJoinEngine(rows)
+	if err != nil {
+		return nil, err
+	}
+	const sql = "SELECT l.v, r.v FROM l JOIN r ON l.k = r.k"
+	var out []ParallelBenchResult
+	for _, w := range workers {
+		best := time.Duration(0)
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			res, _, err := e.ExecuteSQL(sql, query.ExecOptions{Workers: w})
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Rows) != rows {
+				return nil, fmt.Errorf("parallel join produced %d rows, want %d", len(res.Rows), rows)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		out = append(out, ParallelBenchResult{
+			Bench:      "ParallelJoin",
+			Workers:    w,
+			RowsPerSec: float64(2*rows) / best.Seconds(),
+			Cycles:     uint64(best.Nanoseconds()),
+		})
+	}
+	return out, nil
+}

@@ -276,74 +276,120 @@ type aggState struct {
 	n     []int64
 }
 
-// Open implements Iterator.
-func (a *HashAggregate) Open() error {
-	rows, err := Drain(a.In)
-	if err != nil {
-		return err
+// aggAccum accumulates grouped aggregate state. It is the shared core
+// of the serial HashAggregate and the parallel partial-aggregation
+// path: workers each fill a local accumulator, then the partials are
+// merged at the barrier (count/sum/n add, min/max fold), which is
+// exact for every supported aggregate.
+type aggAccum struct {
+	groupCol int
+	aggs     []AggSpec
+	groups   map[string]*aggState
+	order    []string // first-seen group order
+}
+
+func newAggAccum(groupCol int, aggs []AggSpec) *aggAccum {
+	return &aggAccum{groupCol: groupCol, aggs: aggs, groups: map[string]*aggState{}}
+}
+
+func (a *aggAccum) state(gk string, gv storage.Value) *aggState {
+	st, ok := a.groups[gk]
+	if !ok {
+		st = &aggState{
+			group: gv,
+			sum:   make([]float64, len(a.aggs)),
+			min:   make([]storage.Value, len(a.aggs)),
+			max:   make([]storage.Value, len(a.aggs)),
+			n:     make([]int64, len(a.aggs)),
+		}
+		a.groups[gk] = st
+		a.order = append(a.order, gk)
 	}
-	groups := map[string]*aggState{}
-	var order []string
-	for _, t := range rows {
-		gk := "*"
-		var gv storage.Value
-		if a.GroupCol >= 0 {
-			gv = t[a.GroupCol]
-			gk = joinKey(gv)
+	return st
+}
+
+// absorb folds one input tuple into the accumulator.
+func (a *aggAccum) absorb(t storage.Tuple) {
+	gk := "*"
+	var gv storage.Value
+	if a.groupCol >= 0 {
+		gv = t[a.groupCol]
+		gk = joinKey(gv)
+	}
+	st := a.state(gk, gv)
+	st.count++
+	for i, sp := range a.aggs {
+		if sp.Kind == AggCount {
+			continue
 		}
-		st, ok := groups[gk]
-		if !ok {
-			st = &aggState{
-				group: gv,
-				sum:   make([]float64, len(a.Aggs)),
-				min:   make([]storage.Value, len(a.Aggs)),
-				max:   make([]storage.Value, len(a.Aggs)),
-				n:     make([]int64, len(a.Aggs)),
+		v := t[sp.Col]
+		if v.IsNull() {
+			continue
+		}
+		f, _ := v.AsFloat()
+		if st.n[i] == 0 {
+			st.min[i], st.max[i] = v, v
+		} else {
+			if storage.Compare(v, st.min[i]) < 0 {
+				st.min[i] = v
 			}
-			groups[gk] = st
-			order = append(order, gk)
+			if storage.Compare(v, st.max[i]) > 0 {
+				st.max[i] = v
+			}
 		}
-		st.count++
-		for i, sp := range a.Aggs {
-			if sp.Kind == AggCount {
+		st.sum[i] += f
+		st.n[i]++
+	}
+}
+
+// merge folds another accumulator's partial state into this one.
+func (a *aggAccum) merge(b *aggAccum) {
+	for _, gk := range b.order {
+		bs := b.groups[gk]
+		st := a.state(gk, bs.group)
+		st.count += bs.count
+		for i := range a.aggs {
+			if bs.n[i] == 0 {
 				continue
 			}
-			v := t[sp.Col]
-			if v.IsNull() {
-				continue
-			}
-			f, _ := v.AsFloat()
 			if st.n[i] == 0 {
-				st.min[i], st.max[i] = v, v
+				st.min[i], st.max[i] = bs.min[i], bs.max[i]
 			} else {
-				if storage.Compare(v, st.min[i]) < 0 {
-					st.min[i] = v
+				if storage.Compare(bs.min[i], st.min[i]) < 0 {
+					st.min[i] = bs.min[i]
 				}
-				if storage.Compare(v, st.max[i]) > 0 {
-					st.max[i] = v
+				if storage.Compare(bs.max[i], st.max[i]) > 0 {
+					st.max[i] = bs.max[i]
 				}
 			}
-			st.sum[i] += f
-			st.n[i]++
+			st.sum[i] += bs.sum[i]
+			st.n[i] += bs.n[i]
 		}
 	}
-	a.out = a.out[:0]
-	if a.GroupCol < 0 && len(order) == 0 {
+}
+
+// rows renders the final output tuples ([group?, agg1, agg2, ...]) in
+// first-seen group order.
+func (a *aggAccum) rows() []storage.Tuple {
+	order := a.order
+	if a.groupCol < 0 && len(order) == 0 {
+		// Global aggregate over empty input still emits one row.
 		order = append(order, "*")
-		groups["*"] = &aggState{
-			sum: make([]float64, len(a.Aggs)),
-			min: make([]storage.Value, len(a.Aggs)),
-			max: make([]storage.Value, len(a.Aggs)),
-			n:   make([]int64, len(a.Aggs)),
+		a.groups["*"] = &aggState{
+			sum: make([]float64, len(a.aggs)),
+			min: make([]storage.Value, len(a.aggs)),
+			max: make([]storage.Value, len(a.aggs)),
+			n:   make([]int64, len(a.aggs)),
 		}
 	}
+	var out []storage.Tuple
 	for _, gk := range order {
-		st := groups[gk]
+		st := a.groups[gk]
 		var t storage.Tuple
-		if a.GroupCol >= 0 {
+		if a.groupCol >= 0 {
 			t = append(t, st.group)
 		}
-		for i, sp := range a.Aggs {
+		for i, sp := range a.aggs {
 			switch sp.Kind {
 			case AggCount:
 				t = append(t, storage.IntValue(st.count))
@@ -369,8 +415,22 @@ func (a *HashAggregate) Open() error {
 				}
 			}
 		}
-		a.out = append(a.out, t)
+		out = append(out, t)
 	}
+	return out
+}
+
+// Open implements Iterator.
+func (a *HashAggregate) Open() error {
+	rows, err := Drain(a.In)
+	if err != nil {
+		return err
+	}
+	acc := newAggAccum(a.GroupCol, a.Aggs)
+	for _, t := range rows {
+		acc.absorb(t)
+	}
+	a.out = acc.rows()
 	a.pos = 0
 	a.open = true
 	return nil

@@ -1,0 +1,547 @@
+// Morsel-driven parallel execution: the exchange layer that widens
+// the Volcano pipeline across GOMAXPROCS workers. The design follows
+// the morsel model (Leis et al.): sources hand out small batches
+// ("morsels") to whichever worker is free, so skewed partitions never
+// stall the pipeline; the hash join runs as a partitioned build (each
+// worker scatters its morsels into W radix partitions, then each
+// partition's hash table is assembled independently) followed by a
+// partitioned probe against the immutable tables.
+//
+// The build phase honours the Scenario 3 safe-point protocol: an
+// optional callback observes the cumulative build cardinality at
+// morsel granularity from every worker; when any worker's observation
+// trips the misestimate check, all workers finish their in-flight
+// morsel and drain at the phase barrier, and the consumed prefix is
+// handed back so the re-optimiser can replan without losing work.
+package operators
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// DefaultMorselSize is the tuples-per-morsel default.
+const DefaultMorselSize = 1024
+
+// ParallelConfig tunes the exchange layer.
+type ParallelConfig struct {
+	// Workers is the worker-goroutine count; <=0 means GOMAXPROCS.
+	Workers int
+	// MorselSize is the batch granularity for sources that cut their
+	// own morsels; <=0 means DefaultMorselSize. Heap sources use page
+	// granularity regardless.
+	MorselSize int
+	// OnWorker, when non-nil, is invoked from each worker goroutine as
+	// it finishes a phase with the number of tuples it processed (trace
+	// span threading). It must be safe for concurrent use.
+	OnWorker func(worker int, phase string, rows int)
+}
+
+// WorkerCount resolves the effective worker count.
+func (c ParallelConfig) WorkerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c ParallelConfig) morselSize() int {
+	if c.MorselSize > 0 {
+		return c.MorselSize
+	}
+	return DefaultMorselSize
+}
+
+// ---------------------------------------------------------------------------
+// Morsel sources.
+
+// MorselSource hands out batches of tuples to concurrent workers.
+// NextMorsel must be safe for concurrent use; a nil batch with nil
+// error means the source is exhausted. Each tuple is handed out
+// exactly once, so a partially-consumed source can keep serving the
+// remainder to a later phase (how replanning resumes the aborted
+// build side).
+type MorselSource interface {
+	NextMorsel() ([]storage.Tuple, error)
+}
+
+// SliceMorsels serves a tuple slice in fixed-size morsels claimed by
+// an atomic cursor.
+type SliceMorsels struct {
+	tuples []storage.Tuple
+	size   int
+	pos    atomic.Int64
+}
+
+// NewSliceMorsels wraps tuples; size <= 0 means DefaultMorselSize.
+func NewSliceMorsels(tuples []storage.Tuple, size int) *SliceMorsels {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	return &SliceMorsels{tuples: tuples, size: size}
+}
+
+// NextMorsel implements MorselSource.
+func (s *SliceMorsels) NextMorsel() ([]storage.Tuple, error) {
+	end := s.pos.Add(int64(s.size))
+	start := end - int64(s.size)
+	if start >= int64(len(s.tuples)) {
+		return nil, nil
+	}
+	if end > int64(len(s.tuples)) {
+		end = int64(len(s.tuples))
+	}
+	return s.tuples[start:end], nil
+}
+
+// HeapMorsels serves a heap file page-by-page: workers claim page
+// indexes from an atomic cursor over a snapshot of the page list and
+// read each page under its read latch, so the underlying file stays
+// shareable with concurrent writers.
+type HeapMorsels struct {
+	file  *storage.HeapFile
+	pages []storage.PageID
+	next  atomic.Int64
+}
+
+// NewHeapMorsels snapshots file's pages for parallel consumption.
+func NewHeapMorsels(file *storage.HeapFile) *HeapMorsels {
+	return &HeapMorsels{file: file, pages: file.PageIDs()}
+}
+
+// NextMorsel implements MorselSource; one morsel is one page.
+func (h *HeapMorsels) NextMorsel() ([]storage.Tuple, error) {
+	for {
+		i := h.next.Add(1) - 1
+		if i >= int64(len(h.pages)) {
+			return nil, nil
+		}
+		ts, err := h.file.PageTuples(h.pages[i])
+		if err != nil {
+			return nil, err
+		}
+		if len(ts) > 0 {
+			return ts, nil
+		}
+	}
+}
+
+// FilterMorsels applies a predicate inside the consuming worker, so
+// filtering parallelises with the scan.
+type FilterMorsels struct {
+	src  MorselSource
+	pred Predicate
+}
+
+// NewFilterMorsels wraps src with pred.
+func NewFilterMorsels(src MorselSource, pred Predicate) *FilterMorsels {
+	return &FilterMorsels{src: src, pred: pred}
+}
+
+// NextMorsel implements MorselSource.
+func (f *FilterMorsels) NextMorsel() ([]storage.Tuple, error) {
+	for {
+		m, err := f.src.NextMorsel()
+		if err != nil || m == nil {
+			return nil, err
+		}
+		var out []storage.Tuple
+		for _, t := range m {
+			if f.pred(t) {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+
+// IterMorsels adapts a serial Iterator (index scans, adaptive
+// operators) to the morsel interface behind a mutex: the scan itself
+// is serialised but everything downstream still parallelises.
+type IterMorsels struct {
+	mu     sync.Mutex
+	it     Iterator
+	size   int
+	opened bool
+	done   bool
+}
+
+// NewIterMorsels wraps it; size <= 0 means DefaultMorselSize. The
+// iterator is opened lazily on first claim and closed at exhaustion.
+func NewIterMorsels(it Iterator, size int) *IterMorsels {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	return &IterMorsels{it: it, size: size}
+}
+
+// NextMorsel implements MorselSource.
+func (m *IterMorsels) NextMorsel() ([]storage.Tuple, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, nil
+	}
+	if !m.opened {
+		if err := m.it.Open(); err != nil {
+			m.done = true
+			return nil, err
+		}
+		m.opened = true
+	}
+	var out []storage.Tuple
+	for len(out) < m.size {
+		t, ok, err := m.it.Next()
+		if err != nil {
+			m.done = true
+			m.it.Close()
+			return nil, err
+		}
+		if !ok {
+			m.done = true
+			m.it.Close()
+			break
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// ChainMorsels serves all of a, then all of b (the replay stream of a
+// replanned join: consumed prefix first, then the untouched remainder
+// of the aborted source).
+type ChainMorsels struct {
+	a, b  MorselSource
+	aDone atomic.Bool
+}
+
+// NewChainMorsels concatenates two sources.
+func NewChainMorsels(a, b MorselSource) *ChainMorsels { return &ChainMorsels{a: a, b: b} }
+
+// NextMorsel implements MorselSource.
+func (c *ChainMorsels) NextMorsel() ([]storage.Tuple, error) {
+	if !c.aDone.Load() {
+		m, err := c.a.NextMorsel()
+		if err != nil || m != nil {
+			return m, err
+		}
+		c.aDone.Store(true)
+	}
+	return c.b.NextMorsel()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel drain (scan/filter fan-out).
+
+// DrainParallel collects every tuple of src using cfg workers. The
+// result order is nondeterministic (a multiset).
+func DrainParallel(src MorselSource, cfg ParallelConfig) ([]storage.Tuple, error) {
+	w := cfg.WorkerCount()
+	outs := make([][]storage.Tuple, w)
+	counts := make([]int, w)
+	var fail failFlag
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !fail.failed() {
+				m, err := src.NextMorsel()
+				if err != nil {
+					fail.set(err)
+					return
+				}
+				if m == nil {
+					break
+				}
+				outs[i] = append(outs[i], m...)
+				counts[i] += len(m)
+			}
+			if cfg.OnWorker != nil {
+				cfg.OnWorker(i, "scan", counts[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := fail.err(); err != nil {
+		return nil, err
+	}
+	return mergeSlices(outs), nil
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned parallel hash join.
+
+// ErrBuildAborted is returned by ParallelBuild when the safe-point
+// callback vetoed continuing; the consumed prefix accompanies it.
+var ErrBuildAborted = errors.New("operators: parallel build aborted at safe point")
+
+// BuildTable is the immutable partitioned hash table produced by
+// ParallelBuild; once built it is probed lock-free by any number of
+// workers.
+type BuildTable struct {
+	parts []map[string][]storage.Tuple
+	rows  int
+}
+
+// Rows returns the number of build tuples in the table (the memory
+// proxy the adaptive report tracks).
+func (t *BuildTable) Rows() int { return t.rows }
+
+type keyedTuple struct {
+	key string
+	t   storage.Tuple
+}
+
+// ParallelBuild consumes src with cfg workers and assembles the
+// partitioned hash table on col. safePoint, when non-nil, is called
+// (possibly concurrently) after every morsel with the cumulative
+// build row count; returning false aborts the build: every claimed
+// morsel is still fully absorbed, workers drain at the barrier, and
+// (nil, consumedPrefix, ErrBuildAborted) is returned. The caller can
+// then replan and replay the prefix, resuming src for the remainder.
+func ParallelBuild(src MorselSource, col int, cfg ParallelConfig,
+	safePoint func(rows int) bool) (*BuildTable, []storage.Tuple, error) {
+	w := cfg.WorkerCount()
+	scatter := make([][][]keyedTuple, w) // [worker][partition]
+	nulls := make([][]storage.Tuple, w)  // null keys never join but must replay
+	var consumed atomic.Int64
+	var aborted atomic.Bool
+	var fail failFlag
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local := make([][]keyedTuple, w)
+			rows := 0
+			for !aborted.Load() && !fail.failed() {
+				m, err := src.NextMorsel()
+				if err != nil {
+					fail.set(err)
+					break
+				}
+				if m == nil {
+					break
+				}
+				for _, t := range m {
+					v := t[col]
+					if v.IsNull() {
+						nulls[i] = append(nulls[i], t)
+						continue
+					}
+					k := joinKey(v)
+					p := int(fnv32(k) % uint32(w))
+					local[p] = append(local[p], keyedTuple{key: k, t: t})
+				}
+				rows += len(m)
+				total := consumed.Add(int64(len(m)))
+				if safePoint != nil && !safePoint(int(total)) {
+					aborted.Store(true)
+					break
+				}
+			}
+			scatter[i] = local
+			if cfg.OnWorker != nil {
+				cfg.OnWorker(i, "build", rows)
+			}
+		}(i)
+	}
+	wg.Wait() // the safe-point barrier: no worker is mid-tuple past here
+	if err := fail.err(); err != nil {
+		return nil, nil, err
+	}
+	if aborted.Load() {
+		var prefix []storage.Tuple
+		for i := 0; i < w; i++ {
+			for _, part := range scatter[i] {
+				for _, kt := range part {
+					prefix = append(prefix, kt.t)
+				}
+			}
+			prefix = append(prefix, nulls[i]...)
+		}
+		return nil, prefix, ErrBuildAborted
+	}
+	// Assemble each partition's hash table; partitions are disjoint so
+	// this fans out without locks.
+	parts := make([]map[string][]storage.Tuple, w)
+	for p := 0; p < w; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < w; i++ {
+				n += len(scatter[i][p])
+			}
+			table := make(map[string][]storage.Tuple, n)
+			for i := 0; i < w; i++ {
+				for _, kt := range scatter[i][p] {
+					table[kt.key] = append(table[kt.key], kt.t)
+				}
+			}
+			parts[p] = table
+		}(p)
+	}
+	wg.Wait()
+	return &BuildTable{parts: parts, rows: int(consumed.Load())}, nil, nil
+}
+
+// ParallelProbe streams src through the table with cfg workers and
+// returns the joined tuples (build side's columns first, as HashJoin
+// emits). The result order is nondeterministic.
+func (t *BuildTable) ParallelProbe(src MorselSource, col int, cfg ParallelConfig) ([]storage.Tuple, error) {
+	w := cfg.WorkerCount()
+	np := uint32(len(t.parts))
+	outs := make([][]storage.Tuple, w)
+	var fail failFlag
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows := 0
+			for !fail.failed() {
+				m, err := src.NextMorsel()
+				if err != nil {
+					fail.set(err)
+					return
+				}
+				if m == nil {
+					break
+				}
+				for _, p := range m {
+					v := p[col]
+					if v.IsNull() {
+						continue
+					}
+					k := joinKey(v)
+					for _, b := range t.parts[fnv32(k)%np][k] {
+						outs[i] = append(outs[i], concat(b, p))
+					}
+				}
+				rows += len(m)
+			}
+			if cfg.OnWorker != nil {
+				cfg.OnWorker(i, "probe", rows)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := fail.err(); err != nil {
+		return nil, err
+	}
+	return mergeSlices(outs), nil
+}
+
+// ---------------------------------------------------------------------------
+// Parallel aggregation.
+
+// ParallelHashAggregate computes grouped aggregates over src with cfg
+// workers: worker-local partial accumulators, merged at the barrier.
+// Merging is exact for COUNT/SUM/AVG/MIN/MAX (integer sums stay exact
+// in float64 below 2^53; float SUM/AVG may differ from the serial
+// result in the last ulps because addition order varies). Group order
+// in the output is nondeterministic.
+func ParallelHashAggregate(src MorselSource, groupCol int, aggs []AggSpec,
+	cfg ParallelConfig) ([]storage.Tuple, error) {
+	w := cfg.WorkerCount()
+	partials := make([]*aggAccum, w)
+	var fail failFlag
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acc := newAggAccum(groupCol, aggs)
+			rows := 0
+			for !fail.failed() {
+				m, err := src.NextMorsel()
+				if err != nil {
+					fail.set(err)
+					break
+				}
+				if m == nil {
+					break
+				}
+				for _, t := range m {
+					acc.absorb(t)
+				}
+				rows += len(m)
+			}
+			partials[i] = acc
+			if cfg.OnWorker != nil {
+				cfg.OnWorker(i, "aggregate", rows)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := fail.err(); err != nil {
+		return nil, err
+	}
+	final := partials[0]
+	for _, p := range partials[1:] {
+		final.merge(p)
+	}
+	return final.rows(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing.
+
+// failFlag latches the first error across workers; failed() is the
+// cheap cooperative-cancellation check workers poll between morsels.
+type failFlag struct {
+	flag atomic.Bool
+	mu   sync.Mutex
+	e    error
+}
+
+func (f *failFlag) failed() bool { return f.flag.Load() }
+
+func (f *failFlag) set(err error) {
+	f.mu.Lock()
+	if f.e == nil {
+		f.e = err
+	}
+	f.mu.Unlock()
+	f.flag.Store(true)
+}
+
+func (f *failFlag) err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.e
+}
+
+// mergeSlices concatenates per-worker outputs.
+func mergeSlices(outs [][]storage.Tuple) []storage.Tuple {
+	n := 0
+	for _, o := range outs {
+		n += len(o)
+	}
+	merged := make([]storage.Tuple, 0, n)
+	for _, o := range outs {
+		merged = append(merged, o...)
+	}
+	return merged
+}
+
+// fnv32 is FNV-1a over the join key, the radix-partition hash.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -78,29 +78,14 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 		return res, rep, err
 	}
 
+	sides, err := plan.singleJoinSides()
+	if err != nil {
+		return nil, nil, err
+	}
 	leftScan, rightScan := plan.scans[0], plan.scans[1]
-	joined := append(append(schema{}, leftScan.sch...), rightScan.sch...)
-	lIdx, err := joined.resolve(plan.joins[0].LCol)
-	if err != nil {
-		return nil, nil, err
-	}
-	rIdx, err := joined.resolve(plan.joins[0].RCol)
-	if err != nil {
-		return nil, nil, err
-	}
-	if lIdx >= len(leftScan.sch) {
-		lIdx, rIdx = rIdx, lIdx
-	}
-	rLocal := rIdx - len(leftScan.sch)
-
-	// Choose initial build side exactly as the static optimiser did.
-	build, probe := leftScan, rightScan
-	buildCol, probeCol := lIdx, rLocal
-	buildIsLeft := plan.buildLeft[0]
-	if !buildIsLeft {
-		build, probe = rightScan, leftScan
-		buildCol, probeCol = rLocal, lIdx
-	}
+	build, probe := sides.build, sides.probe
+	buildCol, probeCol := sides.buildCol, sides.probeCol
+	buildIsLeft := sides.buildIsLeft
 	rep.InitialBuild = build.ref.Binding()
 	rep.FinalBuild = build.ref.Binding()
 	rep.EstimatedBuildRows = build.estRows
@@ -194,6 +179,48 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 		rep.PeakHashRows = maxInt(len(consumed), join.BuildRows)
 	}
 	return res, rep, err
+}
+
+// joinSides is the resolved orientation of a single-join plan: which
+// scan hash-builds and which probes (per the static optimiser's
+// choice), with the join-column position local to each side. Shared by
+// the serial adaptive executor and the parallel executor so both obey
+// the same safe-point/replan geometry.
+type joinSides struct {
+	build, probe       *scanPlan
+	buildCol, probeCol int // join-column positions in each side's own schema
+	buildIsLeft        bool
+}
+
+// singleJoinSides resolves the orientation of a plan with exactly one
+// join.
+func (p *selectPlan) singleJoinSides() (*joinSides, error) {
+	leftScan, rightScan := p.scans[0], p.scans[1]
+	joined := append(append(schema{}, leftScan.sch...), rightScan.sch...)
+	lIdx, err := joined.resolve(p.joins[0].LCol)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := joined.resolve(p.joins[0].RCol)
+	if err != nil {
+		return nil, err
+	}
+	// The ON clause may name the columns in either order.
+	if lIdx >= len(leftScan.sch) {
+		lIdx, rIdx = rIdx, lIdx
+	}
+	if lIdx >= len(leftScan.sch) || rIdx < len(leftScan.sch) {
+		return nil, fmt.Errorf("query: join %s = %s does not span both inputs",
+			p.joins[0].LCol, p.joins[0].RCol)
+	}
+	rLocal := rIdx - len(leftScan.sch)
+	s := &joinSides{build: leftScan, probe: rightScan,
+		buildCol: lIdx, probeCol: rLocal, buildIsLeft: p.buildLeft[0]}
+	if !s.buildIsLeft {
+		s.build, s.probe = rightScan, leftScan
+		s.buildCol, s.probeCol = rLocal, lIdx
+	}
+	return s, nil
 }
 
 func joinColName(sp *scanPlan, plan *selectPlan) string {

@@ -49,12 +49,29 @@ type TableStats struct {
 }
 
 // Table is a stored relation: schema, heap file, secondary indexes.
+//
+// Lock order: Catalog.mu (when held at all) strictly before Table.mu.
+// Table.mu guards Stats and the Indexes map; both are replaced, never
+// mutated in place, so snapshot accessors hand out values that stay
+// valid after the lock drops. Name/Cols/Heap are immutable after
+// CreateTable.
 type Table struct {
-	Name    string
-	Cols    []Column
-	Heap    *storage.HeapFile
-	Indexes map[string]*storage.BTree // by column name
-	Stats   TableStats
+	Name string
+	Cols []Column
+	Heap *storage.HeapFile
+
+	mu      sync.RWMutex
+	Indexes map[string]*storage.BTree // by column name; guarded by mu
+	Stats   TableStats                // guarded by mu
+}
+
+// StatsSnapshot returns the current statistics. The Distinct map is
+// shared but never mutated in place (Analyze/SetStats install fresh
+// maps), so the snapshot is safe to read without further locking.
+func (t *Table) StatsSnapshot() TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Stats
 }
 
 // ColIndex resolves a column name to its position.
@@ -152,8 +169,11 @@ func (c *Catalog) CreateIndex(table, col string) (*storage.BTree, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, table, col)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Hold the table write lock across backfill + install so the scan
+	// and the map swap are atomic with respect to concurrent DML (which
+	// holds the read lock for heap change + index maintenance).
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	key := strings.ToLower(col)
 	if idx, ok := t.Indexes[key]; ok {
 		return idx, nil // idempotent
@@ -166,12 +186,19 @@ func (c *Catalog) CreateIndex(table, col string) (*storage.BTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Indexes[key] = idx
+	next := make(map[string]*storage.BTree, len(t.Indexes)+1)
+	for k, v := range t.Indexes {
+		next[k] = v
+	}
+	next[key] = idx
+	t.Indexes = next
 	return idx, nil
 }
 
 // Index returns the index on table.col if one exists.
 func (t *Table) Index(col string) (*storage.BTree, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	idx, ok := t.Indexes[strings.ToLower(col)]
 	return idx, ok
 }
@@ -214,6 +241,11 @@ func (c *Catalog) Insert(table string, row storage.Tuple) (storage.RID, error) {
 			row[i] = storage.FloatValue(float64(v.Int))
 		}
 	}
+	// Read lock pairs heap insert + index maintenance against
+	// CreateIndex's backfill (which holds the write lock): a row lands
+	// either before the backfill scan or after the new index installs.
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	rid, err := t.Heap.Insert(row)
 	if err != nil {
 		return storage.RID{}, err
@@ -245,6 +277,8 @@ func (c *Catalog) Delete(table string, pred func(storage.Tuple) bool) (int, erro
 	if err != nil {
 		return 0, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, v := range victims {
 		if err := t.Heap.Delete(v.rid); err != nil {
 			return 0, err
@@ -292,6 +326,8 @@ func (c *Catalog) Update(table string, pred func(storage.Tuple) bool,
 	if err != nil {
 		return 0, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, h := range hits {
 		nu := h.old.Clone()
 		for ci, v := range setIdx {
@@ -333,13 +369,13 @@ func (c *Catalog) Analyze(table string) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t.Stats.Rows = rows
-	t.Stats.Distinct = map[string]int{}
+	fresh := TableStats{Rows: rows, Distinct: map[string]int{}}
 	for i, d := range distinct {
-		t.Stats.Distinct[strings.ToLower(t.Cols[i].Name)] = len(d)
+		fresh.Distinct[strings.ToLower(t.Cols[i].Name)] = len(d)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Stats = fresh // installed wholesale, never mutated in place
 	return nil
 }
 
@@ -349,8 +385,8 @@ func (c *Catalog) SetStats(table string, stats TableStats) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.Stats = stats
 	return nil
 }

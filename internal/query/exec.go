@@ -212,15 +212,26 @@ func (e *Engine) finishSelect(plan *selectPlan, it operators.Iterator) (*Result,
 	return &Result{Cols: outCols, Rows: rows, Plan: plan.Explain()}, nil
 }
 
-// buildAggregate compiles the aggregate clause. Output schema is the
-// select-item order; internally HashAggregate produces [group?,
-// aggs...] which is re-projected.
-func (e *Engine) buildAggregate(st *SelectStmt, sch schema, in operators.Iterator) (operators.Iterator, []string, schema, error) {
+// aggPlan is the compiled aggregate clause, shared by the serial and
+// parallel executors: the grouping column, the aggregate specs, and
+// the re-projection from the internal [group?, aggs...] layout back to
+// select-item order.
+type aggPlan struct {
+	groupCol int
+	specs    []operators.AggSpec
+	perm     []int
+	outCols  []string
+	outSch   schema
+}
+
+// compileAggregate validates the select items against the GROUP BY
+// clause and produces an aggPlan.
+func compileAggregate(st *SelectStmt, sch schema) (*aggPlan, error) {
 	groupCol := -1
 	if st.GroupBy != nil {
 		idx, err := sch.resolve(*st.GroupBy)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		groupCol = idx
 	}
@@ -233,11 +244,11 @@ func (e *Engine) buildAggregate(st *SelectStmt, sch schema, in operators.Iterato
 	var slots []itemSlot
 	for _, item := range st.Items {
 		if item.Star {
-			return nil, nil, nil, fmt.Errorf("query: SELECT * cannot mix with aggregates")
+			return nil, fmt.Errorf("query: SELECT * cannot mix with aggregates")
 		}
 		if item.Agg == AggNone {
 			if st.GroupBy == nil || !strings.EqualFold(item.Col.Col, st.GroupBy.Col) {
-				return nil, nil, nil, fmt.Errorf("query: non-aggregated column %s outside GROUP BY", item.Col)
+				return nil, fmt.Errorf("query: non-aggregated column %s outside GROUP BY", item.Col)
 			}
 			slots = append(slots, itemSlot{isGroup: true, name: item.Col.Col})
 			continue
@@ -259,7 +270,7 @@ func (e *Engine) buildAggregate(st *SelectStmt, sch schema, in operators.Iterato
 		if !item.AggStar {
 			idx, err := sch.resolve(item.Col)
 			if err != nil {
-				return nil, nil, nil, err
+				return nil, err
 			}
 			col = idx
 		}
@@ -272,24 +283,32 @@ func (e *Engine) buildAggregate(st *SelectStmt, sch schema, in operators.Iterato
 		slots = append(slots, itemSlot{aggIdx: len(specs), name: name})
 		specs = append(specs, operators.AggSpec{Kind: kind, Col: col})
 	}
-	agg := operators.NewHashAggregate(in, groupCol, specs)
-	// Internal schema: [group?] + aggs; re-project to item order.
+	// Internal layout: [group?] + aggs; re-project to item order.
 	base := 0
 	if groupCol >= 0 {
 		base = 1
 	}
-	var perm []int
-	var outCols []string
-	outSch := schema{}
+	p := &aggPlan{groupCol: groupCol, specs: specs, outSch: schema{}}
 	for _, s := range slots {
 		if s.isGroup {
-			perm = append(perm, 0)
+			p.perm = append(p.perm, 0)
 		} else {
-			perm = append(perm, base+s.aggIdx)
+			p.perm = append(p.perm, base+s.aggIdx)
 		}
-		outCols = append(outCols, s.name)
-		outSch = append(outSch, boundCol{Name: s.name})
+		p.outCols = append(p.outCols, s.name)
+		p.outSch = append(p.outSch, boundCol{Name: s.name})
 	}
-	e.log.Emit(e.clock(), trace.KindInfo, "query", "aggregate over %d specs", len(specs))
-	return operators.NewProject(agg, perm), outCols, outSch, nil
+	return p, nil
+}
+
+// buildAggregate compiles the aggregate clause over an input iterator.
+// Output schema is the select-item order.
+func (e *Engine) buildAggregate(st *SelectStmt, sch schema, in operators.Iterator) (operators.Iterator, []string, schema, error) {
+	ap, err := compileAggregate(st, sch)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	agg := operators.NewHashAggregate(in, ap.groupCol, ap.specs)
+	e.log.Emit(e.clock(), trace.KindInfo, "query", "aggregate over %d specs", len(ap.specs))
+	return operators.NewProject(agg, ap.perm), ap.outCols, ap.outSch, nil
 }

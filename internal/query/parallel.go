@@ -1,0 +1,294 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"github.com/adm-project/adm/internal/operators"
+	"github.com/adm-project/adm/internal/storage"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// This file wires the morsel-driven exchange layer (operators
+// package) into the SQL engine: ExecuteSQL runs SPJ + aggregation
+// plans across a configurable worker pool while preserving the
+// Scenario 3 safe-point protocol. The parallel build observes the
+// cumulative cardinality from every worker; when any worker's
+// observation trips the misestimate check, all workers drain at the
+// phase barrier and the plan is revised exactly as in the serial
+// adaptive executor — the consumed build prefix replays as probe
+// input of the side-swapped join, so no tuple is lost or duplicated.
+
+// ExecOptions tunes ExecuteSQL.
+type ExecOptions struct {
+	// Workers is the worker count; <=0 means GOMAXPROCS.
+	Workers int
+	// MorselSize is the scan batch granularity; <=0 means the
+	// operators-package default (heap scans are page-granular anyway).
+	MorselSize int
+	// Adaptive tunes mid-query re-optimisation; nil means
+	// DefaultAdaptiveConfig() — the safe-point protocol is always on.
+	Adaptive *AdaptiveConfig
+}
+
+// ExecReport describes how ExecuteSQL ran.
+type ExecReport struct {
+	// Parallel is false when the statement took the serial path
+	// (non-SELECT, or an unsupported shape such as multi-join).
+	Parallel bool
+	// Workers is the effective worker count of a parallel run.
+	Workers int
+	// Adaptive reports what the mid-query re-optimiser did.
+	Adaptive AdaptiveReport
+}
+
+// ExecuteSQL parses and executes one statement with the parallel
+// executor. SELECTs over zero or one join run across workers;
+// everything else falls back to the serial engine (Report.Parallel
+// reports which happened). Result row order is nondeterministic
+// unless the statement has an ORDER BY.
+func (e *Engine) ExecuteSQL(sql string, opts ExecOptions) (*Result, *ExecReport, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		res, err := e.ExecStmt(st)
+		return res, &ExecReport{}, err
+	}
+	return e.execSelectParallel(sel, opts)
+}
+
+func (o ExecOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o ExecOptions) adaptive() AdaptiveConfig {
+	if o.Adaptive != nil {
+		cfg := *o.Adaptive
+		if cfg.Theta <= 1 {
+			cfg.Theta = 3
+		}
+		if cfg.CheckEvery <= 0 {
+			cfg.CheckEvery = 64
+		}
+		return cfg
+	}
+	return DefaultAdaptiveConfig()
+}
+
+// scanMorsels builds the morsel source for one scan: page-granular
+// shared heap cursors with worker-side filtering on the sequential
+// path, a serialised (but still fan-out-feeding) adapter on the index
+// path.
+func scanMorsels(sp *scanPlan, size int) (operators.MorselSource, error) {
+	if sp.indexCol != "" {
+		it, err := sp.build()
+		if err != nil {
+			return nil, err
+		}
+		return operators.NewIterMorsels(it, size), nil
+	}
+	var src operators.MorselSource = operators.NewHeapMorsels(sp.table.Heap)
+	if len(sp.preds) > 0 {
+		pred, err := compilePreds(sp.sch, sp.preds)
+		if err != nil {
+			return nil, err
+		}
+		src = operators.NewFilterMorsels(src, pred)
+	}
+	return src, nil
+}
+
+func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, *ExecReport, error) {
+	plan, err := e.planSelect(st)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &ExecReport{}
+	if len(plan.joins) > 1 {
+		// Multi-join plans stay on the serial executor for now.
+		res, err := e.execSelect(st)
+		return res, rep, err
+	}
+	workers := opts.workers()
+	rep.Parallel = true
+	rep.Workers = workers
+	plan.explainTx = fmt.Sprintf("Parallel(workers=%d) ", workers) + plan.explainTx
+
+	span := e.log.Span("query.parallel")
+	cfg := operators.ParallelConfig{
+		Workers:    workers,
+		MorselSize: opts.MorselSize,
+		OnWorker: func(w int, phase string, rows int) {
+			span.Sub(fmt.Sprintf("w%d", w)).Emit(e.clock(), trace.KindInfo,
+				"%s phase done: %d rows", phase, rows)
+		},
+	}
+
+	if len(plan.joins) == 0 {
+		src, err := scanMorsels(plan.scans[0], opts.MorselSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, err := operators.DrainParallel(src, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := e.finishSelectParallel(plan, rows, cfg)
+		return res, rep, err
+	}
+
+	// Single join: partitioned parallel hash join under the safe-point
+	// protocol.
+	acfg := opts.adaptive()
+	sides, err := plan.singleJoinSides()
+	if err != nil {
+		return nil, nil, err
+	}
+	leftW, rightW := len(plan.scans[0].sch), len(plan.scans[1].sch)
+	rep.Adaptive.InitialBuild = sides.build.ref.Binding()
+	rep.Adaptive.FinalBuild = sides.build.ref.Binding()
+	rep.Adaptive.EstimatedBuildRows = sides.build.estRows
+
+	// Build-side morsels are capped at the safe-point cadence so every
+	// worker re-checks the misestimate bound at least every CheckEvery
+	// rows of its own progress.
+	buildMorsel := acfg.CheckEvery
+	if opts.MorselSize > 0 && opts.MorselSize < buildMorsel {
+		buildMorsel = opts.MorselSize
+	}
+	buildSrc, err := scanMorsels(sides.build, buildMorsel)
+	if err != nil {
+		return nil, nil, err
+	}
+	limit := acfg.Theta * sides.build.estRows
+	safePoint := func(rows int) bool {
+		span.Emit(e.clock(), trace.KindSafePoint,
+			"build safe point at %d rows (est %.0f)", rows, sides.build.estRows)
+		return float64(rows) <= limit
+	}
+	buildCfg := cfg
+	buildCfg.MorselSize = buildMorsel
+
+	bt, prefix, err := operators.ParallelBuild(buildSrc, sides.buildCol, buildCfg, safePoint)
+	switch {
+	case err == nil:
+		// Statistics held: probe straight through.
+		probeSrc, err := scanMorsels(sides.probe, opts.MorselSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		joined, err := bt.ParallelProbe(probeSrc, sides.probeCol, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Adaptive.PeakHashRows = bt.Rows()
+		rows := permuteRows(joined, sides.buildIsLeft, leftW, rightW)
+		res, err := e.finishSelectParallel(plan, rows, cfg)
+		return res, rep, err
+
+	case errors.Is(err, operators.ErrBuildAborted):
+		// Violation: every worker has drained at the barrier; revise the
+		// plan by swapping sides. The consumed prefix plus the untouched
+		// remainder of the build source become the probe stream.
+		rep.Adaptive.Replanned = true
+		rep.Adaptive.TriggerRow = len(prefix)
+		span.Emit(e.clock(), trace.KindViolation,
+			"cardinality misestimate: %s build hit %d rows vs est %.0f (θ=%.1f); workers drained at barrier",
+			sides.build.ref.Binding(), len(prefix), sides.build.estRows, acfg.Theta)
+		newBuild := sides.probe
+		rep.Adaptive.FinalBuild = newBuild.ref.Binding()
+		span.Emit(e.clock(), trace.KindReoptimize,
+			"swapped join build side %s -> %s at row %d",
+			rep.Adaptive.InitialBuild, rep.Adaptive.FinalBuild, len(prefix))
+		newSrc, err := scanMorsels(newBuild, opts.MorselSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		nbt, _, err := operators.ParallelBuild(newSrc, sides.probeCol, cfg, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		replay := operators.NewChainMorsels(
+			operators.NewSliceMorsels(prefix, buildMorsel), buildSrc)
+		joined, err := nbt.ParallelProbe(replay, sides.buildCol, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Adaptive.PeakHashRows = maxInt(len(prefix), nbt.Rows())
+		// Output tuples are (newBuild, oldBuild) = (probe, build): the
+		// flip of the original orientation.
+		rows := permuteRows(joined, !sides.buildIsLeft, leftW, rightW)
+		res, err := e.finishSelectParallel(plan, rows, cfg)
+		return res, rep, err
+
+	default:
+		return nil, nil, err
+	}
+}
+
+// permuteRows restores declaration order (left, right) for join output
+// whose build side was `buildLeft`; build columns come first in each
+// joined tuple.
+func permuteRows(rows []storage.Tuple, buildLeft bool, leftW, rightW int) []storage.Tuple {
+	if buildLeft {
+		return rows
+	}
+	for i, t := range rows {
+		out := make(storage.Tuple, 0, leftW+rightW)
+		out = append(out, t[rightW:]...)
+		out = append(out, t[:rightW]...)
+		rows[i] = out
+	}
+	return rows
+}
+
+// finishSelectParallel applies aggregation / ordering / projection /
+// limit to the materialised join or scan output. Aggregation runs
+// through the parallel partial-accumulator path; ordering and
+// projection reuse the serial operators (they are O(result), not
+// O(input)).
+func (e *Engine) finishSelectParallel(plan *selectPlan, rows []storage.Tuple,
+	cfg operators.ParallelConfig) (*Result, error) {
+	st := plan.stmt
+	hasAgg := false
+	for _, item := range st.Items {
+		if item.Agg != AggNone {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && st.GroupBy == nil {
+		return e.finishSelect(plan, operators.NewMemScan(rows))
+	}
+	ap, err := compileAggregate(st, plan.sch)
+	if err != nil {
+		return nil, err
+	}
+	aggRows, err := operators.ParallelHashAggregate(
+		operators.NewSliceMorsels(rows, cfg.MorselSize), ap.groupCol, ap.specs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var it operators.Iterator = operators.NewProject(operators.NewMemScan(aggRows), ap.perm)
+	if st.OrderBy != nil {
+		idx, err := ap.outSch.resolve(*st.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		it = operators.NewSort(it, idx, st.Desc)
+	}
+	if st.Limit >= 0 {
+		it = operators.NewLimit(it, st.Limit)
+	}
+	out, err := operators.Drain(it)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: ap.outCols, Rows: out, Plan: plan.Explain()}, nil
+}

@@ -1,0 +1,213 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// seedParallel builds a fixed dataset for serial/parallel equivalence
+// checks. All aggregated columns are INT so partial-aggregation merge
+// order cannot perturb results (integer sums are exact in float64).
+func seedParallel(t *testing.T, e *Engine) {
+	t.Helper()
+	e.MustExec("CREATE TABLE users (id INT, city STRING, age INT)")
+	e.MustExec("CREATE TABLE orders (id INT, user_id INT, amount INT)")
+	e.MustExec("CREATE TABLE big (k INT, pad INT)")
+	e.MustExec("CREATE TABLE small (k INT, tag INT)")
+	cities := []string{"london", "paris", "tokyo", "oslo"}
+	for i := 0; i < 120; i++ {
+		e.MustExec(fmt.Sprintf("INSERT INTO users VALUES (%d, '%s', %d)",
+			i, cities[i%len(cities)], 18+i%50))
+	}
+	for i := 0; i < 900; i++ {
+		e.MustExec(fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d)",
+			i, i%120, (i*37)%500))
+	}
+	for i := 0; i < 1500; i++ {
+		e.MustExec(fmt.Sprintf("INSERT INTO big VALUES (%d, %d)", i%40, i))
+	}
+	for i := 0; i < 60; i++ {
+		e.MustExec(fmt.Sprintf("INSERT INTO small VALUES (%d, %d)", i%40, i))
+	}
+	e.MustExec("ANALYZE users")
+	e.MustExec("ANALYZE orders")
+	e.MustExec("ANALYZE big")
+	e.MustExec("ANALYZE small")
+}
+
+// rowsMultiset renders result rows as a sorted multiset.
+func rowsMultiset(r *Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.String())
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelMatchesSerialDeterminism asserts the parallel executor
+// returns the exact same multiset of rows as the serial engine for a
+// battery of seeded SPJ/aggregation queries, at 2 and 4 workers —
+// including queries that trigger mid-query replanning via injected
+// stale statistics.
+func TestParallelMatchesSerialDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		// lieBig injects stale stats on `big` before the parallel run so
+		// the safe-point protocol must fire (serial result is computed
+		// before the lie; the lie changes the plan, not the answer).
+		lieBig     bool
+		wantReplan bool
+	}{
+		{name: "full scan", sql: "SELECT id, city, age FROM users"},
+		{name: "filter", sql: "SELECT id, age FROM users WHERE age > 40"},
+		{name: "filter empty", sql: "SELECT id FROM users WHERE age > 1000"},
+		{name: "join", sql: "SELECT u.id, o.amount FROM users u JOIN orders o ON u.id = o.user_id"},
+		{name: "join with where", sql: "SELECT u.id, o.amount FROM users u JOIN orders o ON u.id = o.user_id WHERE u.age > 30 AND o.amount > 100"},
+		{name: "group count", sql: "SELECT city, COUNT(*) FROM users GROUP BY city"},
+		{name: "group sum min max", sql: "SELECT user_id, SUM(amount), MIN(amount), MAX(amount) FROM orders GROUP BY user_id"},
+		{name: "global avg int", sql: "SELECT AVG(amount), COUNT(*) FROM orders"},
+		{name: "join then aggregate", sql: "SELECT u.city, SUM(o.amount) FROM users u JOIN orders o ON u.id = o.user_id GROUP BY u.city"},
+		{name: "order by unique key limit", sql: "SELECT id, age FROM users ORDER BY id DESC LIMIT 7"},
+		{name: "replanned join", sql: "SELECT b.pad, s.tag FROM big b JOIN small s ON b.k = s.k",
+			lieBig: true, wantReplan: true},
+		{name: "replanned join aggregate", sql: "SELECT s.tag, COUNT(*), SUM(b.pad) FROM big b JOIN small s ON b.k = s.k GROUP BY s.tag",
+			lieBig: true, wantReplan: true},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(NewCatalog(256), trace.New(), nil)
+			seedParallel(t, e)
+			want := rowsMultiset(e.MustExec(tc.sql))
+			if tc.lieBig {
+				// The optimiser now believes big is tiny, so big becomes
+				// the build side and blows through Theta × estimate.
+				if err := e.cat.SetStats("big", TableStats{Rows: 3,
+					Distinct: map[string]int{"k": 3}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, workers := range []int{2, 4} {
+				res, rep, err := e.ExecuteSQL(tc.sql, ExecOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !rep.Parallel {
+					t.Fatalf("workers=%d: expected parallel execution", workers)
+				}
+				if rep.Workers != workers {
+					t.Fatalf("rep.Workers = %d, want %d", rep.Workers, workers)
+				}
+				if rep.Adaptive.Replanned != tc.wantReplan {
+					t.Fatalf("workers=%d: Replanned = %v, want %v (report %+v)",
+						workers, rep.Adaptive.Replanned, tc.wantReplan, rep.Adaptive)
+				}
+				got := rowsMultiset(res)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d rows, want %d", workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: row %d = %q, want %q", workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelIndexPathMatchesSerial covers the index-scan morsel
+// adapter: the serialised index cursor must feed the worker pool
+// without losing or duplicating rows.
+func TestParallelIndexPathMatchesSerial(t *testing.T) {
+	e := NewEngine(NewCatalog(256), trace.New(), nil)
+	seedParallel(t, e)
+	e.MustExec("CREATE INDEX ON orders (user_id)")
+	sql := "SELECT id, amount FROM orders WHERE user_id = 7"
+	want := rowsMultiset(e.MustExec(sql))
+	res, rep, err := e.ExecuteSQL(sql, ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Parallel {
+		t.Fatal("expected parallel execution")
+	}
+	got := rowsMultiset(res)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if !strings.Contains(res.Plan, "IndexScan") {
+		t.Fatalf("plan %q should use the index", res.Plan)
+	}
+}
+
+// TestParallelSafePointTrace asserts the protocol's trace shape:
+// safepoint events precede the violation, and the reoptimize event
+// records the side swap.
+func TestParallelSafePointTrace(t *testing.T) {
+	log := trace.New()
+	e := NewEngine(NewCatalog(256), log, nil)
+	seedParallel(t, e)
+	if err := e.cat.SetStats("big", TableStats{Rows: 3, Distinct: map[string]int{"k": 3}}); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := e.ExecuteSQL("SELECT b.pad, s.tag FROM big b JOIN small s ON b.k = s.k",
+		ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Adaptive.Replanned {
+		t.Fatalf("expected replanning, report %+v", rep.Adaptive)
+	}
+	if rep.Adaptive.InitialBuild == rep.Adaptive.FinalBuild {
+		t.Fatalf("build side did not swap: %+v", rep.Adaptive)
+	}
+	if log.Count(trace.KindSafePoint) == 0 {
+		t.Fatal("no safepoint events")
+	}
+	if log.Count(trace.KindViolation) != 1 || log.Count(trace.KindReoptimize) != 1 {
+		t.Fatalf("violation/reoptimize counts: %s", log.Summary())
+	}
+}
+
+// TestParallelNonSelectFallsBack checks DML passes straight through.
+func TestParallelNonSelectFallsBack(t *testing.T) {
+	e := NewEngine(NewCatalog(64), trace.New(), nil)
+	e.MustExec("CREATE TABLE t (x INT)")
+	res, rep, err := e.ExecuteSQL("INSERT INTO t VALUES (1), (2)", ExecOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Parallel || res.Affected != 2 {
+		t.Fatalf("rep=%+v res=%+v", rep, res)
+	}
+}
+
+// TestParallelSingleWorker sanity-checks the degenerate pool.
+func TestParallelSingleWorker(t *testing.T) {
+	e := NewEngine(NewCatalog(256), trace.New(), nil)
+	seedParallel(t, e)
+	sql := "SELECT u.city, COUNT(*) FROM users u JOIN orders o ON u.id = o.user_id GROUP BY u.city"
+	want := rowsMultiset(e.MustExec(sql))
+	res, rep, err := e.ExecuteSQL(sql, ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Parallel || rep.Workers != 1 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	got := rowsMultiset(res)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}

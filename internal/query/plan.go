@@ -127,9 +127,11 @@ func compilePreds(sch schema, preds []Pred) (operators.Predicate, error) {
 }
 
 // estimate computes the optimiser's cardinality guess for a scan from
-// the (possibly stale) statistics.
+// the (possibly stale) statistics, read via snapshot so planning can
+// race Analyze/SetStats without tearing.
 func estimate(t *Table, preds []Pred) float64 {
-	rows := float64(t.Stats.Rows)
+	stats := t.StatsSnapshot()
+	rows := float64(stats.Rows)
 	if rows <= 0 {
 		rows = 1 // unknown table: optimistic, per Scenario 3's setup
 	}
@@ -137,7 +139,7 @@ func estimate(t *Table, preds []Pred) float64 {
 	for _, p := range preds {
 		switch p.Op {
 		case OpEQ:
-			d := t.Stats.Distinct[strings.ToLower(p.Col.Col)]
+			d := stats.Distinct[strings.ToLower(p.Col.Col)]
 			if d <= 0 {
 				d = 10
 			}

@@ -154,12 +154,54 @@ func (h *HeapFile) Update(rid RID, t Tuple) (RID, error) {
 	return h.Insert(t)
 }
 
+// PageIDs returns a snapshot of the file's page list. The snapshot is
+// the unit of work distribution for parallel scans: each page id can
+// be handed to a different worker and read via PageTuples.
+func (h *HeapFile) PageIDs() []PageID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]PageID(nil), h.pages...)
+}
+
+// PageTuples decodes every live tuple on one page under the page read
+// latch. It is safe to call from many goroutines at once — this is
+// the per-partition cursor primitive of the parallel executor.
+func (h *HeapFile) PageTuples(id PageID) ([]Tuple, error) {
+	p, err := h.bm.GetPage(id)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bm.Unpin(id)
+	return p.Tuples()
+}
+
+// ScanPartition calls fn for every live record on the pages of one
+// partition (pages whose index i satisfies i % parts == part, over a
+// snapshot of the page list). Distinct partitions cover disjoint page
+// sets, so `parts` goroutines each scanning one partition together
+// visit every record exactly once.
+func (h *HeapFile) ScanPartition(part, parts int, fn func(rid RID, t Tuple) bool) error {
+	if parts < 1 {
+		return fmt.Errorf("storage: ScanPartition parts = %d", parts)
+	}
+	all := h.PageIDs()
+	var pages []PageID
+	for i := part; i < len(all); i += parts {
+		pages = append(pages, all[i])
+	}
+	return h.scanPages(pages, fn)
+}
+
 // Scan calls fn for every live record in file order; returning false
 // stops the scan early.
 func (h *HeapFile) Scan(fn func(rid RID, t Tuple) bool) error {
 	h.mu.Lock()
 	pages := append([]PageID(nil), h.pages...)
 	h.mu.Unlock()
+	return h.scanPages(pages, fn)
+}
+
+func (h *HeapFile) scanPages(pages []PageID, fn func(rid RID, t Tuple) bool) error {
 	for _, id := range pages {
 		p, err := h.bm.GetPage(id)
 		if err != nil {
@@ -170,6 +212,9 @@ func (h *HeapFile) Scan(fn func(rid RID, t Tuple) bool) error {
 				continue
 			}
 			rec, err := p.Get(s)
+			if errors.Is(err, ErrSlotDeleted) {
+				continue // deleted between Live and Get by a concurrent writer
+			}
 			if err != nil {
 				h.bm.Unpin(id)
 				return err

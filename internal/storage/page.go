@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // PageSize is the fixed page size (IA32 page granule; also what the
@@ -26,7 +27,12 @@ var (
 // Page is a slotted data page: records grow down from the end, the
 // slot directory grows up after the header. Deleted slots keep their
 // directory entry (length 0) so RIDs stay stable.
+//
+// Pages are latch-protected: mutators take the write latch, readers
+// the read latch, so heap scans can run concurrently with inserts —
+// the shared-scan requirement of the parallel executor.
 type Page struct {
+	mu  sync.RWMutex
 	buf [PageSize]byte
 }
 
@@ -59,6 +65,12 @@ func (p *Page) freeEndActual() int { return p.freeEnd() }
 
 // FreeSpace returns the bytes available for one more record + slot.
 func (p *Page) FreeSpace() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.freeSpaceLocked()
+}
+
+func (p *Page) freeSpaceLocked() int {
 	used := pageHeaderSize + p.slotCount()*slotSize
 	free := p.freeEndActual() - used - slotSize
 	if free < 0 {
@@ -68,12 +80,22 @@ func (p *Page) FreeSpace() int {
 }
 
 // Slots returns the number of directory entries (live + deleted).
-func (p *Page) Slots() int { return p.slotCount() }
+func (p *Page) Slots() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.slotCount()
+}
 
 // Insert stores a record and returns its slot number.
 func (p *Page) Insert(rec []byte) (int, error) {
-	if len(rec) > p.FreeSpace() {
-		return 0, fmt.Errorf("%w: need %d, have %d", ErrPageFull, len(rec), p.FreeSpace())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.insertLocked(rec)
+}
+
+func (p *Page) insertLocked(rec []byte) (int, error) {
+	if len(rec) > p.freeSpaceLocked() {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrPageFull, len(rec), p.freeSpaceLocked())
 	}
 	n := p.slotCount()
 	newEnd := p.freeEndActual() - len(rec)
@@ -84,9 +106,12 @@ func (p *Page) Insert(rec []byte) (int, error) {
 	return n, nil
 }
 
-// Get returns the record in a slot. The returned slice aliases the
-// page; callers that keep it must copy.
+// Get returns a copy of the record in a slot. (A copy, not an alias:
+// the caller decodes outside the page latch, so an alias would race
+// with concurrent writers.)
 func (p *Page) Get(slot int) ([]byte, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if slot < 0 || slot >= p.slotCount() {
 		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, slot, p.slotCount())
 	}
@@ -94,12 +119,18 @@ func (p *Page) Get(slot int) ([]byte, error) {
 	if length == 0 {
 		return nil, fmt.Errorf("%w: %d", ErrSlotDeleted, slot)
 	}
-	return p.buf[off : off+length], nil
+	return append([]byte(nil), p.buf[off:off+length]...), nil
 }
 
 // Delete tombstones a slot (directory entry kept, space reclaimable
 // by Compact).
 func (p *Page) Delete(slot int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.deleteLocked(slot)
+}
+
+func (p *Page) deleteLocked(slot int) error {
 	if slot < 0 || slot >= p.slotCount() {
 		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
 	}
@@ -115,6 +146,8 @@ func (p *Page) Delete(slot int) error {
 // space, otherwise deletes and reinserts (same-page only; returns the
 // possibly-new slot).
 func (p *Page) Update(slot int, rec []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if slot < 0 || slot >= p.slotCount() {
 		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
 	}
@@ -127,14 +160,20 @@ func (p *Page) Update(slot int, rec []byte) (int, error) {
 		p.setSlot(slot, off, len(rec))
 		return slot, nil
 	}
-	if err := p.Delete(slot); err != nil {
+	if err := p.deleteLocked(slot); err != nil {
 		return 0, err
 	}
-	return p.Insert(rec)
+	return p.insertLocked(rec)
 }
 
 // Live reports whether the slot holds a record.
 func (p *Page) Live(slot int) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.liveLocked(slot)
+}
+
+func (p *Page) liveLocked(slot int) bool {
 	if slot < 0 || slot >= p.slotCount() {
 		return false
 	}
@@ -146,15 +185,17 @@ func (p *Page) Live(slot int) bool {
 // of live records are preserved (tombstones stay as zero-length
 // entries so RIDs never dangle).
 func (p *Page) Compact() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	type rec struct {
 		slot int
 		data []byte
 	}
 	var live []rec
 	for i := 0; i < p.slotCount(); i++ {
-		if p.Live(i) {
-			b, _ := p.Get(i)
-			live = append(live, rec{i, append([]byte(nil), b...)})
+		if p.liveLocked(i) {
+			off, length := p.slotAt(i)
+			live = append(live, rec{i, append([]byte(nil), p.buf[off:off+length]...)})
 		}
 	}
 	n := p.slotCount()
@@ -174,12 +215,36 @@ func (p *Page) Compact() {
 
 // LiveBytes returns the total bytes of live records.
 func (p *Page) LiveBytes() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	n := 0
 	for i := 0; i < p.slotCount(); i++ {
-		if p.Live(i) {
+		if p.liveLocked(i) {
 			_, l := p.slotAt(i)
 			n += l
 		}
 	}
 	return n
+}
+
+// Tuples decodes every live record in the page in slot order. It is
+// the page-granular read path of the parallel executor: one latch
+// acquisition per page, tuples copied out so workers never hold page
+// state.
+func (p *Page) Tuples() ([]Tuple, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []Tuple
+	for s := 0; s < p.slotCount(); s++ {
+		off, length := p.slotAt(s)
+		if length == 0 {
+			continue
+		}
+		t, err := DecodeTuple(p.buf[off : off+length])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }

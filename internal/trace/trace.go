@@ -70,6 +70,32 @@ func (l *Log) Emit(t float64, kind Kind, actor, format string, args ...any) {
 	l.seq++
 }
 
+// Span is a named emission context over a shared log: workers of a
+// parallel operation each hold a child span ("query.w0", "query.w1",
+// ...) and emit into the same sequenced log, so one parallel run
+// produces a single coherent trace instead of per-goroutine shards.
+// Spans are immutable and safe for concurrent use.
+type Span struct {
+	log   *Log
+	actor string
+}
+
+// Span returns an emission context for actor over this log.
+func (l *Log) Span(actor string) *Span { return &Span{log: l, actor: actor} }
+
+// Sub derives a child span named parent.name.
+func (s *Span) Sub(name string) *Span {
+	return &Span{log: s.log, actor: s.actor + "." + name}
+}
+
+// Actor returns the span's actor name.
+func (s *Span) Actor() string { return s.actor }
+
+// Emit appends an event attributed to this span.
+func (s *Span) Emit(t float64, kind Kind, format string, args ...any) {
+	s.log.Emit(t, kind, s.actor, format, args...)
+}
+
 // Events returns a snapshot of all events in emission order.
 func (l *Log) Events() []Event {
 	l.mu.Lock()

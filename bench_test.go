@@ -636,3 +636,51 @@ func BenchmarkParallelJoin_100k_w1(b *testing.B) { benchParallelJoin(b, 100_000,
 func BenchmarkParallelJoin_100k_w2(b *testing.B) { benchParallelJoin(b, 100_000, 2) }
 func BenchmarkParallelJoin_100k_w4(b *testing.B) { benchParallelJoin(b, 100_000, 4) }
 func BenchmarkParallelJoin_100k_w8(b *testing.B) { benchParallelJoin(b, 100_000, 8) }
+
+// BenchmarkBatchHeapScan is the allocation gate of the vectorized scan
+// path: one op = one full batched scan of a 50k-row heap file through
+// a reused Batch. Steady state must stay O(1) allocs per scan (the
+// page-list snapshot plus pool noise) — ci.sh fails if allocs/op
+// regresses above its budget, which would mean per-tuple or per-page
+// allocation crept back into the hot path.
+func BenchmarkBatchHeapScan(b *testing.B) {
+	store := storage.NewStore()
+	bm := storage.NewBufferManager(store, 4096, storage.NewLRU())
+	hf := storage.NewHeapFile("scan", store, bm)
+	const rows = 50_000
+	for i := 0; i < rows; i++ {
+		if _, err := hf.Insert(storage.Tuple{
+			storage.IntValue(int64(i)), storage.IntValue(int64(i * 3))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	scan := operators.NewBatchHeapScan(hf)
+	batch := operators.GetBatch()
+	defer operators.PutBatch(batch)
+	drain := func() int {
+		if err := scan.Open(); err != nil {
+			b.Fatal(err)
+		}
+		defer scan.Close()
+		total := 0
+		for {
+			n, err := scan.NextBatch(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				return total
+			}
+			total += n
+		}
+	}
+	drain() // warm the page decode caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := drain(); got != rows {
+			b.Fatalf("scanned %d rows, want %d", got, rows)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}

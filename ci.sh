@@ -15,10 +15,20 @@
 #                to BENCH_parallel.json and gated against
 #                bench_baseline.json: the build fails if the 4-worker
 #                parallel-join throughput drops below 0.9x the
-#                checked-in baseline. To refresh the baseline (after an
-#                intentional perf change, or on new CI hardware), see
-#                the update procedure in bench_baseline.json's _readme.
+#                checked-in baseline, or if the 4w/1w scaling
+#                efficiency falls below the baseline's scaling_floor.
+#                To refresh the baseline (after an intentional perf
+#                change, or on new CI hardware), see the update
+#                procedure in bench_baseline.json's _readme.
+#   alloc gate   BenchmarkBatchHeapScan with -benchmem: fails if the
+#                batched scan's allocs/op exceeds SCAN_ALLOC_BUDGET —
+#                per-tuple or per-page allocation crept back into the
+#                vectorized hot path.
 set -eu
+
+# Allocations per full batched heap-file scan (steady state is 1: the
+# page-list snapshot; headroom for pool warm-up noise).
+SCAN_ALLOC_BUDGET=8
 
 cd "$(dirname "$0")"
 
@@ -67,5 +77,20 @@ echo "== bench smoke (parallel join regression gate)"
 go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 \
     -baseline bench_baseline.json > BENCH_parallel.json
 echo "   wrote BENCH_parallel.json"
+
+echo "== alloc gate (batched scan)"
+bench_out=$(go test -run '^$' -bench '^BenchmarkBatchHeapScan$' \
+    -benchmem -benchtime 20x .)
+allocs=$(echo "$bench_out" | awk '/^BenchmarkBatchHeapScan/ { print $(NF-1) }')
+if [ -z "$allocs" ]; then
+    echo "could not parse allocs/op from benchmark output:" >&2
+    echo "$bench_out" >&2
+    exit 1
+fi
+echo "   BatchHeapScan: $allocs allocs/op (budget $SCAN_ALLOC_BUDGET)"
+if [ "$allocs" -gt "$SCAN_ALLOC_BUDGET" ]; then
+    echo "ALLOC REGRESSION: batched scan at $allocs allocs/op, budget $SCAN_ALLOC_BUDGET" >&2
+    exit 1
+fi
 
 echo "ok"

@@ -26,6 +26,11 @@ type ParallelBenchResult struct {
 	Workers    int     `json:"workers"`
 	RowsPerSec float64 `json:"rows_per_sec"`
 	Cycles     uint64  `json:"cycles"`
+	// ScalingEfficiency is the 4-worker/1-worker rows_per_sec ratio,
+	// recorded on the 4-worker record when both counts were measured
+	// (1.0 = no parallel speedup; on a single-core host values near 1.0
+	// are the physical ceiling).
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // parallelJoinEngine seeds l(k,v) ⋈ r(k,v) with `rows` tuples per
@@ -59,9 +64,17 @@ func parallelJoinEngine(rows int) (*query.Engine, error) {
 }
 
 // RunParallelJoinBench times the parallel equi-join l ⋈ r at each
-// worker count, best of `repeats` runs. Throughput is input rows
-// (both sides) per second — the morsel pipeline's feed rate.
+// worker count, best of `repeats` runs, at the default batch size.
 func RunParallelJoinBench(rows int, workers []int, repeats int) ([]ParallelBenchResult, error) {
+	return RunParallelJoinBenchBatch(rows, workers, repeats, 0)
+}
+
+// RunParallelJoinBenchBatch is RunParallelJoinBench with an explicit
+// exchange batch size (0 = operator default). Throughput is input rows
+// (both sides) per second — the batch pipeline's feed rate. When both
+// 1- and 4-worker counts are measured, the 4-worker record carries
+// their rows_per_sec ratio as ScalingEfficiency.
+func RunParallelJoinBenchBatch(rows int, workers []int, repeats, batch int) ([]ParallelBenchResult, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -75,7 +88,7 @@ func RunParallelJoinBench(rows int, workers []int, repeats int) ([]ParallelBench
 		best := time.Duration(0)
 		for rep := 0; rep < repeats; rep++ {
 			start := time.Now()
-			res, _, err := e.ExecuteSQL(sql, query.ExecOptions{Workers: w})
+			res, _, err := e.ExecuteSQL(sql, query.ExecOptions{Workers: w, BatchSize: batch})
 			elapsed := time.Since(start)
 			if err != nil {
 				return nil, err
@@ -93,6 +106,19 @@ func RunParallelJoinBench(rows int, workers []int, repeats int) ([]ParallelBench
 			RowsPerSec: float64(2*rows) / best.Seconds(),
 			Cycles:     uint64(best.Nanoseconds()),
 		})
+	}
+	var oneW float64
+	for _, r := range out {
+		if r.Workers == 1 {
+			oneW = r.RowsPerSec
+		}
+	}
+	if oneW > 0 {
+		for i := range out {
+			if out[i].Workers == 4 {
+				out[i].ScalingEfficiency = out[i].RowsPerSec / oneW
+			}
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,424 @@
+// Batch-at-a-time (vectorized) execution. The Volcano interface pays
+// one virtual Next() call, one bounds-checked type dispatch, and
+// frequently one allocation per tuple; at millions of rows per second
+// that interface tax dominates the actual work (the same boundary tax
+// the paper charges the OS/DBMS split with, one layer down). The batch
+// path amortises it: operators exchange a reusable Batch of tuples, so
+// the per-tuple cost collapses to a slice append, and sources decode
+// whole pinned pages under one latch acquisition.
+//
+// Memory discipline: a Batch owns only its header slice, never the
+// tuple values. Sources produce tuples whose values are arena-decoded
+// (storage.Page.TuplesInto) or otherwise stable, so consumers may
+// retain individual tuples after the batch is recycled; only the
+// []Tuple headers are reused. Batches are recycled through a
+// sync.Pool.
+package operators
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// DefaultBatchSize is the default tuples-per-batch granularity.
+const DefaultBatchSize = 1024
+
+// Batch is a reusable buffer of tuples. Tuples holds the current
+// contents; capacity is retained across refills.
+type Batch struct {
+	Tuples []storage.Tuple
+}
+
+// Len returns the number of tuples in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// Reset empties the batch, keeping capacity.
+func (b *Batch) Reset() { b.Tuples = b.Tuples[:0] }
+
+var batchPool = sync.Pool{
+	New: func() any { return &Batch{Tuples: make([]storage.Tuple, 0, DefaultBatchSize)} },
+}
+
+// GetBatch takes a recycled batch from the pool (empty, capacity
+// retained from its previous life).
+func GetBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Reset()
+	return b
+}
+
+// PutBatch returns a batch to the pool. The caller must not touch the
+// batch afterwards; tuples previously read from it remain valid.
+func PutBatch(b *Batch) {
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// BatchIterator is the vectorized counterpart of Iterator. NextBatch
+// resets and refills b, returning the number of tuples produced; 0
+// with a nil error means exhausted. The same Batch is normally passed
+// back on every call so its buffer is reused.
+type BatchIterator interface {
+	// Open prepares the operator tree.
+	Open() error
+	// NextBatch refills b and returns the tuple count; 0 = exhausted.
+	NextBatch(b *Batch) (int, error)
+	// Close releases resources; the iterator may be reopened.
+	Close() error
+}
+
+// DrainBatches runs a BatchIterator to completion and returns all
+// tuples (test/verification convenience).
+func DrainBatches(bi BatchIterator) ([]storage.Tuple, error) {
+	if err := bi.Open(); err != nil {
+		return nil, err
+	}
+	defer bi.Close()
+	var out []storage.Tuple
+	b := GetBatch()
+	defer PutBatch(b)
+	for {
+		n, err := bi.NextBatch(b)
+		if err != nil {
+			return out, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, b.Tuples...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Volcano <-> batch adapters. Every existing operator keeps working:
+// wrap a scalar iterator to feed a batch pipeline, or a batch pipeline
+// to feed a scalar consumer.
+
+// BatchFromIterator adapts a Volcano iterator to the batch interface,
+// pulling up to size tuples per NextBatch.
+type BatchFromIterator struct {
+	In   Iterator
+	size int
+	open bool
+}
+
+// NewBatchFromIterator wraps it; size <= 0 means DefaultBatchSize.
+func NewBatchFromIterator(it Iterator, size int) *BatchFromIterator {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &BatchFromIterator{In: it, size: size}
+}
+
+// Open implements BatchIterator.
+func (a *BatchFromIterator) Open() error { a.open = true; return a.In.Open() }
+
+// NextBatch implements BatchIterator.
+func (a *BatchFromIterator) NextBatch(b *Batch) (int, error) {
+	if !a.open {
+		return 0, ErrNotOpen
+	}
+	b.Reset()
+	for len(b.Tuples) < a.size {
+		t, ok, err := a.In.Next()
+		if err != nil {
+			return len(b.Tuples), err
+		}
+		if !ok {
+			break
+		}
+		b.Tuples = append(b.Tuples, t)
+	}
+	return len(b.Tuples), nil
+}
+
+// Close implements BatchIterator.
+func (a *BatchFromIterator) Close() error { a.open = false; return a.In.Close() }
+
+// IteratorFromBatch adapts a batch pipeline back to the Volcano
+// interface. Tuples are handed out by header copy, so they survive the
+// internal batch's next refill.
+type IteratorFromBatch struct {
+	In   BatchIterator
+	buf  *Batch
+	pos  int
+	open bool
+}
+
+// NewIteratorFromBatch wraps bi.
+func NewIteratorFromBatch(bi BatchIterator) *IteratorFromBatch {
+	return &IteratorFromBatch{In: bi}
+}
+
+// Open implements Iterator.
+func (a *IteratorFromBatch) Open() error {
+	a.buf = GetBatch()
+	a.pos = 0
+	a.open = true
+	return a.In.Open()
+}
+
+// Next implements Iterator.
+func (a *IteratorFromBatch) Next() (storage.Tuple, bool, error) {
+	if !a.open {
+		return nil, false, ErrNotOpen
+	}
+	for a.pos >= a.buf.Len() {
+		n, err := a.In.NextBatch(a.buf)
+		if err != nil {
+			return nil, false, err
+		}
+		if n == 0 {
+			return nil, false, nil
+		}
+		a.pos = 0
+	}
+	t := a.buf.Tuples[a.pos]
+	a.pos++
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (a *IteratorFromBatch) Close() error {
+	a.open = false
+	if a.buf != nil {
+		PutBatch(a.buf)
+		a.buf = nil
+	}
+	return a.In.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Batch-native sources and transforms.
+
+// BatchHeapScan reads a heap file page-at-a-time: each NextBatch
+// decodes one pinned page into the caller's batch under a single latch
+// acquisition (storage.HeapFile.PageTuplesInto) — the batch-native
+// scan. The page list is snapshotted at Open, matching HeapScan's
+// semantics; reopening re-snapshots.
+type BatchHeapScan struct {
+	File  *storage.HeapFile
+	pages []storage.PageID
+	idx   int
+	open  bool
+}
+
+// NewBatchHeapScan scans file.
+func NewBatchHeapScan(file *storage.HeapFile) *BatchHeapScan {
+	return &BatchHeapScan{File: file}
+}
+
+// Open implements BatchIterator.
+func (s *BatchHeapScan) Open() error {
+	s.pages = s.File.PageIDs()
+	s.idx = 0
+	s.open = true
+	return nil
+}
+
+// NextBatch implements BatchIterator; one batch is one page.
+func (s *BatchHeapScan) NextBatch(b *Batch) (int, error) {
+	if !s.open {
+		return 0, ErrNotOpen
+	}
+	for s.idx < len(s.pages) {
+		id := s.pages[s.idx]
+		s.idx++
+		ts, err := s.File.PageTuplesInto(id, b.Tuples[:0])
+		if err != nil {
+			return 0, err
+		}
+		b.Tuples = ts
+		if len(ts) > 0 {
+			return len(ts), nil
+		}
+	}
+	b.Reset()
+	return 0, nil
+}
+
+// Close implements BatchIterator.
+func (s *BatchHeapScan) Close() error { s.open, s.pages = false, nil; return nil }
+
+// BatchFilter drops tuples failing Pred, compacting each batch in
+// place — no copy, no allocation.
+type BatchFilter struct {
+	In   BatchIterator
+	Pred Predicate
+	open bool
+}
+
+// NewBatchFilter wraps in with a predicate.
+func NewBatchFilter(in BatchIterator, pred Predicate) *BatchFilter {
+	return &BatchFilter{In: in, Pred: pred}
+}
+
+// Open implements BatchIterator.
+func (f *BatchFilter) Open() error { f.open = true; return f.In.Open() }
+
+// NextBatch implements BatchIterator.
+func (f *BatchFilter) NextBatch(b *Batch) (int, error) {
+	if !f.open {
+		return 0, ErrNotOpen
+	}
+	for {
+		n, err := f.In.NextBatch(b)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		if k := filterInPlace(b, f.Pred); k > 0 {
+			return k, nil
+		}
+	}
+}
+
+// Close implements BatchIterator.
+func (f *BatchFilter) Close() error { f.open = false; return f.In.Close() }
+
+// filterInPlace compacts b to the tuples satisfying pred.
+func filterInPlace(b *Batch, pred Predicate) int {
+	k := 0
+	for _, t := range b.Tuples {
+		if pred(t) {
+			b.Tuples[k] = t
+			k++
+		}
+	}
+	b.Tuples = b.Tuples[:k]
+	return k
+}
+
+// BatchProject maps batches to the given column indexes. Output tuples
+// are carved from one arena per batch (two allocations per batch
+// instead of one per tuple).
+type BatchProject struct {
+	In      BatchIterator
+	Cols    []int
+	scratch *Batch
+	open    bool
+}
+
+// NewBatchProject keeps only cols (in order).
+func NewBatchProject(in BatchIterator, cols []int) *BatchProject {
+	return &BatchProject{In: in, Cols: cols}
+}
+
+// Open implements BatchIterator.
+func (p *BatchProject) Open() error {
+	p.scratch = GetBatch()
+	p.open = true
+	return p.In.Open()
+}
+
+// NextBatch implements BatchIterator.
+func (p *BatchProject) NextBatch(b *Batch) (int, error) {
+	if !p.open {
+		return 0, ErrNotOpen
+	}
+	n, err := p.In.NextBatch(p.scratch)
+	if err != nil {
+		return 0, err
+	}
+	b.Reset()
+	if n == 0 {
+		return 0, nil
+	}
+	out, err := ProjectTuples(b.Tuples[:0], p.scratch.Tuples, p.Cols)
+	if err != nil {
+		return 0, err
+	}
+	b.Tuples = out
+	return len(out), nil
+}
+
+// Close implements BatchIterator.
+func (p *BatchProject) Close() error {
+	p.open = false
+	if p.scratch != nil {
+		PutBatch(p.scratch)
+		p.scratch = nil
+	}
+	return p.In.Close()
+}
+
+// ProjectTuples appends cols-projections of rows to dst, allocating
+// all output values from a single arena. The projected tuples own
+// their memory (they stay valid when rows' batch is recycled).
+func ProjectTuples(dst []storage.Tuple, rows []storage.Tuple, cols []int) ([]storage.Tuple, error) {
+	arena := make(storage.Tuple, 0, len(rows)*len(cols))
+	for _, t := range rows {
+		start := len(arena)
+		for _, c := range cols {
+			if c < 0 || c >= len(t) {
+				return dst, fmt.Errorf("operators: project column %d out of range (%d)", c, len(t))
+			}
+			arena = append(arena, t[c])
+		}
+		dst = append(dst, arena[start:len(arena):len(arena)])
+	}
+	return dst, nil
+}
+
+// BatchHashProbe streams probe batches against a partitioned
+// BuildTable (the batch-native hash-join probe). Each NextBatch pulls
+// one input batch and emits all of its matches, build columns first;
+// output values are carved from one arena per batch.
+type BatchHashProbe struct {
+	In       BatchIterator
+	Table    *BuildTable
+	ProbeCol int
+	scratch  *Batch
+	open     bool
+}
+
+// NewBatchHashProbe probes table with in's ProbeCol.
+func NewBatchHashProbe(in BatchIterator, table *BuildTable, probeCol int) *BatchHashProbe {
+	return &BatchHashProbe{In: in, Table: table, ProbeCol: probeCol}
+}
+
+// Open implements BatchIterator.
+func (j *BatchHashProbe) Open() error {
+	j.scratch = GetBatch()
+	j.open = true
+	return j.In.Open()
+}
+
+// NextBatch implements BatchIterator. Empty-output input batches are
+// skipped internally, so 0 still means exhausted.
+func (j *BatchHashProbe) NextBatch(b *Batch) (int, error) {
+	if !j.open {
+		return 0, ErrNotOpen
+	}
+	b.Reset()
+	var out probeOut
+	for {
+		n, err := j.In.NextBatch(j.scratch)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		out.reset()
+		j.Table.probeBatch(j.scratch.Tuples, j.ProbeCol, &out)
+		if len(out.ends) > 0 {
+			b.Tuples = out.materialize(b.Tuples[:0])
+			return len(b.Tuples), nil
+		}
+	}
+}
+
+// Close implements BatchIterator.
+func (j *BatchHashProbe) Close() error {
+	j.open = false
+	if j.scratch != nil {
+		PutBatch(j.scratch)
+		j.scratch = nil
+	}
+	return j.In.Close()
+}

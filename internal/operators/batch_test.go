@@ -1,0 +1,237 @@
+package operators
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// batchHeap builds a heap file with n sequential rows (id, "v<id>").
+func batchHeap(t *testing.T, n int) *storage.HeapFile {
+	t.Helper()
+	store := storage.NewStore()
+	bm := storage.NewBufferManager(store, 64, storage.NewLRU())
+	hf := storage.NewHeapFile("t", store, bm)
+	for i := int64(0); i < int64(n); i++ {
+		if _, err := hf.Insert(storage.Tuple{
+			storage.IntValue(i), storage.StringValue(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return hf
+}
+
+// TestBatchHeapScanMatchesSerial: draining the batch-native page scan
+// must equal the Volcano heap scan exactly — including after deletes
+// punch holes in the slot directories.
+func TestBatchHeapScanMatchesSerial(t *testing.T) {
+	hf := batchHeap(t, 500)
+	// Tombstone a spread of slots, including page boundaries.
+	i := 0
+	var kill []storage.RID
+	hf.Scan(func(rid storage.RID, _ storage.Tuple) bool {
+		if i%7 == 0 || i == 499 {
+			kill = append(kill, rid)
+		}
+		i++
+		return true
+	})
+	for _, rid := range kill {
+		if err := hf.Delete(rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := Drain(NewHeapScan(hf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DrainBatches(NewBatchHeapScan(hf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	// Both scan in page/slot order, so equality is positional.
+	for j := range got {
+		if got[j][0].Int != want[j][0].Int || got[j][1].Str != want[j][1].Str {
+			t.Fatalf("row %d: %v want %v", j, got[j], want[j])
+		}
+	}
+}
+
+// TestBatchAdapterRoundTrip: Volcano -> batch -> Volcano must be the
+// identity at any batch size, and the adapters must survive reopening.
+func TestBatchAdapterRoundTrip(t *testing.T) {
+	src := rows(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13)
+	for _, size := range []int{1, 3, 64, 1024} {
+		it := NewIteratorFromBatch(NewBatchFromIterator(NewMemScan(src), size))
+		for pass := 0; pass < 2; pass++ { // second pass = reopened iterator
+			got, err := Drain(it)
+			if err != nil {
+				t.Fatalf("size=%d pass=%d: %v", size, pass, err)
+			}
+			if len(got) != len(src) {
+				t.Fatalf("size=%d pass=%d: %d rows, want %d", size, pass, len(got), len(src))
+			}
+			for j := range got {
+				if got[j][0].Int != src[j][0].Int {
+					t.Fatalf("size=%d pass=%d row %d: %v", size, pass, j, got[j])
+				}
+			}
+		}
+	}
+	if _, _, err := NewIteratorFromBatch(NewBatchFromIterator(NewMemScan(src), 4)).Next(); err != ErrNotOpen {
+		t.Fatalf("unopened Next: %v", err)
+	}
+}
+
+// TestBatchHeapScanReopen: Open re-snapshots the page list, so a
+// reopened scan sees rows inserted after the first drain.
+func TestBatchHeapScanReopen(t *testing.T) {
+	hf := batchHeap(t, 100)
+	scan := NewBatchHeapScan(hf)
+	first, err := DrainBatches(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(100); i < 700; i++ { // forces new pages
+		if _, err := hf.Insert(storage.Tuple{storage.IntValue(i), storage.StringValue("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second, err := DrainBatches(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 100 || len(second) != 700 {
+		t.Fatalf("first=%d second=%d", len(first), len(second))
+	}
+}
+
+// TestBatchRetentionAcrossRecycle: tuples handed out of a batch scan
+// must stay valid after their batch is recycled and refilled (the
+// arena-ownership contract consumers like hash-join builds rely on).
+func TestBatchRetentionAcrossRecycle(t *testing.T) {
+	hf := batchHeap(t, 600)
+	scan := NewBatchHeapScan(hf)
+	if err := scan.Open(); err != nil {
+		t.Fatal(err)
+	}
+	b := GetBatch()
+	var retained []storage.Tuple
+	for {
+		n, err := scan.NextBatch(b) // refills over the same header slice
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		retained = append(retained, b.Tuples...)
+	}
+	PutBatch(b)
+	scan.Close()
+	seen := map[int64]bool{}
+	for _, tp := range retained {
+		if tp[1].Str != fmt.Sprintf("v%d", tp[0].Int) {
+			t.Fatalf("corrupted retained tuple %v", tp)
+		}
+		seen[tp[0].Int] = true
+	}
+	if len(seen) != 600 {
+		t.Fatalf("retained %d distinct ids, want 600", len(seen))
+	}
+}
+
+// TestBatchFilterProjectMatchSerial compares the vectorized
+// filter+project pipeline against the Volcano one.
+func TestBatchFilterProjectMatchSerial(t *testing.T) {
+	hf := batchHeap(t, 300)
+	pred := func(tp storage.Tuple) bool { return tp[0].Int%3 == 0 }
+	want, err := Drain(NewProject(NewFilter(NewHeapScan(hf), pred), []int{1, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DrainBatches(NewBatchProject(NewBatchFilter(NewBatchHeapScan(hf), pred), []int{1, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, got, want)
+
+	if _, err := DrainBatches(NewBatchProject(NewBatchHeapScan(hf), []int{9})); err == nil {
+		t.Fatal("out-of-range projection should error")
+	}
+}
+
+// TestBatchHashProbeMatchesHashJoin: the batch probe operator over a
+// parallel-built table must produce the serial HashJoin's multiset.
+func TestBatchHashProbeMatchesHashJoin(t *testing.T) {
+	build := rows(1, 2, 2, 3, 5, 8)
+	probe := batchHeap(t, 50) // ids 0..49 joined against small build side
+	want, err := Drain(NewHashJoin(NewMemScan(build), NewHeapScan(probe), 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, _, err := ParallelBuildBatches(NewSliceBatches(build, 2), 0,
+		ParallelConfig{Workers: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DrainBatches(NewBatchHashProbe(NewBatchHeapScan(probe), bt, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, got, want)
+}
+
+// TestJoinKeyEdgeCases pins the struct-key semantics to the old
+// string-key behaviour: NaN joins NaN, -0 joins +0, numeric kinds
+// join by float image, NULL never joins, and strings never collide
+// with numbers.
+func TestJoinKeyEdgeCases(t *testing.T) {
+	nan := storage.FloatValue(math.NaN())
+	k1, ok1 := joinKeyOf(nan)
+	k2, ok2 := joinKeyOf(nan)
+	if !ok1 || !ok2 || k1 != k2 {
+		t.Fatalf("NaN keys differ: %v %v", k1, k2)
+	}
+	neg, okn := joinKeyOf(storage.FloatValue(math.Copysign(0, -1)))
+	pos, okp := joinKeyOf(storage.IntValue(0))
+	if !okn || !okp || neg != pos || neg.hash() != pos.hash() {
+		t.Fatalf("-0 and +0 keys differ: %v %v", neg, pos)
+	}
+	if _, ok := joinKeyOf(storage.Value{Kind: storage.KindNull}); ok {
+		t.Fatal("NULL must not produce a join key")
+	}
+	num, _ := joinKeyOf(storage.IntValue(7))
+	str, _ := joinKeyOf(storage.StringValue("7"))
+	if num == str {
+		t.Fatal("number 7 and string \"7\" must not join")
+	}
+}
+
+// TestBatchSourcesMatchScalarMorsels: the batch-native sources and
+// their scalar shims must cover identical tuple sets.
+func TestBatchSourcesMatchScalarMorsels(t *testing.T) {
+	hf := batchHeap(t, 400)
+	pred := func(tp storage.Tuple) bool { return tp[0].Int%2 == 1 }
+	cfg := ParallelConfig{Workers: 4}
+
+	fromBatches, err := DrainParallelBatches(
+		NewFilterBatches(NewHeapBatches(hf), pred), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMorsels, err := DrainParallel(
+		NewFilterMorsels(NewHeapMorsels(hf), pred), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMultiset(t, fromBatches, fromMorsels)
+	if len(fromBatches) != 200 {
+		t.Fatalf("filtered %d rows, want 200", len(fromBatches))
+	}
+}

@@ -7,16 +7,27 @@
 // partition's hash table is assembled independently) followed by a
 // partitioned probe against the immutable tables.
 //
+// The data plane is batch-native (see batch.go): workers pull into
+// sync.Pool-recycled Batches, heap sources decode whole pinned pages
+// under one latch acquisition, join keys are comparable structs (no
+// per-tuple key formatting or allocation), and probe output is carved
+// from per-worker value arenas. The scalar MorselSource interface from
+// the first parallel executor is kept as a thin adapter so existing
+// callers and the index-scan path keep working.
+//
 // The build phase honours the Scenario 3 safe-point protocol: an
 // optional callback observes the cumulative build cardinality at
-// morsel granularity from every worker; when any worker's observation
+// batch granularity from every worker; when any worker's observation
 // trips the misestimate check, all workers finish their in-flight
-// morsel and drain at the phase barrier, and the consumed prefix is
-// handed back so the re-optimiser can replan without losing work.
+// batch and drain at the phase barrier, and the consumed prefix is
+// handed back so the re-optimiser can replan without losing work. The
+// prefix counts tuples, not batches, so replay granularity is
+// unchanged from the scalar executor.
 package operators
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -57,32 +68,228 @@ func (c ParallelConfig) morselSize() int {
 }
 
 // ---------------------------------------------------------------------------
-// Morsel sources.
+// Batch sources (the concurrent counterpart of BatchIterator).
 
-// MorselSource hands out batches of tuples to concurrent workers.
-// NextMorsel must be safe for concurrent use; a nil batch with nil
-// error means the source is exhausted. Each tuple is handed out
-// exactly once, so a partially-consumed source can keep serving the
-// remainder to a later phase (how replanning resumes the aborted
-// build side).
-type MorselSource interface {
-	NextMorsel() ([]storage.Tuple, error)
+// BatchSource hands out batches of tuples to concurrent workers.
+// NextBatch must be safe for concurrent use; it resets and refills b
+// and returns the tuple count, 0 with nil error meaning exhausted.
+// Each tuple is handed out exactly once, so a partially-consumed
+// source can keep serving the remainder to a later phase (how
+// replanning resumes the aborted build side). Tuple values must stay
+// valid after b is reused — sources decode arena-style or serve
+// stable slices, so consumers may retain tuples without copying.
+type BatchSource interface {
+	NextBatch(b *Batch) (int, error)
 }
 
-// SliceMorsels serves a tuple slice in fixed-size morsels claimed by
+// HeapBatches serves a heap file page-by-page: workers claim page
+// indexes from an atomic cursor over a snapshot of the page list and
+// decode each page into their own batch under one read-latch
+// acquisition, so the underlying file stays shareable with concurrent
+// writers.
+type HeapBatches struct {
+	file  *storage.HeapFile
+	pages []storage.PageID
+	next  atomic.Int64
+}
+
+// NewHeapBatches snapshots file's pages for parallel consumption.
+func NewHeapBatches(file *storage.HeapFile) *HeapBatches {
+	return &HeapBatches{file: file, pages: file.PageIDs()}
+}
+
+// NextBatch implements BatchSource; one batch is one page.
+func (h *HeapBatches) NextBatch(b *Batch) (int, error) {
+	for {
+		i := h.next.Add(1) - 1
+		if i >= int64(len(h.pages)) {
+			b.Reset()
+			return 0, nil
+		}
+		ts, err := h.file.PageTuplesInto(h.pages[i], b.Tuples[:0])
+		if err != nil {
+			return 0, err
+		}
+		b.Tuples = ts
+		if len(ts) > 0 {
+			return len(ts), nil
+		}
+	}
+}
+
+// SliceBatches serves a tuple slice in fixed-size batches claimed by
 // an atomic cursor.
-type SliceMorsels struct {
+type SliceBatches struct {
 	tuples []storage.Tuple
 	size   int
 	pos    atomic.Int64
 }
 
+// NewSliceBatches wraps tuples; size <= 0 means DefaultBatchSize.
+func NewSliceBatches(tuples []storage.Tuple, size int) *SliceBatches {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &SliceBatches{tuples: tuples, size: size}
+}
+
+// NextBatch implements BatchSource.
+func (s *SliceBatches) NextBatch(b *Batch) (int, error) {
+	end := s.pos.Add(int64(s.size))
+	start := end - int64(s.size)
+	if start >= int64(len(s.tuples)) {
+		b.Reset()
+		return 0, nil
+	}
+	if end > int64(len(s.tuples)) {
+		end = int64(len(s.tuples))
+	}
+	b.Tuples = append(b.Tuples[:0], s.tuples[start:end]...)
+	return len(b.Tuples), nil
+}
+
+// FilterBatches applies a predicate inside the consuming worker by
+// compacting each batch in place, so filtering parallelises with the
+// scan at zero copies.
+type FilterBatches struct {
+	src  BatchSource
+	pred Predicate
+}
+
+// NewFilterBatches wraps src with pred.
+func NewFilterBatches(src BatchSource, pred Predicate) *FilterBatches {
+	return &FilterBatches{src: src, pred: pred}
+}
+
+// NextBatch implements BatchSource.
+func (f *FilterBatches) NextBatch(b *Batch) (int, error) {
+	for {
+		n, err := f.src.NextBatch(b)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		if k := filterInPlace(b, f.pred); k > 0 {
+			return k, nil
+		}
+	}
+}
+
+// IterBatches adapts a serial Iterator (index scans, adaptive
+// operators) to the batch-source interface behind a mutex: the scan
+// itself is serialised but everything downstream still parallelises.
+type IterBatches struct {
+	mu     sync.Mutex
+	it     Iterator
+	size   int
+	opened bool
+	done   bool
+}
+
+// NewIterBatches wraps it; size <= 0 means DefaultBatchSize. The
+// iterator is opened lazily on first claim and closed at exhaustion.
+func NewIterBatches(it Iterator, size int) *IterBatches {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &IterBatches{it: it, size: size}
+}
+
+// NextBatch implements BatchSource.
+func (m *IterBatches) NextBatch(b *Batch) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b.Reset()
+	if m.done {
+		return 0, nil
+	}
+	if !m.opened {
+		if err := m.it.Open(); err != nil {
+			m.done = true
+			return 0, err
+		}
+		m.opened = true
+	}
+	for len(b.Tuples) < m.size {
+		t, ok, err := m.it.Next()
+		if err != nil {
+			m.done = true
+			m.it.Close()
+			return 0, err
+		}
+		if !ok {
+			m.done = true
+			m.it.Close()
+			break
+		}
+		b.Tuples = append(b.Tuples, t)
+	}
+	return len(b.Tuples), nil
+}
+
+// ChainBatches serves all of a, then all of b (the replay stream of a
+// replanned join: consumed prefix first, then the untouched remainder
+// of the aborted source).
+type ChainBatches struct {
+	a, b  BatchSource
+	aDone atomic.Bool
+}
+
+// NewChainBatches concatenates two sources.
+func NewChainBatches(a, b BatchSource) *ChainBatches { return &ChainBatches{a: a, b: b} }
+
+// NextBatch implements BatchSource.
+func (c *ChainBatches) NextBatch(b *Batch) (int, error) {
+	if !c.aDone.Load() {
+		n, err := c.a.NextBatch(b)
+		if err != nil || n > 0 {
+			return n, err
+		}
+		c.aDone.Store(true)
+	}
+	return c.b.NextBatch(b)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar morsel compatibility layer.
+
+// MorselSource hands out batches of tuples to concurrent workers.
+// NextMorsel must be safe for concurrent use; a nil batch with nil
+// error means the source is exhausted. Kept for callers predating the
+// batch path; the executor adapts it via Batches.
+type MorselSource interface {
+	NextMorsel() ([]storage.Tuple, error)
+}
+
+// Batches adapts a MorselSource to the BatchSource interface.
+func Batches(src MorselSource) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &morselBatches{src: src}
+}
+
+type morselBatches struct{ src MorselSource }
+
+func (m *morselBatches) NextBatch(b *Batch) (int, error) {
+	morsel, err := m.src.NextMorsel()
+	if err != nil || morsel == nil {
+		b.Reset()
+		return 0, err
+	}
+	b.Tuples = append(b.Tuples[:0], morsel...)
+	return len(b.Tuples), nil
+}
+
+// SliceMorsels serves a tuple slice in fixed-size morsels claimed by
+// an atomic cursor.
+type SliceMorsels struct{ SliceBatches }
+
 // NewSliceMorsels wraps tuples; size <= 0 means DefaultMorselSize.
 func NewSliceMorsels(tuples []storage.Tuple, size int) *SliceMorsels {
-	if size <= 0 {
-		size = DefaultMorselSize
-	}
-	return &SliceMorsels{tuples: tuples, size: size}
+	return &SliceMorsels{*NewSliceBatches(tuples, size)}
 }
 
 // NextMorsel implements MorselSource.
@@ -98,19 +305,13 @@ func (s *SliceMorsels) NextMorsel() ([]storage.Tuple, error) {
 	return s.tuples[start:end], nil
 }
 
-// HeapMorsels serves a heap file page-by-page: workers claim page
-// indexes from an atomic cursor over a snapshot of the page list and
-// read each page under its read latch, so the underlying file stays
-// shareable with concurrent writers.
-type HeapMorsels struct {
-	file  *storage.HeapFile
-	pages []storage.PageID
-	next  atomic.Int64
-}
+// HeapMorsels serves a heap file page-by-page (scalar shim over
+// HeapBatches).
+type HeapMorsels struct{ HeapBatches }
 
 // NewHeapMorsels snapshots file's pages for parallel consumption.
 func NewHeapMorsels(file *storage.HeapFile) *HeapMorsels {
-	return &HeapMorsels{file: file, pages: file.PageIDs()}
+	return &HeapMorsels{HeapBatches{file: file, pages: file.PageIDs()}}
 }
 
 // NextMorsel implements MorselSource; one morsel is one page.
@@ -161,64 +362,27 @@ func (f *FilterMorsels) NextMorsel() ([]storage.Tuple, error) {
 	}
 }
 
-// IterMorsels adapts a serial Iterator (index scans, adaptive
-// operators) to the morsel interface behind a mutex: the scan itself
-// is serialised but everything downstream still parallelises.
-type IterMorsels struct {
-	mu     sync.Mutex
-	it     Iterator
-	size   int
-	opened bool
-	done   bool
-}
+// IterMorsels adapts a serial Iterator to the morsel interface behind
+// a mutex (scalar shim over IterBatches).
+type IterMorsels struct{ IterBatches }
 
-// NewIterMorsels wraps it; size <= 0 means DefaultMorselSize. The
-// iterator is opened lazily on first claim and closed at exhaustion.
+// NewIterMorsels wraps it; size <= 0 means DefaultMorselSize.
 func NewIterMorsels(it Iterator, size int) *IterMorsels {
-	if size <= 0 {
-		size = DefaultMorselSize
-	}
-	return &IterMorsels{it: it, size: size}
+	return &IterMorsels{*NewIterBatches(it, size)}
 }
 
 // NextMorsel implements MorselSource.
 func (m *IterMorsels) NextMorsel() ([]storage.Tuple, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.done {
-		return nil, nil
+	b := GetBatch()
+	defer PutBatch(b)
+	n, err := m.NextBatch(b)
+	if err != nil || n == 0 {
+		return nil, err
 	}
-	if !m.opened {
-		if err := m.it.Open(); err != nil {
-			m.done = true
-			return nil, err
-		}
-		m.opened = true
-	}
-	var out []storage.Tuple
-	for len(out) < m.size {
-		t, ok, err := m.it.Next()
-		if err != nil {
-			m.done = true
-			m.it.Close()
-			return nil, err
-		}
-		if !ok {
-			m.done = true
-			m.it.Close()
-			break
-		}
-		out = append(out, t)
-	}
-	if len(out) == 0 {
-		return nil, nil
-	}
-	return out, nil
+	return append([]storage.Tuple(nil), b.Tuples...), nil
 }
 
-// ChainMorsels serves all of a, then all of b (the replay stream of a
-// replanned join: consumed prefix first, then the untouched remainder
-// of the aborted source).
+// ChainMorsels serves all of a, then all of b.
 type ChainMorsels struct {
 	a, b  MorselSource
 	aDone atomic.Bool
@@ -245,29 +409,38 @@ func (c *ChainMorsels) NextMorsel() ([]storage.Tuple, error) {
 // DrainParallel collects every tuple of src using cfg workers. The
 // result order is nondeterministic (a multiset).
 func DrainParallel(src MorselSource, cfg ParallelConfig) ([]storage.Tuple, error) {
+	return DrainParallelBatches(Batches(src), cfg)
+}
+
+// DrainParallelBatches collects every tuple of src using cfg workers,
+// each pulling into a pool-recycled batch. The result order is
+// nondeterministic (a multiset).
+func DrainParallelBatches(src BatchSource, cfg ParallelConfig) ([]storage.Tuple, error) {
 	w := cfg.WorkerCount()
 	outs := make([][]storage.Tuple, w)
-	counts := make([]int, w)
 	var fail failFlag
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			b := GetBatch()
+			defer PutBatch(b)
+			rows := 0
 			for !fail.failed() {
-				m, err := src.NextMorsel()
+				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
 					return
 				}
-				if m == nil {
+				if n == 0 {
 					break
 				}
-				outs[i] = append(outs[i], m...)
-				counts[i] += len(m)
+				outs[i] = append(outs[i], b.Tuples...)
+				rows += n
 			}
 			if cfg.OnWorker != nil {
-				cfg.OnWorker(i, "scan", counts[i])
+				cfg.OnWorker(i, "scan", rows)
 			}
 		}(i)
 	}
@@ -276,6 +449,56 @@ func DrainParallel(src MorselSource, cfg ParallelConfig) ([]storage.Tuple, error
 		return nil, err
 	}
 	return mergeSlices(outs), nil
+}
+
+// ---------------------------------------------------------------------------
+// Join keys. The first executor rendered every key to a string
+// (fmt.Sprintf per tuple — the single hottest call on the join path);
+// keys are now comparable structs hashed directly.
+
+// joinK is a hash/equality key over a Value, normalised so mixed
+// numeric kinds (and bools) join per Compare semantics: any value with
+// a float image keys by that image, strings key by content.
+type joinK struct {
+	f   float64
+	s   string
+	num bool
+}
+
+// joinKeyOf derives the key; ok is false for NULL (never joins).
+func joinKeyOf(v storage.Value) (joinK, bool) {
+	if f, ok := v.AsFloat(); ok {
+		if f == 0 {
+			f = 0 // fold -0 into +0 so both hash to one partition
+		}
+		if math.IsNaN(f) {
+			// Map lookups can't hit float NaN keys; fold NaN to a
+			// reserved string key (distinct from any user string, which
+			// would key with num=false but equal content and s-prefix
+			// hashing — the \x00 prefix cannot appear in decoded text
+			// produced by our encoder's joinable kinds).
+			return joinK{s: "\x00NaN"}, true
+		}
+		return joinK{f: f, num: true}, true
+	}
+	if v.Kind == storage.KindNull {
+		return joinK{}, false
+	}
+	return joinK{s: v.Str}, true
+}
+
+// hash radix-partitions a key (FNV-1a).
+func (k joinK) hash() uint32 {
+	if k.num {
+		b := math.Float64bits(k.f)
+		h := uint32(2166136261)
+		for i := 0; i < 64; i += 8 {
+			h ^= uint32(b>>i) & 0xff
+			h *= 16777619
+		}
+		return h
+	}
+	return fnv32(k.s)
 }
 
 // ---------------------------------------------------------------------------
@@ -289,7 +512,7 @@ var ErrBuildAborted = errors.New("operators: parallel build aborted at safe poin
 // ParallelBuild; once built it is probed lock-free by any number of
 // workers.
 type BuildTable struct {
-	parts []map[string][]storage.Tuple
+	parts []map[joinK][]storage.Tuple
 	rows  int
 }
 
@@ -297,23 +520,33 @@ type BuildTable struct {
 // proxy the adaptive report tracks).
 func (t *BuildTable) Rows() int { return t.rows }
 
-type keyedTuple struct {
-	key string
-	t   storage.Tuple
+// partBuf is one worker's scatter output for one partition. Tuples
+// are aliased, not copied: batch sources guarantee stable values.
+type partBuf struct {
+	keys []joinK
+	tups []storage.Tuple
 }
 
 // ParallelBuild consumes src with cfg workers and assembles the
-// partitioned hash table on col. safePoint, when non-nil, is called
-// (possibly concurrently) after every morsel with the cumulative
-// build row count; returning false aborts the build: every claimed
-// morsel is still fully absorbed, workers drain at the barrier, and
-// (nil, consumedPrefix, ErrBuildAborted) is returned. The caller can
-// then replan and replay the prefix, resuming src for the remainder.
+// partitioned hash table on col (scalar-source shim over
+// ParallelBuildBatches).
 func ParallelBuild(src MorselSource, col int, cfg ParallelConfig,
 	safePoint func(rows int) bool) (*BuildTable, []storage.Tuple, error) {
+	return ParallelBuildBatches(Batches(src), col, cfg, safePoint)
+}
+
+// ParallelBuildBatches consumes src with cfg workers and assembles the
+// partitioned hash table on col. safePoint, when non-nil, is called
+// (possibly concurrently) after every batch with the cumulative
+// build row count; returning false aborts the build: every claimed
+// batch is still fully absorbed, workers drain at the barrier, and
+// (nil, consumedPrefix, ErrBuildAborted) is returned. The caller can
+// then replan and replay the prefix, resuming src for the remainder.
+func ParallelBuildBatches(src BatchSource, col int, cfg ParallelConfig,
+	safePoint func(rows int) bool) (*BuildTable, []storage.Tuple, error) {
 	w := cfg.WorkerCount()
-	scatter := make([][][]keyedTuple, w) // [worker][partition]
-	nulls := make([][]storage.Tuple, w)  // null keys never join but must replay
+	scatter := make([][]partBuf, w)     // [worker][partition]
+	nulls := make([][]storage.Tuple, w) // null keys never join but must replay
 	var consumed atomic.Int64
 	var aborted atomic.Bool
 	var fail failFlag
@@ -322,29 +555,31 @@ func ParallelBuild(src MorselSource, col int, cfg ParallelConfig,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			local := make([][]keyedTuple, w)
+			b := GetBatch()
+			defer PutBatch(b)
+			local := make([]partBuf, w)
 			rows := 0
 			for !aborted.Load() && !fail.failed() {
-				m, err := src.NextMorsel()
+				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
 					break
 				}
-				if m == nil {
+				if n == 0 {
 					break
 				}
-				for _, t := range m {
-					v := t[col]
-					if v.IsNull() {
+				for _, t := range b.Tuples {
+					k, ok := joinKeyOf(t[col])
+					if !ok {
 						nulls[i] = append(nulls[i], t)
 						continue
 					}
-					k := joinKey(v)
-					p := int(fnv32(k) % uint32(w))
-					local[p] = append(local[p], keyedTuple{key: k, t: t})
+					p := int(k.hash() % uint32(w))
+					local[p].keys = append(local[p].keys, k)
+					local[p].tups = append(local[p].tups, t)
 				}
-				rows += len(m)
-				total := consumed.Add(int64(len(m)))
+				rows += n
+				total := consumed.Add(int64(n))
 				if safePoint != nil && !safePoint(int(total)) {
 					aborted.Store(true)
 					break
@@ -364,9 +599,7 @@ func ParallelBuild(src MorselSource, col int, cfg ParallelConfig,
 		var prefix []storage.Tuple
 		for i := 0; i < w; i++ {
 			for _, part := range scatter[i] {
-				for _, kt := range part {
-					prefix = append(prefix, kt.t)
-				}
+				prefix = append(prefix, part.tups...)
 			}
 			prefix = append(prefix, nulls[i]...)
 		}
@@ -374,19 +607,20 @@ func ParallelBuild(src MorselSource, col int, cfg ParallelConfig,
 	}
 	// Assemble each partition's hash table; partitions are disjoint so
 	// this fans out without locks.
-	parts := make([]map[string][]storage.Tuple, w)
+	parts := make([]map[joinK][]storage.Tuple, w)
 	for p := 0; p < w; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			n := 0
 			for i := 0; i < w; i++ {
-				n += len(scatter[i][p])
+				n += len(scatter[i][p].keys)
 			}
-			table := make(map[string][]storage.Tuple, n)
+			table := make(map[joinK][]storage.Tuple, n)
 			for i := 0; i < w; i++ {
-				for _, kt := range scatter[i][p] {
-					table[kt.key] = append(table[kt.key], kt.t)
+				pb := &scatter[i][p]
+				for j, k := range pb.keys {
+					table[k] = append(table[k], pb.tups[j])
 				}
 			}
 			parts[p] = table
@@ -396,12 +630,102 @@ func ParallelBuild(src MorselSource, col int, cfg ParallelConfig,
 	return &BuildTable{parts: parts, rows: int(consumed.Load())}, nil, nil
 }
 
-// ParallelProbe streams src through the table with cfg workers and
-// returns the joined tuples (build side's columns first, as HashJoin
-// emits). The result order is nondeterministic.
-func (t *BuildTable) ParallelProbe(src MorselSource, col int, cfg ParallelConfig) ([]storage.Tuple, error) {
-	w := cfg.WorkerCount()
+// probeOut accumulates join output in a value arena: concatenated
+// (build, probe) values back-to-back in vals, tuple boundaries in
+// ends. materialize carves the tuple headers once the arena is final,
+// so a probe allocates O(log n) arena growths instead of one
+// allocation per output row.
+type probeOut struct {
+	vals storage.Tuple
+	ends []int
+}
+
+func (o *probeOut) reset() { o.vals, o.ends = o.vals[:0], o.ends[:0] }
+
+func (o *probeOut) emit(b, p storage.Tuple) {
+	o.vals = append(o.vals, b...)
+	o.vals = append(o.vals, p...)
+	o.ends = append(o.ends, len(o.vals))
+}
+
+// materialize appends the accumulated tuples to dst. The arena is
+// owned by the returned tuples; the probeOut must be reset (not
+// reused in place) if more output is needed.
+func (o *probeOut) materialize(dst []storage.Tuple) []storage.Tuple {
+	start := 0
+	for _, end := range o.ends {
+		dst = append(dst, o.vals[start:end:end])
+		start = end
+	}
+	return dst
+}
+
+// probeBatch probes every tuple of rows against the table, emitting
+// matches (build columns first) into out.
+func (t *BuildTable) probeBatch(rows []storage.Tuple, col int, out *probeOut) {
 	np := uint32(len(t.parts))
+	for _, p := range rows {
+		k, ok := joinKeyOf(p[col])
+		if !ok {
+			continue
+		}
+		for _, b := range t.parts[k.hash()%np][k] {
+			out.emit(b, p)
+		}
+	}
+}
+
+// probeBatchProject is probeBatch with the final projection fused in:
+// cols index the conceptual joined tuple (build columns first, then
+// probe columns, buildW of the former), and only those columns are
+// emitted. Fusing skips materialising the wide joined tuple for
+// queries that immediately project it away.
+func (t *BuildTable) probeBatchProject(rows []storage.Tuple, col int, out *probeOut, cols []int, buildW int) {
+	np := uint32(len(t.parts))
+	for _, p := range rows {
+		k, ok := joinKeyOf(p[col])
+		if !ok {
+			continue
+		}
+		for _, b := range t.parts[k.hash()%np][k] {
+			for _, c := range cols {
+				if c < buildW {
+					out.vals = append(out.vals, b[c])
+				} else {
+					out.vals = append(out.vals, p[c-buildW])
+				}
+			}
+			out.ends = append(out.ends, len(out.vals))
+		}
+	}
+}
+
+// ParallelProbe streams src through the table with cfg workers
+// (scalar-source shim over ParallelProbeBatches).
+func (t *BuildTable) ParallelProbe(src MorselSource, col int, cfg ParallelConfig) ([]storage.Tuple, error) {
+	return t.ParallelProbeBatches(Batches(src), col, cfg)
+}
+
+// ParallelProbeBatches streams src through the table with cfg workers
+// and returns the joined tuples (build side's columns first, as
+// HashJoin emits). Each worker accumulates output in a private value
+// arena. The result order is nondeterministic.
+func (t *BuildTable) ParallelProbeBatches(src BatchSource, col int, cfg ParallelConfig) ([]storage.Tuple, error) {
+	return t.parallelProbe(src, col, cfg, nil, 0)
+}
+
+// ParallelProbeProject is ParallelProbeBatches with the projection
+// fused into the probe: each output tuple holds only cols (indexes
+// into the joined build++probe layout, buildW build columns). The
+// wide intermediate join tuple is never materialised.
+func (t *BuildTable) ParallelProbeProject(src BatchSource, col int, cfg ParallelConfig,
+	cols []int, buildW int) ([]storage.Tuple, error) {
+	return t.parallelProbe(src, col, cfg, cols, buildW)
+}
+
+func (t *BuildTable) parallelProbe(src BatchSource, col int, cfg ParallelConfig,
+	cols []int, buildW int) ([]storage.Tuple, error) {
+	w := cfg.WorkerCount()
 	outs := make([][]storage.Tuple, w)
 	var fail failFlag
 	var wg sync.WaitGroup
@@ -409,28 +733,27 @@ func (t *BuildTable) ParallelProbe(src MorselSource, col int, cfg ParallelConfig
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			b := GetBatch()
+			defer PutBatch(b)
+			var out probeOut
 			rows := 0
 			for !fail.failed() {
-				m, err := src.NextMorsel()
+				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
 					return
 				}
-				if m == nil {
+				if n == 0 {
 					break
 				}
-				for _, p := range m {
-					v := p[col]
-					if v.IsNull() {
-						continue
-					}
-					k := joinKey(v)
-					for _, b := range t.parts[fnv32(k)%np][k] {
-						outs[i] = append(outs[i], concat(b, p))
-					}
+				if cols == nil {
+					t.probeBatch(b.Tuples, col, &out)
+				} else {
+					t.probeBatchProject(b.Tuples, col, &out, cols, buildW)
 				}
-				rows += len(m)
+				rows += n
 			}
+			outs[i] = out.materialize(nil)
 			if cfg.OnWorker != nil {
 				cfg.OnWorker(i, "probe", rows)
 			}
@@ -446,13 +769,20 @@ func (t *BuildTable) ParallelProbe(src MorselSource, col int, cfg ParallelConfig
 // ---------------------------------------------------------------------------
 // Parallel aggregation.
 
-// ParallelHashAggregate computes grouped aggregates over src with cfg
-// workers: worker-local partial accumulators, merged at the barrier.
-// Merging is exact for COUNT/SUM/AVG/MIN/MAX (integer sums stay exact
-// in float64 below 2^53; float SUM/AVG may differ from the serial
-// result in the last ulps because addition order varies). Group order
-// in the output is nondeterministic.
+// ParallelHashAggregate computes grouped aggregates over src (scalar
+// shim over ParallelHashAggregateBatches).
 func ParallelHashAggregate(src MorselSource, groupCol int, aggs []AggSpec,
+	cfg ParallelConfig) ([]storage.Tuple, error) {
+	return ParallelHashAggregateBatches(Batches(src), groupCol, aggs, cfg)
+}
+
+// ParallelHashAggregateBatches computes grouped aggregates over src
+// with cfg workers: worker-local partial accumulators, merged at the
+// barrier. Merging is exact for COUNT/SUM/AVG/MIN/MAX (integer sums
+// stay exact in float64 below 2^53; float SUM/AVG may differ from the
+// serial result in the last ulps because addition order varies).
+// Group order in the output is nondeterministic.
+func ParallelHashAggregateBatches(src BatchSource, groupCol int, aggs []AggSpec,
 	cfg ParallelConfig) ([]storage.Tuple, error) {
 	w := cfg.WorkerCount()
 	partials := make([]*aggAccum, w)
@@ -462,21 +792,23 @@ func ParallelHashAggregate(src MorselSource, groupCol int, aggs []AggSpec,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			b := GetBatch()
+			defer PutBatch(b)
 			acc := newAggAccum(groupCol, aggs)
 			rows := 0
 			for !fail.failed() {
-				m, err := src.NextMorsel()
+				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
 					break
 				}
-				if m == nil {
+				if n == 0 {
 					break
 				}
-				for _, t := range m {
+				for _, t := range b.Tuples {
 					acc.absorb(t)
 				}
-				rows += len(m)
+				rows += n
 			}
 			partials[i] = acc
 			if cfg.OnWorker != nil {

@@ -182,23 +182,11 @@ func (e *Engine) finishSelect(plan *selectPlan, it operators.Iterator) (*Result,
 			}
 			it = operators.NewSort(it, idx, st.Desc)
 		}
-		// Projection.
-		var cols []int
-		for _, item := range st.Items {
-			if item.Star {
-				for i := range sch {
-					cols = append(cols, i)
-					outCols = append(outCols, sch[i].Name)
-				}
-				continue
-			}
-			idx, err := sch.resolve(item.Col)
-			if err != nil {
-				return nil, err
-			}
-			cols = append(cols, idx)
-			outCols = append(outCols, sch[idx].Name)
+		cols, names, err := projectionCols(st, sch)
+		if err != nil {
+			return nil, err
 		}
+		outCols = names
 		it = operators.NewProject(it, cols)
 	}
 
@@ -210,6 +198,30 @@ func (e *Engine) finishSelect(plan *selectPlan, it operators.Iterator) (*Result,
 		return nil, err
 	}
 	return &Result{Cols: outCols, Rows: rows, Plan: plan.Explain()}, nil
+}
+
+// projectionCols resolves the select list of a non-aggregate SELECT to
+// column indexes and output names. Shared by the serial Project
+// operator and the parallel batch projection fast path.
+func projectionCols(st *SelectStmt, sch schema) ([]int, []string, error) {
+	var cols []int
+	var names []string
+	for _, item := range st.Items {
+		if item.Star {
+			for i := range sch {
+				cols = append(cols, i)
+				names = append(names, sch[i].Name)
+			}
+			continue
+		}
+		idx, err := sch.resolve(item.Col)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols = append(cols, idx)
+		names = append(names, sch[idx].Name)
+	}
+	return cols, names, nil
 }
 
 // aggPlan is the compiled aggregate clause, shared by the serial and

@@ -13,19 +13,29 @@ import (
 // This file wires the morsel-driven exchange layer (operators
 // package) into the SQL engine: ExecuteSQL runs SPJ + aggregation
 // plans across a configurable worker pool while preserving the
-// Scenario 3 safe-point protocol. The parallel build observes the
+// Scenario 3 safe-point protocol. The data plane is the vectorized
+// batch path: heap scans decode whole pages into pooled batches,
+// filters compact in place inside the scanning worker, and joins
+// build/probe on struct keys. The parallel build observes the
 // cumulative cardinality from every worker; when any worker's
 // observation trips the misestimate check, all workers drain at the
 // phase barrier and the plan is revised exactly as in the serial
 // adaptive executor — the consumed build prefix replays as probe
 // input of the side-swapped join, so no tuple is lost or duplicated.
+// Safe points are checked at batch granularity, but the replayed
+// prefix counts tuples, so replay is exact regardless of batch size.
 
 // ExecOptions tunes ExecuteSQL.
 type ExecOptions struct {
 	// Workers is the worker count; <=0 means GOMAXPROCS.
 	Workers int
-	// MorselSize is the scan batch granularity; <=0 means the
-	// operators-package default (heap scans are page-granular anyway).
+	// BatchSize is the tuples-per-batch granularity of the vectorized
+	// exchange; <=0 means the operators-package default (heap scans are
+	// page-granular anyway). Results are identical at any batch size —
+	// only the amortisation changes.
+	BatchSize int
+	// MorselSize is the legacy name for BatchSize and is used when
+	// BatchSize is zero.
 	MorselSize int
 	// Adaptive tunes mid-query re-optimisation; nil means
 	// DefaultAdaptiveConfig() — the safe-point protocol is always on.
@@ -68,6 +78,15 @@ func (o ExecOptions) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// batchSize resolves the effective batch granularity (0 = operator
+// default).
+func (o ExecOptions) batchSize() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return o.MorselSize
+}
+
 func (o ExecOptions) adaptive() AdaptiveConfig {
 	if o.Adaptive != nil {
 		cfg := *o.Adaptive
@@ -82,25 +101,25 @@ func (o ExecOptions) adaptive() AdaptiveConfig {
 	return DefaultAdaptiveConfig()
 }
 
-// scanMorsels builds the morsel source for one scan: page-granular
-// shared heap cursors with worker-side filtering on the sequential
-// path, a serialised (but still fan-out-feeding) adapter on the index
-// path.
-func scanMorsels(sp *scanPlan, size int) (operators.MorselSource, error) {
+// scanBatches builds the batch source for one scan: page-granular
+// shared heap cursors with worker-side in-place filtering on the
+// sequential path, a serialised (but still fan-out-feeding) adapter on
+// the index path.
+func scanBatches(sp *scanPlan, size int) (operators.BatchSource, error) {
 	if sp.indexCol != "" {
 		it, err := sp.build()
 		if err != nil {
 			return nil, err
 		}
-		return operators.NewIterMorsels(it, size), nil
+		return operators.NewIterBatches(it, size), nil
 	}
-	var src operators.MorselSource = operators.NewHeapMorsels(sp.table.Heap)
+	var src operators.BatchSource = operators.NewHeapBatches(sp.table.Heap)
 	if len(sp.preds) > 0 {
 		pred, err := compilePreds(sp.sch, sp.preds)
 		if err != nil {
 			return nil, err
 		}
-		src = operators.NewFilterMorsels(src, pred)
+		src = operators.NewFilterBatches(src, pred)
 	}
 	return src, nil
 }
@@ -117,6 +136,7 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 		return res, rep, err
 	}
 	workers := opts.workers()
+	batch := opts.batchSize()
 	rep.Parallel = true
 	rep.Workers = workers
 	plan.explainTx = fmt.Sprintf("Parallel(workers=%d) ", workers) + plan.explainTx
@@ -124,7 +144,7 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 	span := e.log.Span("query.parallel")
 	cfg := operators.ParallelConfig{
 		Workers:    workers,
-		MorselSize: opts.MorselSize,
+		MorselSize: batch,
 		OnWorker: func(w int, phase string, rows int) {
 			span.Sub(fmt.Sprintf("w%d", w)).Emit(e.clock(), trace.KindInfo,
 				"%s phase done: %d rows", phase, rows)
@@ -132,11 +152,11 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 	}
 
 	if len(plan.joins) == 0 {
-		src, err := scanMorsels(plan.scans[0], opts.MorselSize)
+		src, err := scanBatches(plan.scans[0], batch)
 		if err != nil {
 			return nil, nil, err
 		}
-		rows, err := operators.DrainParallel(src, cfg)
+		rows, err := operators.DrainParallelBatches(src, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -156,14 +176,14 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 	rep.Adaptive.FinalBuild = sides.build.ref.Binding()
 	rep.Adaptive.EstimatedBuildRows = sides.build.estRows
 
-	// Build-side morsels are capped at the safe-point cadence so every
+	// Build-side batches are capped at the safe-point cadence so every
 	// worker re-checks the misestimate bound at least every CheckEvery
 	// rows of its own progress.
-	buildMorsel := acfg.CheckEvery
-	if opts.MorselSize > 0 && opts.MorselSize < buildMorsel {
-		buildMorsel = opts.MorselSize
+	buildBatch := acfg.CheckEvery
+	if batch > 0 && batch < buildBatch {
+		buildBatch = batch
 	}
-	buildSrc, err := scanMorsels(sides.build, buildMorsel)
+	buildSrc, err := scanBatches(sides.build, buildBatch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -174,21 +194,28 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 		return float64(rows) <= limit
 	}
 	buildCfg := cfg
-	buildCfg.MorselSize = buildMorsel
+	buildCfg.MorselSize = buildBatch
 
-	bt, prefix, err := operators.ParallelBuild(buildSrc, sides.buildCol, buildCfg, safePoint)
+	bt, prefix, err := operators.ParallelBuildBatches(buildSrc, sides.buildCol, buildCfg, safePoint)
 	switch {
 	case err == nil:
 		// Statistics held: probe straight through.
-		probeSrc, err := scanMorsels(sides.probe, opts.MorselSize)
-		if err != nil {
-			return nil, nil, err
-		}
-		joined, err := bt.ParallelProbe(probeSrc, sides.probeCol, cfg)
+		probeSrc, err := scanBatches(sides.probe, batch)
 		if err != nil {
 			return nil, nil, err
 		}
 		rep.Adaptive.PeakHashRows = bt.Rows()
+		if cols, names, ok := joinFastCols(st, plan.sch, sides.buildIsLeft, leftW, rightW); ok {
+			out, err := bt.ParallelProbeProject(probeSrc, sides.probeCol, cfg, cols, buildWidth(sides.buildIsLeft, leftW, rightW))
+			if err != nil {
+				return nil, nil, err
+			}
+			return e.limitResult(plan, names, out), rep, nil
+		}
+		joined, err := bt.ParallelProbeBatches(probeSrc, sides.probeCol, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 		rows := permuteRows(joined, sides.buildIsLeft, leftW, rightW)
 		res, err := e.finishSelectParallel(plan, rows, cfg)
 		return res, rep, err
@@ -207,23 +234,30 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 		span.Emit(e.clock(), trace.KindReoptimize,
 			"swapped join build side %s -> %s at row %d",
 			rep.Adaptive.InitialBuild, rep.Adaptive.FinalBuild, len(prefix))
-		newSrc, err := scanMorsels(newBuild, opts.MorselSize)
+		newSrc, err := scanBatches(newBuild, batch)
 		if err != nil {
 			return nil, nil, err
 		}
-		nbt, _, err := operators.ParallelBuild(newSrc, sides.probeCol, cfg, nil)
+		nbt, _, err := operators.ParallelBuildBatches(newSrc, sides.probeCol, cfg, nil)
 		if err != nil {
 			return nil, nil, err
 		}
-		replay := operators.NewChainMorsels(
-			operators.NewSliceMorsels(prefix, buildMorsel), buildSrc)
-		joined, err := nbt.ParallelProbe(replay, sides.buildCol, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+		replay := operators.NewChainBatches(
+			operators.NewSliceBatches(prefix, buildBatch), buildSrc)
 		rep.Adaptive.PeakHashRows = maxInt(len(prefix), nbt.Rows())
 		// Output tuples are (newBuild, oldBuild) = (probe, build): the
 		// flip of the original orientation.
+		if cols, names, ok := joinFastCols(st, plan.sch, !sides.buildIsLeft, leftW, rightW); ok {
+			out, err := nbt.ParallelProbeProject(replay, sides.buildCol, cfg, cols, buildWidth(!sides.buildIsLeft, leftW, rightW))
+			if err != nil {
+				return nil, nil, err
+			}
+			return e.limitResult(plan, names, out), rep, nil
+		}
+		joined, err := nbt.ParallelProbeBatches(replay, sides.buildCol, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
 		rows := permuteRows(joined, !sides.buildIsLeft, leftW, rightW)
 		res, err := e.finishSelectParallel(plan, rows, cfg)
 		return res, rep, err
@@ -233,27 +267,82 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 	}
 }
 
+// joinFastCols decides whether a join statement can take the fused
+// probe-projection path (no aggregate, no GROUP BY, no ORDER BY) and,
+// when it can, remaps the projection from declaration order (left
+// columns, then right) to the probe-output layout (build columns,
+// then probe). Resolution errors fall back to the slow path, which
+// reports them identically.
+func joinFastCols(st *SelectStmt, sch schema, buildLeft bool, leftW, rightW int) ([]int, []string, bool) {
+	if st.GroupBy != nil || st.OrderBy != nil {
+		return nil, nil, false
+	}
+	for _, item := range st.Items {
+		if item.Agg != AggNone {
+			return nil, nil, false
+		}
+	}
+	cols, names, err := projectionCols(st, sch)
+	if err != nil {
+		return nil, nil, false
+	}
+	if !buildLeft {
+		// Build side is the right table: left columns live after the
+		// rightW build columns, right columns at the front.
+		remapped := make([]int, len(cols))
+		for i, c := range cols {
+			if c < leftW {
+				remapped[i] = rightW + c
+			} else {
+				remapped[i] = c - leftW
+			}
+		}
+		cols = remapped
+	}
+	return cols, names, true
+}
+
+// buildWidth is the tuple width of the join's build side.
+func buildWidth(buildLeft bool, leftW, rightW int) int {
+	if buildLeft {
+		return leftW
+	}
+	return rightW
+}
+
+// limitResult applies the statement's LIMIT (order is already
+// nondeterministic, so any prefix is valid) and wraps the rows.
+func (e *Engine) limitResult(plan *selectPlan, names []string, rows []storage.Tuple) *Result {
+	if st := plan.stmt; st.Limit >= 0 && st.Limit < len(rows) {
+		rows = rows[:st.Limit]
+	}
+	return &Result{Cols: names, Rows: rows, Plan: plan.Explain()}
+}
+
 // permuteRows restores declaration order (left, right) for join output
 // whose build side was `buildLeft`; build columns come first in each
-// joined tuple.
+// joined tuple. The rotation is done in place through one shared
+// scratch buffer — probe output rows are arena-carved by this
+// executor, never aliased by anyone else, so mutating them is safe.
 func permuteRows(rows []storage.Tuple, buildLeft bool, leftW, rightW int) []storage.Tuple {
 	if buildLeft {
 		return rows
 	}
-	for i, t := range rows {
-		out := make(storage.Tuple, 0, leftW+rightW)
-		out = append(out, t[rightW:]...)
-		out = append(out, t[:rightW]...)
-		rows[i] = out
+	scratch := make(storage.Tuple, 0, rightW)
+	for _, t := range rows {
+		scratch = append(scratch[:0], t[:rightW]...)
+		copy(t, t[rightW:])
+		copy(t[leftW:], scratch)
 	}
 	return rows
 }
 
 // finishSelectParallel applies aggregation / ordering / projection /
 // limit to the materialised join or scan output. Aggregation runs
-// through the parallel partial-accumulator path; ordering and
-// projection reuse the serial operators (they are O(result), not
-// O(input)).
+// through the parallel partial-accumulator path; plain projections
+// (no aggregate, no ORDER BY) take a batch fast path that carves all
+// output values from one arena; ordering falls back to the serial
+// operators (it is O(result), not O(input)).
 func (e *Engine) finishSelectParallel(plan *selectPlan, rows []storage.Tuple,
 	cfg operators.ParallelConfig) (*Result, error) {
 	st := plan.stmt
@@ -264,14 +353,37 @@ func (e *Engine) finishSelectParallel(plan *selectPlan, rows []storage.Tuple,
 		}
 	}
 	if !hasAgg && st.GroupBy == nil {
-		return e.finishSelect(plan, operators.NewMemScan(rows))
+		if st.OrderBy != nil {
+			return e.finishSelect(plan, operators.NewMemScan(rows))
+		}
+		// Vectorized tail: resolve the projection once and map the whole
+		// result through a single arena.
+		cols, names, err := projectionCols(st, plan.sch)
+		if err != nil {
+			return nil, err
+		}
+		if st.Limit >= 0 && st.Limit < len(rows) {
+			rows = rows[:st.Limit]
+		}
+		identity := len(cols) == len(plan.sch)
+		for i, c := range cols {
+			identity = identity && c == i
+		}
+		if identity { // SELECT * / full-width: nothing to copy
+			return &Result{Cols: names, Rows: rows, Plan: plan.Explain()}, nil
+		}
+		out, err := operators.ProjectTuples(nil, rows, cols)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: names, Rows: out, Plan: plan.Explain()}, nil
 	}
 	ap, err := compileAggregate(st, plan.sch)
 	if err != nil {
 		return nil, err
 	}
-	aggRows, err := operators.ParallelHashAggregate(
-		operators.NewSliceMorsels(rows, cfg.MorselSize), ap.groupCol, ap.specs, cfg)
+	aggRows, err := operators.ParallelHashAggregateBatches(
+		operators.NewSliceBatches(rows, cfg.MorselSize), ap.groupCol, ap.specs, cfg)
 	if err != nil {
 		return nil, err
 	}

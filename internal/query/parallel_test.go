@@ -97,28 +97,38 @@ func TestParallelMatchesSerialDeterminism(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			for _, workers := range []int{2, 4} {
-				res, rep, err := e.ExecuteSQL(tc.sql, ExecOptions{Workers: workers})
+			// Sweep worker counts at the default batch size, then batch
+			// sizes at 4 workers: results must be invariant to both —
+			// batch granularity changes amortisation, never answers
+			// (degenerate 1-tuple batches included).
+			configs := []struct{ workers, batch int }{
+				{2, 0}, {4, 0}, {4, 1}, {4, 64}, {4, 1024},
+			}
+			for _, cc := range configs {
+				res, rep, err := e.ExecuteSQL(tc.sql,
+					ExecOptions{Workers: cc.workers, BatchSize: cc.batch})
 				if err != nil {
-					t.Fatalf("workers=%d: %v", workers, err)
+					t.Fatalf("workers=%d batch=%d: %v", cc.workers, cc.batch, err)
 				}
 				if !rep.Parallel {
-					t.Fatalf("workers=%d: expected parallel execution", workers)
+					t.Fatalf("workers=%d batch=%d: expected parallel execution", cc.workers, cc.batch)
 				}
-				if rep.Workers != workers {
-					t.Fatalf("rep.Workers = %d, want %d", rep.Workers, workers)
+				if rep.Workers != cc.workers {
+					t.Fatalf("rep.Workers = %d, want %d", rep.Workers, cc.workers)
 				}
 				if rep.Adaptive.Replanned != tc.wantReplan {
-					t.Fatalf("workers=%d: Replanned = %v, want %v (report %+v)",
-						workers, rep.Adaptive.Replanned, tc.wantReplan, rep.Adaptive)
+					t.Fatalf("workers=%d batch=%d: Replanned = %v, want %v (report %+v)",
+						cc.workers, cc.batch, rep.Adaptive.Replanned, tc.wantReplan, rep.Adaptive)
 				}
 				got := rowsMultiset(res)
 				if len(got) != len(want) {
-					t.Fatalf("workers=%d: %d rows, want %d", workers, len(got), len(want))
+					t.Fatalf("workers=%d batch=%d: %d rows, want %d",
+						cc.workers, cc.batch, len(got), len(want))
 				}
 				for i := range got {
 					if got[i] != want[i] {
-						t.Fatalf("workers=%d: row %d = %q, want %q", workers, i, got[i], want[i])
+						t.Fatalf("workers=%d batch=%d: row %d = %q, want %q",
+							cc.workers, cc.batch, i, got[i], want[i])
 					}
 				}
 			}

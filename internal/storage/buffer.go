@@ -4,32 +4,55 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page within a store.
 type PageID uint32
 
+// storeShardCount is the fixed store shard fan-out (power of two).
+// Page ids are dealt round-robin across shards, so a sequential scan
+// touches every shard in turn and concurrent workers rarely collide.
+const storeShardCount = 16
+
 // Store is the backing page repository (the simulated "disk"). Reads
 // and writes are counted so experiments can price I/O; in this
-// main-memory substrate the cost is purely statistical.
+// main-memory substrate the cost is purely statistical. The page map
+// is sharded by PageID so concurrent morsel workers do not serialise
+// on one mutex, and the counters are atomics so Stats() never takes a
+// shard lock.
 type Store struct {
-	mu     sync.Mutex
-	pages  map[PageID]*Page
-	next   PageID
-	reads  uint64
-	writes uint64
+	shards [storeShardCount]storeShard
+	next   atomic.Uint32
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+type storeShard struct {
+	mu    sync.Mutex
+	pages map[PageID]*Page
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{pages: map[PageID]*Page{}} }
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].pages = map[PageID]*Page{}
+	}
+	return s
+}
+
+func (s *Store) shard(id PageID) *storeShard {
+	return &s.shards[uint32(id)&(storeShardCount-1)]
+}
 
 // Allocate creates a fresh page and returns its id.
 func (s *Store) Allocate() PageID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := s.next
-	s.next++
-	s.pages[id] = NewPage()
+	id := PageID(s.next.Add(1) - 1)
+	sh := s.shard(id)
+	sh.mu.Lock()
+	sh.pages[id] = NewPage()
+	sh.mu.Unlock()
 	return id
 }
 
@@ -37,28 +60,32 @@ func (s *Store) Allocate() PageID {
 var ErrNoPage = errors.New("storage: no such page")
 
 func (s *Store) read(id PageID) (*Page, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pages[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	p, ok := sh.pages[id]
+	sh.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoPage, id)
 	}
-	s.reads++
+	s.reads.Add(1)
 	return p, nil
 }
 
-// Stats returns cumulative (reads, writes).
+// Stats returns cumulative (reads, writes). Lock-free: monitor gauges
+// can poll it mid-query without stalling scan workers.
 func (s *Store) Stats() (reads, writes uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reads, s.writes
+	return s.reads.Load(), s.writes.Load()
 }
 
 // PageCount returns the number of allocated pages.
 func (s *Store) PageCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pages)
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		n += len(s.shards[i].pages)
+		s.shards[i].mu.Unlock()
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------
@@ -66,7 +93,9 @@ func (s *Store) PageCount() int {
 // the policy is a swappable component behind a small interface.
 
 // Policy chooses eviction victims. Implementations are not
-// concurrency-safe; the buffer manager serialises access.
+// concurrency-safe; the buffer manager serialises access (per shard —
+// each shard of a sharded pool runs its own policy instance, or a
+// mutex-wrapped shared instance for policy types it cannot clone).
 type Policy interface {
 	// Name identifies the policy.
 	Name() string
@@ -179,6 +208,51 @@ func (p *ClockPolicy) Victim(candidates []PageID) PageID {
 	return candidates[0]
 }
 
+// clonePolicy returns a fresh instance of the same policy type for
+// another shard, or false for policy types it does not know (custom
+// test policies), which then share one mutex-wrapped instance.
+func clonePolicy(p Policy) (Policy, bool) {
+	switch p.(type) {
+	case *LRUPolicy:
+		return NewLRU(), true
+	case *ClockPolicy:
+		return NewClock(), true
+	}
+	return nil, false
+}
+
+// lockedPolicy serialises a shared policy instance across shards.
+type lockedPolicy struct {
+	mu sync.Mutex
+	p  Policy
+}
+
+func (l *lockedPolicy) Name() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.Name()
+}
+func (l *lockedPolicy) Touched(id PageID) {
+	l.mu.Lock()
+	l.p.Touched(id)
+	l.mu.Unlock()
+}
+func (l *lockedPolicy) Admitted(id PageID) {
+	l.mu.Lock()
+	l.p.Admitted(id)
+	l.mu.Unlock()
+}
+func (l *lockedPolicy) Evicted(id PageID) {
+	l.mu.Lock()
+	l.p.Evicted(id)
+	l.mu.Unlock()
+}
+func (l *lockedPolicy) Victim(candidates []PageID) PageID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.p.Victim(candidates)
+}
+
 // ---------------------------------------------------------------------------
 // Buffer manager.
 
@@ -201,16 +275,45 @@ func (s BufferStats) HitRate() float64 {
 	return float64(s.Hits) / float64(t)
 }
 
+// Shard sizing: pools get up to bufferShardMax shards, but never so
+// many that a shard drops below bufferShardMinFrames frames — small
+// deterministic pools (unit tests, ablations) stay single-shard and
+// keep exact global LRU/clock semantics.
+const (
+	bufferShardMax       = 16
+	bufferShardMinFrames = 32
+)
+
+func bufferShardCount(capacity int) int {
+	n := 1
+	for n*2 <= bufferShardMax && capacity/(n*2) >= bufferShardMinFrames {
+		n *= 2
+	}
+	return n
+}
+
 // BufferManager caches pages over a store with a bounded frame pool
 // and a pluggable replacement policy. GetPage is the paper's exemplar
-// fine-grained operation.
+// fine-grained operation, and the pool is built so many workers can
+// issue it at once: frames are sharded by PageID (per-shard mutex and
+// policy, capacity split evenly) and the hit/miss/eviction counters
+// are atomics readable without any lock. Sharding trades exact global
+// eviction order for concurrency — each shard evicts among its own
+// resident pages — which only engages on pools of 64+ frames.
 type BufferManager struct {
+	store     *Store
+	shards    []bufShard
+	mask      uint32
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type bufShard struct {
 	mu     sync.Mutex
-	store  *Store
 	frames map[PageID]*frame
 	cap    int
 	policy Policy
-	stats  BufferStats
 }
 
 type frame struct {
@@ -218,7 +321,9 @@ type frame struct {
 	pins int
 }
 
-// NewBufferManager builds a pool of `capacity` frames over store.
+// NewBufferManager builds a pool of `capacity` frames over store. The
+// given policy seeds shard 0; known policy types (LRU, clock) are
+// cloned per shard, unknown ones are shared behind a mutex.
 func NewBufferManager(store *Store, capacity int, policy Policy) *BufferManager {
 	if capacity < 1 {
 		capacity = 64
@@ -226,55 +331,102 @@ func NewBufferManager(store *Store, capacity int, policy Policy) *BufferManager 
 	if policy == nil {
 		policy = NewLRU()
 	}
-	return &BufferManager{store: store, frames: map[PageID]*frame{}, cap: capacity, policy: policy}
+	n := bufferShardCount(capacity)
+	b := &BufferManager{store: store, shards: make([]bufShard, n), mask: uint32(n - 1)}
+	perShard := capacity / n
+	policies := shardPolicies(policy, n)
+	for i := range b.shards {
+		b.shards[i] = bufShard{frames: map[PageID]*frame{}, cap: perShard, policy: policies[i]}
+	}
+	return b
 }
+
+// shardPolicies produces one policy per shard: clones when the type is
+// clonable, otherwise one shared locked instance.
+func shardPolicies(p Policy, n int) []Policy {
+	out := make([]Policy, n)
+	if n == 1 {
+		out[0] = p
+		return out
+	}
+	if _, ok := clonePolicy(p); !ok {
+		shared := &lockedPolicy{p: p}
+		for i := range out {
+			out[i] = shared
+		}
+		return out
+	}
+	out[0] = p
+	for i := 1; i < n; i++ {
+		out[i], _ = clonePolicy(p)
+	}
+	return out
+}
+
+func (b *BufferManager) shard(id PageID) *bufShard {
+	return &b.shards[uint32(id)&b.mask]
+}
+
+// ShardCount reports the pool's shard fan-out.
+func (b *BufferManager) ShardCount() int { return len(b.shards) }
 
 // Policy returns the current replacement policy name.
 func (b *BufferManager) Policy() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.policy.Name()
+	sh := &b.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.policy.Name()
 }
 
 // SwapPolicy replaces the replacement policy at run time — the
 // buffer-manager component being rebound without flushing the pool.
+// Each shard's resident pages are re-admitted into its new policy
+// instance.
 func (b *BufferManager) SwapPolicy(p Policy) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for id := range b.frames {
-		p.Admitted(id)
+	policies := shardPolicies(p, len(b.shards))
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for id := range sh.frames {
+			policies[i].Admitted(id)
+		}
+		sh.policy = policies[i]
+		sh.mu.Unlock()
 	}
-	b.policy = p
 }
 
 // GetPage pins and returns a page, faulting it in if needed.
 func (b *BufferManager) GetPage(id PageID) (*Page, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if f, ok := b.frames[id]; ok {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
 		f.pins++
-		b.stats.Hits++
-		b.policy.Touched(id)
+		sh.policy.Touched(id)
+		sh.mu.Unlock()
+		b.hits.Add(1)
 		return f.page, nil
 	}
-	b.stats.Misses++
-	if len(b.frames) >= b.cap {
-		if err := b.evictLocked(); err != nil {
+	b.misses.Add(1)
+	if len(sh.frames) >= sh.cap {
+		if err := b.evictLocked(sh); err != nil {
+			sh.mu.Unlock()
 			return nil, err
 		}
 	}
 	p, err := b.store.read(id)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
-	b.frames[id] = &frame{page: p, pins: 1}
-	b.policy.Admitted(id)
+	sh.frames[id] = &frame{page: p, pins: 1}
+	sh.policy.Admitted(id)
+	sh.mu.Unlock()
 	return p, nil
 }
 
-func (b *BufferManager) evictLocked() error {
+func (b *BufferManager) evictLocked(sh *bufShard) error {
 	var cands []PageID
-	for id, f := range b.frames {
+	for id, f := range sh.frames {
 		if f.pins == 0 {
 			cands = append(cands, id)
 		}
@@ -282,32 +434,40 @@ func (b *BufferManager) evictLocked() error {
 	if len(cands) == 0 {
 		return ErrAllPinned
 	}
-	victim := b.policy.Victim(cands)
-	delete(b.frames, victim)
-	b.policy.Evicted(victim)
-	b.stats.Evictions++
+	victim := sh.policy.Victim(cands)
+	delete(sh.frames, victim)
+	sh.policy.Evicted(victim)
+	b.evictions.Add(1)
 	return nil
 }
 
 // Unpin releases a pin taken by GetPage.
 func (b *BufferManager) Unpin(id PageID) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if f, ok := b.frames[id]; ok && f.pins > 0 {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok && f.pins > 0 {
 		f.pins--
 	}
+	sh.mu.Unlock()
 }
 
 // Resident returns the number of cached pages.
 func (b *BufferManager) Resident() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.frames)
+	n := 0
+	for i := range b.shards {
+		b.shards[i].mu.Lock()
+		n += len(b.shards[i].frames)
+		b.shards[i].mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns pool statistics.
+// Stats returns pool statistics. Lock-free — safe for monitor gauges
+// to poll mid-query without stalling workers on the shard locks.
 func (b *BufferManager) Stats() BufferStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return BufferStats{
+		Hits:      b.hits.Load(),
+		Misses:    b.misses.Load(),
+		Evictions: b.evictions.Load(),
+	}
 }

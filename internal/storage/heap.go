@@ -167,12 +167,24 @@ func (h *HeapFile) PageIDs() []PageID {
 // latch. It is safe to call from many goroutines at once — this is
 // the per-partition cursor primitive of the parallel executor.
 func (h *HeapFile) PageTuples(id PageID) ([]Tuple, error) {
+	return h.PageTuplesInto(id, nil)
+}
+
+// PageTuplesInto is PageTuples with a caller-owned batch: the page's
+// live tuples are appended to dst (usually dst[:0] of a recycled
+// batch) under a single latch acquisition, decoded arena-style with no
+// per-tuple allocation. It replaces the copy-per-Get discipline on hot
+// paths — hash-join builds and probes read whole pages through here
+// instead of RID-at-a-time Get calls. The returned tuples stay valid
+// after dst is recycled (they own their arena), so both retaining and
+// streaming consumers are safe.
+func (h *HeapFile) PageTuplesInto(id PageID, dst []Tuple) ([]Tuple, error) {
 	p, err := h.bm.GetPage(id)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	defer h.bm.Unpin(id)
-	return p.Tuples()
+	return p.TuplesInto(dst)
 }
 
 // ScanPartition calls fn for every live record on the pages of one

@@ -175,8 +175,33 @@ func DecodeTuple(b []byte) (Tuple, error) {
 		return nil, fmt.Errorf("%w: short header", ErrCorruptRecord)
 	}
 	n := int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	out := make(Tuple, 0, n)
+	return decodeFields(make(Tuple, 0, n), b[2:], n)
+}
+
+// RecordFields returns the field count of an encoded record without
+// decoding it — how batch decoders size their value arenas.
+func RecordFields(b []byte) (int, error) {
+	if len(b) < 2 {
+		return 0, fmt.Errorf("%w: short header", ErrCorruptRecord)
+	}
+	return int(binary.BigEndian.Uint16(b)), nil
+}
+
+// DecodeTupleInto appends the record's values to dst and returns the
+// extended slice. When dst has capacity for the record's fields the
+// decode allocates nothing beyond string payloads — the zero-alloc
+// fast path of the vectorized scan. The appended region is the decoded
+// tuple; callers typically slice it back out of the returned arena.
+func DecodeTupleInto(dst Tuple, b []byte) (Tuple, error) {
+	n, err := RecordFields(b)
+	if err != nil {
+		return dst, err
+	}
+	return decodeFields(dst, b[2:], n)
+}
+
+// decodeFields appends n values parsed from b to out.
+func decodeFields(out Tuple, b []byte, n int) (Tuple, error) {
 	for i := 0; i < n; i++ {
 		if len(b) < 1 {
 			return nil, fmt.Errorf("%w: truncated at field %d", ErrCorruptRecord, i)

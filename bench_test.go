@@ -684,3 +684,69 @@ func BenchmarkBatchHeapScan(b *testing.B) {
 	}
 	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
 }
+
+// benchSortTuples builds the shared sort-bench input: three-column
+// rows, ~4 rows per key value.
+func benchSortTuples(rows int) []storage.Tuple {
+	out := make([]storage.Tuple, rows)
+	for i := 0; i < rows; i++ {
+		out[i] = storage.Tuple{
+			storage.IntValue(int64((i * 2654435761) % (rows / 4))),
+			storage.IntValue(int64(i % 97)),
+			storage.IntValue(int64(i)),
+		}
+	}
+	return out
+}
+
+// BenchmarkParallelSort measures the full parallel ORDER BY pipeline
+// over materialised rows: worker-local typed-key runs merged through
+// the loser tree and drained.
+func benchParallelSort(b *testing.B, rows, workers int) {
+	tuples := benchSortTuples(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merge, err := operators.ParallelSortBatches(
+			operators.NewSliceBatches(tuples, 0), 0, false,
+			operators.ParallelConfig{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := operators.Drain(merge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != rows {
+			b.Fatalf("sorted %d rows, want %d", len(got), rows)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+func BenchmarkParallelSort_100k_w1(b *testing.B) { benchParallelSort(b, 100_000, 1) }
+func BenchmarkParallelSort_100k_w4(b *testing.B) { benchParallelSort(b, 100_000, 4) }
+
+// BenchmarkTopK is the materialisation gate of the bounded Top-K path:
+// one op = ORDER BY ... LIMIT 10 over 100k materialised rows through
+// the per-worker heaps. ci.sh gates both allocs/op and B/op — a heap
+// that silently re-materialised the input would blow the byte budget
+// even if it stayed within a few allocations.
+func BenchmarkTopK(b *testing.B) {
+	const rows, k = 100_000, 10
+	tuples := benchSortTuples(rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := operators.ParallelTopKBatches(
+			operators.NewSliceBatches(tuples, 0), 0, false, k,
+			operators.ParallelConfig{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != k {
+			b.Fatalf("top-k produced %d rows, want %d", len(got), k)
+		}
+	}
+	b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}

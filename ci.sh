@@ -14,21 +14,32 @@
 #   bench smoke  cmd/admbench -json on a small fixed workload, written
 #                to BENCH_parallel.json and gated against
 #                bench_baseline.json: the build fails if the 4-worker
-#                parallel-join throughput drops below 0.9x the
-#                checked-in baseline, or if the 4w/1w scaling
-#                efficiency falls below the baseline's scaling_floor.
-#                To refresh the baseline (after an intentional perf
-#                change, or on new CI hardware), see the update
-#                procedure in bench_baseline.json's _readme.
-#   alloc gate   BenchmarkBatchHeapScan with -benchmem: fails if the
-#                batched scan's allocs/op exceeds SCAN_ALLOC_BUDGET —
-#                per-tuple or per-page allocation crept back into the
-#                vectorized hot path.
+#                join, parallel-sort or top-k throughput drops below
+#                0.9x the checked-in baseline, if the join's 4w/1w
+#                scaling efficiency falls below scaling_floor, or if
+#                the parallel sort's speedup over the serial
+#                boxed-Compare reference falls below
+#                sort_scaling_floor. To refresh the baseline (after an
+#                intentional perf change, or on new CI hardware), see
+#                the update procedure in bench_baseline.json's
+#                _readme.
+#   alloc gate   BenchmarkBatchHeapScan and BenchmarkTopK with
+#                -benchmem: fails if the batched scan's allocs/op
+#                exceeds SCAN_ALLOC_BUDGET, or if the Top-K path
+#                exceeds TOPK_ALLOC_BUDGET allocs/op or
+#                TOPK_BYTE_BUDGET B/op — the bounded heaps started
+#                materialising the input they exist to avoid.
 set -eu
 
 # Allocations per full batched heap-file scan (steady state is 1: the
 # page-list snapshot; headroom for pool warm-up noise).
 SCAN_ALLOC_BUDGET=8
+# Budgets for ORDER BY ... LIMIT 10 over 100k rows at 4 workers.
+# Measured ~30 allocs / ~3.4 KB per op: per-worker heaps, batch pool
+# noise and the final k-row merge. The byte budget is the real
+# non-materialisation gate — 100k tuples would be megabytes.
+TOPK_ALLOC_BUDGET=64
+TOPK_BYTE_BUDGET=16384
 
 cd "$(dirname "$0")"
 
@@ -73,8 +84,8 @@ for f in cmd/admlint/testdata/dangling_bind.adl \
     fi
 done
 
-echo "== bench smoke (parallel join regression gate)"
-go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 \
+echo "== bench smoke (join/sort/top-k regression gate)"
+go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 -repeats 5 \
     -baseline bench_baseline.json > BENCH_parallel.json
 echo "   wrote BENCH_parallel.json"
 
@@ -90,6 +101,26 @@ fi
 echo "   BatchHeapScan: $allocs allocs/op (budget $SCAN_ALLOC_BUDGET)"
 if [ "$allocs" -gt "$SCAN_ALLOC_BUDGET" ]; then
     echo "ALLOC REGRESSION: batched scan at $allocs allocs/op, budget $SCAN_ALLOC_BUDGET" >&2
+    exit 1
+fi
+
+echo "== alloc gate (top-k)"
+topk_out=$(go test -run '^$' -bench '^BenchmarkTopK$' \
+    -benchmem -benchtime 20x .)
+topk_allocs=$(echo "$topk_out" | awk '/^BenchmarkTopK/ { print $(NF-1) }')
+topk_bytes=$(echo "$topk_out" | awk '/^BenchmarkTopK/ { print $(NF-3) }')
+if [ -z "$topk_allocs" ] || [ -z "$topk_bytes" ]; then
+    echo "could not parse allocs/B per op from benchmark output:" >&2
+    echo "$topk_out" >&2
+    exit 1
+fi
+echo "   TopK: $topk_allocs allocs/op (budget $TOPK_ALLOC_BUDGET), $topk_bytes B/op (budget $TOPK_BYTE_BUDGET)"
+if [ "$topk_allocs" -gt "$TOPK_ALLOC_BUDGET" ]; then
+    echo "ALLOC REGRESSION: top-k at $topk_allocs allocs/op, budget $TOPK_ALLOC_BUDGET" >&2
+    exit 1
+fi
+if [ "$topk_bytes" -gt "$TOPK_BYTE_BUDGET" ]; then
+    echo "MATERIALISATION REGRESSION: top-k at $topk_bytes B/op, budget $TOPK_BYTE_BUDGET" >&2
     exit 1
 fi
 

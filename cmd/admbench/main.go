@@ -7,7 +7,7 @@
 //	admbench -exp table1          # run one experiment
 //	admbench -list                # list experiment ids
 //	admbench -markdown            # emit markdown (EXPERIMENTS.md body)
-//	admbench -bench               # parallel-join benchmark, human-readable
+//	admbench -bench               # join/sort/top-k benchmarks, human-readable
 //	admbench -json                # same, one JSON record per line
 //	admbench -json -baseline f    # also gate against a baseline file
 package main
@@ -30,7 +30,7 @@ func main() {
 		exp      = flag.String("exp", "", "run a single experiment by id")
 		list     = flag.Bool("list", false, "list experiment ids")
 		markdown = flag.Bool("markdown", false, "emit markdown instead of text tables")
-		bench    = flag.Bool("bench", false, "run the parallel-join benchmark")
+		bench    = flag.Bool("bench", false, "run the parallel executor benchmarks (join, sort, top-k)")
 		jsonOut  = flag.Bool("json", false, "emit benchmark results as JSON lines (implies -bench)")
 		rows     = flag.Int("rows", 20000, "benchmark rows per join side")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
@@ -125,6 +125,18 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
 		return 1
 	}
+	sortResults, err := experiments.RunParallelSortBench(rows, workers, repeats, batch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	results = append(results, sortResults...)
+	topkResults, err := experiments.RunTopKBench(rows, workers, repeats, batch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	results = append(results, topkResults...)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range results {
@@ -134,9 +146,9 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 			}
 		}
 	} else {
-		fmt.Printf("ParallelJoin  rows=%d per side, best of %d\n", rows, repeats)
+		fmt.Printf("bench  rows=%d, best of %d\n", rows, repeats)
 		for _, r := range results {
-			fmt.Printf("  workers=%-2d  %12.0f rows/sec  %12d ns", r.Workers, r.RowsPerSec, r.Cycles)
+			fmt.Printf("  %-12s workers=%-2d  %12.0f rows/sec  %12d ns", r.Bench, r.Workers, r.RowsPerSec, r.Cycles)
 			if r.ScalingEfficiency > 0 {
 				fmt.Printf("  scaling=%.2f", r.ScalingEfficiency)
 			}
@@ -154,18 +166,28 @@ type baselineFile struct {
 	Readme  []string                          `json:"_readme"`
 	Rows    int                               `json:"rows"`
 	Benches []experiments.ParallelBenchResult `json:"benches"`
-	// ScalingFloor is the minimum accepted 4w/1w rows_per_sec ratio
-	// (0 = no scaling gate). It is checked in alongside the throughput
-	// numbers because the attainable ratio is hardware-dependent: on a
-	// single-core CI host ~1.0 is the ceiling, on real multicore it
-	// should be well above 1.
+	// ScalingFloor is the minimum accepted 4w/1w join rows_per_sec
+	// ratio (0 = no scaling gate). It is checked in alongside the
+	// throughput numbers because the attainable ratio is
+	// hardware-dependent: on a single-core CI host ~1.0 is the ceiling,
+	// on real multicore it should be well above 1.
 	ScalingFloor float64 `json:"scaling_floor,omitempty"`
+	// SortScalingFloor is the minimum accepted ParallelSort(4w) /
+	// SerialSort rows_per_sec ratio. Unlike ScalingFloor this holds even
+	// on one core: the numerator uses typed extracted keys where the
+	// denominator pays storage.Compare on boxed Values per comparison,
+	// so the ratio is mostly the comparator win.
+	SortScalingFloor float64 `json:"sort_scaling_floor,omitempty"`
 }
 
-// gateAgainstBaseline fails (exit 1) when the measured 4-worker join
-// throughput falls below 0.9× the baseline's — the CI regression
-// gate. Rows mismatch is a configuration error (exit 2): the numbers
-// would not be comparable.
+// gateAgainstBaseline fails (exit 1) when, for any bench family the
+// baseline records at 4 workers (ParallelJoin, ParallelSort, TopK),
+// the measured 4-worker throughput falls below 0.9× the baseline's —
+// the CI regression gate. Scaling floors gate the ratio fields:
+// scaling_floor the join's 4w/1w ratio, sort_scaling_floor the
+// parallel sort's speedup over the serial boxed-Compare reference.
+// Rows mismatch is a configuration error (exit 2): the numbers would
+// not be comparable.
 func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string, rows int) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -182,42 +204,52 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 			base.Rows, rows, base.Rows)
 		return 2
 	}
-	find := func(rs []experiments.ParallelBenchResult) (experiments.ParallelBenchResult, bool) {
+	find := func(rs []experiments.ParallelBenchResult, bench string) (experiments.ParallelBenchResult, bool) {
 		for _, r := range rs {
-			if r.Bench == "ParallelJoin" && r.Workers == 4 {
+			if r.Bench == bench && r.Workers == 4 {
 				return r, true
 			}
 		}
 		return experiments.ParallelBenchResult{}, false
 	}
-	want, ok := find(base.Benches)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "admbench: baseline %s has no 4-worker ParallelJoin record\n", path)
-		return 2
-	}
-	got, ok := find(results)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "admbench: measured results have no 4-worker ParallelJoin record (include 4 in -workers)\n")
-		return 2
-	}
-	ratio := got.RowsPerSec / want.RowsPerSec
-	fmt.Fprintf(os.Stderr, "admbench: gate: 4-worker join %.0f rows/sec vs baseline %.0f (ratio %.2f, floor 0.90)\n",
-		got.RowsPerSec, want.RowsPerSec, ratio)
-	if ratio < 0.9 {
-		fmt.Fprintf(os.Stderr, "admbench: REGRESSION: parallel join throughput below 0.9x baseline\n")
-		return 1
-	}
-	if base.ScalingFloor > 0 {
-		if got.ScalingEfficiency == 0 {
-			fmt.Fprintf(os.Stderr, "admbench: baseline sets scaling_floor but no 1-worker run was measured (include 1 in -workers)\n")
+	code := 0
+	for _, want := range base.Benches {
+		if want.Workers != 4 {
+			continue
+		}
+		got, ok := find(results, want.Bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "admbench: measured results have no 4-worker %s record (include 4 in -workers)\n", want.Bench)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "admbench: gate: scaling efficiency %.2f (floor %.2f)\n",
-			got.ScalingEfficiency, base.ScalingFloor)
-		if got.ScalingEfficiency < base.ScalingFloor {
-			fmt.Fprintf(os.Stderr, "admbench: REGRESSION: 4w/1w scaling efficiency below floor\n")
-			return 1
+		ratio := got.RowsPerSec / want.RowsPerSec
+		fmt.Fprintf(os.Stderr, "admbench: gate: 4-worker %s %.0f rows/sec vs baseline %.0f (ratio %.2f, floor 0.90)\n",
+			want.Bench, got.RowsPerSec, want.RowsPerSec, ratio)
+		if ratio < 0.9 {
+			fmt.Fprintf(os.Stderr, "admbench: REGRESSION: %s throughput below 0.9x baseline\n", want.Bench)
+			code = 1
 		}
 	}
-	return 0
+	checkScaling := func(bench string, floor float64, label string) {
+		if floor <= 0 {
+			return
+		}
+		got, ok := find(results, bench)
+		if !ok || got.ScalingEfficiency == 0 {
+			fmt.Fprintf(os.Stderr, "admbench: baseline sets %s but the reference run is missing (include 1 and 4 in -workers)\n", label)
+			code = 2
+			return
+		}
+		fmt.Fprintf(os.Stderr, "admbench: gate: %s scaling efficiency %.2f (floor %.2f)\n",
+			bench, got.ScalingEfficiency, floor)
+		if got.ScalingEfficiency < floor {
+			fmt.Fprintf(os.Stderr, "admbench: REGRESSION: %s scaling efficiency below floor\n", bench)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	checkScaling("ParallelJoin", base.ScalingFloor, "scaling_floor")
+	checkScaling("ParallelSort", base.SortScalingFloor, "sort_scaling_floor")
+	return code
 }

@@ -17,7 +17,6 @@ package operators
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"github.com/adm-project/adm/internal/storage"
 )
@@ -265,52 +264,8 @@ func (p *Project) Next() (storage.Tuple, bool, error) {
 // Close implements Iterator.
 func (p *Project) Close() error { p.open = false; return p.In.Close() }
 
-// Sort materialises and orders its input by column Col (ascending, or
-// descending when Desc).
-type Sort struct {
-	In   Iterator
-	Col  int
-	Desc bool
-	buf  []storage.Tuple
-	pos  int
-	open bool
-}
-
-// NewSort orders in by column col.
-func NewSort(in Iterator, col int, desc bool) *Sort { return &Sort{In: in, Col: col, Desc: desc} }
-
-// Open implements Iterator.
-func (s *Sort) Open() error {
-	all, err := Drain(s.In)
-	if err != nil {
-		return err
-	}
-	sort.SliceStable(all, func(i, j int) bool {
-		c := storage.Compare(all[i][s.Col], all[j][s.Col])
-		if s.Desc {
-			return c > 0
-		}
-		return c < 0
-	})
-	s.buf, s.pos, s.open = all, 0, true
-	return nil
-}
-
-// Next implements Iterator.
-func (s *Sort) Next() (storage.Tuple, bool, error) {
-	if !s.open {
-		return nil, false, ErrNotOpen
-	}
-	if s.pos >= len(s.buf) {
-		return nil, false, nil
-	}
-	t := s.buf[s.pos]
-	s.pos++
-	return t, true, nil
-}
-
-// Close implements Iterator.
-func (s *Sort) Close() error { s.open, s.buf = false, nil; return nil }
+// Sort and TopK (the ordering operators) live in sort.go, on the same
+// typed-key machinery as the parallel sort pipeline.
 
 // Limit passes at most N tuples.
 type Limit struct {

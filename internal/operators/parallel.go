@@ -50,6 +50,13 @@ type ParallelConfig struct {
 	// it finishes a phase with the number of tuples it processed (trace
 	// span threading). It must be safe for concurrent use.
 	OnWorker func(worker int, phase string, rows int)
+	// Limit, when > 0, is a cooperative output quota: workers stop
+	// claiming batches as soon as the combined output reaches Limit
+	// rows, so a satisfied downstream LIMIT cancels the rest of the
+	// scan instead of finishing it. Checked at batch granularity — the
+	// drain may return slightly more than Limit rows (in-flight batches
+	// complete); callers truncate. <= 0 means unlimited.
+	Limit int
 }
 
 // WorkerCount resolves the effective worker count.
@@ -414,10 +421,12 @@ func DrainParallel(src MorselSource, cfg ParallelConfig) ([]storage.Tuple, error
 
 // DrainParallelBatches collects every tuple of src using cfg workers,
 // each pulling into a pool-recycled batch. The result order is
-// nondeterministic (a multiset).
+// nondeterministic (a multiset). When cfg.Limit > 0, workers stop
+// claiming once the combined output covers the quota.
 func DrainParallelBatches(src BatchSource, cfg ParallelConfig) ([]storage.Tuple, error) {
 	w := cfg.WorkerCount()
 	outs := make([][]storage.Tuple, w)
+	var produced atomic.Int64
 	var fail failFlag
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
@@ -428,6 +437,9 @@ func DrainParallelBatches(src BatchSource, cfg ParallelConfig) ([]storage.Tuple,
 			defer PutBatch(b)
 			rows := 0
 			for !fail.failed() {
+				if cfg.Limit > 0 && produced.Load() >= int64(cfg.Limit) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
@@ -438,6 +450,9 @@ func DrainParallelBatches(src BatchSource, cfg ParallelConfig) ([]storage.Tuple,
 				}
 				outs[i] = append(outs[i], b.Tuples...)
 				rows += n
+				if cfg.Limit > 0 {
+					produced.Add(int64(n))
+				}
 			}
 			if cfg.OnWorker != nil {
 				cfg.OnWorker(i, "scan", rows)
@@ -727,6 +742,7 @@ func (t *BuildTable) parallelProbe(src BatchSource, col int, cfg ParallelConfig,
 	cols []int, buildW int) ([]storage.Tuple, error) {
 	w := cfg.WorkerCount()
 	outs := make([][]storage.Tuple, w)
+	var produced atomic.Int64
 	var fail failFlag
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
@@ -738,6 +754,9 @@ func (t *BuildTable) parallelProbe(src BatchSource, col int, cfg ParallelConfig,
 			var out probeOut
 			rows := 0
 			for !fail.failed() {
+				if cfg.Limit > 0 && produced.Load() >= int64(cfg.Limit) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
@@ -746,12 +765,16 @@ func (t *BuildTable) parallelProbe(src BatchSource, col int, cfg ParallelConfig,
 				if n == 0 {
 					break
 				}
+				before := len(out.ends)
 				if cols == nil {
 					t.probeBatch(b.Tuples, col, &out)
 				} else {
 					t.probeBatchProject(b.Tuples, col, &out, cols, buildW)
 				}
 				rows += n
+				if cfg.Limit > 0 {
+					produced.Add(int64(len(out.ends) - before))
+				}
 			}
 			outs[i] = out.materialize(nil)
 			if cfg.OnWorker != nil {

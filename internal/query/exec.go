@@ -153,34 +153,20 @@ func (e *Engine) finishSelect(plan *selectPlan, it operators.Iterator) (*Result,
 	st := plan.stmt
 	sch := plan.sch
 
-	hasAgg := false
-	for _, item := range st.Items {
-		if item.Agg != AggNone {
-			hasAgg = true
-		}
-	}
-
 	var outCols []string
-	if hasAgg || st.GroupBy != nil {
+	if hasAggregate(st) || st.GroupBy != nil {
 		it2, cols, osch, err := e.buildAggregate(st, sch, it)
 		if err != nil {
 			return nil, err
 		}
 		it, outCols, sch = it2, cols, osch
-		if st.OrderBy != nil {
-			idx, err := sch.resolve(*st.OrderBy)
-			if err != nil {
-				return nil, err
-			}
-			it = operators.NewSort(it, idx, st.Desc)
+		if it, err = buildOrderBy(st, sch, it); err != nil {
+			return nil, err
 		}
 	} else {
-		if st.OrderBy != nil {
-			idx, err := sch.resolve(*st.OrderBy)
-			if err != nil {
-				return nil, err
-			}
-			it = operators.NewSort(it, idx, st.Desc)
+		var err error
+		if it, err = buildOrderBy(st, sch, it); err != nil {
+			return nil, err
 		}
 		cols, names, err := projectionCols(st, sch)
 		if err != nil {
@@ -198,6 +184,25 @@ func (e *Engine) finishSelect(plan *selectPlan, it operators.Iterator) (*Result,
 		return nil, err
 	}
 	return &Result{Cols: outCols, Rows: rows, Plan: plan.Explain()}, nil
+}
+
+// buildOrderBy wraps it in the statement's ordering operator: a
+// bounded Top-K heap when a LIMIT accompanies the ORDER BY (memory
+// O(k), not O(input)), a full sort otherwise, nothing when the
+// statement has no ORDER BY. Shared by both serial finishSelect
+// branches and the resolution logic of the parallel planner.
+func buildOrderBy(st *SelectStmt, sch schema, it operators.Iterator) (operators.Iterator, error) {
+	if st.OrderBy == nil {
+		return it, nil
+	}
+	idx, err := sch.resolve(*st.OrderBy)
+	if err != nil {
+		return nil, err
+	}
+	if st.Limit >= 0 {
+		return operators.NewTopK(it, idx, st.Desc, st.Limit), nil
+	}
+	return operators.NewSort(it, idx, st.Desc), nil
 }
 
 // projectionCols resolves the select list of a non-aggregate SELECT to

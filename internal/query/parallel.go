@@ -156,7 +156,29 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 		if err != nil {
 			return nil, nil, err
 		}
-		rows, err := operators.DrainParallelBatches(src, cfg)
+		if st.OrderBy != nil && !hasAggregate(st) && st.GroupBy == nil {
+			// Bare ordered scan: runs (or Top-K heaps) form inside the
+			// scan workers themselves — pages are claimed, keys extracted
+			// and partial orders built without an intermediate unordered
+			// materialisation.
+			idx, err := plan.sch.resolve(*st.OrderBy)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows, err := orderSourceParallel(src, idx, st.Desc, st.Limit, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := e.finishProjectTail(plan, rows)
+			return res, rep, err
+		}
+		scanCfg := cfg
+		if st.OrderBy == nil && !hasAggregate(st) && st.GroupBy == nil && st.Limit > 0 {
+			// Unordered LIMIT: any prefix is valid, so a satisfied quota
+			// stops the workers claiming pages (early termination).
+			scanCfg.Limit = st.Limit
+		}
+		rows, err := operators.DrainParallelBatches(src, scanCfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -206,7 +228,7 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 		}
 		rep.Adaptive.PeakHashRows = bt.Rows()
 		if cols, names, ok := joinFastCols(st, plan.sch, sides.buildIsLeft, leftW, rightW); ok {
-			out, err := bt.ParallelProbeProject(probeSrc, sides.probeCol, cfg, cols, buildWidth(sides.buildIsLeft, leftW, rightW))
+			out, err := bt.ParallelProbeProject(probeSrc, sides.probeCol, probeLimitCfg(st, cfg), cols, buildWidth(sides.buildIsLeft, leftW, rightW))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -248,7 +270,7 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 		// Output tuples are (newBuild, oldBuild) = (probe, build): the
 		// flip of the original orientation.
 		if cols, names, ok := joinFastCols(st, plan.sch, !sides.buildIsLeft, leftW, rightW); ok {
-			out, err := nbt.ParallelProbeProject(replay, sides.buildCol, cfg, cols, buildWidth(!sides.buildIsLeft, leftW, rightW))
+			out, err := nbt.ParallelProbeProject(replay, sides.buildCol, probeLimitCfg(st, cfg), cols, buildWidth(!sides.buildIsLeft, leftW, rightW))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -337,46 +359,100 @@ func permuteRows(rows []storage.Tuple, buildLeft bool, leftW, rightW int) []stor
 	return rows
 }
 
+// hasAggregate reports whether any select item aggregates.
+func hasAggregate(st *SelectStmt) bool {
+	for _, item := range st.Items {
+		if item.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// probeLimitCfg attaches the statement's LIMIT as a cooperative probe
+// quota when the shape allows it (the fused probe-projection path is
+// only taken with no aggregate, GROUP BY or ORDER BY, where any output
+// prefix is a valid answer): a satisfied LIMIT stops the probe workers
+// claiming batches instead of finishing the scan.
+func probeLimitCfg(st *SelectStmt, cfg operators.ParallelConfig) operators.ParallelConfig {
+	if st.Limit > 0 {
+		cfg.Limit = st.Limit
+	}
+	return cfg
+}
+
+// orderSourceParallel runs the parallel sort pipeline over src: a
+// bounded Top-K (limit >= 0) or worker-local runs merged through the
+// loser tree. The returned rows are globally ordered and — by the
+// shared comparator and content tie-break — identical to the serial
+// Sort/TopK output at any worker count and batch size.
+func orderSourceParallel(src operators.BatchSource, idx int, desc bool, limit int,
+	cfg operators.ParallelConfig) ([]storage.Tuple, error) {
+	if limit >= 0 {
+		return operators.ParallelTopKBatches(src, idx, desc, limit, cfg)
+	}
+	merge, err := operators.ParallelSortBatches(src, idx, desc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return operators.Drain(merge)
+}
+
+// orderRowsParallel is orderSourceParallel over already-materialised
+// rows (join output, aggregate output).
+func orderRowsParallel(rows []storage.Tuple, idx int, desc bool, limit int,
+	cfg operators.ParallelConfig) ([]storage.Tuple, error) {
+	return orderSourceParallel(operators.NewSliceBatches(rows, cfg.MorselSize), idx, desc, limit, cfg)
+}
+
+// finishProjectTail is the non-aggregate projection/limit tail: rows
+// arrive either unordered (no ORDER BY — any prefix is valid) or
+// already globally ordered; the projection is resolved once and the
+// whole result mapped through a single arena.
+func (e *Engine) finishProjectTail(plan *selectPlan, rows []storage.Tuple) (*Result, error) {
+	st := plan.stmt
+	cols, names, err := projectionCols(st, plan.sch)
+	if err != nil {
+		return nil, err
+	}
+	if st.Limit >= 0 && st.Limit < len(rows) {
+		rows = rows[:st.Limit]
+	}
+	identity := len(cols) == len(plan.sch)
+	for i, c := range cols {
+		identity = identity && c == i
+	}
+	if identity { // SELECT * / full-width: nothing to copy
+		return &Result{Cols: names, Rows: rows, Plan: plan.Explain()}, nil
+	}
+	out, err := operators.ProjectTuples(nil, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: names, Rows: out, Plan: plan.Explain()}, nil
+}
+
 // finishSelectParallel applies aggregation / ordering / projection /
 // limit to the materialised join or scan output. Aggregation runs
-// through the parallel partial-accumulator path; plain projections
-// (no aggregate, no ORDER BY) take a batch fast path that carves all
-// output values from one arena; ordering falls back to the serial
-// operators (it is O(result), not O(input)).
+// through the parallel partial-accumulator path; ordering through the
+// parallel sort/Top-K pipeline (worker runs + loser-tree merge over
+// the materialised rows), so plans with ORDER BY stay on the parallel
+// batch path end-to-end; plain projections take a batch fast path
+// that carves all output values from one arena.
 func (e *Engine) finishSelectParallel(plan *selectPlan, rows []storage.Tuple,
 	cfg operators.ParallelConfig) (*Result, error) {
 	st := plan.stmt
-	hasAgg := false
-	for _, item := range st.Items {
-		if item.Agg != AggNone {
-			hasAgg = true
-		}
-	}
-	if !hasAgg && st.GroupBy == nil {
+	if !hasAggregate(st) && st.GroupBy == nil {
 		if st.OrderBy != nil {
-			return e.finishSelect(plan, operators.NewMemScan(rows))
+			idx, err := plan.sch.resolve(*st.OrderBy)
+			if err != nil {
+				return nil, err
+			}
+			if rows, err = orderRowsParallel(rows, idx, st.Desc, st.Limit, cfg); err != nil {
+				return nil, err
+			}
 		}
-		// Vectorized tail: resolve the projection once and map the whole
-		// result through a single arena.
-		cols, names, err := projectionCols(st, plan.sch)
-		if err != nil {
-			return nil, err
-		}
-		if st.Limit >= 0 && st.Limit < len(rows) {
-			rows = rows[:st.Limit]
-		}
-		identity := len(cols) == len(plan.sch)
-		for i, c := range cols {
-			identity = identity && c == i
-		}
-		if identity { // SELECT * / full-width: nothing to copy
-			return &Result{Cols: names, Rows: rows, Plan: plan.Explain()}, nil
-		}
-		out, err := operators.ProjectTuples(nil, rows, cols)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Cols: names, Rows: out, Plan: plan.Explain()}, nil
+		return e.finishProjectTail(plan, rows)
 	}
 	ap, err := compileAggregate(st, plan.sch)
 	if err != nil {
@@ -387,20 +463,23 @@ func (e *Engine) finishSelectParallel(plan *selectPlan, rows []storage.Tuple,
 	if err != nil {
 		return nil, err
 	}
-	var it operators.Iterator = operators.NewProject(operators.NewMemScan(aggRows), ap.perm)
+	// Re-project to select-item order through the arena path, then
+	// order the (already merged) groups on the same parallel pipeline.
+	out, err := operators.ProjectTuples(nil, aggRows, ap.perm)
+	if err != nil {
+		return nil, err
+	}
 	if st.OrderBy != nil {
 		idx, err := ap.outSch.resolve(*st.OrderBy)
 		if err != nil {
 			return nil, err
 		}
-		it = operators.NewSort(it, idx, st.Desc)
+		if out, err = orderRowsParallel(out, idx, st.Desc, st.Limit, cfg); err != nil {
+			return nil, err
+		}
 	}
-	if st.Limit >= 0 {
-		it = operators.NewLimit(it, st.Limit)
-	}
-	out, err := operators.Drain(it)
-	if err != nil {
-		return nil, err
+	if st.Limit >= 0 && st.Limit < len(out) {
+		out = out[:st.Limit]
 	}
 	return &Result{Cols: ap.outCols, Rows: out, Plan: plan.Explain()}, nil
 }

@@ -42,6 +42,7 @@ import (
 	"github.com/adm-project/adm/internal/datacomp"
 	"github.com/adm-project/adm/internal/device"
 	"github.com/adm-project/adm/internal/experiments"
+	"github.com/adm-project/adm/internal/fault"
 	"github.com/adm-project/adm/internal/goos"
 	"github.com/adm-project/adm/internal/kendra"
 	"github.com/adm-project/adm/internal/learn"
@@ -255,6 +256,93 @@ type (
 // NewEngine builds a SQL engine with the given buffer-pool frames.
 func NewEngine(bufferFrames int) *Engine {
 	return query.NewEngine(query.NewCatalog(bufferFrames), trace.New(), nil)
+}
+
+// Crash-safe storage: WAL + redo recovery + checksummed page file,
+// with deterministic fault injection for recovery testing.
+type (
+	// DB is a crash-safe storage instance (WAL + checksummed page
+	// file); reopening its disks after any crash rebuilds
+	// byte-identical state.
+	DB = storage.DB
+	// DBOptions configures OpenDB.
+	DBOptions = storage.DBOptions
+	// DBStats is the durability layer's counter snapshot (WAL
+	// barriers, checkpoints, recovery work, checksum failures and
+	// quarantined pages).
+	DBStats = storage.DBStats
+	// RecoveryStats describes what a redo pass did.
+	RecoveryStats = storage.RecoveryStats
+	// DiskFile is the pluggable byte-addressed disk abstraction the
+	// WAL and page file run over.
+	DiskFile = storage.DiskFile
+	// MemDisk is an in-memory DiskFile (tests, crash simulation).
+	MemDisk = storage.MemDisk
+	// FaultDisk wraps a DiskFile with seeded crash points, torn
+	// writes and injected I/O errors.
+	FaultDisk = fault.Disk
+	// FaultRand is the deterministic generator used to derive fault
+	// schedules from a seed.
+	FaultRand = fault.Rand
+)
+
+// Storage-integrity sentinel errors, re-exported for errors.Is.
+var (
+	// ErrChecksum reports a page frame whose CRC does not match.
+	ErrChecksum = storage.ErrChecksum
+	// ErrQuarantined reports access to a page quarantined after a
+	// checksum failure.
+	ErrQuarantined = storage.ErrQuarantined
+	// ErrDBFailed reports the sticky failure state after a WAL append
+	// error; the DB refuses writes it could not make durable.
+	ErrDBFailed = storage.ErrDBFailed
+	// ErrDiskCrashed reports I/O against a FaultDisk past its crash
+	// point.
+	ErrDiskCrashed = fault.ErrCrashed
+	// ErrFaultInjected reports a one-shot injected I/O error.
+	ErrFaultInjected = fault.ErrInjected
+)
+
+// NewMemDisk returns an empty in-memory disk.
+func NewMemDisk() *MemDisk { return storage.NewMemDisk() }
+
+// NewMemDiskFrom returns an in-memory disk seeded with a snapshot
+// (crash simulation: pair it with another disk's Bytes()).
+func NewMemDiskFrom(data []byte) *MemDisk { return storage.NewMemDiskFrom(data) }
+
+// WrapFaulty wraps a disk with the deterministic fault injector.
+func WrapFaulty(inner DiskFile) *FaultDisk { return fault.Wrap(inner) }
+
+// NewFaultRand returns the seeded generator fault schedules derive
+// from (splitmix64; identical seeds yield identical schedules).
+func NewFaultRand(seed uint64) *FaultRand { return fault.NewRand(seed) }
+
+// OpenDB opens (or recovers) a crash-safe DB over a WAL disk and a
+// page-file disk.
+func OpenDB(walDisk, dataDisk DiskFile, opts DBOptions) (*DB, error) {
+	return storage.Open(walDisk, dataDisk, opts)
+}
+
+// NewDurableEngine builds a SQL engine whose catalog rides db's redo
+// log: tables, rows and index definitions survive crashes, and
+// NewDurableEngine over the reopened disks restores them. Quarantined
+// pages are reported into the engine's trace log as corruption
+// events.
+func NewDurableEngine(db *DB) (*Engine, error) {
+	cat, err := query.NewDurableCatalog(db)
+	if err != nil {
+		return nil, err
+	}
+	log := trace.New()
+	corrupt := log.Span("storage.db")
+	db.SetCorruptionHook(func(id storage.PageID, err error) {
+		corrupt.Emit(0, trace.KindCorruption, "page %d quarantined: %v", id, err)
+	})
+	// Recovery ran before the hook existed; surface its quarantines too.
+	for _, id := range db.Buffer().Quarantined() {
+		corrupt.Emit(0, trace.KindCorruption, "page %d quarantined during recovery", id)
+	}
+	return query.NewEngine(cat, log, nil), nil
 }
 
 // Data components, devices, network, streams, applications.

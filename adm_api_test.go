@@ -2,11 +2,13 @@ package adm
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
 	"github.com/adm-project/adm/internal/constraint"
 	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/trace"
 )
 
 // The facade test: a downstream user's whole workflow through the
@@ -171,5 +173,74 @@ func TestFacadeConstraintRuleSetTypes(t *testing.T) {
 	g.Observe(Sample{Value: 4})
 	if g.Value() != 4 {
 		t.Fatal("gauge")
+	}
+}
+
+// TestFacadeDurableEngine drives the crash-safe path end to end
+// through the public API: durable DDL/DML, a simulated crash, full
+// recovery, and checksum quarantine surfaced via stats and the trace
+// log.
+func TestFacadeDurableEngine(t *testing.T) {
+	wal, data := NewMemDisk(), NewMemDisk()
+	db, err := OpenDB(wal, data, DBOptions{BufferFrames: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewDurableEngine(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec("CREATE TABLE kv (k INT, v STRING)")
+	for i := 0; i < 50; i++ {
+		e.MustExec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'v%d')", i, i))
+	}
+	e.MustExec("CREATE INDEX ON kv (k)")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec("DELETE FROM kv WHERE k = 3")
+	if st := db.Stats(); st.WALAppends == 0 || st.Checkpoints != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Crash and recover from disk snapshots.
+	db2, err := OpenDB(NewMemDiskFrom(wal.Bytes()), NewMemDiskFrom(data.Bytes()), DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewDurableEngine(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e2.MustExec("SELECT k FROM kv WHERE k = 3")
+	if len(r.Rows) != 0 {
+		t.Fatal("deleted row resurrected")
+	}
+	r = e2.MustExec("SELECT k, v FROM kv")
+	if len(r.Rows) != 49 {
+		t.Fatalf("%d rows after recovery, want 49", len(r.Rows))
+	}
+
+	// Corrupt one checkpointed frame: recovery must quarantine it,
+	// count it, and surface it in the trace log — never serve it.
+	raw := data.Bytes()
+	raw[len(raw)-100] ^= 0xFF
+	db3, err := OpenDB(NewMemDiskFrom(wal.Bytes()), NewMemDiskFrom(raw), DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := NewDurableEngine(db3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db3.Stats()
+	if st.Recovery.PagesQuarantined != 1 || st.Buffer.ChecksumFailures != 1 {
+		t.Fatalf("corruption not counted: %+v", st)
+	}
+	if n := e3.Trace().Count(trace.KindCorruption); n != 1 {
+		t.Fatalf("trace corruption events = %d, want 1", n)
+	}
+	if _, err := e3.Exec("SELECT k, v FROM kv"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("scan over quarantined page: %v", err)
 	}
 }

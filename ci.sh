@@ -8,6 +8,12 @@
 #   race matrix  go test -count=1 -race on the parallel-executor
 #                packages at GOMAXPROCS=2 and 4 (scheduling diversity
 #                beyond the default run)
+#   crash matrix the deterministic fault-injection recovery suite
+#                (internal/fault) at GOMAXPROCS=2 and 4 under two
+#                ADM_FAULT_SEED schedules: crash at every WAL write
+#                and sync barrier, seeded torn-write tails, injected
+#                I/O errors — recovery must come back byte-identical
+#                every time
 #   lint         admlint over every checked-in ADL model, rule file and
 #                assembly listing; the negative fixtures must keep
 #                producing diagnostics (exit != 0), the clean ones none.
@@ -19,7 +25,10 @@
 #                scaling efficiency falls below scaling_floor, or if
 #                the parallel sort's speedup over the serial
 #                boxed-Compare reference falls below
-#                sort_scaling_floor. To refresh the baseline (after an
+#                sort_scaling_floor, or if either crash-recovery
+#                smoke bench (RecoveryWAL, RecoveryCkpt) recovers
+#                fewer rows/sec than recovery_floor.
+#                To refresh the baseline (after an
 #                intentional perf change, or on new CI hardware), see
 #                the update procedure in bench_baseline.json's
 #                _readme.
@@ -65,6 +74,20 @@ for gmp in 2 4; do
     echo "   GOMAXPROCS=$gmp"
     GOMAXPROCS=$gmp go test -count=1 -race \
         ./internal/operators/... ./internal/query/... ./internal/storage/...
+done
+
+echo "== crash matrix (seeded fault schedules)"
+# The fault-injection recovery suite under two GOMAXPROCS values and
+# two WAL-crash seeds: the default schedule plus one alternate, so a
+# recovery bug that hides behind one torn-write pattern still fails
+# the build. ADM_FAULT_SEED reseeds the torn-write/crash-point
+# schedules in internal/fault's tests (see faultSeed).
+for gmp in 2 4; do
+    for seed in 0xADC0FFEE 0x5EED0001; do
+        echo "   GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed"
+        GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed go test -count=1 -race \
+            ./internal/fault/...
+    done
 done
 
 echo "== admlint (clean inputs)"

@@ -137,6 +137,12 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 		return 1
 	}
 	results = append(results, topkResults...)
+	recResults, err := experiments.RunRecoveryBench(rows, repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	results = append(results, recResults...)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range results {
@@ -178,6 +184,14 @@ type baselineFile struct {
 	// denominator pays storage.Compare on boxed Values per comparison,
 	// so the ratio is mostly the comparator win.
 	SortScalingFloor float64 `json:"sort_scaling_floor,omitempty"`
+	// RecoveryFloor is the minimum accepted recovered rows/sec for the
+	// crash-recovery smoke benches (RecoveryWAL and RecoveryCkpt; 0 =
+	// no recovery gate). An absolute floor rather than a baseline
+	// ratio: the benches are sub-millisecond at smoke sizes, so a
+	// ratio would be all scheduler noise — what CI must catch is
+	// recovery going accidentally quadratic or re-reading the whole
+	// log per record.
+	RecoveryFloor float64 `json:"recovery_floor,omitempty"`
 }
 
 // gateAgainstBaseline fails (exit 1) when, for any bench family the
@@ -251,5 +265,29 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 	}
 	checkScaling("ParallelJoin", base.ScalingFloor, "scaling_floor")
 	checkScaling("ParallelSort", base.SortScalingFloor, "sort_scaling_floor")
+	if base.RecoveryFloor > 0 {
+		for _, bench := range []string{"RecoveryWAL", "RecoveryCkpt"} {
+			var got experiments.ParallelBenchResult
+			ok := false
+			for _, r := range results {
+				if r.Bench == bench {
+					got, ok = r, true
+					break
+				}
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "admbench: baseline sets recovery_floor but %s was not measured\n", bench)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "admbench: gate: %s %.0f recovered rows/sec (floor %.0f)\n",
+				bench, got.RowsPerSec, base.RecoveryFloor)
+			if got.RowsPerSec < base.RecoveryFloor {
+				fmt.Fprintf(os.Stderr, "admbench: REGRESSION: %s below recovery_floor\n", bench)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}
 	return code
 }

@@ -113,7 +113,13 @@ func NewBatchFromIterator(it Iterator, size int) *BatchFromIterator {
 }
 
 // Open implements BatchIterator.
-func (a *BatchFromIterator) Open() error { a.open = true; return a.In.Open() }
+func (a *BatchFromIterator) Open() error {
+	if err := a.In.Open(); err != nil {
+		return err
+	}
+	a.open = true
+	return nil
+}
 
 // NextBatch implements BatchIterator.
 func (a *BatchFromIterator) NextBatch(b *Batch) (int, error) {
@@ -152,12 +158,17 @@ func NewIteratorFromBatch(bi BatchIterator) *IteratorFromBatch {
 	return &IteratorFromBatch{In: bi}
 }
 
-// Open implements Iterator.
+// Open implements Iterator. The pooled buffer is taken only after the
+// input opens: a failed In.Open() returns before the caller owes a
+// Close, so anything acquired first would leak from the pool.
 func (a *IteratorFromBatch) Open() error {
+	if err := a.In.Open(); err != nil {
+		return err
+	}
 	a.buf = GetBatch()
 	a.pos = 0
 	a.open = true
-	return a.In.Open()
+	return nil
 }
 
 // Next implements Iterator.
@@ -256,7 +267,13 @@ func NewBatchFilter(in BatchIterator, pred Predicate) *BatchFilter {
 }
 
 // Open implements BatchIterator.
-func (f *BatchFilter) Open() error { f.open = true; return f.In.Open() }
+func (f *BatchFilter) Open() error {
+	if err := f.In.Open(); err != nil {
+		return err
+	}
+	f.open = true
+	return nil
+}
 
 // NextBatch implements BatchIterator.
 func (f *BatchFilter) NextBatch(b *Batch) (int, error) {
@@ -308,11 +325,16 @@ func NewBatchProject(in BatchIterator, cols []int) *BatchProject {
 	return &BatchProject{In: in, Cols: cols}
 }
 
-// Open implements BatchIterator.
+// Open implements BatchIterator. Input first, pooled scratch second:
+// a failed In.Open() must not strand a pool batch (see
+// IteratorFromBatch.Open).
 func (p *BatchProject) Open() error {
+	if err := p.In.Open(); err != nil {
+		return err
+	}
 	p.scratch = GetBatch()
 	p.open = true
-	return p.In.Open()
+	return nil
 }
 
 // NextBatch implements BatchIterator.
@@ -381,11 +403,15 @@ func NewBatchHashProbe(in BatchIterator, table *BuildTable, probeCol int) *Batch
 	return &BatchHashProbe{In: in, Table: table, ProbeCol: probeCol}
 }
 
-// Open implements BatchIterator.
+// Open implements BatchIterator. Input first, pooled scratch second
+// (see IteratorFromBatch.Open).
 func (j *BatchHashProbe) Open() error {
+	if err := j.In.Open(); err != nil {
+		return err
+	}
 	j.scratch = GetBatch()
 	j.open = true
-	return j.In.Open()
+	return nil
 }
 
 // NextBatch implements BatchIterator. Empty-output input batches are

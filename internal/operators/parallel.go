@@ -27,8 +27,10 @@ package operators
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -433,6 +435,7 @@ func DrainParallelBatches(src BatchSource, cfg ParallelConfig) ([]storage.Tuple,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer containPanic(&fail, i, "scan")
 			b := GetBatch()
 			defer PutBatch(b)
 			rows := 0
@@ -570,6 +573,7 @@ func ParallelBuildBatches(src BatchSource, col int, cfg ParallelConfig,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer containPanic(&fail, i, "build")
 			b := GetBatch()
 			defer PutBatch(b)
 			local := make([]partBuf, w)
@@ -627,6 +631,7 @@ func ParallelBuildBatches(src BatchSource, col int, cfg ParallelConfig,
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer containPanic(&fail, p, "assemble")
 			n := 0
 			for i := 0; i < w; i++ {
 				n += len(scatter[i][p].keys)
@@ -749,6 +754,7 @@ func (t *BuildTable) parallelProbe(src BatchSource, col int, cfg ParallelConfig,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer containPanic(&fail, i, "probe")
 			b := GetBatch()
 			defer PutBatch(b)
 			var out probeOut
@@ -815,6 +821,7 @@ func ParallelHashAggregateBatches(src BatchSource, groupCol int, aggs []AggSpec,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer containPanic(&fail, i, "aggregate")
 			b := GetBatch()
 			defer PutBatch(b)
 			acc := newAggAccum(groupCol, aggs)
@@ -852,6 +859,34 @@ func ParallelHashAggregateBatches(src BatchSource, groupCol int, aggs []AggSpec,
 
 // ---------------------------------------------------------------------------
 // Shared plumbing.
+
+// PanicError is a panic captured inside a parallel worker goroutine.
+// Every worker defers containPanic, so a panicking worker latches one
+// of these in the shared failFlag and exits; its peers drain
+// cooperatively at the phase barrier and the parallel operator
+// returns this error instead of killing the process. The query layer
+// recognises it and degrades the query to the serial plan.
+type PanicError struct {
+	Worker int
+	Phase  string
+	Value  any
+	Stack  []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("operators: worker %d panicked in %s phase: %v", e.Worker, e.Phase, e.Value)
+}
+
+// containPanic is deferred first in every parallel worker goroutine:
+// it converts a panic into a latched PanicError, which cancels the
+// phase cooperatively instead of unwinding past the goroutine and
+// crashing the process.
+func containPanic(fail *failFlag, worker int, phase string) {
+	if v := recover(); v != nil {
+		fail.set(&PanicError{Worker: worker, Phase: phase, Value: v, Stack: debug.Stack()})
+	}
+}
 
 // failFlag latches the first error across workers; failed() is the
 // cheap cooperative-cancellation check workers poll between morsels.

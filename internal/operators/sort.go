@@ -378,6 +378,7 @@ func ParallelSortBatches(src BatchSource, col int, desc bool, cfg ParallelConfig
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer containPanic(&fail, i, "sort")
 			b := GetBatch()
 			defer PutBatch(b)
 			r := &runs[i]
@@ -494,6 +495,7 @@ func ParallelTopKBatches(src BatchSource, col int, desc bool, k int, cfg Paralle
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer containPanic(&fail, i, "topk")
 			b := GetBatch()
 			defer PutBatch(b)
 			h := &topKHeap{k: k, desc: desc}

@@ -84,12 +84,15 @@ func (t *Table) ColIndex(name string) (int, bool) {
 	return 0, false
 }
 
-// Catalog owns tables over one storage instance.
+// Catalog owns tables over one storage instance. When db is non-nil
+// the catalog is durable: DDL is redo-logged (files, schemas, index
+// definitions) so NewDurableCatalog can rebuild it after a crash.
 type Catalog struct {
 	mu     sync.RWMutex
 	store  *storage.Store
 	bm     *storage.BufferManager
 	tables map[string]*Table
+	db     *storage.DB // nil for a volatile catalog
 }
 
 // Catalog errors.
@@ -115,7 +118,8 @@ func NewCatalog(bufferFrames int) *Catalog {
 // Buffer exposes the buffer manager (grain ablation, policy swaps).
 func (c *Catalog) Buffer() *storage.BufferManager { return c.bm }
 
-// CreateTable registers a new table.
+// CreateTable registers a new table. On a durable catalog the heap
+// file and schema are redo-logged before the table is visible.
 func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -123,10 +127,23 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	if _, ok := c.tables[key]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrTableExists, name)
 	}
+	var heap *storage.HeapFile
+	if c.db != nil {
+		h, err := c.db.CreateFile(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.db.SetMeta(schemaMetaPrefix+key, encodeSchema(cols)); err != nil {
+			return nil, err
+		}
+		heap = h
+	} else {
+		heap = storage.NewHeapFile(name, c.store, c.bm)
+	}
 	t := &Table{
 		Name:    name,
 		Cols:    cols,
-		Heap:    storage.NewHeapFile(name, c.store, c.bm),
+		Heap:    heap,
 		Indexes: map[string]*storage.BTree{},
 		Stats:   TableStats{Distinct: map[string]int{}},
 	}
@@ -178,13 +195,22 @@ func (c *Catalog) CreateIndex(table, col string) (*storage.BTree, error) {
 	if idx, ok := t.Indexes[key]; ok {
 		return idx, nil // idempotent
 	}
-	idx := storage.NewBTree(table + "_" + col)
+	idx := storage.NewBTree(t.Name + "_" + key)
 	err = t.Heap.Scan(func(rid storage.RID, tu storage.Tuple) bool {
 		idx.Insert(tu[ci], rid)
 		return true
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.db != nil {
+		// Log the definition, not the tree: recovery rebuilds by
+		// backfilling the recovered heap.
+		if err := c.db.LogIndex(storage.IndexDef{
+			Name: t.Name + "_" + key, File: t.Heap.Name(), Col: ci,
+		}); err != nil {
+			return nil, err
+		}
 	}
 	next := make(map[string]*storage.BTree, len(t.Indexes)+1)
 	for k, v := range t.Indexes {

@@ -30,6 +30,10 @@ func NewEngine(cat *Catalog, log *trace.Log, clock func() float64) *Engine {
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *Catalog { return e.cat }
 
+// Trace returns the engine's event log (panic containment and page
+// corruption surface here).
+func (e *Engine) Trace() *trace.Log { return e.log }
+
 // Result is a query result.
 type Result struct {
 	Cols []string

@@ -40,6 +40,11 @@ type ExecOptions struct {
 	// Adaptive tunes mid-query re-optimisation; nil means
 	// DefaultAdaptiveConfig() — the safe-point protocol is always on.
 	Adaptive *AdaptiveConfig
+
+	// panicInWorker, when set (tests only), runs inside each worker
+	// goroutine as it finishes a phase — the injection point the
+	// panic-containment tests use to blow up a live worker.
+	panicInWorker func(worker int, phase string)
 }
 
 // ExecReport describes how ExecuteSQL ran.
@@ -51,6 +56,10 @@ type ExecReport struct {
 	Workers int
 	// Adaptive reports what the mid-query re-optimiser did.
 	Adaptive AdaptiveReport
+	// PanicContained is true when a parallel worker panicked and the
+	// statement was transparently re-executed on the serial plan: one
+	// bad worker degrades the query instead of killing the process.
+	PanicContained bool
 }
 
 // ExecuteSQL parses and executes one statement with the parallel
@@ -124,7 +133,30 @@ func scanBatches(sp *scanPlan, size int) (operators.BatchSource, error) {
 	return src, nil
 }
 
+// execSelectParallel runs the parallel plan with panic containment:
+// a worker panic surfaces as *operators.PanicError after all its
+// peers have drained at the phase barrier (the failFlag protocol), at
+// which point no goroutine of the failed run is still touching shared
+// state — so the statement is transparently re-executed on the serial
+// plan. Errors other than contained panics pass through untouched.
 func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, *ExecReport, error) {
+	res, rep, err := e.execSelectParallelRun(st, opts)
+	var pe *operators.PanicError
+	if !errors.As(err, &pe) {
+		return res, rep, err
+	}
+	e.log.Span("query.parallel").Emit(e.clock(), trace.KindPanic,
+		"worker %d panicked in %s phase (%v); degrading to serial plan", pe.Worker, pe.Phase, pe.Value)
+	res, serr := e.execSelect(st)
+	if rep == nil {
+		rep = &ExecReport{}
+	}
+	rep.Parallel = false
+	rep.PanicContained = true
+	return res, rep, serr
+}
+
+func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Result, *ExecReport, error) {
 	plan, err := e.planSelect(st)
 	if err != nil {
 		return nil, nil, err
@@ -146,6 +178,9 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 		Workers:    workers,
 		MorselSize: batch,
 		OnWorker: func(w int, phase string, rows int) {
+			if opts.panicInWorker != nil {
+				opts.panicInWorker(w, phase)
+			}
 			span.Sub(fmt.Sprintf("w%d", w)).Emit(e.clock(), trace.KindInfo,
 				"%s phase done: %d rows", phase, rows)
 		},

@@ -77,6 +77,29 @@ func (s *Store) Stats() (reads, writes uint64) {
 	return s.reads.Load(), s.writes.Load()
 }
 
+// install places a recovered page at a specific id, bumping the
+// allocator cursor past it — recovery rebuilding the store from a
+// checkpoint image and redo log must reproduce the exact pre-crash
+// PageIDs or every logged RID would dangle.
+func (s *Store) install(id PageID, p *Page) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	sh.pages[id] = p
+	sh.mu.Unlock()
+	s.ensureNext(uint32(id) + 1)
+}
+
+// ensureNext raises the allocator cursor to at least n (recovery's
+// next-page watermark).
+func (s *Store) ensureNext(n uint32) {
+	for {
+		cur := s.next.Load()
+		if cur >= n || s.next.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // PageCount returns the number of allocated pages.
 func (s *Store) PageCount() int {
 	n := 0
@@ -259,11 +282,20 @@ func (l *lockedPolicy) Victim(candidates []PageID) PageID {
 // ErrAllPinned is returned when the pool has no evictable frame.
 var ErrAllPinned = errors.New("storage: all frames pinned")
 
-// BufferStats reports pool effectiveness.
+// ErrQuarantined is returned for pages pulled from service after a
+// checksum failure: the engine reports the corruption instead of
+// silently serving bad bytes.
+var ErrQuarantined = errors.New("storage: page quarantined (checksum failure)")
+
+// BufferStats reports pool effectiveness and integrity counters.
 type BufferStats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	// ChecksumFailures counts verifier rejections on fetch.
+	ChecksumFailures uint64
+	// QuarantinedPages is the number of pages currently quarantined.
+	QuarantinedPages uint64
 }
 
 // HitRate returns hits/(hits+misses), 0 when idle.
@@ -307,6 +339,16 @@ type BufferManager struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+	checksum  atomic.Uint64
+
+	// verifier, when set, runs on every pool miss before the fetched
+	// page is admitted (the DB wires it to the page file's stored CRC).
+	// A non-nil error quarantines the page. Guarded by quarantineMu
+	// only at install time; reads are via the atomic pointer.
+	verifier atomic.Pointer[func(PageID, *Page) error]
+
+	quarantineMu sync.Mutex
+	quarantined  map[PageID]error
 }
 
 type bufShard struct {
@@ -338,7 +380,65 @@ func NewBufferManager(store *Store, capacity int, policy Policy) *BufferManager 
 	for i := range b.shards {
 		b.shards[i] = bufShard{frames: map[PageID]*frame{}, cap: perShard, policy: policies[i]}
 	}
+	b.quarantined = map[PageID]error{}
 	return b
+}
+
+// SetVerifier installs the fetch-time integrity check run on every
+// pool miss. Passing nil disables verification.
+func (b *BufferManager) SetVerifier(fn func(PageID, *Page) error) {
+	if fn == nil {
+		b.verifier.Store(nil)
+		return
+	}
+	b.verifier.Store(&fn)
+}
+
+// Quarantine pulls a page from service: subsequent GetPage calls fail
+// with ErrQuarantined (wrapping cause) instead of serving bytes that
+// failed their checksum.
+func (b *BufferManager) Quarantine(id PageID, cause error) {
+	b.quarantineMu.Lock()
+	if _, dup := b.quarantined[id]; !dup {
+		b.quarantined[id] = cause
+	}
+	b.quarantineMu.Unlock()
+	// Drop any resident frame so the poisoned image cannot be served
+	// from cache. Pinned frames stay (the pin holder already has the
+	// pointer); the quarantine check still blocks new fetches.
+	sh := b.shard(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok && f.pins == 0 {
+		delete(sh.frames, id)
+		sh.policy.Evicted(id)
+	}
+	sh.mu.Unlock()
+}
+
+// Quarantined returns the ids currently quarantined (diagnostics).
+func (b *BufferManager) Quarantined() []PageID {
+	b.quarantineMu.Lock()
+	defer b.quarantineMu.Unlock()
+	out := make([]PageID, 0, len(b.quarantined))
+	for id := range b.quarantined {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (b *BufferManager) quarantineErr(id PageID) error {
+	b.quarantineMu.Lock()
+	cause, ok := b.quarantined[id]
+	b.quarantineMu.Unlock()
+	if !ok {
+		return nil
+	}
+	if cause != nil {
+		// Both sentinels stay matchable: ErrQuarantined for the service
+		// state, the cause (typically ErrChecksum) for the diagnosis.
+		return fmt.Errorf("%w: page %d: %w", ErrQuarantined, id, cause)
+	}
+	return fmt.Errorf("%w: page %d", ErrQuarantined, id)
 }
 
 // shardPolicies produces one policy per shard: clones when the type is
@@ -395,8 +495,14 @@ func (b *BufferManager) SwapPolicy(p Policy) {
 	}
 }
 
-// GetPage pins and returns a page, faulting it in if needed.
+// GetPage pins and returns a page, faulting it in if needed. On a
+// pool miss the installed verifier (if any) checks the page before it
+// is admitted; a failure quarantines the page and the fetch errors
+// instead of serving unverified bytes.
 func (b *BufferManager) GetPage(id PageID) (*Page, error) {
+	if err := b.quarantineErr(id); err != nil {
+		return nil, err
+	}
 	sh := b.shard(id)
 	sh.mu.Lock()
 	if f, ok := sh.frames[id]; ok {
@@ -417,6 +523,14 @@ func (b *BufferManager) GetPage(id PageID) (*Page, error) {
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, err
+	}
+	if vp := b.verifier.Load(); vp != nil {
+		if err := (*vp)(id, p); err != nil {
+			sh.mu.Unlock()
+			b.checksum.Add(1)
+			b.Quarantine(id, err)
+			return nil, b.quarantineErr(id)
+		}
 	}
 	sh.frames[id] = &frame{page: p, pins: 1}
 	sh.policy.Admitted(id)
@@ -462,12 +576,34 @@ func (b *BufferManager) Resident() int {
 	return n
 }
 
-// Stats returns pool statistics. Lock-free — safe for monitor gauges
-// to poll mid-query without stalling workers on the shard locks.
+// PinnedFrames returns the total outstanding pin count across the
+// pool — the leak-audit gauge: after a query completes (success or
+// error), this must return to its pre-query value.
+func (b *BufferManager) PinnedFrames() int {
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			n += f.pins
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns pool statistics. Mostly lock-free — safe for monitor
+// gauges to poll mid-query; the quarantine count takes a small mutex
+// no hot path holds.
 func (b *BufferManager) Stats() BufferStats {
+	b.quarantineMu.Lock()
+	nq := uint64(len(b.quarantined))
+	b.quarantineMu.Unlock()
 	return BufferStats{
-		Hits:      b.hits.Load(),
-		Misses:    b.misses.Load(),
-		Evictions: b.evictions.Load(),
+		Hits:             b.hits.Load(),
+		Misses:           b.misses.Load(),
+		Evictions:        b.evictions.Load(),
+		ChecksumFailures: b.checksum.Load(),
+		QuarantinedPages: nq,
 	}
 }

@@ -18,12 +18,16 @@ func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
 // ErrNotFound is returned for missing records.
 var ErrNotFound = errors.New("storage: record not found")
 
-// HeapFile is an unordered record file over the buffer manager.
+// HeapFile is an unordered record file over the buffer manager. When
+// attached to a DB (db != nil) every mutation is redo-logged to the
+// WAL before it is acknowledged; detached heap files keep the original
+// in-memory-only behaviour.
 type HeapFile struct {
 	mu    sync.Mutex
 	name  string
 	bm    *BufferManager
 	store *Store
+	db    *DB
 	pages []PageID
 	live  int
 }
@@ -65,7 +69,7 @@ func (h *HeapFile) Insert(t Tuple) (RID, error) {
 		if err != nil {
 			return RID{}, err
 		}
-		slot, err := p.Insert(rec)
+		slot, err := h.insertPage(p, id, rec)
 		h.bm.Unpin(id)
 		if err == nil {
 			h.live++
@@ -76,18 +80,34 @@ func (h *HeapFile) Insert(t Tuple) (RID, error) {
 		}
 	}
 	id := h.store.Allocate()
+	if h.db != nil {
+		if err := h.db.logAlloc(h.name, id); err != nil {
+			return RID{}, err
+		}
+	}
 	h.pages = append(h.pages, id)
 	p, err := h.bm.GetPage(id)
 	if err != nil {
 		return RID{}, err
 	}
 	defer h.bm.Unpin(id)
-	slot, err := p.Insert(rec)
+	slot, err := h.insertPage(p, id, rec)
 	if err != nil {
 		return RID{}, err
 	}
 	h.live++
 	return RID{Page: id, Slot: slot}, nil
+}
+
+// insertPage applies one insert, logging it inside the page latch
+// when the file is durable.
+func (h *HeapFile) insertPage(p *Page, id PageID, rec []byte) (int, error) {
+	if h.db == nil {
+		return p.Insert(rec)
+	}
+	return p.InsertWith(rec, func(slot int) (uint64, error) {
+		return h.db.logInsert(id, slot, rec)
+	})
 }
 
 // Get fetches the tuple at rid.
@@ -114,11 +134,19 @@ func (h *HeapFile) Delete(rid RID) error {
 		return err
 	}
 	defer h.bm.Unpin(rid.Page)
-	if err := p.Delete(rid.Slot); err != nil {
-		if errors.Is(err, ErrSlotDeleted) || errors.Is(err, ErrBadSlot) {
+	var derr error
+	if h.db == nil {
+		derr = p.Delete(rid.Slot)
+	} else {
+		derr = p.DeleteWith(rid.Slot, func() (uint64, error) {
+			return h.db.logDelete(rid.Page, rid.Slot)
+		})
+	}
+	if derr != nil {
+		if errors.Is(derr, ErrSlotDeleted) || errors.Is(derr, ErrBadSlot) {
 			return fmt.Errorf("%w: %s", ErrNotFound, rid)
 		}
-		return err
+		return derr
 	}
 	h.mu.Lock()
 	h.live--
@@ -136,7 +164,14 @@ func (h *HeapFile) Update(rid RID, t Tuple) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
-	slot, err := p.Update(rid.Slot, rec)
+	var slot int
+	if h.db == nil {
+		slot, err = p.Update(rid.Slot, rec)
+	} else {
+		slot, err = p.UpdateWith(rid.Slot, rec, func(newSlot int) (uint64, error) {
+			return h.db.logUpdate(rid.Page, rid.Slot, newSlot, rec)
+		})
+	}
 	h.bm.Unpin(rid.Page)
 	if err == nil {
 		return RID{Page: rid.Page, Slot: slot}, nil
@@ -254,6 +289,32 @@ func (h *HeapFile) All() ([]Tuple, error) {
 		return true
 	})
 	return out, err
+}
+
+// restore installs the recovered page list and recounts live records
+// (recovery only; runs before the file is visible to queries).
+func (h *HeapFile) restore(pages []PageID) error {
+	live := 0
+	for _, id := range pages {
+		p, err := h.bm.GetPage(id)
+		if errors.Is(err, ErrQuarantined) {
+			continue // unreadable; reported, not counted
+		}
+		if err != nil {
+			return err
+		}
+		for s := 0; s < p.Slots(); s++ {
+			if p.Live(s) {
+				live++
+			}
+		}
+		h.bm.Unpin(id)
+	}
+	h.mu.Lock()
+	h.pages = append([]PageID(nil), pages...)
+	h.live = live
+	h.mu.Unlock()
+	return nil
 }
 
 // Vacuum compacts every page in the file.

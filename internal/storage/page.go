@@ -44,6 +44,11 @@ type Page struct {
 	mu  sync.RWMutex
 	buf [PageSize]byte
 	dec atomic.Pointer[[]Tuple]
+	// lsn is the LSN of the last logged mutation applied to this page
+	// (0 for unlogged pages). Guarded by mu; recovery's redo pass
+	// applies a record only when lsn < record LSN, which is what makes
+	// replaying over a fuzzy-checkpoint image idempotent.
+	lsn uint64
 }
 
 // NewPage returns an initialised empty page.
@@ -51,6 +56,14 @@ func NewPage() *Page {
 	p := &Page{}
 	p.setSlotCount(0)
 	p.setFreeEnd(PageSize)
+	return p
+}
+
+// pageFromImage rebuilds a page from a checkpointed frame image and
+// its flushed LSN (recovery only).
+func pageFromImage(img []byte, lsn uint64) *Page {
+	p := &Page{lsn: lsn}
+	copy(p.buf[:], img)
 	return p
 }
 
@@ -96,12 +109,56 @@ func (p *Page) Slots() int {
 	return p.slotCount()
 }
 
+// LSN returns the page's last-mutation LSN (0 if never logged).
+func (p *Page) LSN() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.lsn
+}
+
+// CopyBytes snapshots the raw page image and its LSN under the read
+// latch — the stable copy a checkpoint flush persists.
+func (p *Page) CopyBytes() ([]byte, uint64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	img := make([]byte, PageSize)
+	copy(img, p.buf[:])
+	return img, p.lsn
+}
+
 // Insert stores a record and returns its slot number.
 func (p *Page) Insert(rec []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.dec.Store(nil)
 	return p.insertLocked(rec)
+}
+
+// InsertWith is Insert with a logging hook that runs inside the latch
+// critical section: after the record is applied, `after` appends the
+// WAL record for the chosen slot and returns the LSN to stamp. Running
+// the append under the latch is what guarantees per-page WAL order
+// matches apply order — two writers racing on one page cannot log in
+// the reverse of the order they applied. If `after` fails the
+// mutation is rolled back and the page is unchanged.
+func (p *Page) InsertWith(rec []byte, after func(slot int) (uint64, error)) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dec.Store(nil)
+	slot, err := p.insertLocked(rec)
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := after(slot)
+	if err != nil {
+		// Roll back: the insert always lands in a fresh last slot.
+		off, length := p.slotAt(slot)
+		p.setSlotCount(slot)
+		p.setFreeEnd(off + length)
+		return 0, err
+	}
+	p.lsn = lsn
+	return slot, nil
 }
 
 func (p *Page) insertLocked(rec []byte) (int, error) {
@@ -142,6 +199,29 @@ func (p *Page) Delete(slot int) error {
 	return p.deleteLocked(slot)
 }
 
+// DeleteWith is Delete with a latch-scoped logging hook (see
+// InsertWith). Tombstoning is reversible, so a failed append restores
+// the slot.
+func (p *Page) DeleteWith(slot int, after func() (uint64, error)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dec.Store(nil)
+	off, length := 0, 0
+	if slot >= 0 && slot < p.slotCount() {
+		off, length = p.slotAt(slot)
+	}
+	if err := p.deleteLocked(slot); err != nil {
+		return err
+	}
+	lsn, err := after()
+	if err != nil {
+		p.setSlot(slot, off, length)
+		return err
+	}
+	p.lsn = lsn
+	return nil
+}
+
 func (p *Page) deleteLocked(slot int) error {
 	if slot < 0 || slot >= p.slotCount() {
 		return fmt.Errorf("%w: %d", ErrBadSlot, slot)
@@ -161,6 +241,10 @@ func (p *Page) Update(slot int, rec []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.dec.Store(nil)
+	return p.updateLocked(slot, rec)
+}
+
+func (p *Page) updateLocked(slot int, rec []byte) (int, error) {
 	if slot < 0 || slot >= p.slotCount() {
 		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
 	}
@@ -177,6 +261,41 @@ func (p *Page) Update(slot int, rec []byte) (int, error) {
 		return 0, err
 	}
 	return p.insertLocked(rec)
+}
+
+// UpdateWith is Update with a latch-scoped logging hook (see
+// InsertWith): `after` logs the update given the resulting slot. On a
+// failed append the old record image and directory state are restored.
+func (p *Page) UpdateWith(slot int, rec []byte, after func(newSlot int) (uint64, error)) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dec.Store(nil)
+	if slot < 0 || slot >= p.slotCount() {
+		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	off, length := p.slotAt(slot)
+	if length == 0 {
+		return 0, fmt.Errorf("%w: %d", ErrSlotDeleted, slot)
+	}
+	old := append([]byte(nil), p.buf[off:off+length]...)
+	newSlot, err := p.updateLocked(slot, rec)
+	if err != nil {
+		return 0, err
+	}
+	lsn, err := after(newSlot)
+	if err != nil {
+		if newSlot != slot {
+			// Move path: drop the appended slot, then resurrect the old.
+			insOff, insLen := p.slotAt(newSlot)
+			p.setSlotCount(newSlot)
+			p.setFreeEnd(insOff + insLen)
+		}
+		copy(p.buf[off:], old)
+		p.setSlot(slot, off, len(old))
+		return 0, err
+	}
+	p.lsn = lsn
+	return newSlot, nil
 }
 
 // Live reports whether the slot holds a record.
@@ -239,6 +358,70 @@ func (p *Page) LiveBytes() int {
 		}
 	}
 	return n
+}
+
+// ---------------------------------------------------------------------------
+// Redo appliers. Each is LSN-guarded (a page whose LSN is already at
+// or past the record's was flushed after the mutation — reapplying
+// would corrupt it) and slot-asserting: physiological redo on an
+// LSN-consistent page must land in exactly the slot the original
+// mutation produced, so a mismatch means the log and page diverged.
+
+func (p *Page) redoInsert(slot int, rec []byte, lsn uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lsn >= lsn {
+		return nil // flush already carried this mutation
+	}
+	p.dec.Store(nil)
+	got, err := p.insertLocked(rec)
+	if err != nil {
+		return fmt.Errorf("storage: redo insert lsn %d: %w", lsn, err)
+	}
+	if got != slot {
+		return fmt.Errorf("storage: redo insert lsn %d landed in slot %d, logged %d", lsn, got, slot)
+	}
+	p.lsn = lsn
+	return nil
+}
+
+func (p *Page) redoDelete(slot int, lsn uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lsn >= lsn {
+		return nil
+	}
+	p.dec.Store(nil)
+	if err := p.deleteLocked(slot); err != nil {
+		return fmt.Errorf("storage: redo delete lsn %d: %w", lsn, err)
+	}
+	p.lsn = lsn
+	return nil
+}
+
+func (p *Page) redoUpdate(oldSlot, newSlot int, rec []byte, lsn uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.lsn >= lsn {
+		return nil
+	}
+	p.dec.Store(nil)
+	got, err := p.updateLocked(oldSlot, rec)
+	if err != nil {
+		return fmt.Errorf("storage: redo update lsn %d: %w", lsn, err)
+	}
+	if got != newSlot {
+		return fmt.Errorf("storage: redo update lsn %d landed in slot %d, logged %d", lsn, got, newSlot)
+	}
+	p.lsn = lsn
+	return nil
+}
+
+// setLSN installs a recovered page's flushed LSN (recovery only).
+func (p *Page) setLSN(lsn uint64) {
+	p.mu.Lock()
+	p.lsn = lsn
+	p.mu.Unlock()
 }
 
 // Tuples decodes every live record in the page in slot order. It is

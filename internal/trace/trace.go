@@ -28,6 +28,8 @@ const (
 	KindSafePoint  Kind = "safepoint"  // stream/query safe point reached
 	KindMigrate    Kind = "migrate"    // component/agent migration
 	KindReoptimize Kind = "reoptimize" // query plan revised mid-flight
+	KindCorruption Kind = "corruption" // page checksum failure / quarantine
+	KindPanic      Kind = "panic"      // worker panic contained
 	KindInfo       Kind = "info"       // free-form
 )
 

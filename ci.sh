@@ -3,7 +3,16 @@
 #
 #   formatting   gofmt -l (fails on any unformatted file)
 #   analysis     go vet ./...
-#   build        go build ./...
+#   invariants   cmd/admvet — the engine-invariant analyzers (pinpair,
+#                batchrelease, latchorder, poisoncheck, morselguard)
+#                over the whole module; fails on any diagnostic,
+#                including a stale //admvet:allow directive. The
+#                per-analyzer negative fixtures must keep producing
+#                diagnostics (exit != 0) so a silently broken analyzer
+#                cannot green-light the build.
+#   build        go build ./... plus an explicit go build of every
+#                cmd/* binary (a main package go build ./... only
+#                type-checks; this links them)
 #   tests        go test -race ./...
 #   race matrix  go test -count=1 -race on the parallel-executor
 #                packages at GOMAXPROCS=2 and 4 (scheduling diversity
@@ -63,8 +72,25 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== admvet (engine invariants)"
+go run ./cmd/admvet ./...
+
+echo "== admvet (negative fixtures must fail)"
+for a in pinpair batchrelease latchorder poisoncheck morselguard; do
+    if go run ./cmd/admvet -analyzers "$a" \
+        -dir "internal/analysis/testdata/src/$a" >/dev/null 2>&1; then
+        echo "admvet $a produced no diagnostics on its positive fixture" >&2
+        exit 1
+    fi
+done
+
 echo "== go build"
 go build ./...
+
+echo "== go build (link all cmd binaries)"
+bindir=$(mktemp -d)
+go build -o "$bindir/" ./cmd/...
+rm -rf "$bindir"
 
 echo "== go test -race"
 go test -race ./...

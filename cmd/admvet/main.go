@@ -1,0 +1,101 @@
+// Command admvet is the engine-invariant multichecker: it runs the
+// internal/analysis suite (pinpair, batchrelease, latchorder,
+// poisoncheck, morselguard) over Go packages and reports findings in
+// the shared internal/lint diagnostic format — the same text and
+// -json schemas admlint uses, so CI and editors consume one stream.
+//
+// Usage:
+//
+//	admvet [-json] [-analyzers a,b] [packages...]   # default ./...
+//	admvet [-json] -dir path                        # one fixture/plain directory
+//
+// Intentional exceptions are annotated in source as
+//
+//	//admvet:allow <analyzer> <reason>
+//
+// on (or directly above) the offending line. Unused or malformed
+// directives are themselves errors, so every exception stays
+// load-bearing.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load
+// failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/adm-project/adm/internal/analysis"
+	"github.com/adm-project/adm/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	dir := flag.String("dir", "", "analyze the Go files of one directory as a single package")
+	names := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: admvet [-json] [-analyzers a,b] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "       admvet [-json] -dir path\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *names != "" {
+		suite = analysis.ByName(strings.Split(*names, ","))
+		if suite == nil {
+			fmt.Fprintf(os.Stderr, "admvet: unknown analyzer in %q\n", *names)
+			os.Exit(2)
+		}
+	}
+
+	var pkgs []*analysis.Package
+	var err error
+	if *dir != "" {
+		if flag.NArg() > 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		pkgs, err = analysis.LoadDir(*dir)
+	} else {
+		pkgs, err = analysis.Load(".", flag.Args()...)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, suite)
+	relativize(diags)
+	if *jsonOut {
+		err = lint.WriteJSON(os.Stdout, diags)
+	} else {
+		err = lint.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admvet: %v\n", err)
+		os.Exit(2)
+	}
+	if lint.HasErrors(diags) {
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites absolute file paths relative to the working
+// directory when that makes them shorter, matching compiler output.
+func relativize(diags []lint.Diagnostic) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i, d := range diags {
+		if rel, err := filepath.Rel(wd, d.File); err == nil && len(rel) < len(d.File) {
+			diags[i].File = rel
+		}
+	}
+}

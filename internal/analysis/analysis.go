@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/adm-project/adm/internal/lint"
+)
+
+// An Analyzer is one invariant checker. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis so the suite can migrate to the real
+// framework if the dependency ever becomes available.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //admvet:allow directives.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All returns the full admvet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Pinpair, Batchrelease, Latchorder, Poisoncheck, Morselguard}
+}
+
+// ByName resolves analyzer names (comma-splittable by the caller) to
+// the suite subset; unknown names return nil.
+func ByName(names []string) []*Analyzer {
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}
+
+// Pass carries one (analyzer, package) unit of work, exposing the
+// package's syntax and type information and collecting diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]lint.Diagnostic
+}
+
+// Reportf records an error diagnostic at pos under the analyzer's
+// name with a stable machine-readable code.
+func (p *Pass) Reportf(pos token.Pos, code, format string, args ...any) {
+	pp := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, lint.Errorf(pp.Filename, pp.Line, pp.Column, p.Analyzer.Name, code, format, args...))
+}
+
+// Position resolves a token position (for messages that reference a
+// second source location).
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf returns the object an identifier denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// RunAnalyzers applies the analyzers to every package, applies
+// //admvet:allow directives, and returns the surviving diagnostics
+// sorted. Unused or malformed directives are themselves diagnostics:
+// an allow that no longer suppresses anything is dead weight that
+// must be removed, so every exception in the tree stays load-bearing.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	for _, pkg := range pkgs {
+		dirs, dirDiags := collectDirectives(pkg)
+		var raw []lint.Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			a.Run(pass)
+		}
+		out = append(out, applyDirectives(dirs, raw)...)
+		out = append(out, dirDiags...)
+		for _, d := range dirs {
+			if !d.used {
+				out = append(out, lint.Errorf(d.pos.Filename, d.pos.Line, d.pos.Column,
+					"admvet", "unused-allow",
+					"//admvet:allow %s directive suppresses nothing — remove it or restore the code it covered", d.analyzer))
+			}
+		}
+	}
+	lint.Sort(out)
+	return out
+}

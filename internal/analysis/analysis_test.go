@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/adm-project/adm/internal/lint"
+)
+
+// want is one expectation parsed from a fixture comment:
+//
+//	expr() // want "substring" ["substring" ...]
+//	// want-above "substring"   (binds to the preceding line)
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want(-above)?\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"([^"]*)"`)
+
+func collectWants(pkg *Package) []*want {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] == "-above" {
+					line--
+				}
+				for _, q := range quotedRe.FindAllStringSubmatch(m[2], -1) {
+					wants = append(wants, &want{file: pos.Filename, line: line, substr: q[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one testdata package, runs the analyzers, and
+// checks the diagnostics against the want expectations exactly:
+// every want fires, nothing unexpected fires.
+func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkgs, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags := RunAnalyzers(pkgs, analyzers)
+	wants := collectWants(pkgs[0])
+	if len(wants) == 0 {
+		t.Fatalf("%s: fixture has no // want expectations", dir)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic containing %q did not fire", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestPinpairFixture(t *testing.T)      { runFixture(t, "pinpair", []*Analyzer{Pinpair}) }
+func TestBatchreleaseFixture(t *testing.T) { runFixture(t, "batchrelease", []*Analyzer{Batchrelease}) }
+func TestLatchorderFixture(t *testing.T)   { runFixture(t, "latchorder", []*Analyzer{Latchorder}) }
+func TestPoisoncheckFixture(t *testing.T)  { runFixture(t, "poisoncheck", []*Analyzer{Poisoncheck}) }
+func TestMorselguardFixture(t *testing.T)  { runFixture(t, "morselguard", []*Analyzer{Morselguard}) }
+
+// TestDirectivesFixture exercises the allow-directive machinery:
+// malformed, unknown-analyzer, and unused directives are findings.
+func TestDirectivesFixture(t *testing.T) { runFixture(t, "directives", All()) }
+
+// TestRepoIsClean is the meta-test: the full suite over the whole
+// repository must be silent — every true positive fixed, every
+// intentional exception carrying a load-bearing allow directive.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	diags := RunAnalyzers(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("repo not admvet-clean: %s", d)
+	}
+}
+
+// TestSuiteShape pins the analyzer roster: adding or removing an
+// analyzer must be a conscious change (ci.sh negative-fixture loop
+// iterates these names).
+func TestSuiteShape(t *testing.T) {
+	names := []string{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name/doc/run", a)
+		}
+		names = append(names, a.Name)
+	}
+	got := strings.Join(names, ",")
+	wantNames := "pinpair,batchrelease,latchorder,poisoncheck,morselguard"
+	if got != wantNames {
+		t.Errorf("suite = %s, want %s", got, wantNames)
+	}
+	if ByName([]string{"pinpair", "latchorder"}) == nil {
+		t.Error("ByName rejected valid names")
+	}
+	if ByName([]string{"nope"}) != nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// TestDiagnosticSchema locks the admlint/admvet shared JSON schema:
+// one format for every load-time checker in the stack.
+func TestDiagnosticSchema(t *testing.T) {
+	var buf strings.Builder
+	d := lint.Errorf("f.go", 3, 7, "pinpair", "pin-leak", "msg")
+	if err := lint.WriteJSON(&buf, []lint.Diagnostic{d}); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"file"`, `"line"`, `"col"`, `"severity"`, `"analyzer"`, `"code"`, `"message"`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("JSON output missing %s field: %s", field, buf.String())
+		}
+	}
+}

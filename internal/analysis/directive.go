@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+
+	"github.com/adm-project/adm/internal/lint"
+)
+
+// A directive is one parsed //admvet:allow comment. It suppresses
+// matching diagnostics on its own line (trailing form) or the line
+// directly below (own-line form). The used flag feeds the
+// unused-allow check in RunAnalyzers.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const allowPrefix = "admvet:allow"
+
+// collectDirectives parses every //admvet:allow comment in the
+// package. Malformed directives (missing analyzer or reason, or an
+// analyzer name not in the suite) are reported as diagnostics — a
+// silently ignored suppression is worse than none.
+func collectDirectives(pkg *Package) ([]*directive, []lint.Diagnostic) {
+	var dirs []*directive
+	var diags []lint.Diagnostic
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) < 2 {
+					diags = append(diags, lint.Errorf(pos.Filename, pos.Line, pos.Column,
+						"admvet", "malformed-allow",
+						"malformed directive: want //admvet:allow <analyzer> <reason>"))
+					continue
+				}
+				if !known[fields[0]] {
+					diags = append(diags, lint.Errorf(pos.Filename, pos.Line, pos.Column,
+						"admvet", "unknown-analyzer",
+						"//admvet:allow names unknown analyzer %q", fields[0]))
+					continue
+				}
+				dirs = append(dirs, &directive{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// applyDirectives filters raw diagnostics through the directives,
+// marking each directive that suppressed at least one finding.
+func applyDirectives(dirs []*directive, raw []lint.Diagnostic) []lint.Diagnostic {
+	if len(dirs) == 0 {
+		return raw
+	}
+	var kept []lint.Diagnostic
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer != d.Analyzer || dir.pos.Filename != d.File {
+				continue
+			}
+			if d.Line == dir.pos.Line || d.Line == dir.pos.Line+1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,786 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flow.go is the structured-control-flow walker shared by the
+// pairing analyzers (pinpair, batchrelease, latchorder). It abstract-
+// interprets function bodies over Go's structured statements — no CFG
+// construction — tracking a may-held set of resources (pins, pooled
+// batches, latches):
+//
+//   - branch joins union the arms, so a resource live on ANY path into
+//     a return is reported (exactly the leak definition);
+//   - error-result variables refine branches: `if err != nil` can only
+//     be entered when the acquire failed, so the resource is dropped
+//     from the then-arm (and dually for == nil and errors.Is);
+//   - defer is recognised as whole-function coverage;
+//   - continue inside the acquiring loop is a leak site of its own;
+//   - function literals are analyzed as independent units (the walker
+//     does not descend), matching how worker bodies own their
+//     resources;
+//   - goto bails out of leak reporting for the function — conservative
+//     silence beats a false positive (no engine code uses goto).
+
+// resource is one live obligation: something acquired that must be
+// released before the function escapes.
+type resource struct {
+	key       string       // release-matching key
+	pos       token.Pos    // acquire site (diagnostics anchor here)
+	what      string       // human description ("pin of page id", ...)
+	errVar    types.Object // error result of the acquire; non-nil err ⇒ not acquired
+	val       types.Object // value result (ownership-transfer analyses)
+	level     int          // latch level (latchorder)
+	deferred  bool         // a deferred release covers it
+	loopDepth int          // loop nesting at the acquire site
+	reported  bool         // dedupe across merged paths
+}
+
+// flowState is the may-held resource set along one path.
+type flowState struct {
+	live []*resource
+}
+
+func (s *flowState) clone() *flowState {
+	return &flowState{live: append([]*resource(nil), s.live...)}
+}
+
+func (s *flowState) add(r *resource) { s.live = append(s.live, r) }
+
+func (s *flowState) remove(target *resource) {
+	out := s.live[:0]
+	for _, r := range s.live {
+		if r != target {
+			out = append(out, r)
+		}
+	}
+	s.live = out
+}
+
+func (s *flowState) removeKey(key string, markDeferred bool) {
+	out := s.live[:0]
+	for _, r := range s.live {
+		if r.key == key {
+			if markDeferred {
+				r.deferred = true
+				out = append(out, r)
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	s.live = out
+}
+
+// union merges path states: a resource is live after a join if it is
+// live on any incoming path.
+func union(states ...*flowState) *flowState {
+	merged := &flowState{}
+	seen := map[*resource]bool{}
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		for _, r := range st.live {
+			if !seen[r] {
+				seen[r] = true
+				merged.add(r)
+			}
+		}
+	}
+	return merged
+}
+
+// flowConfig parameterises the walker per analyzer.
+type flowConfig struct {
+	pass *Pass
+	// acquire inspects a call (lhs = assignment targets, may be nil)
+	// and returns a new obligation, or nil. live is the current
+	// may-held set (latchorder checks ordering here).
+	acquire func(call *ast.CallExpr, lhs []ast.Expr, live []*resource) *resource
+	// releaseKey returns the key a call releases, or "".
+	releaseKey func(call *ast.CallExpr) string
+	// onCall, if set, is invoked for every call expression reached
+	// with a non-empty live set (minus deferred-released resources
+	// when deferKeepsHeld is false).
+	onCall func(call *ast.CallExpr, live []*resource)
+	// onChan, if set, is invoked for channel operations and selects
+	// reached with a non-empty live set.
+	onChan func(pos token.Pos, op string, live []*resource)
+	// transferValues enables ownership transfer: returning, storing,
+	// or sending the resource's value ends the obligation.
+	transferValues bool
+	// deferKeepsHeld: a deferred release keeps the resource in the
+	// live set (latches stay held until return; they are only exempt
+	// from leak reports). When false a deferred release discharges
+	// the obligation entirely.
+	deferKeepsHeld bool
+	// reportLeaks enables live-at-escape reporting.
+	reportLeaks bool
+	leakCode    string
+}
+
+// runFlow applies the config to every function body in the package.
+func runFlow(cfg *flowConfig) {
+	for _, f := range cfg.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				w := &flowWalker{cfg: cfg}
+				st := &flowState{}
+				if !w.block(body.List, st) {
+					w.escape(body.Rbrace, st, "function end")
+				}
+				w.flush()
+			}
+			return true
+		})
+	}
+}
+
+type flowWalker struct {
+	cfg       *flowConfig
+	loopDepth int
+	breaks    []*flowState // break-state accumulator per enclosing loop
+	reports   []func()
+	bailed    bool // goto seen: suppress leak reports
+}
+
+func (w *flowWalker) flush() {
+	if w.bailed {
+		return
+	}
+	for _, r := range w.reports {
+		r()
+	}
+}
+
+// escape records leak reports for resources live at a path exit.
+func (w *flowWalker) escape(at token.Pos, st *flowState, how string) {
+	if !w.cfg.reportLeaks {
+		return
+	}
+	line := w.cfg.pass.Position(at).Line
+	for _, r := range st.live {
+		if r.deferred || r.reported {
+			continue
+		}
+		r.reported = true
+		r := r
+		w.reports = append(w.reports, func() {
+			w.cfg.pass.Reportf(r.pos, w.cfg.leakCode,
+				"%s is not released on the path escaping via %s at line %d", r.what, how, line)
+		})
+	}
+}
+
+// block walks a statement list; true means every path terminated
+// (returned, panicked, or branched away).
+func (w *flowWalker) block(list []ast.Stmt, st *flowState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, st *flowState) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.scanOps(s, st)
+		if w.cfg.transferValues && !allBlank(s.Lhs) {
+			w.transferScan(s.Rhs, st)
+		}
+		w.invalidateErrVars(s, st)
+		if len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				w.handleCall(call, s.Lhs, st)
+			}
+		}
+
+	case *ast.DeclStmt:
+		w.scanOps(s, st)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 1 {
+					continue
+				}
+				if call, ok := vs.Values[0].(*ast.CallExpr); ok {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					w.handleCall(call, lhs, st)
+				}
+			}
+		}
+
+	case *ast.ExprStmt:
+		w.scanOps(s, st)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isPanic(w.cfg.pass, call) {
+				return true
+			}
+			w.handleCall(call, nil, st)
+		}
+
+	case *ast.DeferStmt:
+		w.deferredRelease(s.Call, st)
+
+	case *ast.ReturnStmt:
+		w.scanOps(s, st)
+		if w.cfg.transferValues {
+			w.transferScan(s.Results, st)
+		}
+		w.escape(s.Pos(), st, "return")
+		return true
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.CONTINUE:
+			w.continueLeaks(s, st)
+			return true
+		case token.BREAK:
+			if n := len(w.breaks); n > 0 {
+				w.breaks[n-1] = union(w.breaks[n-1], st)
+			}
+			return true
+		case token.GOTO:
+			w.bailed = true
+			return true
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanOps(s.Cond, st)
+		thenSt, elseSt := st.clone(), st.clone()
+		w.refine(s.Cond, thenSt, elseSt)
+		tTerm := w.block(s.Body.List, thenSt)
+		eTerm := false
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				eTerm = w.block(blk.List, elseSt)
+			} else {
+				eTerm = w.stmt(s.Else, elseSt)
+			}
+		}
+		switch {
+		case tTerm && eTerm:
+			return true
+		case tTerm:
+			*st = *elseSt
+		case eTerm:
+			*st = *thenSt
+		default:
+			*st = *union(thenSt, elseSt)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanOps(s.Cond, st)
+		}
+		w.loopDepth++
+		w.breaks = append(w.breaks, nil)
+		bodySt := st.clone()
+		bodyTerm := w.block(s.Body.List, bodySt)
+		if s.Post != nil && !bodyTerm {
+			w.stmt(s.Post, bodySt)
+		}
+		breakSt := w.breaks[len(w.breaks)-1]
+		w.breaks = w.breaks[:len(w.breaks)-1]
+		w.loopDepth--
+		if s.Cond == nil {
+			// for{}: only break exits. No break and a terminated body
+			// means nothing falls through.
+			if breakSt == nil {
+				return true
+			}
+			*st = *breakSt
+		} else {
+			after := []*flowState{st, breakSt}
+			if !bodyTerm {
+				after = append(after, bodySt)
+			}
+			*st = *union(after...)
+		}
+
+	case *ast.RangeStmt:
+		w.scanOps(s.X, st)
+		w.loopDepth++
+		w.breaks = append(w.breaks, nil)
+		bodySt := st.clone()
+		bodyTerm := w.block(s.Body.List, bodySt)
+		breakSt := w.breaks[len(w.breaks)-1]
+		w.breaks = w.breaks[:len(w.breaks)-1]
+		w.loopDepth--
+		after := []*flowState{st, breakSt}
+		if !bodyTerm {
+			after = append(after, bodySt)
+		}
+		*st = *union(after...)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanOps(s.Tag, st)
+		}
+		return w.clauses(s.Body.List, st, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		return w.clauses(s.Body.List, st, false)
+
+	case *ast.SelectStmt:
+		if w.cfg.onChan != nil && len(w.activeLive(st)) > 0 {
+			w.cfg.onChan(s.Pos(), "select", w.activeLive(st))
+		}
+		return w.clauses(s.Body.List, st, true)
+
+	case *ast.SendStmt:
+		if w.cfg.onChan != nil && len(w.activeLive(st)) > 0 {
+			w.cfg.onChan(s.Arrow, "channel send", w.activeLive(st))
+		}
+		if w.cfg.transferValues {
+			w.transferScan([]ast.Expr{s.Value}, st)
+		}
+
+	case *ast.GoStmt:
+		// The goroutine body is analyzed as its own unit; passing a
+		// tracked value into it transfers ownership.
+		if w.cfg.transferValues {
+			w.transferScan(s.Call.Args, st)
+		}
+
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	default:
+		w.scanOps(s, st)
+	}
+	return false
+}
+
+// clauses walks switch/select case bodies from a shared entry state
+// and unions the arms. commBlocks means clause-level comm statements
+// (select) are walked as statements first.
+func (w *flowWalker) clauses(list []ast.Stmt, st *flowState, comm bool) bool {
+	var ends []*flowState
+	hasDefault := false
+	allTerm := true
+	for _, c := range list {
+		var body []ast.Stmt
+		cSt := st.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.scanOps(e, cSt)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(c.Comm, cSt)
+			}
+			body = c.Body
+		}
+		if w.block(body, cSt) {
+			continue
+		}
+		allTerm = false
+		ends = append(ends, cSt)
+	}
+	if !hasDefault && !comm {
+		// A value switch without default can match nothing.
+		ends = append(ends, st)
+		allTerm = false
+	}
+	if allTerm && len(list) > 0 {
+		return true
+	}
+	*st = *union(ends...)
+	return false
+}
+
+// handleCall applies release then acquire semantics for one call.
+func (w *flowWalker) handleCall(call *ast.CallExpr, lhs []ast.Expr, st *flowState) {
+	if w.cfg.releaseKey != nil {
+		if key := w.cfg.releaseKey(call); key != "" {
+			st.removeKey(key, false)
+			return
+		}
+	}
+	if w.cfg.acquire == nil {
+		return
+	}
+	r := w.cfg.acquire(call, lhs, st.live)
+	if r == nil {
+		return
+	}
+	// Acquire straight into long-lived state (a.buf = GetBatch())
+	// transfers ownership at birth.
+	if w.cfg.transferValues && len(lhs) > 0 {
+		if _, isIdent := lhs[0].(*ast.Ident); !isIdent {
+			return
+		}
+	}
+	r.loopDepth = w.loopDepth
+	st.add(r)
+}
+
+// deferredRelease handles `defer release(...)` and
+// `defer func(){ release(...) }()`.
+func (w *flowWalker) deferredRelease(call *ast.CallExpr, st *flowState) {
+	if w.cfg.releaseKey == nil {
+		return
+	}
+	if key := w.cfg.releaseKey(call); key != "" {
+		st.removeKey(key, w.cfg.deferKeepsHeld)
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				if key := w.cfg.releaseKey(inner); key != "" {
+					st.removeKey(key, w.cfg.deferKeepsHeld)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// continueLeaks reports resources acquired inside the loop being
+// continued: the next iteration re-acquires without releasing.
+func (w *flowWalker) continueLeaks(s *ast.BranchStmt, st *flowState) {
+	if !w.cfg.reportLeaks {
+		return
+	}
+	line := w.cfg.pass.Position(s.Pos()).Line
+	for _, r := range st.live {
+		if r.deferred || r.reported || r.loopDepth < w.loopDepth {
+			continue
+		}
+		r.reported = true
+		r := r
+		w.reports = append(w.reports, func() {
+			w.cfg.pass.Reportf(r.pos, w.cfg.leakCode,
+				"%s is not released before the continue at line %d — the next iteration acquires again", r.what, line)
+		})
+	}
+}
+
+// invalidateErrVars drops error-variable refinement for resources
+// whose error result is reassigned: after `slot, err := other()`, the
+// truth of `err != nil` says nothing about the original acquire.
+func (w *flowWalker) invalidateErrVars(s *ast.AssignStmt, st *flowState) {
+	for _, l := range s.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.cfg.pass.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		for _, r := range st.live {
+			if r.errVar == obj {
+				r.errVar = nil
+			}
+		}
+	}
+}
+
+// refine narrows branch states using acquire-error polarity:
+// `err != nil` entering the then-branch means the acquire failed, so
+// the obligation cannot be live there.
+func (w *flowWalker) refine(cond ast.Expr, thenSt, elseSt *flowState) {
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		w.refine(c.X, thenSt, elseSt)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			w.refine(c.X, elseSt, thenSt)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			// Both operands are true in the then-branch; the
+			// else-branch learns nothing.
+			w.refine(c.X, thenSt, nil)
+			w.refine(c.Y, thenSt, nil)
+		case token.LOR:
+			// Both operands are false in the else-branch.
+			w.refine(c.X, nil, elseSt)
+			w.refine(c.Y, nil, elseSt)
+		case token.NEQ:
+			if obj := errOperand(w.cfg.pass, c.X, c.Y); obj != nil {
+				dropErrResource(thenSt, obj)
+			}
+		case token.EQL:
+			if obj := errOperand(w.cfg.pass, c.X, c.Y); obj != nil {
+				dropErrResource(elseSt, obj)
+			}
+		}
+	case *ast.CallExpr:
+		// errors.Is(err, X) true implies err != nil.
+		if obj := errorsIsOperand(w.cfg.pass, c); obj != nil {
+			dropErrResource(thenSt, obj)
+		}
+	}
+}
+
+func dropErrResource(st *flowState, obj types.Object) {
+	if st == nil {
+		return
+	}
+	out := st.live[:0]
+	for _, r := range st.live {
+		if r.errVar == obj {
+			continue
+		}
+		out = append(out, r)
+	}
+	st.live = out
+}
+
+// errOperand returns the object of an `x` in `x op nil` / `nil op x`.
+func errOperand(pass *Pass, x, y ast.Expr) types.Object {
+	if isNil(pass, y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return pass.ObjectOf(id)
+		}
+	}
+	if isNil(pass, x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return pass.ObjectOf(id)
+		}
+	}
+	return nil
+}
+
+// errorsIsOperand returns the object of err in errors.Is(err, …).
+func errorsIsOperand(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Is" || len(call.Args) < 1 {
+		return nil
+	}
+	if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "errors" {
+		return nil
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		return pass.ObjectOf(id)
+	}
+	return nil
+}
+
+func isNil(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.ObjectOf(id).(*types.Nil)
+	return isNilObj
+}
+
+func isPanic(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// activeLive filters out deferred-released resources (already covered
+// obligations are exempt from point checks only in analyses where the
+// deferred release has discharged them; latchorder keeps them).
+func (w *flowWalker) activeLive(st *flowState) []*resource {
+	return st.live
+}
+
+// scanOps runs the point-check callbacks (onCall, onChan) over every
+// call and channel receive inside n, skipping nested function
+// literals (independent units).
+func (w *flowWalker) scanOps(n ast.Node, st *flowState) {
+	if w.cfg.onCall == nil && w.cfg.onChan == nil {
+		return
+	}
+	live := w.activeLive(st)
+	if len(live) == 0 {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if w.cfg.onCall != nil {
+				w.cfg.onCall(x, live)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && w.cfg.onChan != nil {
+				w.cfg.onChan(x.Pos(), "channel receive", live)
+			}
+		}
+		return true
+	})
+}
+
+// transferScan removes obligations whose value escapes by being a
+// direct return/assign/send operand or a composite-literal element.
+// Plain argument passing is a borrow, not a transfer (NextBatch(b)
+// refills the caller's batch), so it does not discharge.
+func (w *flowWalker) transferScan(exprs []ast.Expr, st *flowState) {
+	for _, e := range exprs {
+		w.transferExpr(e, st)
+	}
+}
+
+func (w *flowWalker) transferExpr(e ast.Expr, st *flowState) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := w.cfg.pass.ObjectOf(e)
+		if obj == nil {
+			return
+		}
+		for _, r := range st.live {
+			if r.val != nil && r.val == obj {
+				st.remove(r)
+				return
+			}
+		}
+	case *ast.ParenExpr:
+		w.transferExpr(e.X, st)
+	case *ast.UnaryExpr:
+		w.transferExpr(e.X, st)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				w.transferExpr(kv.Value, st)
+			} else {
+				w.transferExpr(elt, st)
+			}
+		}
+	}
+}
+
+// allBlank reports whether every assignment target is the blank
+// identifier (a `_ = b` keep-alive is not an ownership transfer).
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// --- shared type helpers -------------------------------------------------
+
+// namedTypeName returns the name of e's (pointer-stripped) named type,
+// or "".
+func namedTypeName(pass *Pass, e ast.Expr) string {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// methodCall decomposes a call of the form recv.Name(args) and
+// returns the receiver expression, or nil if the call is not a
+// selector call with that method name.
+func methodCall(call *ast.CallExpr, name string) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	return sel.X
+}
+
+// calleeName returns the (possibly package-qualified) simple name a
+// call invokes, for matching free functions like GetBatch.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if _, ok := f.X.(*ast.Ident); ok {
+			return f.Sel.Name
+		}
+	}
+	return ""
+}
+
+// isFuncValueCall reports whether call invokes a function value (a
+// parameter, local, or struct field of function or *function type)
+// rather than a declared function, method, conversion, or builtin.
+func isFuncValueCall(pass *Pass, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	deref := false
+	if star, ok := fun.(*ast.StarExpr); ok {
+		fun = ast.Unparen(star.X)
+		deref = true
+	}
+	isSig := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if deref {
+			p, ok := t.Underlying().(*types.Pointer)
+			if !ok {
+				return false
+			}
+			t = p.Elem()
+		}
+		_, ok := t.Underlying().(*types.Signature)
+		return ok
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		v, ok := pass.ObjectOf(f).(*types.Var)
+		return ok && isSig(v.Type())
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[f]; ok {
+			return sel.Kind() == types.FieldVal && isSig(sel.Type())
+		}
+	}
+	return false
+}

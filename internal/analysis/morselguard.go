@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Morselguard enforces panic containment at morsel boundaries: in
+// packages that define containPanic, every goroutine is launched as a
+// function literal whose body defers containPanic before doing any
+// work, and any WaitGroup.Done defer is registered before it. The
+// ordering matters because defers run LIFO: Done deferred after
+// containPanic would run first on a panic, releasing the barrier
+// before the failure is latched into the fail flag — the exact race
+// the parallel operators' serial-replay tests exist to catch.
+var Morselguard = &Analyzer{
+	Name: "morselguard",
+	Doc:  "parallel-executor goroutines defer containPanic before any work, with Done deferred first",
+	Run:  runMorselguard,
+}
+
+func runMorselguard(pass *Pass) {
+	if pass.Pkg == nil || pass.Pkg.Scope().Lookup("containPanic") == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(g.Pos(), "unguarded-worker",
+					"goroutine is not a contained worker literal — wrap the body in func(){ defer containPanic(...) ... }")
+				return true
+			}
+			checkWorker(pass, g, lit)
+			return true
+		})
+	}
+}
+
+func checkWorker(pass *Pass, g *ast.GoStmt, lit *ast.FuncLit) {
+	guarded := false
+	for _, s := range lit.Body.List {
+		d, ok := s.(*ast.DeferStmt)
+		if !ok {
+			// First non-defer statement: the guard must already be
+			// registered, or work can panic uncontained.
+			break
+		}
+		if calleeName(d.Call) == "containPanic" {
+			if guarded {
+				continue
+			}
+			guarded = true
+			continue
+		}
+		if guarded && methodCall(d.Call, "Done") != nil && namedTypeName(pass, methodCall(d.Call, "Done")) == "WaitGroup" {
+			pass.Reportf(d.Pos(), "barrier-order",
+				"WaitGroup.Done is deferred after containPanic — defers run LIFO, so Done would release the barrier before the panic is latched; defer Done first")
+		}
+	}
+	if !guarded {
+		pass.Reportf(g.Pos(), "unguarded-worker",
+			"worker body does not defer containPanic before its first statement — a panic here escapes the morsel boundary")
+	}
+}

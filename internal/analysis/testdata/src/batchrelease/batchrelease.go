@@ -1,0 +1,76 @@
+// Package batchrelease is the golden fixture for the batchrelease
+// analyzer: pooled batches must be PutBatch-ed or ownership-
+// transferred on every path.
+package batchrelease
+
+type Tuple []int
+
+type Batch struct{ Tuples []Tuple }
+
+func GetBatch() *Batch  { return &Batch{} }
+func PutBatch(b *Batch) {}
+
+type sink struct{ buf *Batch }
+
+func (s *sink) Close() {
+	if s.buf != nil {
+		PutBatch(s.buf)
+		s.buf = nil
+	}
+}
+
+// leakOnPath forgets the put on the early return.
+func leakOnPath(n int) {
+	b := GetBatch() // want "is not released on the path"
+	if n > 0 {
+		return
+	}
+	PutBatch(b)
+}
+
+// discard drops the pooled value outright.
+func discard() {
+	GetBatch() // want "result of GetBatch is discarded"
+}
+
+// leakAtContinue re-acquires each iteration without releasing.
+func leakAtContinue(ns []int) {
+	for _, n := range ns {
+		b := GetBatch() // want "before the continue"
+		if n == 0 {
+			continue
+		}
+		PutBatch(b)
+	}
+}
+
+// cleanDefer is the worker shape.
+func cleanDefer() {
+	b := GetBatch()
+	defer PutBatch(b)
+	b.Tuples = b.Tuples[:0]
+}
+
+// transferReturn hands ownership to the caller.
+func transferReturn() *Batch {
+	b := GetBatch()
+	b.Tuples = b.Tuples[:0]
+	return b
+}
+
+// transferField stores into long-lived state that Close releases.
+func (s *sink) fill() {
+	s.buf = GetBatch()
+}
+
+// transferLit moves the batch into a struct the callee owns.
+func transferLit() *sink {
+	b := GetBatch()
+	return &sink{buf: b}
+}
+
+// allowArena retires a batch with its arena on purpose.
+func allowArena() {
+	b := GetBatch() //admvet:allow batchrelease scratch batch retires with the query arena, never returns to the pool
+	_ = b
+}

@@ -1,0 +1,18 @@
+// Package directives is the golden fixture for the //admvet:allow
+// directive machinery itself: malformed and unknown-analyzer
+// directives are diagnostics, and a directive that suppresses nothing
+// is dead weight that must be flagged. The `// want-above` marker
+// binds an expectation to the preceding line, since these findings
+// anchor on the directive comments themselves.
+package directives
+
+//admvet:allow
+// want-above "malformed directive"
+
+//admvet:allow nosuchanalyzer some reason
+// want-above "unknown analyzer"
+
+//admvet:allow pinpair believed load-bearing but covers nothing
+// want-above "suppresses nothing"
+
+func nothing() {}

@@ -1,0 +1,84 @@
+// Package latchorder is the golden fixture for the latchorder
+// analyzer: stub types carrying the hierarchy's names, with ordered
+// and inverted acquisitions, latches held across blocking operations,
+// and an //admvet:allow durability-barrier case.
+package latchorder
+
+import "sync"
+
+type Catalog struct{ mu sync.RWMutex }
+
+type Table struct{ mu sync.RWMutex }
+
+type Page struct{ mu sync.RWMutex }
+
+type disk struct{}
+
+func (disk) Sync() error { return nil }
+
+type WAL struct {
+	mu   sync.Mutex
+	disk disk
+}
+
+// inversion acquires the catalog latch under the table latch.
+func inversion(c *Catalog, t *Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.mu.Lock() // want "inverts the latch hierarchy"
+	c.mu.Unlock()
+}
+
+// ordered nests correctly: catalog strictly before table.
+func ordered(c *Catalog, t *Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+// sendUnderLatch blocks on a channel while latched.
+func sendUnderLatch(p *Page, ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch <- 1 // want "held across a channel send"
+}
+
+// fsyncUnderLatch stalls every WAL contender behind the disk.
+func fsyncUnderLatch(w *WAL) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.disk.Sync() // want "held across"
+}
+
+// callbackUnderLatch runs opaque code under an engine latch.
+func callbackUnderLatch(p *Page, fn func()) {
+	p.mu.Lock()
+	fn() // want "opaque function value"
+	p.mu.Unlock()
+}
+
+// leakLatch forgets the unlock on the early return.
+func leakLatch(t *Table, n int) {
+	t.mu.Lock() // want "is not released"
+	if n > 0 {
+		return
+	}
+	t.mu.Unlock()
+}
+
+// readThenWrite reacquiring after release is not a violation.
+func readThenWrite(t *Table) {
+	t.mu.RLock()
+	t.mu.RUnlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// allowFsync is the append+fsync durability barrier.
+func allowFsync(w *WAL) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	//admvet:allow latchorder the serialised fsync under the WAL latch is the durability contract
+	return w.disk.Sync()
+}

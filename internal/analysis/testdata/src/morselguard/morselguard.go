@@ -1,0 +1,62 @@
+// Package morselguard is the golden fixture for the morselguard
+// analyzer: goroutines in packages defining containPanic must defer
+// it before any work, with WaitGroup.Done deferred first.
+package morselguard
+
+import "sync"
+
+type failFlag struct{}
+
+func containPanic(f *failFlag, worker int, phase string) {}
+
+func work() {}
+
+// guarded is the canonical morsel-worker shape: Done registered
+// first so it runs last, after the panic is latched.
+func guarded(wg *sync.WaitGroup, fail *failFlag) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer containPanic(fail, 0, "scan")
+		work()
+	}()
+}
+
+// unguarded launches raw work: a panic escapes the morsel boundary.
+func unguarded() {
+	go func() { // want "does not defer containPanic"
+		work()
+	}()
+}
+
+// notALiteral cannot be checked for containment.
+func notALiteral() {
+	go work() // want "not a contained worker literal"
+}
+
+// lateGuard registers the guard after work has already started.
+func lateGuard(fail *failFlag) {
+	go func() { // want "does not defer containPanic"
+		work()
+		defer containPanic(fail, 0, "probe")
+	}()
+}
+
+// doneAfterGuard would release the barrier before the failure is
+// latched: defers run LIFO, so Done must be registered first.
+func doneAfterGuard(wg *sync.WaitGroup, fail *failFlag) {
+	wg.Add(1)
+	go func() {
+		defer containPanic(fail, 0, "probe")
+		defer wg.Done() // want "Done is deferred after containPanic"
+		work()
+	}()
+}
+
+// allowDetached is a fire-and-forget monitor, not a morsel worker.
+func allowDetached() {
+	//admvet:allow morselguard monitor goroutine is detached from any morsel barrier by design
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,99 @@
+// Package pinpair is the golden fixture for the pinpair analyzer:
+// stub engine types with the real names, positive cases annotated
+// with want-expectations, clean cases that must stay silent, and an
+// allow-directive case proving suppression works.
+package pinpair
+
+import "errors"
+
+type PageID uint32
+
+type Page struct{}
+
+func (p *Page) Slots() int { return 0 }
+
+type BufferManager struct{}
+
+func (b *BufferManager) GetPage(id PageID) (*Page, error) { return nil, nil }
+func (b *BufferManager) Unpin(id PageID)                  {}
+
+var errBad = errors.New("bad")
+
+// leakOnError forgets the unpin on the mid-function error return.
+func leakOnError(bm *BufferManager, id PageID) error {
+	p, err := bm.GetPage(id) // want "pin of page id is not released"
+	if err != nil {
+		return err
+	}
+	if p.Slots() == 0 {
+		return errBad
+	}
+	bm.Unpin(id)
+	return nil
+}
+
+// leakAtContinue re-acquires the next iteration without releasing.
+func leakAtContinue(bm *BufferManager, ids []PageID) {
+	for _, id := range ids {
+		p, err := bm.GetPage(id) // want "before the continue"
+		if err != nil {
+			return
+		}
+		if p.Slots() == 0 {
+			continue
+		}
+		bm.Unpin(id)
+	}
+}
+
+// callbackUnderPin holds a non-deferred pin across caller code.
+func callbackUnderPin(bm *BufferManager, id PageID, fn func() bool) {
+	p, err := bm.GetPage(id)
+	if err != nil {
+		return
+	}
+	_ = p
+	fn() // want "held across a call to an opaque function value"
+	bm.Unpin(id)
+}
+
+// cleanDefer is the canonical shape: defer covers every path,
+// including a panicking callback.
+func cleanDefer(bm *BufferManager, id PageID, fn func() bool) error {
+	p, err := bm.GetPage(id)
+	if err != nil {
+		return err
+	}
+	defer bm.Unpin(id)
+	if p.Slots() == 0 {
+		return errBad
+	}
+	fn()
+	return nil
+}
+
+// cleanBranches releases explicitly on every path, with errors.Is
+// refinement on the quarantine skip.
+func cleanBranches(bm *BufferManager, ids []PageID) error {
+	for _, id := range ids {
+		p, err := bm.GetPage(id)
+		if errors.Is(err, errBad) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if p.Slots() < 0 {
+			bm.Unpin(id)
+			return errBad
+		}
+		bm.Unpin(id)
+	}
+	return nil
+}
+
+// allowEscape hands the pinned page to the caller by contract.
+func allowEscape(bm *BufferManager, id PageID) (*Page, error) {
+	p, err := bm.GetPage(id) //admvet:allow pinpair caller receives the page pinned and owns the unpin
+	return p, err
+}

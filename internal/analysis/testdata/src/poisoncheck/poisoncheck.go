@@ -1,0 +1,91 @@
+// Package poisoncheck is the golden fixture for the poisoncheck
+// analyzer: WAL/page-file errors must propagate, iterator Close
+// errors must not be discarded.
+package poisoncheck
+
+import "errors"
+
+type WAL struct{}
+
+func (w *WAL) Append(payload []byte) (uint64, error) { return 0, nil }
+func (w *WAL) Sync() error                           { return nil }
+
+type PageFile struct{}
+
+func (f *PageFile) WritePage(id uint32, b []byte) error { return nil }
+
+type Iterator interface {
+	Open() error
+	Close() error
+}
+
+// discarded drops the append error on the floor.
+func discarded(w *WAL) {
+	w.Append(nil) // want "error from WAL.Append is discarded"
+}
+
+// blankAssign discards it through the blank identifier.
+func blankAssign(w *WAL) uint64 {
+	lsn, _ := w.Append(nil) // want "error from WAL.Append is discarded"
+	return lsn
+}
+
+// swallowed observes the error but the path returns success anyway.
+func swallowed(w *WAL) bool {
+	_, err := w.Append(nil) // want "tested but never propagated"
+	if err != nil {
+		return false
+	}
+	return true
+}
+
+// ignored captures the error into a variable that is never used.
+func ignored(f *PageFile) {
+	err := f.WritePage(0, nil) // want "captured but never used"
+	_ = err
+}
+
+// propagated returns the observation: the spine stays intact.
+func propagated(w *WAL) error {
+	_, err := w.Append(nil)
+	if err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// wrapped feeds the error to a poisoning helper.
+func wrapped(w *WAL, fail func(error) error) error {
+	_, err := w.Append(nil)
+	if err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// closeDiscard drops an iterator Close error via bare defer.
+func closeDiscard(it Iterator) error {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	defer it.Close() // want "Close error"
+	return nil
+}
+
+// closeJoined captures the Close error into the named return.
+func closeJoined(it Iterator) (err error) {
+	if err := it.Open(); err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, it.Close()) }()
+	return nil
+}
+
+// allowTornTail treats a failed read as end-of-log by design.
+func allowTornTail(w *WAL) bool {
+	_, err := w.Append(nil) //admvet:allow poisoncheck a torn tail record terminates the redo scan by design
+	if err != nil {
+		return false
+	}
+	return true
+}

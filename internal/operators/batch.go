@@ -16,6 +16,7 @@
 package operators
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -70,22 +71,19 @@ type BatchIterator interface {
 }
 
 // DrainBatches runs a BatchIterator to completion and returns all
-// tuples (test/verification convenience).
-func DrainBatches(bi BatchIterator) ([]storage.Tuple, error) {
+// tuples (test/verification convenience). Close errors are joined
+// with the drain error, not discarded.
+func DrainBatches(bi BatchIterator) (out []storage.Tuple, err error) {
 	if err := bi.Open(); err != nil {
 		return nil, err
 	}
-	defer bi.Close()
-	var out []storage.Tuple
+	defer func() { err = errors.Join(err, bi.Close()) }()
 	b := GetBatch()
 	defer PutBatch(b)
 	for {
-		n, err := bi.NextBatch(b)
-		if err != nil {
-			return out, err
-		}
-		if n == 0 {
-			return out, nil
+		n, nerr := bi.NextBatch(b)
+		if nerr != nil || n == 0 {
+			return out, nerr
 		}
 		out = append(out, b.Tuples...)
 	}

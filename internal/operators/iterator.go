@@ -34,39 +34,33 @@ type Iterator interface {
 // ErrNotOpen is returned by Next on an unopened iterator.
 var ErrNotOpen = errors.New("operators: iterator not open")
 
-// Drain runs an iterator to completion and returns all tuples.
-func Drain(it Iterator) ([]storage.Tuple, error) {
+// Drain runs an iterator to completion and returns all tuples. Close
+// errors surface deferred storage failures, so they are joined with
+// the drain error rather than discarded.
+func Drain(it Iterator) (out []storage.Tuple, err error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
-	defer it.Close()
-	var out []storage.Tuple
+	defer func() { err = errors.Join(err, it.Close()) }()
 	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return out, err
-		}
-		if !ok {
-			return out, nil
+		t, ok, nerr := it.Next()
+		if nerr != nil || !ok {
+			return out, nerr
 		}
 		out = append(out, t)
 	}
 }
 
 // Count runs an iterator to completion and returns the tuple count.
-func Count(it Iterator) (int, error) {
+func Count(it Iterator) (n int, err error) {
 	if err := it.Open(); err != nil {
 		return 0, err
 	}
-	defer it.Close()
-	n := 0
+	defer func() { err = errors.Join(err, it.Close()) }()
 	for {
-		_, ok, err := it.Next()
-		if err != nil {
-			return n, err
-		}
-		if !ok {
-			return n, nil
+		_, ok, nerr := it.Next()
+		if nerr != nil || !ok {
+			return n, nerr
 		}
 		n++
 	}

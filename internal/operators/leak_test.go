@@ -14,6 +14,7 @@ package operators
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"github.com/adm-project/adm/internal/storage"
@@ -70,8 +71,12 @@ func (a *auditIter) balanced() bool {
 	return a.closes == owed
 }
 
-// auditBatch is the batch-native counterpart of auditIter.
+// auditBatch is the batch-native counterpart of auditIter. Unlike
+// auditIter it is handed directly to the parallel exchange as a
+// BatchSource, so — like the real morsel sources — it must serialise
+// itself against concurrent worker claims.
 type auditBatch struct {
+	mu        sync.Mutex
 	rows      []storage.Tuple
 	failOpen  bool
 	failAfter int // error once this many rows were served; <0 = never
@@ -83,6 +88,8 @@ type auditBatch struct {
 }
 
 func (a *auditBatch) Open() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.opens++
 	if a.failOpen {
 		return errBoom
@@ -92,6 +99,8 @@ func (a *auditBatch) Open() error {
 }
 
 func (a *auditBatch) NextBatch(b *Batch) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if !a.open {
 		return 0, ErrNotOpen
 	}
@@ -110,9 +119,17 @@ func (a *auditBatch) NextBatch(b *Batch) (int, error) {
 	return b.Len(), nil
 }
 
-func (a *auditBatch) Close() error { a.closes++; a.open = false; return nil }
+func (a *auditBatch) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closes++
+	a.open = false
+	return nil
+}
 
 func (a *auditBatch) balanced() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	owed := a.opens
 	if a.failOpen {
 		owed = 0

@@ -225,12 +225,13 @@ func (m *IterBatches) NextBatch(b *Batch) (int, error) {
 		t, ok, err := m.it.Next()
 		if err != nil {
 			m.done = true
-			m.it.Close()
-			return 0, err
+			return 0, errors.Join(err, m.it.Close())
 		}
 		if !ok {
 			m.done = true
-			m.it.Close()
+			if cerr := m.it.Close(); cerr != nil {
+				return 0, cerr
+			}
 			break
 		}
 		b.Tuples = append(b.Tuples, t)

@@ -33,6 +33,7 @@
 package operators
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"sync"
@@ -607,7 +608,7 @@ func NewTopK(in Iterator, col int, desc bool, k int) *TopK {
 
 // Open implements Iterator. K <= 0 short-circuits without consuming
 // the input (LIMIT 0 does no work).
-func (t *TopK) Open() error {
+func (t *TopK) Open() (err error) {
 	t.buf, t.pos, t.open = nil, 0, true
 	if t.K <= 0 {
 		return nil
@@ -615,7 +616,7 @@ func (t *TopK) Open() error {
 	if err := t.In.Open(); err != nil {
 		return err
 	}
-	defer t.In.Close()
+	defer func() { err = errors.Join(err, t.In.Close()) }()
 	h := &topKHeap{k: t.K, desc: t.Desc}
 	for {
 		tu, ok, err := t.In.Next()

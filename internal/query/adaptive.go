@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/adm-project/adm/internal/operators"
@@ -104,8 +105,7 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 	for {
 		t, ok, err := buildIt.Next()
 		if err != nil {
-			buildIt.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, buildIt.Close())
 		}
 		if !ok {
 			break
@@ -124,7 +124,9 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 	if !violated {
 		// Statistics held: finish the static plan, reusing the
 		// materialised build side.
-		buildIt.Close()
+		if cerr := buildIt.Close(); cerr != nil {
+			return nil, nil, cerr
+		}
 		join := operators.NewHashJoin(operators.NewMemScan(consumed), mustBuild(probe), buildCol, probeCol)
 		rep.PeakHashRows = len(consumed)
 		it := normalise(join, buildIsLeft, len(leftScan.sch), len(rightScan.sch))
@@ -342,9 +344,5 @@ func (c *concatIterator) Next() (storage.Tuple, bool, error) {
 
 func (c *concatIterator) Close() error {
 	c.open = false
-	if err := c.a.Close(); err != nil {
-		_ = c.b.Close()
-		return err
-	}
-	return c.b.Close()
+	return errors.Join(c.a.Close(), c.b.Close())
 }

@@ -525,6 +525,7 @@ func (b *BufferManager) GetPage(id PageID) (*Page, error) {
 		return nil, err
 	}
 	if vp := b.verifier.Load(); vp != nil {
+		//admvet:allow latchorder verify-before-admit: the page must be checked under the shard latch or a racing fetch could pin unverified bytes
 		if err := (*vp)(id, p); err != nil {
 			sh.mu.Unlock()
 			b.checksum.Add(1)

@@ -250,35 +250,43 @@ func (h *HeapFile) Scan(fn func(rid RID, t Tuple) bool) error {
 
 func (h *HeapFile) scanPages(pages []PageID, fn func(rid RID, t Tuple) bool) error {
 	for _, id := range pages {
-		p, err := h.bm.GetPage(id)
-		if err != nil {
+		stop, err := h.scanPage(id, fn)
+		if err != nil || stop {
 			return err
 		}
-		for s := 0; s < p.Slots(); s++ {
-			if !p.Live(s) {
-				continue
-			}
-			rec, err := p.Get(s)
-			if errors.Is(err, ErrSlotDeleted) {
-				continue // deleted between Live and Get by a concurrent writer
-			}
-			if err != nil {
-				h.bm.Unpin(id)
-				return err
-			}
-			t, err := DecodeTuple(rec)
-			if err != nil {
-				h.bm.Unpin(id)
-				return err
-			}
-			if !fn(RID{Page: id, Slot: s}, t) {
-				h.bm.Unpin(id)
-				return nil
-			}
-		}
-		h.bm.Unpin(id)
 	}
 	return nil
+}
+
+// scanPage visits one page's live records with the pin released by
+// defer: fn is caller code, and a panic there (contained at the
+// morsel boundary by the parallel executor) must not leak the pin.
+func (h *HeapFile) scanPage(id PageID, fn func(rid RID, t Tuple) bool) (stop bool, err error) {
+	p, err := h.bm.GetPage(id)
+	if err != nil {
+		return false, err
+	}
+	defer h.bm.Unpin(id)
+	for s := 0; s < p.Slots(); s++ {
+		if !p.Live(s) {
+			continue
+		}
+		rec, err := p.Get(s)
+		if errors.Is(err, ErrSlotDeleted) {
+			continue // deleted between Live and Get by a concurrent writer
+		}
+		if err != nil {
+			return false, err
+		}
+		t, err := DecodeTuple(rec)
+		if err != nil {
+			return false, err
+		}
+		if !fn(RID{Page: id, Slot: s}, t) {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // All collects every live tuple (test/bench convenience).

@@ -149,6 +149,7 @@ func (p *Page) InsertWith(rec []byte, after func(slot int) (uint64, error)) (int
 	if err != nil {
 		return 0, err
 	}
+	//admvet:allow latchorder per-page WAL order must equal apply order, so the log callback runs under the page latch by design
 	lsn, err := after(slot)
 	if err != nil {
 		// Roll back: the insert always lands in a fresh last slot.
@@ -213,6 +214,7 @@ func (p *Page) DeleteWith(slot int, after func() (uint64, error)) error {
 	if err := p.deleteLocked(slot); err != nil {
 		return err
 	}
+	//admvet:allow latchorder per-page WAL order must equal apply order, so the log callback runs under the page latch by design
 	lsn, err := after()
 	if err != nil {
 		p.setSlot(slot, off, length)
@@ -282,6 +284,7 @@ func (p *Page) UpdateWith(slot int, rec []byte, after func(newSlot int) (uint64,
 	if err != nil {
 		return 0, err
 	}
+	//admvet:allow latchorder per-page WAL order must equal apply order, so the log callback runs under the page latch by design
 	lsn, err := after(newSlot)
 	if err != nil {
 		if newSlot != slot {

@@ -284,6 +284,30 @@ type (
 	// FaultRand is the deterministic generator used to derive fault
 	// schedules from a seed.
 	FaultRand = fault.Rand
+	// Txn is one snapshot-isolation transaction: lock-free snapshot
+	// reads, first-committer-wins writes, commit through the
+	// group-commit WAL path.
+	Txn = storage.Txn
+	// TxnManager issues transactions over one DB; its timestamp clock
+	// is the WAL LSN sequence.
+	TxnManager = storage.TxnManager
+	// TxnStats counts group-commit activity (groups, batched commits,
+	// aborts).
+	TxnStats = storage.TxnStats
+	// DBSession is a client's transactional connection: BEGIN / COMMIT
+	// / ROLLBACK as SQL, implicit per-statement transactions otherwise.
+	DBSession = session.DBSession
+	// SyncPolicy controls where the WAL places fsync barriers.
+	SyncPolicy = storage.SyncPolicy
+)
+
+// WAL sync policies for DBOptions.Sync.
+const (
+	// SyncEveryRecord makes every WAL append its own fsync barrier.
+	SyncEveryRecord = storage.SyncEveryRecord
+	// SyncManual batches: commits place one barrier per group-commit
+	// batch, checkpoints place their own.
+	SyncManual = storage.SyncManual
 )
 
 // Storage-integrity sentinel errors, re-exported for errors.Is.
@@ -301,6 +325,11 @@ var (
 	ErrDiskCrashed = fault.ErrCrashed
 	// ErrFaultInjected reports a one-shot injected I/O error.
 	ErrFaultInjected = fault.ErrInjected
+	// ErrWriteConflict reports a first-committer-wins write-write
+	// conflict; the losing transaction must roll back.
+	ErrWriteConflict = storage.ErrWriteConflict
+	// ErrTxnDone reports use of a committed or rolled-back transaction.
+	ErrTxnDone = storage.ErrTxnDone
 )
 
 // NewMemDisk returns an empty in-memory disk.
@@ -321,6 +350,15 @@ func NewFaultRand(seed uint64) *FaultRand { return fault.NewRand(seed) }
 // page-file disk.
 func OpenDB(walDisk, dataDisk DiskFile, opts DBOptions) (*DB, error) {
 	return storage.Open(walDisk, dataDisk, opts)
+}
+
+// NewDBSession opens a transactional session over an engine and the
+// DB backing it (pass the same db given to NewDurableEngine). Each
+// session is an independent transaction stream; any number can run
+// concurrently, and their commits batch through the group-commit WAL
+// path.
+func NewDBSession(eng *Engine, db *DB) *DBSession {
+	return session.NewDBSession(eng, db)
 }
 
 // NewDurableEngine builds a SQL engine whose catalog rides db's redo

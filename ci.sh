@@ -20,9 +20,12 @@
 #   crash matrix the deterministic fault-injection recovery suite
 #                (internal/fault) at GOMAXPROCS=2 and 4 under two
 #                ADM_FAULT_SEED schedules: crash at every WAL write
-#                and sync barrier, seeded torn-write tails, injected
-#                I/O errors — recovery must come back byte-identical
-#                every time
+#                and sync barrier — including the group-commit
+#                barriers, where the leader dies between appending a
+#                batch's commit records and the fsync — seeded
+#                torn-write tails, injected I/O errors; recovery must
+#                come back byte-identical every time with every
+#                transaction all-or-nothing
 #   lint         admlint over every checked-in ADL model, rule file and
 #                assembly listing; the negative fixtures must keep
 #                producing diagnostics (exit != 0), the clean ones none.
@@ -31,12 +34,15 @@
 #                bench_baseline.json: the build fails if the 4-worker
 #                join, parallel-sort or top-k throughput drops below
 #                0.9x the checked-in baseline, if the join's 4w/1w
-#                scaling efficiency falls below scaling_floor, or if
+#                scaling efficiency falls below scaling_floor, if
 #                the parallel sort's speedup over the serial
 #                boxed-Compare reference falls below
-#                sort_scaling_floor, or if either crash-recovery
+#                sort_scaling_floor, if either crash-recovery
 #                smoke bench (RecoveryWAL, RecoveryCkpt) recovers
-#                fewer rows/sec than recovery_floor.
+#                fewer rows/sec than recovery_floor, or if the
+#                concurrent-commit bench's 16-session/1-session
+#                commits/sec ratio falls below commit_scaling_floor
+#                (group commit degenerating to fsync-per-commit).
 #                To refresh the baseline (after an
 #                intentional perf change, or on new CI hardware), see
 #                the update procedure in bench_baseline.json's
@@ -47,6 +53,14 @@
 #                exceeds TOPK_ALLOC_BUDGET allocs/op or
 #                TOPK_BYTE_BUDGET B/op — the bounded heaps started
 #                materialising the input they exist to avoid.
+#
+# Every step prints its elapsed time when the next one starts; on any
+# failure the last line on stderr is "FAILED: <step>" so the culprit
+# is readable without scrolling.
+#
+# ADM_CI_QUICK=1 skips the race and crash matrices (the two
+# multi-schedule re-runs) for fast local iteration. CI runs the full
+# script.
 set -eu
 
 # Allocations per full batched heap-file scan (steady state is 1: the
@@ -61,7 +75,25 @@ TOPK_BYTE_BUDGET=16384
 
 cd "$(dirname "$0")"
 
+CI_STEP="setup"
+CI_T0=$(date +%s)
+CI_STEP_T0=$CI_T0
+
+# step <name>: close the previous step (printing its elapsed seconds)
+# and open the next. The trap below names the in-flight step on any
+# non-zero exit.
+step() {
+    now=$(date +%s)
+    echo "   (${CI_STEP}: $((now - CI_STEP_T0))s)"
+    CI_STEP="$1"
+    CI_STEP_T0=$now
+    echo "== $1"
+}
+
+trap 'code=$?; if [ "$code" -ne 0 ]; then echo "FAILED: $CI_STEP" >&2; fi' EXIT
+
 echo "== gofmt"
+CI_STEP="gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
@@ -69,13 +101,13 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go vet"
+step "go vet"
 go vet ./...
 
-echo "== admvet (engine invariants)"
+step "admvet (engine invariants)"
 go run ./cmd/admvet ./...
 
-echo "== admvet (negative fixtures must fail)"
+step "admvet (negative fixtures must fail)"
 for a in pinpair batchrelease latchorder poisoncheck morselguard; do
     if go run ./cmd/admvet -analyzers "$a" \
         -dir "internal/analysis/testdata/src/$a" >/dev/null 2>&1; then
@@ -84,46 +116,51 @@ for a in pinpair batchrelease latchorder poisoncheck morselguard; do
     fi
 done
 
-echo "== go build"
+step "go build"
 go build ./...
 
-echo "== go build (link all cmd binaries)"
+step "go build (link all cmd binaries)"
 bindir=$(mktemp -d)
 go build -o "$bindir/" ./cmd/...
 rm -rf "$bindir"
 
-echo "== go test -race"
+step "go test -race"
 go test -race ./...
 
-echo "== race matrix (parallel packages)"
-for gmp in 2 4; do
-    echo "   GOMAXPROCS=$gmp"
-    GOMAXPROCS=$gmp go test -count=1 -race \
-        ./internal/operators/... ./internal/query/... ./internal/storage/...
-done
-
-echo "== crash matrix (seeded fault schedules)"
-# The fault-injection recovery suite under two GOMAXPROCS values and
-# two WAL-crash seeds: the default schedule plus one alternate, so a
-# recovery bug that hides behind one torn-write pattern still fails
-# the build. ADM_FAULT_SEED reseeds the torn-write/crash-point
-# schedules in internal/fault's tests (see faultSeed).
-for gmp in 2 4; do
-    for seed in 0xADC0FFEE 0x5EED0001; do
-        echo "   GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed"
-        GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed go test -count=1 -race \
-            ./internal/fault/...
+if [ "${ADM_CI_QUICK:-0}" = "1" ]; then
+    step "race matrix (skipped: ADM_CI_QUICK=1)"
+    step "crash matrix (skipped: ADM_CI_QUICK=1)"
+else
+    step "race matrix (parallel packages)"
+    for gmp in 2 4; do
+        echo "   GOMAXPROCS=$gmp"
+        GOMAXPROCS=$gmp go test -count=1 -race \
+            ./internal/operators/... ./internal/query/... ./internal/storage/...
     done
-done
 
-echo "== admlint (clean inputs)"
+    step "crash matrix (seeded fault schedules)"
+    # The fault-injection recovery suite under two GOMAXPROCS values and
+    # two WAL-crash seeds: the default schedule plus one alternate, so a
+    # recovery bug that hides behind one torn-write pattern still fails
+    # the build. ADM_FAULT_SEED reseeds the torn-write/crash-point
+    # schedules in internal/fault's tests (see faultSeed).
+    for gmp in 2 4; do
+        for seed in 0xADC0FFEE 0x5EED0001; do
+            echo "   GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed"
+            GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed go test -count=1 -race \
+                ./internal/fault/...
+        done
+    done
+fi
+
+step "admlint (clean inputs)"
 go run ./cmd/admlint \
     cmd/adlc/testdata \
     cmd/admlint/testdata/clean.rules \
     cmd/admlint/testdata/clean.s \
     examples
 
-echo "== admlint (negative fixtures must fail)"
+step "admlint (negative fixtures must fail)"
 for f in cmd/admlint/testdata/dangling_bind.adl \
          cmd/admlint/testdata/unsat.rules \
          cmd/admlint/testdata/out_of_segment.s; do
@@ -133,12 +170,12 @@ for f in cmd/admlint/testdata/dangling_bind.adl \
     fi
 done
 
-echo "== bench smoke (join/sort/top-k regression gate)"
+step "bench smoke (join/sort/top-k/commit regression gate)"
 go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 -repeats 5 \
     -baseline bench_baseline.json > BENCH_parallel.json
 echo "   wrote BENCH_parallel.json"
 
-echo "== alloc gate (batched scan)"
+step "alloc gate (batched scan)"
 bench_out=$(go test -run '^$' -bench '^BenchmarkBatchHeapScan$' \
     -benchmem -benchtime 20x .)
 allocs=$(echo "$bench_out" | awk '/^BenchmarkBatchHeapScan/ { print $(NF-1) }')
@@ -153,7 +190,7 @@ if [ "$allocs" -gt "$SCAN_ALLOC_BUDGET" ]; then
     exit 1
 fi
 
-echo "== alloc gate (top-k)"
+step "alloc gate (top-k)"
 topk_out=$(go test -run '^$' -bench '^BenchmarkTopK$' \
     -benchmem -benchtime 20x .)
 topk_allocs=$(echo "$topk_out" | awk '/^BenchmarkTopK/ { print $(NF-1) }')
@@ -173,4 +210,5 @@ if [ "$topk_bytes" -gt "$TOPK_BYTE_BUDGET" ]; then
     exit 1
 fi
 
-echo "ok"
+step "done"
+echo "ok (total $(( $(date +%s) - CI_T0 ))s)"

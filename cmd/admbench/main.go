@@ -143,6 +143,12 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 		return 1
 	}
 	results = append(results, recResults...)
+	commitResults, err := experiments.RunCommitBench([]int{1, 4, 16}, 64, repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	results = append(results, commitResults...)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range results {
@@ -157,6 +163,9 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 			fmt.Printf("  %-12s workers=%-2d  %12.0f rows/sec  %12d ns", r.Bench, r.Workers, r.RowsPerSec, r.Cycles)
 			if r.ScalingEfficiency > 0 {
 				fmt.Printf("  scaling=%.2f", r.ScalingEfficiency)
+			}
+			if r.AbortRate > 0 {
+				fmt.Printf("  aborts=%.1f%%", r.AbortRate*100)
 			}
 			fmt.Println()
 		}
@@ -192,6 +201,14 @@ type baselineFile struct {
 	// recovery going accidentally quadratic or re-reading the whole
 	// log per record.
 	RecoveryFloor float64 `json:"recovery_floor,omitempty"`
+	// CommitScalingFloor is the minimum accepted CommitTxn(16
+	// sessions) / CommitTxn(1 session) commits/sec ratio — the
+	// group-commit gate. The bench's WAL pays a fixed simulated fsync
+	// latency, so the ratio measures fsync batching, not CPU
+	// parallelism, and holds on a single-core host: one session pays
+	// one fsync per commit while sixteen share each barrier through
+	// the group-commit leader.
+	CommitScalingFloor float64 `json:"commit_scaling_floor,omitempty"`
 }
 
 // gateAgainstBaseline fails (exit 1) when, for any bench family the
@@ -231,6 +248,12 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 		if want.Workers != 4 {
 			continue
 		}
+		// CommitTxn throughput is dominated by the bench's simulated
+		// fsync latency, not real work — absolute commits/sec is not a
+		// regression signal. Its gate is commit_scaling_floor below.
+		if want.Bench == "CommitTxn" {
+			continue
+		}
 		got, ok := find(results, want.Bench)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "admbench: measured results have no 4-worker %s record (include 4 in -workers)\n", want.Bench)
@@ -265,6 +288,28 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 	}
 	checkScaling("ParallelJoin", base.ScalingFloor, "scaling_floor")
 	checkScaling("ParallelSort", base.SortScalingFloor, "sort_scaling_floor")
+	if base.CommitScalingFloor > 0 {
+		var got experiments.ParallelBenchResult
+		ok := false
+		for _, r := range results {
+			if r.Bench == "CommitTxn" && r.Workers == 16 {
+				got, ok = r, true
+				break
+			}
+		}
+		if !ok || got.ScalingEfficiency == 0 {
+			fmt.Fprintf(os.Stderr, "admbench: baseline sets commit_scaling_floor but the 16-session CommitTxn run is missing\n")
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "admbench: gate: CommitTxn 16-session group-commit scaling %.2f (floor %.2f, abort rate %.1f%%)\n",
+			got.ScalingEfficiency, base.CommitScalingFloor, got.AbortRate*100)
+		if got.ScalingEfficiency < base.CommitScalingFloor {
+			fmt.Fprintf(os.Stderr, "admbench: REGRESSION: group-commit fan-in below commit_scaling_floor — concurrent sessions are paying per-commit fsyncs\n")
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
 	if base.RecoveryFloor > 0 {
 		for _, bench := range []string{"RecoveryWAL", "RecoveryCkpt"} {
 			var got experiments.ParallelBenchResult

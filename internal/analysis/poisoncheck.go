@@ -30,6 +30,13 @@ var spineReceivers = map[string]map[string]bool{
 	"WAL":      {"Append": true, "Sync": true},
 	"PageFile": {"WritePage": true, "ReadPage": true, "FrameLSN": true, "Sync": true},
 	"DiskFile": nil,
+	// The transaction commit path: a discarded Commit error means the
+	// caller acknowledges writes whose commit record may never have
+	// become durable. Rollback is deliberately NOT in the spine — it
+	// is idempotent cleanup (`defer tx.Rollback()` is the idiom) and
+	// any WAL failure inside it has already poisoned the DB.
+	"TxnManager": {"commitTxn": true, "commitBatch": true, "abortTxn": true},
+	"Txn":        {"Commit": true},
 }
 
 func runPoisoncheck(pass *Pass) {

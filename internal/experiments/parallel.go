@@ -31,6 +31,9 @@ type ParallelBenchResult struct {
 	// (1.0 = no parallel speedup; on a single-core host values near 1.0
 	// are the physical ceiling).
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	// AbortRate is the fraction of transaction attempts that lost the
+	// first-claimer-wins race and rolled back (CommitTxn bench only).
+	AbortRate float64 `json:"abort_rate,omitempty"`
 }
 
 // parallelJoinEngine seeds l(k,v) ⋈ r(k,v) with `rows` tuples per

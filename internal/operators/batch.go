@@ -208,14 +208,14 @@ func (a *IteratorFromBatch) Close() error {
 // scan. The page list is snapshotted at Open, matching HeapScan's
 // semantics; reopening re-snapshots.
 type BatchHeapScan struct {
-	File  *storage.HeapFile
+	File  storage.HeapReader
 	pages []storage.PageID
 	idx   int
 	open  bool
 }
 
 // NewBatchHeapScan scans file.
-func NewBatchHeapScan(file *storage.HeapFile) *BatchHeapScan {
+func NewBatchHeapScan(file storage.HeapReader) *BatchHeapScan {
 	return &BatchHeapScan{File: file}
 }
 

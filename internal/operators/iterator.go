@@ -100,14 +100,14 @@ func (m *MemScan) Close() error { m.open = false; return nil }
 
 // HeapScan iterates a heap file (snapshot of pages at Open).
 type HeapScan struct {
-	File *storage.HeapFile
+	File storage.HeapReader
 	buf  []storage.Tuple
 	pos  int
 	open bool
 }
 
 // NewHeapScan scans file.
-func NewHeapScan(file *storage.HeapFile) *HeapScan { return &HeapScan{File: file} }
+func NewHeapScan(file storage.HeapReader) *HeapScan { return &HeapScan{File: file} }
 
 // Open implements Iterator.
 func (h *HeapScan) Open() error {
@@ -138,7 +138,7 @@ func (h *HeapScan) Close() error { h.open, h.buf = false, nil; return nil }
 // IndexScan iterates tuples whose indexed column lies in [Lo,Hi],
 // fetching through the heap file.
 type IndexScan struct {
-	File   *storage.HeapFile
+	File   storage.HeapReader
 	Index  *storage.BTree
 	Lo, Hi storage.Value
 	rids   []storage.RID
@@ -147,7 +147,7 @@ type IndexScan struct {
 }
 
 // NewIndexScan builds a range scan over index into file.
-func NewIndexScan(file *storage.HeapFile, index *storage.BTree, lo, hi storage.Value) *IndexScan {
+func NewIndexScan(file storage.HeapReader, index *storage.BTree, lo, hi storage.Value) *IndexScan {
 	return &IndexScan{File: file, Index: index, Lo: lo, Hi: hi}
 }
 

@@ -97,13 +97,13 @@ type BatchSource interface {
 // acquisition, so the underlying file stays shareable with concurrent
 // writers.
 type HeapBatches struct {
-	file  *storage.HeapFile
+	file  storage.HeapReader
 	pages []storage.PageID
 	next  atomic.Int64
 }
 
 // NewHeapBatches snapshots file's pages for parallel consumption.
-func NewHeapBatches(file *storage.HeapFile) *HeapBatches {
+func NewHeapBatches(file storage.HeapReader) *HeapBatches {
 	return &HeapBatches{file: file, pages: file.PageIDs()}
 }
 
@@ -320,7 +320,7 @@ func (s *SliceMorsels) NextMorsel() ([]storage.Tuple, error) {
 type HeapMorsels struct{ HeapBatches }
 
 // NewHeapMorsels snapshots file's pages for parallel consumption.
-func NewHeapMorsels(file *storage.HeapFile) *HeapMorsels {
+func NewHeapMorsels(file storage.HeapReader) *HeapMorsels {
 	return &HeapMorsels{HeapBatches{file: file, pages: file.PageIDs()}}
 }
 

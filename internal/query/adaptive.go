@@ -69,13 +69,13 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 	if cfg.CheckEvery <= 0 {
 		cfg.CheckEvery = 64
 	}
-	plan, err := e.planSelect(st)
+	plan, err := e.planSelect(st, nil)
 	if err != nil {
 		return nil, nil, err
 	}
 	rep := &AdaptiveReport{}
 	if len(plan.joins) != 1 {
-		res, err := e.execSelect(st)
+		res, err := e.execSelect(st, nil)
 		return res, rep, err
 	}
 

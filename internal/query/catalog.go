@@ -250,6 +250,15 @@ func checkType(v storage.Value, ct ColumnType) bool {
 // Insert adds a row, maintaining indexes. Statistics are NOT updated
 // (run Analyze) — deliberate, per the package comment.
 func (c *Catalog) Insert(table string, row storage.Tuple) (storage.RID, error) {
+	return c.InsertTxn(table, row, nil)
+}
+
+// InsertTxn is Insert inside txn: the row lands immediately but
+// carries the transaction's id as xmin, so only the writer sees it
+// until Commit. Index entries are inserted eagerly (index entries
+// cover every version; readers filter at fetch) and removed again on
+// rollback.
+func (c *Catalog) InsertTxn(table string, row storage.Tuple, txn *storage.Txn) (storage.RID, error) {
 	t, err := c.Table(table)
 	if err != nil {
 		return storage.RID{}, err
@@ -272,13 +281,30 @@ func (c *Catalog) Insert(table string, row storage.Tuple) (storage.RID, error) {
 	// either before the backfill scan or after the new index installs.
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	rid, err := t.Heap.Insert(row)
+	var rid storage.RID
+	if txn != nil {
+		rid, err = txn.Insert(t.Heap, row)
+	} else {
+		rid, err = t.Heap.Insert(row)
+	}
 	if err != nil {
 		return storage.RID{}, err
 	}
 	for col, idx := range t.Indexes {
 		ci, _ := t.ColIndex(col)
 		idx.Insert(row[ci], rid)
+	}
+	if txn != nil && len(t.Indexes) > 0 {
+		keys := row.Clone()
+		txn.OnRollback(func() error {
+			t.mu.RLock()
+			defer t.mu.RUnlock()
+			for col, idx := range t.Indexes {
+				ci, _ := t.ColIndex(col)
+				idx.Delete(keys[ci], rid)
+			}
+			return nil
+		})
 	}
 	return rid, nil
 }
@@ -315,6 +341,57 @@ func (c *Catalog) Delete(table string, pred func(storage.Tuple) bool) (int, erro
 		}
 	}
 	return len(victims), nil
+}
+
+// DeleteTxn is Delete inside txn: victims are chosen from the
+// transaction's snapshot and claimed by stamping xmax — the claim IS
+// the write lock, so a concurrent claimer aborts with
+// storage.ErrWriteConflict (first-committer-wins). Index entries stay:
+// the old version must remain reachable by older snapshots, and
+// readers filter invisible versions at fetch.
+func (c *Catalog) DeleteTxn(table string, pred func(storage.Tuple) bool, txn *storage.Txn) (int, error) {
+	if txn == nil {
+		return c.Delete(table, pred)
+	}
+	t, err := c.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	type victim struct {
+		rid storage.RID
+		row storage.Tuple
+	}
+	var victims []victim
+	err = txn.View(t.Heap).Scan(func(rid storage.RID, tu storage.Tuple) bool {
+		if pred == nil || pred(tu) {
+			victims = append(victims, victim{rid, tu.Clone()})
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, v := range victims {
+		nrid, err := txn.Delete(t.Heap, v.rid)
+		if err != nil {
+			return n, err
+		}
+		if nrid != v.rid {
+			// Claiming a plain record upgrades it to versioned form,
+			// which can move it within its page: repoint the entries so
+			// older snapshots still reach the (still-visible) version.
+			for col, idx := range t.Indexes {
+				ci, _ := t.ColIndex(col)
+				idx.Delete(v.row[ci], v.rid)
+				idx.Insert(v.row[ci], nrid)
+			}
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Update applies set to rows matching pred; returns the count.
@@ -372,6 +449,88 @@ func (c *Catalog) Update(table string, pred func(storage.Tuple) bool,
 		}
 	}
 	return len(hits), nil
+}
+
+// UpdateTxn is Update inside txn: each snapshot-visible hit has its
+// old version claimed (xmax = txn id) and a new version inserted with
+// xmin = txn id. Index entries for the new version are inserted
+// eagerly on every index and removed on rollback; the old version's
+// entries stay for older snapshots.
+func (c *Catalog) UpdateTxn(table string, pred func(storage.Tuple) bool,
+	set map[string]storage.Value, txn *storage.Txn) (int, error) {
+	if txn == nil {
+		return c.Update(table, pred, set)
+	}
+	t, err := c.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	setIdx := map[int]storage.Value{}
+	for col, v := range set {
+		ci, ok := t.ColIndex(col)
+		if !ok {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, table, col)
+		}
+		if !checkType(v, t.Cols[ci].Type) {
+			return 0, fmt.Errorf("%w: column %s", ErrType, col)
+		}
+		if t.Cols[ci].Type == TFloat && v.Kind == storage.KindInt {
+			v = storage.FloatValue(float64(v.Int))
+		}
+		setIdx[ci] = v
+	}
+	type hit struct {
+		rid storage.RID
+		old storage.Tuple
+	}
+	var hits []hit
+	err = txn.View(t.Heap).Scan(func(rid storage.RID, tu storage.Tuple) bool {
+		if pred == nil || pred(tu) {
+			hits = append(hits, hit{rid, tu.Clone()})
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, h := range hits {
+		nu := h.old.Clone()
+		for ci, v := range setIdx {
+			nu[ci] = v
+		}
+		orid, nrid, err := txn.Update(t.Heap, h.rid, nu)
+		if err != nil {
+			return n, err
+		}
+		for col, idx := range t.Indexes {
+			ci, _ := t.ColIndex(col)
+			if orid != h.rid {
+				// The claim moved the old version (plain→versioned
+				// upgrade): repoint its entries.
+				idx.Delete(h.old[ci], h.rid)
+				idx.Insert(h.old[ci], orid)
+			}
+			idx.Insert(nu[ci], nrid)
+		}
+		if len(t.Indexes) > 0 {
+			keys := nu.Clone()
+			newRID := nrid
+			txn.OnRollback(func() error {
+				t.mu.RLock()
+				defer t.mu.RUnlock()
+				for col, idx := range t.Indexes {
+					ci, _ := t.ColIndex(col)
+					idx.Delete(keys[ci], newRID)
+				}
+				return nil
+			})
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Analyze refreshes a table's statistics from its actual contents.

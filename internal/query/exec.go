@@ -53,6 +53,17 @@ func (e *Engine) Exec(sql string) (*Result, error) {
 	return e.ExecStmt(st)
 }
 
+// ExecTxn parses and executes one statement inside txn: reads see the
+// transaction's snapshot, writes stamp its id and become visible only
+// at Commit. A nil txn is the legacy autocommit path.
+func (e *Engine) ExecTxn(sql string, txn *storage.Txn) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmtTxn(st, txn)
+}
+
 // MustExec panics on error (fixtures/benches).
 func (e *Engine) MustExec(sql string) *Result {
 	r, err := e.Exec(sql)
@@ -62,16 +73,24 @@ func (e *Engine) MustExec(sql string) *Result {
 	return r
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement on the legacy autocommit path.
 func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
+	return e.ExecStmtTxn(st, nil)
+}
+
+// ExecStmtTxn executes a parsed statement, inside txn when non-nil.
+// DDL (CREATE TABLE/INDEX, ANALYZE) is rejected inside an explicit
+// transaction: catalog changes are not versioned, so they cannot be
+// rolled back or hidden from concurrent snapshots.
+func (e *Engine) ExecStmtTxn(st Stmt, txn *storage.Txn) (*Result, error) {
 	switch s := st.(type) {
 	case *SelectStmt:
-		return e.execSelect(s)
+		return e.execSelect(s, txn)
 	case *InsertStmt:
 		for _, row := range s.Rows {
 			tuple := make(storage.Tuple, len(row))
 			copy(tuple, row)
-			if _, err := e.cat.Insert(s.Table, tuple); err != nil {
+			if _, err := e.cat.InsertTxn(s.Table, tuple, txn); err != nil {
 				return nil, err
 			}
 		}
@@ -81,7 +100,7 @@ func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, err := e.cat.Update(s.Table, pred, s.Set)
+		n, err := e.cat.UpdateTxn(s.Table, pred, s.Set, txn)
 		if err != nil {
 			return nil, err
 		}
@@ -91,28 +110,37 @@ func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, err := e.cat.Delete(s.Table, pred)
+		n, err := e.cat.DeleteTxn(s.Table, pred, txn)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Affected: n}, nil
 	case *CreateTableStmt:
+		if txn != nil {
+			return nil, fmt.Errorf("query: CREATE TABLE is not allowed inside a transaction")
+		}
 		if _, err := e.cat.CreateTable(s.Name, s.Cols); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 	case *CreateIndexStmt:
+		if txn != nil {
+			return nil, fmt.Errorf("query: CREATE INDEX is not allowed inside a transaction")
+		}
 		if _, err := e.cat.CreateIndex(s.Table, s.Col); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 	case *AnalyzeStmt:
+		if txn != nil {
+			return nil, fmt.Errorf("query: ANALYZE is not allowed inside a transaction")
+		}
 		if err := e.cat.Analyze(s.Table); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 	case *ExplainStmt:
-		plan, err := e.planSelect(s.Select)
+		plan, err := e.planSelect(s.Select, txn)
 		if err != nil {
 			return nil, err
 		}
@@ -121,8 +149,23 @@ func (e *Engine) ExecStmt(st Stmt) (*Result, error) {
 			Rows: []storage.Tuple{{storage.StringValue(plan.Explain())}},
 			Plan: plan.Explain(),
 		}, nil
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return nil, fmt.Errorf("query: %s requires a session (use session.DBSession)", stmtKeyword(st))
 	}
 	return nil, fmt.Errorf("query: unsupported statement %T", st)
+}
+
+// stmtKeyword names a transaction-control statement for errors.
+func stmtKeyword(st Stmt) string {
+	switch st.(type) {
+	case *BeginStmt:
+		return "BEGIN"
+	case *CommitStmt:
+		return "COMMIT"
+	case *RollbackStmt:
+		return "ROLLBACK"
+	}
+	return fmt.Sprintf("%T", st)
 }
 
 // wherePred compiles a single-table WHERE clause.
@@ -138,8 +181,8 @@ func (e *Engine) wherePred(table string, preds []Pred) (func(storage.Tuple) bool
 }
 
 // execSelect plans, compiles and runs a SELECT.
-func (e *Engine) execSelect(st *SelectStmt) (*Result, error) {
-	plan, err := e.planSelect(st)
+func (e *Engine) execSelect(st *SelectStmt, txn *storage.Txn) (*Result, error) {
+	plan, err := e.planSelect(st, txn)
 	if err != nil {
 		return nil, err
 	}

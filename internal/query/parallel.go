@@ -40,6 +40,10 @@ type ExecOptions struct {
 	// Adaptive tunes mid-query re-optimisation; nil means
 	// DefaultAdaptiveConfig() — the safe-point protocol is always on.
 	Adaptive *AdaptiveConfig
+	// Txn, when non-nil, executes the statement inside that
+	// transaction: scans bind to its snapshot (reads stay lock-free
+	// across every worker) and DML stamps its id.
+	Txn *storage.Txn
 
 	// panicInWorker, when set (tests only), runs inside each worker
 	// goroutine as it finishes a phase — the injection point the
@@ -74,7 +78,7 @@ func (e *Engine) ExecuteSQL(sql string, opts ExecOptions) (*Result, *ExecReport,
 	}
 	sel, ok := st.(*SelectStmt)
 	if !ok {
-		res, err := e.ExecStmt(st)
+		res, err := e.ExecStmtTxn(st, opts.Txn)
 		return res, &ExecReport{}, err
 	}
 	return e.execSelectParallel(sel, opts)
@@ -122,7 +126,7 @@ func scanBatches(sp *scanPlan, size int) (operators.BatchSource, error) {
 		}
 		return operators.NewIterBatches(it, size), nil
 	}
-	var src operators.BatchSource = operators.NewHeapBatches(sp.table.Heap)
+	var src operators.BatchSource = operators.NewHeapBatches(sp.reader)
 	if len(sp.preds) > 0 {
 		pred, err := compilePreds(sp.sch, sp.preds)
 		if err != nil {
@@ -147,7 +151,7 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 	}
 	e.log.Span("query.parallel").Emit(e.clock(), trace.KindPanic,
 		"worker %d panicked in %s phase (%v); degrading to serial plan", pe.Worker, pe.Phase, pe.Value)
-	res, serr := e.execSelect(st)
+	res, serr := e.execSelect(st, opts.Txn)
 	if rep == nil {
 		rep = &ExecReport{}
 	}
@@ -157,14 +161,14 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 }
 
 func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Result, *ExecReport, error) {
-	plan, err := e.planSelect(st)
+	plan, err := e.planSelect(st, opts.Txn)
 	if err != nil {
 		return nil, nil, err
 	}
 	rep := &ExecReport{}
 	if len(plan.joins) > 1 {
 		// Multi-join plans stay on the serial executor for now.
-		res, err := e.execSelect(st)
+		res, err := e.execSelect(st, opts.Txn)
 		return res, rep, err
 	}
 	workers := opts.workers()

@@ -61,9 +61,15 @@ func tableSchema(binding string, t *Table) schema {
 // scanPlan is a base-table access path: heap or index scan plus
 // residual filters.
 type scanPlan struct {
-	ref      TableRef
-	table    *Table
-	sch      schema
+	ref   TableRef
+	table *Table
+	sch   schema
+	// reader is the heap surface every scan operator of this plan
+	// consumes: the raw heap for non-transactional statements, a
+	// snapshot-bound HeapView inside a transaction. Selecting it at
+	// plan time is the whole of MVCC's read-side integration — the
+	// serial, batch and morsel pipelines downstream are unchanged.
+	reader   storage.HeapReader
 	preds    []Pred // pushed-down single-table predicates
 	indexCol string // non-empty when an index path was chosen
 	indexLo  storage.Value
@@ -84,9 +90,9 @@ func (s *scanPlan) build() (operators.Iterator, error) {
 	var it operators.Iterator
 	if s.indexCol != "" {
 		idx, _ := s.table.Index(s.indexCol)
-		it = operators.NewIndexScan(s.table.Heap, idx, s.indexLo, s.indexHi)
+		it = operators.NewIndexScan(s.reader, idx, s.indexLo, s.indexHi)
 	} else {
-		it = operators.NewHeapScan(s.table.Heap)
+		it = operators.NewHeapScan(s.reader)
 	}
 	if len(s.preds) > 0 {
 		pred, err := compilePreds(s.sch, s.preds)
@@ -175,8 +181,9 @@ func (p *selectPlan) Explain() string { return p.explainTx }
 // planSelect compiles and optimises a SELECT statement:
 // single-table predicates are pushed to their scans; each scan picks
 // an index path when its predicates cover an indexed column; each
-// join picks its hash-build side by estimated cardinality.
-func (e *Engine) planSelect(st *SelectStmt) (*selectPlan, error) {
+// join picks its hash-build side by estimated cardinality. A non-nil
+// txn binds every scan to that transaction's snapshot.
+func (e *Engine) planSelect(st *SelectStmt, txn *storage.Txn) (*selectPlan, error) {
 	refs := []TableRef{st.From}
 	for _, j := range st.Joins {
 		refs = append(refs, j.Table)
@@ -188,7 +195,11 @@ func (e *Engine) planSelect(st *SelectStmt) (*selectPlan, error) {
 		if err != nil {
 			return nil, err
 		}
-		sp := &scanPlan{ref: ref, table: t, sch: tableSchema(ref.Binding(), t)}
+		var reader storage.HeapReader = t.Heap
+		if txn != nil {
+			reader = txn.View(t.Heap)
+		}
+		sp := &scanPlan{ref: ref, table: t, sch: tableSchema(ref.Binding(), t), reader: reader}
 		p.scans = append(p.scans, sp)
 		full = append(full, sp.sch...)
 	}

@@ -199,6 +199,21 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
+// BeginStmt is a parsed BEGIN: open an explicit transaction.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt is a parsed COMMIT.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt is a parsed ROLLBACK.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
 // ParseError reports a SQL syntax error.
 type ParseError struct {
 	Pos int
@@ -408,6 +423,12 @@ func Parse(src string) (Stmt, error) {
 		var sel *SelectStmt
 		sel, err = p.selectStmt()
 		st = &ExplainStmt{Select: sel}
+	case p.kw("BEGIN"):
+		st = &BeginStmt{}
+	case p.kw("COMMIT"):
+		st = &CommitStmt{}
+	case p.kw("ROLLBACK"):
+		st = &RollbackStmt{}
 	default:
 		t := p.peek()
 		return nil, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unknown statement %q", t.text)}

@@ -1,0 +1,234 @@
+// Transactional SQL tests: snapshot scans through the serial, batch
+// and morsel pipelines at several worker counts and batch sizes, and
+// DML visibility/conflict behaviour through the engine.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// newTxnEngine builds a durable engine (group-commit WAL policy) with
+// a populated table.
+func newTxnEngine(t *testing.T, rows int, withIndex bool) (*Engine, *storage.DB) {
+	t.Helper()
+	db, err := storage.Open(storage.NewMemDisk(), storage.NewMemDisk(),
+		storage.DBOptions{Sync: storage.SyncManual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := NewDurableCatalog(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(cat, nil, nil)
+	eng.MustExec("CREATE TABLE kv (k INT, v STRING)")
+	if withIndex {
+		eng.MustExec("CREATE INDEX ON kv (k)")
+	}
+	for i := 0; i < rows; i++ {
+		eng.MustExec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'seed-%d')", i, i))
+	}
+	return eng, db
+}
+
+// countRows runs SELECT through the parallel executor inside txn and
+// returns the row count.
+func countRows(t *testing.T, eng *Engine, txn *storage.Txn, workers, batch int) int {
+	t.Helper()
+	res, _, err := eng.ExecuteSQL("SELECT k FROM kv", ExecOptions{
+		Workers: workers, BatchSize: batch, Txn: txn,
+	})
+	if err != nil {
+		t.Fatalf("select (w=%d b=%d): %v", workers, batch, err)
+	}
+	return len(res.Rows)
+}
+
+// TestTxnSnapshotScanMatrix checks snapshot repeatability through
+// every scan pipeline shape: a transaction begun before a concurrent
+// committed insert must keep seeing the old row count at workers 1/4
+// and batch sizes 1/64/1024, serial and parallel alike.
+func TestTxnSnapshotScanMatrix(t *testing.T) {
+	const seed = 200
+	for _, withIndex := range []bool{false, true} {
+		name := "seqscan"
+		if withIndex {
+			name = "indexscan"
+		}
+		t.Run(name, func(t *testing.T) {
+			eng, db := newTxnEngine(t, seed, withIndex)
+			old := db.Txns().Begin()
+			defer old.Rollback()
+
+			// A concurrent writer inserts 50 more rows and commits.
+			writer := db.Txns().Begin()
+			if _, err := eng.ExecTxn("INSERT INTO kv VALUES (900, 'new')", writer); err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < 50; i++ {
+				if _, err := eng.ExecTxn(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'new')", 900+i), writer); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := writer.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			fresh := db.Txns().Begin()
+			defer fresh.Rollback()
+
+			for _, workers := range []int{1, 4} {
+				for _, batch := range []int{1, 64, 1024} {
+					t.Run(fmt.Sprintf("w%d_b%d", workers, batch), func(t *testing.T) {
+						if got := countRows(t, eng, old, workers, batch); got != seed {
+							t.Fatalf("old snapshot sees %d rows, want %d", got, seed)
+						}
+						if got := countRows(t, eng, fresh, workers, batch); got != seed+50 {
+							t.Fatalf("fresh snapshot sees %d rows, want %d", got, seed+50)
+						}
+					})
+				}
+			}
+
+			// Index-path point reads inside the old snapshot: a post-
+			// snapshot row is invisible even though its index entry exists.
+			if withIndex {
+				res, err := eng.ExecTxn("SELECT v FROM kv WHERE k = 900", old)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Rows) != 0 {
+					t.Fatalf("old snapshot sees post-snapshot row via index: %v", res.Rows)
+				}
+				res, err = eng.ExecTxn("SELECT v FROM kv WHERE k = 900", fresh)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Rows) != 1 {
+					t.Fatalf("fresh snapshot misses committed row via index: %v", res.Rows)
+				}
+			}
+		})
+	}
+}
+
+// TestTxnDMLVisibility drives UPDATE/DELETE through the engine inside
+// transactions and checks read-own-writes, rollback restoration and
+// post-commit visibility (with and without an index on the filtered
+// column).
+func TestTxnDMLVisibility(t *testing.T) {
+	for _, withIndex := range []bool{false, true} {
+		name := "seqscan"
+		if withIndex {
+			name = "indexscan"
+		}
+		t.Run(name, func(t *testing.T) {
+			eng, db := newTxnEngine(t, 10, withIndex)
+
+			// UPDATE inside a txn: self sees the new value, others the old.
+			t1 := db.Txns().Begin()
+			if _, err := eng.ExecTxn("UPDATE kv SET v = 'changed' WHERE k = 3", t1); err != nil {
+				t.Fatal(err)
+			}
+			get := func(txn *storage.Txn) string {
+				res, err := eng.ExecTxn("SELECT v FROM kv WHERE k = 3", txn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Rows) != 1 {
+					t.Fatalf("k=3 has %d visible rows, want 1: %v", len(res.Rows), res.Rows)
+				}
+				return res.Rows[0][0].Str
+			}
+			if got := get(t1); got != "changed" {
+				t.Fatalf("own update invisible: %q", got)
+			}
+			other := db.Txns().Begin()
+			if got := get(other); got != "seed-3" {
+				t.Fatalf("uncommitted update leaked: %q", got)
+			}
+			other.Rollback()
+			if err := t1.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+			after := db.Txns().Begin()
+			if got := get(after); got != "seed-3" {
+				t.Fatalf("rollback did not restore: %q", got)
+			}
+			after.Rollback()
+
+			// DELETE then commit: gone for new snapshots.
+			t2 := db.Txns().Begin()
+			res, err := eng.ExecTxn("DELETE FROM kv WHERE k = 7", t2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Affected != 1 {
+				t.Fatalf("delete affected %d, want 1", res.Affected)
+			}
+			if err := t2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			t3 := db.Txns().Begin()
+			defer t3.Rollback()
+			sel, err := eng.ExecTxn("SELECT v FROM kv WHERE k = 7", t3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sel.Rows) != 0 {
+				t.Fatalf("deleted row still visible: %v", sel.Rows)
+			}
+			if got := countRows(t, eng, t3, 1, 0); got != 9 {
+				t.Fatalf("row count after delete = %d, want 9", got)
+			}
+		})
+	}
+}
+
+// TestTxnWriteConflictThroughEngine: two transactions UPDATE the same
+// row; the second claim fails with ErrWriteConflict.
+func TestTxnWriteConflictThroughEngine(t *testing.T) {
+	eng, db := newTxnEngine(t, 5, false)
+	t1, t2 := db.Txns().Begin(), db.Txns().Begin()
+	defer t1.Rollback()
+	defer t2.Rollback()
+	if _, err := eng.ExecTxn("UPDATE kv SET v = 'a' WHERE k = 2", t1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.ExecTxn("UPDATE kv SET v = 'b' WHERE k = 2", t2)
+	if !errors.Is(err, storage.ErrWriteConflict) {
+		t.Fatalf("concurrent update err = %v, want ErrWriteConflict", err)
+	}
+}
+
+// TestTxnDDLRejected: catalog changes are not versioned, so DDL inside
+// an explicit transaction must fail rather than half-commit.
+func TestTxnDDLRejected(t *testing.T) {
+	eng, db := newTxnEngine(t, 1, false)
+	txn := db.Txns().Begin()
+	defer txn.Rollback()
+	for _, sql := range []string{
+		"CREATE TABLE other (x INT)",
+		"CREATE INDEX ON kv (k)",
+		"ANALYZE kv",
+	} {
+		if _, err := eng.ExecTxn(sql, txn); err == nil {
+			t.Fatalf("%s inside txn succeeded, want error", sql)
+		}
+	}
+}
+
+// TestTxnControlNeedsSession: BEGIN/COMMIT/ROLLBACK parse but cannot
+// execute on the bare engine (they need a session's transaction
+// stream).
+func TestTxnControlNeedsSession(t *testing.T) {
+	eng, _ := newTxnEngine(t, 1, false)
+	for _, sql := range []string{"BEGIN", "COMMIT", "ROLLBACK"} {
+		if _, err := eng.Exec(sql); err == nil {
+			t.Fatalf("%s on bare engine succeeded, want error", sql)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/adm-project/adm/internal/query"
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// DBSession is one client's transactional connection to a durable
+// engine: it owns at most one open transaction and routes statements
+// through it. BEGIN/COMMIT/ROLLBACK arrive as SQL; outside an
+// explicit transaction each statement runs in its own implicit
+// transaction (begun, executed, committed — commit rides the
+// group-commit path, so concurrent autocommit sessions share fsyncs).
+// DDL keeps the legacy non-versioned path and is rejected inside an
+// explicit transaction.
+//
+// A session is safe for concurrent use, but it is one transaction
+// stream: concurrent callers serialise on the session mutex.
+type DBSession struct {
+	eng *query.Engine
+	tm  *storage.TxnManager
+
+	mu  sync.Mutex
+	txn *storage.Txn
+}
+
+// ErrNoTxn reports COMMIT/ROLLBACK with no open transaction.
+var ErrNoTxn = errors.New("session: no transaction is open")
+
+// NewDBSession binds a session to an engine and the DB whose
+// transaction manager issues its snapshots. A nil db (volatile
+// catalog) degrades to the legacy non-transactional path for every
+// statement.
+func NewDBSession(eng *query.Engine, db *storage.DB) *DBSession {
+	s := &DBSession{eng: eng}
+	if db != nil {
+		s.tm = db.Txns()
+	}
+	return s
+}
+
+// Engine returns the underlying engine.
+func (s *DBSession) Engine() *query.Engine { return s.eng }
+
+// InTxn reports whether an explicit transaction is open.
+func (s *DBSession) InTxn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txn != nil
+}
+
+// Begin opens an explicit transaction.
+func (s *DBSession) Begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.beginLocked()
+}
+
+func (s *DBSession) beginLocked() error {
+	if s.tm == nil {
+		return fmt.Errorf("session: transactions need a durable DB")
+	}
+	if s.txn != nil {
+		return fmt.Errorf("session: a transaction is already open")
+	}
+	s.txn = s.tm.Begin()
+	return nil
+}
+
+// Commit commits the open transaction (through the group-commit
+// leader when other sessions are committing concurrently).
+func (s *DBSession) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.txn == nil {
+		return ErrNoTxn
+	}
+	t := s.txn
+	s.txn = nil
+	return t.Commit()
+}
+
+// Rollback aborts the open transaction, undoing its writes.
+func (s *DBSession) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.txn == nil {
+		return ErrNoTxn
+	}
+	t := s.txn
+	s.txn = nil
+	return t.Rollback()
+}
+
+// Txn returns the open explicit transaction, or nil.
+func (s *DBSession) Txn() *storage.Txn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txn
+}
+
+// Exec parses and executes one statement in this session's
+// transactional context. A statement that hits a write conflict
+// inside an explicit transaction aborts the whole transaction
+// (first-committer-wins leaves it doomed anyway); the conflict error
+// is returned and the session is back in autocommit.
+func (s *DBSession) Exec(sql string) (*query.Result, error) {
+	st, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch st.(type) {
+	case *query.BeginStmt:
+		if err := s.beginLocked(); err != nil {
+			return nil, err
+		}
+		return &query.Result{}, nil
+	case *query.CommitStmt:
+		if s.txn == nil {
+			return nil, ErrNoTxn
+		}
+		t := s.txn
+		s.txn = nil
+		if err := t.Commit(); err != nil {
+			return nil, err
+		}
+		return &query.Result{}, nil
+	case *query.RollbackStmt:
+		if s.txn == nil {
+			return nil, ErrNoTxn
+		}
+		t := s.txn
+		s.txn = nil
+		if err := t.Rollback(); err != nil {
+			return nil, err
+		}
+		return &query.Result{}, nil
+	}
+
+	if s.txn != nil {
+		res, err := s.eng.ExecStmtTxn(st, s.txn)
+		if errors.Is(err, storage.ErrWriteConflict) {
+			t := s.txn
+			s.txn = nil
+			if rbErr := t.Rollback(); rbErr != nil {
+				return nil, errors.Join(err, rbErr)
+			}
+		}
+		return res, err
+	}
+	return s.autocommit(st)
+}
+
+// autocommit runs one statement outside an explicit transaction: DDL
+// (and any statement on a non-durable engine) takes the legacy
+// unversioned path; reads and DML get an implicit transaction so a
+// multi-row statement is atomic and its commit can share an fsync
+// with concurrent sessions.
+func (s *DBSession) autocommit(st query.Stmt) (*query.Result, error) {
+	if s.tm == nil {
+		return s.eng.ExecStmtTxn(st, nil)
+	}
+	switch st.(type) {
+	case *query.CreateTableStmt, *query.CreateIndexStmt, *query.AnalyzeStmt:
+		return s.eng.ExecStmtTxn(st, nil)
+	}
+	t := s.tm.Begin()
+	res, err := s.eng.ExecStmtTxn(st, t)
+	if err != nil {
+		return nil, errors.Join(err, t.Rollback())
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExecParallel is Exec through the morsel-driven parallel executor:
+// opts.Txn is overridden with the session's open transaction (nil in
+// autocommit — parallel SELECTs outside a transaction read the raw
+// heap exactly as before).
+func (s *DBSession) ExecParallel(sql string, opts query.ExecOptions) (*query.Result, *query.ExecReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opts.Txn = s.txn
+	res, rep, err := s.eng.ExecuteSQL(sql, opts)
+	if s.txn != nil && errors.Is(err, storage.ErrWriteConflict) {
+		t := s.txn
+		s.txn = nil
+		if rbErr := t.Rollback(); rbErr != nil {
+			return res, rep, errors.Join(err, rbErr)
+		}
+	}
+	return res, rep, err
+}

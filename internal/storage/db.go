@@ -56,6 +56,12 @@ type RecoveryStats struct {
 	PagesQuarantined int
 	Files            int
 	Indexes          int
+	// TxnsCommitted / TxnsAborted count the transaction outcomes the
+	// full-log scan rebuilt the commit table from. A version whose
+	// creator is in neither set was in flight at the crash and stays
+	// invisible forever.
+	TxnsCommitted int
+	TxnsAborted   int
 }
 
 // DBStats is the durability layer's counter snapshot.
@@ -81,6 +87,7 @@ type DB struct {
 	pf    *PageFile
 	store *Store
 	bm    *BufferManager
+	txns  *TxnManager
 
 	mu        sync.Mutex
 	files     map[string]*HeapFile
@@ -133,7 +140,61 @@ func Open(walDisk, dataDisk DiskFile, opts DBOptions) (*DB, error) {
 	if err := db.recover(recs); err != nil {
 		return nil, err
 	}
+	commits, aborted, maxID := recoverCommitTable(recs, &db.recovery)
+	db.txns = newTxnManager(db, commits, aborted, maxID)
 	return db, nil
+}
+
+// Txns returns the DB's transaction manager — the pluggable CC
+// component. Callers that never Begin a transaction get the legacy
+// single-writer behaviour untouched.
+func (db *DB) Txns() *TxnManager { return db.txns }
+
+// recoverCommitTable rebuilds the MVCC commit table from the FULL log
+// scan (the WAL is never truncated, so every commit record since
+// genesis is present regardless of the checkpoint's redo position)
+// and recovers the transaction-id clock from commit, abort and
+// versioned record images so ids are never reused.
+func recoverCommitTable(recs []Record, stats *RecoveryStats) (map[uint64]uint64, map[uint64]struct{}, uint64) {
+	commits := map[uint64]uint64{}
+	aborted := map[uint64]struct{}{}
+	var maxID uint64
+	seen := func(id uint64) {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for _, r := range recs {
+		switch r.Type {
+		case RecTxnCommit:
+			if id, err := decodeTxn(r.Payload); err == nil {
+				commits[id] = r.LSN
+				seen(id)
+			}
+		case RecTxnAbort:
+			if id, err := decodeTxn(r.Payload); err == nil {
+				aborted[id] = struct{}{}
+				seen(id)
+			}
+		case RecInsert:
+			if _, _, rec, err := decodeInsert(r.Payload); err == nil {
+				if v, err := RecordVersion(rec); err == nil {
+					seen(v.Xmin)
+					seen(v.Xmax)
+				}
+			}
+		case RecUpdate:
+			if _, _, _, rec, err := decodeUpdate(r.Payload); err == nil {
+				if v, err := RecordVersion(rec); err == nil {
+					seen(v.Xmin)
+					seen(v.Xmax)
+				}
+			}
+		}
+	}
+	stats.TxnsCommitted = len(commits)
+	stats.TxnsAborted = len(aborted)
+	return commits, aborted, maxID
 }
 
 // Store returns the underlying page store.
@@ -658,6 +719,11 @@ func (db *DB) recover(recs []Record) error {
 				return err
 			}
 			db.meta[key] = value
+			stats.RecordsReplayed++
+		case RecTxnCommit, RecTxnAbort:
+			// Transaction outcomes carry no page redo; the commit table
+			// is rebuilt by a full-log scan after the redo pass (it must
+			// cover commits from before the checkpoint too).
 			stats.RecordsReplayed++
 		default:
 			return fmt.Errorf("%w: unknown type %d at offset %d", ErrWALCorrupt, r.Type, r.Off)

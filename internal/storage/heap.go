@@ -56,7 +56,18 @@ func (h *HeapFile) Pages() int {
 
 // Insert appends a tuple and returns its RID.
 func (h *HeapFile) Insert(t Tuple) (RID, error) {
-	rec := EncodeTuple(t)
+	return h.insertRec(EncodeTuple(t))
+}
+
+// InsertVersion appends a tuple carrying an MVCC header — the
+// transaction layer's insert: the version is born with Xmin set to
+// the writing transaction and becomes globally visible only when that
+// transaction's commit record is durable.
+func (h *HeapFile) InsertVersion(t Tuple, v Version) (RID, error) {
+	return h.insertRec(EncodeVersionedTuple(t, v))
+}
+
+func (h *HeapFile) insertRec(rec []byte) (RID, error) {
 	if len(rec) > PageSize-pageHeaderSize-2*slotSize {
 		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
 	}
@@ -125,6 +136,79 @@ func (h *HeapFile) Get(rid RID) (Tuple, error) {
 		return nil, err
 	}
 	return DecodeTuple(rec)
+}
+
+// GetVersion fetches the tuple and MVCC version at rid (zero version
+// for plain records).
+func (h *HeapFile) GetVersion(rid RID) (Tuple, Version, error) {
+	p, err := h.bm.GetPage(rid.Page)
+	if err != nil {
+		return nil, Version{}, err
+	}
+	defer h.bm.Unpin(rid.Page)
+	rec, err := p.Get(rid.Slot)
+	if err != nil {
+		if errors.Is(err, ErrSlotDeleted) || errors.Is(err, ErrBadSlot) {
+			return nil, Version{}, fmt.Errorf("%w: %s", ErrNotFound, rid)
+		}
+		return nil, Version{}, err
+	}
+	return DecodeRecord(rec)
+}
+
+// SetXmax stamps the deleting transaction on the record at rid — the
+// MVCC claim. `decide` inspects the record's current version under
+// the page write latch and may refuse (write conflict); decision and
+// stamp being one critical section is what makes first-claimer-wins
+// sound. A nil decide stamps unconditionally (rollback's un-claim).
+// Stamping a versioned record is an in-place same-length rewrite;
+// upgrading a plain record grows it by the header and may move it, so
+// the record's resulting RID is returned.
+func (h *HeapFile) SetXmax(rid RID, xmax uint64, decide func(Version) error) (RID, error) {
+	slot, err := h.setXmaxOnce(rid, xmax, decide)
+	if errors.Is(err, ErrPageFull) {
+		// A plain-record upgrade did not fit: reclaim tombstoned space
+		// and retry once (decide re-runs — the record may have changed
+		// between the latch holds).
+		if p, perr := h.bm.GetPage(rid.Page); perr == nil {
+			p.Compact()
+			h.bm.Unpin(rid.Page)
+			slot, err = h.setXmaxOnce(rid, xmax, decide)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, ErrSlotDeleted) || errors.Is(err, ErrBadSlot) {
+			return RID{}, fmt.Errorf("%w: %s", ErrNotFound, rid)
+		}
+		return RID{}, err
+	}
+	return RID{Page: rid.Page, Slot: slot}, nil
+}
+
+func (h *HeapFile) setXmaxOnce(rid RID, xmax uint64, decide func(Version) error) (int, error) {
+	p, err := h.bm.GetPage(rid.Page)
+	if err != nil {
+		return 0, err
+	}
+	defer h.bm.Unpin(rid.Page)
+	var after func(newSlot int, rec []byte) (uint64, error)
+	if h.db != nil {
+		after = func(newSlot int, rec []byte) (uint64, error) {
+			return h.db.logUpdate(rid.Page, rid.Slot, newSlot, rec)
+		}
+	}
+	return p.MutateWith(rid.Slot, func(old []byte) ([]byte, error) {
+		if decide != nil {
+			v, err := RecordVersion(old)
+			if err != nil {
+				return nil, err
+			}
+			if err := decide(v); err != nil {
+				return nil, err
+			}
+		}
+		return stampXmax(old, xmax), nil
+	}, after)
 }
 
 // Delete removes the record at rid.
@@ -220,6 +304,64 @@ func (h *HeapFile) PageTuplesInto(id PageID, dst []Tuple) ([]Tuple, error) {
 	}
 	defer h.bm.Unpin(id)
 	return p.TuplesInto(dst)
+}
+
+// PageTuplesVisibleInto is PageTuplesInto filtered through a
+// snapshot: only versions vis reports visible are appended — the
+// page-granular MVCC read primitive HeapView threads through the
+// batch executor.
+func (h *HeapFile) PageTuplesVisibleInto(id PageID, dst []Tuple, vis Visibility) ([]Tuple, error) {
+	p, err := h.bm.GetPage(id)
+	if err != nil {
+		return dst, err
+	}
+	defer h.bm.Unpin(id)
+	return p.TuplesVisibleInto(dst, vis)
+}
+
+// ScanVersions calls fn for every live record in file order with its
+// MVCC version (zero for plain records); returning false stops the
+// scan. The transaction layer's DML scans run through here so the
+// victim set is computed against the statement's snapshot.
+func (h *HeapFile) ScanVersions(fn func(rid RID, t Tuple, v Version) bool) error {
+	h.mu.Lock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.Unlock()
+	for _, id := range pages {
+		stop, err := h.scanPageVersions(id, fn)
+		if err != nil || stop {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *HeapFile) scanPageVersions(id PageID, fn func(rid RID, t Tuple, v Version) bool) (stop bool, err error) {
+	p, err := h.bm.GetPage(id)
+	if err != nil {
+		return false, err
+	}
+	defer h.bm.Unpin(id)
+	for s := 0; s < p.Slots(); s++ {
+		if !p.Live(s) {
+			continue
+		}
+		rec, err := p.Get(s)
+		if errors.Is(err, ErrSlotDeleted) {
+			continue // deleted between Live and Get by a concurrent writer
+		}
+		if err != nil {
+			return false, err
+		}
+		t, v, err := DecodeRecord(rec)
+		if err != nil {
+			return false, err
+		}
+		if !fn(RID{Page: id, Slot: s}, t, v) {
+			return true, nil
+		}
+	}
+	return false, nil
 }
 
 // ScanPartition calls fn for every live record on the pages of one

@@ -43,12 +43,21 @@ var (
 type Page struct {
 	mu  sync.RWMutex
 	buf [PageSize]byte
-	dec atomic.Pointer[[]Tuple]
+	dec atomic.Pointer[decodedPage]
 	// lsn is the LSN of the last logged mutation applied to this page
 	// (0 for unlogged pages). Guarded by mu; recovery's redo pass
 	// applies a record only when lsn < record LSN, which is what makes
 	// replaying over a fuzzy-checkpoint image idempotent.
 	lsn uint64
+}
+
+// decodedPage is the page's cached decode image: the live tuples in
+// slot order and, when any record on the page carries an MVCC header,
+// a parallel version slice (nil means every record is plain, which
+// lets visibility-filtered scans skip per-tuple checks entirely).
+type decodedPage struct {
+	tuples []Tuple
+	vers   []Version
 }
 
 // NewPage returns an initialised empty page.
@@ -262,7 +271,65 @@ func (p *Page) updateLocked(slot int, rec []byte) (int, error) {
 	if err := p.deleteLocked(slot); err != nil {
 		return 0, err
 	}
-	return p.insertLocked(rec)
+	newSlot, err := p.insertLocked(rec)
+	if err != nil {
+		// The move failed (page full): resurrect the old record — its
+		// bytes are untouched, only the slot length was zeroed — so a
+		// failed update never loses the row.
+		p.setSlot(slot, off, length)
+		return 0, err
+	}
+	return newSlot, nil
+}
+
+// MutateWith rewrites one record through `mutate` under a single
+// write-latch hold: the callback receives the current image and
+// returns the replacement, so a read-decide-write sequence (the MVCC
+// claim: inspect the version, then stamp Xmax) is atomic with respect
+// to every other writer of the page. `after` is the latch-scoped
+// logging hook (see InsertWith); nil skips logging (detached files).
+// Returns the record's resulting slot — same-length rewrites never
+// move.
+func (p *Page) MutateWith(slot int, mutate func(old []byte) ([]byte, error),
+	after func(newSlot int, rec []byte) (uint64, error)) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if slot < 0 || slot >= p.slotCount() {
+		return 0, fmt.Errorf("%w: %d", ErrBadSlot, slot)
+	}
+	off, length := p.slotAt(slot)
+	if length == 0 {
+		return 0, fmt.Errorf("%w: %d", ErrSlotDeleted, slot)
+	}
+	old := append([]byte(nil), p.buf[off:off+length]...)
+	//admvet:allow latchorder the claim decision must be atomic with the rewrite, so the mutate callback runs under the page latch by design
+	rec, err := mutate(old)
+	if err != nil {
+		return 0, err
+	}
+	p.dec.Store(nil)
+	newSlot, err := p.updateLocked(slot, rec)
+	if err != nil {
+		return 0, err
+	}
+	if after == nil {
+		return newSlot, nil
+	}
+	//admvet:allow latchorder per-page WAL order must equal apply order, so the log callback runs under the page latch by design
+	lsn, err := after(newSlot, rec)
+	if err != nil {
+		if newSlot != slot {
+			// Move path: drop the appended slot, then resurrect the old.
+			insOff, insLen := p.slotAt(newSlot)
+			p.setSlotCount(newSlot)
+			p.setFreeEnd(insOff + insLen)
+		}
+		copy(p.buf[off:], old)
+		p.setSlot(slot, off, len(old))
+		return 0, err
+	}
+	p.lsn = lsn
+	return newSlot, nil
 }
 
 // UpdateWith is Update with a latch-scoped logging hook (see
@@ -443,14 +510,48 @@ func (p *Page) Tuples() ([]Tuple, error) { return p.TuplesInto(nil) }
 // after dst is reused, so retaining consumers (hash-join builds,
 // drains) alias them without copying.
 func (p *Page) TuplesInto(dst []Tuple) ([]Tuple, error) {
+	d, err := p.decoded()
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, d.tuples...), nil
+}
+
+// TuplesVisibleInto is TuplesInto filtered through a snapshot: only
+// versions vis reports visible are appended. This is the MVCC read
+// path of the batch executor — the filter runs inside the (cached)
+// decode loop, so snapshot scans are lock-free against the version
+// store and cost nothing on pages with no versioned records.
+func (p *Page) TuplesVisibleInto(dst []Tuple, vis Visibility) ([]Tuple, error) {
+	d, err := p.decoded()
+	if err != nil {
+		return dst, err
+	}
+	if d.vers == nil || vis == nil {
+		// All-plain page: the zero Version is visible to every snapshot.
+		return append(dst, d.tuples...), nil
+	}
+	for i, t := range d.tuples {
+		if vis(d.vers[i]) {
+			dst = append(dst, t)
+		}
+	}
+	return dst, nil
+}
+
+// decoded returns the page's decode image, producing and publishing
+// it under the read latch on a cache miss.
+func (p *Page) decoded() (*decodedPage, error) {
 	if c := p.dec.Load(); c != nil {
-		return append(dst, *c...), nil
+		return c, nil
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	// Pre-pass: size the value arena from the record headers alone,
-	// and count live slots for the cache image.
-	total, live := 0, 0
+	// count live slots for the cache image, and note whether any
+	// record carries an MVCC header (the common all-plain page skips
+	// the version slice entirely).
+	total, live, versioned := 0, 0, false
 	for s := 0; s < p.slotCount(); s++ {
 		off, length := p.slotAt(s)
 		if length == 0 {
@@ -458,7 +559,10 @@ func (p *Page) TuplesInto(dst []Tuple) ([]Tuple, error) {
 		}
 		n, err := RecordFields(p.buf[off : off+length])
 		if err != nil {
-			return dst, err
+			return nil, err
+		}
+		if length >= 2 && binary.BigEndian.Uint16(p.buf[off:off+2]) == versionMarker {
+			versioned = true
 		}
 		total += n
 		live++
@@ -466,23 +570,34 @@ func (p *Page) TuplesInto(dst []Tuple) ([]Tuple, error) {
 	// The arena never reallocates (capacity is exact), so the tuple
 	// slices carved below remain valid.
 	arena := make(Tuple, 0, total)
-	decoded := make([]Tuple, 0, live)
+	d := &decodedPage{tuples: make([]Tuple, 0, live)}
+	if versioned {
+		d.vers = make([]Version, 0, live)
+	}
 	for s := 0; s < p.slotCount(); s++ {
 		off, length := p.slotAt(s)
 		if length == 0 {
 			continue
 		}
+		rec := p.buf[off : off+length]
+		if versioned {
+			v, err := RecordVersion(rec)
+			if err != nil {
+				return nil, err
+			}
+			d.vers = append(d.vers, v)
+		}
 		start := len(arena)
 		var err error
-		arena, err = DecodeTupleInto(arena, p.buf[off:off+length])
+		arena, err = DecodeTupleInto(arena, rec)
 		if err != nil {
-			return dst, err
+			return nil, err
 		}
-		decoded = append(decoded, arena[start:len(arena):len(arena)])
+		d.tuples = append(d.tuples, arena[start:len(arena):len(arena)])
 	}
 	// Publish under the read latch: any mutator's invalidation is
 	// either already visible (we decoded its write) or will run after
 	// our unlock and clear this image.
-	p.dec.Store(&decoded)
-	return append(dst, decoded...), nil
+	p.dec.Store(d)
+	return d, nil
 }

@@ -169,20 +169,25 @@ func EncodeTuple(t Tuple) []byte {
 	return buf
 }
 
-// DecodeTuple parses an EncodeTuple image.
+// DecodeTuple parses a stored record image into its tuple. Versioned
+// records decode version-blind: the MVCC header is skipped and the
+// payload tuple returned (DecodeRecord surfaces the version).
 func DecodeTuple(b []byte) (Tuple, error) {
-	if len(b) < 2 {
-		return nil, fmt.Errorf("%w: short header", ErrCorruptRecord)
+	b, _, err := recordParts(b)
+	if err != nil {
+		return nil, err
 	}
 	n := int(binary.BigEndian.Uint16(b))
 	return decodeFields(make(Tuple, 0, n), b[2:], n)
 }
 
-// RecordFields returns the field count of an encoded record without
-// decoding it — how batch decoders size their value arenas.
+// RecordFields returns the field count of an encoded record (plain or
+// versioned) without decoding it — how batch decoders size their
+// value arenas.
 func RecordFields(b []byte) (int, error) {
-	if len(b) < 2 {
-		return 0, fmt.Errorf("%w: short header", ErrCorruptRecord)
+	b, _, err := recordParts(b)
+	if err != nil {
+		return 0, err
 	}
 	return int(binary.BigEndian.Uint16(b)), nil
 }
@@ -193,11 +198,11 @@ func RecordFields(b []byte) (int, error) {
 // fast path of the vectorized scan. The appended region is the decoded
 // tuple; callers typically slice it back out of the returned arena.
 func DecodeTupleInto(dst Tuple, b []byte) (Tuple, error) {
-	n, err := RecordFields(b)
+	b, _, err := recordParts(b)
 	if err != nil {
 		return dst, err
 	}
-	return decodeFields(dst, b[2:], n)
+	return decodeFields(dst, b[2:], int(binary.BigEndian.Uint16(b)))
 }
 
 // decodeFields appends n values parsed from b to out.

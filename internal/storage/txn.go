@@ -1,0 +1,435 @@
+// Snapshot-isolation MVCC over the LSN clock, as a component layered
+// on (not into) the storage engine — the Transparent Concurrency
+// Control decoupling applied to this substrate. The design, end to
+// end:
+//
+//   - Timestamps are WAL LSNs. A transaction's snapshot is the LSN of
+//     the last *published* commit at Begin; a version (Xmin, Xmax) is
+//     visible when Xmin committed at or before that horizon (or is the
+//     reader itself) and Xmax did not.
+//   - Writes are eager: inserts land immediately with Xmin = writer,
+//     deletes stamp Xmax in place under the page latch. Stamping Xmax
+//     doubles as the row write lock — the claim's decide callback
+//     rejects a version whose Xmax belongs to a live or
+//     newer-committed transaction, which is first-claimer-wins and
+//     hence first-committer-wins under SI.
+//   - Rollback undoes physically (tombstone own inserts, clear claimed
+//     Xmax) through the ordinary logged mutation path, so the redo log
+//     stays redo-only.
+//   - Commit is a group: committers enqueue; the first to arrive with
+//     no leader active is elected leader and drains the queue, appends
+//     every RecTxnCommit, places ONE Sync barrier for the whole batch
+//     (the SyncManual contract), then publishes the commits in LSN
+//     order, looping while new committers accumulate behind the
+//     barrier. Publication order is what keeps snapshots
+//     prefix-consistent: a horizon can never include a later commit
+//     while excluding an earlier one.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrWriteConflict reports a first-committer-wins serialization
+// failure: the transaction tried to delete or update a row version a
+// concurrent transaction already claimed (or committed over). The
+// transaction must abort and retry.
+var ErrWriteConflict = errors.New("storage: write conflict")
+
+// ErrTxnDone is returned when a finished transaction is used again.
+var ErrTxnDone = errors.New("storage: transaction already finished")
+
+// Snapshot is a transaction's read horizon.
+type Snapshot struct {
+	// High is the commit-LSN horizon: versions whose creator committed
+	// at an LSN <= High existed at Begin.
+	High uint64
+	// Self is the owning transaction: its own writes are visible (and
+	// its own deletes are not).
+	Self uint64
+}
+
+// TxnManager issues transactions and commit timestamps over one DB's
+// WAL LSN clock. It is the pluggable CC component: a DB without
+// transactions never touches it, and readers opt in per scan by
+// binding a HeapView to a snapshot.
+type TxnManager struct {
+	db *DB
+
+	// mu guards the commit table and the snapshot horizon. Level 55
+	// ("txn-manager") in the latch hierarchy: visibility checks take
+	// it (read-side) under page latches, publication takes it under
+	// the group-commit leader baton.
+	mu      sync.RWMutex
+	commits map[uint64]uint64 // txn id -> commit LSN
+	aborted map[uint64]struct{}
+	high    uint64 // last published commit LSN
+	nextID  uint64
+
+	// gcMu guards the commit queue and the leader flag (level 53,
+	// "txn-commit"). The flag IS the leader election: the first
+	// committer to enqueue while no leader is active becomes the
+	// leader and loops flushing batches until the queue drains;
+	// everyone else just waits on its done channel. Followers never
+	// contend on a leader lock — that shape degenerates into a baton
+	// convoy where every committer pays its own Sync.
+	gcMu      sync.Mutex
+	gcLeading bool
+	queue     []*commitReq
+
+	statMu  sync.Mutex
+	groups  uint64
+	batched uint64
+	aborts  uint64
+}
+
+type commitReq struct {
+	id   uint64
+	done chan error
+}
+
+// TxnStats is the manager's counter snapshot.
+type TxnStats struct {
+	// Groups is the number of commit batches flushed (one Sync each);
+	// Batched is the transactions committed through them — Batched /
+	// Groups is the realised group-commit fan-in.
+	Groups, Batched uint64
+	// Aborts counts rollbacks (explicit and conflict-forced).
+	Aborts uint64
+}
+
+// newTxnManager wires a manager over db with recovered state.
+func newTxnManager(db *DB, commits map[uint64]uint64, aborted map[uint64]struct{}, maxID uint64) *TxnManager {
+	if commits == nil {
+		commits = map[uint64]uint64{}
+	}
+	if aborted == nil {
+		aborted = map[uint64]struct{}{}
+	}
+	var high uint64
+	for _, lsn := range commits {
+		if lsn > high {
+			high = lsn
+		}
+	}
+	return &TxnManager{
+		db:      db,
+		commits: commits,
+		aborted: aborted,
+		high:    high,
+		nextID:  maxID,
+	}
+}
+
+// Stats returns the manager's counters.
+func (tm *TxnManager) Stats() TxnStats {
+	tm.statMu.Lock()
+	defer tm.statMu.Unlock()
+	return TxnStats{Groups: tm.groups, Batched: tm.batched, Aborts: tm.aborts}
+}
+
+// Begin opens a transaction with a snapshot of the current commit
+// horizon. Read-only transactions are free: no WAL record is written
+// unless the transaction writes.
+func (tm *TxnManager) Begin() *Txn {
+	tm.mu.Lock()
+	tm.nextID++
+	id := tm.nextID
+	snap := Snapshot{High: tm.high, Self: id}
+	tm.mu.Unlock()
+	return &Txn{tm: tm, id: id, snap: snap}
+}
+
+// commitLSN looks up a transaction's commit timestamp.
+func (tm *TxnManager) commitLSN(id uint64) (uint64, bool) {
+	tm.mu.RLock()
+	lsn, ok := tm.commits[id]
+	tm.mu.RUnlock()
+	return lsn, ok
+}
+
+// isAborted reports whether id rolled back.
+func (tm *TxnManager) isAborted(id uint64) bool {
+	tm.mu.RLock()
+	_, ok := tm.aborted[id]
+	tm.mu.RUnlock()
+	return ok
+}
+
+// committedAt reports whether id committed within snapshot s.
+func (tm *TxnManager) committedAt(id uint64, s Snapshot) bool {
+	if id == 0 {
+		return true // plain record: committed before every snapshot
+	}
+	if id == s.Self {
+		return true // own write
+	}
+	lsn, ok := tm.commitLSN(id)
+	return ok && lsn <= s.High
+}
+
+// visible implements snapshot visibility for one version.
+func (tm *TxnManager) visible(v Version, s Snapshot) bool {
+	if v.Xmin != 0 && !tm.committedAt(v.Xmin, s) {
+		return false // creator not committed in this snapshot
+	}
+	if v.Xmax == 0 {
+		return true // never deleted
+	}
+	return !tm.committedAt(v.Xmax, s) // deleted iff the deleter committed in-snapshot (or is self)
+}
+
+// ---------------------------------------------------------------------------
+// Txn.
+
+// Txn is one transaction. A Txn is owned by a single session
+// goroutine; only its snapshot closure (Visible) may be shared across
+// goroutines (parallel scan workers).
+type Txn struct {
+	tm     *TxnManager
+	id     uint64
+	snap   Snapshot
+	writes int
+	undo   []func() error
+	done   bool
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Snapshot returns the transaction's read horizon.
+func (t *Txn) Snapshot() Snapshot { return t.snap }
+
+// Visible returns the snapshot's visibility closure — safe for
+// concurrent use by parallel scan workers.
+func (t *Txn) Visible() Visibility {
+	tm, snap := t.tm, t.snap
+	return func(v Version) bool { return tm.visible(v, snap) }
+}
+
+// View binds a heap file to this transaction's snapshot.
+func (t *Txn) View(h *HeapFile) *HeapView { return h.View(t.Visible()) }
+
+// OnRollback registers an undo action (run in reverse registration
+// order). Higher layers hang index fix-ups here.
+func (t *Txn) OnRollback(fn func() error) { t.undo = append(t.undo, fn) }
+
+// Insert adds a row version owned by this transaction.
+func (t *Txn) Insert(h *HeapFile, tu Tuple) (RID, error) {
+	if t.done {
+		return RID{}, ErrTxnDone
+	}
+	rid, err := h.InsertVersion(tu, Version{Xmin: t.id})
+	if err != nil {
+		return RID{}, err
+	}
+	t.writes++
+	t.undo = append(t.undo, func() error { return h.Delete(rid) })
+	return rid, nil
+}
+
+// Delete claims the row version at rid for deletion
+// (first-claimer-wins: a version already claimed by a live
+// transaction, or committed over since this snapshot, returns
+// ErrWriteConflict). The version stays on the page — invisible to
+// later snapshots once this transaction commits — so concurrent
+// readers are never blocked. Returns the version's (possibly moved)
+// RID.
+func (t *Txn) Delete(h *HeapFile, rid RID) (RID, error) {
+	if t.done {
+		return RID{}, ErrTxnDone
+	}
+	nrid, err := h.SetXmax(rid, t.id, t.claimable)
+	if err != nil {
+		return RID{}, err
+	}
+	t.writes++
+	t.undo = append(t.undo, func() error {
+		_, err := h.SetXmax(nrid, 0, nil)
+		return err
+	})
+	return nrid, nil
+}
+
+// claimable is the conflict decision, run under the page write latch
+// so it is atomic with the Xmax stamp.
+func (t *Txn) claimable(v Version) error {
+	if v.Xmin != 0 && !t.tm.committedAt(v.Xmin, t.snap) {
+		// A version we cannot even see (uncommitted or post-snapshot
+		// creator): claiming it would write over a concurrent writer.
+		return fmt.Errorf("%w: version created by txn %d", ErrWriteConflict, v.Xmin)
+	}
+	if v.Xmax == 0 {
+		return nil
+	}
+	if v.Xmax == t.id {
+		return fmt.Errorf("%w: already deleted in this transaction", ErrWriteConflict)
+	}
+	if t.tm.isAborted(v.Xmax) {
+		return nil // the claimer rolled back: steal the claim
+	}
+	// Live claimer or one that committed past our snapshot: first
+	// claimer wins, we lose.
+	return fmt.Errorf("%w: row claimed by txn %d", ErrWriteConflict, v.Xmax)
+}
+
+// Update replaces the version at rid: claim the old version, insert
+// the new one owned by this transaction. Returns the old version's
+// (possibly moved) RID and the new version's RID.
+func (t *Txn) Update(h *HeapFile, rid RID, tu Tuple) (oldRID, newRID RID, err error) {
+	oldRID, err = t.Delete(h, rid)
+	if err != nil {
+		return RID{}, RID{}, err
+	}
+	newRID, err = t.Insert(h, tu)
+	if err != nil {
+		return RID{}, RID{}, err
+	}
+	return oldRID, newRID, nil
+}
+
+// Commit makes the transaction's writes durable and visible. Writing
+// transactions ride the group-commit path: one WAL Sync barrier per
+// batch of concurrently committing sessions. Read-only transactions
+// commit for free.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	t.undo = nil
+	if t.writes == 0 {
+		return nil
+	}
+	return t.tm.commitTxn(t.id)
+}
+
+// Rollback undoes the transaction's writes physically (through the
+// ordinary logged mutation path) and records the abort. Idempotent
+// after Commit-or-Rollback: a second call is a no-op.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.undo[i](); err != nil {
+			// The undo path appends WAL records; a failure there has
+			// already poisoned the DB (ErrDBFailed) — nothing more to
+			// unwind.
+			t.undo = nil
+			return err
+		}
+	}
+	t.undo = nil
+	if t.writes == 0 {
+		return nil
+	}
+	return t.tm.abortTxn(t.id)
+}
+
+// ---------------------------------------------------------------------------
+// Group commit.
+
+// commitTxn runs the leader/follower protocol. Enqueue under gcMu;
+// if a leader is already active, its drain loop is guaranteed to
+// flush this request, so just wait for the verdict. Otherwise become
+// the leader: flush the queue as one WAL batch (append every
+// RecTxnCommit, ONE Sync, publish), and keep flushing batches that
+// accumulated during the Sync until the queue is empty, then retire.
+// Election and retirement both happen under gcMu, so a request is
+// never enqueued without either an active leader or its owner
+// becoming one — no lost wakeups.
+func (tm *TxnManager) commitTxn(id uint64) error {
+	req := &commitReq{id: id, done: make(chan error, 1)}
+	tm.gcMu.Lock()
+	tm.queue = append(tm.queue, req)
+	if tm.gcLeading {
+		tm.gcMu.Unlock()
+		return <-req.done
+	}
+	tm.gcLeading = true
+	var own error
+	for {
+		batch := tm.queue
+		tm.queue = nil
+		tm.gcMu.Unlock()
+		err := tm.commitBatch(batch)
+		// Signal outside every lock; channels are buffered so the
+		// sends never block. The leader's own request rides the first
+		// batch (it was enqueued before the election).
+		for _, r := range batch {
+			if r == req {
+				own = err
+				continue
+			}
+			r.done <- err
+		}
+		tm.gcMu.Lock()
+		if len(tm.queue) == 0 {
+			tm.gcLeading = false
+			tm.gcMu.Unlock()
+			return own
+		}
+		// Committers arrived while this batch was syncing: flush them
+		// too before retiring — they are waiting on their channels and
+		// no one else will.
+	}
+}
+
+// commitBatch appends one RecTxnCommit per transaction, places a
+// single Sync barrier for all of them, then publishes the commits in
+// LSN order under the horizon lock. Runs under the leader baton.
+func (tm *TxnManager) commitBatch(batch []*commitReq) error {
+	if err := tm.db.Err(); err != nil {
+		return err
+	}
+	type pub struct{ id, lsn uint64 }
+	pubs := make([]pub, 0, len(batch))
+	for _, r := range batch {
+		lsn, err := tm.db.wal.Append(RecTxnCommit, encodeTxn(r.id))
+		if err != nil {
+			return tm.db.fail(err)
+		}
+		pubs = append(pubs, pub{r.id, lsn})
+	}
+	// The batch's one durability barrier (under SyncEveryRecord each
+	// append was already a barrier and this is a cheap no-op).
+	if err := tm.db.wal.Sync(); err != nil {
+		return tm.db.fail(err)
+	}
+	tm.mu.Lock()
+	for _, p := range pubs {
+		tm.commits[p.id] = p.lsn
+		if p.lsn > tm.high {
+			tm.high = p.lsn
+		}
+	}
+	tm.mu.Unlock()
+	tm.statMu.Lock()
+	tm.groups++
+	tm.batched += uint64(len(batch))
+	tm.statMu.Unlock()
+	return nil
+}
+
+// abortTxn records a rollback: the abort mark makes the id's claims
+// stealable, and the (unsynced) abort record documents the decision
+// in the log.
+func (tm *TxnManager) abortTxn(id uint64) error {
+	tm.mu.Lock()
+	tm.aborted[id] = struct{}{}
+	tm.mu.Unlock()
+	tm.statMu.Lock()
+	tm.aborts++
+	tm.statMu.Unlock()
+	if err := tm.db.Err(); err != nil {
+		return err
+	}
+	if _, err := tm.db.wal.Append(RecTxnAbort, encodeTxn(id)); err != nil {
+		return tm.db.fail(err)
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+// MVCC transaction tests: the snapshot-visibility/conflict matrix
+// (insert/delete/update races, read-own-writes, first-committer-wins)
+// plus a race-detector stress run driving 16 concurrent sessions
+// through the group-commit leader.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// newTxnDB opens a fresh DB (SyncManual — the group-commit policy)
+// with one heap file.
+func newTxnDB(t *testing.T) (*DB, *HeapFile) {
+	t.Helper()
+	db, err := Open(NewMemDisk(), NewMemDisk(), DBOptions{Sync: SyncManual})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	h, err := db.CreateFile("rows")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	return db, h
+}
+
+func rowTuple(k int64, rev int) Tuple {
+	return Tuple{IntValue(k), StringValue(fmt.Sprintf("k%d-rev%d", k, rev))}
+}
+
+// keysOf extracts column-0 keys from a view's visible rows.
+func keysOf(t *testing.T, v *HeapView) map[int64]bool {
+	t.Helper()
+	rows, err := v.All()
+	if err != nil {
+		t.Fatalf("all: %v", err)
+	}
+	out := map[int64]bool{}
+	for _, r := range rows {
+		out[r[0].Int] = true
+	}
+	return out
+}
+
+func wantKeys(t *testing.T, v *HeapView, want ...int64) {
+	t.Helper()
+	got := keysOf(t, v)
+	if len(got) != len(want) {
+		t.Fatalf("visible keys = %v, want %v", got, want)
+	}
+	for _, k := range want {
+		if !got[k] {
+			t.Fatalf("visible keys = %v, missing %d", got, k)
+		}
+	}
+}
+
+// TestSnapshotVisibilityMatrix is the table-driven visibility and
+// conflict matrix. Each scenario scripts two transactions (and the
+// autocommit heap) and states what every observer must see.
+func TestSnapshotVisibilityMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, db *DB, h *HeapFile)
+	}{
+		{"plain records visible to every snapshot", func(t *testing.T, db *DB, h *HeapFile) {
+			if _, err := h.Insert(rowTuple(1, 0)); err != nil {
+				t.Fatal(err)
+			}
+			tx := db.Txns().Begin()
+			defer tx.Rollback()
+			wantKeys(t, tx.View(h), 1)
+		}},
+		{"uncommitted insert invisible to others, visible to self", func(t *testing.T, db *DB, h *HeapFile) {
+			t1, t2 := db.Txns().Begin(), db.Txns().Begin()
+			defer t1.Rollback()
+			defer t2.Rollback()
+			if _, err := t1.Insert(h, rowTuple(1, 0)); err != nil {
+				t.Fatal(err)
+			}
+			wantKeys(t, t1.View(h), 1) // read-own-writes
+			wantKeys(t, t2.View(h))    // snapshot isolation
+		}},
+		{"commit visible only to later snapshots", func(t *testing.T, db *DB, h *HeapFile) {
+			t1 := db.Txns().Begin()
+			if _, err := t1.Insert(h, rowTuple(1, 0)); err != nil {
+				t.Fatal(err)
+			}
+			before := db.Txns().Begin() // snapshot predates the commit
+			defer before.Rollback()
+			if err := t1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			after := db.Txns().Begin()
+			defer after.Rollback()
+			wantKeys(t, before.View(h)) // repeatable: still empty
+			wantKeys(t, after.View(h), 1)
+		}},
+		{"delete hides from later snapshots, not earlier ones", func(t *testing.T, db *DB, h *HeapFile) {
+			rid, err := h.Insert(rowTuple(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1 := db.Txns().Begin()
+			if _, err := t1.Delete(h, rid); err != nil {
+				t.Fatal(err)
+			}
+			before := db.Txns().Begin()
+			defer before.Rollback()
+			wantKeys(t, t1.View(h)) // own delete: gone for self
+			if err := t1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			after := db.Txns().Begin()
+			defer after.Rollback()
+			wantKeys(t, before.View(h), 1) // old snapshot keeps the row
+			wantKeys(t, after.View(h))
+		}},
+		{"update: old snapshot sees old version, new sees new", func(t *testing.T, db *DB, h *HeapFile) {
+			rid, err := h.Insert(rowTuple(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1 := db.Txns().Begin()
+			if _, _, err := t1.Update(h, rid, rowTuple(1, 1)); err != nil {
+				t.Fatal(err)
+			}
+			before := db.Txns().Begin()
+			defer before.Rollback()
+			if err := t1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			after := db.Txns().Begin()
+			defer after.Rollback()
+			for _, probe := range []struct {
+				tx   *Txn
+				want string
+			}{{before, "k1-rev0"}, {after, "k1-rev1"}} {
+				rows, err := probe.tx.View(h).All()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows) != 1 || rows[0][1].Str != probe.want {
+					t.Fatalf("saw %v, want one row %q", rows, probe.want)
+				}
+			}
+		}},
+		{"delete-delete race: first claimer wins", func(t *testing.T, db *DB, h *HeapFile) {
+			rid, err := h.Insert(rowTuple(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1, t2 := db.Txns().Begin(), db.Txns().Begin()
+			defer t1.Rollback()
+			defer t2.Rollback()
+			nrid, err := t1.Delete(h, rid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := t2.Delete(h, nrid); !errors.Is(err, ErrWriteConflict) {
+				t.Fatalf("second claim err = %v, want ErrWriteConflict", err)
+			}
+		}},
+		{"update-update race: loser conflicts even after winner commits", func(t *testing.T, db *DB, h *HeapFile) {
+			rid, err := h.Insert(rowTuple(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1, t2 := db.Txns().Begin(), db.Txns().Begin()
+			defer t2.Rollback()
+			orid, _, err := t1.Update(h, rid, rowTuple(1, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := t1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// t2's snapshot predates t1's commit: first committer won.
+			if _, _, err := t2.Update(h, orid, rowTuple(1, 2)); !errors.Is(err, ErrWriteConflict) {
+				t.Fatalf("loser update err = %v, want ErrWriteConflict", err)
+			}
+		}},
+		{"aborted claim is stealable", func(t *testing.T, db *DB, h *HeapFile) {
+			rid, err := h.Insert(rowTuple(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1 := db.Txns().Begin()
+			nrid, err := t1.Delete(h, rid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := t1.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+			t2 := db.Txns().Begin()
+			if _, err := t2.Delete(h, nrid); err != nil {
+				t.Fatalf("steal after abort: %v", err)
+			}
+			if err := t2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			after := db.Txns().Begin()
+			defer after.Rollback()
+			wantKeys(t, after.View(h))
+		}},
+		{"rollback undoes insert and restores claimed rows", func(t *testing.T, db *DB, h *HeapFile) {
+			rid, err := h.Insert(rowTuple(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1 := db.Txns().Begin()
+			if _, err := t1.Insert(h, rowTuple(2, 0)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := t1.Delete(h, rid); err != nil {
+				t.Fatal(err)
+			}
+			if err := t1.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+			after := db.Txns().Begin()
+			defer after.Rollback()
+			wantKeys(t, after.View(h), 1)
+		}},
+		{"double delete in one txn conflicts with itself", func(t *testing.T, db *DB, h *HeapFile) {
+			rid, err := h.Insert(rowTuple(1, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t1 := db.Txns().Begin()
+			defer t1.Rollback()
+			nrid, err := t1.Delete(h, rid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := t1.Delete(h, nrid); !errors.Is(err, ErrWriteConflict) {
+				t.Fatalf("second delete err = %v, want ErrWriteConflict", err)
+			}
+		}},
+		{"read-only commit is free", func(t *testing.T, db *DB, h *HeapFile) {
+			if _, err := h.Insert(rowTuple(1, 0)); err != nil {
+				t.Fatal(err)
+			}
+			before := db.Txns().Stats()
+			tx := db.Txns().Begin()
+			wantKeys(t, tx.View(h), 1)
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			after := db.Txns().Stats()
+			if after.Groups != before.Groups || after.Batched != before.Batched {
+				t.Fatalf("read-only commit flushed a group: %+v -> %+v", before, after)
+			}
+		}},
+		{"finished txn refuses further writes", func(t *testing.T, db *DB, h *HeapFile) {
+			t1 := db.Txns().Begin()
+			if err := t1.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := t1.Insert(h, rowTuple(1, 0)); !errors.Is(err, ErrTxnDone) {
+				t.Fatalf("insert after commit err = %v, want ErrTxnDone", err)
+			}
+			if err := t1.Commit(); !errors.Is(err, ErrTxnDone) {
+				t.Fatalf("double commit err = %v, want ErrTxnDone", err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, h := newTxnDB(t)
+			tc.run(t, db, h)
+		})
+	}
+}
+
+// TestTxnRecoveryCommitTable crashes with a mix of committed, aborted
+// and in-flight transactions and checks the reopened DB reconstructs
+// exactly the committed state.
+func TestTxnRecoveryCommitTable(t *testing.T) {
+	walMem, dataMem := NewMemDisk(), NewMemDisk()
+	db, err := Open(walMem, dataMem, DBOptions{Sync: SyncManual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := db.CreateFile("rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := db.Txns().Begin()
+	if _, err := committed.Insert(h, rowTuple(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := committed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	aborted := db.Txns().Begin()
+	if _, err := aborted.Insert(h, rowTuple(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := aborted.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	inflight := db.Txns().Begin()
+	if _, err := inflight.Insert(h, rowTuple(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: reopen from the disks' surviving bytes, in-flight txn
+	// never decided. (MemDisk writes are durable immediately; only the
+	// missing commit record matters.)
+	db2, err := Open(NewMemDiskFrom(walMem.Bytes()), NewMemDiskFrom(dataMem.Bytes()), DBOptions{Sync: SyncManual})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := db2.Stats().Recovery; got.TxnsCommitted != 1 || got.TxnsAborted != 1 {
+		t.Fatalf("recovery txn counts = %+v, want 1 committed / 1 aborted", got)
+	}
+	h2, ok := db2.File("rows")
+	if !ok {
+		t.Fatal("rows file lost")
+	}
+	tx := db2.Txns().Begin()
+	defer tx.Rollback()
+	wantKeys(t, tx.View(h2), 1) // only the committed row survives
+	// The recovered id clock must not reissue the in-flight id: a new
+	// txn gets a fresh id, and the orphan version stays invisible.
+	if tx.ID() <= inflight.ID() {
+		t.Fatalf("recovered id clock %d not past in-flight id %d", tx.ID(), inflight.ID())
+	}
+}
+
+// TestGroupCommitStress drives 16 concurrent sessions through the
+// group-commit path under the race detector: every session loops
+// begin-insert-commit with interleaved snapshot reads; afterwards all
+// rows must be visible and the batching counters consistent.
+func TestGroupCommitStress(t *testing.T) {
+	db, h := newTxnDB(t)
+	const sessions = 16
+	const txnsPer = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < txnsPer; i++ {
+				tx := db.Txns().Begin()
+				if _, err := tx.Insert(h, rowTuple(int64(s*txnsPer+i), 0)); err != nil {
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+				// Interleaved snapshot read: own row must be visible.
+				rd := db.Txns().Begin()
+				keys := keysOf(t, rd.View(h))
+				if !keys[int64(s*txnsPer+i)] {
+					errs <- fmt.Errorf("session %d: committed row %d invisible", s, s*txnsPer+i)
+					return
+				}
+				_ = rd.Commit()
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	tx := db.Txns().Begin()
+	defer tx.Rollback()
+	keys := keysOf(t, tx.View(h))
+	if len(keys) != sessions*txnsPer {
+		t.Fatalf("visible rows = %d, want %d", len(keys), sessions*txnsPer)
+	}
+	st := db.Txns().Stats()
+	if st.Batched != sessions*txnsPer {
+		t.Fatalf("stats.Batched = %d, want %d", st.Batched, sessions*txnsPer)
+	}
+	if st.Groups == 0 || st.Groups > st.Batched {
+		t.Fatalf("stats.Groups = %d out of range (batched %d)", st.Groups, st.Batched)
+	}
+	t.Logf("group commit: %d txns in %d groups (fan-in %.1f)",
+		st.Batched, st.Groups, float64(st.Batched)/float64(st.Groups))
+}
+
+// TestGroupCommitConflictStress has all sessions fight over a small
+// set of rows: every row claim must be won by exactly one live
+// transaction at a time, and the final state must reflect a serial
+// order (each row still has exactly one visible version).
+func TestGroupCommitConflictStress(t *testing.T) {
+	db, h := newTxnDB(t)
+	const rows = 4
+	rids := make([]RID, rows)
+	for i := range rids {
+		rid, err := h.Insert(rowTuple(int64(i), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	const sessions = 8
+	const attempts = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				tx := db.Txns().Begin()
+				target := (s + i) % rows
+				// Find the row's currently visible version by key.
+				var cur RID
+				found := false
+				err := tx.View(h).Scan(func(rid RID, tu Tuple) bool {
+					if tu[0].Int == int64(target) {
+						cur, found = rid, true
+						return false
+					}
+					return true
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !found {
+					_ = tx.Rollback()
+					errs <- fmt.Errorf("row %d has no visible version", target)
+					return
+				}
+				_, _, err = tx.Update(h, cur, rowTuple(int64(target), s*attempts+i+1))
+				if errors.Is(err, ErrWriteConflict) {
+					if err := tx.Rollback(); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	tx := db.Txns().Begin()
+	defer tx.Rollback()
+	perKey := map[int64]int{}
+	err := tx.View(h).Scan(func(_ RID, tu Tuple) bool {
+		perKey[tu[0].Int]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perKey) != rows {
+		t.Fatalf("visible keys = %v, want %d keys", perKey, rows)
+	}
+	for k, n := range perKey {
+		if n != 1 {
+			t.Fatalf("key %d has %d visible versions, want 1", k, n)
+		}
+	}
+	st := db.Txns().Stats()
+	t.Logf("conflict stress: %d commits in %d groups, %d aborts",
+		st.Batched, st.Groups, st.Aborts)
+}

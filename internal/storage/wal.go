@@ -60,6 +60,17 @@ const (
 	// RecCheckpoint carries the durable metadata snapshot plus the redo
 	// position replay resumes from.
 	RecCheckpoint
+	// RecTxnCommit marks a transaction durable: payload = txn id. Its
+	// own LSN is the commit timestamp snapshots order against. The
+	// commit table is rebuilt from the full log scan at recovery, so
+	// versions whose Xmin has no durable commit record are invisible
+	// forever — crash atomicity without undo.
+	RecTxnCommit
+	// RecTxnAbort records a rolled-back transaction: payload = txn id.
+	// Purely informational (rollback undoes physically, and recovery
+	// treats any uncommitted id as aborted), but it lets the log tell
+	// in-flight from deliberately aborted work.
+	RecTxnAbort
 )
 
 func (t RecordType) String() string {
@@ -80,6 +91,10 @@ func (t RecordType) String() string {
 		return "meta"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecTxnCommit:
+		return "txn-commit"
+	case RecTxnAbort:
+		return "txn-abort"
 	}
 	return fmt.Sprintf("record(%d)", uint8(t))
 }
@@ -238,13 +253,18 @@ func (w *WAL) Append(typ RecordType, payload []byte) (uint64, error) {
 
 // Sync places an explicit barrier (SyncManual group commit).
 func (w *WAL) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	//admvet:allow latchorder the manual group-commit barrier serialises appends against the fsync on purpose
+	// The fsync runs OUTSIDE w.mu: group commit depends on appends
+	// (other sessions' in-flight transactions) proceeding while the
+	// leader's barrier is on the disk, or every commit degenerates to
+	// a private fsync. A write that lands after the fsync started is
+	// simply not covered — it belongs to a later batch, and that
+	// batch's own barrier follows its commit records.
 	if err := w.disk.Sync(); err != nil {
 		return err
 	}
+	w.mu.Lock()
 	w.syncs++
+	w.mu.Unlock()
 	return nil
 }
 
@@ -392,6 +412,17 @@ func decodeCreateIndex(p []byte) (name, file string, col int, err error) {
 		return "", "", 0, fmt.Errorf("%w: create-index payload", ErrWALCorrupt)
 	}
 	return name, file, int(binary.BigEndian.Uint16(p)), nil
+}
+
+func encodeTxn(id uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, id)
+}
+
+func decodeTxn(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: txn payload", ErrWALCorrupt)
+	}
+	return binary.BigEndian.Uint64(p), nil
 }
 
 func encodeMeta(key, value string) []byte {

@@ -42,7 +42,15 @@
 #                fewer rows/sec than recovery_floor, or if the
 #                concurrent-commit bench's 16-session/1-session
 #                commits/sec ratio falls below commit_scaling_floor
-#                (group commit degenerating to fsync-per-commit).
+#                (group commit degenerating to fsync-per-commit), if
+#                the mis-ordered multi-join bench's recovery ratios
+#                (MultiJoinGreedy / MultiJoinAdapt vs the
+#                MultiJoinDecl..MultiJoinOracle throughput gap,
+#                paired per repeat) fall below greedy_recovery_floor
+#                / adaptation_recovery_floor — the greedy join order
+#                or the safe-point router no longer rescuing a bad
+#                declaration order — or if PlanTime exceeds
+#                plan_time_ceiling_ns per 5-table plan.
 #                To refresh the baseline (after an
 #                intentional perf change, or on new CI hardware), see
 #                the update procedure in bench_baseline.json's
@@ -170,7 +178,7 @@ for f in cmd/admlint/testdata/dangling_bind.adl \
     fi
 done
 
-step "bench smoke (join/sort/top-k/commit regression gate)"
+step "bench smoke (join/sort/top-k/commit/multijoin regression gate)"
 go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 -repeats 5 \
     -baseline bench_baseline.json > BENCH_parallel.json
 echo "   wrote BENCH_parallel.json"

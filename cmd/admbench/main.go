@@ -149,6 +149,18 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 		return 1
 	}
 	results = append(results, commitResults...)
+	mjResults, err := experiments.RunMultiJoinBench(rows, 1, repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	results = append(results, mjResults...)
+	ptResults, err := experiments.RunPlanTimeBench(repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	results = append(results, ptResults...)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range results {
@@ -209,6 +221,24 @@ type baselineFile struct {
 	// one fsync per commit while sixteen share each barrier through
 	// the group-commit leader.
 	CommitScalingFloor float64 `json:"commit_scaling_floor,omitempty"`
+	// GreedyRecoveryFloor is the minimum accepted
+	// (MultiJoinGreedy − MultiJoinDecl) / (MultiJoinOracle − MultiJoinDecl)
+	// throughput ratio: how much of the gap between the mis-declared
+	// join order and the hand-ordered plan greedy ordering alone
+	// recovers, given honest statistics. A ratio, so it holds across
+	// hardware; both floors are computed from the measured run, the
+	// baseline only supplies the floor.
+	GreedyRecoveryFloor float64 `json:"greedy_recovery_floor,omitempty"`
+	// AdaptationRecoveryFloor is the same recovery ratio for
+	// MultiJoinAdapt — greedy seeded with deliberately stale
+	// statistics, so the safe-point router must discover the real
+	// cardinalities mid-query. It must still recover most of the gap.
+	AdaptationRecoveryFloor float64 `json:"adaptation_recovery_floor,omitempty"`
+	// PlanTimeCeilingNs is the maximum accepted nanoseconds per plan
+	// for the PlanTime bench (5-table greedy planning via a pre-parsed
+	// EXPLAIN; 0 = no gate). Catches the O(n²) greedy loop going
+	// accidentally cubic or allocation-heavy.
+	PlanTimeCeilingNs uint64 `json:"plan_time_ceiling_ns,omitempty"`
 }
 
 // gateAgainstBaseline fails (exit 1) when, for any bench family the
@@ -308,6 +338,71 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 			if code == 0 {
 				code = 1
 			}
+		}
+	}
+	if base.GreedyRecoveryFloor > 0 || base.AdaptationRecoveryFloor > 0 {
+		get := func(bench string) (experiments.ParallelBenchResult, bool) {
+			for _, r := range results {
+				if r.Bench == bench {
+					return r, true
+				}
+			}
+			return experiments.ParallelBenchResult{}, false
+		}
+		decl, ok1 := get("MultiJoinDecl")
+		oracle, ok2 := get("MultiJoinOracle")
+		if !ok1 || !ok2 {
+			fmt.Fprintf(os.Stderr, "admbench: baseline sets a recovery floor but the MultiJoin reference runs are missing\n")
+			return 2
+		}
+		if oracle.RowsPerSec <= decl.RowsPerSec {
+			// The mis-ordered plan was not measurably slower than the
+			// hand-ordered one — the recovery ratio is meaningless, which
+			// means the bench is mis-sized, not that the optimizer broke.
+			fmt.Fprintf(os.Stderr, "admbench: MultiJoinOracle (%.0f rows/sec) is not faster than MultiJoinDecl (%.0f); increase -rows or refresh the baseline\n",
+				oracle.RowsPerSec, decl.RowsPerSec)
+			return 2
+		}
+		checkRecovery := func(bench string, floor float64, label string) {
+			if floor <= 0 {
+				return
+			}
+			got, ok := get(bench)
+			if !ok || got.RecoveryRatio == 0 {
+				fmt.Fprintf(os.Stderr, "admbench: baseline sets %s but %s was not measured\n", label, bench)
+				code = 2
+				return
+			}
+			fmt.Fprintf(os.Stderr, "admbench: gate: %s recovers %.2f of the declared->oracle gap (floor %.2f)\n",
+				bench, got.RecoveryRatio, floor)
+			if got.RecoveryRatio < floor {
+				fmt.Fprintf(os.Stderr, "admbench: REGRESSION: %s below %s\n", bench, label)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		checkRecovery("MultiJoinGreedy", base.GreedyRecoveryFloor, "greedy_recovery_floor")
+		checkRecovery("MultiJoinAdapt", base.AdaptationRecoveryFloor, "adaptation_recovery_floor")
+	}
+	if base.PlanTimeCeilingNs > 0 {
+		found := false
+		for _, r := range results {
+			if r.Bench == "PlanTime" {
+				found = true
+				fmt.Fprintf(os.Stderr, "admbench: gate: PlanTime %d ns/plan (ceiling %d)\n",
+					r.Cycles, base.PlanTimeCeilingNs)
+				if r.Cycles > base.PlanTimeCeilingNs {
+					fmt.Fprintf(os.Stderr, "admbench: REGRESSION: planning above plan_time_ceiling_ns\n")
+					if code == 0 {
+						code = 1
+					}
+				}
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "admbench: baseline sets plan_time_ceiling_ns but PlanTime was not measured\n")
+			return 2
 		}
 	}
 	if base.RecoveryFloor > 0 {

@@ -34,6 +34,12 @@ type ParallelBenchResult struct {
 	// AbortRate is the fraction of transaction attempts that lost the
 	// first-claimer-wins race and rolled back (CommitTxn bench only).
 	AbortRate float64 `json:"abort_rate,omitempty"`
+	// RecoveryRatio is (this variant − MultiJoinDecl) /
+	// (MultiJoinOracle − MultiJoinDecl) on throughput, computed within a
+	// single repeat (all four variants run back-to-back, so correlated
+	// host load cancels) and reported as the best repeat's value
+	// (MultiJoinGreedy / MultiJoinAdapt records only).
+	RecoveryRatio float64 `json:"recovery_ratio,omitempty"`
 }
 
 // parallelJoinEngine seeds l(k,v) ⋈ r(k,v) with `rows` tuples per

@@ -94,6 +94,65 @@ func (j *NestedLoopJoin) Close() error {
 	return j.L.Close()
 }
 
+// CrossJoin is the cartesian product — the planner's last resort for
+// disconnected join graphs. The right input is materialised at Open;
+// the left is streamed.
+type CrossJoin struct {
+	L, R  Iterator
+	right []storage.Tuple
+	cur   storage.Tuple
+	rpos  int
+	open  bool
+}
+
+// NewCrossJoin builds l × r.
+func NewCrossJoin(l, r Iterator) *CrossJoin {
+	return &CrossJoin{L: l, R: r}
+}
+
+// Open implements Iterator.
+func (j *CrossJoin) Open() error {
+	right, err := Drain(j.R)
+	if err != nil {
+		return err
+	}
+	j.right = right
+	j.cur = nil
+	j.rpos = 0
+	j.open = true
+	return j.L.Open()
+}
+
+// Next implements Iterator.
+func (j *CrossJoin) Next() (storage.Tuple, bool, error) {
+	if !j.open {
+		return nil, false, ErrNotOpen
+	}
+	for {
+		if j.cur == nil {
+			t, ok, err := j.L.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			j.rpos = 0
+		}
+		if j.rpos < len(j.right) {
+			r := j.right[j.rpos]
+			j.rpos++
+			return concat(j.cur, r), true, nil
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Iterator.
+func (j *CrossJoin) Close() error {
+	j.open = false
+	j.right = nil
+	return j.L.Close()
+}
+
 // HashJoin is the classic blocking hash join: build the left input
 // fully, then stream the right. First output cannot appear before the
 // entire build side has arrived — the blocking behaviour the adaptive

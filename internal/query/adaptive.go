@@ -3,6 +3,7 @@ package query
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/adm-project/adm/internal/operators"
 	"github.com/adm-project/adm/internal/storage"
@@ -35,6 +36,10 @@ type AdaptiveConfig struct {
 	// PreferIndex lets the revised plan use an index nested-loop join
 	// when the new inner table has an index on the join column.
 	PreferIndex bool
+	// Disabled turns safe-point adaptation off entirely: the executor
+	// follows the static plan verbatim (no feedback, no replans). Used
+	// by benchmarks to isolate plan-time ordering from runtime routing.
+	Disabled bool
 }
 
 // DefaultAdaptiveConfig returns Theta=3, CheckEvery=64.
@@ -45,11 +50,17 @@ func DefaultAdaptiveConfig() AdaptiveConfig {
 // AdaptiveReport describes what the re-optimiser did.
 type AdaptiveReport struct {
 	Replanned bool
-	// TriggerRow is the build row count at which the violation fired.
+	// Replans counts safe-point plan revisions (the staged multi-join
+	// router can revise more than once; the single-join path at most
+	// once).
+	Replans int
+	// TriggerRow is the build row count at which the first violation
+	// fired.
 	TriggerRow int
 	// EstimatedBuildRows is what the optimiser believed.
 	EstimatedBuildRows float64
-	// InitialBuild / FinalBuild name the build-side bindings.
+	// InitialBuild / FinalBuild name the build-side bindings (of the
+	// first join the router executed, for multi-join plans).
 	InitialBuild string
 	FinalBuild   string
 	// UsedIndex reports an index-NL join was linked in.
@@ -57,12 +68,43 @@ type AdaptiveReport struct {
 	// PeakHashRows is the largest hash table materialised across the
 	// whole execution (memory proxy).
 	PeakHashRows int
+	// ExecutedOrder lists table bindings in the order the router
+	// actually materialised them (empty when execution followed the
+	// static plan trivially, e.g. join-free statements).
+	ExecutedOrder []string
 }
 
-// ExecSelectAdaptive executes a single-join SELECT with mid-query
-// re-optimisation. Multi-join and join-free statements fall back to
-// the static path (report.Replanned=false).
+// Describe renders the post-execution adaptation summary appended to
+// Explain output. Golden tests pin this format.
+func (r *AdaptiveReport) Describe() string {
+	if !r.Replanned {
+		return "adapt: none"
+	}
+	s := fmt.Sprintf("adapt: replans=%d trigger=%d build=%s->%s",
+		r.Replans, r.TriggerRow, r.InitialBuild, r.FinalBuild)
+	if r.UsedIndex {
+		s += " index-nl"
+	}
+	if len(r.ExecutedOrder) > 0 {
+		s += " order=" + strings.Join(r.ExecutedOrder, ",")
+	}
+	return s
+}
+
+// ExecSelectAdaptive executes a SELECT with mid-query
+// re-optimisation: the single-join safe-point swap, or the staged
+// multi-join router for larger pipelines. Join-free and cartesian
+// statements fall back to the static path (report.Replanned=false).
 func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result, *AdaptiveReport, error) {
+	res, rep, err := e.execSelectAdaptiveRun(st, cfg)
+	if err == nil && res != nil && rep != nil && rep.Replanned {
+		// Post-execution adaptation summary: where the router fired.
+		res.Plan += " | " + rep.Describe()
+	}
+	return res, rep, err
+}
+
+func (e *Engine) execSelectAdaptiveRun(st *SelectStmt, cfg AdaptiveConfig) (*Result, *AdaptiveReport, error) {
 	if cfg.Theta <= 1 {
 		cfg.Theta = 3
 	}
@@ -74,7 +116,23 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 		return nil, nil, err
 	}
 	rep := &AdaptiveReport{}
-	if len(plan.joins) != 1 {
+	if cfg.Disabled {
+		res, err := e.execSelect(st, nil)
+		return res, rep, err
+	}
+	if len(plan.steps) >= 2 && !plan.hasCross() {
+		// Multi-join: the staged router generalises the one-shot
+		// side-swap into continuous safe-point adaptation. Run it
+		// single-worker so this entry point stays serial.
+		rep2 := &ExecReport{}
+		res, err := e.execStagedJoins(plan, ExecOptions{Workers: 1, Adaptive: &cfg}, rep2)
+		if err != nil {
+			return nil, nil, err
+		}
+		*rep = rep2.Adaptive
+		return res, rep, nil
+	}
+	if len(plan.steps) != 1 || plan.steps[0].cross {
 		res, err := e.execSelect(st, nil)
 		return res, rep, err
 	}
@@ -129,13 +187,15 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 		}
 		join := operators.NewHashJoin(operators.NewMemScan(consumed), mustBuild(probe), buildCol, probeCol)
 		rep.PeakHashRows = len(consumed)
-		it := normalise(join, buildIsLeft, len(leftScan.sch), len(rightScan.sch))
+		rep.ExecutedOrder = []string{build.ref.Binding(), probe.ref.Binding()}
+		it := plan.toDecl(normalise(join, buildIsLeft, len(leftScan.sch), len(rightScan.sch)))
 		res, err := e.finishSelect(plan, it)
 		return res, rep, err
 	}
 
 	// Violation: revise the plan at the safe point.
 	rep.Replanned = true
+	rep.Replans = 1
 	rep.TriggerRow = len(consumed)
 	e.log.Emit(e.clock(), trace.KindViolation, "query",
 		"cardinality misestimate: %s build hit %d rows vs est %.0f (θ=%.1f)",
@@ -160,8 +220,9 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 				"linked IndexNLJoin(%s) into the pipeline", newBuild.ref.Binding())
 			j := operators.NewIndexNLJoin(oldBuildStream, buildCol, idx, newBuild.table.Heap)
 			// Output: (oldBuild, newBuild) = (build, probe) original order.
-			it := normalise(j, buildIsLeft, len(leftScan.sch), len(rightScan.sch))
+			it := plan.toDecl(normalise(j, buildIsLeft, len(leftScan.sch), len(rightScan.sch)))
 			rep.PeakHashRows = len(consumed)
+			rep.ExecutedOrder = []string{build.ref.Binding(), newBuild.ref.Binding()}
 			res, err := e.finishSelect(plan, it)
 			return res, rep, err
 		}
@@ -171,9 +232,10 @@ func (e *Engine) ExecSelectAdaptive(st *SelectStmt, cfg AdaptiveConfig) (*Result
 		"swapped join build side %s -> %s at row %d",
 		rep.InitialBuild, rep.FinalBuild, rep.TriggerRow)
 	join := operators.NewHashJoin(mustBuild(newBuild), oldBuildStream, probeCol, buildCol)
+	rep.ExecutedOrder = []string{newBuild.ref.Binding(), build.ref.Binding()}
 	// Output order is (newBuild, oldBuild) = (probe, build): flip of
 	// the original build orientation.
-	it := normalise(join, !buildIsLeft, len(leftScan.sch), len(rightScan.sch))
+	it := plan.toDecl(normalise(join, !buildIsLeft, len(leftScan.sch), len(rightScan.sch)))
 	res, err := e.finishSelect(plan, it)
 	if res != nil {
 		// Peak memory: the aborted prefix plus the revised build table
@@ -195,38 +257,25 @@ type joinSides struct {
 }
 
 // singleJoinSides resolves the orientation of a plan with exactly one
-// join.
+// hash-join step. The step's leftCol indexes the one-scan prefix, so
+// it is already local to scans[0].
 func (p *selectPlan) singleJoinSides() (*joinSides, error) {
+	st := p.steps[0]
+	if st.cross {
+		return nil, fmt.Errorf("query: cartesian join has no hash sides")
+	}
 	leftScan, rightScan := p.scans[0], p.scans[1]
-	joined := append(append(schema{}, leftScan.sch...), rightScan.sch...)
-	lIdx, err := joined.resolve(p.joins[0].LCol)
-	if err != nil {
-		return nil, err
-	}
-	rIdx, err := joined.resolve(p.joins[0].RCol)
-	if err != nil {
-		return nil, err
-	}
-	// The ON clause may name the columns in either order.
-	if lIdx >= len(leftScan.sch) {
-		lIdx, rIdx = rIdx, lIdx
-	}
-	if lIdx >= len(leftScan.sch) || rIdx < len(leftScan.sch) {
-		return nil, fmt.Errorf("query: join %s = %s does not span both inputs",
-			p.joins[0].LCol, p.joins[0].RCol)
-	}
-	rLocal := rIdx - len(leftScan.sch)
 	s := &joinSides{build: leftScan, probe: rightScan,
-		buildCol: lIdx, probeCol: rLocal, buildIsLeft: p.buildLeft[0]}
+		buildCol: st.leftCol, probeCol: st.rightCol, buildIsLeft: st.buildLeft}
 	if !s.buildIsLeft {
 		s.build, s.probe = rightScan, leftScan
-		s.buildCol, s.probeCol = rLocal, lIdx
+		s.buildCol, s.probeCol = st.rightCol, st.leftCol
 	}
 	return s, nil
 }
 
 func joinColName(sp *scanPlan, plan *selectPlan) string {
-	j := plan.joins[0]
+	j := plan.stmt.Joins[0]
 	// Return the join column belonging to sp's binding.
 	if eqFold(j.LCol.Table, sp.ref.Binding()) {
 		return j.LCol.Col

@@ -40,6 +40,10 @@ type ExecOptions struct {
 	// Adaptive tunes mid-query re-optimisation; nil means
 	// DefaultAdaptiveConfig() — the safe-point protocol is always on.
 	Adaptive *AdaptiveConfig
+	// JoinOrder selects the planner's join-ordering strategy
+	// (default JoinOrderGreedy). JoinOrderDeclared is the mis-ordered
+	// baseline knob benchmarks use.
+	JoinOrder JoinOrder
 	// Txn, when non-nil, executes the statement inside that
 	// transaction: scans bind to its snapshot (reads stay lock-free
 	// across every worker) and DML stamps its id.
@@ -147,6 +151,10 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 	res, rep, err := e.execSelectParallelRun(st, opts)
 	var pe *operators.PanicError
 	if !errors.As(err, &pe) {
+		if err == nil && res != nil && rep != nil && rep.Adaptive.Replanned {
+			// Post-execution adaptation summary: where the router fired.
+			res.Plan += " | " + rep.Adaptive.Describe()
+		}
 		return res, rep, err
 	}
 	e.log.Span("query.parallel").Emit(e.clock(), trace.KindPanic,
@@ -161,13 +169,14 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 }
 
 func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Result, *ExecReport, error) {
-	plan, err := e.planSelect(st, opts.Txn)
+	plan, err := e.planSelectOrder(st, opts.Txn, opts.JoinOrder)
 	if err != nil {
 		return nil, nil, err
 	}
 	rep := &ExecReport{}
-	if len(plan.joins) > 1 {
-		// Multi-join plans stay on the serial executor for now.
+	if plan.hasCross() {
+		// Cartesian attaches (disconnected join graphs) stay on the
+		// serial executor.
 		res, err := e.execSelect(st, opts.Txn)
 		return res, rep, err
 	}
@@ -176,6 +185,14 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 	rep.Parallel = true
 	rep.Workers = workers
 	plan.explainTx = fmt.Sprintf("Parallel(workers=%d) ", workers) + plan.explainTx
+
+	if len(plan.steps) > 1 {
+		// Multi-join: the staged router executes the pipeline one hash
+		// join at a time, re-routing at safe points on cardinality
+		// feedback.
+		res, err := e.execStagedJoins(plan, opts, rep)
+		return res, rep, err
+	}
 
 	span := e.log.Span("query.parallel")
 	cfg := operators.ParallelConfig{
@@ -190,7 +207,7 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 		},
 	}
 
-	if len(plan.joins) == 0 {
+	if len(plan.steps) == 0 {
 		src, err := scanBatches(plan.scans[0], batch)
 		if err != nil {
 			return nil, nil, err
@@ -254,6 +271,9 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 			"build safe point at %d rows (est %.0f)", rows, sides.build.estRows)
 		return float64(rows) <= limit
 	}
+	if acfg.Disabled {
+		safePoint = nil
+	}
 	buildCfg := cfg
 	buildCfg.MorselSize = buildBatch
 
@@ -266,7 +286,8 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 			return nil, nil, err
 		}
 		rep.Adaptive.PeakHashRows = bt.Rows()
-		if cols, names, ok := joinFastCols(st, plan.sch, sides.buildIsLeft, leftW, rightW); ok {
+		rep.Adaptive.ExecutedOrder = []string{sides.build.ref.Binding(), sides.probe.ref.Binding()}
+		if cols, names, ok := joinFastCols(st, plan, sides.buildIsLeft); ok {
 			out, err := bt.ParallelProbeProject(probeSrc, sides.probeCol, probeLimitCfg(st, cfg), cols, buildWidth(sides.buildIsLeft, leftW, rightW))
 			if err != nil {
 				return nil, nil, err
@@ -277,7 +298,7 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 		if err != nil {
 			return nil, nil, err
 		}
-		rows := permuteRows(joined, sides.buildIsLeft, leftW, rightW)
+		rows := permuteToDecl(permuteRows(joined, sides.buildIsLeft, leftW, rightW), plan.outPerm)
 		res, err := e.finishSelectParallel(plan, rows, cfg)
 		return res, rep, err
 
@@ -286,6 +307,7 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 		// plan by swapping sides. The consumed prefix plus the untouched
 		// remainder of the build source become the probe stream.
 		rep.Adaptive.Replanned = true
+		rep.Adaptive.Replans = 1
 		rep.Adaptive.TriggerRow = len(prefix)
 		span.Emit(e.clock(), trace.KindViolation,
 			"cardinality misestimate: %s build hit %d rows vs est %.0f (θ=%.1f); workers drained at barrier",
@@ -306,9 +328,10 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 		replay := operators.NewChainBatches(
 			operators.NewSliceBatches(prefix, buildBatch), buildSrc)
 		rep.Adaptive.PeakHashRows = maxInt(len(prefix), nbt.Rows())
+		rep.Adaptive.ExecutedOrder = []string{newBuild.ref.Binding(), sides.build.ref.Binding()}
 		// Output tuples are (newBuild, oldBuild) = (probe, build): the
 		// flip of the original orientation.
-		if cols, names, ok := joinFastCols(st, plan.sch, !sides.buildIsLeft, leftW, rightW); ok {
+		if cols, names, ok := joinFastCols(st, plan, !sides.buildIsLeft); ok {
 			out, err := nbt.ParallelProbeProject(replay, sides.buildCol, probeLimitCfg(st, cfg), cols, buildWidth(!sides.buildIsLeft, leftW, rightW))
 			if err != nil {
 				return nil, nil, err
@@ -319,7 +342,7 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 		if err != nil {
 			return nil, nil, err
 		}
-		rows := permuteRows(joined, !sides.buildIsLeft, leftW, rightW)
+		rows := permuteToDecl(permuteRows(joined, !sides.buildIsLeft, leftW, rightW), plan.outPerm)
 		res, err := e.finishSelectParallel(plan, rows, cfg)
 		return res, rep, err
 
@@ -330,11 +353,11 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 
 // joinFastCols decides whether a join statement can take the fused
 // probe-projection path (no aggregate, no GROUP BY, no ORDER BY) and,
-// when it can, remaps the projection from declaration order (left
-// columns, then right) to the probe-output layout (build columns,
+// when it can, remaps the projection from declaration order through
+// the plan's join order to the probe-output layout (build columns,
 // then probe). Resolution errors fall back to the slow path, which
 // reports them identically.
-func joinFastCols(st *SelectStmt, sch schema, buildLeft bool, leftW, rightW int) ([]int, []string, bool) {
+func joinFastCols(st *SelectStmt, plan *selectPlan, buildLeft bool) ([]int, []string, bool) {
 	if st.GroupBy != nil || st.OrderBy != nil {
 		return nil, nil, false
 	}
@@ -343,10 +366,20 @@ func joinFastCols(st *SelectStmt, sch schema, buildLeft bool, leftW, rightW int)
 			return nil, nil, false
 		}
 	}
-	cols, names, err := projectionCols(st, sch)
+	cols, names, err := projectionCols(st, plan.sch)
 	if err != nil {
 		return nil, nil, false
 	}
+	if plan.outPerm != nil {
+		// projectionCols resolved declaration-order positions; the probe
+		// output is laid out in join order.
+		remapped := make([]int, len(cols))
+		for i, c := range cols {
+			remapped[i] = plan.outPerm[c]
+		}
+		cols = remapped
+	}
+	leftW, rightW := len(plan.scans[0].sch), len(plan.scans[1].sch)
 	if !buildLeft {
 		// Build side is the right table: left columns live after the
 		// rightW build columns, right columns at the front.

@@ -75,6 +75,13 @@ type scanPlan struct {
 	indexLo  storage.Value
 	indexHi  storage.Value
 	estRows  float64
+	// declPos is the scan's position in FROM-clause declaration order;
+	// the plan's scan list itself is in join order.
+	declPos int
+	// stats is the table's statistics snapshot, taken once at plan time
+	// so the greedy ordering loop reads distinct counts without
+	// re-snapshotting per candidate.
+	stats TableStats
 }
 
 // explain renders the access path.
@@ -83,6 +90,12 @@ func (s *scanPlan) explain() string {
 		return fmt.Sprintf("IndexScan(%s.%s est=%.0f)", s.ref.Binding(), s.indexCol, s.estRows)
 	}
 	return fmt.Sprintf("SeqScan(%s est=%.0f)", s.ref.Binding(), s.estRows)
+}
+
+// distinctOn returns the statistics' distinct count for one of the
+// scan's columns (0 = unknown).
+func (s *scanPlan) distinctOn(col int) int {
+	return s.stats.Distinct[strings.ToLower(s.sch[col].Name)]
 }
 
 // build compiles the scan into an iterator.
@@ -163,14 +176,61 @@ func estimate(t *Table, preds []Pred) float64 {
 	return est
 }
 
-// selectPlan is the compiled plan of a SelectStmt.
+// JoinOrder selects the planner's join-ordering strategy.
+type JoinOrder int
+
+// Join-ordering strategies.
+const (
+	// JoinOrderGreedy (the default) orders joins greedily: start from
+	// the smallest estimated scan, repeatedly attach the connected
+	// neighbour with the cheapest estimated join output.
+	JoinOrderGreedy JoinOrder = iota
+	// JoinOrderDeclared compiles joins in FROM-clause declaration
+	// order — the mis-ordered baseline for benchmarks and debugging.
+	JoinOrderDeclared
+)
+
+// joinEdge is one resolved ON equality linking two scans. Scan
+// indices refer to the plan's (join-ordered) scan list once planning
+// has finished.
+type joinEdge struct {
+	a, b       int // scan indices
+	aCol, bCol int // join-column positions local to each scan's schema
+}
+
+// stepFilter is a residual ON equality applied once both columns are
+// present in the joined prefix; positions index the cumulative
+// join-order tuple.
+type stepFilter struct{ a, b int }
+
+// joinStep attaches scans[i+1] to the joined prefix scans[0..i].
+type joinStep struct {
+	// leftCol is the hash-join column's position in the cumulative
+	// prefix tuple; rightCol is local to the attached scan.
+	leftCol  int
+	rightCol int
+	// buildLeft records whether the prefix side is the hash-build side.
+	buildLeft bool
+	// cross marks a cartesian attach: no ON edge connects the scan to
+	// the prefix (last resort for disconnected join graphs).
+	cross bool
+	// estOut is the estimated prefix cardinality after this step.
+	estOut float64
+	// filters are residual ON equalities checked at this level.
+	filters []stepFilter
+}
+
+// selectPlan is the compiled plan of a SelectStmt. Scans are held in
+// join order (greedy or declared); sch stays in declaration order, and
+// outPerm maps the join-order tuple back to it.
 type selectPlan struct {
-	scans []*scanPlan  // in join order: scans[0] ⋈ scans[1] ⋈ ...
-	joins []JoinClause // joins[i] connects scans[i+1]
-	// buildLeft[i] records whether the LEFT (accumulated) side is the
-	// hash-build side of join i.
-	buildLeft []bool
-	sch       schema // schema after all joins (declaration order)
+	scans []*scanPlan // in join order: scans[0] ⋈ scans[1] ⋈ ...
+	steps []joinStep  // steps[i] attaches scans[i+1]
+	edges []joinEdge  // resolved ON equalities (join-order index space)
+	sch   schema      // declaration-order output schema
+	// outPerm[d] is the join-order position of declaration column d;
+	// nil when join order equals declaration order.
+	outPerm   []int
 	stmt      *SelectStmt
 	explainTx string
 }
@@ -178,19 +238,43 @@ type selectPlan struct {
 // Explain returns the plan rendering (tests assert on it).
 func (p *selectPlan) Explain() string { return p.explainTx }
 
-// planSelect compiles and optimises a SELECT statement:
-// single-table predicates are pushed to their scans; each scan picks
-// an index path when its predicates cover an indexed column; each
-// join picks its hash-build side by estimated cardinality. A non-nil
-// txn binds every scan to that transaction's snapshot.
+// hasCross reports whether any step is a cartesian attach.
+func (p *selectPlan) hasCross() bool {
+	for _, st := range p.steps {
+		if st.cross {
+			return true
+		}
+	}
+	return false
+}
+
+// planSelect compiles and optimises a SELECT statement with greedy
+// join ordering. A non-nil txn binds every scan to that transaction's
+// snapshot.
 func (e *Engine) planSelect(st *SelectStmt, txn *storage.Txn) (*selectPlan, error) {
+	return e.planSelectOrder(st, txn, JoinOrderGreedy)
+}
+
+// planSelectOrder compiles and optimises a SELECT statement:
+// single-table predicates are pushed to their scans (resolved against
+// the full join schema, so cross-table ambiguity is an error, never a
+// silent first-scan bind); each scan picks an index path when its
+// predicates cover an indexed column; joins are ordered per mode and
+// each picks its hash-build side by estimated cardinality.
+func (e *Engine) planSelectOrder(st *SelectStmt, txn *storage.Txn, mode JoinOrder) (*selectPlan, error) {
 	refs := []TableRef{st.From}
 	for _, j := range st.Joins {
 		refs = append(refs, j.Table)
 	}
 	p := &selectPlan{stmt: st}
 	var full schema
-	for _, ref := range refs {
+	scans := make([]*scanPlan, 0, len(refs))
+	for i, ref := range refs {
+		for _, prev := range scans {
+			if strings.EqualFold(prev.ref.Binding(), ref.Binding()) {
+				return nil, fmt.Errorf("query: duplicate table binding %q (alias each occurrence)", ref.Binding())
+			}
+		}
 		t, err := e.cat.Table(ref.Name)
 		if err != nil {
 			return nil, err
@@ -199,31 +283,43 @@ func (e *Engine) planSelect(st *SelectStmt, txn *storage.Txn) (*selectPlan, erro
 		if txn != nil {
 			reader = txn.View(t.Heap)
 		}
-		sp := &scanPlan{ref: ref, table: t, sch: tableSchema(ref.Binding(), t), reader: reader}
-		p.scans = append(p.scans, sp)
+		sp := &scanPlan{ref: ref, table: t, sch: tableSchema(ref.Binding(), t), reader: reader, declPos: i}
+		scans = append(scans, sp)
 		full = append(full, sp.sch...)
 	}
-	p.joins = st.Joins
 	p.sch = full
 
-	// Predicate pushdown: each WHERE conjunct references one column,
-	// hence one table.
-	for _, pred := range st.Where {
-		placed := false
-		for _, sp := range p.scans {
-			if _, err := sp.sch.resolve(pred.Col); err == nil {
-				sp.preds = append(sp.preds, pred)
-				placed = true
-				break
+	// Declaration-order column offsets, for mapping full-schema
+	// positions back to their owning scan.
+	declOff := make([]int, len(scans))
+	for i := 1; i < len(scans); i++ {
+		declOff[i] = declOff[i-1] + len(scans[i-1].sch)
+	}
+	owner := func(global int) (int, int) {
+		for i := len(scans) - 1; i >= 0; i-- {
+			if global >= declOff[i] {
+				return i, global - declOff[i]
 			}
 		}
-		if !placed {
-			return nil, fmt.Errorf("%w: %s", ErrNoColumn, pred.Col)
+		return 0, global
+	}
+
+	// Predicate pushdown: each WHERE conjunct references one column,
+	// hence one table — but it must resolve against the full join
+	// schema first, so a name present in two joined tables reports
+	// ambiguity instead of silently binding to the first scan.
+	for _, pred := range st.Where {
+		global, err := full.resolve(pred.Col)
+		if err != nil {
+			return nil, err
 		}
+		si, _ := owner(global)
+		scans[si].preds = append(scans[si].preds, pred)
 	}
 
 	// Access-path selection + estimation.
-	for _, sp := range p.scans {
+	for _, sp := range scans {
+		sp.stats = sp.table.StatsSnapshot()
 		sp.estRows = estimate(sp.table, sp.preds)
 		for _, pred := range sp.preds {
 			if _, ok := sp.table.Index(pred.Col.Col); !ok {
@@ -243,84 +339,381 @@ func (e *Engine) planSelect(st *SelectStmt, txn *storage.Txn) (*selectPlan, erro
 		}
 	}
 
-	// Join build-side choice: the estimated-smaller input builds.
-	leftEst := p.scans[0].estRows
-	for i := range p.joins {
-		rightEst := p.scans[i+1].estRows
-		p.buildLeft = append(p.buildLeft, leftEst <= rightEst)
-		// Crude join cardinality estimate for the next level.
-		leftEst = leftEst * rightEst / 10
-		if leftEst < 1 {
-			leftEst = 1
+	// Resolve each ON equality to a (scan, column) pair per side.
+	// Resolution is against the full schema, so the clause may
+	// reference any earlier (or later) binding and unqualified
+	// ambiguity is caught here.
+	edges := make([]joinEdge, 0, len(st.Joins))
+	for _, j := range st.Joins {
+		gl, err := full.resolve(j.LCol)
+		if err != nil {
+			return nil, err
 		}
+		gr, err := full.resolve(j.RCol)
+		if err != nil {
+			return nil, err
+		}
+		sa, ca := owner(gl)
+		sb, cb := owner(gr)
+		if sa == sb {
+			return nil, fmt.Errorf("query: join %s = %s does not span two tables", j.LCol, j.RCol)
+		}
+		edges = append(edges, joinEdge{a: sa, b: sb, aCol: ca, bCol: cb})
 	}
 
-	// Explain text.
-	var parts []string
-	for i, sp := range p.scans {
-		parts = append(parts, sp.explain())
-		if i > 0 {
-			side := "right"
-			if p.buildLeft[i-1] {
-				side = "left"
-			}
-			parts = append(parts, fmt.Sprintf("HashJoin(build=%s)", side))
-		}
+	// Join ordering (declaration-order index space), then re-index the
+	// scans and edges into join-order space.
+	var order []int
+	if mode == JoinOrderDeclared || len(scans) <= 2 && mode != JoinOrderGreedy {
+		order = identityOrder(len(scans))
+	} else {
+		order = greedyJoinOrder(scans, edges, buildAdjacency(len(scans), edges))
+	}
+	joinIdx := make([]int, len(scans)) // decl idx -> join idx
+	p.scans = make([]*scanPlan, len(scans))
+	for ji, di := range order {
+		p.scans[ji] = scans[di]
+		joinIdx[di] = ji
+	}
+	p.edges = edges
+	for i := range p.edges {
+		p.edges[i].a = joinIdx[p.edges[i].a]
+		p.edges[i].b = joinIdx[p.edges[i].b]
+	}
+
+	p.steps = deriveSteps(p.scans, p.edges)
+	p.outPerm = declPermutation(p.scans)
+
+	// Explain text: the chosen join order with build sides and
+	// per-scan/per-join estimates.
+	parts := make([]string, 0, 2*len(p.scans))
+	parts = append(parts, p.scans[0].explain())
+	for i, stp := range p.steps {
+		parts = append(parts, stp.explain(), p.scans[i+1].explain())
 	}
 	p.explainTx = strings.Join(parts, " -> ")
 	return p, nil
 }
 
+// explain renders one join step.
+func (s joinStep) explain() string {
+	if s.cross {
+		return fmt.Sprintf("CrossJoin(est=%.0f)", s.estOut)
+	}
+	side := "right"
+	if s.buildLeft {
+		side = "left"
+	}
+	if len(s.filters) > 0 {
+		return fmt.Sprintf("HashJoin(build=%s est=%.0f filters=%d)", side, s.estOut, len(s.filters))
+	}
+	return fmt.Sprintf("HashJoin(build=%s est=%.0f)", side, s.estOut)
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// buildAdjacency indexes edges by scan: adj[s] lists the edge indices
+// touching scan s.
+func buildAdjacency(n int, edges []joinEdge) [][]int {
+	adj := make([][]int, n)
+	for ei, ed := range edges {
+		adj[ed.a] = append(adj[ed.a], ei)
+		adj[ed.b] = append(adj[ed.b], ei)
+	}
+	return adj
+}
+
+// attachEst estimates the intermediate cardinality after attaching
+// scan cand to the already-joined prefix: every ON equality linking
+// cand to a prefix scan contributes 1/max(V(l), V(r)) selectivity
+// (V = distinct count from the statistics snapshot, defaulting to 10
+// when absent — the statistics-free fallback). The bool reports
+// whether cand is connected to the prefix at all; when it is not, the
+// returned estimate is the cartesian product. Shared by plan-time
+// greedy ordering and the runtime routing decision, so both rank
+// candidates identically.
+func attachEst(curEst, candEst float64, cand int, scans []*scanPlan,
+	edges []joinEdge, adj [][]int, inPrefix []bool) (float64, bool) {
+	out := curEst * candEst
+	connected := false
+	for _, ei := range adj[cand] {
+		ed := edges[ei]
+		other, myCol, otherCol := ed.b, ed.aCol, ed.bCol
+		if other == cand {
+			other, myCol, otherCol = ed.a, ed.bCol, ed.aCol
+		}
+		if !inPrefix[other] {
+			continue
+		}
+		connected = true
+		d := scans[cand].distinctOn(myCol)
+		if od := scans[other].distinctOn(otherCol); od > d {
+			d = od
+		}
+		if d <= 0 {
+			d = 10
+		}
+		out /= float64(d)
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out, connected
+}
+
+// joinIndexAvailable reports whether cand has a B-tree index on one of
+// the join columns linking it to the prefix — a mild greedy preference
+// (the index is an index-NL escape hatch for the runtime adapter and a
+// sign the column is a key).
+func joinIndexAvailable(cand int, scans []*scanPlan, edges []joinEdge,
+	adj [][]int, inPrefix []bool) bool {
+	for _, ei := range adj[cand] {
+		ed := edges[ei]
+		other, myCol := ed.b, ed.aCol
+		if other == cand {
+			other, myCol = ed.a, ed.bCol
+		}
+		if !inPrefix[other] {
+			continue
+		}
+		if _, ok := scans[cand].table.Index(scans[cand].sch[myCol].Name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// greedyJoinOrder is the statistics-free greedy ordering: seed with
+// the smallest estimated scan, then repeatedly attach the connected
+// candidate with the cheapest estimated join output (index
+// availability on the join column breaks near-ties). Cartesian
+// attaches happen only when no remaining scan is connected. The loop
+// is O(n² + n·e) with no maps and no per-iteration allocation.
+func greedyJoinOrder(scans []*scanPlan, edges []joinEdge, adj [][]int) []int {
+	n := len(scans)
+	order := make([]int, 0, n)
+	chosen := make([]bool, n)
+	start := 0
+	for i := 1; i < n; i++ {
+		if scans[i].estRows < scans[start].estRows {
+			start = i
+		}
+	}
+	order = append(order, start)
+	chosen[start] = true
+	curEst := scans[start].estRows
+	for len(order) < n {
+		best := -1
+		var bestCost, bestOut float64
+		for c := 0; c < n; c++ {
+			if chosen[c] {
+				continue
+			}
+			out, conn := attachEst(curEst, scans[c].estRows, c, scans, edges, adj, chosen)
+			if !conn {
+				continue
+			}
+			cost := out
+			if joinIndexAvailable(c, scans, edges, adj, chosen) {
+				cost *= 0.9
+			}
+			if best < 0 || cost < bestCost ||
+				(cost == bestCost && scans[c].estRows < scans[best].estRows) {
+				best, bestCost, bestOut = c, cost, out
+			}
+		}
+		if best < 0 {
+			// Disconnected join graph: cartesian last resort, smallest
+			// estimated scan first to keep the product cheap.
+			for c := 0; c < n; c++ {
+				if chosen[c] && best >= 0 {
+					continue
+				}
+				if !chosen[c] && (best < 0 || scans[c].estRows < scans[best].estRows) {
+					best = c
+				}
+			}
+			bestOut = curEst * scans[best].estRows
+		}
+		chosen[best] = true
+		order = append(order, best)
+		curEst = bestOut
+	}
+	return order
+}
+
+// deriveSteps compiles the ordered scan list + edges into left-deep
+// join steps: the first unused edge (in ON-clause order) linking the
+// attached scan to the prefix becomes the hash condition; every other
+// edge becomes a residual equality filter at the first level where
+// both its columns exist; a scan with no edge to the prefix attaches
+// cartesian.
+func deriveSteps(scans []*scanPlan, edges []joinEdge) []joinStep {
+	n := len(scans)
+	if n <= 1 {
+		return nil
+	}
+	off := make([]int, n)
+	for i := 1; i < n; i++ {
+		off[i] = off[i-1] + len(scans[i-1].sch)
+	}
+	adj := buildAdjacency(n, edges)
+	used := make([]bool, len(edges))
+	inPrefix := make([]bool, n)
+	inPrefix[0] = true
+	steps := make([]joinStep, 0, n-1)
+	curEst := scans[0].estRows
+	for i := 1; i < n; i++ {
+		st := joinStep{cross: true}
+		for ei, ed := range edges {
+			if used[ei] {
+				continue
+			}
+			var other, myCol, otherCol int
+			switch {
+			case ed.a == i && inPrefix[ed.b]:
+				other, myCol, otherCol = ed.b, ed.aCol, ed.bCol
+			case ed.b == i && inPrefix[ed.a]:
+				other, myCol, otherCol = ed.a, ed.bCol, ed.aCol
+			default:
+				continue
+			}
+			st.cross = false
+			st.leftCol = off[other] + otherCol
+			st.rightCol = myCol
+			used[ei] = true
+			break
+		}
+		out, _ := attachEst(curEst, scans[i].estRows, i, scans, edges, adj, inPrefix)
+		st.estOut = out
+		st.buildLeft = curEst <= scans[i].estRows
+		inPrefix[i] = true
+		for ei, ed := range edges {
+			if used[ei] || !inPrefix[ed.a] || !inPrefix[ed.b] {
+				continue
+			}
+			used[ei] = true
+			st.filters = append(st.filters, stepFilter{a: off[ed.a] + ed.aCol, b: off[ed.b] + ed.bCol})
+		}
+		curEst = out
+		steps = append(steps, st)
+	}
+	return steps
+}
+
+// declPermutation computes the join-order → declaration-order output
+// permutation (nil when the orders coincide).
+func declPermutation(scans []*scanPlan) []int {
+	n := len(scans)
+	declToJoin := make([]int, n)
+	identity := true
+	width := 0
+	for ji, sp := range scans {
+		declToJoin[sp.declPos] = ji
+		identity = identity && sp.declPos == ji
+		width += len(sp.sch)
+	}
+	if identity {
+		return nil
+	}
+	off := make([]int, n)
+	for i := 1; i < n; i++ {
+		off[i] = off[i-1] + len(scans[i-1].sch)
+	}
+	perm := make([]int, 0, width)
+	for d := 0; d < n; d++ {
+		ji := declToJoin[d]
+		for k := 0; k < len(scans[ji].sch); k++ {
+			perm = append(perm, off[ji]+k)
+		}
+	}
+	return perm
+}
+
+// toDecl wraps an iterator producing join-order tuples into
+// declaration order.
+func (p *selectPlan) toDecl(it operators.Iterator) operators.Iterator {
+	if p.outPerm == nil {
+		return it
+	}
+	return operators.NewProject(it, p.outPerm)
+}
+
+// permuteToDecl permutes materialised join-order rows to declaration
+// order in place (the parallel pipeline's rows are arena-carved by
+// this executor and aliased by no one else, so mutation is safe).
+func permuteToDecl(rows []storage.Tuple, perm []int) []storage.Tuple {
+	if perm == nil {
+		return rows
+	}
+	scratch := make(storage.Tuple, len(perm))
+	for _, t := range rows {
+		copy(scratch, t)
+		for i, p := range perm {
+			t[i] = scratch[p]
+		}
+	}
+	return rows
+}
+
+// stepFilterPred compiles residual ON equalities into a tuple
+// predicate (null-rejecting, like the hash condition).
+func stepFilterPred(fs []stepFilter) operators.Predicate {
+	return func(t storage.Tuple) bool {
+		for _, f := range fs {
+			av, bv := t[f.a], t[f.b]
+			if av.IsNull() || bv.IsNull() || !storage.Equal(av, bv) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
 // buildJoinTree compiles the joins into an iterator producing tuples
-// in declaration-order schema (left-to-right concatenation) no matter
-// which side builds.
+// in declaration-order schema no matter which sides build or how the
+// joins were ordered.
 func (p *selectPlan) buildJoinTree() (operators.Iterator, error) {
 	left, err := p.scans[0].build()
 	if err != nil {
 		return nil, err
 	}
-	leftSch := p.scans[0].sch
-	for i, j := range p.joins {
+	width := len(p.scans[0].sch)
+	for i, st := range p.steps {
 		right, err := p.scans[i+1].build()
 		if err != nil {
 			return nil, err
 		}
-		rightSch := p.scans[i+1].sch
-		joined := append(append(schema{}, leftSch...), rightSch...)
-		lIdx, err := joined.resolve(j.LCol)
-		if err != nil {
-			return nil, err
-		}
-		rIdx, err := joined.resolve(j.RCol)
-		if err != nil {
-			return nil, err
-		}
-		// Normalise: the join columns may appear either side of the ON.
-		lcol, rcol := lIdx, rIdx
-		if lcol >= len(leftSch) {
-			lcol, rcol = rcol, lcol
-		}
-		if lcol >= len(leftSch) || rcol < len(leftSch) {
-			return nil, fmt.Errorf("query: join %s = %s does not span both inputs", j.LCol, j.RCol)
-		}
-		rcolLocal := rcol - len(leftSch)
-		if p.buildLeft[i] {
-			// build = left, probe = right → output (left, right): as-is.
-			left = operators.NewHashJoin(left, right, lcol, rcolLocal)
-		} else {
-			// build = right, probe = left → output (right, left):
-			// re-project to declaration order.
-			j := operators.NewHashJoin(right, left, rcolLocal, lcol)
-			perm := make([]int, 0, len(joined))
-			for k := range leftSch {
-				perm = append(perm, len(rightSch)+k)
+		rw := len(p.scans[i+1].sch)
+		switch {
+		case st.cross:
+			left = operators.NewCrossJoin(left, right)
+		case st.buildLeft:
+			// build = prefix, probe = scan → output (prefix, scan): as-is.
+			left = operators.NewHashJoin(left, right, st.leftCol, st.rightCol)
+		default:
+			// build = scan, probe = prefix → output (scan, prefix):
+			// re-project to prefix-first order.
+			j := operators.NewHashJoin(right, left, st.rightCol, st.leftCol)
+			perm := make([]int, 0, width+rw)
+			for k := 0; k < width; k++ {
+				perm = append(perm, rw+k)
 			}
-			for k := range rightSch {
+			for k := 0; k < rw; k++ {
 				perm = append(perm, k)
 			}
 			left = operators.NewProject(j, perm)
 		}
-		leftSch = joined
+		width += rw
+		if len(st.filters) > 0 {
+			left = operators.NewFilter(left, stepFilterPred(st.filters))
+		}
 	}
-	return left, nil
+	return p.toDecl(left), nil
 }

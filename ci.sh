@@ -49,18 +49,26 @@
 #                paired per repeat) fall below greedy_recovery_floor
 #                / adaptation_recovery_floor — the greedy join order
 #                or the safe-point router no longer rescuing a bad
-#                declaration order — or if PlanTime exceeds
-#                plan_time_ceiling_ns per 5-table plan.
+#                declaration order — if PlanTime exceeds
+#                plan_time_ceiling_ns per 5-table plan, or if the
+#                vectorized scan-filter's paired kernel/boxed
+#                throughput ratio (ScanFilter vs ScanFilterBoxed,
+#                1%-selectivity clustered scan) falls below
+#                filter_kernel_floor.
 #                To refresh the baseline (after an
 #                intentional perf change, or on new CI hardware), see
 #                the update procedure in bench_baseline.json's
 #                _readme.
-#   alloc gate   BenchmarkBatchHeapScan and BenchmarkTopK with
-#                -benchmem: fails if the batched scan's allocs/op
-#                exceeds SCAN_ALLOC_BUDGET, or if the Top-K path
-#                exceeds TOPK_ALLOC_BUDGET allocs/op or
-#                TOPK_BYTE_BUDGET B/op — the bounded heaps started
-#                materialising the input they exist to avoid.
+#   alloc gate   BenchmarkBatchHeapScan, BenchmarkTopK and
+#                BenchmarkFilterBatch with -benchmem: fails if the
+#                batched scan's allocs/op exceeds SCAN_ALLOC_BUDGET,
+#                if the Top-K path exceeds TOPK_ALLOC_BUDGET
+#                allocs/op or TOPK_BYTE_BUDGET B/op — the bounded
+#                heaps started materialising the input they exist to
+#                avoid — or if steady-state kernel filtering of a
+#                1024-row batch exceeds FILTER_ALLOC_BUDGET allocs/op
+#                (the selection vector must be reused off the batch,
+#                never reallocated per batch).
 #
 # Every step prints its elapsed time when the next one starts; on any
 # failure the last line on stderr is "FAILED: <step>" so the culprit
@@ -80,6 +88,10 @@ SCAN_ALLOC_BUDGET=8
 # non-materialisation gate — 100k tuples would be megabytes.
 TOPK_ALLOC_BUDGET=64
 TOPK_BYTE_BUDGET=16384
+# Steady-state vectorized filtering of a 1024-row batch (measured 0:
+# the selection vector lives on the batch and is reused; headroom for
+# the occasional conjunct-reorder copy).
+FILTER_ALLOC_BUDGET=2
 
 cd "$(dirname "$0")"
 
@@ -215,6 +227,21 @@ if [ "$topk_allocs" -gt "$TOPK_ALLOC_BUDGET" ]; then
 fi
 if [ "$topk_bytes" -gt "$TOPK_BYTE_BUDGET" ]; then
     echo "MATERIALISATION REGRESSION: top-k at $topk_bytes B/op, budget $TOPK_BYTE_BUDGET" >&2
+    exit 1
+fi
+
+step "alloc gate (vectorized filter)"
+filter_out=$(go test -run '^$' -bench '^BenchmarkFilterBatch$' \
+    -benchmem -benchtime 100x ./internal/operators)
+filter_allocs=$(echo "$filter_out" | awk '/^BenchmarkFilterBatch/ { print $(NF-1) }')
+if [ -z "$filter_allocs" ]; then
+    echo "could not parse allocs/op from benchmark output:" >&2
+    echo "$filter_out" >&2
+    exit 1
+fi
+echo "   FilterBatch: $filter_allocs allocs/op (budget $FILTER_ALLOC_BUDGET)"
+if [ "$filter_allocs" -gt "$FILTER_ALLOC_BUDGET" ]; then
+    echo "ALLOC REGRESSION: kernel filter at $filter_allocs allocs/op, budget $FILTER_ALLOC_BUDGET" >&2
     exit 1
 fi
 

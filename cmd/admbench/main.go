@@ -161,6 +161,12 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 		return 1
 	}
 	results = append(results, ptResults...)
+	sfResults, err := experiments.RunScanFilterBench(rows, 4, repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+		return 1
+	}
+	results = append(results, sfResults...)
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range results {
@@ -239,6 +245,13 @@ type baselineFile struct {
 	// EXPLAIN; 0 = no gate). Catches the O(n²) greedy loop going
 	// accidentally cubic or allocation-heavy.
 	PlanTimeCeilingNs uint64 `json:"plan_time_ceiling_ns,omitempty"`
+	// FilterKernelFloor is the minimum accepted ScanFilter
+	// filter_kernel_ratio: kernel-path over boxed-path throughput on
+	// the 1%-selectivity clustered scan, paired within a repeat. A
+	// ratio, so it holds across hardware; it catches the vectorized
+	// path silently falling back to boxed execution or zone-map
+	// pruning stopping (the ratio collapses toward 1).
+	FilterKernelFloor float64 `json:"filter_kernel_floor,omitempty"`
 }
 
 // gateAgainstBaseline fails (exit 1) when, for any bench family the
@@ -282,6 +295,12 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 		// fsync latency, not real work — absolute commits/sec is not a
 		// regression signal. Its gate is commit_scaling_floor below.
 		if want.Bench == "CommitTxn" {
+			continue
+		}
+		// The scan-filter pair is gated on its paired kernel/boxed
+		// ratio (filter_kernel_floor), which cancels host speed; the
+		// absolute records are informational.
+		if want.Bench == "ScanFilter" || want.Bench == "ScanFilterBoxed" {
 			continue
 		}
 		got, ok := find(results, want.Bench)
@@ -403,6 +422,21 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 		if !found {
 			fmt.Fprintf(os.Stderr, "admbench: baseline sets plan_time_ceiling_ns but PlanTime was not measured\n")
 			return 2
+		}
+	}
+	if base.FilterKernelFloor > 0 {
+		got, ok := find(results, "ScanFilter")
+		if !ok || got.FilterKernelRatio == 0 {
+			fmt.Fprintf(os.Stderr, "admbench: baseline sets filter_kernel_floor but the ScanFilter pair was not measured\n")
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "admbench: gate: ScanFilter kernel/boxed throughput ratio %.2f (floor %.2f)\n",
+			got.FilterKernelRatio, base.FilterKernelFloor)
+		if got.FilterKernelRatio < base.FilterKernelFloor {
+			fmt.Fprintf(os.Stderr, "admbench: REGRESSION: vectorized filter below filter_kernel_floor — the kernel path is no faster than boxed (kernels bypassed or zone pruning dead)\n")
+			if code == 0 {
+				code = 1
+			}
 		}
 	}
 	if base.RecoveryFloor > 0 {

@@ -37,9 +37,14 @@ type latchClass struct {
 // acquired first; two latches at the same level must never be held
 // together by one goroutine.
 var latchLevels = map[[2]string]latchClass{
-	{"Catalog", "mu"}:                 {10, "catalog"},
-	{"Table", "mu"}:                   {20, "table"},
-	{"HeapFile", "mu"}:                {30, "heap-file"},
+	{"Catalog", "mu"}:  {10, "catalog"},
+	{"Table", "mu"}:    {20, "table"},
+	{"HeapFile", "mu"}: {30, "heap-file"},
+	// The zone-map latch protects only the per-page summary table and
+	// its generation counters; it is never held across a page read or
+	// any callback (BuildZoneMaps decodes pages outside it), so it sits
+	// between the heap-file latch and the buffer latches.
+	{"ZoneMaps", "mu"}:                {35, "zone-map"},
 	{"BufferManager", "quarantineMu"}: {38, "buffer-quarantine"},
 	{"bufShard", "mu"}:                {40, "buffer-shard"},
 	{"lockedPolicy", "mu"}:            {42, "replacement-policy"},

@@ -37,6 +37,10 @@ var spineReceivers = map[string]map[string]bool{
 	// any WAL failure inside it has already poisoned the DB.
 	"TxnManager": {"commitTxn": true, "commitBatch": true, "abortTxn": true},
 	"Txn":        {"Commit": true},
+	// Zone-map builds read and decode every page of the file; an error
+	// is a page-read failure, and on the durable build points
+	// (Checkpoint, recovery) it must reach DB.fail, never be dropped.
+	"HeapFile": {"BuildZoneMaps": true},
 }
 
 func runPoisoncheck(pass *Pass) {

@@ -40,6 +40,13 @@ type ParallelBenchResult struct {
 	// host load cancels) and reported as the best repeat's value
 	// (MultiJoinGreedy / MultiJoinAdapt records only).
 	RecoveryRatio float64 `json:"recovery_ratio,omitempty"`
+	// FilterKernelRatio is the kernel-path / boxed-path throughput
+	// ratio for the 1%-selectivity scan, paired within a repeat and
+	// reported as the best repeat (ScanFilter record only). The ratio
+	// folds in both mechanisms — zone-map page pruning and the typed
+	// selection-vector kernels — against the tuple-at-a-time boxed
+	// predicate on identical data.
+	FilterKernelRatio float64 `json:"filter_kernel_ratio,omitempty"`
 }
 
 // parallelJoinEngine seeds l(k,v) ⋈ r(k,v) with `rows` tuples per

@@ -30,13 +30,19 @@ const DefaultBatchSize = 1024
 // contents; capacity is retained across refills.
 type Batch struct {
 	Tuples []storage.Tuple
+	// Sel is the selection-vector scratch used by vectorized filter
+	// kernels (FilterKernel.Apply): row indexes into Tuples that
+	// survive the conjuncts so far. It is working space owned by the
+	// batch purely so its capacity is reused across refills — between
+	// operator calls it is always empty.
+	Sel []int32
 }
 
 // Len returns the number of tuples in the batch.
 func (b *Batch) Len() int { return len(b.Tuples) }
 
 // Reset empties the batch, keeping capacity.
-func (b *Batch) Reset() { b.Tuples = b.Tuples[:0] }
+func (b *Batch) Reset() { b.Tuples, b.Sel = b.Tuples[:0], b.Sel[:0] }
 
 var batchPool = sync.Pool{
 	New: func() any { return &Batch{Tuples: make([]storage.Tuple, 0, DefaultBatchSize)} },
@@ -207,11 +213,22 @@ func (a *IteratorFromBatch) Close() error {
 // acquisition (storage.HeapFile.PageTuplesInto) — the batch-native
 // scan. The page list is snapshotted at Open, matching HeapScan's
 // semantics; reopening re-snapshots.
+//
+// With a Kernel attached the scan fuses filtering: each page's zone
+// map (snapshotted at Open alongside the page list, when the file
+// exposes storage.ZoneReader) is consulted BEFORE the page is pinned
+// or decoded, and surviving pages are compacted through the kernel in
+// place — the scan+filter pipeline the paper's database machines
+// pushed to the disk head, here pushed below the batch boundary.
 type BatchHeapScan struct {
-	File  storage.HeapReader
-	pages []storage.PageID
-	idx   int
-	open  bool
+	File storage.HeapReader
+	// Kernel, when non-nil, fuses predicate evaluation and zone-map
+	// page pruning into the scan.
+	Kernel *FilterKernel
+	pages  []storage.PageID
+	zones  [][]storage.ColZone
+	idx    int
+	open   bool
 }
 
 // NewBatchHeapScan scans file.
@@ -222,24 +239,45 @@ func NewBatchHeapScan(file storage.HeapReader) *BatchHeapScan {
 // Open implements BatchIterator.
 func (s *BatchHeapScan) Open() error {
 	s.pages = s.File.PageIDs()
+	s.zones = nil
+	if s.Kernel != nil {
+		if zr, ok := s.File.(storage.ZoneReader); ok {
+			s.zones = zr.PageZones(s.pages)
+		}
+	}
 	s.idx = 0
 	s.open = true
 	return nil
 }
 
-// NextBatch implements BatchIterator; one batch is one page.
+// NextBatch implements BatchIterator; one batch is one page (post
+// filter, when a kernel is fused).
 func (s *BatchHeapScan) NextBatch(b *Batch) (int, error) {
 	if !s.open {
 		return 0, ErrNotOpen
 	}
 	for s.idx < len(s.pages) {
 		id := s.pages[s.idx]
+		if s.Kernel != nil && s.idx < len(s.zones) {
+			if !s.Kernel.MayMatchPage(s.zones[s.idx]) {
+				s.Kernel.countPage(true)
+				s.idx++
+				continue
+			}
+		}
 		s.idx++
 		ts, err := s.File.PageTuplesInto(id, b.Tuples[:0])
 		if err != nil {
 			return 0, err
 		}
 		b.Tuples = ts
+		if s.Kernel != nil {
+			s.Kernel.countPage(false)
+			if s.Kernel.Apply(b) > 0 {
+				return len(b.Tuples), nil
+			}
+			continue
+		}
 		if len(ts) > 0 {
 			return len(ts), nil
 		}
@@ -249,7 +287,7 @@ func (s *BatchHeapScan) NextBatch(b *Batch) (int, error) {
 }
 
 // Close implements BatchIterator.
-func (s *BatchHeapScan) Close() error { s.open, s.pages = false, nil; return nil }
+func (s *BatchHeapScan) Close() error { s.open, s.pages, s.zones = false, nil, nil; return nil }
 
 // BatchFilter drops tuples failing Pred, compacting each batch in
 // place — no copy, no allocation.

@@ -38,11 +38,19 @@ func (f *EddyFilter) observedSelectivity() float64 {
 // runs cheap, highly-selective (low pass-rate) filters first:
 // rank = cost / (1 - selectivity).
 func (f *EddyFilter) rank() float64 {
-	drop := 1 - f.observedSelectivity()
+	return FilterRank(f.Cost, f.observedSelectivity())
+}
+
+// FilterRank is the eddy's routing rank, cost / (1 - selectivity),
+// with the drop rate floored so always-passing filters rank finite.
+// Lower is better. Shared by the tuple-routing eddy above and the
+// vectorized FilterKernel's conjunct reordering.
+func FilterRank(cost, selectivity float64) float64 {
+	drop := 1 - selectivity
 	if drop < 1e-6 {
 		drop = 1e-6
 	}
-	return f.Cost / drop
+	return cost / drop
 }
 
 // EddyResult reports a routing run.

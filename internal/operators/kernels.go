@@ -1,0 +1,458 @@
+// Vectorized predicate kernels: compiled column-vs-constant conjuncts
+// evaluated over a batch's selection vector without per-row closure
+// dispatch, plus the zone-map page-prune decision that runs before a
+// page is even decoded. The kernels replicate the boxed predicate's
+// semantics EXACTLY — NULL fails every comparison (even !=), numeric
+// kinds compare through their float64 image (int64 precision loss
+// included), NaN compares equal to every numeric, mixed string/number
+// order by kind tag — by reducing each operator to three precomputed
+// pass bits indexed by the sign of storage.Compare. Byte-identical
+// results with the boxed path are a hard invariant, enforced by the
+// determinism matrix in the query package.
+package operators
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// KernelOp is a compiled predicate operator: the query layer's
+// comparison set plus the SQL null tests.
+type KernelOp int
+
+// Kernel operators. The comparison six mirror the query layer's CmpOp
+// in order; the null tests never consult the literal.
+const (
+	KernEQ KernelOp = iota
+	KernNE
+	KernLT
+	KernGT
+	KernLE
+	KernGE
+	KernIsNull
+	KernNotNull
+)
+
+// passBits expands a comparison operator into its acceptance of the
+// three Compare outcomes: (cmp<0, cmp==0, cmp>0). Exactly CmpOp.Eval,
+// precomputed.
+func (o KernelOp) passBits() (lt, eq, gt bool) {
+	switch o {
+	case KernEQ:
+		return false, true, false
+	case KernNE:
+		return true, false, true
+	case KernLT:
+		return true, false, false
+	case KernGT:
+		return false, false, true
+	case KernLE:
+		return true, true, false
+	case KernGE:
+		return false, true, true
+	}
+	return false, false, false
+}
+
+// ColPred is one compilable conjunct: column Col of the scanned tuple,
+// compared against the constant Lit. Name is the EXPLAIN rendering;
+// Cost feeds the eddy rank (uniform 1 when unknown).
+type ColPred struct {
+	Col  int
+	Op   KernelOp
+	Lit  storage.Value
+	Name string
+	Cost float64
+}
+
+// compiledPred is a ColPred with the literal pre-classified and the
+// operator expanded to pass bits, plus windowless observed-selectivity
+// counters (shared across scan workers, hence atomic).
+type compiledPred struct {
+	ColPred
+	passLT, passEQ, passGT bool
+	litNull                bool
+	litNum                 bool // AsFloat ok
+	litNaN                 bool
+	litStr                 bool
+	litF                   float64
+	litS                   string
+
+	evals  atomic.Int64
+	passes atomic.Int64
+}
+
+func compilePred(p ColPred) *compiledPred {
+	c := &compiledPred{ColPred: p}
+	if c.Cost <= 0 {
+		c.Cost = 1
+	}
+	c.passLT, c.passEQ, c.passGT = p.Op.passBits()
+	c.litNull = p.Lit.Kind == storage.KindNull
+	if f, ok := p.Lit.AsFloat(); ok {
+		c.litNum, c.litF, c.litNaN = true, f, math.IsNaN(f)
+	}
+	if p.Lit.Kind == storage.KindString {
+		c.litStr, c.litS = true, p.Lit.Str
+	}
+	return c
+}
+
+// slowKeep is the reference row evaluation: boxed semantics verbatim
+// (NULL fails, then pass bit by Compare sign). The typed loops in
+// filterSel shortcut the common kind pairs and fall back here for
+// cross-kind rows, so every row evaluates identically to the boxed
+// predicate by construction.
+func (p *compiledPred) slowKeep(v storage.Value) bool {
+	switch p.Op {
+	case KernIsNull:
+		return v.Kind == storage.KindNull
+	case KernNotNull:
+		return v.Kind != storage.KindNull
+	}
+	if v.Kind == storage.KindNull {
+		return false
+	}
+	cmp := storage.Compare(v, p.Lit)
+	switch {
+	case cmp < 0:
+		return p.passLT
+	case cmp > 0:
+		return p.passGT
+	}
+	return p.passEQ
+}
+
+// filterSel compacts sel to the rows passing this predicate. The typed
+// fast paths compare int64/float64 columns against a numeric literal
+// (through the float image, replicating Compare's coercion) and string
+// columns against a string literal without any interface dispatch; NaN
+// rows fall through both inequalities into the passEQ bit, exactly as
+// Compare returns 0 for them.
+func (p *compiledPred) filterSel(tuples []storage.Tuple, sel []int32) []int32 {
+	in := len(sel)
+	out := sel[:0]
+	col := p.Col
+	switch {
+	case p.Op == KernIsNull:
+		for _, i := range sel {
+			if tuples[i][col].Kind == storage.KindNull {
+				out = append(out, i)
+			}
+		}
+	case p.Op == KernNotNull:
+		for _, i := range sel {
+			if tuples[i][col].Kind != storage.KindNull {
+				out = append(out, i)
+			}
+		}
+	case p.litNum:
+		lf := p.litF
+		for _, i := range sel {
+			v := &tuples[i][col]
+			var keep bool
+			switch v.Kind {
+			case storage.KindInt:
+				switch f := float64(v.Int); {
+				case f < lf:
+					keep = p.passLT
+				case f > lf:
+					keep = p.passGT
+				default:
+					keep = p.passEQ
+				}
+			case storage.KindFloat:
+				switch f := v.Float; {
+				case f < lf:
+					keep = p.passLT
+				case f > lf:
+					keep = p.passGT
+				default:
+					keep = p.passEQ
+				}
+			case storage.KindNull:
+				keep = false
+			default:
+				keep = p.slowKeep(*v)
+			}
+			if keep {
+				out = append(out, i)
+			}
+		}
+	case p.litStr:
+		ls := p.litS
+		for _, i := range sel {
+			v := &tuples[i][col]
+			var keep bool
+			switch v.Kind {
+			case storage.KindString:
+				switch {
+				case v.Str < ls:
+					keep = p.passLT
+				case v.Str > ls:
+					keep = p.passGT
+				default:
+					keep = p.passEQ
+				}
+			case storage.KindNull:
+				keep = false
+			default:
+				keep = p.slowKeep(*v)
+			}
+			if keep {
+				out = append(out, i)
+			}
+		}
+	default: // NULL literal: every non-null row compares +1
+		for _, i := range sel {
+			if v := &tuples[i][col]; v.Kind != storage.KindNull && p.passGT {
+				out = append(out, i)
+			}
+		}
+	}
+	p.evals.Add(int64(in))
+	p.passes.Add(int64(len(out)))
+	return out
+}
+
+// selectivity is the predicate's observed pass rate (0.5 uninformed
+// prior, as the eddy uses before its first window).
+func (p *compiledPred) selectivity() float64 {
+	e := p.evals.Load()
+	if e == 0 {
+		return 0.5
+	}
+	return float64(p.passes.Load()) / float64(e)
+}
+
+// mayMatch decides whether any row summarised by zones could pass this
+// predicate. Missing or unmodelled information always answers true;
+// false is returned only when NO value category present on the page
+// can produce a passing Compare sign.
+func (p *compiledPred) mayMatch(zones []storage.ColZone) bool {
+	if p.Col >= len(zones) {
+		return true
+	}
+	z := &zones[p.Col]
+	if z.HasOther {
+		return true
+	}
+	nonNull := z.HasNum || z.HasNaN || z.HasStr
+	switch p.Op {
+	case KernIsNull:
+		return z.HasNull
+	case KernNotNull:
+		return nonNull
+	}
+	if p.litNull {
+		// Non-null row vs NULL literal compares +1; NULL rows fail.
+		return p.passGT && nonNull
+	}
+	if p.litNum {
+		if p.litNaN {
+			// Any numeric (or NaN) row compares 0 against a NaN literal.
+			if p.passEQ && (z.HasNum || z.HasNaN) {
+				return true
+			}
+		} else {
+			if z.HasNum {
+				if p.passLT && z.MinF < p.litF {
+					return true
+				}
+				if p.passGT && z.MaxF > p.litF {
+					return true
+				}
+				if p.passEQ && z.MinF <= p.litF && z.MaxF >= p.litF {
+					return true
+				}
+			}
+			if z.HasNaN && p.passEQ { // NaN row vs finite literal: 0
+				return true
+			}
+		}
+		// String rows against a numeric literal order by kind tag:
+		// above int/float, below bool.
+		if z.HasStr {
+			if p.Lit.Kind == storage.KindBool {
+				return p.passLT
+			}
+			return p.passGT
+		}
+		return false
+	}
+	// String literal.
+	if z.HasStr {
+		if p.passLT && z.MinS < p.litS {
+			return true
+		}
+		if p.passGT && z.MaxS > p.litS {
+			return true
+		}
+		if p.passEQ && z.MinS <= p.litS && z.MaxS >= p.litS {
+			return true
+		}
+	}
+	if (z.HasNum || z.HasNaN) && p.passLT { // int/float rows order below strings
+		return true
+	}
+	if z.HasBool && p.passGT { // bool rows order above strings
+		return true
+	}
+	return false
+}
+
+// ScanStats counts a scan's page-level pruning decisions, shared by
+// every worker of the scan and read by EXPLAIN after execution.
+type ScanStats struct {
+	Pruned  atomic.Int64
+	Scanned atomic.Int64
+}
+
+// reorderEvery is the adaptation cadence: the kernel re-ranks its
+// conjuncts from observed selectivities every reorderEvery batches.
+const reorderEvery = 32
+
+// FilterKernel is a compiled conjunction evaluated over batches with a
+// selection vector. The conjunct order adapts continuously: every
+// reorderEvery batches the conjuncts re-sort by the eddy rank
+// cost/(1-selectivity), so the cheapest most-selective kernel runs
+// first. Reordering never changes the surviving row set (conjunction
+// is commutative and the predicates are pure), so results stay
+// byte-identical no matter when adaptation fires. Safe for concurrent
+// use by any number of scan workers.
+type FilterKernel struct {
+	preds []*compiledPred
+	// order is the current routing order (a fresh slice per reorder,
+	// swapped atomically; readers never see a partial sort).
+	order atomic.Pointer[[]*compiledPred]
+	// Boxed, when non-nil, is the residual predicate for conjuncts the
+	// kernel set does not cover; it runs after the kernels, on the
+	// compacted batch.
+	Boxed Predicate
+	// Stats, when non-nil, receives page prune/scan counts.
+	Stats   *ScanStats
+	batches atomic.Int64
+}
+
+// NewFilterKernel compiles the conjunction. boxed may be nil; stats
+// may be nil.
+func NewFilterKernel(preds []ColPred, boxed Predicate, stats *ScanStats) *FilterKernel {
+	k := &FilterKernel{Boxed: boxed, Stats: stats}
+	for _, p := range preds {
+		k.preds = append(k.preds, compilePred(p))
+	}
+	initial := append([]*compiledPred(nil), k.preds...)
+	k.order.Store(&initial)
+	return k
+}
+
+// NumPreds returns the compiled conjunct count.
+func (k *FilterKernel) NumPreds() int { return len(k.preds) }
+
+// Apply filters b in place through the compiled conjunction: the
+// selection vector is built by the first conjunct, narrowed by each
+// subsequent one, and the surviving rows compacted to the batch head.
+// Steady-state it allocates nothing (the selection vector is retained
+// on the batch). Returns the surviving row count.
+func (k *FilterKernel) Apply(b *Batch) int {
+	n := len(b.Tuples)
+	if n == 0 {
+		return 0
+	}
+	sel := b.Sel[:0]
+	if cap(sel) < n {
+		sel = make([]int32, 0, cap(b.Tuples))
+	}
+	for i := 0; i < n; i++ {
+		sel = append(sel, int32(i))
+	}
+	order := *k.order.Load()
+	for _, p := range order {
+		if len(sel) == 0 {
+			break
+		}
+		sel = p.filterSel(b.Tuples, sel)
+	}
+	// Compact survivors to the head; sel is ascending so j <= sel[j].
+	for j, i := range sel {
+		b.Tuples[j] = b.Tuples[i]
+	}
+	b.Tuples = b.Tuples[:len(sel)]
+	b.Sel = sel[:0] // retain capacity on the batch
+	if k.Boxed != nil && len(b.Tuples) > 0 {
+		filterInPlace(b, k.Boxed)
+	}
+	if len(k.preds) > 1 && k.batches.Add(1)%reorderEvery == 0 {
+		k.reorder()
+	}
+	return len(b.Tuples)
+}
+
+// reorder installs a fresh conjunct order ranked by observed
+// selectivity (see FilterRank). Stable sort keeps ties deterministic.
+func (k *FilterKernel) reorder() {
+	next := append([]*compiledPred(nil), k.preds...)
+	sort.SliceStable(next, func(a, b int) bool {
+		return FilterRank(next[a].Cost, next[a].selectivity()) <
+			FilterRank(next[b].Cost, next[b].selectivity())
+	})
+	k.order.Store(&next)
+}
+
+// MayMatchPage decides whether a page needs decoding: nil zones (no
+// entry — never built or invalidated) must scan; an empty non-nil
+// entry is a rowless page; otherwise every conjunct gets a veto. The
+// boxed residual never vetoes — it sees every surviving page.
+func (k *FilterKernel) MayMatchPage(zones []storage.ColZone) bool {
+	if zones == nil {
+		return true
+	}
+	if len(zones) == 0 {
+		return false // page holds no rows at all
+	}
+	for _, p := range k.preds {
+		if !p.mayMatch(zones) {
+			return false
+		}
+	}
+	return true
+}
+
+// countPage records one prune/scan decision.
+func (k *FilterKernel) countPage(pruned bool) {
+	if k.Stats == nil {
+		return
+	}
+	if pruned {
+		k.Stats.Pruned.Add(1)
+	} else {
+		k.Stats.Scanned.Add(1)
+	}
+}
+
+// Describe renders the conjunction for EXPLAIN: each kernel-compiled
+// conjunct by name, in compile (not adapted) order.
+func (k *FilterKernel) Describe() string {
+	s := "kernel["
+	for i, p := range k.preds {
+		if i > 0 {
+			s += " AND "
+		}
+		s += p.Name
+	}
+	return s + "]"
+}
+
+// PruneSummary renders the page-prune counters ("pruned=3/12"); empty
+// when the kernel collects no stats.
+func (k *FilterKernel) PruneSummary() string {
+	if k.Stats == nil {
+		return ""
+	}
+	pruned := k.Stats.Pruned.Load()
+	return fmt.Sprintf("pruned=%d/%d", pruned, pruned+k.Stats.Scanned.Load())
+}

@@ -95,11 +95,16 @@ type BatchSource interface {
 // indexes from an atomic cursor over a snapshot of the page list and
 // decode each page into their own batch under one read-latch
 // acquisition, so the underlying file stays shareable with concurrent
-// writers.
+// writers. With a kernel attached (NewHeapBatchesKernel), each claimed
+// page is first tested against its zone map — pruned pages cost one
+// atomic increment instead of a pin+decode — and survivors are
+// filtered through the kernel inside the claiming worker.
 type HeapBatches struct {
-	file  storage.HeapReader
-	pages []storage.PageID
-	next  atomic.Int64
+	file   storage.HeapReader
+	kernel *FilterKernel
+	pages  []storage.PageID
+	zones  [][]storage.ColZone
+	next   atomic.Int64
 }
 
 // NewHeapBatches snapshots file's pages for parallel consumption.
@@ -107,7 +112,21 @@ func NewHeapBatches(file storage.HeapReader) *HeapBatches {
 	return &HeapBatches{file: file, pages: file.PageIDs()}
 }
 
-// NextBatch implements BatchSource; one batch is one page.
+// NewHeapBatchesKernel snapshots file's pages and zone maps for
+// parallel consumption with kernel-fused filtering. The kernel (shared
+// by all workers) may be nil, giving plain NewHeapBatches behaviour.
+func NewHeapBatchesKernel(file storage.HeapReader, kernel *FilterKernel) *HeapBatches {
+	h := &HeapBatches{file: file, kernel: kernel, pages: file.PageIDs()}
+	if kernel != nil {
+		if zr, ok := file.(storage.ZoneReader); ok {
+			h.zones = zr.PageZones(h.pages)
+		}
+	}
+	return h
+}
+
+// NextBatch implements BatchSource; one batch is one page (post
+// filter, when a kernel is fused).
 func (h *HeapBatches) NextBatch(b *Batch) (int, error) {
 	for {
 		i := h.next.Add(1) - 1
@@ -115,11 +134,24 @@ func (h *HeapBatches) NextBatch(b *Batch) (int, error) {
 			b.Reset()
 			return 0, nil
 		}
+		if h.kernel != nil && i < int64(len(h.zones)) {
+			if !h.kernel.MayMatchPage(h.zones[i]) {
+				h.kernel.countPage(true)
+				continue
+			}
+		}
 		ts, err := h.file.PageTuplesInto(h.pages[i], b.Tuples[:0])
 		if err != nil {
 			return 0, err
 		}
 		b.Tuples = ts
+		if h.kernel != nil {
+			h.kernel.countPage(false)
+			if h.kernel.Apply(b) > 0 {
+				return len(b.Tuples), nil
+			}
+			continue
+		}
 		if len(ts) > 0 {
 			return len(ts), nil
 		}
@@ -360,7 +392,7 @@ func (f *FilterMorsels) NextMorsel() ([]storage.Tuple, error) {
 		if err != nil || m == nil {
 			return nil, err
 		}
-		var out []storage.Tuple
+		out := make([]storage.Tuple, 0, len(m))
 		for _, t := range m {
 			if f.pred(t) {
 				out = append(out, t)

@@ -559,9 +559,11 @@ func (c *Catalog) Analyze(table string) error {
 		fresh.Distinct[strings.ToLower(t.Cols[i].Name)] = len(d)
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.Stats = fresh // installed wholesale, never mutated in place
-	return nil
+	t.mu.Unlock()
+	// Statistics refresh doubles as the in-memory engines' zone-map
+	// build point (durable engines also rebuild at every checkpoint).
+	return t.Heap.BuildZoneMaps()
 }
 
 // SetStats force-sets statistics (experiments inject stale values).

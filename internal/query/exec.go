@@ -144,10 +144,24 @@ func (e *Engine) ExecStmtTxn(st Stmt, txn *storage.Txn) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		text := plan.Explain()
+		// Render each scan's filter strategy (kernel conjuncts, boxed
+		// residual). The kernels compile here solely for the rendering;
+		// prune counters read 0/0 since nothing executed.
+		for _, sp := range plan.scans {
+			if sp.indexCol == "" && len(sp.preds) > 0 && !sp.noKernel {
+				if _, err := sp.filterKernel(); err != nil {
+					return nil, err
+				}
+			}
+			if fs := sp.filterSummary(); fs != "" {
+				text += " | " + fs
+			}
+		}
 		return &Result{
 			Cols: []string{"plan"},
-			Rows: []storage.Tuple{{storage.StringValue(plan.Explain())}},
-			Plan: plan.Explain(),
+			Rows: []storage.Tuple{{storage.StringValue(text)}},
+			Plan: text,
 		}, nil
 	case *BeginStmt, *CommitStmt, *RollbackStmt:
 		return nil, fmt.Errorf("query: %s requires a session (use session.DBSession)", stmtKeyword(st))

@@ -48,6 +48,11 @@ type ExecOptions struct {
 	// transaction: scans bind to its snapshot (reads stay lock-free
 	// across every worker) and DML stamps its id.
 	Txn *storage.Txn
+	// NoVectorKernels forces the boxed per-row predicate path,
+	// disabling the compiled filter kernels and zone-map page pruning.
+	// The boxed path is the reference semantics — benchmarks and
+	// differential tests flip this to compare against it.
+	NoVectorKernels bool
 
 	// panicInWorker, when set (tests only), runs inside each worker
 	// goroutine as it finishes a phase — the injection point the
@@ -68,6 +73,11 @@ type ExecReport struct {
 	// statement was transparently re-executed on the serial plan: one
 	// bad worker degrades the query instead of killing the process.
 	PanicContained bool
+
+	// scans carries the executed plan's scan list out of the run so the
+	// outer wrapper can append each scan's filter summary (kernel vs
+	// boxed, pages pruned) to the plan rendering post-execution.
+	scans []*scanPlan
 }
 
 // ExecuteSQL parses and executes one statement with the parallel
@@ -119,9 +129,10 @@ func (o ExecOptions) adaptive() AdaptiveConfig {
 }
 
 // scanBatches builds the batch source for one scan: page-granular
-// shared heap cursors with worker-side in-place filtering on the
-// sequential path, a serialised (but still fan-out-feeding) adapter on
-// the index path.
+// shared heap cursors with kernel-fused filtering (zone-map pruning +
+// vectorized conjuncts inside the claiming worker) on the sequential
+// path, the boxed in-place filter when kernels are disabled, and a
+// serialised (but still fan-out-feeding) adapter on the index path.
 func scanBatches(sp *scanPlan, size int) (operators.BatchSource, error) {
 	if sp.indexCol != "" {
 		it, err := sp.build()
@@ -129,6 +140,13 @@ func scanBatches(sp *scanPlan, size int) (operators.BatchSource, error) {
 			return nil, err
 		}
 		return operators.NewIterBatches(it, size), nil
+	}
+	if len(sp.preds) > 0 && !sp.noKernel {
+		k, err := sp.filterKernel()
+		if err != nil {
+			return nil, err
+		}
+		return operators.NewHeapBatchesKernel(sp.reader, k), nil
 	}
 	var src operators.BatchSource = operators.NewHeapBatches(sp.reader)
 	if len(sp.preds) > 0 {
@@ -151,9 +169,18 @@ func (e *Engine) execSelectParallel(st *SelectStmt, opts ExecOptions) (*Result, 
 	res, rep, err := e.execSelectParallelRun(st, opts)
 	var pe *operators.PanicError
 	if !errors.As(err, &pe) {
-		if err == nil && res != nil && rep != nil && rep.Adaptive.Replanned {
-			// Post-execution adaptation summary: where the router fired.
-			res.Plan += " | " + rep.Adaptive.Describe()
+		if err == nil && res != nil && rep != nil {
+			if rep.Adaptive.Replanned {
+				// Post-execution adaptation summary: where the router fired.
+				res.Plan += " | " + rep.Adaptive.Describe()
+			}
+			// Per-scan filter summaries: kernel vs boxed conjuncts and the
+			// zone-map prune counters observed during this execution.
+			for _, sp := range rep.scans {
+				if fs := sp.filterSummary(); fs != "" {
+					res.Plan += " | " + fs
+				}
+			}
 		}
 		return res, rep, err
 	}
@@ -180,6 +207,12 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 		res, err := e.execSelect(st, opts.Txn)
 		return res, rep, err
 	}
+	if opts.NoVectorKernels {
+		for _, sp := range plan.scans {
+			sp.noKernel = true
+		}
+	}
+	rep.scans = plan.scans
 	workers := opts.workers()
 	batch := opts.batchSize()
 	rep.Parallel = true

@@ -82,6 +82,14 @@ type scanPlan struct {
 	// so the greedy ordering loop reads distinct counts without
 	// re-snapshotting per candidate.
 	stats TableStats
+	// noKernel disables the vectorized filter path (boxed reference
+	// executor, for differential testing and ExecOptions).
+	noKernel bool
+	// kern is the compiled filter kernel, built lazily by filterKernel
+	// before the pipeline fans out and then shared by all its workers.
+	kern      *operators.FilterKernel
+	kernBoxed []Pred // conjuncts the kernel left to the boxed residual
+	scanStats *operators.ScanStats
 }
 
 // explain renders the access path.
@@ -98,12 +106,23 @@ func (s *scanPlan) distinctOn(col int) int {
 	return s.stats.Distinct[strings.ToLower(s.sch[col].Name)]
 }
 
-// build compiles the scan into an iterator.
+// build compiles the scan into an iterator. A filtered heap scan
+// compiles to the fused vectorized path (kernel + zone-map pruning
+// behind a batch→Volcano adapter) unless the kernel is disabled; index
+// scans and the boxed reference path keep the scalar pipeline.
 func (s *scanPlan) build() (operators.Iterator, error) {
 	var it operators.Iterator
 	if s.indexCol != "" {
 		idx, _ := s.table.Index(s.indexCol)
 		it = operators.NewIndexScan(s.reader, idx, s.indexLo, s.indexHi)
+	} else if len(s.preds) > 0 && !s.noKernel {
+		k, err := s.filterKernel()
+		if err != nil {
+			return nil, err
+		}
+		bs := operators.NewBatchHeapScan(s.reader)
+		bs.Kernel = k
+		return operators.NewIteratorFromBatch(bs), nil
 	} else {
 		it = operators.NewHeapScan(s.reader)
 	}
@@ -117,7 +136,91 @@ func (s *scanPlan) build() (operators.Iterator, error) {
 	return it, nil
 }
 
-// compilePreds compiles a conjunction into a tuple predicate.
+// filterKernel lazily compiles the scan's pushed-down conjunction into
+// a shared FilterKernel. Called from single-threaded plan/build code
+// before any pipeline fans out; the kernel itself is then
+// worker-shared. Conjuncts the kernel cannot cover stay behind the
+// boxed residual predicate, preserving exact semantics.
+func (s *scanPlan) filterKernel() (*operators.FilterKernel, error) {
+	if s.kern != nil {
+		return s.kern, nil
+	}
+	cols, residual, err := compileKernelPreds(s.sch, s.preds)
+	if err != nil {
+		return nil, err
+	}
+	var boxed operators.Predicate
+	if len(residual) > 0 {
+		if boxed, err = compilePreds(s.sch, residual); err != nil {
+			return nil, err
+		}
+	}
+	s.scanStats = &operators.ScanStats{}
+	s.kern = operators.NewFilterKernel(cols, boxed, s.scanStats)
+	s.kernBoxed = residual
+	return s.kern, nil
+}
+
+// kernelOps maps the comparison grammar onto kernel operators.
+var kernelOps = map[CmpOp]operators.KernelOp{
+	OpEQ: operators.KernEQ, OpNE: operators.KernNE,
+	OpLT: operators.KernLT, OpGT: operators.KernGT,
+	OpLE: operators.KernLE, OpGE: operators.KernGE,
+	OpIsNull: operators.KernIsNull, OpNotNull: operators.KernNotNull,
+}
+
+// compileKernelPreds splits a conjunction into kernel-compilable
+// column predicates and a boxed residual. The current grammar (col op
+// literal, col IS [NOT] NULL) compiles entirely; the residual path
+// exists so richer predicates can join the conjunction without
+// touching the kernel.
+func compileKernelPreds(sch schema, preds []Pred) ([]operators.ColPred, []Pred, error) {
+	var cols []operators.ColPred
+	var residual []Pred
+	for _, p := range preds {
+		i, err := sch.resolve(p.Col)
+		if err != nil {
+			return nil, nil, err
+		}
+		op, ok := kernelOps[p.Op]
+		if !ok {
+			residual = append(residual, p)
+			continue
+		}
+		cols = append(cols, operators.ColPred{Col: i, Op: op, Lit: p.Lit, Name: p.String(), Cost: 1})
+	}
+	return cols, residual, nil
+}
+
+// filterSummary renders the scan's filter strategy for EXPLAIN: the
+// prune counters plus each conjunct, tagged kernel or boxed. Empty for
+// unfiltered or index-served scans.
+func (s *scanPlan) filterSummary() string {
+	if len(s.preds) == 0 || s.indexCol != "" {
+		return ""
+	}
+	if s.kern == nil {
+		names := make([]string, len(s.preds))
+		for i, p := range s.preds {
+			names[i] = p.String()
+		}
+		return fmt.Sprintf("filter(%s): boxed[%s]", s.ref.Binding(), strings.Join(names, " AND "))
+	}
+	out := fmt.Sprintf("filter(%s): %s %s", s.ref.Binding(), s.kern.PruneSummary(), s.kern.Describe())
+	if len(s.kernBoxed) > 0 {
+		names := make([]string, len(s.kernBoxed))
+		for i, p := range s.kernBoxed {
+			names[i] = p.String()
+		}
+		out += fmt.Sprintf(" boxed[%s]", strings.Join(names, " AND "))
+	}
+	return out
+}
+
+// compilePreds compiles a conjunction into a boxed tuple predicate —
+// the reference semantics the vectorized kernel must reproduce
+// byte-for-byte. NULL column values fail every conjunct except an
+// explicit IS NULL test.
 func compilePreds(sch schema, preds []Pred) (operators.Predicate, error) {
 	type cp struct {
 		idx int
@@ -134,6 +237,18 @@ func compilePreds(sch schema, preds []Pred) (operators.Predicate, error) {
 	}
 	return func(t storage.Tuple) bool {
 		for _, c := range cps {
+			switch c.op {
+			case OpIsNull:
+				if !t[c.idx].IsNull() {
+					return false
+				}
+				continue
+			case OpNotNull:
+				if t[c.idx].IsNull() {
+					return false
+				}
+				continue
+			}
 			if t[c.idx].IsNull() {
 				return false
 			}

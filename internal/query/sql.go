@@ -44,7 +44,9 @@ func (c ColRef) String() string {
 // CmpOp is a comparison operator in WHERE/ON clauses.
 type CmpOp int
 
-// Comparison operators.
+// Comparison operators. OpIsNull/OpNotNull are the SQL null tests —
+// unary, their Pred carries no meaningful literal and they never go
+// through Eval.
 const (
 	OpEQ CmpOp = iota
 	OpNE
@@ -52,13 +54,17 @@ const (
 	OpGT
 	OpLE
 	OpGE
+	OpIsNull
+	OpNotNull
 )
 
 func (o CmpOp) String() string {
-	return [...]string{"=", "!=", "<", ">", "<=", ">="}[o]
+	return [...]string{"=", "!=", "<", ">", "<=", ">=", "IS NULL", "IS NOT NULL"}[o]
 }
 
-// Eval applies the operator to a Compare result.
+// Eval applies a comparison operator to a Compare result. The null
+// tests are not comparisons and always answer false here — callers
+// dispatch them on the value's kind before comparing.
 func (o CmpOp) Eval(cmp int) bool {
 	switch o {
 	case OpEQ:
@@ -71,12 +77,13 @@ func (o CmpOp) Eval(cmp int) bool {
 		return cmp > 0
 	case OpLE:
 		return cmp <= 0
-	default:
+	case OpGE:
 		return cmp >= 0
 	}
+	return false
 }
 
-// Pred is one conjunct: col op literal.
+// Pred is one conjunct: col op literal, or a unary null test.
 type Pred struct {
 	Col ColRef
 	Op  CmpOp
@@ -84,6 +91,9 @@ type Pred struct {
 }
 
 func (p Pred) String() string {
+	if p.Op == OpIsNull || p.Op == OpNotNull {
+		return fmt.Sprintf("%s %s", p.Col, p.Op)
+	}
 	return fmt.Sprintf("%s %s %s", p.Col, p.Op, p.Lit)
 }
 
@@ -638,6 +648,16 @@ func (p *sqlParser) pred() (Pred, error) {
 	c, err := p.colRef()
 	if err != nil {
 		return Pred{}, err
+	}
+	if p.kw("IS") {
+		op := OpIsNull
+		if p.kw("NOT") {
+			op = OpNotNull
+		}
+		if err := p.expectKw("NULL"); err != nil {
+			return Pred{}, err
+		}
+		return Pred{Col: c, Op: op, Lit: storage.NullValue()}, nil
 	}
 	op, err := p.cmpOp()
 	if err != nil {

@@ -508,6 +508,22 @@ func (db *DB) Checkpoint() error {
 		return db.fail(err)
 	}
 	db.checkpoints.Add(1)
+
+	// Refresh zone maps off the just-flushed heaps: checkpoint is the
+	// natural build point (pages are warm and the write burst that
+	// invalidated entries has quiesced). A page that cannot be read or
+	// decoded here will not read later either — engine-fatal.
+	db.mu.Lock()
+	files := make([]*HeapFile, 0, len(db.fileOrder))
+	for _, name := range db.fileOrder {
+		files = append(files, db.files[name])
+	}
+	db.mu.Unlock()
+	for _, h := range files {
+		if err := h.BuildZoneMaps(); err != nil {
+			return db.fail(err)
+		}
+	}
 	return nil
 }
 
@@ -751,6 +767,16 @@ func (db *DB) recover(recs []Record) error {
 		}
 		db.indexes[def.Name] = tree
 		stats.Indexes++
+	}
+
+	// Rebuild zone maps from the recovered heaps. restore() wiped any
+	// pre-crash entries; quarantined pages are skipped inside
+	// BuildZoneMaps and stay zone-less — an unreadable page is never
+	// pruned on the strength of a summary taken before it went bad.
+	for _, name := range db.fileOrder {
+		if err := db.files[name].BuildZoneMaps(); err != nil {
+			return err
+		}
 	}
 
 	db.recovery = stats

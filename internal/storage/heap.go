@@ -30,6 +30,11 @@ type HeapFile struct {
 	db    *DB
 	pages []PageID
 	live  int
+	// zm holds the file's per-page zone maps. Mutation paths that can
+	// change page VALUES invalidate the page's entry before touching it
+	// (insert, update); delete and Xmax stamping leave entries in place
+	// — removal and version-header rewrites keep the summary a superset.
+	zm ZoneMaps
 }
 
 // NewHeapFile creates an empty heap file.
@@ -80,6 +85,7 @@ func (h *HeapFile) insertRec(rec []byte) (RID, error) {
 		if err != nil {
 			return RID{}, err
 		}
+		h.zm.invalidate(id) // before the mutation is observable
 		slot, err := h.insertPage(p, id, rec)
 		h.bm.Unpin(id)
 		if err == nil {
@@ -102,6 +108,7 @@ func (h *HeapFile) insertRec(rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	defer h.bm.Unpin(id)
+	h.zm.invalidate(id) // before the mutation is observable
 	slot, err := h.insertPage(p, id, rec)
 	if err != nil {
 		return RID{}, err
@@ -177,6 +184,14 @@ func (h *HeapFile) SetXmax(rid RID, xmax uint64, decide func(Version) error) (RI
 		}
 	}
 	if err != nil {
+		if errors.Is(err, ErrSlotDeleted) && decide != nil {
+			// A guarded claim found the slot tombstoned: a concurrent
+			// claimer's plain→versioned upgrade moved the record (or a
+			// physical delete removed it) between the claimant reading
+			// the RID and reaching the page latch. To the loser that is
+			// a write conflict — retryable — not a missing row.
+			return RID{}, fmt.Errorf("%w: record at %s concurrently moved or removed", ErrWriteConflict, rid)
+		}
 		if errors.Is(err, ErrSlotDeleted) || errors.Is(err, ErrBadSlot) {
 			return RID{}, fmt.Errorf("%w: %s", ErrNotFound, rid)
 		}
@@ -248,6 +263,7 @@ func (h *HeapFile) Update(rid RID, t Tuple) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
+	h.zm.invalidate(rid.Page) // before the mutation is observable
 	var slot int
 	if h.db == nil {
 		slot, err = p.Update(rid.Slot, rec)
@@ -464,6 +480,7 @@ func (h *HeapFile) restore(pages []PageID) error {
 	h.pages = append([]PageID(nil), pages...)
 	h.live = live
 	h.mu.Unlock()
+	h.zm.reset() // stale pre-crash zones never survive into recovery
 	return nil
 }
 

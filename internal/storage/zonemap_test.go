@@ -1,0 +1,263 @@
+// Zone-map unit tests: category/range summaries, the
+// invalidate-before-mutate protocol, generation-checked installs, and
+// the quarantine rule (an unreadable page never gets an entry).
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBuildColZonesCategories(t *testing.T) {
+	ts := []Tuple{
+		{IntValue(5), StringValue("m"), NullValue()},
+		{IntValue(-3), StringValue("a"), FloatValue(math.NaN())},
+		{FloatValue(2.5), StringValue("z"), BoolValue(true)},
+	}
+	zones := BuildColZones(ts)
+	if len(zones) != 3 {
+		t.Fatalf("width = %d, want 3", len(zones))
+	}
+	z0 := zones[0]
+	if !z0.HasNum || z0.HasNull || z0.HasStr || z0.HasNaN || z0.MinF != -3 || z0.MaxF != 5 {
+		t.Fatalf("numeric zone = %+v", z0)
+	}
+	z1 := zones[1]
+	if !z1.HasStr || z1.MinS != "a" || z1.MaxS != "z" || z1.HasNum {
+		t.Fatalf("string zone = %+v", z1)
+	}
+	z2 := zones[2]
+	if !z2.HasNull || !z2.HasNaN || !z2.HasBool || !z2.HasNum {
+		t.Fatalf("mixed zone = %+v", z2)
+	}
+	if z2.MinF != 1 || z2.MaxF != 1 { // bool true's float image
+		t.Fatalf("mixed zone range = %+v", z2)
+	}
+}
+
+func TestBuildColZonesEmptyAndRagged(t *testing.T) {
+	if z := BuildColZones(nil); z == nil || len(z) != 0 {
+		t.Fatalf("empty page zone = %v, want non-nil empty", z)
+	}
+	// Ragged widths: summary covers only the common prefix.
+	z := BuildColZones([]Tuple{
+		{IntValue(1), IntValue(2)},
+		{IntValue(3)},
+	})
+	if len(z) != 1 {
+		t.Fatalf("ragged width = %d, want 1", len(z))
+	}
+}
+
+func TestZoneMapsGenerationGuardsInstall(t *testing.T) {
+	var zm ZoneMaps
+	id := PageID(7)
+	gen := zm.generation(id)
+	// A racing invalidation between read and install drops the entry.
+	zm.invalidate(id)
+	zm.install(id, gen, []ColZone{{HasNum: true}})
+	if got := zm.snapshot([]PageID{id}); got[0] != nil {
+		t.Fatalf("stale install accepted: %v", got[0])
+	}
+	// Clean install lands.
+	gen = zm.generation(id)
+	zm.install(id, gen, []ColZone{{HasNum: true}})
+	if got := zm.snapshot([]PageID{id}); got[0] == nil {
+		t.Fatal("clean install dropped")
+	}
+	zm.reset()
+	if got := zm.snapshot([]PageID{id}); got[0] != nil {
+		t.Fatal("reset kept an entry")
+	}
+}
+
+// TestHeapFileZoneInvalidation: insert/update invalidate the touched
+// page's entry before the mutation; delete leaves the (superset) entry
+// in place.
+func TestHeapFileZoneInvalidation(t *testing.T) {
+	h := newHeap(t, 256)
+	var rids []RID
+	for i := 0; i < 64; i++ {
+		rid, err := h.Insert(Tuple{IntValue(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := h.BuildZoneMaps(); err != nil {
+		t.Fatal(err)
+	}
+	ids := h.PageIDs()
+	for i, z := range h.PageZones(ids) {
+		if z == nil {
+			t.Fatalf("page %d has no zone after build", ids[i])
+		}
+	}
+
+	// Update invalidates its page; others keep their entries.
+	victim := rids[0]
+	if _, err := h.Update(victim, Tuple{IntValue(9999)}); err != nil {
+		t.Fatal(err)
+	}
+	zs := h.PageZones(ids)
+	if zs[0] != nil {
+		t.Fatal("updated page kept a stale zone entry")
+	}
+	if len(ids) > 1 && zs[1] == nil {
+		t.Fatal("untouched page lost its zone entry")
+	}
+
+	// Rebuild, then delete: the entry stays (conservative superset).
+	if err := h.BuildZoneMaps(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(rids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if zs := h.PageZones(ids[:1]); zs[0] == nil {
+		t.Fatal("delete invalidated a zone entry; removal keeps the summary a superset")
+	}
+}
+
+// TestZoneMapsPruneSoundnessRandom: for every page of a mixed-value
+// heap, any tuple on the page must be absorbed by the page's built
+// zone — i.e. each column's category flag covers the value.
+func TestZoneMapsPruneSoundnessRandom(t *testing.T) {
+	h := newHeap(t, 512)
+	vals := []Value{
+		IntValue(-100), IntValue(0), IntValue(100),
+		FloatValue(-0.0), FloatValue(math.NaN()), FloatValue(2.5),
+		StringValue(""), StringValue("zz"), BoolValue(false), NullValue(),
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := h.Insert(Tuple{vals[i%len(vals)], vals[(i*7+3)%len(vals)]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.BuildZoneMaps(); err != nil {
+		t.Fatal(err)
+	}
+	ids := h.PageIDs()
+	for pi, zones := range h.PageZones(ids) {
+		ts, err := h.PageTuples(ids[pi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range ts {
+			for c, v := range tu {
+				z := zones[c]
+				covered := false
+				switch v.Kind {
+				case KindNull:
+					covered = z.HasNull
+				case KindString:
+					covered = z.HasStr && z.MinS <= v.Str && z.MaxS >= v.Str
+				case KindInt, KindFloat, KindBool:
+					f, _ := v.AsFloat()
+					if math.IsNaN(f) {
+						covered = z.HasNaN
+					} else {
+						covered = z.HasNum && z.MinF <= f && z.MaxF >= f
+					}
+				}
+				if !covered {
+					t.Fatalf("page %d col %d: %v not covered by %+v", ids[pi], c, v, z)
+				}
+			}
+		}
+	}
+}
+
+// TestZoneMapsQuarantinedPageNeverTrusted: after recovery quarantines
+// a corrupt page, that page must have no zone entry (scans must touch
+// and report it), while healthy pages keep theirs.
+func TestZoneMapsQuarantinedPageNeverTrusted(t *testing.T) {
+	walDisk, dataDisk := NewMemDisk(), NewMemDisk()
+	db, err := Open(walDisk, dataDisk, DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := db.CreateFile("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 200) // force the table across several pages
+	for i := 0; i < 200; i++ {
+		if _, err := h.Insert(Tuple{IntValue(int64(i)), StringValue(fmt.Sprintf("r%d-%s", i, pad))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.PageIDs()) < 2 {
+		t.Fatalf("test needs >=2 pages, got %d", len(h.PageIDs()))
+	}
+	victim := h.PageIDs()[0]
+	data := dataDisk.Bytes()
+	data[frameOffset(victim)+100] ^= 0xFF
+
+	db2, err := Open(NewMemDiskFrom(walDisk.Bytes()), NewMemDiskFrom(data), DBOptions{})
+	if err != nil {
+		t.Fatalf("recovery with corrupt frame must not fail: %v", err)
+	}
+	if q := db2.Stats().Recovery.PagesQuarantined; q != 1 {
+		t.Fatalf("PagesQuarantined = %d, want 1", q)
+	}
+	h2, _ := db2.File("t")
+	ids := h2.PageIDs()
+	zones := h2.PageZones(ids)
+	healthy := 0
+	for i, id := range ids {
+		if id == victim {
+			if zones[i] != nil {
+				t.Fatal("quarantined page has a zone entry — it could be pruned instead of reported")
+			}
+			continue
+		}
+		if zones[i] != nil {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		t.Fatal("recovery built no zone entries for healthy pages")
+	}
+	// And the quarantined page still reports on read, as always.
+	if _, err := h2.PageTuples(victim); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("victim read = %v, want ErrQuarantined", err)
+	}
+}
+
+// TestCheckpointBuildsZones: the durable build point.
+func TestCheckpointBuildsZones(t *testing.T) {
+	db, err := Open(NewMemDisk(), NewMemDisk(), DBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := db.CreateFile("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := h.Insert(Tuple{IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := h.PageIDs()
+	for _, z := range h.PageZones(ids) {
+		if z != nil {
+			t.Fatal("zone entry exists before any build point")
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i, z := range h.PageZones(ids) {
+		if z == nil {
+			t.Fatalf("page %d has no zone after checkpoint", ids[i])
+		}
+	}
+}

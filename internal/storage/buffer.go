@@ -349,6 +349,15 @@ type BufferManager struct {
 
 	quarantineMu sync.Mutex
 	quarantined  map[PageID]error
+	// onQuarantine holds callbacks run (outside every pool latch) the
+	// first time a page is quarantined; heap files register their
+	// zone-map invalidation here so a page that goes unreadable never
+	// keeps a prunable summary. cbMu is an incidental leaf mutex, not
+	// part of the latch hierarchy: registration can happen under the
+	// db latch (CreateFile), so it must rank below nothing — it is
+	// never held across any other acquisition.
+	cbMu         sync.Mutex
+	onQuarantine []func(PageID)
 }
 
 type bufShard struct {
@@ -394,15 +403,29 @@ func (b *BufferManager) SetVerifier(fn func(PageID, *Page) error) {
 	b.verifier.Store(&fn)
 }
 
+// OnQuarantine registers fn to run after a page is first quarantined.
+// Callbacks are invoked with no pool latch held (admvet: callbacks
+// never run under engine latches), so they may take their own locks.
+func (b *BufferManager) OnQuarantine(fn func(PageID)) {
+	b.cbMu.Lock()
+	b.onQuarantine = append(b.onQuarantine, fn)
+	b.cbMu.Unlock()
+}
+
 // Quarantine pulls a page from service: subsequent GetPage calls fail
 // with ErrQuarantined (wrapping cause) instead of serving bytes that
-// failed their checksum.
+// failed their checksum. Registered OnQuarantine callbacks fire once
+// per page, after the quarantine is in effect.
 func (b *BufferManager) Quarantine(id PageID, cause error) {
 	b.quarantineMu.Lock()
-	if _, dup := b.quarantined[id]; !dup {
+	_, dup := b.quarantined[id]
+	if !dup {
 		b.quarantined[id] = cause
 	}
 	b.quarantineMu.Unlock()
+	b.cbMu.Lock()
+	cbs := b.onQuarantine
+	b.cbMu.Unlock()
 	// Drop any resident frame so the poisoned image cannot be served
 	// from cache. Pinned frames stay (the pin holder already has the
 	// pointer); the quarantine check still blocks new fetches.
@@ -413,6 +436,11 @@ func (b *BufferManager) Quarantine(id PageID, cause error) {
 		sh.policy.Evicted(id)
 	}
 	sh.mu.Unlock()
+	if !dup {
+		for _, fn := range cbs {
+			fn(id)
+		}
+	}
 }
 
 // Quarantined returns the ids currently quarantined (diagnostics).

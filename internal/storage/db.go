@@ -275,7 +275,7 @@ func (db *DB) CreateFile(name string) (*HeapFile, error) {
 	if _, err := db.wal.Append(RecCreateFile, encodeCreateFile(name)); err != nil {
 		return nil, db.failLocked(err)
 	}
-	h := &HeapFile{name: name, bm: db.bm, store: db.store, db: db}
+	h := newHeapFile(name, db.store, db.bm, db)
 	db.files[name] = h
 	db.fileOrder = append(db.fileOrder, name)
 	return h, nil
@@ -590,7 +590,7 @@ func (db *DB) recover(recs []Record) error {
 	filePages := map[string][]PageID{}
 	pageSeen := map[PageID]bool{}
 	for _, f := range ck.files {
-		db.files[f.name] = &HeapFile{name: f.name, bm: db.bm, store: db.store, db: db}
+		db.files[f.name] = newHeapFile(f.name, db.store, db.bm, db)
 		db.fileOrder = append(db.fileOrder, f.name)
 		filePages[f.name] = append([]PageID(nil), f.pages...)
 		for _, id := range f.pages {
@@ -646,7 +646,7 @@ func (db *DB) recover(recs []Record) error {
 				return err
 			}
 			if _, ok := db.files[name]; !ok {
-				db.files[name] = &HeapFile{name: name, bm: db.bm, store: db.store, db: db}
+				db.files[name] = newHeapFile(name, db.store, db.bm, db)
 				db.fileOrder = append(db.fileOrder, name)
 			}
 			stats.RecordsReplayed++

@@ -31,15 +31,32 @@ type HeapFile struct {
 	pages []PageID
 	live  int
 	// zm holds the file's per-page zone maps. Mutation paths that can
-	// change page VALUES invalidate the page's entry before touching it
-	// (insert, update); delete and Xmax stamping leave entries in place
-	// — removal and version-header rewrites keep the summary a superset.
+	// change page VALUES (insert, update) invalidate the page's entry
+	// both before touching it and again once the mutation lands — the
+	// second bump is what keeps a concurrent BuildZoneMaps from keeping
+	// a summary of the pre-write image (see zonemap.go). Delete and
+	// Xmax stamping leave entries in place — removal and version-header
+	// rewrites keep the summary a superset.
 	zm ZoneMaps
 }
 
 // NewHeapFile creates an empty heap file.
 func NewHeapFile(name string, store *Store, bm *BufferManager) *HeapFile {
-	return &HeapFile{name: name, bm: bm, store: store}
+	return newHeapFile(name, store, bm, nil)
+}
+
+// newHeapFile is the shared constructor (recovery builds files with
+// the owning DB attached). Registering the zone invalidation with the
+// buffer manager keeps quarantine and pruning consistent: a page
+// pulled from service after its entry was built loses the entry, so
+// every later scan attempts the read and reports ErrQuarantined
+// instead of silently pruning past corruption.
+func newHeapFile(name string, store *Store, bm *BufferManager, db *DB) *HeapFile {
+	h := &HeapFile{name: name, bm: bm, store: store, db: db}
+	if bm != nil {
+		bm.OnQuarantine(h.zm.invalidate)
+	}
+	return h
 }
 
 // Name returns the file name.
@@ -87,6 +104,7 @@ func (h *HeapFile) insertRec(rec []byte) (RID, error) {
 		}
 		h.zm.invalidate(id) // before the mutation is observable
 		slot, err := h.insertPage(p, id, rec)
+		h.zm.invalidate(id) // and after: outdate any mid-write build
 		h.bm.Unpin(id)
 		if err == nil {
 			h.live++
@@ -108,7 +126,8 @@ func (h *HeapFile) insertRec(rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	defer h.bm.Unpin(id)
-	h.zm.invalidate(id) // before the mutation is observable
+	h.zm.invalidate(id)       // before the mutation is observable
+	defer h.zm.invalidate(id) // and after: outdate any mid-write build
 	slot, err := h.insertPage(p, id, rec)
 	if err != nil {
 		return RID{}, err
@@ -272,6 +291,7 @@ func (h *HeapFile) Update(rid RID, t Tuple) (RID, error) {
 			return h.db.logUpdate(rid.Page, rid.Slot, newSlot, rec)
 		})
 	}
+	h.zm.invalidate(rid.Page) // and after: outdate any mid-write build
 	h.bm.Unpin(rid.Page)
 	if err == nil {
 		return RID{Page: rid.Page, Slot: slot}, nil

@@ -6,17 +6,27 @@
 // zone cannot match a predicate holds no matching version, visible or
 // not, so pruning it is sound under any snapshot).
 //
-// Consistency protocol. Entries are invalidated BEFORE the page
-// mutation they cover becomes observable (writers call invalidate
-// first, then latch and mutate the page), so a reader that still sees
-// an entry knows it covers everything written before its snapshot;
-// anything written after is either invisible to the reader's MVCC
-// snapshot or outside the non-transactional scan's guarantees anyway.
-// Builds run without holding the zone latch across page reads (the
-// latch-order hierarchy places ZoneMaps.mu below the page latch): the
-// builder records a per-page generation, decodes the page, and
-// installs the entry only if the generation is unchanged — a racing
-// invalidation wins and the stale summary is dropped.
+// Consistency protocol. Writers bracket every page mutation with
+// invalidations: once BEFORE the mutation becomes observable (so the
+// entry is absent while the write is in flight) and once AFTER it
+// completes (so the write's return is a fence past which no stale
+// entry survives). Builds run without holding the zone latch across
+// page reads (the latch-order hierarchy places ZoneMaps.mu below the
+// page latch): the builder records a per-page generation, decodes the
+// page, and installs the entry only if the generation is unchanged.
+// The post-mutation invalidation is what makes the generation check
+// sound — a builder that read the generation after the writer's first
+// invalidation but decoded the pre-write image installs a summary
+// missing the new value, and only the second bump (which both deletes
+// the entry and outdates the builder's generation) removes it. A
+// reader can therefore observe a missing entry for a write still in
+// flight (it scans the page — always sound) but never a surviving
+// entry that omits an acknowledged write. Quarantining a page also
+// invalidates its entry (HeapFile registers ZoneMaps.invalidate with
+// BufferManager.OnQuarantine), so a page that goes unreadable after
+// its entry was built is scanned — and reports ErrQuarantined —
+// instead of being pruned on the strength of a summary taken before
+// it went bad.
 //
 // Deletions and MVCC Xmax stamping do not invalidate: they only remove
 // values or rewrite version headers, so the existing entry remains a
@@ -26,6 +36,7 @@ package storage
 import (
 	"errors"
 	"math"
+	"strings"
 	"sync"
 )
 
@@ -88,7 +99,9 @@ func (z *ColZone) absorb(v Value) {
 // BuildColZones summarises decoded tuples into per-column zones. The
 // zone width is the narrowest tuple's width, so every summarised column
 // is present in every row; a non-nil empty slice means the page holds
-// no rows at all (prunable under any predicate).
+// no rows at all (prunable under any predicate). A page containing a
+// zero-width tuple yields nil — no summary: an empty slice there would
+// read as "no rows" and prune the page's other, non-empty tuples.
 func BuildColZones(ts []Tuple) []ColZone {
 	if len(ts) == 0 {
 		return []ColZone{}
@@ -99,10 +112,22 @@ func BuildColZones(ts []Tuple) []ColZone {
 			width = len(t)
 		}
 	}
+	if width == 0 {
+		return nil
+	}
 	zones := make([]ColZone, width)
 	for _, t := range ts {
 		for c := 0; c < width; c++ {
 			zones[c].absorb(t[c])
+		}
+	}
+	// The absorbed strings are substrings of the page's decode arena;
+	// clone so an installed entry retains only its min/max bytes, not a
+	// page worth of string data.
+	for c := range zones {
+		if zones[c].HasStr {
+			zones[c].MinS = strings.Clone(zones[c].MinS)
+			zones[c].MaxS = strings.Clone(zones[c].MaxS)
 		}
 	}
 	return zones
@@ -130,7 +155,8 @@ type ZoneMaps struct {
 }
 
 // invalidate drops a page's entry and bumps its generation. Writers
-// call this BEFORE mutating the page (see the package comment).
+// call this both BEFORE and AFTER mutating the page, and quarantine
+// calls it when a page goes unreadable (see the package comment).
 func (z *ZoneMaps) invalidate(id PageID) {
 	z.mu.Lock()
 	delete(z.entries, id)
@@ -211,7 +237,9 @@ func (h *HeapFile) BuildZoneMaps() error {
 			return err
 		}
 		buf = ts
-		h.zm.install(id, gen, BuildColZones(ts))
+		if zones := BuildColZones(ts); zones != nil {
+			h.zm.install(id, gen, zones)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 // Zone-map unit tests: category/range summaries, the
-// invalidate-before-mutate protocol, generation-checked installs, and
-// the quarantine rule (an unreadable page never gets an entry).
+// invalidate-around-mutate protocol (writers bump the generation both
+// before and after the page op), generation-checked installs, and the
+// quarantine rules (an unreadable page never gets an entry, and loses
+// any entry it had when it goes unreadable).
 package storage
 
 import (
@@ -122,6 +124,112 @@ func TestHeapFileZoneInvalidation(t *testing.T) {
 	}
 }
 
+// TestWriteInvalidatesAroundMutation: every completed write moves the
+// page generation by at least two — one invalidation before the page
+// op and one after. The second bump is the fix for the lost-write
+// race: a builder that read the generation after the writer's
+// pre-write invalidation but decoded the pre-write image would
+// otherwise pass the install check and publish a summary missing the
+// new value.
+func TestWriteInvalidatesAroundMutation(t *testing.T) {
+	h := newHeap(t, 16)
+	rid, err := h.Insert(Tuple{IntValue(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := rid.Page
+	g := h.zm.generation(id)
+	if _, err := h.Insert(Tuple{IntValue(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.zm.generation(id); got < g+2 {
+		t.Fatalf("insert moved generation %d -> %d, want pre- AND post-mutation invalidation", g, got)
+	}
+	g = h.zm.generation(id)
+	if _, err := h.Update(rid, Tuple{IntValue(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.zm.generation(id); got < g+2 {
+		t.Fatalf("update moved generation %d -> %d, want pre- AND post-mutation invalidation", g, got)
+	}
+}
+
+// assertZonesCoverPages checks the soundness invariant a scan relies
+// on: every tuple currently on a page with a zone entry is covered by
+// that entry (nil entries are fine — the page is simply scanned).
+func assertZonesCoverPages(t *testing.T, h *HeapFile) {
+	t.Helper()
+	ids := h.PageIDs()
+	for pi, zones := range h.PageZones(ids) {
+		if zones == nil {
+			continue
+		}
+		ts, err := h.PageTuples(ids[pi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tu := range ts {
+			for c, v := range tu {
+				if c >= len(zones) {
+					break
+				}
+				z := zones[c]
+				covered := false
+				switch v.Kind {
+				case KindNull:
+					covered = z.HasNull
+				case KindString:
+					covered = z.HasStr && z.MinS <= v.Str && z.MaxS >= v.Str
+				case KindInt, KindFloat, KindBool:
+					f, _ := v.AsFloat()
+					if math.IsNaN(f) {
+						covered = z.HasNaN
+					} else {
+						covered = z.HasNum && z.MinF <= f && z.MaxF >= f
+					}
+				}
+				if !covered {
+					t.Fatalf("page %d col %d: %v not covered by %+v", ids[pi], c, v, z)
+				}
+			}
+		}
+	}
+}
+
+// TestZoneBuildConcurrentWriterNeverStale races BuildZoneMaps against
+// a writer inserting values far outside the seeded range, then checks
+// that no surviving entry omits a committed row — the interleaving
+// where the builder decodes a page between a writer's pre-write
+// invalidation and the write itself must never leave a stale summary
+// once the writes have returned.
+func TestZoneBuildConcurrentWriterNeverStale(t *testing.T) {
+	h := newHeap(t, 512)
+	for i := 0; i < 200; i++ {
+		if _, err := h.Insert(Tuple{IntValue(int64(i % 50))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 500; i++ {
+			if _, err := h.Insert(Tuple{IntValue(int64(100000 + i))}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 200; i++ {
+		if err := h.BuildZoneMaps(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	assertZonesCoverPages(t, h)
+}
+
 // TestZoneMapsPruneSoundnessRandom: for every page of a mixed-value
 // heap, any tuple on the page must be absorbed by the page's built
 // zone — i.e. each column's category flag covers the value.
@@ -228,6 +336,65 @@ func TestZoneMapsQuarantinedPageNeverTrusted(t *testing.T) {
 	// And the quarantined page still reports on read, as always.
 	if _, err := h2.PageTuples(victim); !errors.Is(err, ErrQuarantined) {
 		t.Fatalf("victim read = %v, want ErrQuarantined", err)
+	}
+}
+
+// TestQuarantineDropsZoneEntry: a page quarantined AFTER its entry was
+// built (checksum failure on a later re-read) must lose the entry, so
+// every subsequent scan touches the page and reports ErrQuarantined
+// instead of pruning past the corruption.
+func TestQuarantineDropsZoneEntry(t *testing.T) {
+	store := NewStore()
+	bm := NewBufferManager(store, 16, NewLRU())
+	h := NewHeapFile("t", store, bm)
+	for i := 0; i < 8; i++ {
+		if _, err := h.Insert(Tuple{IntValue(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.BuildZoneMaps(); err != nil {
+		t.Fatal(err)
+	}
+	id := h.PageIDs()[0]
+	if h.PageZones([]PageID{id})[0] == nil {
+		t.Fatal("no zone entry after build")
+	}
+	bm.Quarantine(id, ErrChecksum)
+	if h.PageZones([]PageID{id})[0] != nil {
+		t.Fatal("quarantined page kept its zone entry — a scan could prune it instead of reporting")
+	}
+	// Rebuilding leaves it zone-less (builder skips quarantined pages)…
+	if err := h.BuildZoneMaps(); err != nil {
+		t.Fatal(err)
+	}
+	if h.PageZones([]PageID{id})[0] != nil {
+		t.Fatal("rebuild installed an entry for a quarantined page")
+	}
+	// …and touching it still reports.
+	if _, err := h.PageTuples(id); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined page read = %v, want ErrQuarantined", err)
+	}
+}
+
+// TestBuildColZonesZeroWidth: a zero-column tuple yields no summary at
+// all — an empty slice would read as "page holds no rows" and prune
+// the page's other tuples.
+func TestBuildColZonesZeroWidth(t *testing.T) {
+	if z := BuildColZones([]Tuple{{IntValue(1)}, {}}); z != nil {
+		t.Fatalf("zero-width summary = %v, want nil", z)
+	}
+	h := newHeap(t, 16)
+	if _, err := h.Insert(Tuple{IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Insert(Tuple{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.BuildZoneMaps(); err != nil {
+		t.Fatal(err)
+	}
+	if zs := h.PageZones(h.PageIDs()); zs[0] != nil {
+		t.Fatal("page holding a zero-width tuple must stay zone-less (always scanned)")
 	}
 }
 

@@ -26,6 +26,13 @@
 #                torn-write tails, injected I/O errors; recovery must
 #                come back byte-identical every time with every
 #                transaction all-or-nothing
+#   conn matrix  the wire-level connection-fault matrix against a live
+#                admsqld (internal/server) at GOMAXPROCS=2 and 4 under
+#                two ADM_FAULT_SEED schedules: torn frames, mid-result
+#                disconnects, stalled readers, deaths in-transaction
+#                and mid-group-commit; the leak oracles (open txns,
+#                pooled batches, tracked conns, goroutines) must read
+#                zero after every schedule
 #   lint         admlint over every checked-in ADL model, rule file and
 #                assembly listing; the negative fixtures must keep
 #                producing diagnostics (exit != 0), the clean ones none.
@@ -54,7 +61,12 @@
 #                vectorized scan-filter's paired kernel/boxed
 #                throughput ratio (ScanFilter vs ScanFilterBoxed,
 #                1%-selectivity clustered scan) falls below
-#                filter_kernel_floor.
+#                filter_kernel_floor, if the adaptive flash-crowd
+#                drive's served p99 exceeds flash_p99_ceiling_ms
+#                while the static witness run exceeds it (the
+#                degradation ladder no longer defending the SLO), or
+#                if its decay-phase shed recovery falls below
+#                shed_recovery_floor (the ladder failing to release).
 #                To refresh the baseline (after an
 #                intentional perf change, or on new CI hardware), see
 #                the update procedure in bench_baseline.json's
@@ -171,6 +183,21 @@ else
                 ./internal/fault/...
         done
     done
+
+    step "connection-fault matrix (server lifecycle)"
+    # The wire-level fault matrix against a live admsqld: torn frames,
+    # mid-result disconnects, stalled readers hitting the write
+    # deadline, sessions dying inside transactions and mid-group-commit.
+    # Reseeded like the crash matrix; after every schedule the leak
+    # oracles must read zero (open transactions, pooled batches,
+    # tracked connections, goroutines).
+    for gmp in 2 4; do
+        for seed in 0xADC0FFEE 0x5EED0001; do
+            echo "   GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed"
+            GOMAXPROCS=$gmp ADM_FAULT_SEED=$seed go test -count=1 -race \
+                -run 'TestConnectionFaultMatrix' ./internal/server/
+        done
+    done
 fi
 
 step "admlint (clean inputs)"
@@ -190,8 +217,8 @@ for f in cmd/admlint/testdata/dangling_bind.adl \
     fi
 done
 
-step "bench smoke (join/sort/top-k/commit/multijoin regression gate)"
-go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 -repeats 5 \
+step "bench smoke (join/sort/top-k/commit/multijoin/flash-crowd regression gate)"
+go run ./cmd/admbench -json -rows 20000 -workers 1,2,4 -repeats 5 -flash \
     -baseline bench_baseline.json > BENCH_parallel.json
 echo "   wrote BENCH_parallel.json"
 

@@ -37,6 +37,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "benchmark repetitions (best run reported)")
 		batch    = flag.Int("batch", 0, "exchange batch size in tuples (0 = default)")
 		baseline = flag.String("baseline", "", "baseline JSON file to gate 4-worker throughput against")
+		flash    = flag.Bool("flash", false, "include the live-server flash-crowd benchmarks (multi-second)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the benchmark to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the benchmark to this file")
 	)
@@ -61,7 +62,7 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		code := runBench(*rows, *workers, *repeats, *batch, *jsonOut, *baseline)
+		code := runBench(*rows, *workers, *repeats, *batch, *jsonOut, *baseline, *flash)
 		if *cpuProf != "" {
 			pprof.StopCPUProfile()
 		}
@@ -110,7 +111,7 @@ func main() {
 	}
 }
 
-func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, baselinePath string) int {
+func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, baselinePath string, flash bool) int {
 	var workers []int
 	for _, f := range strings.Split(workerList, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(f))
@@ -167,6 +168,14 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 		return 1
 	}
 	results = append(results, sfResults...)
+	if flash {
+		flashResults, err := experiments.RunFlashCrowdBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "admbench: bench: %v\n", err)
+			return 1
+		}
+		results = append(results, flashResults...)
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range results {
@@ -184,6 +193,12 @@ func runBench(rows int, workerList string, repeats, batch int, jsonOut bool, bas
 			}
 			if r.AbortRate > 0 {
 				fmt.Printf("  aborts=%.1f%%", r.AbortRate*100)
+			}
+			if r.P99MS > 0 {
+				fmt.Printf("  p99=%.1fms", r.P99MS)
+			}
+			if r.ShedRecovery > 0 {
+				fmt.Printf("  shed-recovery=%.2f", r.ShedRecovery)
 			}
 			fmt.Println()
 		}
@@ -252,6 +267,18 @@ type baselineFile struct {
 	// path silently falling back to boxed execution or zone-map
 	// pruning stopping (the ratio collapses toward 1).
 	FilterKernelFloor float64 `json:"filter_kernel_floor,omitempty"`
+	// FlashP99CeilingMS is the maximum accepted FlashCrowdAdapt crowd
+	// p99 (ms; 0 = no gate) — the admission-control SLO gate. The
+	// paired FlashCrowdStatic record is the overload witness: its p99
+	// must EXCEED the ceiling, or the drive no longer overloads the
+	// server and the gate is vacuous (a configuration error, not a
+	// regression). Requires -flash.
+	FlashP99CeilingMS float64 `json:"flash_p99_ceiling_ms,omitempty"`
+	// ShedRecoveryFloor is the minimum accepted FlashCrowdAdapt
+	// shed-recovery: the served fraction of decay-phase traffic after
+	// the crowd leaves. A ladder that fails to release keeps shedding
+	// healthy traffic and this collapses toward 0.
+	ShedRecoveryFloor float64 `json:"shed_recovery_floor,omitempty"`
 }
 
 // gateAgainstBaseline fails (exit 1) when, for any bench family the
@@ -436,6 +463,50 @@ func gateAgainstBaseline(results []experiments.ParallelBenchResult, path string,
 			fmt.Fprintf(os.Stderr, "admbench: REGRESSION: vectorized filter below filter_kernel_floor — the kernel path is no faster than boxed (kernels bypassed or zone pruning dead)\n")
 			if code == 0 {
 				code = 1
+			}
+		}
+	}
+	if base.FlashP99CeilingMS > 0 || base.ShedRecoveryFloor > 0 {
+		get := func(bench string) (experiments.ParallelBenchResult, bool) {
+			for _, r := range results {
+				if r.Bench == bench {
+					return r, true
+				}
+			}
+			return experiments.ParallelBenchResult{}, false
+		}
+		adapt, ok1 := get("FlashCrowdAdapt")
+		static, ok2 := get("FlashCrowdStatic")
+		if !ok1 || !ok2 {
+			fmt.Fprintf(os.Stderr, "admbench: baseline sets a flash-crowd gate but the FlashCrowd pair was not measured (run with -flash)\n")
+			return 2
+		}
+		if base.FlashP99CeilingMS > 0 {
+			if static.P99MS <= base.FlashP99CeilingMS {
+				// The un-adapted server stayed under the ceiling — the
+				// crowd no longer overloads it, so holding the ceiling
+				// proves nothing. Mis-sized drive, not a regression.
+				fmt.Fprintf(os.Stderr, "admbench: FlashCrowdStatic p99 %.1fms does not exceed the %.0fms ceiling; the drive no longer overloads the server — resize it or refresh the baseline\n",
+					static.P99MS, base.FlashP99CeilingMS)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "admbench: gate: FlashCrowdAdapt p99 %.1fms (ceiling %.0fms; static witness %.1fms)\n",
+				adapt.P99MS, base.FlashP99CeilingMS, static.P99MS)
+			if adapt.P99MS > base.FlashP99CeilingMS {
+				fmt.Fprintf(os.Stderr, "admbench: REGRESSION: adaptive flash-crowd p99 above flash_p99_ceiling_ms — the degradation ladder is not defending the SLO\n")
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		if base.ShedRecoveryFloor > 0 {
+			fmt.Fprintf(os.Stderr, "admbench: gate: FlashCrowdAdapt shed recovery %.2f (floor %.2f)\n",
+				adapt.ShedRecovery, base.ShedRecoveryFloor)
+			if adapt.ShedRecovery < base.ShedRecoveryFloor {
+				fmt.Fprintf(os.Stderr, "admbench: REGRESSION: ladder kept shedding after the crowd left — below shed_recovery_floor\n")
+				if code == 0 {
+					code = 1
+				}
 			}
 		}
 	}

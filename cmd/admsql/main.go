@@ -7,6 +7,11 @@
 //
 //	admsql                       # interactive shell on stdin
 //	echo 'SELECT 1;' | admsql    # batch mode
+//	admsql -connect host:port    # wire-protocol shell against admsqld
+//
+// In -connect mode retryable server failures (write conflicts, load
+// shedding) are reported distinctly from hard errors so scripted
+// clients know to retry.
 //
 // Meta commands:
 //
@@ -18,17 +23,30 @@ package main
 
 import (
 	"bufio"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/adm-project/adm/internal/dbmachine"
 	"github.com/adm-project/adm/internal/query"
+	"github.com/adm-project/adm/internal/server"
 	"github.com/adm-project/adm/internal/storage"
 	"github.com/adm-project/adm/internal/trace"
 )
 
 func main() {
+	connect := flag.String("connect", "", "admsqld address; empty runs the embedded machine")
+	token := flag.String("token", "", "auth token for -connect")
+	flag.Parse()
+	if *connect != "" {
+		if err := remoteShell(*connect, *token); err != nil {
+			fmt.Fprintf(os.Stderr, "admsql: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	log := trace.New()
 	m, err := dbmachine.New(512, log)
 	if err != nil {
@@ -80,7 +98,11 @@ func main() {
 		line = strings.TrimSuffix(line, ";")
 		res, rep, err := m.Exec(line)
 		if err != nil {
-			fmt.Printf("  error: %v\n", err)
+			if errors.Is(err, storage.ErrWriteConflict) {
+				fmt.Printf("  retryable: %v (re-issue the transaction)\n", err)
+			} else {
+				fmt.Printf("  error: %v\n", err)
+			}
 			continue
 		}
 		printResult(res)
@@ -88,6 +110,51 @@ func main() {
 			fmt.Printf("  (replanned mid-query: build %s -> %s at row %d)\n",
 				rep.InitialBuild, rep.FinalBuild, rep.TriggerRow)
 		}
+	}
+}
+
+// remoteShell is the -connect REPL: statements go over the wire and
+// retryable failures (conflict, shed) are labelled as such.
+func remoteShell(addr, token string) error {
+	c, err := server.Dial(addr, token)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := c.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "admsql: close: %v\n", cerr)
+		}
+	}()
+	fmt.Printf("admsql — connected to %s (\\q to quit)\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("adm> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "\\q" || line == "\\quit" {
+			return nil
+		}
+		res, err := c.Query(strings.TrimSuffix(line, ";"))
+		if err != nil {
+			var re *server.RemoteError
+			if errors.As(err, &re) {
+				if re.Retryable() {
+					fmt.Printf("  retryable (code %d): %s\n", re.Code, re.Msg)
+				} else {
+					fmt.Printf("  error (code %d): %s\n", re.Code, re.Msg)
+				}
+				continue
+			}
+			return err // the connection is poisoned
+		}
+		printResult(&query.Result{Cols: res.Cols, Rows: res.Rows, Affected: res.Affected})
 	}
 }
 

@@ -1,0 +1,132 @@
+// Command admsqld is the network front door: a TCP server speaking
+// the adm wire protocol, with per-statement deadlines and memory
+// quotas, a bounded admission queue, and an adaptive degradation
+// ladder (shed -> shrink batch -> drop workers) driven by the
+// monitor/constraint machinery when the p99 latency SLO slips.
+//
+// Usage:
+//
+//	admsqld -addr 127.0.0.1:7744 -init seed.sql
+//	admsql -connect 127.0.0.1:7744      # wire-protocol shell
+//
+// The store is memory-backed (the storage layer's disks are in-core);
+// -init replays a SQL file at boot to seed the catalog.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/adm-project/adm/internal/query"
+	"github.com/adm-project/adm/internal/server"
+	"github.com/adm-project/adm/internal/session"
+	"github.com/adm-project/adm/internal/storage"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7744", "listen address")
+	token := flag.String("token", "", "auth token clients must present (empty: open)")
+	initFile := flag.String("init", "", "SQL file replayed at boot to seed the store")
+	inflight := flag.Int("max-inflight", 4, "max concurrently executing statements")
+	queue := flag.Int("max-queue", 16, "max admission waiters beyond max-inflight")
+	stmtTimeout := flag.Duration("stmt-timeout", 2*time.Second, "per-statement deadline and queue wait bound")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-flush write deadline (stalled readers)")
+	quota := flag.Int64("mem-quota", 64<<20, "per-statement memory budget in bytes (<0: unlimited)")
+	workers := flag.Int("workers", 0, "parallel SELECT workers (0: runtime default)")
+	batch := flag.Int("batch", 0, "morsel batch size (0: executor default)")
+	adaptive := flag.Bool("adaptive", true, "enable the degradation ladder")
+	slo := flag.Float64("slo-ms", 50, "p99 latency SLO in milliseconds")
+	tick := flag.Duration("tick", 25*time.Millisecond, "controller evaluation interval")
+	stats := flag.Bool("stats", false, "print server stats on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *token, *initFile, *inflight, *queue, *stmtTimeout,
+		*writeTimeout, *quota, *workers, *batch, *adaptive, *slo, *tick, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "admsqld: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, token, initFile string, inflight, queue int,
+	stmtTimeout, writeTimeout time.Duration, quota int64, workers, batch int,
+	adaptive bool, slo float64, tick time.Duration, stats bool) error {
+	db, err := storage.Open(storage.NewMemDisk(), storage.NewMemDisk(),
+		storage.DBOptions{Sync: storage.SyncManual})
+	if err != nil {
+		return err
+	}
+	cat, err := query.NewDurableCatalog(db)
+	if err != nil {
+		return err
+	}
+	eng := query.NewEngine(cat, nil, nil)
+	if initFile != "" {
+		if err := replay(eng, db, initFile); err != nil {
+			return fmt.Errorf("init %s: %w", initFile, err)
+		}
+	}
+
+	log := trace.New()
+	srv := server.New(eng, db, server.Config{
+		Addr:             addr,
+		AuthToken:        token,
+		MaxInflight:      inflight,
+		MaxQueue:         queue,
+		StatementTimeout: stmtTimeout,
+		WriteTimeout:     writeTimeout,
+		MemQuota:         quota,
+		Workers:          workers,
+		BatchSize:        batch,
+		Adaptive:         adaptive,
+		SLOMS:            slo,
+		Tick:             tick,
+	}, log)
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("admsqld listening on %s (adaptive=%v, slo=%gms)\n", srv.Addr(), adaptive, slo)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("admsqld: shutting down")
+	err = srv.Close()
+	if stats {
+		st := srv.Stats()
+		fmt.Printf("admsqld: accepted=%d served=%d shed=%d conflicts=%d deadlines=%d quota=%d errors=%d ladder-switches=%d\n",
+			st.Accepted, st.Served, st.Shed, st.Conflicts, st.Deadlines, st.QuotaHits, st.Errors, st.Switches)
+	}
+	return err
+}
+
+// replay runs a semicolon/newline-delimited SQL file through one
+// session (statements run transactionally exactly as network clients').
+func replay(eng *query.Engine, db *storage.DB, path string) (err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sess := session.NewDBSession(eng, db)
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		stmt := strings.TrimSpace(strings.TrimSuffix(sc.Text(), ";"))
+		if stmt == "" || strings.HasPrefix(stmt, "--") {
+			continue
+		}
+		if _, err := sess.Exec(stmt); err != nil {
+			return fmt.Errorf("%q: %w", stmt, err)
+		}
+	}
+	return sc.Err()
+}

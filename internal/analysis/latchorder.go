@@ -37,9 +37,16 @@ type latchClass struct {
 // acquired first; two latches at the same level must never be held
 // together by one goroutine.
 var latchLevels = map[[2]string]latchClass{
-	{"Catalog", "mu"}:  {10, "catalog"},
-	{"Table", "mu"}:    {20, "table"},
-	{"HeapFile", "mu"}: {30, "heap-file"},
+	// The network server's latches are outermost: the connection
+	// table (Server.mu) and the controller's latency window
+	// (Controller.mu) are taken and released around engine calls,
+	// never while any engine latch is held, and no engine code can
+	// call back into them.
+	{"Server", "mu"}:     {4, "server-conns"},
+	{"Controller", "mu"}: {6, "server-controller"},
+	{"Catalog", "mu"}:    {10, "catalog"},
+	{"Table", "mu"}:      {20, "table"},
+	{"HeapFile", "mu"}:   {30, "heap-file"},
 	// The zone-map latch protects only the per-page summary table and
 	// its generation counters; it is never held across a page read or
 	// any callback (BuildZoneMaps decodes pages outside it), so it sits

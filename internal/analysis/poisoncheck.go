@@ -41,6 +41,12 @@ var spineReceivers = map[string]map[string]bool{
 	// is a page-read failure, and on the durable build points
 	// (Checkpoint, recovery) it must reach DB.fail, never be dropped.
 	"HeapFile": {"BuildZoneMaps": true},
+	// The server's wire layer: a discarded frame error means a torn or
+	// stalled connection keeps being served as if healthy. Session
+	// close rolls back any open transaction; dropping its error leaks
+	// the rollback failure.
+	"frameConn": {"ReadFrame": true, "WriteFrame": true, "Flush": true},
+	"DBSession": {"Close": true},
 }
 
 func runPoisoncheck(pass *Pass) {

@@ -82,3 +82,14 @@ func allowFsync(w *WAL) error {
 	//admvet:allow latchorder the serialised fsync under the WAL latch is the durability contract
 	return w.disk.Sync()
 }
+
+type Server struct{ mu sync.Mutex }
+
+// serverUnderCatalog acquires the outermost server connection-table
+// latch while already holding an engine latch.
+func serverUnderCatalog(s *Server, c *Catalog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.mu.Lock() // want "inverts the latch hierarchy"
+	s.mu.Unlock()
+}

@@ -89,3 +89,22 @@ func allowTornTail(w *WAL) bool {
 	}
 	return true
 }
+
+type frameConn struct{}
+
+func (fc *frameConn) WriteFrame(t byte, payload []byte) error { return nil }
+
+type DBSession struct{}
+
+func (s *DBSession) Close() error { return nil }
+
+// frameDiscard drops a wire write error, so a torn or stalled
+// connection keeps being served as if healthy.
+func frameDiscard(fc *frameConn) {
+	fc.WriteFrame(0, nil) // want "error from frameConn.WriteFrame is discarded"
+}
+
+// sessionCloseDiscard drops the rollback failure inside session close.
+func sessionCloseDiscard(s *DBSession) {
+	s.Close() // want "error from DBSession.Close is discarded"
+}

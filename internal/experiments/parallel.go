@@ -47,6 +47,18 @@ type ParallelBenchResult struct {
 	// selection-vector kernels — against the tuple-at-a-time boxed
 	// predicate on identical data.
 	FilterKernelRatio float64 `json:"filter_kernel_ratio,omitempty"`
+	// P99MS is the 99th-percentile client-observed latency in
+	// milliseconds of statements served during the overload window
+	// (FlashCrowd records only). An absolute ceiling gates it: the
+	// degradation ladder's whole job is to keep this bounded no matter
+	// what the offered load is, so a ratio against throughput would
+	// miss the point.
+	P99MS float64 `json:"p99_ms,omitempty"`
+	// ShedRecovery is the fraction of decay-phase statements served
+	// rather than shed after the crowd leaves (FlashCrowdAdapt only):
+	// a ladder that never releases keeps rejecting healthy traffic and
+	// this collapses toward 0.
+	ShedRecovery float64 `json:"shed_recovery,omitempty"`
 }
 
 // parallelJoinEngine seeds l(k,v) ⋈ r(k,v) with `rows` tuples per

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/adm-project/adm/internal/storage"
 )
@@ -48,9 +49,21 @@ var batchPool = sync.Pool{
 	New: func() any { return &Batch{Tuples: make([]storage.Tuple, 0, DefaultBatchSize)} },
 }
 
+// outstandingBatches counts Get-without-Put batches. The GC may drop
+// pooled batches at any time, so the pool length itself proves
+// nothing; this counter is the leak oracle the connection-fault
+// matrix asserts returns to its baseline after every crash and
+// disconnect scenario.
+var outstandingBatches atomic.Int64
+
+// OutstandingBatches reports the number of pooled batches currently
+// checked out (GetBatch minus PutBatch). Quiescent engines owe zero.
+func OutstandingBatches() int64 { return outstandingBatches.Load() }
+
 // GetBatch takes a recycled batch from the pool (empty, capacity
 // retained from its previous life).
 func GetBatch() *Batch {
+	outstandingBatches.Add(1)
 	b := batchPool.Get().(*Batch)
 	b.Reset()
 	return b
@@ -59,6 +72,7 @@ func GetBatch() *Batch {
 // PutBatch returns a batch to the pool. The caller must not touch the
 // batch afterwards; tuples previously read from it remain valid.
 func PutBatch(b *Batch) {
+	outstandingBatches.Add(-1)
 	b.Reset()
 	batchPool.Put(b)
 }

@@ -59,6 +59,19 @@ type ParallelConfig struct {
 	// drain may return slightly more than Limit rows (in-flight batches
 	// complete); callers truncate. <= 0 means unlimited.
 	Limit int
+	// Cancel, when non-nil, is polled by every worker between batches:
+	// a non-nil return cancels the statement cooperatively (the error
+	// latches into the shared failFlag, all workers drain at the phase
+	// barrier, and it surfaces as the statement error). This is how
+	// per-statement deadlines and dead-client detection reach the
+	// morsel pipelines. Must be safe for concurrent use and cheap — it
+	// runs once per claimed batch.
+	Cancel func() error
+	// Budget, when non-nil, meters the bytes each phase materialises
+	// (drained rows, build tables, probe output, sort runs); overflow
+	// cancels the statement with ErrMemBudget through the same
+	// cooperative path.
+	Budget *MemBudget
 }
 
 // WorkerCount resolves the effective worker count.
@@ -476,12 +489,18 @@ func DrainParallelBatches(src BatchSource, cfg ParallelConfig) ([]storage.Tuple,
 				if cfg.Limit > 0 && produced.Load() >= int64(cfg.Limit) {
 					break
 				}
+				if cfg.interrupted(&fail) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
 					return
 				}
 				if n == 0 {
+					break
+				}
+				if cfg.charge(&fail, b.Tuples) {
 					break
 				}
 				outs[i] = append(outs[i], b.Tuples...)
@@ -612,12 +631,18 @@ func ParallelBuildBatches(src BatchSource, col int, cfg ParallelConfig,
 			local := make([]partBuf, w)
 			rows := 0
 			for !aborted.Load() && !fail.failed() {
+				if cfg.interrupted(&fail) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
 					break
 				}
 				if n == 0 {
+					break
+				}
+				if cfg.charge(&fail, b.Tuples) {
 					break
 				}
 				for _, t := range b.Tuples {
@@ -796,6 +821,9 @@ func (t *BuildTable) parallelProbe(src BatchSource, col int, cfg ParallelConfig,
 				if cfg.Limit > 0 && produced.Load() >= int64(cfg.Limit) {
 					break
 				}
+				if cfg.interrupted(&fail) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
@@ -805,10 +833,14 @@ func (t *BuildTable) parallelProbe(src BatchSource, col int, cfg ParallelConfig,
 					break
 				}
 				before := len(out.ends)
+				beforeVals := len(out.vals)
 				if cols == nil {
 					t.probeBatch(b.Tuples, col, &out)
 				} else {
 					t.probeBatchProject(b.Tuples, col, &out, cols, buildW)
+				}
+				if cfg.chargeVals(&fail, out.vals[beforeVals:]) {
+					break
 				}
 				rows += n
 				if cfg.Limit > 0 {
@@ -860,6 +892,9 @@ func ParallelHashAggregateBatches(src BatchSource, groupCol int, aggs []AggSpec,
 			acc := newAggAccum(groupCol, aggs)
 			rows := 0
 			for !fail.failed() {
+				if cfg.interrupted(&fail) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)

@@ -384,12 +384,18 @@ func ParallelSortBatches(src BatchSource, col int, desc bool, cfg ParallelConfig
 			defer PutBatch(b)
 			r := &runs[i]
 			for !fail.failed() {
+				if cfg.interrupted(&fail) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)
 					return
 				}
 				if n == 0 {
+					break
+				}
+				if cfg.charge(&fail, b.Tuples) {
 					break
 				}
 				r.absorb(b.Tuples, col)
@@ -502,6 +508,9 @@ func ParallelTopKBatches(src BatchSource, col int, desc bool, k int, cfg Paralle
 			h := &topKHeap{k: k, desc: desc}
 			rows := 0
 			for !fail.failed() {
+				if cfg.interrupted(&fail) {
+					break
+				}
 				n, err := src.NextBatch(b)
 				if err != nil {
 					fail.set(err)

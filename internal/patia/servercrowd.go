@@ -1,0 +1,210 @@
+package patia
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/adm-project/adm/internal/server"
+)
+
+// ServerCrowdConfig drives a flash crowd against a LIVE admsqld
+// server over the wire protocol — the Table 2 experiment re-aimed at
+// the database itself. Closed-loop clients issue Query back to back;
+// the schedule is steady traffic, a client surge, then decay.
+type ServerCrowdConfig struct {
+	Addr  string
+	Token string
+
+	// SteadyClients run for the whole schedule; CrowdClients join for
+	// the crowd window only.
+	SteadyClients int
+	CrowdClients  int
+
+	SteadyMS float64
+	CrowdMS  float64
+	DecayMS  float64
+
+	// WarmupMS excludes the first part of the crowd window from the
+	// p99 sample: statements already marinating in the queue when the
+	// controller reacts drain with pre-adaptation latencies, and the
+	// gated number is the SLO under SUSTAINED overload, not the
+	// controller's reaction transient. Served/shed counts still
+	// include the warmup.
+	WarmupMS float64
+
+	// SteadyThinkMS is the steady clients' pause between requests, so
+	// background traffic does not itself pin every execution slot.
+	SteadyThinkMS float64
+
+	// Query is the statement every client loops on.
+	Query string
+
+	// RetryBackoff is the client-side pause after a retryable
+	// rejection (shed/conflict) before re-issuing.
+	RetryBackoff time.Duration
+}
+
+// ServerCrowdResult summarises one drive.
+type ServerCrowdResult struct {
+	// CrowdP99MS is the 99th-percentile client-observed latency of
+	// statements SERVED during the crowd window — the SLO the
+	// degradation ladder defends. Shed statements are counted, not
+	// timed: rejection in microseconds is the mechanism, and folding
+	// it in would let a server look fast by serving nothing.
+	CrowdP99MS  float64
+	CrowdServed int64
+	CrowdShed   int64
+
+	// Decay-phase outcomes: ShedRecovery = served/(served+shed) after
+	// the crowd leaves. A ladder that fails to release keeps shedding
+	// healthy traffic and this collapses.
+	DecayServed  int64
+	DecayShed    int64
+	ShedRecovery float64
+
+	TotalServed int64
+	Errors      int64 // non-retryable failures (must be 0 in a healthy run)
+}
+
+// crowdStats is the shared collector; one mutex, touched once per
+// request.
+type crowdStats struct {
+	mu                     sync.Mutex
+	crowdLatsMS            []float64
+	crowdServed, crowdShed int64
+	decayServed, decayShed int64
+	totalServed, errors    int64
+}
+
+// RunServerCrowd executes the schedule and aggregates per-phase
+// outcomes. Every client is its own wire connection.
+func RunServerCrowd(cfg ServerCrowdConfig) (*ServerCrowdResult, error) {
+	if cfg.Query == "" {
+		return nil, errors.New("patia: server crowd needs a query")
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 500 * time.Microsecond
+	}
+	start := time.Now()
+	steadyEnd := start.Add(time.Duration(cfg.SteadyMS) * time.Millisecond)
+	crowdEnd := steadyEnd.Add(time.Duration(cfg.CrowdMS) * time.Millisecond)
+	end := crowdEnd.Add(time.Duration(cfg.DecayMS) * time.Millisecond)
+
+	warmupEnd := steadyEnd.Add(time.Duration(cfg.WarmupMS) * time.Millisecond)
+
+	st := &crowdStats{}
+	var wg sync.WaitGroup
+	think := time.Duration(cfg.SteadyThinkMS * float64(time.Millisecond))
+	for i := 0; i < cfg.SteadyClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runCrowdClient(cfg, st, steadyEnd, warmupEnd, crowdEnd, end, think)
+		}()
+	}
+	for i := 0; i < cfg.CrowdClients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Until(steadyEnd))
+			runCrowdClient(cfg, st, steadyEnd, warmupEnd, crowdEnd, crowdEnd, 0)
+		}()
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	res := &ServerCrowdResult{
+		CrowdServed:  st.crowdServed,
+		CrowdShed:    st.crowdShed,
+		DecayServed:  st.decayServed,
+		DecayShed:    st.decayShed,
+		TotalServed:  st.totalServed,
+		Errors:       st.errors,
+		ShedRecovery: 1,
+	}
+	if n := st.decayServed + st.decayShed; n > 0 {
+		res.ShedRecovery = float64(st.decayServed) / float64(n)
+	}
+	if n := len(st.crowdLatsMS); n > 0 {
+		sort.Float64s(st.crowdLatsMS)
+		idx := (n * 99) / 100
+		if idx >= n {
+			idx = n - 1
+		}
+		res.CrowdP99MS = st.crowdLatsMS[idx]
+	}
+	return res, nil
+}
+
+// runCrowdClient loops the query on one connection until stopAt.
+// Latencies and outcomes are bucketed by the phase the request
+// STARTED in; a poisoned connection is redialled.
+func runCrowdClient(cfg ServerCrowdConfig, st *crowdStats,
+	steadyEnd, warmupEnd, crowdEnd, stopAt time.Time, think time.Duration) {
+	var c *server.Client
+	defer func() {
+		if c != nil {
+			_ = c.Close() // drive teardown; the server's leak oracles cover it
+		}
+	}()
+	for {
+		reqStart := time.Now()
+		if !reqStart.Before(stopAt) {
+			return
+		}
+		if c == nil {
+			var err error
+			c, err = server.Dial(cfg.Addr, cfg.Token)
+			if err != nil {
+				st.mu.Lock()
+				st.errors++
+				st.mu.Unlock()
+				time.Sleep(cfg.RetryBackoff)
+				continue
+			}
+		}
+		_, err := c.Query(cfg.Query)
+		latMS := float64(time.Since(reqStart).Nanoseconds()) / 1e6
+		inCrowd := !reqStart.Before(steadyEnd) && reqStart.Before(crowdEnd)
+		inDecay := !reqStart.Before(crowdEnd)
+
+		st.mu.Lock()
+		switch {
+		case err == nil:
+			st.totalServed++
+			if inCrowd {
+				st.crowdServed++
+				if !reqStart.Before(warmupEnd) {
+					st.crowdLatsMS = append(st.crowdLatsMS, latMS)
+				}
+			} else if inDecay {
+				st.decayServed++
+			}
+		default:
+			var re *server.RemoteError
+			if errors.As(err, &re) && re.Retryable() {
+				if inCrowd {
+					st.crowdShed++
+				} else if inDecay {
+					st.decayShed++
+				}
+			} else {
+				st.errors++
+				if !errors.As(err, &re) {
+					// Transport failure: drop and redial.
+					_ = c.Close()
+					c = nil
+				}
+			}
+		}
+		st.mu.Unlock()
+		if err != nil {
+			time.Sleep(cfg.RetryBackoff)
+		} else if think > 0 {
+			time.Sleep(think)
+		}
+	}
+}

@@ -53,6 +53,16 @@ type ExecOptions struct {
 	// The boxed path is the reference semantics — benchmarks and
 	// differential tests flip this to compare against it.
 	NoVectorKernels bool
+	// Cancel, when non-nil, is polled by the parallel workers between
+	// batches: a non-nil return cancels the statement cooperatively
+	// and surfaces as its error. Per-statement deadlines and
+	// dead-client kills thread through here into the morsel
+	// pipelines. Must be safe for concurrent use and cheap.
+	Cancel func() error
+	// MemBudget, when non-nil, meters the bytes the statement
+	// materialises across every parallel phase; overflow cancels it
+	// with operators.ErrMemBudget.
+	MemBudget *operators.MemBudget
 
 	// panicInWorker, when set (tests only), runs inside each worker
 	// goroutine as it finishes a phase — the injection point the
@@ -90,6 +100,12 @@ func (e *Engine) ExecuteSQL(sql string, opts ExecOptions) (*Result, *ExecReport,
 	if err != nil {
 		return nil, nil, err
 	}
+	return e.ExecuteStmt(st, opts)
+}
+
+// ExecuteStmt is ExecuteSQL over a pre-parsed statement (the server
+// front-end parses once to route transaction control before execution).
+func (e *Engine) ExecuteStmt(st Stmt, opts ExecOptions) (*Result, *ExecReport, error) {
 	sel, ok := st.(*SelectStmt)
 	if !ok {
 		res, err := e.ExecStmtTxn(st, opts.Txn)
@@ -231,6 +247,8 @@ func (e *Engine) execSelectParallelRun(st *SelectStmt, opts ExecOptions) (*Resul
 	cfg := operators.ParallelConfig{
 		Workers:    workers,
 		MorselSize: batch,
+		Cancel:     opts.Cancel,
+		Budget:     opts.MemBudget,
 		OnWorker: func(w int, phase string, rows int) {
 			if opts.panicInWorker != nil {
 				opts.panicInWorker(w, phase)

@@ -44,6 +44,8 @@ func (e *Engine) execStagedJoins(plan *selectPlan, opts ExecOptions, rep *ExecRe
 	cfg := operators.ParallelConfig{
 		Workers:    workers,
 		MorselSize: batch,
+		Cancel:     opts.Cancel,
+		Budget:     opts.MemBudget,
 		OnWorker: func(w int, phase string, rows int) {
 			if opts.panicInWorker != nil {
 				opts.panicInWorker(w, phase)

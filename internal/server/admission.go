@@ -1,0 +1,114 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded reports a statement shed by admission control: the
+// in-flight slots are all taken and the queue is full (or queueing is
+// disabled by the degradation ladder). Retryable with backoff.
+var ErrOverloaded = errors.New("server: overloaded, statement shed")
+
+// Admission is the bounded admission queue in front of statement
+// execution: a fixed pool of in-flight slots plus a bounded waiting
+// line. A statement that cannot get a slot waits — up to maxWait and
+// only while the line is shorter than the queue cap — or is shed with
+// ErrOverloaded. The degradation ladder tightens the queue cap to 0
+// under overload so excess work is rejected in microseconds instead
+// of marinating in a queue it will time out of anyway.
+//
+// Everything is atomics and one buffered channel; no mutex is held
+// across any blocking operation.
+type Admission struct {
+	slots    chan struct{}
+	queueCap atomic.Int64
+	baseCap  int64
+
+	queued   atomic.Int64
+	inflight atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// NewAdmission builds an admission gate with maxInflight concurrent
+// statements (minimum 1) and maxQueue waiters (0 = shed immediately
+// when saturated).
+func NewAdmission(maxInflight, maxQueue int) *Admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	a := &Admission{slots: make(chan struct{}, maxInflight), baseCap: int64(maxQueue)}
+	a.queueCap.Store(int64(maxQueue))
+	return a
+}
+
+// Acquire claims an execution slot, waiting up to maxWait in the
+// bounded queue. On success the caller must Release.
+func (a *Admission) Acquire(maxWait time.Duration) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	// Saturated: join the queue if there is room.
+	if q := a.queued.Add(1); q > a.queueCap.Load() {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return ErrOverloaded
+	}
+	t := time.NewTimer(maxWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.queued.Add(-1)
+		a.inflight.Add(1)
+		a.admitted.Add(1)
+		return nil
+	case <-t.C:
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// Release returns a slot taken by a successful Acquire.
+func (a *Admission) Release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}
+
+// SetQueueing toggles the waiting line: false drops the queue cap to
+// zero (shed instead of queue), true restores the configured cap.
+// In-queue waiters are unaffected — the cap gates entry only.
+func (a *Admission) SetQueueing(on bool) {
+	if on {
+		a.queueCap.Store(a.baseCap)
+	} else {
+		a.queueCap.Store(0)
+	}
+}
+
+// Capacity is the configured in-flight slot count.
+func (a *Admission) Capacity() int { return cap(a.slots) }
+
+// Queueing reports whether the waiting line is open.
+func (a *Admission) Queueing() bool { return a.queueCap.Load() > 0 }
+
+// QueueDepth is the current number of waiters.
+func (a *Admission) QueueDepth() int64 { return a.queued.Load() }
+
+// Inflight is the current number of executing statements.
+func (a *Admission) Inflight() int64 { return a.inflight.Load() }
+
+// Admitted is the total number of statements admitted.
+func (a *Admission) Admitted() int64 { return a.admitted.Load() }
+
+// Shed is the total number of statements rejected with ErrOverloaded.
+func (a *Admission) Shed() int64 { return a.shed.Load() }

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/adm-project/adm/internal/storage"
+)
+
+// RemoteError is a server-reported statement failure, carrying the
+// wire error code so clients can distinguish retryable outcomes
+// (write conflicts, load shedding) from hard failures.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error (code %d): %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether the protocol invites a retry: the
+// statement failed cleanly (conflicted transaction rolled back, or
+// shed before execution) and may succeed if re-issued.
+func (e *RemoteError) Retryable() bool { return RetryableCode(e.Code) }
+
+// ClientResult is one statement's decoded response.
+type ClientResult struct {
+	Cols     []string
+	Rows     []storage.Tuple
+	Affected int
+}
+
+// Client is a minimal admsqld wire-protocol client. Not safe for
+// concurrent use — it is one connection, one statement at a time,
+// matching the session semantics on the other end.
+type Client struct {
+	fc *frameConn
+	nc net.Conn
+}
+
+// Dial connects, authenticates with token, and returns a live client.
+func Dial(addr, token string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{fc: newFrameConn(nc, 10*time.Second), nc: nc}
+	if err := c.fc.WriteFrame(frameHello, []byte(token)); err != nil {
+		return nil, closeJoin(nc, err)
+	}
+	if err := c.fc.Flush(); err != nil {
+		return nil, closeJoin(nc, err)
+	}
+	typ, payload, err := c.fc.ReadFrame()
+	if err != nil {
+		return nil, closeJoin(nc, err)
+	}
+	if typ == frameError {
+		return nil, closeJoin(nc, decodeErr(payload))
+	}
+	if typ != frameHelloOK {
+		return nil, closeJoin(nc, fmt.Errorf("server: unexpected hello reply %q", typ))
+	}
+	return c, nil
+}
+
+func closeJoin(nc net.Conn, err error) error {
+	_ = nc.Close() // the dial error is the story; close is best-effort
+	return err
+}
+
+// Query sends one SQL statement and decodes the full response.
+// A *RemoteError means the server is healthy and reported a
+// statement-level failure; any other error poisons the connection.
+func (c *Client) Query(sql string) (*ClientResult, error) {
+	if err := c.fc.WriteFrame(frameQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	if err := c.fc.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := c.fc.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if typ == frameError {
+		return nil, decodeErr(payload)
+	}
+	if typ != frameResult {
+		return nil, fmt.Errorf("server: unexpected reply frame %q", typ)
+	}
+	res, want, err := decodeHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	for uint64(len(res.Rows)) < want {
+		typ, payload, err := c.fc.ReadFrame()
+		if err != nil {
+			return nil, err
+		}
+		if typ != frameRows {
+			return nil, fmt.Errorf("server: expected row chunk, got %q", typ)
+		}
+		if err := decodeRows(res, payload); err != nil {
+			return nil, err
+		}
+	}
+	typ, _, err = c.fc.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if typ != frameDone {
+		return nil, fmt.Errorf("server: expected completion, got %q", typ)
+	}
+	return res, nil
+}
+
+// Close sends goodbye and drops the connection.
+func (c *Client) Close() error {
+	werr := c.fc.WriteFrame(frameGoodbye, nil)
+	if werr == nil {
+		werr = c.fc.Flush()
+	}
+	cerr := c.nc.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func decodeErr(payload []byte) error {
+	if len(payload) < 1 {
+		return &RemoteError{Code: CodeInternal, Msg: "empty error frame"}
+	}
+	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
+}
+
+func decodeHeader(b []byte) (*ClientResult, uint64, error) {
+	ncols, b, err := readUvarint(b)
+	if err != nil || ncols > maxFrame {
+		return nil, 0, errTruncated
+	}
+	res := &ClientResult{Cols: make([]string, 0, ncols)}
+	for i := uint64(0); i < ncols; i++ {
+		var n uint64
+		n, b, err = readUvarint(b)
+		if err != nil || uint64(len(b)) < n {
+			return nil, 0, errTruncated
+		}
+		res.Cols = append(res.Cols, string(b[:n]))
+		b = b[n:]
+	}
+	affected, b, err := readUvarint(b)
+	if err != nil {
+		return nil, 0, errTruncated
+	}
+	res.Affected = int(affected)
+	nrows, _, err := readUvarint(b)
+	if err != nil {
+		return nil, 0, errTruncated
+	}
+	return res, nrows, nil
+}
+
+func decodeRows(res *ClientResult, b []byte) error {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		var t storage.Tuple
+		t, b, err = readRow(b)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, t)
+	}
+	return nil
+}

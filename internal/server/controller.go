@@ -1,0 +1,211 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/adm-project/adm/internal/constraint"
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/session"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// Metric names the server publishes into its monitor registry. The
+// p99 gauge is EWMA-smoothed so one slow statement does not flap the
+// ladder; queue depth and in-flight count pass through raw.
+const (
+	MetricP99Latency = "p99-latency" // ms, EWMA over per-tick p99
+	MetricQueueDepth = "queue-depth" // admission waiters
+	MetricInflight   = "in-flight"   // executing statements, EWMA-smoothed occupancy
+)
+
+// Tuning is the degradation ladder's operating point, read atomically
+// by every statement as it is admitted.
+//
+// The ladder (shed -> shrink batch -> drop workers):
+//
+//	l0  normal: configured workers and batch, bounded queueing
+//	l1  queueing off (saturated statements shed immediately) and
+//	    batches shrunk 4x, so in-flight statements yield at finer
+//	    granularity and per-statement memory falls
+//	l2  additionally workers dropped to 1: under a flash crowd,
+//	    inter-query concurrency beats intra-query parallelism —
+//	    W workers times N statements thrashes one core
+type Tuning struct {
+	Level   int
+	Workers int
+	Batch   int
+	Queue   bool
+}
+
+// Controller is the monitor-fed adaptive admission controller: it
+// records per-statement latencies, publishes gauge samples each tick,
+// and lets a session.Manager evaluate the ladder rules (expressed in
+// internal/constraint) whose decisions move the Tuning between
+// levels. Level changes are idempotent and cooldown-damped.
+type Controller struct {
+	reg *monitor.Registry
+	sm  *session.Manager
+	adm *Admission
+
+	base     Tuning
+	cur      atomic.Pointer[Tuning]
+	switches atomic.Int64
+	clock    func() float64
+
+	// mu guards only the per-tick latency batch (swapped out whole at
+	// each tick; sorting happens outside the latch).
+	mu    sync.Mutex
+	batch []float64
+}
+
+// batchCap bounds the per-tick latency batch; a stalled tick loop must
+// not let the window grow without bound.
+const batchCap = 8192
+
+// newController wires the ladder over reg/adm. sloMS is the p99
+// target; cooldownMS damps consecutive level changes.
+func newController(reg *monitor.Registry, adm *Admission, base Tuning,
+	sloMS, cooldownMS float64, log *trace.Log) *Controller {
+	c := &Controller{
+		reg:   reg,
+		adm:   adm,
+		base:  base,
+		clock: func() float64 { return float64(time.Now().UnixNano()) / 1e6 },
+	}
+	t := base
+	c.cur.Store(&t)
+
+	// Smooth the p99 feed, and the in-flight occupancy harder: the
+	// occupancy gauge is sampled at tick instants, and under a raging
+	// crowd a tick can land in the microsecond gap between a Release
+	// and the next Acquire. Raw samples would show spare capacity that
+	// does not exist; the slow EWMA makes recovery require SUSTAINED
+	// slack, not one lucky instant. Queue depth passes through raw.
+	reg.Bind(monitor.Key{Metric: MetricP99Latency}, &monitor.EWMA{Alpha: 0.5})
+	reg.Bind(monitor.Key{Metric: MetricInflight}, &monitor.EWMA{Alpha: 0.2})
+
+	// The ladder rules, most severe first. Recovery (l0) demands a
+	// comfortable p99, an empty queue, AND spare execution capacity:
+	// once l1 stops queueing, served latencies look healthy again even
+	// under a raging crowd — saturated in-flight slots are what still
+	// betray the overload, and releasing the ladder on latency alone
+	// would flap it (reopen queue, refill, spike, close) forever.
+	recoverOcc := max(1, adm.Capacity()/2)
+	rules := constraint.NewRuleSet(
+		constraint.PrioritisedRule{ID: 2, Priority: 0, Rule: constraint.MustParse(
+			fmt.Sprintf("If %s > %g ms then admsqld.level.l2", MetricP99Latency, 2*sloMS))},
+		constraint.PrioritisedRule{ID: 1, Priority: 1, Rule: constraint.MustParse(
+			fmt.Sprintf("If %s > %g ms then admsqld.level.l1", MetricP99Latency, sloMS))},
+		constraint.PrioritisedRule{ID: 0, Priority: 2, Rule: constraint.MustParse(
+			fmt.Sprintf("If %s < %g ms and %s < 1 and %s < %d then admsqld.level.l0",
+				MetricP99Latency, sloMS/2, MetricQueueDepth, MetricInflight, recoverOcc))},
+	)
+	c.sm = session.New("admsqld", reg, rules, log, c.clock,
+		func(d constraint.Decision, r *constraint.PrioritisedRule) error {
+			return c.apply(d.Target.Resource())
+		})
+	c.sm.CooldownMS = cooldownMS
+	cur := constraint.Target{Segments: []string{"admsqld", "level", "l0"}}
+	c.sm.SetCurrent(&cur)
+	return c
+}
+
+// Tuning returns the current operating point.
+func (c *Controller) Tuning() Tuning { return *c.cur.Load() }
+
+// Switches counts applied level changes.
+func (c *Controller) Switches() int64 { return c.switches.Load() }
+
+// Manager exposes the session manager (stats, tests).
+func (c *Controller) Manager() *session.Manager { return c.sm }
+
+// Registry exposes the monitor registry the ladder reads (stats,
+// tests).
+func (c *Controller) Registry() *monitor.Registry { return c.reg }
+
+// RecordLatency folds one served statement's latency into the current
+// tick's window.
+func (c *Controller) RecordLatency(ms float64) {
+	c.mu.Lock()
+	if len(c.batch) < batchCap {
+		c.batch = append(c.batch, ms)
+	}
+	c.mu.Unlock()
+}
+
+// p99 drains the latencies recorded since the last tick and computes
+// their 99th percentile. Draining per tick (rather than keeping a
+// fixed-size ring) makes the controller's reaction time independent of
+// throughput: a ring spanning seconds of low-rate traffic would let
+// stale crowd latencies block recovery long after the load decays. The
+// EWMA gauge the rules read supplies the smoothing across ticks. The
+// batch is swapped out under the latch; sorting runs outside it. The
+// swapped-in buf becomes the next window, and the drained batch is
+// returned for the caller to recycle.
+func (c *Controller) p99(buf []float64) (float64, int, []float64) {
+	c.mu.Lock()
+	buf, c.batch = c.batch, buf[:0]
+	c.mu.Unlock()
+	n := len(buf)
+	if n == 0 {
+		return 0, 0, buf
+	}
+	sort.Float64s(buf)
+	idx := (n * 99) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx], n, buf
+}
+
+// Tick publishes one round of gauge samples and evaluates the ladder
+// rules. The server calls it on its monitor interval; tests call it
+// directly. Returns whether an adaptation fired.
+func (c *Controller) Tick(scratch []float64) (bool, []float64) {
+	now := c.clock()
+	p99, n, scratch := c.p99(scratch)
+	if n > 0 {
+		c.reg.Publish(monitor.Sample{Key: monitor.Key{Metric: MetricP99Latency}, Value: p99, TimeMS: now})
+	}
+	c.reg.Publish(monitor.Sample{Key: monitor.Key{Metric: MetricQueueDepth}, Value: float64(c.adm.QueueDepth()), TimeMS: now})
+	c.reg.Publish(monitor.Sample{Key: monitor.Key{Metric: MetricInflight}, Value: float64(c.adm.Inflight()), TimeMS: now})
+	fired, err := c.sm.CheckNow()
+	_ = err // metric gaps and failed adaptations are already counted in sm.Stats
+	return fired, scratch
+}
+
+// apply moves the ladder to the named level ("level.l0".."level.l2").
+// Unknown resources are rejected so a bad rule edit fails loudly in
+// the manager's failure counter instead of silently no-opping.
+func (c *Controller) apply(resource string) error {
+	var t Tuning
+	switch resource {
+	case "level.l0":
+		t = c.base
+	case "level.l1":
+		t = Tuning{Level: 1, Workers: c.base.Workers, Batch: shrink(c.base.Batch), Queue: false}
+	case "level.l2":
+		t = Tuning{Level: 2, Workers: 1, Batch: shrink(c.base.Batch), Queue: false}
+	default:
+		return fmt.Errorf("server: unknown ladder target %q", resource)
+	}
+	c.cur.Store(&t)
+	c.adm.SetQueueing(t.Queue)
+	c.switches.Add(1)
+	return nil
+}
+
+// shrink is the ladder's batch reduction (4x, floored).
+func shrink(batch int) int {
+	if batch <= 0 {
+		batch = 1024
+	}
+	if batch >= 256 {
+		return batch / 4
+	}
+	return 64
+}

@@ -1,0 +1,475 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/operators"
+	"github.com/adm-project/adm/internal/query"
+	"github.com/adm-project/adm/internal/session"
+	"github.com/adm-project/adm/internal/storage"
+	"github.com/adm-project/adm/internal/trace"
+)
+
+// ErrDeadline reports a statement cancelled by its per-statement
+// deadline. The morsel workers poll the Cancel hook between batches,
+// so cancellation lands at batch granularity.
+var ErrDeadline = errors.New("server: statement deadline exceeded")
+
+// errAuth reports a rejected hello.
+var errAuth = errors.New("server: authentication failed")
+
+// Config tunes one admsqld instance. Zero values take the defaults
+// noted per field.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0" — ephemeral
+	// port, read it back with Server.Addr).
+	Addr string
+	// AuthToken is the stub credential a hello frame must carry
+	// verbatim. Empty accepts every hello.
+	AuthToken string
+
+	// MaxInflight bounds concurrently executing statements (default 4).
+	MaxInflight int
+	// MaxQueue bounds admission waiters beyond MaxInflight (default 16).
+	MaxQueue int
+
+	// StatementTimeout is both the admission-queue wait bound and the
+	// per-statement execution deadline (default 2s).
+	StatementTimeout time.Duration
+	// WriteTimeout bounds each response flush so a stalled reader
+	// fails its connection instead of wedging a serving goroutine
+	// (default 5s).
+	WriteTimeout time.Duration
+	// MemQuota is the per-statement materialisation budget in bytes,
+	// charged against batches as the morsel pipelines produce them
+	// (default 64 MiB; <0 disables).
+	MemQuota int64
+
+	// Workers and BatchSize are the l0 (normal) operating point for
+	// parallel SELECTs; zero takes the executor defaults.
+	Workers   int
+	BatchSize int
+
+	// Adaptive enables the degradation ladder (shed -> shrink batch ->
+	// drop workers). When false the server runs pinned at l0.
+	Adaptive bool
+	// SLOMS is the p99 latency target in milliseconds driving the
+	// ladder (default 50).
+	SLOMS float64
+	// Tick is the monitor/controller evaluation interval (default 25ms).
+	Tick time.Duration
+	// CooldownMS damps consecutive ladder moves (default 4 ticks).
+	CooldownMS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.StatementTimeout == 0 {
+		c.StatementTimeout = 2 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.MemQuota == 0 {
+		c.MemQuota = 64 << 20
+	}
+	if c.MemQuota < 0 {
+		c.MemQuota = 0 // unlimited
+	}
+	if c.SLOMS == 0 {
+		c.SLOMS = 50
+	}
+	if c.Tick == 0 {
+		c.Tick = 25 * time.Millisecond
+	}
+	if c.CooldownMS == 0 {
+		c.CooldownMS = 4 * float64(c.Tick) / float64(time.Millisecond)
+	}
+	return c
+}
+
+// Stats is a point-in-time server counter snapshot.
+type Stats struct {
+	Accepted  int64 // connections accepted
+	Served    int64 // statements completed successfully
+	Shed      int64 // statements rejected by admission control
+	Conflicts int64 // statements failed with a write conflict
+	Deadlines int64 // statements cancelled by deadline
+	QuotaHits int64 // statements killed by the memory budget
+	Errors    int64 // other statement errors
+	Level     int   // current degradation-ladder level
+	Switches  int64 // ladder level changes applied
+}
+
+// Server is the admsqld network front end: it accepts TCP
+// connections, speaks the frame protocol, and runs each connection's
+// statements through its own session.DBSession — so a dropped client
+// tears down through DBSession.Close and cannot leak a transaction.
+type Server struct {
+	cfg Config
+	eng *query.Engine
+	db  *storage.DB
+	reg *monitor.Registry
+	adm *Admission
+	ctl *Controller
+	log *trace.Log
+
+	ln net.Listener
+
+	// mu guards the connection table and the closed flag; never held
+	// across I/O or channel operations.
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg       sync.WaitGroup
+	stopTick chan struct{}
+
+	accepted  atomic.Int64
+	served    atomic.Int64
+	conflicts atomic.Int64
+	deadlines atomic.Int64
+	quotaHits atomic.Int64
+	errs      atomic.Int64
+}
+
+// New builds a server over an engine and its durable DB. log may be
+// nil (a fresh trace log is created).
+func New(eng *query.Engine, db *storage.DB, cfg Config, log *trace.Log) *Server {
+	cfg = cfg.withDefaults()
+	if log == nil {
+		log = trace.New()
+	}
+	reg := monitor.NewRegistry()
+	adm := NewAdmission(cfg.MaxInflight, cfg.MaxQueue)
+	base := Tuning{Level: 0, Workers: cfg.Workers, Batch: cfg.BatchSize, Queue: cfg.MaxQueue > 0}
+	return &Server{
+		cfg:      cfg,
+		eng:      eng,
+		db:       db,
+		reg:      reg,
+		adm:      adm,
+		ctl:      newController(reg, adm, base, cfg.SLOMS, cfg.CooldownMS, log),
+		log:      log,
+		conns:    make(map[net.Conn]struct{}),
+		stopTick: make(chan struct{}),
+	}
+}
+
+// Controller exposes the admission controller (stats, tests).
+func (s *Server) Controller() *Controller { return s.ctl }
+
+// Admission exposes the admission gate (stats, tests).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// Start binds the listener and launches the accept loop (and, when
+// adaptive, the controller tick loop). It returns once the server is
+// accepting; Close shuts it down.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.cfg.Adaptive {
+		s.wg.Add(1)
+		go s.tickLoop()
+	}
+	return nil
+}
+
+// Addr is the bound listen address (useful with an ephemeral port).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:  s.accepted.Load(),
+		Served:    s.served.Load(),
+		Shed:      s.adm.Shed(),
+		Conflicts: s.conflicts.Load(),
+		Deadlines: s.deadlines.Load(),
+		QuotaHits: s.quotaHits.Load(),
+		Errors:    s.errs.Load(),
+		Level:     s.ctl.Tuning().Level,
+		Switches:  s.ctl.Switches(),
+	}
+}
+
+// Close stops accepting, force-closes every live connection, and
+// waits for all serving goroutines to tear down (each one rolls back
+// its session's open transaction on the way out).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	close(s.stopTick)
+	for _, c := range conns {
+		_ = c.Close() // unblock the reader; serve's teardown reports its own error
+	}
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection; false means the server is
+// closing and the connection should be dropped.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	span := s.log.Span("admsqld")
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or a transient accept fault:
+			// either way the error is surfaced in the trace, and a
+			// closed server exits the loop.
+			span.Emit(s.ctl.clock(), trace.KindInfo, "accept: %v", err)
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		if !s.track(nc) {
+			_ = nc.Close() // racing with shutdown; nothing was served
+			return
+		}
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(nc)
+			if err := s.serve(nc); err != nil {
+				span.Emit(s.ctl.clock(), trace.KindInfo, "conn %s: %v", nc.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.Tick)
+	defer t.Stop()
+	var scratch []float64
+	for {
+		select {
+		case <-s.stopTick:
+			return
+		case <-t.C:
+			_, scratch = s.ctl.Tick(scratch)
+		}
+	}
+}
+
+// serve runs one connection's lifecycle: hello/auth, then a
+// query loop until goodbye, EOF, or a poisoned stream. Teardown is
+// unconditional — the session close (rolling back any open
+// transaction) is joined into the returned error so a failed rollback
+// is never silently dropped.
+func (s *Server) serve(nc net.Conn) (err error) {
+	fc := newFrameConn(nc, s.cfg.WriteTimeout)
+	sess := session.NewDBSession(s.eng, s.db)
+	defer func() {
+		err = errors.Join(err, sess.Close(), nc.Close())
+	}()
+
+	typ, payload, err := fc.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if typ != frameHello {
+		return errors.Join(errAuth, s.writeErr(fc, CodeBadFrame, "expected hello"))
+	}
+	if s.cfg.AuthToken != "" && string(payload) != s.cfg.AuthToken {
+		return errors.Join(errAuth, s.writeErr(fc, CodeAuth, "bad token"))
+	}
+	if err := fc.WriteFrame(frameHelloOK, nil); err != nil {
+		return err
+	}
+	if err := fc.Flush(); err != nil {
+		return err
+	}
+
+	for {
+		typ, payload, err := fc.ReadFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean disconnect between frames
+			}
+			return err
+		}
+		switch typ {
+		case frameQuery:
+			if err := s.handleQuery(fc, sess, string(payload)); err != nil {
+				return err
+			}
+		case frameGoodbye:
+			return nil
+		default:
+			if err := s.writeErr(fc, CodeBadFrame, fmt.Sprintf("unexpected frame %q", typ)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// handleQuery runs one statement: admission (bypassed inside an
+// explicit transaction — the client already holds row claims, and
+// stalling it would hold them longer), the controller's current
+// tuning, a deadline hook and memory budget threaded into the morsel
+// pipelines, then the streamed response.
+func (s *Server) handleQuery(fc *frameConn, sess *session.DBSession, sql string) error {
+	// The latency window starts before admission so the controller
+	// sees queue wait — that is exactly the latency a backlog inflates
+	// and the ladder exists to cut. Shed statements are not recorded;
+	// shedding is its own signal (queue-depth, shed counter).
+	start := time.Now()
+	if !sess.InTxn() {
+		if err := s.adm.Acquire(s.cfg.StatementTimeout); err != nil {
+			return s.writeErr(fc, CodeOverloaded, err.Error())
+		}
+		defer s.adm.Release()
+	}
+
+	tun := s.ctl.Tuning()
+	var expired atomic.Bool
+	timer := time.AfterFunc(s.cfg.StatementTimeout, func() { expired.Store(true) })
+	defer timer.Stop()
+	opts := query.ExecOptions{
+		Workers:   tun.Workers,
+		BatchSize: tun.Batch,
+		Cancel: func() error {
+			if expired.Load() {
+				return ErrDeadline
+			}
+			return nil
+		},
+		MemBudget: operators.NewMemBudget(s.cfg.MemQuota),
+	}
+
+	res, err := sess.ExecOpts(sql, opts)
+	s.ctl.RecordLatency(float64(time.Since(start).Nanoseconds()) / 1e6)
+	if err != nil {
+		code := classify(err)
+		switch code {
+		case CodeConflict:
+			s.conflicts.Add(1)
+		case CodeDeadline:
+			s.deadlines.Add(1)
+		case CodeQuota:
+			s.quotaHits.Add(1)
+		default:
+			s.errs.Add(1)
+		}
+		return s.writeErr(fc, code, err.Error())
+	}
+	s.served.Add(1)
+	return s.writeResult(fc, res)
+}
+
+// classify maps execution errors to wire codes.
+func classify(err error) byte {
+	switch {
+	case errors.Is(err, storage.ErrWriteConflict):
+		return CodeConflict
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrDeadline):
+		return CodeDeadline
+	case errors.Is(err, operators.ErrMemBudget):
+		return CodeQuota
+	default:
+		return CodeInternal
+	}
+}
+
+// writeResult streams header + bounded row chunks + completion.
+func (s *Server) writeResult(fc *frameConn, res *query.Result) error {
+	if res == nil {
+		res = &query.Result{}
+	}
+	buf := appendUvarint(nil, uint64(len(res.Cols)))
+	for _, c := range res.Cols {
+		buf = appendUvarint(buf, uint64(len(c)))
+		buf = append(buf, c...)
+	}
+	buf = appendUvarint(buf, uint64(res.Affected))
+	buf = appendUvarint(buf, uint64(len(res.Rows)))
+	if err := fc.WriteFrame(frameResult, buf); err != nil {
+		return err
+	}
+	for lo := 0; lo < len(res.Rows); lo += rowChunk {
+		hi := min(lo+rowChunk, len(res.Rows))
+		chunk := appendUvarint(buf[:0], uint64(hi-lo))
+		for _, t := range res.Rows[lo:hi] {
+			chunk = appendRow(chunk, t)
+		}
+		if err := fc.WriteFrame(frameRows, chunk); err != nil {
+			return err
+		}
+		buf = chunk
+	}
+	if err := fc.WriteFrame(frameDone, nil); err != nil {
+		return err
+	}
+	return fc.Flush()
+}
+
+func (s *Server) writeErr(fc *frameConn, code byte, msg string) error {
+	if err := fc.WriteFrame(frameError, append([]byte{code}, msg...)); err != nil {
+		return err
+	}
+	return fc.Flush()
+}

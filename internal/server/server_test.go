@@ -1,0 +1,410 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/adm-project/adm/internal/monitor"
+	"github.com/adm-project/adm/internal/query"
+	"github.com/adm-project/adm/internal/storage"
+)
+
+func newServerFixture(t *testing.T, cfg Config) (*Server, *storage.DB) {
+	t.Helper()
+	db, err := storage.Open(storage.NewMemDisk(), storage.NewMemDisk(),
+		storage.DBOptions{Sync: storage.SyncManual})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := query.NewDurableCatalog(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := query.NewEngine(cat, nil, nil)
+	// kv stays small (page slack for MVCC update versions); j is the
+	// bulk table driving chunked results and explosive self-joins.
+	eng.MustExec("CREATE TABLE kv (k INT, v STRING)")
+	for i := 0; i < 8; i++ {
+		eng.MustExec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'seed-%d')", i, i))
+	}
+	// Wide rows: a j-squared self-join is ~20MB on the wire, larger
+	// than any auto-tuned kernel send buffer (the stalled-reader fault
+	// needs the server's flush to actually block).
+	pad := strings.Repeat("x", 56)
+	eng.MustExec("CREATE TABLE j (g INT, p STRING)")
+	for lo := 0; lo < 400; lo += 50 {
+		var j []string
+		for i := lo; i < lo+50; i++ {
+			j = append(j, fmt.Sprintf("(1, 'pad-%d-%s')", i, pad))
+		}
+		eng.MustExec("INSERT INTO j VALUES " + strings.Join(j, ", "))
+	}
+	srv := New(eng, db, cfg, nil)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if n := db.Txns().Active(); n != 0 {
+			t.Errorf("%d transactions leaked after server close", n)
+		}
+	})
+	return srv, db
+}
+
+func dialT(t *testing.T, srv *Server, token string) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr(), token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestServerRoundTrip(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{})
+	c := dialT(t, srv, "")
+	defer c.Close()
+
+	res, err := c.Query("SELECT k, v FROM kv WHERE k < 3 ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 || len(res.Rows) != 3 {
+		t.Fatalf("got %d cols / %d rows, want 2 / 3", len(res.Cols), len(res.Rows))
+	}
+	if res.Rows[2][0].Int != 2 || res.Rows[2][1].Str != "seed-2" {
+		t.Fatalf("row 2 = %v, want (2, seed-2)", res.Rows[2])
+	}
+
+	ins, err := c.Query("INSERT INTO kv VALUES (1000, 'net')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Affected != 1 {
+		t.Fatalf("insert affected %d, want 1", ins.Affected)
+	}
+}
+
+// TestServerLargeResult crosses several rowChunk boundaries so the
+// chunked 'D' streaming path is exercised end to end.
+func TestServerLargeResult(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{})
+	c := dialT(t, srv, "")
+	defer c.Close()
+
+	res, err := c.Query("SELECT p FROM j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 400 {
+		t.Fatalf("got %d rows, want 400", len(res.Rows))
+	}
+}
+
+func TestServerAuth(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{AuthToken: "sesame"})
+	if _, err := Dial(srv.Addr(), "wrong"); err == nil {
+		t.Fatal("bad token accepted")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != CodeAuth {
+			t.Fatalf("bad token error = %v, want CodeAuth", err)
+		}
+	}
+	c := dialT(t, srv, "sesame")
+	defer c.Close()
+	if _, err := c.Query("SELECT k FROM kv WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerTxnOverWire drives an explicit transaction over the
+// protocol and checks isolation against a second connection.
+func TestServerTxnOverWire(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{})
+	a := dialT(t, srv, "")
+	defer a.Close()
+	b := dialT(t, srv, "")
+	defer b.Close()
+
+	mustQ := func(c *Client, sql string) *ClientResult {
+		t.Helper()
+		res, err := c.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+	mustQ(a, "BEGIN")
+	mustQ(a, "INSERT INTO kv VALUES (2000, 'txn')")
+	if n := len(mustQ(b, "SELECT k FROM kv WHERE k = 2000").Rows); n != 0 {
+		t.Fatalf("uncommitted row visible to other connection (%d rows)", n)
+	}
+	mustQ(a, "COMMIT")
+	if n := len(mustQ(b, "SELECT k FROM kv WHERE k = 2000").Rows); n != 1 {
+		t.Fatalf("committed row not visible (%d rows)", n)
+	}
+}
+
+// TestServerConflictCode checks storage.ErrWriteConflict surfaces as
+// the distinct retryable CodeConflict (satellite 2).
+func TestServerConflictCode(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{})
+	a := dialT(t, srv, "")
+	defer a.Close()
+	b := dialT(t, srv, "")
+	defer b.Close()
+
+	for _, sql := range []string{"BEGIN", "UPDATE kv SET v = 'a' WHERE k = 7"} {
+		if _, err := a.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Query("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Query("UPDATE kv SET v = 'b' WHERE k = 7")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeConflict {
+		t.Fatalf("conflicting update error = %v, want CodeConflict", err)
+	}
+	if !re.Retryable() {
+		t.Fatal("write conflict not marked retryable")
+	}
+	if _, err := a.Query("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	// b's transaction was auto-rolled-back; the session must be usable
+	// again in autocommit, and the retry must now succeed.
+	if _, err := b.Query("UPDATE kv SET v = 'b-retry' WHERE k = 7"); err != nil {
+		t.Fatalf("retry after conflict: %v", err)
+	}
+}
+
+func TestServerDeadlineCode(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{StatementTimeout: 30 * time.Millisecond, MemQuota: -1})
+	c := dialT(t, srv, "")
+	defer c.Close()
+
+	// A constant-key self-join cubed: 400^3 output rows, far beyond a
+	// 30ms deadline; the morsel workers abort at batch granularity.
+	_, err := c.Query("SELECT a.p FROM j a JOIN j b ON a.g = b.g JOIN j c ON b.g = c.g")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeDeadline {
+		t.Fatalf("slow statement error = %v, want CodeDeadline", err)
+	}
+	if re.Retryable() {
+		t.Fatal("deadline should not be marked retryable")
+	}
+	// The connection survives a per-statement deadline.
+	if _, err := c.Query("SELECT k FROM kv WHERE k = 1"); err != nil {
+		t.Fatalf("statement after deadline: %v", err)
+	}
+}
+
+func TestServerQuotaCode(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{MemQuota: 4 << 10})
+	c := dialT(t, srv, "")
+	defer c.Close()
+
+	// 400x400 join output charges ~7MB against a 4KB budget.
+	_, err := c.Query("SELECT a.p FROM j a JOIN j b ON a.g = b.g")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeQuota {
+		t.Fatalf("oversized statement error = %v, want CodeQuota", err)
+	}
+	if _, err := c.Query("SELECT k FROM kv WHERE k = 1"); err != nil {
+		t.Fatalf("statement after quota trip: %v", err)
+	}
+}
+
+// TestAdmissionShed saturates a 1-slot, 0-queue gate and checks the
+// distinct retryable overloaded code.
+func TestAdmissionShed(t *testing.T) {
+	srv, _ := newServerFixture(t, Config{MaxInflight: 1, MaxQueue: -1})
+	// Hold the only slot.
+	if err := srv.Admission().Acquire(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Admission().Release()
+
+	c := dialT(t, srv, "")
+	defer c.Close()
+	_, err := c.Query("SELECT k FROM kv WHERE k = 1")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeOverloaded {
+		t.Fatalf("shed statement error = %v, want CodeOverloaded", err)
+	}
+	if !re.Retryable() {
+		t.Fatal("overload not marked retryable")
+	}
+	if srv.Stats().Shed == 0 {
+		t.Fatal("shed counter did not move")
+	}
+}
+
+func TestAdmissionQueueBounds(t *testing.T) {
+	a := NewAdmission(1, 1)
+	if err := a.Acquire(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue; it must eventually get the slot.
+	done := make(chan error, 1)
+	go func() {
+		err := a.Acquire(5 * time.Second)
+		if err == nil {
+			a.Release()
+		}
+		done <- err
+	}()
+	for a.QueueDepth() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: the next statement is shed immediately.
+	if err := a.Acquire(5 * time.Second); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-queue acquire = %v, want ErrOverloaded", err)
+	}
+	a.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	if a.Inflight() != 0 || a.QueueDepth() != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", a.Inflight(), a.QueueDepth())
+	}
+}
+
+func TestAdmissionQueueingToggle(t *testing.T) {
+	a := NewAdmission(1, 8)
+	if err := a.Acquire(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	a.SetQueueing(false)
+	if err := a.Acquire(time.Second); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queueing-off acquire = %v, want immediate shed", err)
+	}
+	a.SetQueueing(true)
+	if !a.Queueing() {
+		t.Fatal("queueing not restored")
+	}
+}
+
+// TestControllerLadder drives the controller with synthetic latencies
+// and checks the full ladder transit: l0 -> l1 -> l2 -> back to l0.
+func TestControllerLadder(t *testing.T) {
+	adm := NewAdmission(4, 16)
+	base := Tuning{Workers: 4, Batch: 1024, Queue: true}
+	c := newControllerForTest(adm, base, 50, 0)
+
+	// Each tick drains the window, so every tick gets a fresh feed of
+	// the phase's latency; the EWMA gauge converges across ticks.
+	var scratch []float64
+	phase := func(ms float64, ticks int) {
+		for i := 0; i < ticks; i++ {
+			for j := 0; j < 50; j++ {
+				c.RecordLatency(ms)
+			}
+			_, scratch = c.Tick(scratch)
+		}
+	}
+
+	phase(10, 2)
+	if got := c.Tuning(); got.Level != 0 {
+		t.Fatalf("healthy load at level %d, want 0", got.Level)
+	}
+	// p99 over SLO: EWMA alpha 0.5 converges within a few ticks.
+	phase(80, 4)
+	if got := c.Tuning(); got.Level != 1 || got.Queue || got.Batch >= base.Batch {
+		t.Fatalf("over-SLO tuning = %+v, want l1 with queueing off and shrunk batch", got)
+	}
+	if adm.Queueing() {
+		t.Fatal("l1 did not close the admission queue")
+	}
+	// p99 over 2x SLO: drop to one worker.
+	phase(400, 4)
+	if got := c.Tuning(); got.Level != 2 || got.Workers != 1 {
+		t.Fatalf("crisis tuning = %+v, want l2 with 1 worker", got)
+	}
+	// Decay: healthy latencies and an empty queue restore l0 (stepwise
+	// l2 -> l1 -> l0 across ticks).
+	for i := 0; i < 12 && c.Tuning().Level != 0; i++ {
+		phase(5, 1)
+	}
+	if got := c.Tuning(); got.Level != 0 || got.Workers != 4 || got.Batch != 1024 || !got.Queue {
+		t.Fatalf("recovered tuning = %+v, want base %+v", got, base)
+	}
+	if !adm.Queueing() {
+		t.Fatal("recovery did not reopen the admission queue")
+	}
+}
+
+// newControllerForTest builds a controller with a deterministic clock.
+func newControllerForTest(adm *Admission, base Tuning, sloMS, cooldownMS float64) *Controller {
+	c := newController(monitor.NewRegistry(), adm, base, sloMS, cooldownMS, nil)
+	var now float64
+	c.clock = func() float64 { now += 10; return now }
+	return c
+}
+
+// TestControllerConcurrent hammers RecordLatency/Tick/Tuning from
+// many goroutines; the race detector is the assertion.
+func TestControllerConcurrent(t *testing.T) {
+	adm := NewAdmission(4, 16)
+	c := newControllerForTest(adm, Tuning{Workers: 4, Batch: 1024, Queue: true}, 50, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var scratch []float64
+			for i := 0; i < 500; i++ {
+				c.RecordLatency(float64(g*i%200) + 1)
+				if i%10 == 0 {
+					_, scratch = c.Tick(scratch)
+				}
+				_ = c.Tuning()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	row := storage.Tuple{
+		storage.NullValue(),
+		storage.IntValue(-42),
+		storage.FloatValue(3.5),
+		storage.StringValue(strings.Repeat("x", 300)),
+		storage.BoolValue(true),
+	}
+	buf := appendRow(nil, row)
+	got, rest, err := readRow(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(got) != len(row) {
+		t.Fatalf("width %d, want %d", len(got), len(row))
+	}
+	for i := range row {
+		if got[i].Kind != row[i].Kind || got[i].Int != row[i].Int ||
+			got[i].Float != row[i].Float || got[i].Str != row[i].Str || got[i].Bool != row[i].Bool {
+			t.Fatalf("value %d: got %+v want %+v", i, got[i], row[i])
+		}
+	}
+	// Truncations at every prefix must error, not panic or misparse.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := readRow(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}

@@ -24,12 +24,16 @@ type DBSession struct {
 	eng *query.Engine
 	tm  *storage.TxnManager
 
-	mu  sync.Mutex
-	txn *storage.Txn
+	mu     sync.Mutex
+	txn    *storage.Txn
+	closed bool
 }
 
 // ErrNoTxn reports COMMIT/ROLLBACK with no open transaction.
 var ErrNoTxn = errors.New("session: no transaction is open")
+
+// ErrSessionClosed reports statement execution on a closed session.
+var ErrSessionClosed = errors.New("session: session is closed")
 
 // NewDBSession binds a session to an engine and the DB whose
 // transaction manager issues its snapshots. A nil db (volatile
@@ -61,6 +65,9 @@ func (s *DBSession) Begin() error {
 }
 
 func (s *DBSession) beginLocked() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
 	if s.tm == nil {
 		return fmt.Errorf("session: transactions need a durable DB")
 	}
@@ -103,6 +110,25 @@ func (s *DBSession) Txn() *storage.Txn {
 	return s.txn
 }
 
+// Close rolls back any open transaction and marks the session
+// unusable: every later Exec/Begin returns ErrSessionClosed. This is
+// the server's teardown guarantee — a client that dies mid-transaction
+// cannot strand its row claims. Idempotent; the rollback error (a
+// poisoned WAL, at worst) is reported by the first call only.
+func (s *DBSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if t := s.txn; t != nil {
+		s.txn = nil
+		return t.Rollback()
+	}
+	return nil
+}
+
 // Exec parses and executes one statement in this session's
 // transactional context. A statement that hits a write conflict
 // inside an explicit transaction aborts the whole transaction
@@ -115,6 +141,33 @@ func (s *DBSession) Exec(sql string) (*query.Result, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.execStmtLocked(st, query.ExecOptions{}, false)
+}
+
+// ExecOpts is Exec through the parallel executor with per-statement
+// controls: transaction control is handled inline, SELECTs run across
+// the morsel pipelines under the session transaction with opts'
+// worker/batch tuning, Cancel hook and memory budget, and writes keep
+// the serial transactional path (autocommit outside an explicit
+// transaction). This is the server front-end's entry point — one
+// parse, one lock acquisition per statement.
+func (s *DBSession) ExecOpts(sql string, opts query.ExecOptions) (*query.Result, error) {
+	st, err := query.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execStmtLocked(st, opts, true)
+}
+
+// execStmtLocked runs one parsed statement under the session lock.
+// parallel selects the executor for SELECTs; writes always take the
+// serial transactional path (DML is serial in both executors).
+func (s *DBSession) execStmtLocked(st query.Stmt, opts query.ExecOptions, parallel bool) (*query.Result, error) {
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
 	switch st.(type) {
 	case *query.BeginStmt:
 		if err := s.beginLocked(); err != nil {
@@ -143,6 +196,19 @@ func (s *DBSession) Exec(sql string) (*query.Result, error) {
 		return &query.Result{}, nil
 	}
 
+	if sel, ok := st.(*query.SelectStmt); ok && parallel {
+		opts.Txn = s.txn
+		if opts.Txn == nil && s.tm != nil {
+			// Autocommit read: give the parallel SELECT its own
+			// snapshot so it cannot see other sessions' uncommitted
+			// writes. Read-only, so rollback (no WAL traffic).
+			t := s.tm.Begin()
+			defer func() { _ = t.Rollback() }()
+			opts.Txn = t
+		}
+		res, _, err := s.eng.ExecuteStmt(sel, opts)
+		return res, err
+	}
 	if s.txn != nil {
 		res, err := s.eng.ExecStmtTxn(st, s.txn)
 		if errors.Is(err, storage.ErrWriteConflict) {
@@ -188,6 +254,9 @@ func (s *DBSession) autocommit(st query.Stmt) (*query.Result, error) {
 func (s *DBSession) ExecParallel(sql string, opts query.ExecOptions) (*query.Result, *query.ExecReport, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrSessionClosed
+	}
 	opts.Txn = s.txn
 	res, rep, err := s.eng.ExecuteSQL(sql, opts)
 	if s.txn != nil && errors.Is(err, storage.ErrWriteConflict) {

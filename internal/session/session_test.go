@@ -2,6 +2,9 @@ package session
 
 import (
 	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/adm-project/adm/internal/adapt"
@@ -288,5 +291,153 @@ func TestModeControllerRollbackKeepsMode(t *testing.T) {
 	}
 	if err := mc.SwitchTo("flying"); err == nil {
 		t.Fatal("unknown mode must error")
+	}
+}
+
+// TestCheckNowConcurrentStats hammers CheckNow from several goroutines
+// while a publisher flips the violated gauge, so decisions are racy
+// rather than scripted. The race detector is the main assertion; on
+// top of it the activity counters must stay coherent: every call is
+// either a check or a cooldown skip, and every violation resolved as
+// exactly one action or failure.
+func TestCheckNowConcurrentStats(t *testing.T) {
+	reg := monitor.NewRegistry()
+	rules := constraint.NewRuleSet(constraint.PrioritisedRule{
+		ID: 1, Priority: 0,
+		Rule: constraint.MustParse("If processor-util > 90% then SWITCH(node1.p, node2.p)"),
+	})
+	var tick atomic.Int64
+	clock := func() float64 { return float64(tick.Add(1)) }
+	var handled atomic.Int64
+	handler := func(d constraint.Decision, _ *constraint.PrioritisedRule) error {
+		if handled.Add(1)%3 == 0 {
+			return errors.New("injected adaptation failure")
+		}
+		return nil
+	}
+	m := New("concurrent", reg, rules, nil, clock, handler)
+	m.CooldownMS = 5
+	cur := constraint.Target{Segments: []string{"node1", "p"}}
+	m.SetCurrent(&cur)
+	reg.Publish(sample(monitor.MetricCapacity, "node1", 10, 0))
+	reg.Publish(sample(monitor.MetricLoad, "node1", 9, 0))
+	reg.Publish(sample(monitor.MetricCapacity, "node2", 10, 0))
+	reg.Publish(sample(monitor.MetricLoad, "node2", 1, 0))
+	// Publish the overload before spawning anything so the first check
+	// sees a violation even if the flipping publisher is scheduled
+	// late (on one core the last-spawned goroutines run first).
+	reg.Publish(sample(monitor.MetricProcessorUtil, "", 95, 0))
+
+	stop := make(chan struct{})
+	var publisher sync.WaitGroup
+	publisher.Add(1)
+	go func() {
+		defer publisher.Done()
+		v := 50.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			reg.Publish(sample(monitor.MetricProcessorUtil, "", v, 0))
+			if v > 90 {
+				v = 50
+			} else {
+				v = 95
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	const goroutines = 8
+	const callsEach = 200
+	var handlerErrs atomic.Int64
+	var checkers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		checkers.Add(1)
+		go func() {
+			defer checkers.Done()
+			for i := 0; i < callsEach; i++ {
+				if _, err := m.CheckNow(); err != nil {
+					handlerErrs.Add(1)
+				}
+				if i%16 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	checkers.Wait()
+	close(stop)
+	publisher.Wait()
+
+	st := m.Stats()
+	if got := st.Checks + st.Skips; got != goroutines*callsEach {
+		t.Fatalf("checks+skips = %d, want %d (stats %+v)", got, goroutines*callsEach, st)
+	}
+	if st.Violations != st.Actions+st.Failures {
+		t.Fatalf("violations %d != actions %d + failures %d", st.Violations, st.Actions, st.Failures)
+	}
+	if int64(st.Failures) != handlerErrs.Load() {
+		t.Fatalf("failures %d, but %d CheckNow calls returned errors", st.Failures, handlerErrs.Load())
+	}
+	// The publisher kept the gauge above threshold half the time, so
+	// with 1600 calls at least one violation must have fired.
+	if st.Violations == 0 {
+		t.Fatal("no violations fired under sustained overload")
+	}
+	// The current target always names a real node whichever switch won.
+	if n := m.Current().Node(); n != "node1" && n != "node2" {
+		t.Fatalf("current = %q", n)
+	}
+}
+
+// TestModeControllerSwitchToConcurrent drives SwitchTo from many
+// goroutines ping-ponging docked<->wireless. Switches serialise on the
+// controller latch, so whichever call lands last must leave the mode,
+// the live component set, and the assembly invariants agreeing.
+func TestModeControllerSwitchToConcurrent(t *testing.T) {
+	log := trace.New()
+	model := adl.MustParse(adl.Figure4)
+	asm := component.NewAssembly(log, nil)
+	factory := adapt.TypeFactory(model, nil)
+	if err := adapt.Instantiate(asm, model, "docked", factory); err != nil {
+		t.Fatal(err)
+	}
+	am := adapt.NewManager(asm, log, nil)
+	mc := NewModeController(model, am, factory, "docked", log, nil)
+
+	modes := [2]string{"docked", "wireless"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := mc.SwitchTo(modes[(g+i)%2]); err != nil {
+					t.Errorf("SwitchTo: %v", err)
+				}
+				// Reads interleave with switches on other goroutines.
+				if mode := mc.Mode(); mode != "docked" && mode != "wireless" {
+					t.Errorf("mode = %q mid-run", mode)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	final := mc.Mode()
+	if final != "docked" && final != "wireless" {
+		t.Fatalf("final mode = %q", final)
+	}
+	if errs := asm.Validate(); len(errs) != 0 {
+		t.Fatalf("assembly invalid after concurrent switching: %v", errs)
+	}
+	// The wireless optimiser is live exactly when the controller says
+	// the wireless mode won the last switch.
+	_, hasWopt := asm.Component("wopt")
+	if hasWopt != (final == "wireless") {
+		t.Fatalf("mode %q but wopt live = %v", final, hasWopt)
 	}
 }

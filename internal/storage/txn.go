@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrWriteConflict reports a first-committer-wins serialization
@@ -83,6 +84,12 @@ type TxnManager struct {
 	groups  uint64
 	batched uint64
 	aborts  uint64
+
+	// active counts Begin-without-finish transactions: the leak oracle
+	// the server's connection-fault matrix asserts returns to zero
+	// after every disconnect scenario (an abandoned session must not
+	// strand its claims).
+	active atomic.Int64
 }
 
 type commitReq struct {
@@ -139,8 +146,13 @@ func (tm *TxnManager) Begin() *Txn {
 	id := tm.nextID
 	snap := Snapshot{High: tm.high, Self: id}
 	tm.mu.Unlock()
+	tm.active.Add(1)
 	return &Txn{tm: tm, id: id, snap: snap}
 }
+
+// Active reports the number of transactions begun but not yet
+// committed or rolled back.
+func (tm *TxnManager) Active() int64 { return tm.active.Load() }
 
 // commitLSN looks up a transaction's commit timestamp.
 func (tm *TxnManager) commitLSN(id uint64) (uint64, bool) {
@@ -299,6 +311,7 @@ func (t *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	t.done = true
+	t.tm.active.Add(-1)
 	t.undo = nil
 	if t.writes == 0 {
 		return nil
@@ -314,6 +327,7 @@ func (t *Txn) Rollback() error {
 		return nil
 	}
 	t.done = true
+	t.tm.active.Add(-1)
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		if err := t.undo[i](); err != nil {
 			// The undo path appends WAL records; a failure there has
